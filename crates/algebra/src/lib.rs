@@ -1,0 +1,47 @@
+//! Exact algebra substrate for induction-variable analysis.
+//!
+//! The closed forms in Wolfe's *Beyond Induction Variables* (PLDI 1992) are
+//! polynomials (and geometric series) with **rational** coefficients, found
+//! by inverting small integer matrices exactly. This crate provides the
+//! pieces that construction needs:
+//!
+//! - [`Rational`]: arbitrary-sign exact rationals over `i128` with checked
+//!   arithmetic (overflow is reported, never wrapped);
+//! - [`SymPoly`]: multivariate polynomials over opaque symbols with
+//!   rational coefficients, used to carry *symbolic* initial values and
+//!   steps (e.g. `n + c1 + k1` in Figure 1 of the paper);
+//! - [`Matrix`]: dense rational matrices with exact Gauss–Jordan inversion;
+//! - [`vandermonde`]: the paper's coefficient-fitting method — sample the
+//!   recurrence at `h = 0, 1, …` and invert the basis matrix.
+//!
+//! # Example
+//!
+//! Fit the closed form of `k` from loop L14 of the paper
+//! (`k = 4, 9, 17, 29, …` ⇒ `(h³ + 6h² + 23h + 24) / 6`):
+//!
+//! ```
+//! use biv_algebra::{Rational, SymPoly, vandermonde::fit_polynomial};
+//!
+//! let samples: Vec<SymPoly> = [4, 9, 17, 29]
+//!     .iter()
+//!     .map(|&v| SymPoly::constant(Rational::from_integer(v)))
+//!     .collect();
+//! let coeffs = fit_polynomial(&samples).expect("nonsingular");
+//! let consts: Vec<Rational> = coeffs.iter().map(|c| c.constant_value().unwrap()).collect();
+//! assert_eq!(consts[0], Rational::from_integer(4));            // 24/6
+//! assert_eq!(consts[1], Rational::new(23, 6).unwrap());        // 23/6
+//! assert_eq!(consts[2], Rational::from_integer(1));            // 6/6
+//! assert_eq!(consts[3], Rational::new(1, 6).unwrap());         // 1/6
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod matrix;
+mod rational;
+mod sympoly;
+pub mod vandermonde;
+
+pub use matrix::Matrix;
+pub use rational::{ParseRationalError, Rational, RationalError};
+pub use sympoly::{Monomial, SymId, SymPoly};

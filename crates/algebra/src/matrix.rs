@@ -1,0 +1,318 @@
+//! Dense rational matrices with exact Gauss–Jordan inversion.
+
+use std::fmt;
+
+use crate::rational::{Rational, RationalError};
+use crate::sympoly::SymPoly;
+
+/// A dense matrix of [`Rational`] entries.
+///
+/// Used for the paper's closed-form coefficient fitting: invert the basis
+/// matrix `a[i][j] = basis_j(i)` exactly and multiply by the first computed
+/// values of the recurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Rational>,
+}
+
+impl Matrix {
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<Rational>) -> Matrix {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "matrix data length must equal rows*cols"
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Creates a zero matrix.
+    pub fn zero(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![Rational::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates an identity matrix.
+    pub fn identity(n: usize) -> Matrix {
+        let mut m = Matrix::zero(n, n);
+        for i in 0..n {
+            *m.get_mut(i, i) = Rational::ONE;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads entry `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices.
+    pub fn get(&self, r: usize, c: usize) -> Rational {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable access to entry `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices.
+    pub fn get_mut(&mut self, r: usize, c: usize) -> &mut Rational {
+        assert!(r < self.rows && c < self.cols, "matrix index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// Exact inverse via Gauss–Jordan elimination.
+    ///
+    /// Returns `None` when the matrix is singular.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RationalError::Overflow`] from intermediate arithmetic.
+    pub fn inverse(&self) -> Result<Option<Matrix>, RationalError> {
+        if self.rows != self.cols {
+            return Ok(None);
+        }
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = Matrix::identity(n);
+        for col in 0..n {
+            // Find a nonzero pivot at or below `col`.
+            let pivot = (col..n).find(|&r| !a.get(r, col).is_zero());
+            let pivot = match pivot {
+                Some(p) => p,
+                None => return Ok(None),
+            };
+            if pivot != col {
+                a.swap_rows(pivot, col);
+                inv.swap_rows(pivot, col);
+            }
+            let pivot_val = a.get(col, col);
+            let pivot_inv = Rational::ONE.checked_div(&pivot_val)?;
+            a.scale_row(col, &pivot_inv)?;
+            inv.scale_row(col, &pivot_inv)?;
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let factor = a.get(r, col);
+                if factor.is_zero() {
+                    continue;
+                }
+                a.sub_scaled_row(r, col, &factor)?;
+                inv.sub_scaled_row(r, col, &factor)?;
+            }
+        }
+        Ok(Some(inv))
+    }
+
+    /// Multiplies this matrix by a vector of rationals.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RationalError::Overflow`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &[Rational]) -> Result<Vec<Rational>, RationalError> {
+        assert_eq!(v.len(), self.cols, "vector length must equal matrix cols");
+        let mut out = Vec::with_capacity(self.rows);
+        for r in 0..self.rows {
+            let mut acc = Rational::ZERO;
+            for (c, value) in v.iter().enumerate() {
+                acc = acc.checked_add(&self.get(r, c).checked_mul(value)?)?;
+            }
+            out.push(acc);
+        }
+        Ok(out)
+    }
+
+    /// Multiplies this matrix by a vector of symbolic polynomials — the
+    /// paper's "multiply the inverse by the computed (perhaps symbolic)
+    /// first k values".
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RationalError::Overflow`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v.len() != self.cols()`.
+    pub fn mul_sym_vec(&self, v: &[SymPoly]) -> Result<Vec<SymPoly>, RationalError> {
+        assert_eq!(v.len(), self.cols, "vector length must equal matrix cols");
+        let mut out = Vec::with_capacity(self.rows);
+        for r in 0..self.rows {
+            let mut acc = SymPoly::zero();
+            for (c, value) in v.iter().enumerate() {
+                acc = acc.checked_add(&value.checked_scale(&self.get(r, c))?)?;
+            }
+            out.push(acc);
+        }
+        Ok(out)
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            self.data.swap(a * self.cols + c, b * self.cols + c);
+        }
+    }
+
+    fn scale_row(&mut self, r: usize, factor: &Rational) -> Result<(), RationalError> {
+        for c in 0..self.cols {
+            let cur = self.get(r, c);
+            *self.get_mut(r, c) = cur.checked_mul(factor)?;
+        }
+        Ok(())
+    }
+
+    /// `row[r] -= factor * row[src]`
+    fn sub_scaled_row(
+        &mut self,
+        r: usize,
+        src: usize,
+        factor: &Rational,
+    ) -> Result<(), RationalError> {
+        for c in 0..self.cols {
+            let delta = self.get(src, c).checked_mul(factor)?;
+            let cur = self.get(r, c);
+            *self.get_mut(r, c) = cur.checked_sub(&delta)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            write!(f, "[")?;
+            for c in 0..self.cols {
+                if c > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", self.get(r, c))?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int(v: i128) -> Rational {
+        Rational::from_integer(v)
+    }
+
+    #[test]
+    fn identity_inverse() {
+        let id = Matrix::identity(4);
+        assert_eq!(id.inverse().unwrap().unwrap(), id);
+    }
+
+    #[test]
+    fn paper_l14_matrix_inverse() {
+        // The paper's third-order Vandermonde for loop L14:
+        // rows are [1, h, h^2, h^3] at h = 0..=3.
+        let mut a = Matrix::zero(4, 4);
+        for h in 0..4i128 {
+            for k in 0..4u32 {
+                *a.get_mut(h as usize, k as usize) = int(h.pow(k));
+            }
+        }
+        let inv = a.inverse().unwrap().expect("vandermonde is nonsingular");
+        // Multiplying inverse by the first four values of k from L14
+        // (4, 9, 17, 29) yields coefficients [4, 23/6, 1, 1/6].
+        let coeffs = inv
+            .mul_vec(&[int(4), int(9), int(17), int(29)])
+            .unwrap();
+        assert_eq!(coeffs[0], int(4));
+        assert_eq!(coeffs[1], Rational::new(23, 6).unwrap());
+        assert_eq!(coeffs[2], int(1));
+        assert_eq!(coeffs[3], Rational::new(1, 6).unwrap());
+    }
+
+    #[test]
+    fn singular_detected() {
+        let m = Matrix::from_rows(
+            2,
+            2,
+            vec![int(1), int(2), int(2), int(4)],
+        );
+        assert!(m.inverse().unwrap().is_none());
+    }
+
+    #[test]
+    fn non_square_has_no_inverse() {
+        let m = Matrix::zero(2, 3);
+        assert!(m.inverse().unwrap().is_none());
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let m = Matrix::from_rows(
+            3,
+            3,
+            vec![
+                int(2), int(1), int(0),
+                int(1), int(3), int(1),
+                int(0), int(1), int(2),
+            ],
+        );
+        let inv = m.inverse().unwrap().unwrap();
+        // Check A^{-1} * A = I column by column.
+        for c in 0..3 {
+            let col: Vec<Rational> = (0..3).map(|r| m.get(r, c)).collect();
+            let e = inv.mul_vec(&col).unwrap();
+            for (r, val) in e.iter().enumerate() {
+                let expected = if r == c { Rational::ONE } else { Rational::ZERO };
+                assert_eq!(*val, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn pivot_requires_row_swap() {
+        let m = Matrix::from_rows(
+            2,
+            2,
+            vec![int(0), int(1), int(1), int(0)],
+        );
+        let inv = m.inverse().unwrap().unwrap();
+        assert_eq!(inv, m); // the swap matrix is its own inverse
+    }
+
+    #[test]
+    fn mul_sym_vec_scales() {
+        use crate::sympoly::{SymId, SymPoly};
+        let m = Matrix::from_rows(2, 2, vec![int(2), int(0), int(0), int(3)]);
+        let x = SymPoly::symbol(SymId(0));
+        let y = SymPoly::symbol(SymId(1));
+        let out = m.mul_sym_vec(&[x.clone(), y.clone()]).unwrap();
+        assert_eq!(out[0], x.checked_scale(&int(2)).unwrap());
+        assert_eq!(out[1], y.checked_scale(&int(3)).unwrap());
+    }
+}

@@ -1,0 +1,505 @@
+//! Exact rational numbers over `i128` with checked arithmetic.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// Error produced by fallible [`Rational`] operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RationalError {
+    /// The denominator of a rational was zero, or a division by zero was
+    /// attempted.
+    DivisionByZero,
+    /// An intermediate `i128` computation overflowed.
+    Overflow,
+}
+
+impl fmt::Display for RationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RationalError::DivisionByZero => write!(f, "division by zero"),
+            RationalError::Overflow => write!(f, "arithmetic overflow in rational computation"),
+        }
+    }
+}
+
+impl std::error::Error for RationalError {}
+
+/// An exact rational number `num / den` with `den > 0` and
+/// `gcd(|num|, den) == 1`.
+///
+/// All arithmetic is exact. The operator impls (`+`, `-`, `*`, `/`) panic on
+/// overflow or division by zero; analysis code that must degrade gracefully
+/// should use the `checked_*` methods instead.
+///
+/// ```
+/// use biv_algebra::Rational;
+///
+/// let third = Rational::new(1, 3)?;
+/// let half = Rational::new(1, 2)?;
+/// assert_eq!((third + half).to_string(), "5/6");
+/// assert_eq!(Rational::new(6, 4)?, Rational::new(3, 2)?); // reduced
+/// # Ok::<(), biv_algebra::RationalError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rational {
+    /// The rational zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// The rational one.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+    /// The rational minus one.
+    pub const MINUS_ONE: Rational = Rational { num: -1, den: 1 };
+
+    /// Creates a rational `num / den`, reduced to lowest terms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RationalError::DivisionByZero`] when `den == 0` and
+    /// [`RationalError::Overflow`] when normalization overflows (only
+    /// possible for `i128::MIN` inputs).
+    pub fn new(num: i128, den: i128) -> Result<Rational, RationalError> {
+        if den == 0 {
+            return Err(RationalError::DivisionByZero);
+        }
+        if num == 0 {
+            return Ok(Rational::ZERO);
+        }
+        let g = gcd(num, den);
+        let (mut num, mut den) = (num / g, den / g);
+        if den < 0 {
+            num = num.checked_neg().ok_or(RationalError::Overflow)?;
+            den = den.checked_neg().ok_or(RationalError::Overflow)?;
+        }
+        Ok(Rational { num, den })
+    }
+
+    /// Creates a rational from an integer.
+    pub const fn from_integer(value: i128) -> Rational {
+        Rational { num: value, den: 1 }
+    }
+
+    /// The numerator (sign-carrying).
+    pub const fn numerator(&self) -> i128 {
+        self.num
+    }
+
+    /// The denominator (always positive).
+    pub const fn denominator(&self) -> i128 {
+        self.den
+    }
+
+    /// Returns `true` when this rational is zero.
+    pub const fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Returns `true` when this rational is an integer.
+    pub const fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// Returns the integer value when the rational is an integer.
+    pub const fn as_integer(&self) -> Option<i128> {
+        if self.den == 1 {
+            Some(self.num)
+        } else {
+            None
+        }
+    }
+
+    /// The sign of the rational: `-1`, `0`, or `1`.
+    pub const fn signum(&self) -> i32 {
+        if self.num > 0 {
+            1
+        } else if self.num < 0 {
+            -1
+        } else {
+            0
+        }
+    }
+
+    /// Checked addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RationalError::Overflow`] if an intermediate product
+    /// overflows `i128`.
+    pub fn checked_add(&self, rhs: &Rational) -> Result<Rational, RationalError> {
+        // a/b + c/d = (a*d + c*b) / (b*d); reduce via gcd(b, d) first to
+        // keep intermediates small.
+        let g = gcd(self.den, rhs.den);
+        let lcm = (self.den / g)
+            .checked_mul(rhs.den)
+            .ok_or(RationalError::Overflow)?;
+        let lhs_scaled = self
+            .num
+            .checked_mul(rhs.den / g)
+            .ok_or(RationalError::Overflow)?;
+        let rhs_scaled = rhs
+            .num
+            .checked_mul(self.den / g)
+            .ok_or(RationalError::Overflow)?;
+        let num = lhs_scaled
+            .checked_add(rhs_scaled)
+            .ok_or(RationalError::Overflow)?;
+        Rational::new(num, lcm)
+    }
+
+    /// Checked subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RationalError::Overflow`] on intermediate overflow.
+    pub fn checked_sub(&self, rhs: &Rational) -> Result<Rational, RationalError> {
+        let neg = rhs.checked_neg()?;
+        self.checked_add(&neg)
+    }
+
+    /// Checked multiplication.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RationalError::Overflow`] on intermediate overflow.
+    pub fn checked_mul(&self, rhs: &Rational) -> Result<Rational, RationalError> {
+        // Cross-reduce before multiplying.
+        let g1 = gcd(self.num, rhs.den);
+        let g2 = gcd(rhs.num, self.den);
+        let num = (self.num / g1)
+            .checked_mul(rhs.num / g2)
+            .ok_or(RationalError::Overflow)?;
+        let den = (self.den / g2)
+            .checked_mul(rhs.den / g1)
+            .ok_or(RationalError::Overflow)?;
+        Rational::new(num, den)
+    }
+
+    /// Checked division.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RationalError::DivisionByZero`] when `rhs` is zero, or
+    /// [`RationalError::Overflow`] on intermediate overflow.
+    pub fn checked_div(&self, rhs: &Rational) -> Result<Rational, RationalError> {
+        if rhs.is_zero() {
+            return Err(RationalError::DivisionByZero);
+        }
+        let inv = Rational::new(rhs.den, rhs.num)?;
+        self.checked_mul(&inv)
+    }
+
+    /// Checked negation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RationalError::Overflow`] when the numerator is `i128::MIN`.
+    pub fn checked_neg(&self) -> Result<Rational, RationalError> {
+        let num = self.num.checked_neg().ok_or(RationalError::Overflow)?;
+        Ok(Rational { num, den: self.den })
+    }
+
+    /// Checked integer exponentiation. Negative exponents invert the base.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RationalError::DivisionByZero`] for `0^negative`, or
+    /// [`RationalError::Overflow`] on intermediate overflow.
+    pub fn checked_pow(&self, exp: i32) -> Result<Rational, RationalError> {
+        if exp < 0 {
+            if self.is_zero() {
+                return Err(RationalError::DivisionByZero);
+            }
+            let inv = Rational::new(self.den, self.num)?;
+            return inv.checked_pow(-exp);
+        }
+        let mut result = Rational::ONE;
+        let mut base = *self;
+        let mut e = exp as u32;
+        while e > 0 {
+            if e & 1 == 1 {
+                result = result.checked_mul(&base)?;
+            }
+            e >>= 1;
+            if e > 0 {
+                base = base.checked_mul(&base)?;
+            }
+        }
+        Ok(result)
+    }
+
+    /// Absolute value.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the numerator is `i128::MIN`.
+    pub fn abs(&self) -> Rational {
+        Rational {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Floor of the rational as an integer (rounds toward negative
+    /// infinity).
+    pub fn floor(&self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// Ceiling of the rational as an integer (rounds toward positive
+    /// infinity).
+    pub fn ceil(&self) -> i128 {
+        -((-self.num).div_euclid(self.den))
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(value: i64) -> Self {
+        Rational::from_integer(i128::from(value))
+    }
+}
+
+impl From<i32> for Rational {
+    fn from(value: i32) -> Self {
+        Rational::from_integer(i128::from(value))
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b vs c/d with b, d > 0: compare a*d vs c*b. Use wide-safe
+        // comparison via checked ops; fall back to float only on overflow
+        // (practically unreachable for analysis-sized values).
+        match (
+            self.num.checked_mul(other.den),
+            other.num.checked_mul(self.den),
+        ) {
+            (Some(l), Some(r)) => l.cmp(&r),
+            _ => {
+                let l = self.num as f64 / self.den as f64;
+                let r = other.num as f64 / other.den as f64;
+                l.partial_cmp(&r).unwrap_or(Ordering::Equal)
+            }
+        }
+    }
+}
+
+macro_rules! panicking_op {
+    ($trait:ident, $method:ident, $checked:ident, $msg:expr) => {
+        impl $trait for Rational {
+            type Output = Rational;
+            fn $method(self, rhs: Rational) -> Rational {
+                self.$checked(&rhs).expect($msg)
+            }
+        }
+        impl $trait<&Rational> for Rational {
+            type Output = Rational;
+            fn $method(self, rhs: &Rational) -> Rational {
+                self.$checked(rhs).expect($msg)
+            }
+        }
+    };
+}
+
+panicking_op!(Add, add, checked_add, "rational addition overflowed");
+panicking_op!(Sub, sub, checked_sub, "rational subtraction overflowed");
+panicking_op!(Mul, mul, checked_mul, "rational multiplication overflowed");
+panicking_op!(Div, div, checked_div, "rational division failed");
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        self.checked_neg().expect("rational negation overflowed")
+    }
+}
+
+impl AddAssign for Rational {
+    fn add_assign(&mut self, rhs: Rational) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Rational {
+    fn sub_assign(&mut self, rhs: Rational) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Rational {
+    fn mul_assign(&mut self, rhs: Rational) {
+        *self = *self * rhs;
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rational({})", self)
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+/// Error returned when parsing a [`Rational`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRationalError {
+    message: String,
+}
+
+impl fmt::Display for ParseRationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rational literal: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseRationalError {}
+
+impl FromStr for Rational {
+    type Err = ParseRationalError;
+
+    /// Parses `"3"`, `"-3"`, or `"3/4"` forms.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mk_err = |m: &str| ParseRationalError {
+            message: m.to_string(),
+        };
+        match s.split_once('/') {
+            None => {
+                let num: i128 = s.trim().parse().map_err(|_| mk_err(s))?;
+                Ok(Rational::from_integer(num))
+            }
+            Some((n, d)) => {
+                let num: i128 = n.trim().parse().map_err(|_| mk_err(s))?;
+                let den: i128 = d.trim().parse().map_err(|_| mk_err(s))?;
+                Rational::new(num, den).map_err(|e| mk_err(&e.to_string()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_reduces() {
+        let r = Rational::new(6, 4).unwrap();
+        assert_eq!(r.numerator(), 3);
+        assert_eq!(r.denominator(), 2);
+    }
+
+    #[test]
+    fn negative_denominator_normalizes() {
+        let r = Rational::new(1, -2).unwrap();
+        assert_eq!(r.numerator(), -1);
+        assert_eq!(r.denominator(), 2);
+    }
+
+    #[test]
+    fn zero_denominator_is_error() {
+        assert_eq!(Rational::new(1, 0), Err(RationalError::DivisionByZero));
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let half = Rational::new(1, 2).unwrap();
+        let third = Rational::new(1, 3).unwrap();
+        assert_eq!(half + third, Rational::new(5, 6).unwrap());
+        assert_eq!(half - third, Rational::new(1, 6).unwrap());
+        assert_eq!(half * third, Rational::new(1, 6).unwrap());
+        assert_eq!(half / third, Rational::new(3, 2).unwrap());
+        assert_eq!(-half, Rational::new(-1, 2).unwrap());
+    }
+
+    #[test]
+    fn pow_positive_negative() {
+        let two = Rational::from_integer(2);
+        assert_eq!(two.checked_pow(10).unwrap(), Rational::from_integer(1024));
+        assert_eq!(
+            two.checked_pow(-2).unwrap(),
+            Rational::new(1, 4).unwrap()
+        );
+        assert_eq!(two.checked_pow(0).unwrap(), Rational::ONE);
+        assert_eq!(
+            Rational::ZERO.checked_pow(-1),
+            Err(RationalError::DivisionByZero)
+        );
+    }
+
+    #[test]
+    fn ordering() {
+        let a = Rational::new(1, 3).unwrap();
+        let b = Rational::new(1, 2).unwrap();
+        assert!(a < b);
+        assert!(Rational::from_integer(-1) < Rational::ZERO);
+    }
+
+    #[test]
+    fn floor_ceil() {
+        let r = Rational::new(7, 2).unwrap();
+        assert_eq!(r.floor(), 3);
+        assert_eq!(r.ceil(), 4);
+        let n = Rational::new(-7, 2).unwrap();
+        assert_eq!(n.floor(), -4);
+        assert_eq!(n.ceil(), -3);
+        let i = Rational::from_integer(5);
+        assert_eq!(i.floor(), 5);
+        assert_eq!(i.ceil(), 5);
+    }
+
+    #[test]
+    fn overflow_detected() {
+        let big = Rational::from_integer(i128::MAX);
+        assert_eq!(big.checked_mul(&big), Err(RationalError::Overflow));
+        assert_eq!(big.checked_add(&Rational::ONE), Err(RationalError::Overflow));
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let r: Rational = "3/4".parse().unwrap();
+        assert_eq!(r, Rational::new(3, 4).unwrap());
+        let r: Rational = "-7".parse().unwrap();
+        assert_eq!(r, Rational::from_integer(-7));
+        assert!("1/0".parse::<Rational>().is_err());
+        assert!("abc".parse::<Rational>().is_err());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Rational::new(3, 4).unwrap().to_string(), "3/4");
+        assert_eq!(Rational::from_integer(-2).to_string(), "-2");
+    }
+}

@@ -1,0 +1,531 @@
+//! Multivariate symbolic polynomials with rational coefficients.
+//!
+//! The classifier carries initial values and steps symbolically: in
+//! Figure 1 of the paper the induction variable `i3` is `(L7, n1+c1,
+//! c1+k1)` — the init and step are *polynomials over loop-entry symbols*.
+//! [`SymPoly`] is that representation.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+use crate::rational::{Rational, RationalError};
+
+/// An opaque symbol identifier. Client crates map these to SSA values (or
+/// any other namespace) — this crate only needs equality and ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SymId(pub u32);
+
+impl fmt::Display for SymId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A monomial: a sorted product of symbols raised to positive powers.
+///
+/// The empty monomial is the constant term.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Monomial {
+    // Sorted by symbol, powers > 0.
+    factors: Vec<(SymId, u32)>,
+}
+
+impl Monomial {
+    /// The constant (empty) monomial.
+    pub fn one() -> Monomial {
+        Monomial::default()
+    }
+
+    /// A single symbol to the first power.
+    pub fn symbol(sym: SymId) -> Monomial {
+        Monomial {
+            factors: vec![(sym, 1)],
+        }
+    }
+
+    /// Whether this is the constant monomial.
+    pub fn is_one(&self) -> bool {
+        self.factors.is_empty()
+    }
+
+    /// Total degree (sum of powers).
+    pub fn degree(&self) -> u32 {
+        self.factors.iter().map(|&(_, p)| p).sum()
+    }
+
+    /// The `(symbol, power)` factors, sorted by symbol.
+    pub fn factors(&self) -> &[(SymId, u32)] {
+        &self.factors
+    }
+
+    /// Product of two monomials.
+    pub fn mul(&self, other: &Monomial) -> Monomial {
+        let mut out: Vec<(SymId, u32)> = Vec::with_capacity(self.factors.len() + other.factors.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.factors.len() && j < other.factors.len() {
+            let (sa, pa) = self.factors[i];
+            let (sb, pb) = other.factors[j];
+            match sa.cmp(&sb) {
+                std::cmp::Ordering::Less => {
+                    out.push((sa, pa));
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push((sb, pb));
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push((sa, pa + pb));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.factors[i..]);
+        out.extend_from_slice(&other.factors[j..]);
+        Monomial { factors: out }
+    }
+}
+
+/// A multivariate polynomial over [`SymId`] symbols with [`Rational`]
+/// coefficients.
+///
+/// Internally a sorted map from [`Monomial`] to nonzero coefficient, so
+/// equality and display are canonical.
+///
+/// ```
+/// use biv_algebra::{Rational, SymId, SymPoly};
+///
+/// // n + 2, evaluated at n = 40.
+/// let n = SymPoly::symbol(SymId(0));
+/// let p = n.checked_add(&SymPoly::from_integer(2))?;
+/// let v = p.eval(|_| Some(Rational::from_integer(40))).unwrap();
+/// assert_eq!(v, Rational::from_integer(42));
+/// # Ok::<(), biv_algebra::RationalError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SymPoly {
+    terms: BTreeMap<Monomial, Rational>,
+}
+
+impl SymPoly {
+    /// The zero polynomial.
+    pub fn zero() -> SymPoly {
+        SymPoly::default()
+    }
+
+    /// A constant polynomial.
+    pub fn constant(value: Rational) -> SymPoly {
+        let mut terms = BTreeMap::new();
+        if !value.is_zero() {
+            terms.insert(Monomial::one(), value);
+        }
+        SymPoly { terms }
+    }
+
+    /// A constant polynomial from an integer.
+    pub fn from_integer(value: i128) -> SymPoly {
+        SymPoly::constant(Rational::from_integer(value))
+    }
+
+    /// The polynomial consisting of a single symbol.
+    pub fn symbol(sym: SymId) -> SymPoly {
+        let mut terms = BTreeMap::new();
+        terms.insert(Monomial::symbol(sym), Rational::ONE);
+        SymPoly { terms }
+    }
+
+    /// Whether this polynomial is identically zero.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Whether this polynomial is a constant (possibly zero).
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty() || (self.terms.len() == 1 && self.terms.keys().next().unwrap().is_one())
+    }
+
+    /// Returns the constant value when [`SymPoly::is_constant`] holds.
+    pub fn constant_value(&self) -> Option<Rational> {
+        if self.terms.is_empty() {
+            Some(Rational::ZERO)
+        } else if self.terms.len() == 1 {
+            let (m, c) = self.terms.iter().next().unwrap();
+            if m.is_one() {
+                Some(*c)
+            } else {
+                None
+            }
+        } else {
+            None
+        }
+    }
+
+    /// The constant term (zero when absent).
+    pub fn constant_term(&self) -> Rational {
+        self.terms
+            .get(&Monomial::one())
+            .copied()
+            .unwrap_or(Rational::ZERO)
+    }
+
+    /// Total degree of the polynomial; zero for constants (including zero).
+    pub fn degree(&self) -> u32 {
+        self.terms.keys().map(Monomial::degree).max().unwrap_or(0)
+    }
+
+    /// Number of terms.
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Iterates over `(monomial, coefficient)` pairs in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Monomial, &Rational)> {
+        self.terms.iter()
+    }
+
+    /// All symbols mentioned by the polynomial, deduplicated and sorted.
+    pub fn symbols(&self) -> Vec<SymId> {
+        let mut syms: Vec<SymId> = self
+            .terms
+            .keys()
+            .flat_map(|m| m.factors().iter().map(|&(s, _)| s))
+            .collect();
+        syms.sort_unstable();
+        syms.dedup();
+        syms
+    }
+
+    /// Checked addition.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RationalError::Overflow`] from coefficient arithmetic.
+    pub fn checked_add(&self, other: &SymPoly) -> Result<SymPoly, RationalError> {
+        let mut terms = self.terms.clone();
+        for (m, c) in &other.terms {
+            match terms.get_mut(m) {
+                Some(existing) => {
+                    *existing = existing.checked_add(c)?;
+                    if existing.is_zero() {
+                        terms.remove(m);
+                    }
+                }
+                None => {
+                    terms.insert(m.clone(), *c);
+                }
+            }
+        }
+        Ok(SymPoly { terms })
+    }
+
+    /// Checked subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RationalError::Overflow`].
+    pub fn checked_sub(&self, other: &SymPoly) -> Result<SymPoly, RationalError> {
+        self.checked_add(&other.checked_neg()?)
+    }
+
+    /// Checked negation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RationalError::Overflow`].
+    pub fn checked_neg(&self) -> Result<SymPoly, RationalError> {
+        let mut terms = BTreeMap::new();
+        for (m, c) in &self.terms {
+            terms.insert(m.clone(), c.checked_neg()?);
+        }
+        Ok(SymPoly { terms })
+    }
+
+    /// Checked multiplication.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RationalError::Overflow`].
+    pub fn checked_mul(&self, other: &SymPoly) -> Result<SymPoly, RationalError> {
+        let mut terms: BTreeMap<Monomial, Rational> = BTreeMap::new();
+        for (ma, ca) in &self.terms {
+            for (mb, cb) in &other.terms {
+                let m = ma.mul(mb);
+                let c = ca.checked_mul(cb)?;
+                match terms.get_mut(&m) {
+                    Some(existing) => {
+                        *existing = existing.checked_add(&c)?;
+                        if existing.is_zero() {
+                            terms.remove(&m);
+                        }
+                    }
+                    None => {
+                        if !c.is_zero() {
+                            terms.insert(m, c);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(SymPoly { terms })
+    }
+
+    /// Checked scaling by a rational.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RationalError::Overflow`].
+    pub fn checked_scale(&self, factor: &Rational) -> Result<SymPoly, RationalError> {
+        if factor.is_zero() {
+            return Ok(SymPoly::zero());
+        }
+        let mut terms = BTreeMap::new();
+        for (m, c) in &self.terms {
+            terms.insert(m.clone(), c.checked_mul(factor)?);
+        }
+        Ok(SymPoly { terms })
+    }
+
+    /// Evaluates the polynomial with a (total) assignment of symbols to
+    /// rationals.
+    ///
+    /// # Errors
+    ///
+    /// Propagates arithmetic errors; missing symbols yield an error via
+    /// the `lookup` closure returning `None`, reported as overflow-free
+    /// `Err(RationalError::DivisionByZero)`? No — missing symbols are the
+    /// caller's bug, so this returns `None` instead.
+    pub fn eval<F>(&self, lookup: F) -> Option<Rational>
+    where
+        F: Fn(SymId) -> Option<Rational>,
+    {
+        let mut total = Rational::ZERO;
+        for (m, c) in &self.terms {
+            let mut term = *c;
+            for &(sym, pow) in m.factors() {
+                let v = lookup(sym)?;
+                let p = v.checked_pow(pow as i32).ok()?;
+                term = term.checked_mul(&p).ok()?;
+            }
+            total = total.checked_add(&term).ok()?;
+        }
+        Some(total)
+    }
+
+    /// Substitutes each symbol with a polynomial.
+    ///
+    /// Symbols for which `lookup` returns `None` are left in place.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RationalError::Overflow`].
+    pub fn substitute<F>(&self, lookup: F) -> Result<SymPoly, RationalError>
+    where
+        F: Fn(SymId) -> Option<SymPoly>,
+    {
+        let mut total = SymPoly::zero();
+        for (m, c) in &self.terms {
+            let mut term = SymPoly::constant(*c);
+            for &(sym, pow) in m.factors() {
+                let replacement = lookup(sym).unwrap_or_else(|| SymPoly::symbol(sym));
+                for _ in 0..pow {
+                    term = term.checked_mul(&replacement)?;
+                }
+            }
+            total = total.checked_add(&term)?;
+        }
+        Ok(total)
+    }
+
+    /// Renders with a custom symbol naming function.
+    pub fn display_with<F>(&self, name: F) -> String
+    where
+        F: Fn(SymId) -> String,
+    {
+        if self.terms.is_empty() {
+            return "0".to_string();
+        }
+        let mut out = String::new();
+        for (idx, (m, c)) in self.terms.iter().enumerate() {
+            let coeff_abs = c.abs();
+            let negative = c.signum() < 0;
+            if idx == 0 {
+                if negative {
+                    out.push('-');
+                }
+            } else if negative {
+                out.push_str(" - ");
+            } else {
+                out.push_str(" + ");
+            }
+            let show_coeff = m.is_one() || coeff_abs != Rational::ONE;
+            if show_coeff {
+                out.push_str(&coeff_abs.to_string());
+            }
+            for (fidx, &(sym, pow)) in m.factors().iter().enumerate() {
+                if show_coeff || fidx > 0 {
+                    out.push('*');
+                }
+                out.push_str(&name(sym));
+                if pow > 1 {
+                    out.push('^');
+                    out.push_str(&pow.to_string());
+                }
+            }
+        }
+        out
+    }
+}
+
+impl From<Rational> for SymPoly {
+    fn from(value: Rational) -> Self {
+        SymPoly::constant(value)
+    }
+}
+
+impl From<i64> for SymPoly {
+    fn from(value: i64) -> Self {
+        SymPoly::from_integer(i128::from(value))
+    }
+}
+
+impl Add for &SymPoly {
+    type Output = SymPoly;
+    fn add(self, rhs: &SymPoly) -> SymPoly {
+        self.checked_add(rhs).expect("symbolic addition overflowed")
+    }
+}
+
+impl Sub for &SymPoly {
+    type Output = SymPoly;
+    fn sub(self, rhs: &SymPoly) -> SymPoly {
+        self.checked_sub(rhs).expect("symbolic subtraction overflowed")
+    }
+}
+
+impl Mul for &SymPoly {
+    type Output = SymPoly;
+    fn mul(self, rhs: &SymPoly) -> SymPoly {
+        self.checked_mul(rhs).expect("symbolic multiplication overflowed")
+    }
+}
+
+impl Neg for &SymPoly {
+    type Output = SymPoly;
+    fn neg(self) -> SymPoly {
+        self.checked_neg().expect("symbolic negation overflowed")
+    }
+}
+
+impl fmt::Display for SymPoly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.display_with(|s| s.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(n: u32) -> SymPoly {
+        SymPoly::symbol(SymId(n))
+    }
+
+    #[test]
+    fn constants() {
+        let c = SymPoly::from_integer(5);
+        assert!(c.is_constant());
+        assert_eq!(c.constant_value(), Some(Rational::from_integer(5)));
+        assert!(SymPoly::zero().is_zero());
+        assert_eq!(SymPoly::zero().constant_value(), Some(Rational::ZERO));
+    }
+
+    #[test]
+    fn add_cancels() {
+        let a = sym(1);
+        let b = a.checked_neg().unwrap();
+        assert!(a.checked_add(&b).unwrap().is_zero());
+    }
+
+    #[test]
+    fn mul_expands() {
+        // (x + 1)(x - 1) = x^2 - 1
+        let x = sym(0);
+        let one = SymPoly::from_integer(1);
+        let lhs = x.checked_add(&one).unwrap();
+        let rhs = x.checked_sub(&one).unwrap();
+        let prod = lhs.checked_mul(&rhs).unwrap();
+        let x2 = x.checked_mul(&x).unwrap();
+        let expected = x2.checked_sub(&one).unwrap();
+        assert_eq!(prod, expected);
+        assert_eq!(prod.degree(), 2);
+    }
+
+    #[test]
+    fn eval_total() {
+        // 2*x*y + 3 at x=2, y=5 => 23
+        let x = sym(0);
+        let y = sym(1);
+        let p = x
+            .checked_mul(&y)
+            .unwrap()
+            .checked_scale(&Rational::from_integer(2))
+            .unwrap()
+            .checked_add(&SymPoly::from_integer(3))
+            .unwrap();
+        let v = p
+            .eval(|s| {
+                Some(match s.0 {
+                    0 => Rational::from_integer(2),
+                    1 => Rational::from_integer(5),
+                    _ => return None,
+                })
+            })
+            .unwrap();
+        assert_eq!(v, Rational::from_integer(23));
+    }
+
+    #[test]
+    fn eval_missing_symbol_is_none() {
+        let p = sym(7);
+        assert!(p.eval(|_| None).is_none());
+    }
+
+    #[test]
+    fn substitute_symbol() {
+        // p = x^2; substitute x -> y + 1 gives y^2 + 2y + 1
+        let x = sym(0);
+        let p = x.checked_mul(&x).unwrap();
+        let y1 = sym(1).checked_add(&SymPoly::from_integer(1)).unwrap();
+        let subst = p
+            .substitute(|s| if s.0 == 0 { Some(y1.clone()) } else { None })
+            .unwrap();
+        let y = sym(1);
+        let expected = y
+            .checked_mul(&y)
+            .unwrap()
+            .checked_add(&y.checked_scale(&Rational::from_integer(2)).unwrap())
+            .unwrap()
+            .checked_add(&SymPoly::from_integer(1))
+            .unwrap();
+        assert_eq!(subst, expected);
+    }
+
+    #[test]
+    fn display_readable() {
+        let x = sym(0);
+        let p = x
+            .checked_scale(&Rational::new(1, 2).unwrap())
+            .unwrap()
+            .checked_add(&SymPoly::from_integer(-3))
+            .unwrap();
+        assert_eq!(p.to_string(), "-3 + 1/2*s0");
+    }
+
+    #[test]
+    fn symbols_listed() {
+        let p = sym(3).checked_mul(&sym(1)).unwrap();
+        assert_eq!(p.symbols(), vec![SymId(1), SymId(3)]);
+    }
+}

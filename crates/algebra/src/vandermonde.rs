@@ -1,0 +1,339 @@
+//! Closed-form coefficient fitting by exact basis-matrix inversion.
+//!
+//! This is the paper's §4.3 technique: the compiler knows the *order* of a
+//! polynomial (or geometric) induction variable from the structure of its
+//! SCR, so the number of unknown coefficients is fixed. Sampling the
+//! recurrence at `h = 0, 1, …` gives a linear system whose matrix has
+//! integer entries; inverting it exactly recovers the (always rational)
+//! coefficients.
+
+use crate::matrix::Matrix;
+use crate::rational::{Rational, RationalError};
+use crate::sympoly::SymPoly;
+
+/// Fits a polynomial `c0 + c1·h + … + cd·h^d` of degree `d =
+/// samples.len() - 1` through the symbolic sample values at `h = 0..=d`.
+///
+/// Returns the coefficients `[c0, c1, …, cd]`, or `None` when the basis
+/// matrix is singular (impossible for distinct sample points, so only on
+/// arithmetic failure).
+///
+/// # Errors
+///
+/// Propagates [`RationalError::Overflow`] from exact arithmetic.
+///
+/// # Panics
+///
+/// Panics when `samples` is empty.
+pub fn fit_polynomial(samples: &[SymPoly]) -> Option<Vec<SymPoly>> {
+    fit_polynomial_checked(samples).ok().flatten()
+}
+
+/// Like [`fit_polynomial`] but surfaces arithmetic errors.
+///
+/// # Errors
+///
+/// Returns [`RationalError::Overflow`] when intermediate arithmetic
+/// overflows `i128`.
+///
+/// # Panics
+///
+/// Panics when `samples` is empty.
+pub fn fit_polynomial_checked(
+    samples: &[SymPoly],
+) -> Result<Option<Vec<SymPoly>>, RationalError> {
+    assert!(!samples.is_empty(), "need at least one sample");
+    let n = samples.len();
+    let mut basis = Matrix::zero(n, n);
+    for h in 0..n {
+        for k in 0..n {
+            *basis.get_mut(h, k) = Rational::from_integer((h as i128).pow(k as u32));
+        }
+    }
+    let inv = match basis.inverse()? {
+        Some(inv) => inv,
+        None => return Ok(None),
+    };
+    Ok(Some(inv.mul_sym_vec(samples)?))
+}
+
+/// Coefficients of a geometric closed form: a polynomial part plus one
+/// exponential term `g^h`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeometricFit {
+    /// Polynomial coefficients `[c0, c1, …, cm]` of `c_k · h^k`.
+    pub poly: Vec<SymPoly>,
+    /// Coefficient of the `base^h` term.
+    pub geo: SymPoly,
+}
+
+/// Fits `c0 + c1·h + … + cm·h^m + g·base^h` through
+/// `samples.len() == m + 2` symbolic values at `h = 0..=m+1`.
+///
+/// This is the paper's geometric-induction-variable matrix: rows are
+/// `[1, h, …, h^m, base^h]`. Returns `None` when the basis matrix is
+/// singular — which happens exactly when `base^h` is linearly dependent on
+/// the polynomial basis at the sample points (e.g. `base == 1`); callers
+/// should fold that case into a plain polynomial fit.
+///
+/// # Errors
+///
+/// Propagates [`RationalError::Overflow`].
+///
+/// # Panics
+///
+/// Panics when `samples.len() < 2`.
+pub fn fit_geometric(
+    samples: &[SymPoly],
+    base: Rational,
+) -> Result<Option<GeometricFit>, RationalError> {
+    assert!(samples.len() >= 2, "need at least two samples");
+    let n = samples.len();
+    let poly_terms = n - 1;
+    let mut basis = Matrix::zero(n, n);
+    for h in 0..n {
+        for k in 0..poly_terms {
+            *basis.get_mut(h, k) = Rational::from_integer((h as i128).pow(k as u32));
+        }
+        *basis.get_mut(h, poly_terms) = base.checked_pow(h as i32)?;
+    }
+    let inv = match basis.inverse()? {
+        Some(inv) => inv,
+        None => return Ok(None),
+    };
+    let mut coeffs = inv.mul_sym_vec(samples)?;
+    let geo = coeffs.pop().expect("coeff vector is nonempty");
+    Ok(Some(GeometricFit { poly: coeffs, geo }))
+}
+
+/// Coefficients of a mixed closed form: a polynomial part plus one
+/// exponential term per requested base.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MixedFit {
+    /// Polynomial coefficients `[c0, …, cd]` of `c_k · h^k`.
+    pub poly: Vec<SymPoly>,
+    /// One coefficient per base, in the order the bases were passed.
+    pub geo: Vec<SymPoly>,
+}
+
+/// Fits `Σ c_k·h^k + Σ g_j·base_j^h` through symbolic samples at
+/// `h = 0..samples.len()-1`, with polynomial degree `poly_degree` and the
+/// given exponential bases.
+///
+/// `samples.len()` must equal `poly_degree + 1 + bases.len()`. Returns
+/// `None` when the basis matrix is singular — e.g. when a base is `1`
+/// (linearly dependent on the constant) or bases repeat; callers should
+/// normalize those away first.
+///
+/// # Errors
+///
+/// Propagates [`RationalError::Overflow`].
+///
+/// # Panics
+///
+/// Panics when the sample count does not match the basis size.
+pub fn fit_mixed(
+    samples: &[SymPoly],
+    poly_degree: usize,
+    bases: &[Rational],
+) -> Result<Option<MixedFit>, RationalError> {
+    let n = poly_degree + 1 + bases.len();
+    assert_eq!(
+        samples.len(),
+        n,
+        "sample count must equal unknown count (degree+1+bases)"
+    );
+    let mut basis = Matrix::zero(n, n);
+    for h in 0..n {
+        for k in 0..=poly_degree {
+            *basis.get_mut(h, k) = Rational::from_integer((h as i128).pow(k as u32));
+        }
+        for (j, base) in bases.iter().enumerate() {
+            *basis.get_mut(h, poly_degree + 1 + j) = base.checked_pow(h as i32)?;
+        }
+    }
+    let inv = match basis.inverse()? {
+        Some(inv) => inv,
+        None => return Ok(None),
+    };
+    let mut coeffs = inv.mul_sym_vec(samples)?;
+    let geo = coeffs.split_off(poly_degree + 1);
+    Ok(Some(MixedFit { poly: coeffs, geo }))
+}
+
+/// Evaluates a fitted polynomial at iteration `h`.
+///
+/// # Errors
+///
+/// Propagates [`RationalError::Overflow`].
+pub fn eval_polynomial(coeffs: &[SymPoly], h: i128) -> Result<SymPoly, RationalError> {
+    let mut acc = SymPoly::zero();
+    let mut power = Rational::ONE;
+    let h = Rational::from_integer(h);
+    for c in coeffs {
+        acc = acc.checked_add(&c.checked_scale(&power)?)?;
+        power = power.checked_mul(&h)?;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(v: i128) -> SymPoly {
+        SymPoly::from_integer(v)
+    }
+
+    #[test]
+    fn fit_linear() {
+        // 3, 5, -> 3 + 2h
+        let coeffs = fit_polynomial(&[c(3), c(5)]).unwrap();
+        assert_eq!(coeffs[0].constant_value().unwrap(), Rational::from_integer(3));
+        assert_eq!(coeffs[1].constant_value().unwrap(), Rational::from_integer(2));
+    }
+
+    #[test]
+    fn fit_quadratic_paper_j() {
+        // L14's j: 2, 4, 7 -> (h^2 + 3h + 4)/2
+        let coeffs = fit_polynomial(&[c(2), c(4), c(7)]).unwrap();
+        assert_eq!(coeffs[0].constant_value().unwrap(), Rational::from_integer(2));
+        assert_eq!(
+            coeffs[1].constant_value().unwrap(),
+            Rational::new(3, 2).unwrap()
+        );
+        assert_eq!(
+            coeffs[2].constant_value().unwrap(),
+            Rational::new(1, 2).unwrap()
+        );
+    }
+
+    #[test]
+    fn fit_cubic_paper_k() {
+        // L14's k: 4, 9, 17, 29 -> (h^3 + 6h^2 + 23h + 24)/6
+        let coeffs = fit_polynomial(&[c(4), c(9), c(17), c(29)]).unwrap();
+        let consts: Vec<Rational> = coeffs
+            .iter()
+            .map(|p| p.constant_value().unwrap())
+            .collect();
+        assert_eq!(consts[0], Rational::from_integer(4));
+        assert_eq!(consts[1], Rational::new(23, 6).unwrap());
+        assert_eq!(consts[2], Rational::from_integer(1));
+        assert_eq!(consts[3], Rational::new(1, 6).unwrap());
+    }
+
+    #[test]
+    fn fit_geometric_paper_l() {
+        // L14's l: 3, 7, 15, ... = 2^(h+2) - 1 = 4*2^h - 1
+        let fit = fit_geometric(&[c(3), c(7), c(15)], Rational::from_integer(2))
+            .unwrap()
+            .unwrap();
+        assert_eq!(fit.poly.len(), 2);
+        assert_eq!(
+            fit.poly[0].constant_value().unwrap(),
+            Rational::from_integer(-1)
+        );
+        assert!(fit.poly[1].is_zero());
+        assert_eq!(fit.geo.constant_value().unwrap(), Rational::from_integer(4));
+    }
+
+    #[test]
+    fn fit_geometric_paper_m() {
+        // m = 3*m + 2*i + 1 with m0=0, i = h+1 at the point of use:
+        // values m: 0, 3, 14, 45, ... closed form 3/2*3^h - h - 3/2
+        // (the paper's printed form). Verify by recurrence: with i starting
+        // at 1: m1 = 3*0 + 2*1 + 1 = 3, m2 = 9 + 4 + 1 = 14, m3 = 42+6+1 = 49?
+        // Careful: i at iteration h (0-based) is h+1, so
+        // m_{h+1} = 3 m_h + 2(h+1) + 1. m0=0, m1=3, m2=3*3+5=14, m3=3*14+7=49.
+        let fit = fit_geometric(
+            &[c(0), c(3), c(14), c(49)],
+            Rational::from_integer(3),
+        )
+        .unwrap()
+        .unwrap();
+        // Fit: c0 + c1 h + g 3^h. At h=0: c0+g=0; h=1: c0+c1+3g=3;
+        // h=2: c0+2c1+9g=14; consistent with g=5/2? Solve: from rows:
+        // (1) c0 + g = 0, (2) c0 + c1 + 3g = 3, (3) c0 + 2c1 + 9g = 14.
+        // (2)-(1): c1 + 2g = 3. (3)-(2): c1 + 6g = 11 => 4g = 8 => g = 2,
+        // c1 = -1, c0 = -2. Check h=3: -2 -3 + 2*27 = 49. Correct!
+        assert_eq!(fit.geo.constant_value().unwrap(), Rational::from_integer(2));
+        assert_eq!(
+            fit.poly[0].constant_value().unwrap(),
+            Rational::from_integer(-2)
+        );
+        assert_eq!(
+            fit.poly[1].constant_value().unwrap(),
+            Rational::from_integer(-1)
+        );
+    }
+
+    #[test]
+    fn geometric_base_one_is_singular() {
+        let out = fit_geometric(&[c(1), c(2), c(3)], Rational::ONE).unwrap();
+        assert!(out.is_none());
+    }
+
+    #[test]
+    fn symbolic_initial_value() {
+        // values n, n+2, n+4 -> n + 2h with symbolic n
+        use crate::sympoly::SymId;
+        let n = SymPoly::symbol(SymId(9));
+        let two = c(2);
+        let s1 = n.checked_add(&two).unwrap();
+        let s2 = s1.checked_add(&two).unwrap();
+        let coeffs = fit_polynomial(&[n.clone(), s1, s2]).unwrap();
+        assert_eq!(coeffs[0], n);
+        assert_eq!(coeffs[1].constant_value().unwrap(), Rational::from_integer(2));
+        assert!(coeffs[2].is_zero());
+    }
+
+    #[test]
+    fn eval_round_trips() {
+        let coeffs = fit_polynomial(&[c(4), c(9), c(17), c(29)]).unwrap();
+        // Closed form (h^3 + 6h^2 + 23h + 24)/6 at h=4: 276/6 = 46.
+        let v = eval_polynomial(&coeffs, 4).unwrap();
+        assert_eq!(v.constant_value().unwrap(), Rational::from_integer(46));
+    }
+}
+
+#[cfg(test)]
+mod mixed_tests {
+    use super::*;
+
+    fn c(v: i128) -> SymPoly {
+        SymPoly::from_integer(v)
+    }
+
+    #[test]
+    fn mixed_fit_poly_plus_two_bases() {
+        // v(h) = 1 + 2h + 3·2^h - 1·3^h
+        let f = |h: u32| 1 + 2 * (h as i128) + 3 * 2i128.pow(h) - 3i128.pow(h);
+        let samples: Vec<SymPoly> = (0..4).map(|h| c(f(h))).collect();
+        let fit = fit_mixed(
+            &samples,
+            1,
+            &[Rational::from_integer(2), Rational::from_integer(3)],
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(fit.poly[0].constant_value().unwrap(), Rational::from_integer(1));
+        assert_eq!(fit.poly[1].constant_value().unwrap(), Rational::from_integer(2));
+        assert_eq!(fit.geo[0].constant_value().unwrap(), Rational::from_integer(3));
+        assert_eq!(fit.geo[1].constant_value().unwrap(), Rational::from_integer(-1));
+    }
+
+    #[test]
+    fn mixed_fit_base_one_singular() {
+        let samples: Vec<SymPoly> = (0..3).map(|h| c(h + 1)).collect();
+        assert!(fit_mixed(&samples, 1, &[Rational::ONE]).unwrap().is_none());
+    }
+
+    #[test]
+    fn mixed_fit_no_bases_equals_polynomial() {
+        let samples: Vec<SymPoly> = vec![c(4), c(9), c(17), c(29)];
+        let fit = fit_mixed(&samples, 3, &[]).unwrap().unwrap();
+        let direct = fit_polynomial(&samples).unwrap();
+        assert_eq!(fit.poly, direct);
+        assert!(fit.geo.is_empty());
+    }
+}

@@ -1,0 +1,105 @@
+//! A1/A2: ablations called out in DESIGN.md.
+//!
+//! - A1: the incremental cost of each classification extension on the
+//!   mixed workload — the generality beyond linear IVs is nearly free,
+//!   which is the engineering argument for the unified algorithm;
+//! - A2: pruned vs minimal SSA construction.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use biv_core::{analyze_with, AnalysisConfig};
+use biv_ssa::{BuildConfig, SsaFunction};
+use biv_workload::{generate, WorkloadSpec};
+
+fn bench_config_ablation(c: &mut Criterion) {
+    let w = generate(&WorkloadSpec {
+        loops: 8,
+        ..WorkloadSpec::default()
+    });
+    let configs: Vec<(&str, AnalysisConfig)> = vec![
+        ("full", AnalysisConfig::full()),
+        ("linear_only", AnalysisConfig::linear_only()),
+        (
+            "no_nonlinear",
+            AnalysisConfig {
+                nonlinear: false,
+                ..AnalysisConfig::full()
+            },
+        ),
+        (
+            "no_periodic",
+            AnalysisConfig {
+                periodic: false,
+                ..AnalysisConfig::full()
+            },
+        ),
+        (
+            "no_monotonic",
+            AnalysisConfig {
+                monotonic: false,
+                ..AnalysisConfig::full()
+            },
+        ),
+        (
+            "no_wraparound",
+            AnalysisConfig {
+                wraparound: false,
+                ..AnalysisConfig::full()
+            },
+        ),
+        (
+            "no_exit_values",
+            AnalysisConfig {
+                nested_exit_values: false,
+                ..AnalysisConfig::full()
+            },
+        ),
+    ];
+    let mut group = c.benchmark_group("ablation_config");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(400));
+    group.sample_size(10);
+    for (name, config) in configs {
+        group.bench_function(name, |b| b.iter(|| analyze_with(&w.func, config)));
+    }
+    group.finish();
+}
+
+fn bench_ssa_ablation(c: &mut Criterion) {
+    let w = generate(&WorkloadSpec {
+        loops: 8,
+        diamonds: 4,
+        ..WorkloadSpec::default()
+    });
+    let mut group = c.benchmark_group("ablation_ssa");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(400));
+    group.sample_size(10);
+    group.bench_function("pruned", |b| {
+        b.iter(|| {
+            SsaFunction::build_with(
+                &w.func,
+                BuildConfig {
+                    pruned: true,
+                    simplify_loops: true,
+                },
+            )
+        })
+    });
+    group.bench_function("minimal", |b| {
+        b.iter(|| {
+            SsaFunction::build_with(
+                &w.func,
+                BuildConfig {
+                    pruned: false,
+                    simplify_loops: true,
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_config_ablation, bench_ssa_ablation);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! P3: dependence-testing throughput with classified variables — the
+//! point of the whole exercise (§6). Measures all-pairs testing over
+//! programs with linear, periodic, monotonic, and wrap-around subscripts.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use biv_core::analyze_source;
+use biv_depend::DependenceTester;
+
+fn sources() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "linear_pairs",
+            r#"
+            func f(n) {
+                L1: for i = 1 to n {
+                    A[i] = A[i - 1] + A[i + 1]
+                    B[2 * i] = B[2 * i + 1]
+                    C[i] = C[i]
+                }
+            }
+            "#,
+        ),
+        (
+            "relaxation_periodic",
+            r#"
+            func f(n) {
+                new = 1
+                old = 2
+                L1: for it = 1 to n {
+                    L2: for i = 2 to 99 {
+                        A[new, i] = A[old, i - 1] + A[old, i + 1]
+                    }
+                    t = new
+                    new = old
+                    old = t
+                }
+            }
+            "#,
+        ),
+        (
+            "monotonic_pack",
+            r#"
+            func f(n) {
+                k = 0
+                L15: for i = 1 to n {
+                    t = A[i]
+                    if t > 0 {
+                        k = k + 1
+                        B[k] = t
+                        E[i] = B[k]
+                    }
+                }
+            }
+            "#,
+        ),
+        (
+            "nested_mdim",
+            r#"
+            func f(n) {
+                L1: for i = 2 to n {
+                    L2: for j = 2 to n {
+                        A[i, j] = A[i - 1, j] + A[i, j - 1]
+                    }
+                }
+            }
+            "#,
+        ),
+    ]
+}
+
+fn bench_dependence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dependence");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(400));
+    group.sample_size(10);
+    for (name, src) in sources() {
+        let analysis = analyze_source(src).expect("source analyzes");
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let tester = DependenceTester::new(&analysis);
+                tester.all_dependences().len()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// End-to-end: parse + SSA + classify + test, the full compiler-pass cost.
+fn bench_dependence_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dependence_end_to_end");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(400));
+    group.sample_size(10);
+    for (name, src) in sources() {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let analysis = analyze_source(src).expect("source analyzes");
+                let tester = DependenceTester::new(&analysis);
+                tester.all_dependences().len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dependence, bench_dependence_end_to_end);
+criterion_main!(benches);

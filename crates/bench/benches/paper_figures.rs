@@ -1,0 +1,31 @@
+//! E1–E9: full-pipeline classification latency on each worked example
+//! from the paper (parse excluded; SSA construction + classification
+//! included).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use biv_core::analyze;
+use biv_ir::parser::parse_program;
+
+fn bench_paper(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(400));
+    group.sample_size(10);
+    for (name, src) in biv_bench::paper_sources() {
+        let program = parse_program(src).expect("paper source parses");
+        let func = program.functions[0].clone();
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || func.clone(),
+                |f| analyze(&f),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_paper);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! P1: "this algorithm is linear in the size of the SSA graph, not
+//! iterative." Classification time across exponentially growing programs;
+//! Criterion's throughput report shows time **per instruction** staying
+//! flat as programs grow 64×.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use biv_bench::instruction_count;
+use biv_core::analyze;
+use biv_workload::{generate, WorkloadSpec};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(400));
+    group.sample_size(10);
+    for exp in [8usize, 10, 12, 14] {
+        let target = 1usize << exp;
+        let w = generate(&WorkloadSpec::sized_linear(target, 0xBEEF + exp as u64));
+        let insts = instruction_count(&w.func);
+        group.throughput(Throughput::Elements(insts as u64));
+        group.bench_with_input(
+            BenchmarkId::new("classify", insts),
+            &w.func,
+            |b, func| b.iter(|| analyze(func)),
+        );
+    }
+    group.finish();
+}
+
+/// The classifier alone (SSA prebuilt): the paper's claim is about this
+/// pass — "linear in the size of the SSA graph, not iterative".
+fn bench_scaling_classify_only(c: &mut Criterion) {
+    use biv_core::{classify_loop, AnalysisConfig};
+    use biv_ir::dom::DomTree;
+    use biv_ir::loops::LoopForest;
+    use biv_ssa::SsaFunction;
+
+    let mut group = c.benchmark_group("scaling_classify_only");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(400));
+    group.sample_size(10);
+    for exp in [8usize, 10, 12, 14] {
+        let target = 1usize << exp;
+        let w = generate(&WorkloadSpec::sized_linear(target, 0xBEEF + exp as u64));
+        let insts = instruction_count(&w.func);
+        let ssa = SsaFunction::build(&w.func);
+        let dom = DomTree::compute(ssa.func());
+        let forest = LoopForest::compute(ssa.func(), &dom);
+        let order = forest.inner_to_outer();
+        let config = AnalysisConfig::default();
+        let empty = std::collections::HashMap::new();
+        group.throughput(Throughput::Elements(insts as u64));
+        group.bench_with_input(BenchmarkId::new("classify", insts), &ssa, |b, ssa| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for &l in &order {
+                    total += classify_loop(ssa, &forest, l, &empty, &config).len();
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The same sweep on the mixed workload (every variable class present).
+fn bench_scaling_mixed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_mixed");
+    group.measurement_time(Duration::from_secs(2));
+    group.warm_up_time(Duration::from_millis(400));
+    group.sample_size(10);
+    for scale in [1usize, 4, 16, 64] {
+        let w = generate(&WorkloadSpec::mixed(scale, 0xCAFE + scale as u64));
+        let insts = instruction_count(&w.func);
+        group.throughput(Throughput::Elements(insts as u64));
+        group.bench_with_input(
+            BenchmarkId::new("classify", insts),
+            &w.func,
+            |b, func| b.iter(|| analyze(func)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scaling,
+    bench_scaling_classify_only,
+    bench_scaling_mixed
+);
+criterion_main!(benches);

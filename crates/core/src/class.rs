@@ -1,0 +1,647 @@
+//! The classification lattice: closed forms and variable classes.
+//!
+//! Internally every basic and non-basic induction variable is carried as a
+//! [`ClosedForm`] — a polynomial in the basic loop counter `h` (which
+//! starts at zero with step one, exactly the paper's implicit
+//! normalization, §6.1) plus optional geometric terms `c·g^h`. Linear,
+//! polynomial, and geometric induction variables are all the same
+//! representation at different degrees, which is what makes the operator
+//! algebra (§5.1) compositional.
+
+use biv_algebra::{Rational, SymPoly};
+use biv_ir::loops::Loop;
+
+/// A closed form over the basic loop counter `h = 0, 1, 2, …` of one loop:
+///
+/// ```text
+/// v(h) = Σ_k coeffs[k] · h^k  +  Σ_j geo[j].1 · geo[j].0^h
+/// ```
+///
+/// Coefficients are symbolic polynomials over loop-invariant values, so
+/// `(L7, n1+c1, c1+k1)` from the paper's Figure 1 is representable with a
+/// symbolic initial value and step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClosedForm {
+    /// The loop whose counter `h` this form is over.
+    pub loop_id: Loop,
+    /// Polynomial coefficients, `coeffs[k]` multiplying `h^k`. Trailing
+    /// zeros are trimmed; the vector is never empty.
+    pub coeffs: Vec<SymPoly>,
+    /// Geometric terms `(base, coefficient)`, sorted by base, bases
+    /// distinct and ∉ {0, 1}.
+    pub geo: Vec<(Rational, SymPoly)>,
+}
+
+impl ClosedForm {
+    /// An invariant (degree-0) form.
+    pub fn constant(loop_id: Loop, value: SymPoly) -> ClosedForm {
+        ClosedForm {
+            loop_id,
+            coeffs: vec![value],
+            geo: Vec::new(),
+        }
+    }
+
+    /// A linear form `init + step·h`.
+    pub fn linear(loop_id: Loop, init: SymPoly, step: SymPoly) -> ClosedForm {
+        ClosedForm {
+            loop_id,
+            coeffs: vec![init, step],
+            geo: Vec::new(),
+        }
+        .normalized()
+    }
+
+    /// Builds a form from raw parts, normalizing.
+    pub fn from_parts(
+        loop_id: Loop,
+        coeffs: Vec<SymPoly>,
+        geo: Vec<(Rational, SymPoly)>,
+    ) -> ClosedForm {
+        ClosedForm {
+            loop_id,
+            coeffs,
+            geo,
+        }
+        .normalized()
+    }
+
+    fn normalized(mut self) -> ClosedForm {
+        // Fold base-1 "geometric" terms into the constant coefficient and
+        // drop zero coefficients.
+        let mut folded = SymPoly::zero();
+        self.geo.retain(|(base, coeff)| {
+            if *base == Rational::ONE {
+                folded = folded
+                    .checked_add(coeff)
+                    .unwrap_or_else(|_| SymPoly::zero());
+                false
+            } else {
+                !coeff.is_zero() && !base.is_zero()
+            }
+        });
+        if !folded.is_zero() {
+            if self.coeffs.is_empty() {
+                self.coeffs.push(SymPoly::zero());
+            }
+            if let Ok(sum) = self.coeffs[0].checked_add(&folded) {
+                self.coeffs[0] = sum;
+            }
+        }
+        // Merge duplicate bases.
+        self.geo.sort_by_key(|a| a.0);
+        let mut merged: Vec<(Rational, SymPoly)> = Vec::with_capacity(self.geo.len());
+        for (base, coeff) in std::mem::take(&mut self.geo) {
+            match merged.last_mut() {
+                Some((b, c)) if *b == base => {
+                    if let Ok(sum) = c.checked_add(&coeff) {
+                        *c = sum;
+                    }
+                }
+                _ => merged.push((base, coeff)),
+            }
+        }
+        merged.retain(|(_, c)| !c.is_zero());
+        self.geo = merged;
+        while self.coeffs.len() > 1 && self.coeffs.last().is_some_and(SymPoly::is_zero) {
+            self.coeffs.pop();
+        }
+        if self.coeffs.is_empty() {
+            self.coeffs.push(SymPoly::zero());
+        }
+        self
+    }
+
+    /// Polynomial degree (0 for constants).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// The initial value `v(0)`.
+    pub fn initial_value(&self) -> SymPoly {
+        let mut v = self.coeffs[0].clone();
+        for (_, coeff) in &self.geo {
+            v = match v.checked_add(coeff) {
+                Ok(s) => s,
+                Err(_) => return SymPoly::zero(),
+            };
+        }
+        v
+    }
+
+    /// Whether the form is invariant in the loop.
+    pub fn is_invariant(&self) -> bool {
+        self.degree() == 0 && self.geo.is_empty()
+    }
+
+    /// Whether this is a *linear* induction variable (degree ≤ 1, no
+    /// geometric part, non-invariant).
+    pub fn is_linear(&self) -> bool {
+        self.degree() == 1 && self.geo.is_empty()
+    }
+
+    /// The step of a linear form.
+    pub fn linear_step(&self) -> Option<&SymPoly> {
+        if self.is_linear() {
+            Some(&self.coeffs[1])
+        } else {
+            None
+        }
+    }
+
+    /// Checked addition of two forms over the same loop.
+    pub fn add(&self, other: &ClosedForm) -> Option<ClosedForm> {
+        if self.loop_id != other.loop_id {
+            return None;
+        }
+        let len = self.coeffs.len().max(other.coeffs.len());
+        let mut coeffs = Vec::with_capacity(len);
+        for k in 0..len {
+            let zero = SymPoly::zero();
+            let a = self.coeffs.get(k).unwrap_or(&zero);
+            let b = other.coeffs.get(k).unwrap_or(&zero);
+            coeffs.push(a.checked_add(b).ok()?);
+        }
+        let mut geo = self.geo.clone();
+        geo.extend(other.geo.iter().cloned());
+        Some(ClosedForm::from_parts(self.loop_id, coeffs, geo))
+    }
+
+    /// Checked negation.
+    pub fn neg(&self) -> Option<ClosedForm> {
+        let coeffs = self
+            .coeffs
+            .iter()
+            .map(|c| c.checked_neg().ok())
+            .collect::<Option<Vec<_>>>()?;
+        let geo = self
+            .geo
+            .iter()
+            .map(|(b, c)| Some((*b, c.checked_neg().ok()?)))
+            .collect::<Option<Vec<_>>>()?;
+        Some(ClosedForm::from_parts(self.loop_id, coeffs, geo))
+    }
+
+    /// Checked subtraction.
+    pub fn sub(&self, other: &ClosedForm) -> Option<ClosedForm> {
+        self.add(&other.neg()?)
+    }
+
+    /// Scales by a loop-invariant symbolic factor.
+    pub fn scale(&self, factor: &SymPoly) -> Option<ClosedForm> {
+        let coeffs = self
+            .coeffs
+            .iter()
+            .map(|c| c.checked_mul(factor).ok())
+            .collect::<Option<Vec<_>>>()?;
+        let geo = self
+            .geo
+            .iter()
+            .map(|(b, c)| Some((*b, c.checked_mul(factor).ok()?)))
+            .collect::<Option<Vec<_>>>()?;
+        Some(ClosedForm::from_parts(self.loop_id, coeffs, geo))
+    }
+
+    /// Checked product. Returns `None` when the product leaves the
+    /// representable space (an `h^k · g^h` cross term with `k ≥ 1`).
+    pub fn mul(&self, other: &ClosedForm) -> Option<ClosedForm> {
+        if self.loop_id != other.loop_id {
+            return None;
+        }
+        // Polynomial × polynomial: convolution.
+        let mut coeffs =
+            vec![SymPoly::zero(); self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, a) in self.coeffs.iter().enumerate() {
+            if a.is_zero() {
+                continue;
+            }
+            for (j, b) in other.coeffs.iter().enumerate() {
+                if b.is_zero() {
+                    continue;
+                }
+                let prod = a.checked_mul(b).ok()?;
+                coeffs[i + j] = coeffs[i + j].checked_add(&prod).ok()?;
+            }
+        }
+        let mut geo: Vec<(Rational, SymPoly)> = Vec::new();
+        // geo × geo: bases multiply.
+        for (b1, c1) in &self.geo {
+            for (b2, c2) in &other.geo {
+                let base = b1.checked_mul(b2).ok()?;
+                geo.push((base, c1.checked_mul(c2).ok()?));
+            }
+        }
+        // poly × geo cross terms: only the constant coefficient may meet a
+        // geometric term.
+        let cross = |poly: &ClosedForm,
+                     geo_side: &ClosedForm,
+                     geo_out: &mut Vec<(Rational, SymPoly)>|
+         -> Option<()> {
+            if geo_side.geo.is_empty() {
+                return Some(());
+            }
+            if poly.degree() >= 1 {
+                // h^k · g^h with k ≥ 1: unrepresentable (unless the poly
+                // side's non-constant coefficients are all zero, which
+                // degree() already rules out after normalization).
+                return None;
+            }
+            let scale = &poly.coeffs[0];
+            if scale.is_zero() {
+                return Some(());
+            }
+            for (b, c) in &geo_side.geo {
+                geo_out.push((*b, c.checked_mul(scale).ok()?));
+            }
+            Some(())
+        };
+        cross(self, other, &mut geo)?;
+        cross(other, self, &mut geo)?;
+        Some(ClosedForm::from_parts(self.loop_id, coeffs, geo))
+    }
+
+    /// Evaluates at a concrete iteration `h` (may be negative, e.g. for
+    /// the wrap-around refinement check).
+    pub fn eval_at(&self, h: i128) -> Option<SymPoly> {
+        let mut acc = SymPoly::zero();
+        let mut power = Rational::ONE;
+        let hr = Rational::from_integer(h);
+        for c in &self.coeffs {
+            acc = acc.checked_add(&c.checked_scale(&power).ok()?).ok()?;
+            power = power.checked_mul(&hr).ok()?;
+        }
+        for (base, coeff) in &self.geo {
+            let p = base.checked_pow(i32::try_from(h).ok()?).ok()?;
+            acc = acc.checked_add(&coeff.checked_scale(&p).ok()?).ok()?;
+        }
+        Some(acc)
+    }
+
+    /// Evaluates at a symbolic iteration count (used for exit values,
+    /// §5.3). Geometric terms require a constant count.
+    pub fn eval_at_sym(&self, h: &SymPoly) -> Option<SymPoly> {
+        if let Some(c) = h.constant_value() {
+            if c.is_integer() {
+                return self.eval_at(c.as_integer()?);
+            }
+        }
+        if !self.geo.is_empty() {
+            return None; // g^h with symbolic h is not polynomial
+        }
+        let mut acc = SymPoly::zero();
+        let mut power = SymPoly::constant(Rational::ONE);
+        for c in &self.coeffs {
+            acc = acc.checked_add(&c.checked_mul(&power).ok()?).ok()?;
+            power = power.checked_mul(h).ok()?;
+        }
+        Some(acc)
+    }
+
+    /// The form shifted by one iteration: `v'(h) = v(h - 1)`. Used by the
+    /// wrap-around refinement (§4.1).
+    pub fn shift_back(&self) -> Option<ClosedForm> {
+        // Re-fit the polynomial part through shifted samples; geometric
+        // terms scale by base^{-1}.
+        let d = self.degree();
+        let mut samples = Vec::with_capacity(d + 1);
+        let poly_only = ClosedForm {
+            loop_id: self.loop_id,
+            coeffs: self.coeffs.clone(),
+            geo: Vec::new(),
+        };
+        for h in 0..=(d as i128) {
+            samples.push(poly_only.eval_at(h - 1)?);
+        }
+        let coeffs = biv_algebra::vandermonde::fit_polynomial(&samples)?;
+        let geo = self
+            .geo
+            .iter()
+            .map(|(b, c)| {
+                let inv = Rational::ONE.checked_div(b).ok()?;
+                Some((*b, c.checked_scale(&inv).ok()?))
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(ClosedForm::from_parts(self.loop_id, coeffs, geo))
+    }
+
+    /// Conservative check that `v(h+1) - v(h) ≥ 0` for all `h ≥ 0`:
+    /// requires constant coefficients with the difference's coefficients
+    /// all non-negative and any geometric terms with base > 1 and
+    /// coefficient ≥ 0 (or base in (0,1) with coefficient ≤ 0).
+    pub fn is_nondecreasing(&self) -> bool {
+        self.step_sign_at_least(Rational::ZERO)
+    }
+
+    /// Conservative check that the per-iteration change is ≥ `bound`
+    /// everywhere (with `bound` 0 for non-decreasing, >0 for strict).
+    fn step_sign_at_least(&self, bound: Rational) -> bool {
+        // Difference polynomial Δ(h) = v(h+1) - v(h): check constant
+        // coefficients non-negative, constant term ≥ bound.
+        let d = self.degree();
+        let mut samples = Vec::with_capacity(d.max(1));
+        let poly_only = ClosedForm {
+            loop_id: self.loop_id,
+            coeffs: self.coeffs.clone(),
+            geo: Vec::new(),
+        };
+        for h in 0..d.max(1) as i128 {
+            let hi = match (poly_only.eval_at(h + 1), poly_only.eval_at(h)) {
+                (Some(a), Some(b)) => match a.checked_sub(&b) {
+                    Ok(v) => v,
+                    Err(_) => return false,
+                },
+                _ => return false,
+            };
+            samples.push(hi);
+        }
+        let Some(delta) = biv_algebra::vandermonde::fit_polynomial(&samples) else {
+            return false;
+        };
+        for (k, c) in delta.iter().enumerate() {
+            let Some(v) = c.constant_value() else {
+                return false;
+            };
+            if k == 0 {
+                if v < bound {
+                    return false;
+                }
+            } else if v < Rational::ZERO {
+                return false;
+            }
+        }
+        for (base, coeff) in &self.geo {
+            let Some(c) = coeff.constant_value() else {
+                return false;
+            };
+            // c·g^h is non-decreasing iff c·(g-1)·g^h ≥ 0 for all h ≥ 0.
+            let ok = if *base > Rational::ONE {
+                c >= Rational::ZERO
+            } else if *base > Rational::ZERO {
+                c <= Rational::ZERO
+            } else {
+                c.is_zero()
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Monotonic direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Values never decrease across iterations.
+    Increasing,
+    /// Values never increase across iterations.
+    Decreasing,
+}
+
+/// A monotonic classification (§4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Monotonic {
+    /// The loop the property holds in.
+    pub loop_id: Loop,
+    /// Direction of change.
+    pub direction: Direction,
+    /// Whether the value is *strictly* monotonic — it changes on every
+    /// execution of its definition.
+    pub strict: bool,
+    /// The loop-header φ anchoring the SCR family. Two monotonic values
+    /// with the same anchor belong to the same family, which dependence
+    /// testing exploits (§6, Figure 10).
+    pub family: Option<FamilyAnchor>,
+}
+
+/// An opaque family anchor (the SCR's header φ value index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FamilyAnchor(pub u32);
+
+/// A periodic classification (§4.2): the value rotates through `values`
+/// with the given period; at iteration `h` the value is
+/// `values[(phase + h) mod period]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Periodic {
+    /// The loop the rotation happens in.
+    pub loop_id: Loop,
+    /// The rotating values (initial values of the family), in rotation
+    /// order.
+    pub values: Vec<SymPoly>,
+    /// This member's offset into `values` at iteration 0.
+    pub phase: usize,
+}
+
+impl Periodic {
+    /// The period of the family.
+    pub fn period(&self) -> usize {
+        self.values.len()
+    }
+}
+
+/// The classification of one SSA value with respect to one loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Class {
+    /// Loop-invariant, with its symbolic value.
+    Invariant(SymPoly),
+    /// A (linear, polynomial, or geometric) induction variable.
+    Induction(ClosedForm),
+    /// A wrap-around variable (§4.1): for the first `order` iterations the
+    /// value is off-sequence; afterwards it behaves as `steady`, delayed
+    /// by `order` iterations.
+    WrapAround {
+        /// The wrap-around order (1 = classic `iml` pattern).
+        order: u32,
+        /// The class the variable settles into, expressed at the *source*
+        /// iteration (use `steady(h - order)` after the initial segment).
+        steady: Box<Class>,
+        /// The initial value(s) observed during the initial segment
+        /// (first entry is the iteration-0 value).
+        initials: Vec<SymPoly>,
+    },
+    /// A member of a periodic family (§4.2), including flip-flops
+    /// (period 2).
+    Periodic(Periodic),
+    /// Monotonically increasing or decreasing (§4.4).
+    Monotonic(Monotonic),
+    /// Not classified.
+    Unknown,
+}
+
+impl Class {
+    /// Whether this is any induction expression (invariant counts as the
+    /// degenerate case).
+    pub fn is_induction(&self) -> bool {
+        matches!(self, Class::Induction(_) | Class::Invariant(_))
+    }
+
+    /// The closed form, promoting invariants to degree-0 forms.
+    pub fn closed_form(&self, loop_id: Loop) -> Option<ClosedForm> {
+        match self {
+            Class::Induction(cf) => Some(cf.clone()),
+            Class::Invariant(p) => Some(ClosedForm::constant(loop_id, p.clone())),
+            _ => None,
+        }
+    }
+
+    /// Normalizes `Induction` forms that are actually invariant.
+    pub fn normalized(self) -> Class {
+        match self {
+            Class::Induction(cf) if cf.is_invariant() => {
+                Class::Invariant(cf.coeffs[0].clone())
+            }
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biv_algebra::SymId;
+    use biv_ir::EntityId;
+
+    fn lp() -> Loop {
+        Loop::from_index(0)
+    }
+
+    fn c(v: i128) -> SymPoly {
+        SymPoly::from_integer(v)
+    }
+
+    #[test]
+    fn linear_basics() {
+        let f = ClosedForm::linear(lp(), c(3), c(2));
+        assert!(f.is_linear());
+        assert_eq!(f.eval_at(0).unwrap(), c(3));
+        assert_eq!(f.eval_at(5).unwrap(), c(13));
+        assert_eq!(f.linear_step().unwrap(), &c(2));
+    }
+
+    #[test]
+    fn normalization_trims_and_folds() {
+        let f = ClosedForm::from_parts(
+            lp(),
+            vec![c(1), c(0), c(0)],
+            vec![(Rational::ONE, c(5)), (Rational::from_integer(2), c(0))],
+        );
+        assert!(f.is_invariant());
+        assert_eq!(f.coeffs[0], c(6)); // base-1 geo folded into constant
+        assert!(f.geo.is_empty());
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let a = ClosedForm::linear(lp(), c(1), c(2));
+        let b = ClosedForm::linear(lp(), c(3), c(4));
+        let s = a.add(&b).unwrap();
+        assert_eq!(s.eval_at(2).unwrap(), c(1 + 4 + 3 + 8));
+        let d = a.scale(&c(3)).unwrap();
+        assert_eq!(d.eval_at(1).unwrap(), c(9));
+    }
+
+    #[test]
+    fn mul_linear_linear_gives_quadratic() {
+        // (1 + 2h)(3 + h) = 3 + 7h + 2h^2
+        let a = ClosedForm::linear(lp(), c(1), c(2));
+        let b = ClosedForm::linear(lp(), c(3), c(1));
+        let p = a.mul(&b).unwrap();
+        assert_eq!(p.degree(), 2);
+        assert_eq!(p.coeffs[0], c(3));
+        assert_eq!(p.coeffs[1], c(7));
+        assert_eq!(p.coeffs[2], c(2));
+    }
+
+    #[test]
+    fn mul_geo_by_linear_unrepresentable() {
+        let geo = ClosedForm::from_parts(lp(), vec![c(0)], vec![(Rational::from_integer(2), c(1))]);
+        let lin = ClosedForm::linear(lp(), c(0), c(1));
+        assert!(geo.mul(&lin).is_none());
+        // But geo by constant is fine.
+        let konst = ClosedForm::constant(lp(), c(5));
+        let scaled = geo.mul(&konst).unwrap();
+        assert_eq!(scaled.eval_at(3).unwrap(), c(40));
+    }
+
+    #[test]
+    fn geo_times_geo_multiplies_bases() {
+        let g2 = ClosedForm::from_parts(lp(), vec![c(0)], vec![(Rational::from_integer(2), c(1))]);
+        let g3 = ClosedForm::from_parts(lp(), vec![c(0)], vec![(Rational::from_integer(3), c(1))]);
+        let p = g2.mul(&g3).unwrap();
+        assert_eq!(p.eval_at(2).unwrap(), c(36));
+    }
+
+    #[test]
+    fn eval_sym_polynomial() {
+        let f = ClosedForm::from_parts(lp(), vec![c(0), c(0), c(1)], vec![]); // h^2
+        let n = SymPoly::symbol(SymId(7));
+        let v = f.eval_at_sym(&n).unwrap();
+        // n^2
+        assert_eq!(v, n.checked_mul(&n).unwrap());
+    }
+
+    #[test]
+    fn eval_sym_geo_requires_constant() {
+        let f = ClosedForm::from_parts(lp(), vec![c(0)], vec![(Rational::from_integer(2), c(1))]);
+        assert!(f.eval_at_sym(&SymPoly::symbol(SymId(1))).is_none());
+        assert_eq!(f.eval_at_sym(&c(5)).unwrap(), c(32));
+    }
+
+    #[test]
+    fn shift_back_linear() {
+        let f = ClosedForm::linear(lp(), c(10), c(3));
+        let s = f.shift_back().unwrap();
+        assert_eq!(s.eval_at(1).unwrap(), c(10));
+        assert_eq!(s.eval_at(0).unwrap(), c(7));
+    }
+
+    #[test]
+    fn shift_back_geometric() {
+        // 4·2^h shifted back: 2·2^h
+        let f = ClosedForm::from_parts(lp(), vec![c(0)], vec![(Rational::from_integer(2), c(4))]);
+        let s = f.shift_back().unwrap();
+        assert_eq!(s.eval_at(0).unwrap(), c(2));
+        assert_eq!(s.eval_at(2).unwrap(), c(8));
+    }
+
+    #[test]
+    fn nondecreasing_checks() {
+        assert!(ClosedForm::linear(lp(), c(0), c(1)).is_nondecreasing());
+        assert!(ClosedForm::linear(lp(), c(0), c(0)).is_nondecreasing());
+        assert!(!ClosedForm::linear(lp(), c(0), c(-1)).is_nondecreasing());
+        // h^2 is non-decreasing for h >= 0.
+        assert!(ClosedForm::from_parts(lp(), vec![c(0), c(0), c(1)], vec![]).is_nondecreasing());
+        // 2^h increasing.
+        assert!(ClosedForm::from_parts(
+            lp(),
+            vec![c(0)],
+            vec![(Rational::from_integer(2), c(1))]
+        )
+        .is_nondecreasing());
+        // -2^h decreasing.
+        assert!(!ClosedForm::from_parts(
+            lp(),
+            vec![c(0)],
+            vec![(Rational::from_integer(2), c(-1))]
+        )
+        .is_nondecreasing());
+        // Symbolic step: unknown, conservatively false.
+        assert!(!ClosedForm::linear(lp(), c(0), SymPoly::symbol(SymId(0))).is_nondecreasing());
+    }
+
+    #[test]
+    fn class_normalization() {
+        let cls = Class::Induction(ClosedForm::constant(lp(), c(5))).normalized();
+        assert_eq!(cls, Class::Invariant(c(5)));
+    }
+
+    #[test]
+    fn periodic_period() {
+        let p = Periodic {
+            loop_id: lp(),
+            values: vec![c(1), c(2), c(3)],
+            phase: 1,
+        };
+        assert_eq!(p.period(), 3);
+    }
+}

@@ -1,0 +1,1315 @@
+//! Per-loop classification: Tarjan over the SSA graph, then classify each
+//! SCR as it pops (§3–§4 of the paper).
+
+use std::collections::{HashMap, HashSet};
+
+use biv_algebra::vandermonde::fit_mixed;
+use biv_algebra::{Rational, SymPoly};
+use biv_ir::loops::{Loop, LoopForest};
+use biv_ir::{BinOp, Block};
+use biv_ssa::{Operand, SsaFunction, SsaInst, Value, ValueDef};
+
+use crate::class::{Class, ClosedForm, Direction, FamilyAnchor, Monotonic, Periodic};
+use crate::config::AnalysisConfig;
+use crate::scc::{strongly_connected_regions, Scr};
+use crate::symbols::{operand_to_sympoly, sym_of_value, value_of_sym};
+
+/// Classifies every SSA value in `loop_id`'s region (its blocks minus
+/// inner-loop blocks) with respect to that loop.
+///
+/// `exit_exprs` carries the symbolic exit expressions of synthetic
+/// [`ValueDef::ExitValue`] definitions materialized by the nested-loop
+/// driver (§5.3); pass an empty map when analyzing a single loop.
+pub fn classify_loop(
+    ssa: &SsaFunction,
+    forest: &LoopForest,
+    loop_id: Loop,
+    exit_exprs: &HashMap<Value, SymPoly>,
+    config: &AnalysisConfig,
+) -> HashMap<Value, Class> {
+    let mut cx = Cx::new(ssa, forest, loop_id, exit_exprs, config);
+    cx.run();
+    cx.classes
+}
+
+/// Classifies an operand with respect to a loop, given the loop's member
+/// classifications. Values defined outside the loop are invariant symbols;
+/// values in inner loops without a materialized exit value are unknown.
+/// Resolves an operand through SSA copy chains: `j1 = n1` makes `j1`
+/// transparent, matching the paper's substitution of initial values.
+pub fn resolve_copies(ssa: &SsaFunction, op: Operand) -> Operand {
+    let mut cur = op;
+    // Fuel guards against (ill-formed) copy cycles.
+    for _ in 0..64 {
+        match cur {
+            Operand::Value(v) => match ssa.def(v) {
+                ValueDef::Copy { src } => cur = *src,
+                _ => break,
+            },
+            Operand::Const(_) => break,
+        }
+    }
+    cur
+}
+
+/// Classifies an operand with respect to a loop, given the loop's member
+/// classifications. Values defined outside the loop are invariant symbols;
+/// values in inner loops without a materialized exit value are unknown.
+pub fn operand_class(
+    ssa: &SsaFunction,
+    forest: &LoopForest,
+    loop_id: Loop,
+    classes: &HashMap<Value, Class>,
+    op: &Operand,
+) -> Class {
+    let op = &resolve_copies(ssa, *op);
+    match op {
+        Operand::Const(c) => Class::Invariant(SymPoly::from_integer(i128::from(*c))),
+        Operand::Value(v) => {
+            if let Some(cls) = classes.get(v) {
+                return cls.clone();
+            }
+            let block = ssa.def_block(*v);
+            if forest.contains(loop_id, block) {
+                // Defined in this loop but not classified: an inner-loop
+                // value whose exit value was not materialized.
+                Class::Unknown
+            } else {
+                Class::Invariant(SymPoly::symbol(sym_of_value(*v)))
+            }
+        }
+    }
+}
+
+/// The operator algebra of §5.1: combines the classes of two operands.
+pub fn combine_classes(loop_id: Loop, op: BinOp, lhs: &Class, rhs: &Class) -> Class {
+    use Class::*;
+    match op {
+        BinOp::Add => add_classes(loop_id, lhs, rhs),
+        BinOp::Sub => {
+            let neg = negate_class(loop_id, rhs);
+            add_classes(loop_id, lhs, &neg)
+        }
+        BinOp::Mul => mul_classes(loop_id, lhs, rhs),
+        BinOp::Div => match (lhs, rhs) {
+            (Invariant(a), Invariant(b)) => {
+                // Integer division: only fold exact constant division.
+                match (a.constant_value(), b.constant_value()) {
+                    (Some(x), Some(y)) if !y.is_zero() => {
+                        match x.checked_div(&y) {
+                            Ok(q) if q.is_integer() => {
+                                Invariant(SymPoly::constant(q))
+                            }
+                            _ => Unknown,
+                        }
+                    }
+                    _ => Unknown,
+                }
+            }
+            _ => Unknown,
+        },
+        BinOp::Exp => match (lhs, rhs) {
+            (Invariant(a), Invariant(b)) => {
+                match (a.constant_value(), b.constant_value()) {
+                    (Some(base), Some(e)) if e.is_integer() => {
+                        let Some(e) = e.as_integer() else {
+                            return Unknown;
+                        };
+                        let Ok(e32) = i32::try_from(e) else {
+                            return Unknown;
+                        };
+                        if e32 < 0 {
+                            return Unknown;
+                        }
+                        match base.checked_pow(e32) {
+                            Ok(v) => Invariant(SymPoly::constant(v)),
+                            Err(_) => Unknown,
+                        }
+                    }
+                    _ => Unknown,
+                }
+            }
+            (Invariant(g), Induction(cf)) if cf.is_linear() => {
+                // g^(a + b·h) = g^a · (g^b)^h — a geometric IV when g, a,
+                // b are integer constants with a, b ≥ 0.
+                let (Some(g), Some(a), Some(b)) = (
+                    g.constant_value(),
+                    cf.coeffs[0].constant_value(),
+                    cf.coeffs[1].constant_value(),
+                ) else {
+                    return Unknown;
+                };
+                if !a.is_integer() || !b.is_integer() || g.is_zero() {
+                    return Unknown;
+                }
+                let (Some(a), Some(b)) = (a.as_integer(), b.as_integer()) else {
+                    return Unknown;
+                };
+                if a < 0 || b < 0 {
+                    return Unknown;
+                }
+                let (Ok(a32), Ok(b32)) = (i32::try_from(a), i32::try_from(b)) else {
+                    return Unknown;
+                };
+                let (Ok(coeff), Ok(base)) = (g.checked_pow(a32), g.checked_pow(b32))
+                else {
+                    return Unknown;
+                };
+                Induction(ClosedForm::from_parts(
+                    loop_id,
+                    vec![SymPoly::zero()],
+                    vec![(base, SymPoly::constant(coeff))],
+                ))
+                .normalized()
+            }
+            _ => Unknown,
+        },
+    }
+}
+
+fn add_classes(loop_id: Loop, lhs: &Class, rhs: &Class) -> Class {
+    use Class::*;
+    match (lhs, rhs) {
+        (Invariant(a), Invariant(b)) => match a.checked_add(b) {
+            Ok(s) => Invariant(s),
+            Err(_) => Unknown,
+        },
+        (Induction(_) | Invariant(_), Induction(_) | Invariant(_)) => {
+            let (Some(a), Some(b)) = (lhs.closed_form(loop_id), rhs.closed_form(loop_id))
+            else {
+                return Unknown;
+            };
+            match a.add(&b) {
+                Some(cf) => Induction(cf).normalized(),
+                None => Unknown,
+            }
+        }
+        (Periodic(p), Invariant(c)) | (Invariant(c), Periodic(p)) => {
+            let values = p
+                .values
+                .iter()
+                .map(|v| v.checked_add(c).ok())
+                .collect::<Option<Vec<_>>>();
+            match values {
+                Some(values) => Periodic(crate::class::Periodic {
+                    loop_id: p.loop_id,
+                    values,
+                    phase: p.phase,
+                }),
+                None => Unknown,
+            }
+        }
+        (Monotonic(m), Invariant(_)) | (Invariant(_), Monotonic(m)) => Monotonic(*m),
+        (Monotonic(m1), Monotonic(m2)) if m1.direction == m2.direction => {
+            Monotonic(crate::class::Monotonic {
+                loop_id: m1.loop_id,
+                direction: m1.direction,
+                strict: m1.strict || m2.strict,
+                family: if m1.family == m2.family { m1.family } else { None },
+            })
+        }
+        (Monotonic(m), Induction(cf)) | (Induction(cf), Monotonic(m)) => {
+            // Monotonic + co-directed induction stays monotonic (§5.1).
+            let cf_ok = match m.direction {
+                Direction::Increasing => cf.is_nondecreasing(),
+                Direction::Decreasing => {
+                    cf.neg().map(|n| n.is_nondecreasing()).unwrap_or(false)
+                }
+            };
+            if cf_ok {
+                Monotonic(*m)
+            } else {
+                Unknown
+            }
+        }
+        (
+            WrapAround {
+                order,
+                steady,
+                initials,
+            },
+            Invariant(c),
+        )
+        | (
+            Invariant(c),
+            WrapAround {
+                order,
+                steady,
+                initials,
+            },
+        ) => {
+            let inner = add_classes(loop_id, steady, &Invariant(c.clone()));
+            if matches!(inner, Unknown) {
+                return Unknown;
+            }
+            let initials = initials
+                .iter()
+                .map(|v| v.checked_add(c).ok())
+                .collect::<Option<Vec<_>>>();
+            match initials {
+                Some(initials) => WrapAround {
+                    order: *order,
+                    steady: Box::new(inner),
+                    initials,
+                },
+                None => Unknown,
+            }
+        }
+        _ => Unknown,
+    }
+}
+
+fn mul_classes(_loop_id: Loop, lhs: &Class, rhs: &Class) -> Class {
+    use Class::*;
+    match (lhs, rhs) {
+        (Invariant(a), Invariant(b)) => match a.checked_mul(b) {
+            Ok(p) => Invariant(p),
+            Err(_) => Unknown,
+        },
+        (Induction(cf), Invariant(s)) | (Invariant(s), Induction(cf)) => {
+            match cf.scale(s) {
+                Some(p) => Induction(p).normalized(),
+                None => Unknown,
+            }
+        }
+        (Induction(a), Induction(b)) => match a.mul(b) {
+            Some(p) => Induction(p).normalized(),
+            None => Unknown,
+        },
+        (Periodic(p), Invariant(s)) | (Invariant(s), Periodic(p)) => {
+            let values = p
+                .values
+                .iter()
+                .map(|v| v.checked_mul(s).ok())
+                .collect::<Option<Vec<_>>>();
+            match values {
+                Some(values) => Periodic(crate::class::Periodic {
+                    loop_id: p.loop_id,
+                    values,
+                    phase: p.phase,
+                }),
+                None => Unknown,
+            }
+        }
+        (Monotonic(m), Invariant(s)) | (Invariant(s), Monotonic(m)) => {
+            match s.constant_value() {
+                Some(c) if c > Rational::ZERO => Monotonic(*m),
+                Some(c) if c < Rational::ZERO => Monotonic(crate::class::Monotonic {
+                    loop_id: m.loop_id,
+                    direction: match m.direction {
+                        Direction::Increasing => Direction::Decreasing,
+                        Direction::Decreasing => Direction::Increasing,
+                    },
+                    strict: m.strict,
+                    family: m.family,
+                }),
+                Some(_) => Invariant(SymPoly::zero()), // × 0
+                None => Unknown,
+            }
+        }
+        _ => Unknown,
+    }
+}
+
+/// Negates a class.
+#[allow(clippy::only_used_in_recursion)] // part of the public algebra API
+pub fn negate_class(loop_id: Loop, cls: &Class) -> Class {
+    use Class::*;
+    match cls {
+        Invariant(p) => match p.checked_neg() {
+            Ok(n) => Invariant(n),
+            Err(_) => Unknown,
+        },
+        Induction(cf) => match cf.neg() {
+            Some(n) => Induction(n).normalized(),
+            None => Unknown,
+        },
+        Periodic(p) => {
+            let values = p
+                .values
+                .iter()
+                .map(|v| v.checked_neg().ok())
+                .collect::<Option<Vec<_>>>();
+            match values {
+                Some(values) => Periodic(crate::class::Periodic {
+                    loop_id: p.loop_id,
+                    values,
+                    phase: p.phase,
+                }),
+                None => Unknown,
+            }
+        }
+        Monotonic(m) => Monotonic(crate::class::Monotonic {
+            loop_id: m.loop_id,
+            direction: match m.direction {
+                Direction::Increasing => Direction::Decreasing,
+                Direction::Decreasing => Direction::Increasing,
+            },
+            strict: m.strict,
+            family: m.family,
+        }),
+        WrapAround {
+            order,
+            steady,
+            initials,
+        } => {
+            let inner = negate_class(loop_id, steady);
+            if matches!(inner, Unknown) {
+                return Unknown;
+            }
+            let initials = initials
+                .iter()
+                .map(|v| v.checked_neg().ok())
+                .collect::<Option<Vec<_>>>();
+            match initials {
+                Some(initials) => WrapAround {
+                    order: *order,
+                    steady: Box::new(inner),
+                    initials,
+                },
+                None => Unknown,
+            }
+        }
+        Unknown => Unknown,
+    }
+}
+
+/// Evaluates a symbolic polynomial in the class domain: each symbol is
+/// classified and the polynomial structure is recombined with the operator
+/// algebra. Used to classify materialized exit expressions.
+pub fn class_of_sympoly(
+    loop_id: Loop,
+    poly: &SymPoly,
+    classify_symbol: &dyn Fn(Value) -> Class,
+) -> Class {
+    let mut total = Class::Invariant(SymPoly::zero());
+    for (monomial, coeff) in poly.iter() {
+        let mut term = Class::Invariant(SymPoly::constant(*coeff));
+        for &(sym, pow) in monomial.factors() {
+            let base = classify_symbol(value_of_sym(sym));
+            for _ in 0..pow {
+                term = mul_classes(loop_id, &term, &base);
+            }
+        }
+        total = add_classes(loop_id, &total, &term);
+    }
+    total
+}
+
+/// Failure signal inside an SCR analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct NonAffine;
+
+/// `value = a·φ + b(h)` relative to the loop-header φ at iteration `h`.
+#[derive(Debug, Clone, PartialEq)]
+struct Transform {
+    a: Rational,
+    b: ClosedForm,
+}
+
+/// Offset sign for the monotonic fallback (§4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Sign {
+    Zero,
+    Pos,
+    Neg,
+    NonNeg,
+    NonPos,
+}
+
+impl Sign {
+    fn join(self, other: Sign) -> Option<Sign> {
+        use Sign::*;
+        Some(match (self, other) {
+            (a, b) if a == b => a,
+            (Zero, Pos) | (Pos, Zero) | (Pos, NonNeg) | (NonNeg, Pos) | (Zero, NonNeg)
+            | (NonNeg, Zero) => NonNeg,
+            (Zero, Neg) | (Neg, Zero) | (Neg, NonPos) | (NonPos, Neg) | (Zero, NonPos)
+            | (NonPos, Zero) => NonPos,
+            _ => return None,
+        })
+    }
+
+    fn add(self, other: Sign) -> Option<Sign> {
+        use Sign::*;
+        Some(match (self, other) {
+            (Zero, x) | (x, Zero) => x,
+            (Pos, Pos) | (Pos, NonNeg) | (NonNeg, Pos) => Pos,
+            (NonNeg, NonNeg) => NonNeg,
+            (Neg, Neg) | (Neg, NonPos) | (NonPos, Neg) => Neg,
+            (NonPos, NonPos) => NonPos,
+            _ => return None,
+        })
+    }
+
+    fn negate(self) -> Sign {
+        use Sign::*;
+        match self {
+            Zero => Zero,
+            Pos => Neg,
+            Neg => Pos,
+            NonNeg => NonPos,
+            NonPos => NonNeg,
+        }
+    }
+
+    fn of_rational(r: Rational) -> Sign {
+        match r.signum() {
+            1 => Sign::Pos,
+            -1 => Sign::Neg,
+            _ => Sign::Zero,
+        }
+    }
+}
+
+struct Cx<'a> {
+    ssa: &'a SsaFunction,
+    forest: &'a LoopForest,
+    loop_id: Loop,
+    header: Block,
+    preheader: Option<Block>,
+    latch: Option<Block>,
+    nodes: Vec<Value>,
+    exit_exprs: &'a HashMap<Value, SymPoly>,
+    config: &'a AnalysisConfig,
+    classes: HashMap<Value, Class>,
+}
+
+impl<'a> Cx<'a> {
+    fn new(
+        ssa: &'a SsaFunction,
+        forest: &'a LoopForest,
+        loop_id: Loop,
+        exit_exprs: &'a HashMap<Value, SymPoly>,
+        config: &'a AnalysisConfig,
+    ) -> Cx<'a> {
+        let data = forest.data(loop_id);
+        let header = data.header;
+        let preheader = forest.preheader(ssa.func(), loop_id);
+        let latch = forest.single_latch(loop_id);
+        // Region: blocks whose innermost loop is this one.
+        let mut region_blocks: Vec<Block> = data
+            .blocks
+            .iter()
+            .copied()
+            .filter(|&b| forest.innermost(b) == Some(loop_id))
+            .collect();
+        region_blocks.sort_by_key(|b| biv_ir::EntityId::index(*b));
+        let mut nodes = Vec::new();
+        for &b in &region_blocks {
+            let sb = ssa.block(b);
+            for &phi in &sb.phis {
+                nodes.push(phi);
+            }
+            for inst in &sb.body {
+                if let SsaInst::Def(v) = inst {
+                    nodes.push(*v);
+                }
+            }
+        }
+        Cx {
+            ssa,
+            forest,
+            loop_id,
+            header,
+            preheader,
+            latch,
+            nodes,
+            exit_exprs,
+            config,
+            classes: HashMap::new(),
+        }
+    }
+
+    fn run(&mut self) {
+        if self.preheader.is_none() || self.latch.is_none() {
+            // Unsimplified loop shape: classify nothing.
+            for &v in &self.nodes {
+                self.classes.insert(v, Class::Unknown);
+            }
+            return;
+        }
+        let nodes = self.nodes.clone();
+        let scrs = strongly_connected_regions(&nodes, |v| self.graph_edges(v));
+        for scr in &scrs {
+            if scr.cyclic {
+                self.classify_cycle(scr);
+            } else {
+                let v = scr.members[0];
+                let cls = self.classify_single(v);
+                self.classes.insert(v, cls);
+            }
+        }
+    }
+
+    /// SSA-graph successor edges restricted to the region. Synthetic exit
+    /// values depend on the symbols of their exit expression.
+    fn graph_edges(&self, v: Value) -> Vec<Value> {
+        if let ValueDef::ExitValue { .. } = self.ssa.def(v) {
+            if let Some(expr) = self.exit_exprs.get(&v) {
+                return expr.symbols().into_iter().map(value_of_sym).collect();
+            }
+        }
+        self.ssa.operands_of(v)
+    }
+
+    fn class_of_operand(&self, op: &Operand) -> Class {
+        operand_class(self.ssa, self.forest, self.loop_id, &self.classes, op)
+    }
+
+    fn classify_symbol_fn(&self) -> impl Fn(Value) -> Class + '_ {
+        move |v: Value| self.class_of_operand(&Operand::Value(v))
+    }
+
+    /// Splits a header φ into (initial operand, loop-carried operand).
+    fn phi_init_carried(&self, phi: Value) -> Option<(Operand, Operand)> {
+        let ValueDef::Phi { args } = self.ssa.def(phi) else {
+            return None;
+        };
+        let pre = self.preheader?;
+        let latch = self.latch?;
+        let mut init = None;
+        let mut carried = None;
+        for (pred, op) in args {
+            if *pred == pre {
+                init = Some(*op);
+            } else if *pred == latch {
+                carried = Some(*op);
+            } else {
+                return None;
+            }
+        }
+        Some((init?, carried?))
+    }
+
+    // ------------------------------------------------------------------
+    // Trivial SCRs: the operator algebra + wrap-around detection.
+    // ------------------------------------------------------------------
+
+    fn classify_single(&mut self, v: Value) -> Class {
+        match self.ssa.def(v) {
+            ValueDef::Phi { args } => {
+                if self.ssa.def_block(v) == self.header {
+                    self.classify_wraparound(v)
+                } else {
+                    // A join φ outside any data cycle: all incoming
+                    // classes must agree.
+                    let classes: Vec<Class> = args
+                        .iter()
+                        .map(|(_, op)| self.class_of_operand(op))
+                        .collect();
+                    match classes.split_first() {
+                        Some((first, rest)) if rest.iter().all(|c| c == first) => {
+                            first.clone()
+                        }
+                        _ => Class::Unknown,
+                    }
+                }
+            }
+            ValueDef::Copy { src } => self.class_of_operand(src),
+            ValueDef::Neg { src } => {
+                let c = self.class_of_operand(src);
+                negate_class(self.loop_id, &c)
+            }
+            ValueDef::Binary { op, lhs, rhs } => {
+                let l = self.class_of_operand(lhs);
+                let r = self.class_of_operand(rhs);
+                combine_classes(self.loop_id, *op, &l, &r)
+            }
+            // Array loads have non-invariant addresses in general; the
+            // paper's invariant scalar loads are registers in this IR.
+            ValueDef::Load { .. } => Class::Unknown,
+            ValueDef::LiveIn { .. } => {
+                Class::Invariant(SymPoly::symbol(sym_of_value(v)))
+            }
+            ValueDef::ExitValue { .. } => match self.exit_exprs.get(&v) {
+                Some(expr) => {
+                    class_of_sympoly(self.loop_id, expr, &self.classify_symbol_fn())
+                }
+                None => Class::Unknown,
+            },
+        }
+    }
+
+    /// A loop-header φ alone in a trivial SCR: a wrap-around variable
+    /// (§4.1), possibly refinable to the underlying class.
+    fn classify_wraparound(&mut self, phi: Value) -> Class {
+        if !self.config.wraparound {
+            return Class::Unknown;
+        }
+        let Some((init_op, carried_op)) = self.phi_init_carried(phi) else {
+            return Class::Unknown;
+        };
+        let init = operand_to_sympoly(&resolve_copies(self.ssa, init_op));
+        let carried = self.class_of_operand(&carried_op);
+        match carried {
+            Class::Invariant(s) => {
+                if s == init {
+                    // The "wrapped" value equals the init: plain invariant.
+                    Class::Invariant(s)
+                } else {
+                    Class::WrapAround {
+                        order: 1,
+                        steady: Box::new(Class::Invariant(s)),
+                        initials: vec![init],
+                    }
+                }
+            }
+            Class::Induction(cf) => {
+                // φ(h) = cf(h-1) for h ≥ 1. If the initial value lies on
+                // the shifted sequence, the φ is itself an IV (§4.1).
+                if let Some(shifted) = cf.shift_back() {
+                    if shifted.eval_at(0).as_ref() == Some(&init) {
+                        return Class::Induction(shifted).normalized();
+                    }
+                }
+                Class::WrapAround {
+                    order: 1,
+                    steady: Box::new(Class::Induction(cf)),
+                    initials: vec![init],
+                }
+            }
+            Class::Periodic(p) => {
+                // φ(h) = family[(phase + h - 1) mod p] for h ≥ 1: a
+                // periodic with retarded phase — exact if init matches.
+                let period = p.period();
+                let new_phase = (p.phase + period - 1) % period;
+                if p.values.get(new_phase) == Some(&init) {
+                    Class::Periodic(Periodic {
+                        loop_id: p.loop_id,
+                        values: p.values,
+                        phase: new_phase,
+                    })
+                } else {
+                    Class::WrapAround {
+                        order: 1,
+                        steady: Box::new(Class::Periodic(p)),
+                        initials: vec![init],
+                    }
+                }
+            }
+            Class::WrapAround {
+                order,
+                steady,
+                initials,
+            } => {
+                let mut new_initials = vec![init];
+                new_initials.extend(initials);
+                Class::WrapAround {
+                    order: order + 1,
+                    steady,
+                    initials: new_initials,
+                }
+            }
+            Class::Monotonic(m) => Class::WrapAround {
+                order: 1,
+                steady: Box::new(Class::Monotonic(m)),
+                initials: vec![init],
+            },
+            Class::Unknown => Class::Unknown,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Cyclic SCRs.
+    // ------------------------------------------------------------------
+
+    fn classify_cycle(&mut self, scr: &Scr) {
+        let members: HashSet<Value> = scr.members.iter().copied().collect();
+        let header_phis: Vec<Value> = scr
+            .members
+            .iter()
+            .copied()
+            .filter(|&v| self.ssa.def(v).is_phi() && self.ssa.def_block(v) == self.header)
+            .collect();
+        let result: Option<()> = match header_phis.len() {
+            0 => None, // data cycle not through the header: unanalyzable
+            1 => self
+                .classify_affine_scr(scr, &members, header_phis[0])
+                .or_else(|| self.classify_monotonic_scr(scr, &members, header_phis[0])),
+            _ => self.classify_periodic_scr(scr, &members, &header_phis),
+        };
+        if result.is_none() {
+            for &v in &scr.members {
+                self.classes.insert(v, Class::Unknown);
+            }
+        }
+    }
+
+    /// Copy-only SCRs threading several header φs: a periodic family
+    /// (§4.2).
+    fn classify_periodic_scr(
+        &mut self,
+        scr: &Scr,
+        members: &HashSet<Value>,
+        header_phis: &[Value],
+    ) -> Option<()> {
+        if !self.config.periodic {
+            return None;
+        }
+        // Only header φs and copies are allowed.
+        for &v in &scr.members {
+            match self.ssa.def(v) {
+                ValueDef::Phi { .. } => {
+                    if self.ssa.def_block(v) != self.header {
+                        return None;
+                    }
+                }
+                ValueDef::Copy { .. } => {}
+                _ => return None,
+            }
+        }
+        // Chase each φ's carried value through copies to the next φ.
+        let chase = |start: Operand| -> Option<Value> {
+            let mut cur = start.as_value()?;
+            let mut fuel = scr.members.len() + 1;
+            while fuel > 0 {
+                fuel -= 1;
+                if !members.contains(&cur) {
+                    return None;
+                }
+                match self.ssa.def(cur) {
+                    ValueDef::Phi { .. } => return Some(cur),
+                    ValueDef::Copy { src } => cur = src.as_value()?,
+                    _ => return None,
+                }
+            }
+            None
+        };
+        let period = header_phis.len();
+        let mut sigma: HashMap<Value, Value> = HashMap::new();
+        let mut inits: HashMap<Value, SymPoly> = HashMap::new();
+        for &phi in header_phis {
+            let (init_op, carried_op) = self.phi_init_carried(phi)?;
+            // Initial values must come from outside the loop.
+            if let Some(v) = init_op.as_value() {
+                if self.forest.contains(self.loop_id, self.ssa.def_block(v)) {
+                    return None;
+                }
+            }
+            inits.insert(phi, operand_to_sympoly(&resolve_copies(self.ssa, init_op)));
+            sigma.insert(phi, chase(carried_op)?);
+        }
+        // Walk the σ-orbit from the first φ; it must visit every φ.
+        let start = header_phis[0];
+        let mut orbit = vec![start];
+        let mut cur = sigma[&start];
+        while cur != start {
+            if orbit.len() > period {
+                return None;
+            }
+            orbit.push(cur);
+            cur = sigma[&cur];
+        }
+        if orbit.len() != period {
+            return None;
+        }
+        // F(h) = σ^h(F)(0): the family values in rotation order from the
+        // start φ.
+        let values: Vec<SymPoly> = orbit.iter().map(|phi| inits[phi].clone()).collect();
+        let phase_of: HashMap<Value, usize> =
+            orbit.iter().enumerate().map(|(k, &phi)| (phi, k)).collect();
+        for &phi in header_phis {
+            self.classes.insert(
+                phi,
+                Class::Periodic(Periodic {
+                    loop_id: self.loop_id,
+                    values: values.clone(),
+                    phase: phase_of[&phi],
+                }),
+            );
+        }
+        // Copies take the phase of the φ they (transitively) read.
+        for &v in &scr.members {
+            if let ValueDef::Copy { src } = self.ssa.def(v) {
+                let phi = chase(*src)?;
+                self.classes.insert(
+                    v,
+                    Class::Periodic(Periodic {
+                        loop_id: self.loop_id,
+                        values: values.clone(),
+                        phase: phase_of[&phi],
+                    }),
+                );
+            }
+        }
+        Some(())
+    }
+
+    /// Single-header-φ SCR: affine-transform analysis producing linear,
+    /// polynomial, geometric, or flip-flop closed forms.
+    fn classify_affine_scr(
+        &mut self,
+        scr: &Scr,
+        members: &HashSet<Value>,
+        phi: Value,
+    ) -> Option<()> {
+        let (init_op, carried_op) = self.phi_init_carried(phi)?;
+        let init = operand_to_sympoly(&resolve_copies(self.ssa, init_op));
+        let mut memo: HashMap<Value, Result<Transform, NonAffine>> = HashMap::new();
+        let latch_t = self
+            .transform_operand(&carried_op, phi, members, &mut memo)
+            .ok()?;
+        // Cumulative effect per iteration: φ ← a·φ + b(h).
+        let a = latch_t.a;
+        let b = latch_t.b;
+        let cf_phi: ClosedForm = if a == Rational::ONE && b.is_invariant() {
+            // Basic linear induction variable.
+            ClosedForm::linear(self.loop_id, init.clone(), b.coeffs[0].clone())
+        } else {
+            if !self.config.nonlinear {
+                return None;
+            }
+            if a.is_zero() {
+                return None; // degenerate (not a real cycle)
+            }
+            // Determine the fitting basis.
+            let mut bases: Vec<Rational> = b.geo.iter().map(|(g, _)| *g).collect();
+            let poly_degree = if a == Rational::ONE {
+                b.degree() + 1
+            } else {
+                if bases.contains(&a) {
+                    return None; // h·a^h term: unrepresentable
+                }
+                bases.push(a);
+                b.degree()
+            };
+            bases.sort();
+            bases.dedup();
+            // Sample the recurrence symbolically and invert the basis
+            // matrix (§4.3).
+            let n = poly_degree + 1 + bases.len();
+            let mut samples = Vec::with_capacity(n);
+            let mut v = init.clone();
+            for h in 0..n {
+                samples.push(v.clone());
+                if h + 1 < n {
+                    let step = b.eval_at(h as i128)?;
+                    v = v.checked_scale(&a).ok()?.checked_add(&step).ok()?;
+                }
+            }
+            let fit = fit_mixed(&samples, poly_degree, &bases).ok()??;
+            let geo = bases.into_iter().zip(fit.geo).collect();
+            ClosedForm::from_parts(self.loop_id, fit.poly, geo)
+        };
+        // Classify every member through its transform.
+        for &m in &scr.members {
+            let cls = match self.transform_value(m, phi, members, &mut memo) {
+                Ok(t) => {
+                    let scaled = cf_phi.scale(&SymPoly::constant(t.a));
+                    match scaled.and_then(|s| s.add(&t.b)) {
+                        Some(cf) => Class::Induction(cf).normalized(),
+                        None => Class::Unknown,
+                    }
+                }
+                Err(NonAffine) => Class::Unknown,
+            };
+            self.classes.insert(m, cls);
+        }
+        Some(())
+    }
+
+    fn transform_value(
+        &self,
+        v: Value,
+        phi: Value,
+        members: &HashSet<Value>,
+        memo: &mut HashMap<Value, Result<Transform, NonAffine>>,
+    ) -> Result<Transform, NonAffine> {
+        if v == phi {
+            return Ok(Transform {
+                a: Rational::ONE,
+                b: ClosedForm::constant(self.loop_id, SymPoly::zero()),
+            });
+        }
+        if let Some(t) = memo.get(&v) {
+            return t.clone();
+        }
+        // Mark in-progress to cut (impossible in well-formed SCRs) cycles
+        // that avoid the header φ.
+        memo.insert(v, Err(NonAffine));
+        let result = self.transform_value_uncached(v, phi, members, memo);
+        memo.insert(v, result.clone());
+        result
+    }
+
+    fn transform_value_uncached(
+        &self,
+        v: Value,
+        phi: Value,
+        members: &HashSet<Value>,
+        memo: &mut HashMap<Value, Result<Transform, NonAffine>>,
+    ) -> Result<Transform, NonAffine> {
+        let zero = || ClosedForm::constant(self.loop_id, SymPoly::zero());
+        match self.ssa.def(v) {
+            ValueDef::Copy { src } => self.transform_operand(src, phi, members, memo),
+            ValueDef::Neg { src } => {
+                let t = self.transform_operand(src, phi, members, memo)?;
+                Ok(Transform {
+                    a: t.a.checked_neg().map_err(|_| NonAffine)?,
+                    b: t.b.neg().ok_or(NonAffine)?,
+                })
+            }
+            ValueDef::Binary { op, lhs, rhs } => {
+                let l = self.transform_operand(lhs, phi, members, memo)?;
+                let r = self.transform_operand(rhs, phi, members, memo)?;
+                match op {
+                    BinOp::Add => Ok(Transform {
+                        a: l.a.checked_add(&r.a).map_err(|_| NonAffine)?,
+                        b: l.b.add(&r.b).ok_or(NonAffine)?,
+                    }),
+                    BinOp::Sub => Ok(Transform {
+                        a: l.a.checked_sub(&r.a).map_err(|_| NonAffine)?,
+                        b: l.b.sub(&r.b).ok_or(NonAffine)?,
+                    }),
+                    BinOp::Mul => {
+                        // (a1·φ + b1)(a2·φ + b2): affine only when at most
+                        // one side involves φ, and the φ-free side is a
+                        // rational constant (for the φ coefficient) or any
+                        // closed form (for the φ-free product).
+                        if !l.a.is_zero() && !r.a.is_zero() {
+                            return Err(NonAffine);
+                        }
+                        let (varying, fixed) = if r.a.is_zero() { (l, r) } else { (r, l) };
+                        if varying.a.is_zero() {
+                            // Pure b×b product.
+                            return Ok(Transform {
+                                a: Rational::ZERO,
+                                b: varying.b.mul(&fixed.b).ok_or(NonAffine)?,
+                            });
+                        }
+                        // φ-coefficient must stay a rational constant.
+                        let c = fixed
+                            .b
+                            .is_invariant()
+                            .then(|| fixed.b.coeffs[0].constant_value())
+                            .flatten()
+                            .ok_or(NonAffine)?;
+                        Ok(Transform {
+                            a: varying.a.checked_mul(&c).map_err(|_| NonAffine)?,
+                            b: varying
+                                .b
+                                .scale(&SymPoly::constant(c))
+                                .ok_or(NonAffine)?,
+                        })
+                    }
+                    BinOp::Div | BinOp::Exp => Err(NonAffine),
+                }
+            }
+            ValueDef::Phi { args } => {
+                // Non-header φ inside the SCR: all paths must agree.
+                let mut agreed: Option<Transform> = None;
+                for (_, op) in args {
+                    let t = self.transform_operand(op, phi, members, memo)?;
+                    match &agreed {
+                        None => agreed = Some(t),
+                        Some(prev) if *prev == t => {}
+                        Some(_) => return Err(NonAffine),
+                    }
+                }
+                agreed.ok_or(NonAffine)
+            }
+            ValueDef::ExitValue { .. } => {
+                // The exit expression is a polynomial over symbols; it is
+                // affine in the SCR when at most linear in SCR symbols.
+                let expr = self.exit_exprs.get(&v).ok_or(NonAffine)?;
+                let mut a = Rational::ZERO;
+                let mut b = zero();
+                for (monomial, coeff) in expr.iter() {
+                    let scr_syms: Vec<_> = monomial
+                        .factors()
+                        .iter()
+                        .filter(|(s, _)| members.contains(&value_of_sym(*s)))
+                        .collect();
+                    match scr_syms.as_slice() {
+                        [] => {
+                            // φ-free term: classify and fold into b.
+                            let mut term =
+                                Class::Invariant(SymPoly::constant(*coeff));
+                            for &(sym, pow) in monomial.factors() {
+                                let base = self
+                                    .class_of_operand(&Operand::Value(value_of_sym(sym)));
+                                for _ in 0..pow {
+                                    term = mul_classes(self.loop_id, &term, &base);
+                                }
+                            }
+                            let cf = term.closed_form(self.loop_id).ok_or(NonAffine)?;
+                            b = b.add(&cf).ok_or(NonAffine)?;
+                        }
+                        [(sym, 1)] if monomial.factors().len() == 1 => {
+                            // coeff · (single SCR symbol).
+                            let t = self.transform_value(
+                                value_of_sym(*sym),
+                                phi,
+                                members,
+                                memo,
+                            )?;
+                            a = a
+                                .checked_add(
+                                    &t.a.checked_mul(coeff).map_err(|_| NonAffine)?,
+                                )
+                                .map_err(|_| NonAffine)?;
+                            b = b
+                                .add(&t.b.scale(&SymPoly::constant(*coeff)).ok_or(NonAffine)?)
+                                .ok_or(NonAffine)?;
+                        }
+                        _ => return Err(NonAffine),
+                    }
+                }
+                Ok(Transform { a, b })
+            }
+            ValueDef::Load { .. } | ValueDef::LiveIn { .. } => Err(NonAffine),
+        }
+    }
+
+    fn transform_operand(
+        &self,
+        op: &Operand,
+        phi: Value,
+        members: &HashSet<Value>,
+        memo: &mut HashMap<Value, Result<Transform, NonAffine>>,
+    ) -> Result<Transform, NonAffine> {
+        // Resolve copies only when they lead out of the SCR; in-SCR copy
+        // chains go through transform_value so members get transforms.
+        let resolved = resolve_copies(self.ssa, *op);
+        let op = if self.in_scr(op, members) { op } else { &resolved };
+        match op {
+            Operand::Const(c) => Ok(Transform {
+                a: Rational::ZERO,
+                b: ClosedForm::constant(
+                    self.loop_id,
+                    SymPoly::from_integer(i128::from(*c)),
+                ),
+            }),
+            Operand::Value(v) => {
+                if members.contains(v) {
+                    return self.transform_value(*v, phi, members, memo);
+                }
+                // Out-of-SCR operand: use its class.
+                match self.class_of_operand(op) {
+                    Class::Invariant(s) => Ok(Transform {
+                        a: Rational::ZERO,
+                        b: ClosedForm::constant(self.loop_id, s),
+                    }),
+                    Class::Induction(cf) => Ok(Transform {
+                        a: Rational::ZERO,
+                        b: cf,
+                    }),
+                    _ => Err(NonAffine),
+                }
+            }
+        }
+    }
+
+    /// The monotonic fallback (§4.4 with the §5.4 strictness refinement):
+    /// offsets relative to the header φ tracked as signs; divergent merges
+    /// are allowed as long as the sign is consistent.
+    fn classify_monotonic_scr(
+        &mut self,
+        scr: &Scr,
+        members: &HashSet<Value>,
+        phi: Value,
+    ) -> Option<()> {
+        if !self.config.monotonic {
+            return None;
+        }
+        let (_, carried_op) = self.phi_init_carried(phi)?;
+        let mut memo: HashMap<Value, Option<Sign>> = HashMap::new();
+        let latch_sign = self.offset_sign_operand(&carried_op, phi, members, &mut memo)?;
+        let direction = match latch_sign {
+            Sign::Pos | Sign::NonNeg => Direction::Increasing,
+            Sign::Neg | Sign::NonPos => Direction::Decreasing,
+            Sign::Zero => {
+                // The cycle adds nothing: everything offset-zero is the
+                // initial value.
+                let (init_op, _) = self.phi_init_carried(phi)?;
+                let init = operand_to_sympoly(&resolve_copies(self.ssa, init_op));
+                for &m in &scr.members {
+                    let sign = self.offset_sign_value(m, phi, members, &mut memo);
+                    let cls = match sign {
+                        Some(Sign::Zero) => Class::Invariant(init.clone()),
+                        _ => Class::Unknown,
+                    };
+                    self.classes.insert(m, cls);
+                }
+                return Some(());
+            }
+        };
+        let phi_strict = matches!(latch_sign, Sign::Pos | Sign::Neg);
+        for &m in &scr.members {
+            let cls = match self.offset_sign_value(m, phi, members, &mut memo) {
+                Some(sign) => {
+                    // A member whose offset from the header value is
+                    // strictly signed assigns a strictly larger (smaller)
+                    // value on every execution (§5.4).
+                    let strict = match sign {
+                        Sign::Pos | Sign::Neg => true,
+                        Sign::Zero => phi_strict,
+                        _ => false,
+                    };
+                    // Direction consistency: in an increasing family a
+                    // negative offset is still fine (the member trails the
+                    // φ), since monotonicity follows from the family
+                    // growth, not the offset sign — but strictness does
+                    // not. Conservatively require non-conflicting sign.
+                    let compatible = match direction {
+                        Direction::Increasing => {
+                            !matches!(sign, Sign::Neg | Sign::NonPos)
+                        }
+                        Direction::Decreasing => {
+                            !matches!(sign, Sign::Pos | Sign::NonNeg)
+                        }
+                    };
+                    let family =
+                        Some(FamilyAnchor(u32::try_from(biv_ir::EntityId::index(phi)).unwrap_or(u32::MAX)));
+                    Class::Monotonic(Monotonic {
+                        loop_id: self.loop_id,
+                        direction,
+                        strict: compatible && strict && phi_strict_or_member(sign, phi_strict),
+                        family,
+                    })
+                }
+                None => Class::Unknown,
+            };
+            self.classes.insert(m, cls);
+        }
+        Some(())
+    }
+
+    #[allow(clippy::only_used_in_recursion)] // `phi` anchors the recursion
+    fn offset_sign_value(
+        &self,
+        v: Value,
+        phi: Value,
+        members: &HashSet<Value>,
+        memo: &mut HashMap<Value, Option<Sign>>,
+    ) -> Option<Sign> {
+        if v == phi {
+            return Some(Sign::Zero);
+        }
+        if let Some(s) = memo.get(&v) {
+            return *s;
+        }
+        memo.insert(v, None);
+        let result = match self.ssa.def(v) {
+            ValueDef::Copy { src } => self.offset_sign_operand(src, phi, members, memo),
+            ValueDef::Binary {
+                op: BinOp::Add,
+                lhs,
+                rhs,
+            } => {
+                // Exactly one side stays in the SCR (offset), the other
+                // contributes its value sign.
+                let (inner, outer) = match (self.in_scr(lhs, members), self.in_scr(rhs, members))
+                {
+                    (true, false) => (lhs, rhs),
+                    (false, true) => (rhs, lhs),
+                    _ => return cache(memo, v, None),
+                };
+                let base = self.offset_sign_operand(inner, phi, members, memo)?;
+                let addend = self.value_sign_operand(outer)?;
+                base.add(addend)
+            }
+            ValueDef::Binary {
+                op: BinOp::Sub,
+                lhs,
+                rhs,
+            } => {
+                // Only `scr - outside` keeps the +1 coefficient on φ.
+                if !self.in_scr(lhs, members) || self.in_scr(rhs, members) {
+                    return cache(memo, v, None);
+                }
+                let base = self.offset_sign_operand(lhs, phi, members, memo)?;
+                let sub = self.value_sign_operand(rhs)?;
+                base.add(sub.negate())
+            }
+            ValueDef::Phi { args } => {
+                let mut joined: Option<Sign> = None;
+                for (_, op) in args {
+                    let s = self.offset_sign_operand(op, phi, members, memo)?;
+                    joined = Some(match joined {
+                        None => s,
+                        Some(j) => j.join(s)?,
+                    });
+                }
+                joined
+            }
+            _ => None,
+        };
+        memo.insert(v, result);
+        result
+    }
+
+    fn in_scr(&self, op: &Operand, members: &HashSet<Value>) -> bool {
+        op.as_value().is_some_and(|v| members.contains(&v))
+    }
+
+    fn offset_sign_operand(
+        &self,
+        op: &Operand,
+        phi: Value,
+        members: &HashSet<Value>,
+        memo: &mut HashMap<Value, Option<Sign>>,
+    ) -> Option<Sign> {
+        match op {
+            Operand::Value(v) if members.contains(v) => {
+                self.offset_sign_value(*v, phi, members, memo)
+            }
+            // A non-SCR operand cannot be an offset from φ.
+            _ => None,
+        }
+    }
+
+    /// Sign of the *value* of a φ-free operand, for all iterations.
+    fn value_sign_operand(&self, op: &Operand) -> Option<Sign> {
+        match self.class_of_operand(op) {
+            Class::Invariant(p) => p.constant_value().map(Sign::of_rational),
+            Class::Induction(cf) => cf_value_sign(&cf),
+            _ => None,
+        }
+    }
+}
+
+fn phi_strict_or_member(sign: Sign, phi_strict: bool) -> bool {
+    match sign {
+        Sign::Pos | Sign::Neg => true,
+        Sign::Zero => phi_strict,
+        _ => false,
+    }
+}
+
+fn cache(
+    memo: &mut HashMap<Value, Option<Sign>>,
+    v: Value,
+    s: Option<Sign>,
+) -> Option<Sign> {
+    memo.insert(v, s);
+    s
+}
+
+/// Conservative sign of a closed form's values for all `h ≥ 0`.
+fn cf_value_sign(cf: &ClosedForm) -> Option<Sign> {
+    let mut sign = Sign::Zero;
+    for (k, c) in cf.coeffs.iter().enumerate() {
+        let v = c.constant_value()?;
+        let s = Sign::of_rational(v);
+        // h^k is 0 at h=0 for k ≥ 1, so positive coefficients on higher
+        // powers contribute NonNeg, not Pos.
+        let s = match (k, s) {
+            (0, s) => s,
+            (_, Sign::Pos) => Sign::NonNeg,
+            (_, Sign::Neg) => Sign::NonPos,
+            (_, s) => s,
+        };
+        sign = sign.add(s)?;
+    }
+    for (base, coeff) in &cf.geo {
+        let c = coeff.constant_value()?;
+        if *base <= Rational::ZERO {
+            return None;
+        }
+        // c·g^h with g > 0 keeps the sign of c for all h.
+        sign = sign.add(Sign::of_rational(c))?;
+    }
+    Some(sign)
+}

@@ -1,0 +1,75 @@
+//! Analysis configuration (also the ablation surface for the benchmark
+//! suite: each extension beyond linear induction variables can be turned
+//! off independently).
+
+/// Switches for the classifier's extensions beyond linear induction
+/// variables. Everything defaults to on; the ablation benchmarks measure
+/// the incremental cost of each extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalysisConfig {
+    /// Recognize polynomial and geometric induction variables (§4.3).
+    pub nonlinear: bool,
+    /// Recognize periodic families and flip-flops (§4.2).
+    pub periodic: bool,
+    /// Recognize monotonic variables (§4.4).
+    pub monotonic: bool,
+    /// Recognize wrap-around variables (§4.1).
+    pub wraparound: bool,
+    /// Compute trip counts and propagate inner-loop exit values to outer
+    /// loops (§5.2–§5.3).
+    pub nested_exit_values: bool,
+    /// Run SSA constant folding before classification so literal initial
+    /// values are substituted (the paper's \[WZ91\] step).
+    pub constant_folding: bool,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig {
+            nonlinear: true,
+            periodic: true,
+            monotonic: true,
+            wraparound: true,
+            nested_exit_values: true,
+            constant_folding: true,
+        }
+    }
+}
+
+impl AnalysisConfig {
+    /// The full algorithm (all extensions on).
+    pub fn full() -> AnalysisConfig {
+        AnalysisConfig::default()
+    }
+
+    /// Linear induction variables only — roughly the classical scope, used
+    /// as the ablation baseline.
+    pub fn linear_only() -> AnalysisConfig {
+        AnalysisConfig {
+            nonlinear: false,
+            periodic: false,
+            monotonic: false,
+            wraparound: false,
+            nested_exit_values: true,
+            constant_folding: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_full() {
+        assert_eq!(AnalysisConfig::default(), AnalysisConfig::full());
+        assert!(AnalysisConfig::default().nonlinear);
+    }
+
+    #[test]
+    fn linear_only_disables_extensions() {
+        let c = AnalysisConfig::linear_only();
+        assert!(!c.nonlinear && !c.periodic && !c.monotonic && !c.wraparound);
+        assert!(c.nested_exit_values);
+    }
+}

@@ -1,0 +1,118 @@
+//! Paper-style rendering of classifications: `(L7, n1, c1 + k1)` tuples,
+//! nested for multi-loop induction variables.
+
+use biv_algebra::{Rational, SymPoly};
+
+use crate::class::{Class, ClosedForm, Direction};
+use crate::driver::Analysis;
+use crate::symbols::value_of_sym;
+
+/// Renders a symbolic polynomial with SSA value names, substituting nested
+/// induction-variable tuples for symbols classified in outer loops.
+fn render_sympoly(analysis: &Analysis, poly: &SymPoly) -> String {
+    // If the polynomial is exactly one symbol and that symbol is an outer
+    // induction variable, render its tuple (the paper's nested form).
+    if poly.term_count() == 1 {
+        let (monomial, coeff) = poly.iter().next().expect("one term");
+        if *coeff == Rational::ONE && monomial.factors().len() == 1 {
+            let (sym, pow) = monomial.factors()[0];
+            if pow == 1 {
+                let value = value_of_sym(sym);
+                if let Some((_, Class::Induction(cf))) = analysis.class_of(value) {
+                    if !cf.is_invariant() {
+                        return describe_closed_form(analysis, cf);
+                    }
+                }
+            }
+        }
+    }
+    poly.display_with(|s| analysis.ssa().value_name(value_of_sym(s)))
+}
+
+/// Renders a closed form as the paper's tuple.
+///
+/// - linear: `(L, init, step)`
+/// - polynomial: `(L, s0, s1, …, sm)` — value at iteration `h` is
+///   `Σ s_k·h^k`
+/// - geometric: polynomial coefficients followed by `| c·g^h` terms
+pub fn describe_closed_form(analysis: &Analysis, cf: &ClosedForm) -> String {
+    let loop_name = analysis
+        .loops()
+        .find(|(l, _)| *l == cf.loop_id)
+        .map(|(_, info)| info.name.clone())
+        .unwrap_or_else(|| format!("{}", cf.loop_id));
+    let mut parts: Vec<String> = cf
+        .coeffs
+        .iter()
+        .map(|c| render_sympoly(analysis, c))
+        .collect();
+    if cf.coeffs.len() == 1 && cf.geo.is_empty() {
+        // Invariant rendered as a bare tuple of one value.
+        return format!("({loop_name}, {})", parts[0]);
+    }
+    let geo: Vec<String> = cf
+        .geo
+        .iter()
+        .map(|(base, coeff)| format!("{}*{}^h", render_sympoly(analysis, coeff), base))
+        .collect();
+    let mut body = parts.join(", ");
+    if !geo.is_empty() {
+        if parts.len() == 1 && parts[0] == "0" {
+            body = String::new();
+        }
+        let sep = if body.is_empty() { "" } else { " | " };
+        body = format!("{body}{sep}{}", geo.join(" + "));
+    }
+    let _ = &mut parts;
+    format!("({loop_name}, {body})")
+}
+
+/// Renders any class in a human-readable, paper-flavored form.
+pub fn describe_class(analysis: &Analysis, class: &Class) -> String {
+    match class {
+        Class::Invariant(p) => format!("invariant {}", render_sympoly(analysis, p)),
+        Class::Induction(cf) => describe_closed_form(analysis, cf),
+        Class::WrapAround {
+            order,
+            steady,
+            initials,
+        } => {
+            let inits: Vec<String> = initials
+                .iter()
+                .map(|p| render_sympoly(analysis, p))
+                .collect();
+            format!(
+                "wrap-around(order {order}, initial [{}]) of {}",
+                inits.join(", "),
+                describe_class(analysis, steady)
+            )
+        }
+        Class::Periodic(p) => {
+            let values: Vec<String> = p
+                .values
+                .iter()
+                .map(|v| render_sympoly(analysis, v))
+                .collect();
+            let loop_name = analysis
+                .loops()
+                .find(|(l, _)| *l == p.loop_id)
+                .map(|(_, info)| info.name.clone())
+                .unwrap_or_default();
+            format!(
+                "periodic({loop_name}, period {}, phase {}, values [{}])",
+                p.period(),
+                p.phase,
+                values.join(", ")
+            )
+        }
+        Class::Monotonic(m) => {
+            let dir = match m.direction {
+                Direction::Increasing => "increasing",
+                Direction::Decreasing => "decreasing",
+            };
+            let strict = if m.strict { "strictly " } else { "" };
+            format!("monotonic {strict}{dir}")
+        }
+        Class::Unknown => "unknown".to_string(),
+    }
+}

@@ -1,0 +1,475 @@
+//! The whole-function analysis driver: loops processed inner-to-outer
+//! with exit-value materialization (§5.3).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use biv_algebra::SymPoly;
+use biv_ir::dom::DomTree;
+use biv_ir::loops::{Loop, LoopForest};
+use biv_ir::parser::ParseError;
+use biv_ir::{Block, Function};
+use biv_ssa::{Operand, SsaFunction, SsaInst, SsaTerminator, Value, ValueDef};
+
+use crate::class::Class;
+use crate::classify::classify_loop;
+use crate::config::AnalysisConfig;
+use crate::display::describe_class;
+use crate::tripcount::{max_trip_count, trip_count, TripCount};
+
+/// Errors from the convenience entry points.
+#[derive(Debug)]
+pub enum AnalyzeError {
+    /// The source text failed to parse.
+    Parse(ParseError),
+    /// The source did not contain exactly one function.
+    NotOneFunction(usize),
+}
+
+impl fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyzeError::Parse(e) => write!(f, "parse error: {e}"),
+            AnalyzeError::NotOneFunction(n) => {
+                write!(f, "expected exactly one function, found {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+impl From<ParseError> for AnalyzeError {
+    fn from(e: ParseError) -> Self {
+        AnalyzeError::Parse(e)
+    }
+}
+
+/// Per-loop analysis results.
+#[derive(Debug, Clone)]
+pub struct LoopInfo {
+    /// The analyzed loop.
+    pub loop_id: Loop,
+    /// Human-readable loop name (source label when present).
+    pub name: String,
+    /// Classification of every SSA value in the loop's region.
+    pub classes: HashMap<Value, Class>,
+    /// The loop's trip count (§5.2).
+    pub trip_count: TripCount,
+    /// An upper bound on the trip count for multi-exit loops (§5.2);
+    /// equals the trip count for single-exit countable loops.
+    pub max_trip_count: Option<SymPoly>,
+    /// Symbolic exit values materialized for values referenced outside the
+    /// loop, keyed by the original in-loop value.
+    pub exit_values: HashMap<Value, SymPoly>,
+    /// Synthetic exit-value definitions, keyed by the original value.
+    pub synthetics: HashMap<Value, Value>,
+}
+
+/// Whole-function classification results.
+#[derive(Debug)]
+pub struct Analysis {
+    ssa: SsaFunction,
+    forest: LoopForest,
+    /// Per-loop results, in inner-to-outer processing order.
+    pub loop_order: Vec<Loop>,
+    loops: HashMap<Loop, LoopInfo>,
+    config: AnalysisConfig,
+}
+
+/// Analyzes a function with the default configuration.
+pub fn analyze(func: &Function) -> Analysis {
+    analyze_with(func, AnalysisConfig::default())
+}
+
+/// Analyzes a function with an explicit configuration.
+pub fn analyze_with(func: &Function, config: AnalysisConfig) -> Analysis {
+    let ssa = SsaFunction::build(func);
+    analyze_ssa_with(ssa, config)
+}
+
+/// Parses source text containing one function and analyzes it.
+///
+/// # Errors
+///
+/// Returns [`AnalyzeError`] on parse failure or when the source does not
+/// hold exactly one function.
+pub fn analyze_source(src: &str) -> Result<Analysis, AnalyzeError> {
+    let program = biv_ir::parser::parse_program(src)?;
+    if program.functions.len() != 1 {
+        return Err(AnalyzeError::NotOneFunction(program.functions.len()));
+    }
+    Ok(analyze(&program.functions[0]))
+}
+
+/// Analyzes an already-built SSA function.
+pub fn analyze_ssa_with(mut ssa: SsaFunction, config: AnalysisConfig) -> Analysis {
+    if config.constant_folding {
+        biv_ssa::fold_constants(&mut ssa);
+    }
+    let dom = DomTree::compute(ssa.func());
+    let forest = LoopForest::compute(ssa.func(), &dom);
+    let order = forest.inner_to_outer();
+    let mut exit_exprs: HashMap<Value, SymPoly> = HashMap::new();
+    let mut loops: HashMap<Loop, LoopInfo> = HashMap::new();
+    let mut use_map = build_use_map(&ssa);
+    for &l in &order {
+        let classes = classify_loop(&ssa, &forest, l, &exit_exprs, &config);
+        let tc = trip_count(&ssa, &forest, l, &classes, &config);
+        let max_tc = match tc.as_symbolic() {
+            Some(p) => Some(p),
+            None => max_trip_count(&ssa, &forest, l, &classes),
+        };
+        let mut exit_values = HashMap::new();
+        let mut synthetics = HashMap::new();
+        if config.nested_exit_values {
+            materialize_exit_values(
+                &mut ssa,
+                &forest,
+                &dom,
+                l,
+                &classes,
+                &tc,
+                &mut exit_exprs,
+                &mut exit_values,
+                &mut synthetics,
+                &mut use_map,
+            );
+        }
+        let name = forest.name(ssa.func(), l);
+        loops.insert(
+            l,
+            LoopInfo {
+                loop_id: l,
+                name,
+                classes,
+                trip_count: tc,
+                max_trip_count: max_tc,
+                exit_values,
+                synthetics,
+            },
+        );
+    }
+    Analysis {
+        ssa,
+        forest,
+        loop_order: order,
+        loops,
+        config,
+    }
+}
+
+/// A location where an SSA value is read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum UseSite {
+    /// Read by another value's definition (φ arguments included).
+    Def(Value),
+    /// Read by a store in this block.
+    Store(Block),
+    /// Read by this block's terminator.
+    Term(Block),
+}
+
+/// Builds the value → use-sites map in one pass over the function.
+fn build_use_map(ssa: &SsaFunction) -> HashMap<Value, Vec<UseSite>> {
+    let mut map: HashMap<Value, Vec<UseSite>> = HashMap::new();
+    let mut ops = Vec::new();
+    for (v, data) in ssa.values.iter() {
+        ops.clear();
+        data.def.operands(&mut ops);
+        for &o in &ops {
+            map.entry(o).or_default().push(UseSite::Def(v));
+        }
+    }
+    for b in ssa.block_ids() {
+        let sb = ssa.block(b);
+        for inst in &sb.body {
+            if let SsaInst::Store { index, value, .. } = inst {
+                for op in index.iter().chain(std::iter::once(value)) {
+                    if let Operand::Value(v) = op {
+                        map.entry(*v).or_default().push(UseSite::Store(b));
+                    }
+                }
+            }
+        }
+        if let Some(SsaTerminator::Branch { lhs, rhs, .. }) = &sb.term {
+            for op in [lhs, rhs] {
+                if let Operand::Value(v) = op {
+                    map.entry(*v).or_default().push(UseSite::Term(b));
+                }
+            }
+        }
+    }
+    map
+}
+
+fn site_block(ssa: &SsaFunction, site: UseSite) -> Block {
+    match site {
+        UseSite::Def(v) => ssa.def_block(v),
+        UseSite::Store(b) | UseSite::Term(b) => b,
+    }
+}
+
+/// Computes exit values for values of loop `l` used outside it, creates
+/// synthetic definitions, and rewrites the outside uses (§5.3). The use
+/// map is consulted and kept up to date, so the whole driver stays linear
+/// in the number of uses.
+#[allow(clippy::too_many_arguments)]
+fn materialize_exit_values(
+    ssa: &mut SsaFunction,
+    forest: &LoopForest,
+    dom: &DomTree,
+    l: Loop,
+    classes: &HashMap<Value, Class>,
+    tc: &TripCount,
+    exit_exprs: &mut HashMap<Value, SymPoly>,
+    exit_values: &mut HashMap<Value, SymPoly>,
+    synthetics: &mut HashMap<Value, Value>,
+    use_map: &mut HashMap<Value, Vec<UseSite>>,
+) {
+    let Some(tc_sym) = tc.as_symbolic() else {
+        return;
+    };
+    let exits = forest.exit_edges(ssa.func(), l);
+    let [(exit_from, exit_to)] = exits.as_slice() else {
+        return;
+    };
+    let (exit_from, exit_to) = (*exit_from, *exit_to);
+    // Candidates: values defined in the loop with at least one use site
+    // outside it.
+    let mut outside_used: Vec<Value> = Vec::new();
+    for &b in &forest.data(l).blocks {
+        let sb = ssa.block(b);
+        let defs = sb
+            .phis
+            .iter()
+            .copied()
+            .chain(sb.body.iter().filter_map(|i| match i {
+                SsaInst::Def(v) => Some(*v),
+                SsaInst::Store { .. } => None,
+            }));
+        for v in defs {
+            let used_outside = use_map
+                .get(&v)
+                .is_some_and(|sites| sites.iter().any(|&s| !forest.contains(l, site_block(ssa, s))));
+            if used_outside {
+                outside_used.push(v);
+            }
+        }
+    }
+    for v in outside_used {
+        let Some(class) = classes.get(&v) else {
+            continue; // inner-loop value without a class
+        };
+        let expr = match class {
+            Class::Invariant(p) => Some(p.clone()),
+            Class::Induction(cf) => {
+                // Does v still execute on the final (partial) iteration?
+                let runs_final = dom.dominates(ssa.def_block(v), exit_from);
+                let at = if runs_final {
+                    tc_sym.clone()
+                } else {
+                    match tc_sym
+                        .checked_sub(&SymPoly::from_integer(1))
+                        .ok()
+                        .filter(|p| {
+                            p.constant_value()
+                                != Some(biv_algebra::Rational::from_integer(-1))
+                        }) {
+                        Some(p) => p,
+                        None => continue, // never executed
+                    }
+                };
+                cf.eval_at_sym(&at)
+            }
+            _ => None,
+        };
+        let Some(expr) = expr else {
+            continue;
+        };
+        // Materialize the synthetic definition in the exit target block.
+        let (var, version) = {
+            let data = &ssa.values[v];
+            (data.var, data.version + 100)
+        };
+        let synthetic =
+            ssa.add_synthetic_value(exit_to, ValueDef::ExitValue { inner: v }, var, version);
+        // The synthetic reads the expression's symbols (for the SSA graph
+        // used by outer classifications and later materializations).
+        for sym in expr.symbols() {
+            use_map
+                .entry(crate::symbols::value_of_sym(sym))
+                .or_default()
+                .push(UseSite::Def(synthetic));
+        }
+        exit_exprs.insert(synthetic, expr.clone());
+        exit_values.insert(v, expr);
+        synthetics.insert(v, synthetic);
+        rewrite_outside_uses(ssa, forest, l, v, synthetic, use_map);
+    }
+}
+
+/// Replaces uses of `old` with `new` at every use site outside loop `l`,
+/// updating the use map.
+fn rewrite_outside_uses(
+    ssa: &mut SsaFunction,
+    forest: &LoopForest,
+    l: Loop,
+    old: Value,
+    new: Value,
+    use_map: &mut HashMap<Value, Vec<UseSite>>,
+) {
+    let sites = use_map.remove(&old).unwrap_or_default();
+    let mut kept = Vec::with_capacity(sites.len());
+    let mut moved = Vec::new();
+    let rewrite_op = |op: &mut Operand| {
+        if *op == Operand::Value(old) {
+            *op = Operand::Value(new);
+        }
+    };
+    for site in sites {
+        if forest.contains(l, site_block(ssa, site)) {
+            kept.push(site);
+            continue;
+        }
+        match site {
+            UseSite::Def(u) => {
+                if u == new {
+                    kept.push(site);
+                    continue;
+                }
+                match &mut ssa.values[u].def {
+                    ValueDef::Phi { args } => {
+                        args.iter_mut().for_each(|(_, op)| rewrite_op(op))
+                    }
+                    ValueDef::Copy { src } | ValueDef::Neg { src } => rewrite_op(src),
+                    ValueDef::Binary { lhs, rhs, .. } => {
+                        rewrite_op(lhs);
+                        rewrite_op(rhs);
+                    }
+                    ValueDef::Load { index, .. } => {
+                        index.iter_mut().for_each(rewrite_op)
+                    }
+                    ValueDef::LiveIn { .. } | ValueDef::ExitValue { .. } => {}
+                }
+            }
+            UseSite::Store(b) => {
+                for inst in &mut ssa.block_mut(b).body {
+                    if let SsaInst::Store { index, value, .. } = inst {
+                        index.iter_mut().for_each(rewrite_op);
+                        rewrite_op(value);
+                    }
+                }
+            }
+            UseSite::Term(b) => {
+                if let Some(SsaTerminator::Branch { lhs, rhs, .. }) =
+                    &mut ssa.block_mut(b).term
+                {
+                    rewrite_op(lhs);
+                    rewrite_op(rhs);
+                }
+            }
+        }
+        moved.push(site);
+    }
+    if !kept.is_empty() {
+        use_map.insert(old, kept);
+    }
+    use_map.entry(new).or_default().extend(moved);
+}
+
+impl Analysis {
+    /// The (analysis-mutated) SSA function: synthetic exit values added,
+    /// outside uses rewritten.
+    pub fn ssa(&self) -> &SsaFunction {
+        &self.ssa
+    }
+
+    /// The loop forest.
+    pub fn forest(&self) -> &LoopForest {
+        &self.forest
+    }
+
+    /// The configuration the analysis ran with.
+    pub fn config(&self) -> &AnalysisConfig {
+        &self.config
+    }
+
+    /// Per-loop results.
+    pub fn info(&self, l: Loop) -> &LoopInfo {
+        &self.loops[&l]
+    }
+
+    /// Finds a loop by its source label.
+    pub fn loop_by_label(&self, label: &str) -> Option<Loop> {
+        let block = self.ssa.func().block_by_label(label)?;
+        self.forest.innermost(block)
+    }
+
+    /// The classification of `value` in the innermost loop containing it.
+    pub fn class_of(&self, value: Value) -> Option<(&LoopInfo, &Class)> {
+        let block = self.ssa.def_block(value);
+        let mut l = self.forest.innermost(block)?;
+        loop {
+            let info = self.loops.get(&l)?;
+            if let Some(cls) = info.classes.get(&value) {
+                return Some((info, cls));
+            }
+            l = self.forest.data(l).parent?;
+        }
+    }
+
+    /// The classification of `value` with respect to a specific loop.
+    pub fn class_in(&self, l: Loop, value: Value) -> Option<&Class> {
+        self.loops.get(&l)?.classes.get(&value)
+    }
+
+    /// Renders the paper-style description of a value, e.g.
+    /// `"(L7, n1, c1 + k1)"`.
+    pub fn describe(&self, value: Value) -> Option<String> {
+        let (_info, class) = self.class_of(value)?;
+        Some(describe_class(self, class))
+    }
+
+    /// Looks up a value by paper-style name (e.g. `"j2"`) and describes it.
+    pub fn describe_by_name(&self, name: &str) -> Option<String> {
+        let value = self.ssa.value_by_name(name)?;
+        self.describe(value)
+    }
+
+    /// Iterates over `(loop, info)` in inner-to-outer order.
+    pub fn loops(&self) -> impl Iterator<Item = (Loop, &LoopInfo)> {
+        self.loop_order.iter().map(move |&l| (l, &self.loops[&l]))
+    }
+
+    /// The §5.4 refinement: a *non-strict* monotonic value used at
+    /// `use_block` is effectively **strictly** monotonic there when a
+    /// strictly-monotonic member of the same family postdominates the
+    /// use — every execution of the use is followed by a strict update
+    /// before the value can be observed again.
+    ///
+    /// Returns `true` also for values that are strict outright.
+    pub fn strictly_monotonic_at(
+        &self,
+        value: biv_ssa::Value,
+        use_block: biv_ir::Block,
+    ) -> bool {
+        let Some((info, class)) = self.class_of(value) else {
+            return false;
+        };
+        let Class::Monotonic(m) = class else {
+            return false;
+        };
+        if m.strict {
+            return true;
+        }
+        let Some(family) = m.family else {
+            return false;
+        };
+        let pdom = biv_ir::dom::PostDomTree::compute(self.ssa.func());
+        info.classes.iter().any(|(&member, c)| {
+            matches!(c, Class::Monotonic(mm) if mm.strict && mm.family == Some(family))
+                && pdom.postdominates(self.ssa.def_block(member), use_block)
+        })
+    }
+}

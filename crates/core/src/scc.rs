@@ -1,0 +1,223 @@
+//! Tarjan's strongly-connected-regions algorithm over the SSA graph.
+//!
+//! The key property the classifier relies on (§3.1): Tarjan emits an SCR
+//! only after all of its successors — here, all *source operands* of the
+//! region — have been emitted. So when an SCR is classified, every value
+//! feeding it already has a classification.
+
+use std::collections::HashMap;
+
+use biv_ssa::Value;
+
+/// One strongly connected region, in Tarjan emission order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scr {
+    /// Member values. A single value with no self-edge is a *trivial* SCR.
+    pub members: Vec<Value>,
+    /// Whether the region contains a cycle (more than one member, or a
+    /// self-loop).
+    pub cyclic: bool,
+}
+
+/// Runs Tarjan's algorithm over the sub-graph induced by `nodes`, with
+/// `edges(v)` producing the operand values of `v` (only edges to other
+/// members of `nodes` are followed). Returns SCRs in emission order —
+/// operands before users.
+pub fn strongly_connected_regions<F>(nodes: &[Value], mut edges: F) -> Vec<Scr>
+where
+    F: FnMut(Value) -> Vec<Value>,
+{
+    let in_region: HashMap<Value, usize> =
+        nodes.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let n = nodes.len();
+    let mut index = vec![usize::MAX; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut out = Vec::new();
+
+    // Iterative Tarjan with an explicit work stack:
+    // (node, resume position in its successor list).
+    #[derive(Debug)]
+    struct Frame {
+        node: usize,
+        succs: Vec<usize>,
+        next: usize,
+    }
+
+    let mut self_loop = vec![false; n];
+
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut frames: Vec<Frame> = Vec::new();
+        let succs_of = |v: usize, edges: &mut F, self_loop: &mut Vec<bool>| -> Vec<usize> {
+            let mut out = Vec::new();
+            for succ in edges(nodes[v]) {
+                if let Some(&idx) = in_region.get(&succ) {
+                    if idx == v {
+                        self_loop[v] = true;
+                    }
+                    out.push(idx);
+                }
+            }
+            out
+        };
+        index[start] = next_index;
+        lowlink[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+        let succs = succs_of(start, &mut edges, &mut self_loop);
+        frames.push(Frame {
+            node: start,
+            succs,
+            next: 0,
+        });
+        while let Some(frame) = frames.last_mut() {
+            let v = frame.node;
+            if frame.next < frame.succs.len() {
+                let w = frame.succs[frame.next];
+                frame.next += 1;
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    let succs = succs_of(w, &mut edges, &mut self_loop);
+                    frames.push(Frame {
+                        node: w,
+                        succs,
+                        next: 0,
+                    });
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                // Done with v: pop an SCR when v is a root.
+                if lowlink[v] == index[v] {
+                    let mut members = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        members.push(nodes[w]);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    members.reverse();
+                    let cyclic = members.len() > 1 || self_loop[v];
+                    out.push(Scr { members, cyclic });
+                }
+                let finished = frames.pop().expect("frame exists");
+                if let Some(parent) = frames.last_mut() {
+                    lowlink[parent.node] =
+                        lowlink[parent.node].min(lowlink[finished.node]);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biv_ir::EntityId;
+
+    fn v(i: usize) -> Value {
+        Value::from_index(i)
+    }
+
+    #[test]
+    fn straight_line_is_all_trivial() {
+        // 0 -> 1 -> 2 (0 uses 1, 1 uses 2)
+        let nodes = vec![v(0), v(1), v(2)];
+        let sccs = strongly_connected_regions(&nodes, |x| match x.index() {
+            0 => vec![v(1)],
+            1 => vec![v(2)],
+            _ => vec![],
+        });
+        assert_eq!(sccs.len(), 3);
+        assert!(sccs.iter().all(|s| !s.cyclic));
+        // Operands emitted first.
+        assert_eq!(sccs[0].members, vec![v(2)]);
+        assert_eq!(sccs[2].members, vec![v(0)]);
+    }
+
+    #[test]
+    fn cycle_detected() {
+        // 0 <-> 1, plus leaf 2 used by 1.
+        let nodes = vec![v(0), v(1), v(2)];
+        let sccs = strongly_connected_regions(&nodes, |x| match x.index() {
+            0 => vec![v(1)],
+            1 => vec![v(0), v(2)],
+            _ => vec![],
+        });
+        // Leaf pops first, then the cycle.
+        assert_eq!(sccs.len(), 2);
+        assert_eq!(sccs[0].members, vec![v(2)]);
+        assert!(!sccs[0].cyclic);
+        let cycle = &sccs[1];
+        assert!(cycle.cyclic);
+        assert_eq!(cycle.members.len(), 2);
+    }
+
+    #[test]
+    fn self_loop_is_cyclic() {
+        let nodes = vec![v(0)];
+        let sccs = strongly_connected_regions(&nodes, |_| vec![v(0)]);
+        assert_eq!(sccs.len(), 1);
+        assert!(sccs[0].cyclic);
+    }
+
+    #[test]
+    fn edges_outside_region_ignored() {
+        let nodes = vec![v(0)];
+        let sccs = strongly_connected_regions(&nodes, |_| vec![v(7)]);
+        assert_eq!(sccs.len(), 1);
+        assert!(!sccs[0].cyclic);
+    }
+
+    #[test]
+    fn operands_pop_before_users() {
+        // Two cycles: {0,1} uses {2,3}; 4 uses both.
+        let nodes = vec![v(0), v(1), v(2), v(3), v(4)];
+        let sccs = strongly_connected_regions(&nodes, |x| match x.index() {
+            0 => vec![v(1)],
+            1 => vec![v(0), v(2)],
+            2 => vec![v(3)],
+            3 => vec![v(2)],
+            4 => vec![v(0), v(2)],
+            _ => vec![],
+        });
+        assert_eq!(sccs.len(), 3);
+        let pos = |val: Value| {
+            sccs.iter()
+                .position(|s| s.members.contains(&val))
+                .unwrap()
+        };
+        assert!(pos(v(2)) < pos(v(0)), "inner cycle pops first");
+        assert!(pos(v(0)) < pos(v(4)), "user pops last");
+        assert!(pos(v(2)) < pos(v(4)));
+    }
+
+    #[test]
+    fn large_chain_does_not_overflow_stack() {
+        // 100k-long chain exercises the iterative implementation.
+        let n = 100_000;
+        let nodes: Vec<Value> = (0..n).map(v).collect();
+        let sccs = strongly_connected_regions(&nodes, |x| {
+            let i = x.index();
+            if i + 1 < n {
+                vec![v(i + 1)]
+            } else {
+                vec![]
+            }
+        });
+        assert_eq!(sccs.len(), n);
+    }
+}

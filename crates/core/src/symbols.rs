@@ -1,0 +1,53 @@
+//! The SSA-value ↔ symbol mapping.
+//!
+//! Symbolic polynomials ([`biv_algebra::SymPoly`]) are written over opaque
+//! [`SymId`]s. The classifier uses the identity mapping — symbol `k` *is*
+//! SSA value `k` — so a symbolic initial value like `n1 + c1` directly
+//! names the SSA values that produced it.
+
+use biv_algebra::{SymId, SymPoly};
+use biv_ir::EntityId;
+use biv_ssa::{Operand, Value};
+
+/// The symbol standing for an SSA value.
+pub fn sym_of_value(value: Value) -> SymId {
+    SymId(u32::try_from(value.index()).expect("value index fits in u32"))
+}
+
+/// The SSA value a symbol stands for.
+pub fn value_of_sym(sym: SymId) -> Value {
+    Value::from_index(sym.0 as usize)
+}
+
+/// A symbolic polynomial for an operand: constants stay constant, values
+/// become their symbol.
+pub fn operand_to_sympoly(op: &Operand) -> SymPoly {
+    match op {
+        Operand::Const(c) => SymPoly::from_integer(i128::from(*c)),
+        Operand::Value(v) => SymPoly::symbol(sym_of_value(*v)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let v = Value::from_index(42);
+        assert_eq!(value_of_sym(sym_of_value(v)), v);
+    }
+
+    #[test]
+    fn operand_conversion() {
+        assert_eq!(
+            operand_to_sympoly(&Operand::Const(7)),
+            SymPoly::from_integer(7)
+        );
+        let v = Value::from_index(3);
+        assert_eq!(
+            operand_to_sympoly(&Operand::Value(v)),
+            SymPoly::symbol(sym_of_value(v))
+        );
+    }
+}

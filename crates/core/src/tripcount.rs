@@ -1,0 +1,269 @@
+//! Trip counts from loop exit conditions (§5.2).
+//!
+//! The exit comparison is normalized to `exit when a ≤ b` using integer
+//! arithmetic (the paper's conversion table), the difference `q = a − b`
+//! is classified as a linear induction expression `(L, i, s)`, and then
+//!
+//! ```text
+//!              ⎧ 0            if i ≤ 0
+//! tripcount =  ⎨ ⌈i / (−s)⌉   if i > 0 and s < 0
+//!              ⎩ ∞            if i > 0 and s ≥ 0
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use biv_algebra::{Rational, SymPoly};
+use biv_ir::loops::{Loop, LoopForest};
+use biv_ir::{BinOp, CmpOp};
+use biv_ssa::{SsaFunction, SsaTerminator, Value};
+
+use crate::class::Class;
+use crate::classify::{combine_classes, operand_class};
+use crate::config::AnalysisConfig;
+
+/// The number of times a loop's exit condition chooses to stay in the
+/// loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TripCount {
+    /// The loop body never completes an iteration.
+    Zero,
+    /// Exactly this many iterations (possibly symbolic, e.g. `n` or the
+    /// outer loop's induction variable for triangular loops).
+    Finite(SymPoly),
+    /// `⌈numer / denom⌉` with a symbolic numerator — countable, but not
+    /// polynomial, so exit values cannot be formed from it.
+    CeilDiv {
+        /// Symbolic numerator.
+        numer: SymPoly,
+        /// Positive constant denominator.
+        denom: i128,
+    },
+    /// The exit condition can never become true.
+    Infinite,
+    /// Not a countable loop (multiple exits, non-linear exit sequence, or
+    /// symbolic step).
+    Unknown,
+}
+
+impl TripCount {
+    /// The symbolic count when exactly known.
+    pub fn as_symbolic(&self) -> Option<SymPoly> {
+        match self {
+            TripCount::Zero => Some(SymPoly::zero()),
+            TripCount::Finite(p) => Some(p.clone()),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TripCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TripCount::Zero => write!(f, "0"),
+            TripCount::Finite(p) => write!(f, "{p}"),
+            TripCount::CeilDiv { numer, denom } => write!(f, "ceil(({numer})/{denom})"),
+            TripCount::Infinite => write!(f, "infinite"),
+            TripCount::Unknown => write!(f, "unknown"),
+        }
+    }
+}
+
+/// Computes the trip count of `loop_id` from its (single) exit edge using
+/// the member classifications.
+pub fn trip_count(
+    ssa: &SsaFunction,
+    forest: &LoopForest,
+    loop_id: Loop,
+    classes: &HashMap<Value, Class>,
+    config: &AnalysisConfig,
+) -> TripCount {
+    if !config.nested_exit_values {
+        return TripCount::Unknown;
+    }
+    let func = ssa.func();
+    let exits = forest.exit_edges(func, loop_id);
+    let (exit_block, _) = match exits.as_slice() {
+        [single] => *single,
+        _ => return TripCount::Unknown,
+    };
+    exit_trip_count(ssa, forest, loop_id, classes, exit_block)
+}
+
+/// A *maximum* trip count for loops with several exits (§5.2: "when a
+/// loop has multiple exits, the compiler may not be able to determine the
+/// exact number of iterations, but it may be able to find a maximum trip
+/// count"). Every exit that yields a finite constant count bounds the
+/// loop; the smallest bound wins. Returns `None` when no exit is
+/// countable.
+pub fn max_trip_count(
+    ssa: &SsaFunction,
+    forest: &LoopForest,
+    loop_id: Loop,
+    classes: &HashMap<Value, Class>,
+) -> Option<SymPoly> {
+    let func = ssa.func();
+    let mut best: Option<i128> = None;
+    for (exit_block, _) in forest.exit_edges(func, loop_id) {
+        match exit_trip_count(ssa, forest, loop_id, classes, exit_block) {
+            TripCount::Zero => return Some(SymPoly::zero()),
+            TripCount::Finite(p) => {
+                if let Some(c) = p.constant_value().and_then(|r| r.as_integer()) {
+                    best = Some(best.map_or(c, |b: i128| b.min(c)));
+                } else if best.is_none() && forest.exit_edges(func, loop_id).len() == 1 {
+                    return Some(p);
+                }
+            }
+            TripCount::CeilDiv { numer, denom } => {
+                // ceil(n/d) ≤ n for d ≥ 1 and constant n.
+                if let Some(n) = numer.constant_value() {
+                    let c = (n / Rational::from_integer(denom)).ceil();
+                    best = Some(best.map_or(c, |b: i128| b.min(c)));
+                }
+            }
+            TripCount::Infinite | TripCount::Unknown => {}
+        }
+    }
+    best.map(SymPoly::from_integer)
+}
+
+fn exit_trip_count(
+    ssa: &SsaFunction,
+    forest: &LoopForest,
+    loop_id: Loop,
+    classes: &HashMap<Value, Class>,
+    exit_block: biv_ir::Block,
+) -> TripCount {
+    let Some(SsaTerminator::Branch {
+        op,
+        lhs,
+        rhs,
+        then_bb,
+        else_bb,
+    }) = ssa.block(exit_block).term.as_ref()
+    else {
+        return TripCount::Unknown;
+    };
+    // Orient the comparison so that true means exit.
+    let exit_op = if forest.contains(loop_id, *then_bb) {
+        if forest.contains(loop_id, *else_bb) {
+            return TripCount::Unknown;
+        }
+        op.negated()
+    } else {
+        *op
+    };
+    let l = operand_class(ssa, forest, loop_id, classes, lhs);
+    let r = operand_class(ssa, forest, loop_id, classes, rhs);
+    // Normalize to `exit when q ≤ 0` where q is a linear induction
+    // expression (the paper's conversion table).
+    let one = Class::Invariant(SymPoly::from_integer(1));
+    let q = match exit_op {
+        // a ≤ b  ⇔  a − b ≤ 0
+        CmpOp::Le => combine_classes(loop_id, BinOp::Sub, &l, &r),
+        // a < b  ⇔  a − b + 1 ≤ 0
+        CmpOp::Lt => {
+            let d = combine_classes(loop_id, BinOp::Sub, &l, &r);
+            combine_classes(loop_id, BinOp::Add, &d, &one)
+        }
+        // a > b  ⇔  b − a + 1 ≤ 0
+        CmpOp::Gt => {
+            let d = combine_classes(loop_id, BinOp::Sub, &r, &l);
+            combine_classes(loop_id, BinOp::Add, &d, &one)
+        }
+        // a ≥ b  ⇔  b − a ≤ 0
+        CmpOp::Ge => combine_classes(loop_id, BinOp::Sub, &r, &l),
+        CmpOp::Eq => {
+            return equality_trip_count(loop_id, &l, &r);
+        }
+        CmpOp::Ne => {
+            // Stays only while a == b: 0 or 1 meaningful iterations.
+            let d = combine_classes(loop_id, BinOp::Sub, &l, &r);
+            return match d {
+                Class::Invariant(p) if p.is_zero() => TripCount::Infinite,
+                Class::Invariant(p) if p.constant_value().is_some() => TripCount::Zero,
+                _ => TripCount::Unknown,
+            };
+        }
+    };
+    let Some(cf) = q.closed_form(loop_id) else {
+        return TripCount::Unknown;
+    };
+    if cf.degree() > 1 || !cf.geo.is_empty() {
+        return TripCount::Unknown;
+    }
+    let init = cf.coeffs[0].clone();
+    let step = if cf.degree() == 1 {
+        match cf.coeffs[1].constant_value() {
+            Some(s) => s,
+            None => return TripCount::Unknown, // symbolic step
+        }
+    } else {
+        Rational::ZERO
+    };
+    match init.constant_value() {
+        Some(i) => {
+            // Fully constant: apply the formula exactly.
+            if i <= Rational::ZERO {
+                TripCount::Zero
+            } else if step >= Rational::ZERO {
+                TripCount::Infinite
+            } else {
+                let neg_step = -step;
+                let ratio = i / neg_step;
+                TripCount::Finite(SymPoly::from_integer(ratio.ceil()))
+            }
+        }
+        None => {
+            // Symbolic initial value: countable only for negative constant
+            // step; exact when the division is trivial.
+            if step >= Rational::ZERO {
+                return TripCount::Unknown;
+            }
+            let neg = -step;
+            if neg == Rational::ONE {
+                TripCount::Finite(init)
+            } else if neg.is_integer() {
+                TripCount::CeilDiv {
+                    numer: init,
+                    denom: neg.as_integer().expect("checked integer"),
+                }
+            } else {
+                TripCount::Unknown
+            }
+        }
+    }
+}
+
+fn equality_trip_count(loop_id: Loop, l: &Class, r: &Class) -> TripCount {
+    // exit when a == b: with q = a − b linear (i, s), the loop exits at
+    // the first h with i + s·h == 0.
+    let d = combine_classes(loop_id, BinOp::Sub, l, r);
+    let Some(cf) = d.closed_form(loop_id) else {
+        return TripCount::Unknown;
+    };
+    if cf.degree() > 1 || !cf.geo.is_empty() {
+        return TripCount::Unknown;
+    }
+    let (Some(i), s) = (
+        cf.coeffs[0].constant_value(),
+        cf.coeffs
+            .get(1)
+            .and_then(SymPoly::constant_value)
+            .unwrap_or(Rational::ZERO),
+    ) else {
+        return TripCount::Unknown;
+    };
+    if i.is_zero() {
+        return TripCount::Zero;
+    }
+    if s.is_zero() {
+        return TripCount::Infinite;
+    }
+    let h = -(i / s);
+    if h.is_integer() && h >= Rational::ZERO {
+        TripCount::Finite(SymPoly::constant(h))
+    } else {
+        TripCount::Infinite
+    }
+}

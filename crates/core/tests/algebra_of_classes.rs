@@ -1,0 +1,196 @@
+//! Direct tests of the §5.1 operator algebra over classes
+//! (`combine_classes`, `negate_class`, `class_of_sympoly`), independent of
+//! any particular program.
+
+use biv_algebra::{Rational, SymPoly};
+use biv_core::{combine_classes, negate_class, Class, ClosedForm, Direction, Monotonic};
+use biv_ir::loops::Loop;
+use biv_ir::{BinOp, EntityId};
+
+fn lp() -> Loop {
+    Loop::from_index(0)
+}
+
+fn c(v: i128) -> SymPoly {
+    SymPoly::from_integer(v)
+}
+
+fn linear(init: i128, step: i128) -> Class {
+    Class::Induction(ClosedForm::linear(lp(), c(init), c(step)))
+}
+
+fn inv(v: i128) -> Class {
+    Class::Invariant(c(v))
+}
+
+fn mono(dir: Direction, strict: bool) -> Class {
+    Class::Monotonic(Monotonic {
+        loop_id: lp(),
+        direction: dir,
+        strict,
+        family: None,
+    })
+}
+
+#[test]
+fn invariant_arithmetic_folds() {
+    assert_eq!(combine_classes(lp(), BinOp::Add, &inv(2), &inv(3)), inv(5));
+    assert_eq!(combine_classes(lp(), BinOp::Sub, &inv(2), &inv(3)), inv(-1));
+    assert_eq!(combine_classes(lp(), BinOp::Mul, &inv(2), &inv(3)), inv(6));
+    assert_eq!(combine_classes(lp(), BinOp::Div, &inv(6), &inv(3)), inv(2));
+    // Inexact integer division does not fold.
+    assert_eq!(
+        combine_classes(lp(), BinOp::Div, &inv(7), &inv(3)),
+        Class::Unknown
+    );
+    assert_eq!(combine_classes(lp(), BinOp::Exp, &inv(2), &inv(5)), inv(32));
+    assert_eq!(
+        combine_classes(lp(), BinOp::Exp, &inv(2), &inv(-1)),
+        Class::Unknown
+    );
+}
+
+#[test]
+fn linear_plus_linear_adds_componentwise() {
+    let out = combine_classes(lp(), BinOp::Add, &linear(1, 2), &linear(3, 4));
+    assert_eq!(out, linear(4, 6));
+}
+
+#[test]
+fn linear_times_linear_is_quadratic() {
+    // (1 + 2h)(3 + 4h) = 3 + 10h + 8h²
+    let out = combine_classes(lp(), BinOp::Mul, &linear(1, 2), &linear(3, 4));
+    match out {
+        Class::Induction(cf) => {
+            assert_eq!(cf.degree(), 2);
+            assert_eq!(cf.coeffs[0], c(3));
+            assert_eq!(cf.coeffs[1], c(10));
+            assert_eq!(cf.coeffs[2], c(8));
+        }
+        other => panic!("expected quadratic, got {other:?}"),
+    }
+}
+
+#[test]
+fn linear_times_zero_collapses_to_invariant() {
+    let out = combine_classes(lp(), BinOp::Mul, &linear(1, 2), &inv(0));
+    assert_eq!(out, inv(0));
+}
+
+#[test]
+fn geometric_exponent_rule() {
+    // 2^(1 + 3h) = 2 · 8^h
+    let out = combine_classes(lp(), BinOp::Exp, &inv(2), &linear(1, 3));
+    match out {
+        Class::Induction(cf) => {
+            assert_eq!(cf.geo.len(), 1);
+            assert_eq!(cf.geo[0].0, Rational::from_integer(8));
+            assert_eq!(cf.geo[0].1, c(2));
+        }
+        other => panic!("expected geometric, got {other:?}"),
+    }
+}
+
+#[test]
+fn monotonic_rules() {
+    use Direction::*;
+    // monotonic + invariant keeps monotonic.
+    assert_eq!(
+        combine_classes(lp(), BinOp::Add, &mono(Increasing, true), &inv(7)),
+        mono(Increasing, true)
+    );
+    // same-direction monotonics combine, strictness is sticky.
+    assert_eq!(
+        combine_classes(
+            lp(),
+            BinOp::Add,
+            &mono(Increasing, false),
+            &mono(Increasing, true)
+        ),
+        mono(Increasing, true)
+    );
+    // opposite directions are unknown.
+    assert_eq!(
+        combine_classes(
+            lp(),
+            BinOp::Add,
+            &mono(Increasing, false),
+            &mono(Decreasing, false)
+        ),
+        Class::Unknown
+    );
+    // monotonic + nondecreasing IV stays monotonic.
+    assert_eq!(
+        combine_classes(lp(), BinOp::Add, &mono(Increasing, true), &linear(0, 3)),
+        mono(Increasing, true)
+    );
+    // monotonic + decreasing IV is unknown.
+    assert_eq!(
+        combine_classes(lp(), BinOp::Add, &mono(Increasing, true), &linear(0, -3)),
+        Class::Unknown
+    );
+    // scaling by a negative constant flips direction.
+    assert_eq!(
+        combine_classes(lp(), BinOp::Mul, &mono(Increasing, true), &inv(-2)),
+        mono(Decreasing, true)
+    );
+}
+
+#[test]
+fn negation_rules() {
+    assert_eq!(negate_class(lp(), &inv(5)), inv(-5));
+    assert_eq!(negate_class(lp(), &linear(1, 2)), linear(-1, -2));
+    assert_eq!(
+        negate_class(lp(), &mono(Direction::Increasing, true)),
+        mono(Direction::Decreasing, true)
+    );
+    assert_eq!(negate_class(lp(), &Class::Unknown), Class::Unknown);
+}
+
+#[test]
+fn subtraction_via_negation() {
+    let out = combine_classes(lp(), BinOp::Sub, &linear(5, 3), &linear(1, 1));
+    assert_eq!(out, linear(4, 2));
+    // Equal forms cancel to an invariant.
+    let out = combine_classes(lp(), BinOp::Sub, &linear(5, 3), &linear(2, 3));
+    assert_eq!(out, inv(3));
+}
+
+#[test]
+fn unknown_is_absorbing() {
+    for op in [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div, BinOp::Exp] {
+        assert_eq!(
+            combine_classes(lp(), op, &Class::Unknown, &linear(0, 1)),
+            Class::Unknown,
+            "{op:?}"
+        );
+    }
+}
+
+#[test]
+fn geo_plus_geo_merges_bases() {
+    let g = |base: i128, coeff: i128| {
+        Class::Induction(ClosedForm::from_parts(
+            lp(),
+            vec![SymPoly::zero()],
+            vec![(Rational::from_integer(base), c(coeff))],
+        ))
+    };
+    // 3·2^h + 4·2^h = 7·2^h
+    match combine_classes(lp(), BinOp::Add, &g(2, 3), &g(2, 4)) {
+        Class::Induction(cf) => {
+            assert_eq!(cf.geo.len(), 1);
+            assert_eq!(cf.geo[0].1, c(7));
+        }
+        other => panic!("{other:?}"),
+    }
+    // 3·2^h · 4·3^h = 12·6^h
+    match combine_classes(lp(), BinOp::Mul, &g(2, 3), &g(3, 4)) {
+        Class::Induction(cf) => {
+            assert_eq!(cf.geo.len(), 1);
+            assert_eq!(cf.geo[0].0, Rational::from_integer(6));
+            assert_eq!(cf.geo[0].1, c(12));
+        }
+        other => panic!("{other:?}"),
+    }
+}

@@ -1,0 +1,311 @@
+//! API surface tests: `Analysis` queries, display rendering, config
+//! gating, and error paths.
+
+use biv_core::{
+    analyze_source, analyze_with, AnalysisConfig, AnalyzeError, Class,
+};
+use biv_ir::parser::parse_program;
+
+#[test]
+fn analyze_source_rejects_bad_input() {
+    match analyze_source("func f( {") {
+        Err(AnalyzeError::Parse(_)) => {}
+        other => panic!("expected parse error, got {other:?}"),
+    }
+    match analyze_source("func a() { x = 1 } func b() { y = 2 }") {
+        Err(AnalyzeError::NotOneFunction(2)) => {}
+        other => panic!("expected NotOneFunction, got {other:?}"),
+    }
+}
+
+#[test]
+fn describe_by_name_unknown_is_none() {
+    let analysis =
+        analyze_source("func f(n) { L1: for i = 1 to n { x = i } }").unwrap();
+    assert!(analysis.describe_by_name("zzz9").is_none());
+}
+
+#[test]
+fn loop_by_label_and_info() {
+    let analysis = analyze_source(
+        "func f(n) { L1: for i = 1 to n { L2: for j = 1 to n { x = i + j } } }",
+    )
+    .unwrap();
+    let l1 = analysis.loop_by_label("L1").unwrap();
+    let l2 = analysis.loop_by_label("L2").unwrap();
+    assert_ne!(l1, l2);
+    assert_eq!(analysis.info(l1).name, "L1");
+    assert_eq!(analysis.info(l2).name, "L2");
+    assert!(analysis.loop_by_label("L99").is_none());
+    // Inner-to-outer iteration order.
+    let order: Vec<String> = analysis.loops().map(|(_, i)| i.name.clone()).collect();
+    assert_eq!(order, vec!["L2", "L1"]);
+}
+
+#[test]
+fn values_outside_loops_have_no_class() {
+    let analysis = analyze_source("func f(n) { x = n + 1 }").unwrap();
+    let x1 = analysis.ssa().value_by_name("x1").unwrap();
+    assert!(analysis.class_of(x1).is_none());
+    assert!(analysis.describe(x1).is_none());
+}
+
+#[test]
+fn display_renders_all_class_shapes() {
+    let analysis = analyze_source(
+        r#"
+        func zoo(n, e, w0) {
+            lin = 0
+            geo = 1
+            poly = 0
+            wrap = w0
+            mono = 0
+            pa = 1
+            pb = 2
+            inv = n
+            L1: for i = 1 to n {
+                lin = lin + 3
+                A[lin] = i
+                poly = poly + i
+                A[poly] = i
+                geo = geo * 2
+                A[geo] = i
+                A[wrap] = i
+                wrap = i
+                t = A[i]
+                if t > 0 { mono = mono + 1 B[mono] = t }
+                A[pa] = i
+                pt = pa
+                pa = pb
+                pb = pt
+                x = inv + 1
+                A[x] = i
+            }
+        }
+        "#,
+    )
+    .unwrap();
+    let descr = |name: &str| analysis.describe_by_name(name).unwrap();
+    assert!(descr("lin2").starts_with("(L1,"), "{}", descr("lin2"));
+    assert!(descr("poly2").matches(", ").count() >= 2, "{}", descr("poly2"));
+    assert!(descr("geo2").contains("2^h"), "{}", descr("geo2"));
+    assert!(descr("wrap2").starts_with("wrap-around"), "{}", descr("wrap2"));
+    assert!(descr("mono2").starts_with("monotonic"), "{}", descr("mono2"));
+    assert!(descr("pa2").starts_with("periodic"), "{}", descr("pa2"));
+    assert!(descr("x1").starts_with("invariant"), "{}", descr("x1"));
+}
+
+#[test]
+fn config_gates_disable_classes() {
+    let program = parse_program(
+        r#"
+        func f(n, e, w0) {
+            poly = 0
+            wrap = w0
+            mono = 0
+            pa = 1
+            pb = 2
+            L1: for i = 1 to n {
+                poly = poly + i
+                A[poly] = i
+                A[wrap] = i
+                wrap = i
+                t = A[i]
+                if t > 0 { mono = mono + 1 B[mono] = t }
+                A[pa] = i
+                pt = pa
+                pa = pb
+                pb = pt
+            }
+        }
+        "#,
+    )
+    .unwrap();
+    let func = &program.functions[0];
+    let count = |config: AnalysisConfig, pred: fn(&Class) -> bool| -> usize {
+        let analysis = analyze_with(func, config);
+        analysis
+            .loops()
+            .flat_map(|(_, info)| info.classes.values())
+            .filter(|c| pred(c))
+            .count()
+    };
+    let is_poly = |c: &Class| {
+        matches!(c, Class::Induction(cf) if cf.degree() >= 2 || !cf.geo.is_empty())
+    };
+    let is_wrap = |c: &Class| matches!(c, Class::WrapAround { .. });
+    let is_periodic = |c: &Class| matches!(c, Class::Periodic(_));
+    let is_mono = |c: &Class| matches!(c, Class::Monotonic(_));
+
+    assert!(count(AnalysisConfig::full(), is_poly) > 0);
+    assert_eq!(
+        count(
+            AnalysisConfig {
+                nonlinear: false,
+                ..AnalysisConfig::full()
+            },
+            is_poly
+        ),
+        0
+    );
+    assert!(count(AnalysisConfig::full(), is_wrap) > 0);
+    assert_eq!(
+        count(
+            AnalysisConfig {
+                wraparound: false,
+                ..AnalysisConfig::full()
+            },
+            is_wrap
+        ),
+        0
+    );
+    assert!(count(AnalysisConfig::full(), is_periodic) > 0);
+    assert_eq!(
+        count(
+            AnalysisConfig {
+                periodic: false,
+                ..AnalysisConfig::full()
+            },
+            is_periodic
+        ),
+        0
+    );
+    assert!(count(AnalysisConfig::full(), is_mono) > 0);
+    assert_eq!(
+        count(
+            AnalysisConfig {
+                monotonic: false,
+                ..AnalysisConfig::full()
+            },
+            is_mono
+        ),
+        0
+    );
+}
+
+#[test]
+fn exit_values_materialized_and_queryable() {
+    let analysis = analyze_source(
+        r#"
+        func f(n) {
+            s = 0
+            L1: for i = 1 to 10 {
+                s = s + 2
+            }
+            y = s + 1
+        }
+        "#,
+    )
+    .unwrap();
+    let l1 = analysis.loop_by_label("L1").unwrap();
+    let info = analysis.info(l1);
+    // s's exit value (20) was materialized because y uses s after the
+    // loop.
+    let found = info
+        .exit_values
+        .values()
+        .any(|p| p.constant_value() == Some(biv_algebra::Rational::from_integer(20)));
+    assert!(found, "exit value 20 recorded: {:?}", info.exit_values);
+    assert_eq!(info.synthetics.len(), info.exit_values.len());
+}
+
+#[test]
+fn unknown_classes_for_data_dependent_values() {
+    let analysis = analyze_source(
+        "func f(n) { s = 0 L1: for i = 1 to n { s = s + A[i] } }",
+    )
+    .unwrap();
+    // s accumulates array loads: unknown.
+    let l1 = analysis.loop_by_label("L1").unwrap();
+    let info = analysis.info(l1);
+    let s_var = analysis.ssa().func().var_by_name("s").unwrap();
+    let all_unknown = info
+        .classes
+        .iter()
+        .filter(|(v, _)| analysis.ssa().values[**v].var == Some(s_var))
+        .all(|(_, c)| matches!(c, Class::Unknown));
+    assert!(all_unknown);
+}
+
+#[test]
+fn division_and_exponent_edge_cases() {
+    // x = i / 2 (integer division): unknown. y = 2 ^ i: geometric.
+    let analysis = analyze_source(
+        r#"
+        func f(n) {
+            L1: for i = 1 to n {
+                x = i / 2
+                A[x] = i
+                y = 2 ^ i
+                A[y] = i
+            }
+        }
+        "#,
+    )
+    .unwrap();
+    let x1 = analysis.ssa().value_by_name("x1").unwrap();
+    assert!(matches!(analysis.class_of(x1).unwrap().1, Class::Unknown));
+    let y1 = analysis.ssa().value_by_name("y1").unwrap();
+    match analysis.class_of(y1).unwrap().1 {
+        Class::Induction(cf) => {
+            assert_eq!(cf.geo.len(), 1);
+            assert_eq!(cf.geo[0].0, biv_algebra::Rational::from_integer(2));
+            // 2^i with i = 1 + h: coefficient 2.
+            assert_eq!(
+                cf.geo[0].1.constant_value().unwrap(),
+                biv_algebra::Rational::from_integer(2)
+            );
+        }
+        other => panic!("2^i should be geometric, got {other:?}"),
+    }
+}
+
+#[test]
+fn negation_classifies() {
+    let analysis = analyze_source(
+        "func f(n) { L1: for i = 1 to n { x = -i A[x] = i } }",
+    )
+    .unwrap();
+    let x1 = analysis.ssa().value_by_name("x1").unwrap();
+    match analysis.class_of(x1).unwrap().1 {
+        Class::Induction(cf) => {
+            assert!(cf.is_linear());
+            assert_eq!(
+                cf.coeffs[1].constant_value().unwrap(),
+                biv_algebra::Rational::from_integer(-1)
+            );
+        }
+        other => panic!("-i should be linear, got {other:?}"),
+    }
+}
+
+#[test]
+fn mul_of_two_ivs_is_quadratic() {
+    let analysis = analyze_source(
+        "func f(n) { L1: for i = 1 to n { x = i * i A[x] = i } }",
+    )
+    .unwrap();
+    let x1 = analysis.ssa().value_by_name("x1").unwrap();
+    match analysis.class_of(x1).unwrap().1 {
+        Class::Induction(cf) => assert_eq!(cf.degree(), 2),
+        other => panic!("i*i should be quadratic, got {other:?}"),
+    }
+}
+
+#[test]
+fn symbolic_step_stays_linear() {
+    // The paper's L3/L4: step varies in the outer context but is
+    // invariant in the loop — still a linear IV.
+    let analysis = analyze_source(
+        "func f(n, s) { x = 0 L1: loop { x = x + s A[x] = x if x > n { break } } }",
+    )
+    .unwrap();
+    let x2 = analysis.ssa().value_by_name("x2").unwrap();
+    match analysis.class_of(x2).unwrap().1 {
+        Class::Induction(cf) => {
+            assert!(cf.is_linear());
+            assert!(!cf.coeffs[1].is_constant());
+        }
+        other => panic!("x should be linear with symbolic step, got {other:?}"),
+    }
+}

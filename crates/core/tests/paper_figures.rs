@@ -1,0 +1,611 @@
+//! End-to-end classification of the paper's worked examples (Figures
+//! 1–10, loops L7–L24). Each test parses the example loop, runs the full
+//! analysis, and checks the classification tuples the paper prints.
+
+use biv_core::{analyze_source, Analysis, Class, Direction, TripCount};
+
+fn class_by_name(analysis: &Analysis, name: &str) -> Class {
+    let value = analysis
+        .ssa()
+        .value_by_name(name)
+        .unwrap_or_else(|| panic!("no SSA value named `{name}`"));
+    analysis
+        .class_of(value)
+        .unwrap_or_else(|| panic!("`{name}` not classified"))
+        .1
+        .clone()
+}
+
+fn assert_linear(analysis: &Analysis, name: &str, init: &str, step: &str) {
+    match class_by_name(analysis, name) {
+        Class::Induction(cf) => {
+            assert!(cf.is_linear(), "`{name}` should be linear, got {cf:?}");
+            let rendered = analysis.describe_by_name(name).unwrap();
+            let expected_suffix = format!(", {init}, {step})");
+            assert!(
+                rendered.ends_with(&expected_suffix),
+                "`{name}`: expected `(L, {init}, {step})`, got `{rendered}`"
+            );
+        }
+        other => panic!("`{name}` should be a linear IV, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 1 / loop L7: mutually-defined basic linear induction variables.
+// ---------------------------------------------------------------------
+
+#[test]
+fn fig1_l7_linear_family() {
+    let analysis = analyze_source(
+        r#"
+        func fig1(n, c, k) {
+            j = n
+            L7: loop {
+                i = j + c
+                j = i + k
+                if j > 1000 { break }
+            }
+        }
+        "#,
+    )
+    .unwrap();
+    // Paper: i3 = (L7, n1+c1, c1+k1); j2 = (L7, n1, c1+k1);
+    //        j3 = (L7, n1+c1+k1, c1+k1).
+    assert_linear(&analysis, "j2", "n1", "c1 + k1");
+    assert_linear(&analysis, "i1", "n1 + c1", "c1 + k1");
+    assert_linear(&analysis, "j3", "n1 + c1 + k1", "c1 + k1");
+}
+
+// ---------------------------------------------------------------------
+// Figure 3 / loop L8: same increment on both paths of a conditional.
+// ---------------------------------------------------------------------
+
+#[test]
+fn fig3_l8_branch_same_offset() {
+    let analysis = analyze_source(
+        r#"
+        func fig3(exp, n) {
+            i = 1
+            L8: loop {
+                if exp > 0 { i = i + 2 } else { i = i + 2 }
+                if i > n { break }
+            }
+        }
+        "#,
+    )
+    .unwrap();
+    // Paper: i2 = (L8, 1, 2); i3 = i4 = i5 = (L8, 3, 2).
+    assert_linear(&analysis, "i2", "1", "2");
+    assert_linear(&analysis, "i3", "3", "2");
+    assert_linear(&analysis, "i4", "3", "2");
+    assert_linear(&analysis, "i5", "3", "2");
+}
+
+// ---------------------------------------------------------------------
+// Figure 4 / loop L10: first- and second-order wrap-around variables.
+// ---------------------------------------------------------------------
+
+#[test]
+fn fig4_l10_wraparound_orders() {
+    let analysis = analyze_source(
+        r#"
+        func fig4(n, k0, j0) {
+            k = k0
+            j = j0
+            i = 1
+            L10: loop {
+                A[k] = i
+                A[j] = i
+                k = j
+                j = i
+                i = i + 1
+                if i > n { break }
+            }
+        }
+        "#,
+    )
+    .unwrap();
+    // i2 is the linear IV (L10, 1, 1).
+    assert_linear(&analysis, "i2", "1", "1");
+    // j2 (the header phi for j) is a first-order wrap-around of i's IV.
+    match class_by_name(&analysis, "j2") {
+        Class::WrapAround { order, steady, .. } => {
+            assert_eq!(order, 1);
+            assert!(matches!(*steady, Class::Induction(_)));
+        }
+        other => panic!("j2 should be wrap-around, got {other:?}"),
+    }
+    // k2 is a second-order wrap-around.
+    match class_by_name(&analysis, "k2") {
+        Class::WrapAround { order, .. } => assert_eq!(order, 2),
+        other => panic!("k2 should be 2nd-order wrap-around, got {other:?}"),
+    }
+}
+
+#[test]
+fn fig4_wraparound_refines_to_iv_when_init_fits() {
+    // Paper: "if the initial value of j1 in loop L10 had been 0, then j2
+    // could have been identified as the induction variable (L10, 0, 1)".
+    let analysis = analyze_source(
+        r#"
+        func fig4b(n) {
+            j = 0
+            i = 1
+            L10: loop {
+                A[j] = i
+                j = i
+                i = i + 1
+                if i > n { break }
+            }
+        }
+        "#,
+    )
+    .unwrap();
+    assert_linear(&analysis, "j2", "0", "1");
+}
+
+// ---------------------------------------------------------------------
+// Figure 5 / loop L13: periodic family with period 3 (plus the wrapped
+// copy t2).
+// ---------------------------------------------------------------------
+
+#[test]
+fn fig5_l13_periodic_family() {
+    let analysis = analyze_source(
+        r#"
+        func fig5(n, j0, k0, l0, t0) {
+            t = t0
+            j = j0
+            k = k0
+            l = l0
+            L13: loop {
+                A[t] = j
+                t = j
+                j = k
+                k = l
+                l = t
+                if j > n { break }
+            }
+        }
+        "#,
+    )
+    .unwrap();
+    for name in ["j2", "k2", "l2"] {
+        match class_by_name(&analysis, name) {
+            Class::Periodic(p) => {
+                assert_eq!(p.period(), 3, "`{name}` period");
+            }
+            other => panic!("`{name}` should be periodic, got {other:?}"),
+        }
+    }
+    // t2 wraps the periodic family around the loop.
+    match class_by_name(&analysis, "t2") {
+        Class::WrapAround { order, steady, .. } => {
+            assert_eq!(order, 1);
+            assert!(matches!(*steady, Class::Periodic(_)));
+        }
+        other => panic!("t2 should wrap a periodic, got {other:?}"),
+    }
+}
+
+#[test]
+fn l11_swap_is_periodic_two() {
+    // The relaxation-code flip-flop via explicit swap.
+    let analysis = analyze_source(
+        r#"
+        func l11(n) {
+            j = 1
+            jold = 2
+            L11: for iter = 1 to n {
+                jtemp = jold
+                jold = j
+                j = jtemp
+            }
+        }
+        "#,
+    )
+    .unwrap();
+    match class_by_name(&analysis, "j2") {
+        Class::Periodic(p) => {
+            assert_eq!(p.period(), 2);
+        }
+        other => panic!("j2 should be periodic(2), got {other:?}"),
+    }
+}
+
+#[test]
+fn l12_flip_flop_arithmetic() {
+    // j = 3 - j: the arithmetic flip-flop, a geometric IV with base -1.
+    let analysis = analyze_source(
+        r#"
+        func l12(n) {
+            j = 1
+            L12: for iter = 1 to n {
+                j = 3 - j
+            }
+        }
+        "#,
+    )
+    .unwrap();
+    match class_by_name(&analysis, "j2") {
+        Class::Induction(cf) => {
+            // j2(h) = 3/2 + (-1/2)·(-1)^h: values 1, 2, 1, 2, …
+            for (h, expected) in [(0, 1), (1, 2), (2, 1), (3, 2)] {
+                let v = cf.eval_at(h).unwrap().constant_value().unwrap();
+                assert_eq!(
+                    v,
+                    biv_algebra::Rational::from_integer(expected),
+                    "j2({h})"
+                );
+            }
+        }
+        other => panic!("j2 should be a base -1 geometric, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// L14: polynomial and geometric induction variables, the paper's table.
+// ---------------------------------------------------------------------
+
+#[test]
+fn l14_polynomial_and_geometric_closed_forms() {
+    let analysis = analyze_source(
+        r#"
+        func l14(n) {
+            j = 1
+            k = 1
+            l = 1
+            L14: for i = 1 to n {
+                j = j + i
+                k = k + j + 1
+                l = l * 2 + 1
+            }
+        }
+        "#,
+    )
+    .unwrap();
+    let rat = biv_algebra::Rational::from_integer;
+    // The header phis carry the value at iteration entry: j2 follows
+    // 1, 2, 4, 7, 11, …; paper's closed form (h² + 3h + 4)/2 describes
+    // the value *after* each iteration, i.e. j3 at h.
+    match class_by_name(&analysis, "j3") {
+        Class::Induction(cf) => {
+            assert_eq!(cf.degree(), 2);
+            assert_eq!(cf.coeffs[0].constant_value().unwrap(), rat(2));
+            assert_eq!(
+                cf.coeffs[1].constant_value().unwrap(),
+                biv_algebra::Rational::new(3, 2).unwrap()
+            );
+            assert_eq!(
+                cf.coeffs[2].constant_value().unwrap(),
+                biv_algebra::Rational::new(1, 2).unwrap()
+            );
+        }
+        other => panic!("j3 should be quadratic, got {other:?}"),
+    }
+    // k3 follows (h³ + 6h² + 23h + 24)/6: 4, 9, 17, 29, …
+    match class_by_name(&analysis, "k3") {
+        Class::Induction(cf) => {
+            assert_eq!(cf.degree(), 3);
+            for (h, expected) in [(0, 4), (1, 9), (2, 17), (3, 29), (4, 46)] {
+                assert_eq!(
+                    cf.eval_at(h).unwrap().constant_value().unwrap(),
+                    rat(expected),
+                    "k3({h})"
+                );
+            }
+        }
+        other => panic!("k3 should be cubic, got {other:?}"),
+    }
+    // l3 follows 2^(h+2) - 1: 3, 7, 15, 31, …
+    match class_by_name(&analysis, "l3") {
+        Class::Induction(cf) => {
+            assert_eq!(cf.geo.len(), 1);
+            assert_eq!(cf.geo[0].0, rat(2));
+            for (h, expected) in [(0, 3), (1, 7), (2, 15), (3, 31)] {
+                assert_eq!(
+                    cf.eval_at(h).unwrap().constant_value().unwrap(),
+                    rat(expected),
+                    "l3({h})"
+                );
+            }
+        }
+        other => panic!("l3 should be geometric, got {other:?}"),
+    }
+}
+
+#[test]
+fn l14_geometric_with_linear_addend() {
+    // The paper's m = 3*m + 2*i + 1 example: m = 2·3^h − h − 2 (with
+    // m(0) = 0 and i = h+1 at the point of use).
+    let analysis = analyze_source(
+        r#"
+        func l14m(n) {
+            m = 0
+            L14: for i = 1 to n {
+                m = 3 * m + 2 * i + 1
+            }
+        }
+        "#,
+    )
+    .unwrap();
+    let rat = biv_algebra::Rational::from_integer;
+    match class_by_name(&analysis, "m2") {
+        Class::Induction(cf) => {
+            for (h, expected) in [(0, 0), (1, 3), (2, 14), (3, 49)] {
+                assert_eq!(
+                    cf.eval_at(h).unwrap().constant_value().unwrap(),
+                    rat(expected),
+                    "m2({h})"
+                );
+            }
+            assert_eq!(cf.geo.len(), 1);
+            assert_eq!(cf.geo[0].0, rat(3));
+            assert_eq!(cf.geo[0].1.constant_value().unwrap(), rat(2));
+        }
+        other => panic!("m2 should be geometric, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 6 / L16: monotonic variables.
+// ---------------------------------------------------------------------
+
+#[test]
+fn fig6_l16_strictly_monotonic() {
+    let analysis = analyze_source(
+        r#"
+        func fig6(n, exp) {
+            k = 0
+            L16: loop {
+                if exp > 0 { k = k + 1 } else { k = k + 2 }
+                if k > n { break }
+            }
+        }
+        "#,
+    )
+    .unwrap();
+    match class_by_name(&analysis, "k2") {
+        Class::Monotonic(m) => {
+            assert_eq!(m.direction, Direction::Increasing);
+            assert!(m.strict, "incremented on every path: strictly monotonic");
+        }
+        other => panic!("k2 should be monotonic, got {other:?}"),
+    }
+}
+
+#[test]
+fn l15_conditional_pack_is_monotonic_nonstrict() {
+    let analysis = analyze_source(
+        r#"
+        func l15(n) {
+            k = 0
+            L15: for i = 1 to n {
+                t = A[i]
+                if t > 0 {
+                    k = k + 1
+                    B[k] = t
+                }
+            }
+        }
+        "#,
+    )
+    .unwrap();
+    // The header phi merges +1 and +0 paths: increasing, not strict.
+    match class_by_name(&analysis, "k2") {
+        Class::Monotonic(m) => {
+            assert_eq!(m.direction, Direction::Increasing);
+            assert!(!m.strict);
+        }
+        other => panic!("k2 should be monotonic, got {other:?}"),
+    }
+    // k3 = k2 + 1 executes only when it increments: strictly monotonic
+    // (the paper's §5.4 refinement).
+    match class_by_name(&analysis, "k3") {
+        Class::Monotonic(m) => {
+            assert_eq!(m.direction, Direction::Increasing);
+            assert!(m.strict);
+        }
+        other => panic!("k3 should be strictly monotonic, got {other:?}"),
+    }
+}
+
+#[test]
+fn monotonic_decreasing_detected() {
+    let analysis = analyze_source(
+        r#"
+        func dec(n, exp) {
+            k = 1000
+            L1: loop {
+                if exp > 0 { k = k - 1 } else { k = k - 3 }
+                if k < n { break }
+            }
+        }
+        "#,
+    )
+    .unwrap();
+    match class_by_name(&analysis, "k2") {
+        Class::Monotonic(m) => {
+            assert_eq!(m.direction, Direction::Decreasing);
+            assert!(m.strict);
+        }
+        other => panic!("k2 should be decreasing, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figures 7–8 / L17–L18: nested loops, trip counts, exit values.
+// ---------------------------------------------------------------------
+
+#[test]
+fn fig7_8_nested_exit_values() {
+    let analysis = analyze_source(
+        r#"
+        func fig7(n) {
+            k = 0
+            L17: loop {
+                i = 1
+                L18: loop {
+                    k = k + 2
+                    if i > 100 { break }
+                    i = i + 1
+                }
+                k = k + 2
+                if k > n { break }
+            }
+        }
+        "#,
+    )
+    .unwrap();
+    // Inner loop trip count is 100 (the exit tuple (L18, 100, -1)).
+    let l18 = analysis.loop_by_label("L18").unwrap();
+    match &analysis.info(l18).trip_count {
+        TripCount::Finite(p) => {
+            assert_eq!(
+                p.constant_value().unwrap(),
+                biv_algebra::Rational::from_integer(100)
+            );
+        }
+        other => panic!("L18 trip count should be 100, got {other:?}"),
+    }
+    // The outer loop sees k as a linear IV with step 204:
+    // paper: k2 = (L17, 0, 204), k5 = (L17, 204, 204).
+    let outer_k_phi = analysis.ssa().value_by_name("k2").unwrap();
+    let l17 = analysis.loop_by_label("L17").unwrap();
+    match analysis.class_in(l17, outer_k_phi) {
+        Some(Class::Induction(cf)) => {
+            assert!(cf.is_linear());
+            assert_eq!(
+                cf.coeffs[0].constant_value().unwrap(),
+                biv_algebra::Rational::ZERO
+            );
+            assert_eq!(
+                cf.coeffs[1].constant_value().unwrap(),
+                biv_algebra::Rational::from_integer(204)
+            );
+        }
+        other => panic!("k2 should be (L17, 0, 204), got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 9 / L19–L20: the triangular loop — quadratic outer IV.
+// ---------------------------------------------------------------------
+
+#[test]
+fn fig9_triangular_quadratic() {
+    let analysis = analyze_source(
+        r#"
+        func fig9(n) {
+            j = 0
+            L19: for i = 1 to n {
+                j = j + i
+                L20: for k = 1 to i {
+                    j = j + 1
+                }
+            }
+        }
+        "#,
+    )
+    .unwrap();
+    // Paper: j2 = (L19, 0, 1/2, 1/2)? — with both the `j = j + i` and the
+    // inner loop (trip count i) contributing, j2 follows 0, 2, 6, 12, …
+    // i.e. j2(h) = h² + h. The exact tuple depends on the source
+    // variant; the key property is that j2 is a *quadratic* IV of L19.
+    let j2 = analysis.ssa().value_by_name("j2").unwrap();
+    let l19 = analysis.loop_by_label("L19").unwrap();
+    match analysis.class_in(l19, j2) {
+        Some(Class::Induction(cf)) => {
+            assert_eq!(cf.degree(), 2, "triangular loop gives a quadratic");
+            // j2(h): before iteration h of L19: sum of 2t for t=1..h = h(h+1)
+            let rat = biv_algebra::Rational::from_integer;
+            for (h, expected) in [(0, 0), (1, 2), (2, 6), (3, 12)] {
+                assert_eq!(
+                    cf.eval_at(h).unwrap().constant_value().unwrap(),
+                    rat(expected),
+                    "j2({h})"
+                );
+            }
+        }
+        other => panic!("j2 should be quadratic in L19, got {other:?}"),
+    }
+    // Inside L20, j is linear: (L20, <outer expr>, 1).
+    let l20 = analysis.loop_by_label("L20").unwrap();
+    let j4 = analysis.ssa().value_by_name("j4").unwrap();
+    match analysis.class_in(l20, j4) {
+        Some(Class::Induction(cf)) => {
+            assert!(cf.is_linear(), "j4 linear in inner loop: {cf:?}");
+        }
+        other => panic!("j4 should be linear in L20, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Trip counts (§5.2).
+// ---------------------------------------------------------------------
+
+#[test]
+fn trip_count_constant() {
+    let analysis = analyze_source(
+        "func f() { L1: for i = 1 to 10 { x = i } }",
+    )
+    .unwrap();
+    let l1 = analysis.loop_by_label("L1").unwrap();
+    match &analysis.info(l1).trip_count {
+        TripCount::Finite(p) => assert_eq!(
+            p.constant_value().unwrap(),
+            biv_algebra::Rational::from_integer(10)
+        ),
+        other => panic!("expected 10, got {other:?}"),
+    }
+}
+
+#[test]
+fn trip_count_symbolic() {
+    let analysis = analyze_source(
+        "func f(n) { L1: for i = 1 to n { x = i } }",
+    )
+    .unwrap();
+    let l1 = analysis.loop_by_label("L1").unwrap();
+    match &analysis.info(l1).trip_count {
+        TripCount::Finite(p) => {
+            assert!(!p.is_constant(), "trip count is symbolic n: {p}");
+        }
+        other => panic!("expected symbolic, got {other:?}"),
+    }
+}
+
+#[test]
+fn trip_count_zero_and_infinite() {
+    let analysis = analyze_source(
+        "func f() { L1: for i = 10 to 5 { x = i } }",
+    )
+    .unwrap();
+    let l1 = analysis.loop_by_label("L1").unwrap();
+    assert_eq!(analysis.info(l1).trip_count, TripCount::Zero);
+
+    let analysis = analyze_source(
+        "func f() { x = 0 L1: loop { x = x + 0 if x > 5 { break } } }",
+    )
+    .unwrap();
+    let l1 = analysis.loop_by_label("L1").unwrap();
+    assert_eq!(analysis.info(l1).trip_count, TripCount::Infinite);
+}
+
+#[test]
+fn trip_count_step_two_rounds_up() {
+    // i = 1, 3, 5, 7, 9, 11 → exits when i > 10, i.e. 5 full iterations.
+    let analysis = analyze_source(
+        "func f() { L1: for i = 1 to 10 by 2 { x = i } }",
+    )
+    .unwrap();
+    let l1 = analysis.loop_by_label("L1").unwrap();
+    match &analysis.info(l1).trip_count {
+        TripCount::Finite(p) => assert_eq!(
+            p.constant_value().unwrap(),
+            biv_algebra::Rational::from_integer(5)
+        ),
+        other => panic!("expected 5, got {other:?}"),
+    }
+}

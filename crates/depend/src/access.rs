@@ -1,0 +1,81 @@
+//! Array access collection from SSA form.
+
+use biv_ir::{Array, Block};
+use biv_ssa::{Operand, SsaFunction, SsaInst, Value, ValueDef};
+
+/// One array reference (a load or a store) with its position in the
+/// function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessRef {
+    /// The array accessed.
+    pub array: Array,
+    /// The block containing the access.
+    pub block: Block,
+    /// Position of the access within the block body.
+    pub position: usize,
+    /// One subscript operand per dimension.
+    pub index: Vec<Operand>,
+    /// Whether this is a store.
+    pub is_write: bool,
+    /// For loads, the value produced.
+    pub value: Option<Value>,
+}
+
+/// Collects every array load and store in the function, in block order.
+pub fn collect_accesses(ssa: &SsaFunction) -> Vec<AccessRef> {
+    let mut out = Vec::new();
+    for block in ssa.block_ids() {
+        let data = ssa.block(block);
+        for (position, inst) in data.body.iter().enumerate() {
+            match inst {
+                SsaInst::Def(v) => {
+                    if let ValueDef::Load { array, index } = ssa.def(*v) {
+                        out.push(AccessRef {
+                            array: *array,
+                            block,
+                            position,
+                            index: index.clone(),
+                            is_write: false,
+                            value: Some(*v),
+                        });
+                    }
+                }
+                SsaInst::Store { array, index, .. } => {
+                    out.push(AccessRef {
+                        array: *array,
+                        block,
+                        position,
+                        index: index.clone(),
+                        is_write: true,
+                        value: None,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biv_ir::parser::parse_program;
+    use biv_ssa::SsaFunction;
+
+    #[test]
+    fn finds_loads_and_stores() {
+        let program = parse_program(
+            "func f(n) { for i = 1 to n { A[i] = A[i - 1] + B[i, 2] } }",
+        )
+        .unwrap();
+        let ssa = SsaFunction::build(&program.functions[0]);
+        let accesses = collect_accesses(&ssa);
+        assert_eq!(accesses.len(), 3);
+        let writes: Vec<_> = accesses.iter().filter(|a| a.is_write).collect();
+        assert_eq!(writes.len(), 1);
+        assert_eq!(writes[0].index.len(), 1);
+        let two_dim: Vec<_> = accesses.iter().filter(|a| a.index.len() == 2).collect();
+        assert_eq!(two_dim.len(), 1);
+        assert!(!two_dim[0].is_write);
+    }
+}

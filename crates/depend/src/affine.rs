@@ -1,0 +1,263 @@
+//! Affine subscript extraction: rewrite a subscript operand as
+//! `consts + Σ coeff_i · h_i` over the counters of a loop nest, using the
+//! classifier's closed forms. This is where the implicit normalization of
+//! §6.1 happens — every loop counter starts at 0 with step 1.
+
+use biv_algebra::{Rational, SymId, SymPoly};
+use biv_core::{sym_of_value, Analysis, Class};
+use biv_ir::loops::Loop;
+use biv_ssa::Operand;
+
+/// Reserved symbol space for loop counters during extraction.
+const COUNTER_BASE: u32 = u32::MAX - 64;
+
+fn counter_sym(pos: usize) -> SymId {
+    SymId(COUNTER_BASE + u32::try_from(pos).expect("nest depth fits"))
+}
+
+fn is_counter(sym: SymId) -> Option<usize> {
+    if sym.0 >= COUNTER_BASE {
+        Some((sym.0 - COUNTER_BASE) as usize)
+    } else {
+        None
+    }
+}
+
+/// An affine subscript over a loop nest (outermost first):
+/// `value = consts + Σ coeffs[i] · h_i`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AffineSubscript {
+    /// Nest-invariant symbolic part.
+    pub consts: SymPoly,
+    /// Rational coefficient per nest loop (outermost first).
+    pub coeffs: Vec<Rational>,
+    /// When nonzero, the affine form only holds from iteration
+    /// `wraparound_after` of the innermost classified loop onward (§4.1).
+    pub wraparound_after: u32,
+}
+
+impl AffineSubscript {
+    /// Whether the subscript ignores every nest loop (ZIV).
+    pub fn is_ziv(&self) -> bool {
+        self.coeffs.iter().all(Rational::is_zero)
+    }
+}
+
+/// Extracts the affine form of `op` over `nest` (outermost first).
+/// Returns `None` when any contributing variable is not a linear induction
+/// expression of the nest (periodic, monotonic, nonlinear, or unknown).
+pub fn affine_subscript(
+    analysis: &Analysis,
+    op: &Operand,
+    nest: &[Loop],
+) -> Option<AffineSubscript> {
+    let ssa = analysis.ssa();
+    let resolved = biv_core::resolve_copies(ssa, *op);
+    let mut poly = match resolved {
+        Operand::Const(c) => SymPoly::from_integer(i128::from(c)),
+        Operand::Value(v) => SymPoly::symbol(sym_of_value(v)),
+    };
+    let mut wraparound_after = 0u32;
+    // Substitute inner classifications first; their initial values refer
+    // to outer-loop values which later rounds expand.
+    for (pos, &l) in nest.iter().enumerate().rev() {
+        // Iterate until no symbol classified in `l` remains (initial
+        // values can chain within one loop level, but substitution always
+        // replaces a symbol with strictly-older symbols, so this
+        // terminates).
+        for _ in 0..16 {
+            let mut changed = false;
+            for sym in poly.symbols() {
+                if is_counter(sym).is_some() {
+                    continue;
+                }
+                let v = biv_core::value_of_sym(sym);
+                let Some(class) = analysis.class_in(l, v) else {
+                    continue;
+                };
+                let replacement = match class {
+                    Class::Invariant(p) => p.clone(),
+                    Class::Induction(cf) if cf.is_linear() => {
+                        let step = cf.coeffs[1].clone();
+                        let counter = SymPoly::symbol(counter_sym(pos));
+                        cf.coeffs[0]
+                            .checked_add(&step.checked_mul(&counter).ok()?)
+                            .ok()?
+                    }
+                    Class::WrapAround {
+                        order,
+                        steady,
+                        ..
+                    } => match steady.as_ref() {
+                        // Steady state: value(h) = steady(h - order).
+                        Class::Induction(cf) if cf.is_linear() => {
+                            wraparound_after = wraparound_after.max(*order);
+                            let step = cf.coeffs[1].clone();
+                            let counter = SymPoly::symbol(counter_sym(pos));
+                            let shift = step
+                                .checked_scale(&Rational::from_integer(i128::from(*order)))
+                                .ok()?;
+                            cf.coeffs[0]
+                                .checked_sub(&shift)
+                                .ok()?
+                                .checked_add(&step.checked_mul(&counter).ok()?)
+                                .ok()?
+                        }
+                        _ => return None,
+                    },
+                    _ => return None,
+                };
+                // Skip identity substitutions (an invariant symbol maps to
+                // itself when it has no better expression).
+                if replacement == SymPoly::symbol(sym) {
+                    continue;
+                }
+                poly = poly
+                    .substitute(|s| {
+                        if s == sym {
+                            Some(replacement.clone())
+                        } else {
+                            None
+                        }
+                    })
+                    .ok()?;
+                changed = true;
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+    // Extract coefficients: monomials must be counter-free or exactly
+    // `coeff · counter_i`.
+    let mut coeffs = vec![Rational::ZERO; nest.len()];
+    let mut consts = SymPoly::zero();
+    for (monomial, coeff) in poly.iter() {
+        let counters: Vec<(usize, u32)> = monomial
+            .factors()
+            .iter()
+            .filter_map(|&(s, p)| is_counter(s).map(|i| (i, p)))
+            .collect();
+        match counters.as_slice() {
+            [] => {
+                let term = SymPoly::constant(*coeff);
+                let mut term = term;
+                for &(s, p) in monomial.factors() {
+                    for _ in 0..p {
+                        term = term.checked_mul(&SymPoly::symbol(s)).ok()?;
+                    }
+                }
+                consts = consts.checked_add(&term).ok()?;
+            }
+            [(i, 1)] if monomial.factors().len() == 1 => {
+                coeffs[*i] = coeffs[*i].checked_add(coeff).ok()?;
+            }
+            _ => return None, // nonlinear in counters or symbolic coeff
+        }
+    }
+    // Every residual symbol must be invariant with respect to the whole
+    // nest (defined outside the outermost loop).
+    if let Some(&outermost) = nest.first() {
+        let forest = analysis.forest();
+        for sym in consts.symbols() {
+            if is_counter(sym).is_some() {
+                return None;
+            }
+            let v = biv_core::value_of_sym(sym);
+            if forest.contains(outermost, ssa.def_block(v)) {
+                return None;
+            }
+        }
+    }
+    Some(AffineSubscript {
+        consts,
+        coeffs,
+        wraparound_after,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biv_core::analyze_source;
+
+    #[test]
+    fn simple_loop_index() {
+        let analysis = analyze_source(
+            "func f(n) { L1: for i = 1 to n { A[i] = A[i - 1] } }",
+        )
+        .unwrap();
+        let tester_accesses =
+            crate::access::collect_accesses(analysis.ssa());
+        let l1 = analysis.loop_by_label("L1").unwrap();
+        let store = tester_accesses.iter().find(|a| a.is_write).unwrap();
+        let load = tester_accesses.iter().find(|a| !a.is_write).unwrap();
+        let s = affine_subscript(&analysis, &store.index[0], &[l1]).unwrap();
+        let l = affine_subscript(&analysis, &load.index[0], &[l1]).unwrap();
+        // store: 1 + h; load: h.
+        assert_eq!(s.coeffs, vec![Rational::ONE]);
+        assert_eq!(s.consts.constant_value().unwrap(), Rational::ONE);
+        assert_eq!(l.coeffs, vec![Rational::ONE]);
+        assert_eq!(l.consts.constant_value().unwrap(), Rational::ZERO);
+    }
+
+    #[test]
+    fn two_level_nest() {
+        let analysis = analyze_source(
+            r#"
+            func f(n) {
+                L1: for i = 1 to n {
+                    L2: for j = 1 to n {
+                        A[i, j] = A[i - 1, j] + 1
+                    }
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let accesses = crate::access::collect_accesses(analysis.ssa());
+        let l1 = analysis.loop_by_label("L1").unwrap();
+        let l2 = analysis.loop_by_label("L2").unwrap();
+        let store = accesses.iter().find(|a| a.is_write).unwrap();
+        let s0 = affine_subscript(&analysis, &store.index[0], &[l1, l2]).unwrap();
+        // First subscript is i = 1 + h1 (outer counter only).
+        assert_eq!(s0.coeffs, vec![Rational::ONE, Rational::ZERO]);
+        let s1 = affine_subscript(&analysis, &store.index[1], &[l1, l2]).unwrap();
+        assert_eq!(s1.coeffs, vec![Rational::ZERO, Rational::ONE]);
+    }
+
+    #[test]
+    fn scaled_subscript() {
+        let analysis = analyze_source(
+            "func f(n) { L1: for i = 1 to n { A[2 * i + 3] = i } }",
+        )
+        .unwrap();
+        let accesses = crate::access::collect_accesses(analysis.ssa());
+        let l1 = analysis.loop_by_label("L1").unwrap();
+        let store = accesses.iter().find(|a| a.is_write).unwrap();
+        let s = affine_subscript(&analysis, &store.index[0], &[l1]).unwrap();
+        assert_eq!(s.coeffs, vec![Rational::from_integer(2)]);
+        // 2·(1 + h) + 3 = 5 + 2h
+        assert_eq!(s.consts.constant_value().unwrap(), Rational::from_integer(5));
+    }
+
+    #[test]
+    fn monotonic_subscript_rejected() {
+        let analysis = analyze_source(
+            r#"
+            func f(n) {
+                k = 0
+                L1: for i = 1 to n {
+                    t = A[i]
+                    if t > 0 { k = k + 1 B[k] = t }
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let accesses = crate::access::collect_accesses(analysis.ssa());
+        let l1 = analysis.loop_by_label("L1").unwrap();
+        let store = accesses.iter().find(|a| a.is_write).unwrap();
+        assert!(affine_subscript(&analysis, &store.index[0], &[l1]).is_none());
+    }
+}

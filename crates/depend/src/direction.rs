@@ -1,0 +1,199 @@
+//! Direction vectors and dependence kinds.
+
+use std::fmt;
+
+/// The kind of a dependence between two references.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DepKind {
+    /// Write then read (true dependence).
+    Flow,
+    /// Read then write.
+    Anti,
+    /// Write then write.
+    Output,
+    /// Read then read.
+    Input,
+}
+
+impl fmt::Display for DepKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DepKind::Flow => write!(f, "flow"),
+            DepKind::Anti => write!(f, "anti"),
+            DepKind::Output => write!(f, "output"),
+            DepKind::Input => write!(f, "input"),
+        }
+    }
+}
+
+/// A set of possible direction relations `{<, =, >}` between the source
+/// and sink iterations of one loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DirSet {
+    /// Source iteration strictly before sink (`<`).
+    pub lt: bool,
+    /// Same iteration (`=`).
+    pub eq: bool,
+    /// Source iteration strictly after sink (`>`).
+    pub gt: bool,
+}
+
+impl DirSet {
+    /// All three directions possible (`*`).
+    pub const STAR: DirSet = DirSet {
+        lt: true,
+        eq: true,
+        gt: true,
+    };
+    /// Only `<`.
+    pub const LT: DirSet = DirSet {
+        lt: true,
+        eq: false,
+        gt: false,
+    };
+    /// Only `=`.
+    pub const EQ: DirSet = DirSet {
+        lt: false,
+        eq: true,
+        gt: false,
+    };
+    /// Only `>`.
+    pub const GT: DirSet = DirSet {
+        lt: false,
+        eq: false,
+        gt: true,
+    };
+    /// `≤`.
+    pub const LE: DirSet = DirSet {
+        lt: true,
+        eq: true,
+        gt: false,
+    };
+    /// `≠`.
+    pub const NE: DirSet = DirSet {
+        lt: true,
+        eq: false,
+        gt: true,
+    };
+
+    /// Whether no direction remains (the dependence is disproved).
+    pub fn is_empty(&self) -> bool {
+        !self.lt && !self.eq && !self.gt
+    }
+
+    /// Set union.
+    pub fn union(self, other: DirSet) -> DirSet {
+        DirSet {
+            lt: self.lt || other.lt,
+            eq: self.eq || other.eq,
+            gt: self.gt || other.gt,
+        }
+    }
+
+    /// Set intersection.
+    pub fn intersect(self, other: DirSet) -> DirSet {
+        DirSet {
+            lt: self.lt && other.lt,
+            eq: self.eq && other.eq,
+            gt: self.gt && other.gt,
+        }
+    }
+}
+
+impl fmt::Display for DirSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.lt, self.eq, self.gt) {
+            (true, true, true) => write!(f, "*"),
+            (true, false, false) => write!(f, "<"),
+            (false, true, false) => write!(f, "="),
+            (false, false, true) => write!(f, ">"),
+            (true, true, false) => write!(f, "<="),
+            (false, true, true) => write!(f, ">="),
+            (true, false, true) => write!(f, "!="),
+            (false, false, false) => write!(f, "empty"),
+        }
+    }
+}
+
+/// A direction vector: one [`DirSet`] per common loop, outermost first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirectionVector(pub Vec<DirSet>);
+
+impl DirectionVector {
+    /// The all-`*` vector over `n` loops.
+    pub fn star(n: usize) -> DirectionVector {
+        DirectionVector(vec![DirSet::STAR; n])
+    }
+
+    /// Whether every element admits at least one direction.
+    pub fn is_feasible(&self) -> bool {
+        self.0.iter().all(|d| !d.is_empty())
+    }
+
+    /// Whether some refinement of this vector is lexicographically
+    /// non-negative (the source does not execute after the sink), with
+    /// `eq_ok` controlling whether the all-`=` refinement counts.
+    pub fn has_forward_refinement(&self, eq_ok: bool) -> bool {
+        // A vector is forward iff its first non-`=` component can be `<`,
+        // or all components can be `=` (and eq_ok).
+        fn helper(dirs: &[DirSet], eq_ok: bool) -> bool {
+            match dirs.split_first() {
+                None => eq_ok,
+                Some((d, rest)) => {
+                    if d.lt {
+                        return true;
+                    }
+                    d.eq && helper(rest, eq_ok)
+                }
+            }
+        }
+        helper(&self.0, eq_ok)
+    }
+}
+
+impl fmt::Display for DirectionVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(DirSet::STAR.to_string(), "*");
+        assert_eq!(DirSet::LE.to_string(), "<=");
+        assert_eq!(DirSet::NE.to_string(), "!=");
+        assert_eq!(
+            DirectionVector(vec![DirSet::LT, DirSet::EQ]).to_string(),
+            "(<, =)"
+        );
+    }
+
+    #[test]
+    fn set_algebra() {
+        assert!(DirSet::LT.intersect(DirSet::GT).is_empty());
+        assert_eq!(DirSet::LT.union(DirSet::EQ), DirSet::LE);
+        assert_eq!(DirSet::STAR.intersect(DirSet::NE), DirSet::NE);
+    }
+
+    #[test]
+    fn forward_refinement() {
+        // (<, anything) is forward.
+        assert!(DirectionVector(vec![DirSet::LT, DirSet::GT]).has_forward_refinement(false));
+        // (=, >) has no forward refinement without an all-eq escape.
+        assert!(!DirectionVector(vec![DirSet::EQ, DirSet::GT]).has_forward_refinement(true));
+        // (=, =) is forward only when eq_ok.
+        assert!(DirectionVector(vec![DirSet::EQ, DirSet::EQ]).has_forward_refinement(true));
+        assert!(!DirectionVector(vec![DirSet::EQ, DirSet::EQ]).has_forward_refinement(false));
+    }
+}

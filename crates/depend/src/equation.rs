@@ -1,0 +1,380 @@
+//! Linear dependence equations and the classical decision tests: GCD and
+//! Banerjee's inequalities under direction constraints.
+
+use biv_algebra::{Rational, SymPoly};
+
+use crate::direction::DirSet;
+
+/// One dimension's dependence equation:
+///
+/// ```text
+/// Σ_i a[i]·h_i − Σ_i b[i]·h'_i = c
+/// ```
+///
+/// where `h` is the source iteration vector, `h'` the sink iteration
+/// vector (both 0-based, per-loop), and `c = sink_consts − src_consts`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimEquation {
+    /// Source subscript coefficients, outermost loop first.
+    pub a: Vec<Rational>,
+    /// Sink subscript coefficients.
+    pub b: Vec<Rational>,
+    /// Constant difference (may be symbolic).
+    pub c: SymPoly,
+    /// Per-loop iteration upper bounds `U_i` (inclusive, `h ∈ [0, U_i]`);
+    /// `None` when unknown.
+    pub bounds: Vec<Option<i128>>,
+}
+
+impl DimEquation {
+    /// Whether both sides ignore every loop.
+    pub fn is_ziv(&self) -> bool {
+        self.a.iter().all(Rational::is_zero) && self.b.iter().all(Rational::is_zero)
+    }
+
+    /// The strong-SIV distance when applicable: exactly one loop has
+    /// nonzero coefficients, they are equal on both sides, and `c` is a
+    /// constant multiple. Returns `(loop index, distance)` where the
+    /// dependence requires `h' − h = distance`.
+    pub fn strong_siv_distance(&self) -> Option<(usize, i128)> {
+        let mut active: Option<usize> = None;
+        for i in 0..self.a.len() {
+            if !self.a[i].is_zero() || !self.b[i].is_zero() {
+                if active.is_some() {
+                    return None;
+                }
+                active = Some(i);
+            }
+        }
+        let i = active?;
+        if self.a[i] != self.b[i] || self.a[i].is_zero() {
+            return None;
+        }
+        // a·h − a·h' = c  ⇒  h' − h = −c/a.
+        let c = self.c.constant_value()?;
+        let d = (-c).checked_div(&self.a[i]).ok()?;
+        if d.is_integer() {
+            Some((i, d.as_integer()?))
+        } else {
+            None
+        }
+    }
+}
+
+/// The GCD test: an integer solution requires
+/// `gcd(all coefficients) | c`. Returns `false` when the test *disproves*
+/// the dependence (and `true` when a dependence remains possible or the
+/// equation is not decidable by GCD).
+pub fn gcd_test(eq: &DimEquation) -> bool {
+    let Some(c) = eq.c.constant_value() else {
+        return true; // symbolic difference: cannot disprove
+    };
+    // Scale everything to integers.
+    let mut denom: i128 = 1;
+    for r in eq.a.iter().chain(eq.b.iter()).chain(std::iter::once(&c)) {
+        denom = lcm(denom, r.denominator());
+    }
+    let scale = Rational::from_integer(denom);
+    let mut g: i128 = 0;
+    for r in eq.a.iter().chain(eq.b.iter()) {
+        let v = (*r * scale).numerator();
+        g = gcd(g, v);
+    }
+    let c_scaled = (c * scale).numerator();
+    if g == 0 {
+        // No induction terms at all: solvable iff c == 0.
+        return c_scaled == 0;
+    }
+    c_scaled % g == 0
+}
+
+fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+fn lcm(a: i128, b: i128) -> i128 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    (a / gcd(a, b)).saturating_mul(b)
+}
+
+/// An extended-rational bound: `None` denotes the corresponding infinity.
+type Bound = Option<Rational>;
+
+fn add_bound(x: Bound, y: Bound) -> Bound {
+    match (x, y) {
+        (Some(a), Some(b)) => Some(a + b),
+        _ => None,
+    }
+}
+
+/// Banerjee's inequalities: the range `[min, max]` of
+/// `Σ a_i·h_i − b_i·h'_i` subject to the bounds and per-loop direction
+/// constraints. `None` endpoints denote ±∞.
+pub fn banerjee_range(eq: &DimEquation, dirs: &[DirSet]) -> (Bound, Bound) {
+    let mut lo: Bound = Some(Rational::ZERO);
+    let mut hi: Bound = Some(Rational::ZERO);
+    for (i, &dir) in dirs.iter().enumerate() {
+        let (l, h) = loop_contribution(eq.a[i], eq.b[i], eq.bounds[i], dir);
+        lo = add_bound(lo, l);
+        hi = add_bound(hi, h);
+    }
+    (lo, hi)
+}
+
+/// Whether Banerjee's test proves independence under the direction
+/// constraint: `c` constant and outside `[min, max]`.
+pub fn banerjee_test(eq: &DimEquation, dirs: &[DirSet]) -> bool {
+    let Some(c) = eq.c.constant_value() else {
+        return true; // cannot disprove
+    };
+    let (lo, hi) = banerjee_range(eq, dirs);
+    let below = matches!(lo, Some(l) if c < l);
+    let above = matches!(hi, Some(h) if c > h);
+    !(below || above)
+}
+
+/// Range of `a·h − b·h'` for `h, h' ∈ [0, U]` under a direction
+/// constraint. Regions are convex polyhedra; linear extrema lie at the
+/// vertices (or escape along recession rays when `U` is unknown).
+fn loop_contribution(
+    a: Rational,
+    b: Rational,
+    upper: Option<i128>,
+    dir: DirSet,
+) -> (Bound, Bound) {
+    // Evaluate over the union of the selected elementary regions.
+    let mut lo: Bound = None;
+    let mut hi: Bound = None;
+    let include = |l: Bound, h: Bound, lo: &mut Bound, hi: &mut Bound, any: &mut bool| {
+        if !*any {
+            *lo = l;
+            *hi = h;
+            *any = true;
+            return;
+        }
+        *lo = match (lo.take(), l) {
+            (Some(x), Some(y)) => Some(x.min(y)),
+            _ => None,
+        };
+        *hi = match (hi.take(), h) {
+            (Some(x), Some(y)) => Some(x.max(y)),
+            _ => None,
+        };
+    };
+    let mut any = false;
+    let f = |h: Rational, hp: Rational| a * h - b * hp;
+    let u = upper.map(Rational::from_integer);
+    if dir.eq {
+        // h = h' = t ∈ [0, U]: g·t with g = a − b.
+        let g = a - b;
+        match u {
+            Some(u) => {
+                let v = g * u;
+                include(
+                    Some(Rational::ZERO.min(v)),
+                    Some(Rational::ZERO.max(v)),
+                    &mut lo,
+                    &mut hi,
+                    &mut any,
+                );
+            }
+            None => {
+                let l = if g >= Rational::ZERO {
+                    Some(Rational::ZERO)
+                } else {
+                    None
+                };
+                let h = if g <= Rational::ZERO {
+                    Some(Rational::ZERO)
+                } else {
+                    None
+                };
+                include(l, h, &mut lo, &mut hi, &mut any);
+            }
+        }
+    }
+    if dir.lt {
+        // 0 ≤ h, h + 1 ≤ h' ≤ U: triangle with vertices (0,1), (0,U),
+        // (U−1,U); rays (0,1) and (1,1) when unbounded.
+        match u {
+            Some(u) if u >= Rational::ONE => {
+                let vs = [
+                    f(Rational::ZERO, Rational::ONE),
+                    f(Rational::ZERO, u),
+                    f(u - Rational::ONE, u),
+                ];
+                let vmin = vs.iter().copied().reduce(Rational::min).expect("nonempty");
+                let vmax = vs.iter().copied().reduce(Rational::max).expect("nonempty");
+                include(Some(vmin), Some(vmax), &mut lo, &mut hi, &mut any);
+            }
+            Some(_) => {} // U < 1: region empty
+            None => {
+                let vertex = f(Rational::ZERO, Rational::ONE);
+                // Rays: increasing h' only (0,1) → −b; diagonal (1,1) → a−b.
+                let ray1 = -b;
+                let ray2 = a - b;
+                let l = if ray1 >= Rational::ZERO && ray2 >= Rational::ZERO {
+                    Some(vertex)
+                } else {
+                    None
+                };
+                let h = if ray1 <= Rational::ZERO && ray2 <= Rational::ZERO {
+                    Some(vertex)
+                } else {
+                    None
+                };
+                include(l, h, &mut lo, &mut hi, &mut any);
+            }
+        }
+    }
+    if dir.gt {
+        // Mirror of lt: h ≥ h' + 1.
+        match u {
+            Some(u) if u >= Rational::ONE => {
+                let vs = [
+                    f(Rational::ONE, Rational::ZERO),
+                    f(u, Rational::ZERO),
+                    f(u, u - Rational::ONE),
+                ];
+                let vmin = vs.iter().copied().reduce(Rational::min).expect("nonempty");
+                let vmax = vs.iter().copied().reduce(Rational::max).expect("nonempty");
+                include(Some(vmin), Some(vmax), &mut lo, &mut hi, &mut any);
+            }
+            Some(_) => {}
+            None => {
+                let vertex = f(Rational::ONE, Rational::ZERO);
+                let ray1 = a; // (1,0)
+                let ray2 = a - b; // (1,1)
+                let l = if ray1 >= Rational::ZERO && ray2 >= Rational::ZERO {
+                    Some(vertex)
+                } else {
+                    None
+                };
+                let h = if ray1 <= Rational::ZERO && ray2 <= Rational::ZERO {
+                    Some(vertex)
+                } else {
+                    None
+                };
+                include(l, h, &mut lo, &mut hi, &mut any);
+            }
+        }
+    }
+    if !any {
+        // Empty region: contribute an empty range. Encode as [0 > all]
+        // via an impossible pair; callers treat (Some(1), Some(-1))-style
+        // inverted ranges as empty, so return an inverted zero range.
+        return (Some(Rational::ONE), Some(Rational::MINUS_ONE));
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int(v: i128) -> Rational {
+        Rational::from_integer(v)
+    }
+
+    fn eq1(a: i128, b: i128, c: i128, u: Option<i128>) -> DimEquation {
+        DimEquation {
+            a: vec![int(a)],
+            b: vec![int(b)],
+            c: SymPoly::from_integer(c),
+            bounds: vec![u],
+        }
+    }
+
+    #[test]
+    fn gcd_disproves() {
+        // 2h − 2h' = 1 has no integer solution.
+        assert!(!gcd_test(&eq1(2, 2, 1, None)));
+        // 2h − 2h' = 4 may.
+        assert!(gcd_test(&eq1(2, 2, 4, None)));
+        // 3h − 6h' = 4: gcd 3 does not divide 4.
+        assert!(!gcd_test(&eq1(3, 6, 4, None)));
+    }
+
+    #[test]
+    fn gcd_ziv() {
+        assert!(!gcd_test(&eq1(0, 0, 5, None)));
+        assert!(gcd_test(&eq1(0, 0, 0, None)));
+    }
+
+    #[test]
+    fn strong_siv_distance() {
+        // c = −1 means h − h' = −1, i.e. the sink runs one iteration
+        // later: distance h' − h = −c/a = +1.
+        let eq = eq1(1, 1, -1, Some(9));
+        assert_eq!(eq.strong_siv_distance(), Some((0, 1)));
+        let eq = eq1(1, 1, 1, Some(9));
+        assert_eq!(eq.strong_siv_distance(), Some((0, -1)));
+        // Fractional distance: no integer solution.
+        let eq = eq1(2, 2, 1, Some(9));
+        assert_eq!(eq.strong_siv_distance(), None);
+        // Different coefficients: not strong SIV.
+        let eq = eq1(1, 2, 0, Some(9));
+        assert_eq!(eq.strong_siv_distance(), None);
+    }
+
+    #[test]
+    fn banerjee_bounded_range() {
+        // h − h' over [0,9]² with * direction: range [−9, 9].
+        let eq = eq1(1, 1, 0, Some(9));
+        let (lo, hi) = banerjee_range(&eq, &[DirSet::STAR]);
+        assert_eq!(lo, Some(int(-9)));
+        assert_eq!(hi, Some(int(9)));
+        // Under '<' (h < h'): range [−9, −1].
+        let (lo, hi) = banerjee_range(&eq, &[DirSet::LT]);
+        assert_eq!(lo, Some(int(-9)));
+        assert_eq!(hi, Some(int(-1)));
+        // Under '=': exactly 0.
+        let (lo, hi) = banerjee_range(&eq, &[DirSet::EQ]);
+        assert_eq!(lo, Some(int(0)));
+        assert_eq!(hi, Some(int(0)));
+    }
+
+    #[test]
+    fn banerjee_disproves_direction() {
+        // A[h] = A[h+5]: equation h − h' = 5 (c = 5)... under '<'
+        // (h < h'), h − h' < 0 < 5 → independent in that direction.
+        let eq = eq1(1, 1, 5, Some(100));
+        assert!(!banerjee_test(&eq, &[DirSet::LT]));
+        assert!(banerjee_test(&eq, &[DirSet::GT]));
+    }
+
+    #[test]
+    fn banerjee_unbounded() {
+        let eq = eq1(1, 1, 5, None);
+        // Unbounded loop: '>' keeps it possible, '<' disproves.
+        assert!(banerjee_test(&eq, &[DirSet::GT]));
+        assert!(!banerjee_test(&eq, &[DirSet::LT]));
+    }
+
+    #[test]
+    fn banerjee_symbolic_cannot_disprove() {
+        let eq = DimEquation {
+            a: vec![int(1)],
+            b: vec![int(1)],
+            c: SymPoly::symbol(biv_algebra::SymId(3)),
+            bounds: vec![Some(10)],
+        };
+        assert!(banerjee_test(&eq, &[DirSet::STAR]));
+    }
+
+    #[test]
+    fn empty_region_disproves() {
+        // U = 0 (single iteration) with '<' direction: region empty.
+        let eq = eq1(1, 1, 0, Some(0));
+        assert!(!banerjee_test(&eq, &[DirSet::LT]));
+        assert!(banerjee_test(&eq, &[DirSet::EQ]));
+    }
+}

@@ -1,0 +1,119 @@
+//! Loop-transformation legality from direction vectors.
+//!
+//! The paper's §6.1 example: normalizing L23/L24 turns the distance
+//! vector (1, 0) into (1, −1), and "some important transformations (such
+//! as loop interchanging) are prevented by this case". These helpers
+//! implement the classical legality rules over the tester's direction
+//! vectors.
+
+use crate::direction::{DirSet, DirectionVector};
+use crate::tester::Dependence;
+
+/// Whether interchanging the loops at `outer` and `inner` (positions in
+/// the common nest) preserves every dependence.
+///
+/// Interchange is illegal when some dependence has direction `(<, >)` in
+/// those positions — swapping would reverse its source and sink.
+pub fn interchange_legal(deps: &[Dependence], outer: usize, inner: usize) -> bool {
+    deps.iter().all(|d| {
+        let dirs = &d.directions.0;
+        let (Some(&o), Some(&i)) = (dirs.get(outer), dirs.get(inner)) else {
+            return true; // dependence not carried by both loops
+        };
+        // Illegal iff a (<, >) component is possible.
+        !(o.lt && i.gt)
+    })
+}
+
+/// Whether a loop at position `pos` carries no dependence (every
+/// dependence is `=` there, or enforced by an outer `<`): such a loop can
+/// run in parallel.
+pub fn parallelizable(deps: &[Dependence], pos: usize) -> bool {
+    deps.iter().all(|d| {
+        let dirs = &d.directions.0;
+        // Carried by an outer loop: some earlier position is strictly <
+        // and cannot be =.
+        let satisfied_outside = dirs[..pos.min(dirs.len())]
+            .iter()
+            .any(|s| s.lt && !s.eq && !s.gt);
+        if satisfied_outside {
+            return true;
+        }
+        match dirs.get(pos) {
+            Some(&s) => s == DirSet::EQ,
+            None => true,
+        }
+    })
+}
+
+/// Merges the direction vectors of many dependences into one summary
+/// vector (elementwise union) — the coarse form compilers print.
+pub fn summarize(deps: &[Dependence], nest_len: usize) -> DirectionVector {
+    let mut out = vec![
+        DirSet {
+            lt: false,
+            eq: false,
+            gt: false
+        };
+        nest_len
+    ];
+    for d in deps {
+        for (i, s) in d.directions.0.iter().enumerate() {
+            if i < nest_len {
+                out[i] = out[i].union(*s);
+            }
+        }
+    }
+    DirectionVector(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direction::DepKind;
+
+    fn dep(dirs: Vec<DirSet>) -> Dependence {
+        Dependence {
+            src: 0,
+            dst: 1,
+            kind: DepKind::Flow,
+            directions: DirectionVector(dirs),
+            distances: vec![],
+            wraparound_after: 0,
+            periodic: None,
+            exact: true,
+        }
+    }
+
+    #[test]
+    fn lt_gt_blocks_interchange() {
+        let deps = vec![dep(vec![DirSet::LT, DirSet::GT])];
+        assert!(!interchange_legal(&deps, 0, 1));
+        let deps = vec![dep(vec![DirSet::LT, DirSet::EQ])];
+        assert!(interchange_legal(&deps, 0, 1));
+        let deps = vec![dep(vec![DirSet::LT, DirSet::LT])];
+        assert!(interchange_legal(&deps, 0, 1));
+    }
+
+    #[test]
+    fn parallel_inner_loop() {
+        // (<, =): the outer loop carries it; inner is parallel.
+        let deps = vec![dep(vec![DirSet::LT, DirSet::EQ])];
+        assert!(parallelizable(&deps, 1));
+        assert!(!parallelizable(&deps, 0));
+        // (=, <): inner carries.
+        let deps = vec![dep(vec![DirSet::EQ, DirSet::LT])];
+        assert!(!parallelizable(&deps, 1));
+        assert!(parallelizable(&deps, 0));
+    }
+
+    #[test]
+    fn summary_unions() {
+        let deps = vec![
+            dep(vec![DirSet::LT, DirSet::EQ]),
+            dep(vec![DirSet::EQ, DirSet::GT]),
+        ];
+        let s = summarize(&deps, 2);
+        assert_eq!(s.to_string(), "(<=, >=)");
+    }
+}

@@ -1,0 +1,62 @@
+//! Data dependence testing on top of the *Beyond Induction Variables*
+//! classification (§6 of the paper).
+//!
+//! The classifier labels every subscript expression as an induction
+//! expression, a periodic expression, a monotonic expression, etc.; this
+//! crate turns pairs of array references into **dependence equations** and
+//! decides them:
+//!
+//! - linear induction subscripts go through the classical machinery —
+//!   ZIV, strong/weak SIV, the GCD test, and Banerjee's inequalities with
+//!   hierarchical direction-vector refinement;
+//! - **periodic** subscripts translate an `=` solution in family space
+//!   into a `≠` (or congruence-constrained) direction in iteration space —
+//!   exactly what the relaxation codes of §4.2 need;
+//! - **monotonic** subscripts translate into `=` (strict, same value) or
+//!   `≤` directions (Figure 10);
+//! - **wrap-around** subscripts are solved through their steady-state
+//!   induction variable with the dependence flagged as holding only after
+//!   the first `k` iterations.
+//!
+//! # Example
+//!
+//! ```
+//! use biv_core::analyze_source;
+//! use biv_depend::{DependenceTester, DepKind};
+//!
+//! let analysis = analyze_source(
+//!     r#"
+//!     func f(n) {
+//!         L1: for i = 1 to n {
+//!             A[i] = A[i - 1] + 1
+//!         }
+//!     }
+//!     "#,
+//! )?;
+//! let tester = DependenceTester::new(&analysis);
+//! let deps = tester.all_dependences();
+//! // One flow dependence with distance 1.
+//! let flow: Vec<_> = deps.iter().filter(|d| d.kind == DepKind::Flow).collect();
+//! assert_eq!(flow.len(), 1);
+//! assert_eq!(flow[0].distances, vec![Some(1)]);
+//! # Ok::<(), biv_core::AnalyzeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod access;
+mod affine;
+mod direction;
+mod equation;
+mod interchange;
+mod tester;
+
+pub use access::{collect_accesses, AccessRef};
+pub use affine::{affine_subscript, AffineSubscript};
+pub use direction::{DepKind, DirSet, DirectionVector};
+pub use equation::{banerjee_range, gcd_test, DimEquation};
+pub use interchange::{interchange_legal, parallelizable, summarize};
+pub use tester::{
+    Dependence, DependenceTester, DepTestResult, PeriodicConstraint,
+};

@@ -1,0 +1,453 @@
+//! The high-level dependence tester: special-cases the new variable
+//! classes (§6), falls back to the affine machinery.
+
+use biv_algebra::{Rational, SymPoly};
+use biv_core::{Analysis, Class, TripCount};
+use biv_ir::loops::Loop;
+use biv_ir::Block;
+use biv_ssa::Operand;
+
+use crate::access::{collect_accesses, AccessRef};
+use crate::affine::affine_subscript;
+use crate::direction::{DepKind, DirSet, DirectionVector};
+use crate::equation::{banerjee_test, gcd_test, DimEquation};
+
+/// A congruence constraint from periodic subscripts: the sink iteration
+/// minus the source iteration must be ≡ `residue` (mod `period`) in the
+/// innermost common loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeriodicConstraint {
+    /// The family period.
+    pub period: usize,
+    /// Required `(h_sink − h_src) mod period`.
+    pub residue: usize,
+}
+
+/// A dependence that could not be disproved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dependence {
+    /// Index of the source access (executes first).
+    pub src: usize,
+    /// Index of the sink access.
+    pub dst: usize,
+    /// Dependence kind.
+    pub kind: DepKind,
+    /// Per-common-loop direction summary, outermost first.
+    pub directions: DirectionVector,
+    /// Per-loop distances when exactly known.
+    pub distances: Vec<Option<i128>>,
+    /// Nonzero when the relation only holds after the first `k`
+    /// iterations (wrap-around subscripts, §4.1/§6).
+    pub wraparound_after: u32,
+    /// Congruence constraint from periodic subscripts (§4.2/§6).
+    pub periodic: Option<PeriodicConstraint>,
+    /// `false` when the tester gave up and conservatively assumed a
+    /// dependence.
+    pub exact: bool,
+}
+
+/// Result of testing one ordered pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DepTestResult {
+    /// Dependence disproved.
+    Independent,
+    /// Dependence possible (or proved).
+    Dependent(Dependence),
+}
+
+/// Tests array reference pairs using the classification in an
+/// [`Analysis`].
+#[derive(Debug)]
+pub struct DependenceTester<'a> {
+    analysis: &'a Analysis,
+    accesses: Vec<AccessRef>,
+    dom: biv_ir::dom::DomTree,
+}
+
+impl<'a> DependenceTester<'a> {
+    /// Collects the accesses of the analyzed function.
+    pub fn new(analysis: &'a Analysis) -> DependenceTester<'a> {
+        let accesses = collect_accesses(analysis.ssa());
+        let dom = biv_ir::dom::DomTree::compute(analysis.ssa().func());
+        DependenceTester {
+            analysis,
+            accesses,
+            dom,
+        }
+    }
+
+    /// The collected accesses.
+    pub fn accesses(&self) -> &[AccessRef] {
+        &self.accesses
+    }
+
+    /// Tests every ordered pair touching the same array with at least one
+    /// write, returning the dependences that survive.
+    pub fn all_dependences(&self) -> Vec<Dependence> {
+        let mut out = Vec::new();
+        for src in 0..self.accesses.len() {
+            for dst in 0..self.accesses.len() {
+                let a = &self.accesses[src];
+                let b = &self.accesses[dst];
+                if a.array != b.array || (!a.is_write && !b.is_write) {
+                    continue;
+                }
+                if src == dst && !a.is_write {
+                    continue;
+                }
+                if let DepTestResult::Dependent(d) = self.test(src, dst) {
+                    out.push(d);
+                }
+            }
+        }
+        out
+    }
+
+    /// Tests the ordered pair `src → dst` (source executing first).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the indices are out of range.
+    pub fn test(&self, src: usize, dst: usize) -> DepTestResult {
+        let a = &self.accesses[src];
+        let b = &self.accesses[dst];
+        assert_eq!(a.array, b.array, "accesses must touch the same array");
+        let kind = match (a.is_write, b.is_write) {
+            (true, false) => DepKind::Flow,
+            (false, true) => DepKind::Anti,
+            (true, true) => DepKind::Output,
+            (false, false) => DepKind::Input,
+        };
+        let nest = self.common_nest(a.block, b.block);
+        // Same-iteration ordering: can the dependence hold with all-`=`
+        // directions? Only if src executes before dst within an iteration.
+        let eq_ok = self.executes_before(a, b);
+        let m = nest.len();
+        let mut dirs = vec![DirSet::STAR; m];
+        let mut distances: Vec<Option<i128>> = vec![None; m];
+        let mut wraparound_after = 0u32;
+        let mut periodic: Option<PeriodicConstraint> = None;
+        let mut exact = true;
+        for dim in 0..a.index.len().min(b.index.len()) {
+            match self.test_dimension(a, b, dim, &nest) {
+                DimOutcome::Independent => return DepTestResult::Independent,
+                DimOutcome::Constrain {
+                    loop_dirs,
+                    distance,
+                    wrap,
+                    periodic: p,
+                } => {
+                    for (i, d) in loop_dirs.into_iter().enumerate() {
+                        dirs[i] = dirs[i].intersect(d);
+                        if dirs[i].is_empty() {
+                            return DepTestResult::Independent;
+                        }
+                    }
+                    if let Some((idx, dist)) = distance {
+                        match distances[idx] {
+                            None => distances[idx] = Some(dist),
+                            Some(prev) if prev != dist => {
+                                return DepTestResult::Independent
+                            }
+                            Some(_) => {}
+                        }
+                    }
+                    wraparound_after = wraparound_after.max(wrap);
+                    if let Some(p) = p {
+                        periodic = Some(p);
+                    }
+                }
+                DimOutcome::Unknown => exact = false,
+            }
+        }
+        // Direction-vector refinement with Banerjee under each candidate
+        // leaf is folded into test_dimension; here apply the execution
+        // order filter.
+        let vector = DirectionVector(dirs);
+        if !vector.has_forward_refinement(eq_ok) {
+            return DepTestResult::Independent;
+        }
+        DepTestResult::Dependent(Dependence {
+            src,
+            dst,
+            kind,
+            directions: vector,
+            distances,
+            wraparound_after,
+            periodic,
+            exact,
+        })
+    }
+
+    /// The loops containing both blocks, outermost first.
+    fn common_nest(&self, a: Block, b: Block) -> Vec<Loop> {
+        let forest = self.analysis.forest();
+        let mut nest: Vec<Loop> = Vec::new();
+        let mut cur = forest.innermost(a);
+        while let Some(l) = cur {
+            if forest.contains(l, b) {
+                nest.push(l);
+            }
+            cur = forest.data(l).parent;
+        }
+        nest.reverse();
+        nest
+    }
+
+    /// Whether `a` executes before `b` within one iteration of their
+    /// innermost common context (conservatively by block order).
+    fn executes_before(&self, a: &AccessRef, b: &AccessRef) -> bool {
+        if a.block == b.block {
+            return a.position < b.position;
+        }
+        if self.dom.dominates(a.block, b.block) {
+            return true;
+        }
+        if self.dom.dominates(b.block, a.block) {
+            return false;
+        }
+        // Different branches: conservatively allow.
+        true
+    }
+
+    fn trip_bound(&self, l: Loop) -> Option<i128> {
+        match &self.analysis.info(l).trip_count {
+            TripCount::Finite(p) => {
+                let c = p.constant_value()?;
+                let tc = c.as_integer()?;
+                if tc <= 0 {
+                    Some(0)
+                } else {
+                    Some(tc - 1)
+                }
+            }
+            TripCount::Zero => Some(0),
+            _ => None,
+        }
+    }
+
+    fn test_dimension(
+        &self,
+        a: &AccessRef,
+        b: &AccessRef,
+        dim: usize,
+        nest: &[Loop],
+    ) -> DimOutcome {
+        // Special classes first: periodic, then monotonic (checked on the
+        // raw subscript values in the innermost common loop).
+        if let Some(out) = self.periodic_case(a, b, dim, nest) {
+            return out;
+        }
+        if let Some(out) = self.monotonic_case(a, b, dim, nest) {
+            return out;
+        }
+        let (Some(sa), Some(sb)) = (
+            affine_subscript(self.analysis, &a.index[dim], nest),
+            affine_subscript(self.analysis, &b.index[dim], nest),
+        ) else {
+            return DimOutcome::Unknown;
+        };
+        let c = match sb.consts.checked_sub(&sa.consts) {
+            Ok(c) => c,
+            Err(_) => return DimOutcome::Unknown,
+        };
+        let eq = DimEquation {
+            a: sa.coeffs.clone(),
+            b: sb.coeffs.clone(),
+            c,
+            bounds: nest.iter().map(|&l| self.trip_bound(l)).collect(),
+        };
+        // ZIV.
+        if eq.is_ziv() {
+            return match eq.c.constant_value() {
+                Some(c) if !c.is_zero() => DimOutcome::Independent,
+                Some(_) => DimOutcome::Constrain {
+                    loop_dirs: vec![DirSet::STAR; nest.len()],
+                    distance: None,
+                    wrap: sa.wraparound_after.max(sb.wraparound_after),
+                    periodic: None,
+                },
+                None => DimOutcome::Unknown,
+            };
+        }
+        // GCD.
+        if !gcd_test(&eq) {
+            return DimOutcome::Independent;
+        }
+        // Direction refinement: per loop, find which of {<,=,>} survive
+        // Banerjee with the other loops unconstrained.
+        let m = nest.len();
+        let mut loop_dirs = Vec::with_capacity(m);
+        for i in 0..m {
+            let survives = |single: DirSet| {
+                let mut dirs = vec![DirSet::STAR; m];
+                dirs[i] = single;
+                banerjee_test(&eq, &dirs)
+            };
+            let set = DirSet {
+                lt: survives(DirSet::LT),
+                eq: survives(DirSet::EQ),
+                gt: survives(DirSet::GT),
+            };
+            if set.is_empty() {
+                return DimOutcome::Independent;
+            }
+            loop_dirs.push(set);
+        }
+        // Whole-vector check with the refined sets.
+        if !banerjee_test(&eq, &loop_dirs) {
+            return DimOutcome::Independent;
+        }
+        // The equation is a·h − b·h' = c with a == b, so the helper's
+        // −c/a is exactly the src-to-sink distance h' − h.
+        let distance = eq.strong_siv_distance();
+        // Distance implies exact direction in that loop.
+        if let Some((i, d)) = distance {
+            let dir = match d.cmp(&0) {
+                std::cmp::Ordering::Greater => DirSet::LT,
+                std::cmp::Ordering::Equal => DirSet::EQ,
+                std::cmp::Ordering::Less => DirSet::GT,
+            };
+            loop_dirs[i] = loop_dirs[i].intersect(dir);
+            if loop_dirs[i].is_empty() {
+                return DimOutcome::Independent;
+            }
+        }
+        DimOutcome::Constrain {
+            loop_dirs,
+            distance,
+            wrap: sa.wraparound_after.max(sb.wraparound_after),
+            periodic: None,
+        }
+    }
+
+    /// Subscripts in the same periodic family (§6, loop L22): an `=` in
+    /// family space becomes a congruence on iterations; distinct phases
+    /// exclude the `=` direction entirely.
+    fn periodic_case(
+        &self,
+        a: &AccessRef,
+        b: &AccessRef,
+        dim: usize,
+        nest: &[Loop],
+    ) -> Option<DimOutcome> {
+        let innermost = *nest.last()?;
+        let pa = self.subscript_class(&a.index[dim], innermost)?;
+        let pb = self.subscript_class(&b.index[dim], innermost)?;
+        let (Class::Periodic(pa), Class::Periodic(pb)) = (pa, pb) else {
+            return None;
+        };
+        if pa.loop_id != pb.loop_id || pa.values != pb.values {
+            return None; // different families: cannot conclude
+        }
+        let period = pa.period();
+        // Equality requires (phase_a + h_src) ≡ (phase_b + h_sink) mod P,
+        // assuming the family's initial values are pairwise distinct. When
+        // initials are constants, verify distinctness; symbolic initials
+        // are assumed distinct (the paper makes the same assumption
+        // explicit).
+        let consts: Vec<Option<Rational>> =
+            pa.values.iter().map(SymPoly::constant_value).collect();
+        if consts.iter().all(Option::is_some) {
+            let mut seen = std::collections::HashSet::new();
+            for c in consts.into_iter().flatten() {
+                if !seen.insert(c) {
+                    return None; // repeated values: family degenerate
+                }
+            }
+        }
+        // The constraint binds the iterations of the loop the family
+        // rotates in (which may be an outer loop of the innermost common
+        // one).
+        let rotating_idx = nest.iter().position(|&l| l == pa.loop_id)?;
+        let mut loop_dirs = vec![DirSet::STAR; nest.len()];
+        // Equality needs phase_a + h_src ≡ phase_b + h_sink (mod P), i.e.
+        // h_sink − h_src ≡ phase_a − phase_b (mod P).
+        let need = (pa.phase + period - pb.phase) % period;
+        if need != 0 {
+            loop_dirs[rotating_idx] = DirSet::NE; // the paper's ≠
+        }
+        Some(DimOutcome::Constrain {
+            loop_dirs,
+            distance: None,
+            wrap: 0,
+            periodic: Some(PeriodicConstraint {
+                period,
+                residue: need,
+            }),
+        })
+    }
+
+    /// Monotonic subscripts (§6, Figure 10).
+    fn monotonic_case(
+        &self,
+        a: &AccessRef,
+        b: &AccessRef,
+        dim: usize,
+        nest: &[Loop],
+    ) -> Option<DimOutcome> {
+        let innermost = *nest.last()?;
+        let ca = self.subscript_class(&a.index[dim], innermost)?;
+        let cb = self.subscript_class(&b.index[dim], innermost)?;
+        let (Class::Monotonic(ma), Class::Monotonic(mb)) = (ca, cb) else {
+            return None;
+        };
+        if ma.family.is_none() || ma.family != mb.family || ma.loop_id != mb.loop_id {
+            return None;
+        }
+        let same_value = {
+            let ra = biv_core::resolve_copies(self.analysis.ssa(), a.index[dim]);
+            let rb = biv_core::resolve_copies(self.analysis.ssa(), b.index[dim]);
+            ra == rb
+        };
+        let mut loop_dirs = vec![DirSet::STAR; nest.len()];
+        // Constrain the loop the monotonic family advances in.
+        let idx = nest.iter().position(|&l| l == ma.loop_id)?;
+        loop_dirs[idx] = if same_value && ma.strict && mb.strict {
+            // Strictly monotonic value equal to itself only in the same
+            // iteration: direction (=) — the paper's array B case.
+            DirSet::EQ
+        } else {
+            // Equal values may recur while the variable is not
+            // incremented: (≤) for the forward pair — array F's flow
+            // dependence (≤) and anti dependence (<) both refine from
+            // this set by the execution-order filter.
+            DirSet::LE
+        };
+        Some(DimOutcome::Constrain {
+            loop_dirs,
+            distance: None,
+            wrap: 0,
+            periodic: None,
+        })
+    }
+
+    /// Classification of a subscript operand in `l` (through copies).
+    fn subscript_class(&self, op: &Operand, l: Loop) -> Option<Class> {
+        let resolved = biv_core::resolve_copies(self.analysis.ssa(), *op);
+        let v = resolved.as_value()?;
+        // Find the class in `l` or any enclosing loop of `l`.
+        let forest = self.analysis.forest();
+        let mut cur = Some(l);
+        while let Some(c) = cur {
+            if let Some(cls) = self.analysis.class_in(c, v) {
+                return Some(cls.clone());
+            }
+            cur = forest.data(c).parent;
+        }
+        None
+    }
+}
+
+/// Outcome of testing one subscript dimension.
+#[derive(Debug)]
+enum DimOutcome {
+    Independent,
+    Constrain {
+        loop_dirs: Vec<DirSet>,
+        distance: Option<(usize, i128)>,
+        wrap: u32,
+        periodic: Option<PeriodicConstraint>,
+    },
+    Unknown,
+}

@@ -1,0 +1,202 @@
+//! Solver-level coverage: SIV variants, outputs, symbolic bounds, and
+//! multi-dimensional interactions beyond the paper's worked examples.
+
+use biv_core::analyze_source;
+use biv_depend::{DepKind, DepTestResult, DependenceTester, DirSet};
+
+fn tester_src(src: &str) -> (biv_core::Analysis, Vec<usize>, Vec<usize>) {
+    let analysis = analyze_source(src).unwrap();
+    let tester = DependenceTester::new(&analysis);
+    let writes: Vec<usize> = tester
+        .accesses()
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.is_write)
+        .map(|(i, _)| i)
+        .collect();
+    let reads: Vec<usize> = tester
+        .accesses()
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| !a.is_write)
+        .map(|(i, _)| i)
+        .collect();
+    (analysis, writes, reads)
+}
+
+#[test]
+fn weak_zero_siv_within_bounds() {
+    // A[5] read, A[i] written for i in 1..=10: dependence at i = 5.
+    let (analysis, writes, reads) = tester_src(
+        "func f() { L1: for i = 1 to 10 { A[i] = A[5] + 1 } }",
+    );
+    let tester = DependenceTester::new(&analysis);
+    match tester.test(writes[0], reads[0]) {
+        DepTestResult::Dependent(d) => assert_eq!(d.kind, DepKind::Flow),
+        DepTestResult::Independent => panic!("A[5] is written at i=5"),
+    }
+}
+
+#[test]
+fn weak_zero_siv_outside_bounds() {
+    // A[50] is never written when i only reaches 10.
+    let (analysis, writes, reads) = tester_src(
+        "func f() { L1: for i = 1 to 10 { A[i] = A[50] + 1 } }",
+    );
+    let tester = DependenceTester::new(&analysis);
+    assert_eq!(tester.test(writes[0], reads[0]), DepTestResult::Independent);
+    assert_eq!(tester.test(reads[0], writes[0]), DepTestResult::Independent);
+}
+
+#[test]
+fn output_dependence_on_same_subscript() {
+    let (analysis, writes, _) = tester_src(
+        "func f(n) { L1: for i = 1 to n { A[i] = 1 A[i] = 2 } }",
+    );
+    let tester = DependenceTester::new(&analysis);
+    match tester.test(writes[0], writes[1]) {
+        DepTestResult::Dependent(d) => {
+            assert_eq!(d.kind, DepKind::Output);
+            assert_eq!(d.distances, vec![Some(0)]);
+            assert_eq!(d.directions.0[0], DirSet::EQ);
+        }
+        DepTestResult::Independent => panic!("same subscript: output dep"),
+    }
+}
+
+#[test]
+fn symbolic_offset_assumed_dependent() {
+    // A[i] vs A[i + n]: n symbolic — cannot disprove.
+    let (analysis, writes, reads) = tester_src(
+        "func f(n) { L1: for i = 1 to 10 { A[i] = A[i + n] } }",
+    );
+    let tester = DependenceTester::new(&analysis);
+    match tester.test(writes[0], reads[0]) {
+        DepTestResult::Dependent(_) => {}
+        DepTestResult::Independent => panic!("symbolic offset cannot be disproved"),
+    }
+}
+
+#[test]
+fn crossing_siv() {
+    // A[i] = A[20 - i]: crossing dependence around i = 10.
+    let (analysis, writes, reads) = tester_src(
+        "func f() { L1: for i = 1 to 19 { A[i] = A[20 - i] } }",
+    );
+    let tester = DependenceTester::new(&analysis);
+    match tester.test(writes[0], reads[0]) {
+        DepTestResult::Dependent(_) => {}
+        DepTestResult::Independent => panic!("crossing dependence exists"),
+    }
+}
+
+#[test]
+fn crossing_siv_disproved_when_parity_excludes() {
+    // A[2i] = A[2i + 11]: 2h ≡ 2h' + 11 has no integer solution (parity).
+    let (analysis, writes, reads) = tester_src(
+        "func f(n) { L1: for i = 1 to n { A[2 * i] = A[2 * i + 11] } }",
+    );
+    let tester = DependenceTester::new(&analysis);
+    assert_eq!(tester.test(writes[0], reads[0]), DepTestResult::Independent);
+    assert_eq!(tester.test(reads[0], writes[0]), DepTestResult::Independent);
+}
+
+#[test]
+fn outer_invariant_dim_constrains_to_equal() {
+    // A[i, j] = A[i, j-1]: first dim forces =, second gives distance 1.
+    let (analysis, writes, reads) = tester_src(
+        r#"
+        func f(n) {
+            L1: for i = 1 to n {
+                L2: for j = 2 to n {
+                    A[i, j] = A[i, j - 1]
+                }
+            }
+        }
+        "#,
+    );
+    let tester = DependenceTester::new(&analysis);
+    match tester.test(writes[0], reads[0]) {
+        DepTestResult::Dependent(d) => {
+            assert_eq!(d.directions.to_string(), "(=, <)");
+            assert_eq!(d.distances, vec![Some(0), Some(1)]);
+        }
+        DepTestResult::Independent => panic!("row dependence exists"),
+    }
+}
+
+#[test]
+fn anti_parallel_diagonal() {
+    // A[i + j] touched by every (i, j) with the same sum: dependence with
+    // many directions, but GCD/Banerjee keep it (no disproof).
+    let (analysis, writes, reads) = tester_src(
+        r#"
+        func f(n) {
+            L1: for i = 1 to 10 {
+                L2: for j = 1 to 10 {
+                    A[i + j] = A[i + j] + 1
+                }
+            }
+        }
+        "#,
+    );
+    let tester = DependenceTester::new(&analysis);
+    match tester.test(writes[0], reads[0]) {
+        DepTestResult::Dependent(_) => {}
+        DepTestResult::Independent => panic!("diagonal reuse exists"),
+    }
+}
+
+#[test]
+fn loads_only_are_not_tested() {
+    let analysis = analyze_source(
+        "func f(n) { L1: for i = 1 to n { x = A[i] + A[i - 1] } }",
+    )
+    .unwrap();
+    let tester = DependenceTester::new(&analysis);
+    assert!(tester.all_dependences().is_empty(), "no writes, no deps");
+}
+
+#[test]
+fn different_arrays_are_independent() {
+    let analysis = analyze_source(
+        "func f(n) { L1: for i = 1 to n { A[i] = B[i] } }",
+    )
+    .unwrap();
+    let tester = DependenceTester::new(&analysis);
+    assert!(tester.all_dependences().is_empty());
+}
+
+#[test]
+fn unknown_subscripts_conservatively_depend() {
+    // Subscript loaded from memory: untestable, reported as dependence
+    // with exact = false.
+    let (analysis, writes, _) = tester_src(
+        "func f(n) { L1: for i = 1 to n { t = IDX[i] A[t] = i A[t + 1] = i } }",
+    );
+    let tester = DependenceTester::new(&analysis);
+    match tester.test(writes[0], writes[1]) {
+        DepTestResult::Dependent(d) => assert!(!d.exact),
+        DepTestResult::Independent => panic!("cannot disprove unknown subscripts"),
+    }
+}
+
+#[test]
+fn scalar_trip_count_bounds_distance() {
+    // distance 3 in a 3-iteration loop (trips 1..=3): just out of range.
+    let (analysis, writes, reads) = tester_src(
+        "func f() { L1: for i = 1 to 3 { A[i] = A[i + 3] } }",
+    );
+    let tester = DependenceTester::new(&analysis);
+    assert_eq!(tester.test(writes[0], reads[0]), DepTestResult::Independent);
+    assert_eq!(tester.test(reads[0], writes[0]), DepTestResult::Independent);
+    // distance 2 in the same loop: in range.
+    let (analysis, writes, reads) = tester_src(
+        "func f() { L1: for i = 1 to 3 { A[i] = A[i + 2] } }",
+    );
+    let tester = DependenceTester::new(&analysis);
+    assert!(matches!(
+        tester.test(reads[0], writes[0]),
+        DepTestResult::Dependent(_)
+    ));
+}

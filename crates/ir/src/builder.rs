@@ -1,0 +1,198 @@
+//! A convenience builder for constructing CFG functions programmatically.
+//!
+//! The parser covers most needs; the builder exists for generated
+//! workloads and for tests that want precise control over block shape.
+
+use crate::function::{
+    Array, BinOp, Block, CmpOp, Function, Inst, Operand, Terminator, Var,
+};
+
+/// Incrementally builds a [`Function`].
+///
+/// The builder keeps a *current block*; instruction-emitting methods append
+/// to it, and terminator-emitting methods seal it and move on.
+///
+/// # Example
+///
+/// ```
+/// use biv_ir::builder::FunctionBuilder;
+/// use biv_ir::{CmpOp, Operand};
+///
+/// let mut b = FunctionBuilder::new("count");
+/// let i = b.new_var("i");
+/// b.copy(i, 0.into());
+/// let header = b.new_block();
+/// b.jump(header);
+/// b.switch_to(header);
+/// b.add(i, i.into(), 1.into());
+/// let exit = b.new_block();
+/// b.branch(CmpOp::Lt, i.into(), 10.into(), header, exit);
+/// b.switch_to(exit);
+/// b.ret();
+/// let f = b.finish();
+/// assert_eq!(f.blocks.len(), 3);
+/// ```
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    func: Function,
+    current: Block,
+}
+
+impl FunctionBuilder {
+    /// Starts a new function positioned at its entry block.
+    pub fn new(name: impl Into<String>) -> FunctionBuilder {
+        let func = Function::new(name);
+        let current = func.entry();
+        FunctionBuilder { func, current }
+    }
+
+    /// Declares a scalar variable.
+    pub fn new_var(&mut self, name: impl Into<String>) -> Var {
+        self.func.new_var(name)
+    }
+
+    /// Declares a parameter (symbolic loop-entry value).
+    pub fn new_param(&mut self, name: impl Into<String>) -> Var {
+        self.func.new_param(name)
+    }
+
+    /// Declares an array.
+    pub fn new_array(&mut self, name: impl Into<String>, dims: usize) -> Array {
+        self.func.new_array(name, dims)
+    }
+
+    /// Creates a new (unsealed) block without switching to it.
+    pub fn new_block(&mut self) -> Block {
+        self.func.new_block()
+    }
+
+    /// Creates a new labeled block without switching to it.
+    pub fn new_labeled_block(&mut self, label: impl Into<String>) -> Block {
+        self.func.new_labeled_block(label)
+    }
+
+    /// Moves the insertion point.
+    pub fn switch_to(&mut self, block: Block) {
+        self.current = block;
+    }
+
+    /// The current insertion block.
+    pub fn current(&self) -> Block {
+        self.current
+    }
+
+    /// Emits `dst = src`.
+    pub fn copy(&mut self, dst: Var, src: Operand) {
+        self.push(Inst::Copy { dst, src });
+    }
+
+    /// Emits `dst = -src`.
+    pub fn neg(&mut self, dst: Var, src: Operand) {
+        self.push(Inst::Neg { dst, src });
+    }
+
+    /// Emits `dst = lhs op rhs`.
+    pub fn binary(&mut self, op: BinOp, dst: Var, lhs: Operand, rhs: Operand) {
+        self.push(Inst::Binary { dst, op, lhs, rhs });
+    }
+
+    /// Emits `dst = lhs + rhs`.
+    pub fn add(&mut self, dst: Var, lhs: Operand, rhs: Operand) {
+        self.binary(BinOp::Add, dst, lhs, rhs);
+    }
+
+    /// Emits `dst = lhs - rhs`.
+    pub fn sub(&mut self, dst: Var, lhs: Operand, rhs: Operand) {
+        self.binary(BinOp::Sub, dst, lhs, rhs);
+    }
+
+    /// Emits `dst = lhs * rhs`.
+    pub fn mul(&mut self, dst: Var, lhs: Operand, rhs: Operand) {
+        self.binary(BinOp::Mul, dst, lhs, rhs);
+    }
+
+    /// Emits `dst = array[index…]`.
+    pub fn load(&mut self, dst: Var, array: Array, index: Vec<Operand>) {
+        self.push(Inst::Load { dst, array, index });
+    }
+
+    /// Emits `array[index…] = value`.
+    pub fn store(&mut self, array: Array, index: Vec<Operand>, value: Operand) {
+        self.push(Inst::Store {
+            array,
+            index,
+            value,
+        });
+    }
+
+    /// Seals the current block with an unconditional jump.
+    pub fn jump(&mut self, target: Block) {
+        self.func.blocks[self.current].term = Terminator::Jump(target);
+    }
+
+    /// Seals the current block with a conditional branch.
+    pub fn branch(
+        &mut self,
+        op: CmpOp,
+        lhs: Operand,
+        rhs: Operand,
+        then_bb: Block,
+        else_bb: Block,
+    ) {
+        self.func.blocks[self.current].term = Terminator::Branch {
+            op,
+            lhs,
+            rhs,
+            then_bb,
+            else_bb,
+        };
+    }
+
+    /// Seals the current block with a return.
+    pub fn ret(&mut self) {
+        self.func.blocks[self.current].term = Terminator::Return;
+    }
+
+    /// Finishes construction and returns the function.
+    pub fn finish(self) -> Function {
+        self.func
+    }
+
+    fn push(&mut self, inst: Inst) {
+        self.func.blocks[self.current].insts.push(inst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_counting_loop() {
+        let mut b = FunctionBuilder::new("count");
+        let i = b.new_var("i");
+        b.copy(i, Operand::Const(0));
+        let header = b.new_labeled_block("L1");
+        b.jump(header);
+        b.switch_to(header);
+        b.add(i, Operand::Var(i), Operand::Const(1));
+        let exit = b.new_block();
+        b.branch(CmpOp::Lt, Operand::Var(i), Operand::Const(10), header, exit);
+        b.switch_to(exit);
+        b.ret();
+        let f = b.finish();
+        assert_eq!(f.blocks.len(), 3);
+        assert_eq!(f.block_by_label("L1"), Some(header));
+        assert_eq!(f.successors(header), vec![header, exit]);
+    }
+
+    #[test]
+    fn params_are_recorded() {
+        let mut b = FunctionBuilder::new("p");
+        let n = b.new_param("n");
+        b.ret();
+        let f = b.finish();
+        assert_eq!(f.params(), &[n]);
+        assert!(f.vars[n].is_param);
+    }
+}

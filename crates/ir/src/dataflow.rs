@@ -1,0 +1,378 @@
+//! An iterative bit-vector dataflow framework with the two classical
+//! problems the rest of the system needs: **reaching definitions** (used by
+//! the classical induction-variable baseline) and **live variables** (used
+//! for pruned SSA construction).
+
+use std::collections::HashMap;
+
+use crate::entity::EntityId;
+use crate::function::{Block, Function, Var};
+
+/// A fixed-width bitset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set over a universe of `len` elements.
+    pub fn new(len: usize) -> BitSet {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of elements in the universe.
+    pub fn universe(&self) -> usize {
+        self.len
+    }
+
+    /// Inserts `idx`. Returns `true` if newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx` is out of range.
+    pub fn insert(&mut self, idx: usize) -> bool {
+        assert!(idx < self.len, "bit index out of range");
+        let (w, b) = (idx / 64, idx % 64);
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !had
+    }
+
+    /// Removes `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx` is out of range.
+    pub fn remove(&mut self, idx: usize) {
+        assert!(idx < self.len, "bit index out of range");
+        self.words[idx / 64] &= !(1 << (idx % 64));
+    }
+
+    /// Membership test.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx` is out of range.
+    pub fn contains(&self, idx: usize) -> bool {
+        assert!(idx < self.len, "bit index out of range");
+        self.words[idx / 64] & (1 << (idx % 64)) != 0
+    }
+
+    /// `self |= other`; returns whether `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a | *b;
+            if new != *a {
+                changed = true;
+                *a = new;
+            }
+        }
+        changed
+    }
+
+    /// `self &= !other`.
+    pub fn subtract(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Iterates over set members in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(move |&i| self.contains(i))
+    }
+
+    /// Number of members.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// A definition site: block plus instruction index within the block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DefSite {
+    /// Containing block.
+    pub block: Block,
+    /// Index of the defining instruction in the block.
+    pub inst: usize,
+    /// The variable defined.
+    pub var: Var,
+}
+
+/// Reaching-definitions analysis results.
+#[derive(Debug)]
+pub struct ReachingDefs {
+    /// All definition sites, indexed by their bit position.
+    pub defs: Vec<DefSite>,
+    /// Reaching set at block entry.
+    pub live_in: HashMap<Block, BitSet>,
+    /// Reaching set at block exit.
+    pub live_out: HashMap<Block, BitSet>,
+    /// Definition bits per variable.
+    pub defs_of_var: HashMap<Var, Vec<usize>>,
+}
+
+impl ReachingDefs {
+    /// Runs the classical forward may-analysis.
+    pub fn compute(func: &Function) -> ReachingDefs {
+        // Enumerate definition sites.
+        let mut defs = Vec::new();
+        let mut defs_of_var: HashMap<Var, Vec<usize>> = HashMap::new();
+        for (b, data) in func.blocks.iter() {
+            for (i, inst) in data.insts.iter().enumerate() {
+                if let Some(var) = inst.def() {
+                    let bit = defs.len();
+                    defs.push(DefSite {
+                        block: b,
+                        inst: i,
+                        var,
+                    });
+                    defs_of_var.entry(var).or_default().push(bit);
+                }
+            }
+        }
+        let n = defs.len();
+        // GEN/KILL per block.
+        let mut gen: HashMap<Block, BitSet> = HashMap::new();
+        let mut kill: HashMap<Block, BitSet> = HashMap::new();
+        for (b, data) in func.blocks.iter() {
+            let mut g = BitSet::new(n);
+            let mut k = BitSet::new(n);
+            // Walk forward; later defs of the same var kill earlier ones.
+            for (i, inst) in data.insts.iter().enumerate() {
+                if let Some(var) = inst.def() {
+                    for &bit in &defs_of_var[&var] {
+                        if defs[bit].block != b || defs[bit].inst != i {
+                            k.insert(bit);
+                        }
+                        if defs[bit].block == b && defs[bit].inst == i {
+                            g.insert(bit);
+                        }
+                    }
+                    // A later def in the same block kills this one from GEN.
+                    for &bit in &defs_of_var[&var] {
+                        if defs[bit].block == b && defs[bit].inst < i {
+                            g.remove(bit);
+                        }
+                    }
+                }
+            }
+            gen.insert(b, g);
+            kill.insert(b, k);
+        }
+        // Iterate to fixpoint in RPO.
+        let rpo = func.reverse_postorder();
+        let preds = func.predecessors();
+        let mut rin: HashMap<Block, BitSet> =
+            rpo.iter().map(|&b| (b, BitSet::new(n))).collect();
+        let mut rout: HashMap<Block, BitSet> =
+            rpo.iter().map(|&b| (b, BitSet::new(n))).collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &rpo {
+                let mut input = BitSet::new(n);
+                for p in preds.get(&b).map(|v| v.as_slice()).unwrap_or(&[]) {
+                    if let Some(po) = rout.get(p) {
+                        input.union_with(po);
+                    }
+                }
+                let mut out = input.clone();
+                out.subtract(&kill[&b]);
+                out.union_with(&gen[&b]);
+                if rin[&b] != input {
+                    rin.insert(b, input);
+                }
+                if rout[&b] != out {
+                    rout.insert(b, out);
+                    changed = true;
+                }
+            }
+        }
+        ReachingDefs {
+            defs,
+            live_in: rin,
+            live_out: rout,
+            defs_of_var,
+        }
+    }
+
+    /// The definitions of `var` that reach the entry of `block`.
+    pub fn reaching_defs_of(&self, block: Block, var: Var) -> Vec<DefSite> {
+        let Some(set) = self.live_in.get(&block) else {
+            return Vec::new();
+        };
+        self.defs_of_var
+            .get(&var)
+            .map(|bits| {
+                bits.iter()
+                    .filter(|&&b| set.contains(b))
+                    .map(|&b| self.defs[b])
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+/// Live-variables analysis results (backward may-analysis).
+#[derive(Debug)]
+pub struct Liveness {
+    /// Variables live at block entry.
+    pub live_in: HashMap<Block, BitSet>,
+    /// Variables live at block exit.
+    pub live_out: HashMap<Block, BitSet>,
+}
+
+impl Liveness {
+    /// Runs the classical backward liveness analysis over scalar variables.
+    pub fn compute(func: &Function) -> Liveness {
+        let n = func.vars.len();
+        // USE/DEF per block (USE = used before any def in the block).
+        let mut use_set: HashMap<Block, BitSet> = HashMap::new();
+        let mut def_set: HashMap<Block, BitSet> = HashMap::new();
+        let mut scratch = Vec::new();
+        for (b, data) in func.blocks.iter() {
+            let mut u = BitSet::new(n);
+            let mut d = BitSet::new(n);
+            for inst in &data.insts {
+                scratch.clear();
+                inst.uses(&mut scratch);
+                for &v in &scratch {
+                    if !d.contains(v.index()) {
+                        u.insert(v.index());
+                    }
+                }
+                if let Some(v) = inst.def() {
+                    d.insert(v.index());
+                }
+            }
+            scratch.clear();
+            data.term.uses(&mut scratch);
+            for &v in &scratch {
+                if !d.contains(v.index()) {
+                    u.insert(v.index());
+                }
+            }
+            use_set.insert(b, u);
+            def_set.insert(b, d);
+        }
+        let po = func.postorder();
+        let mut lin: HashMap<Block, BitSet> =
+            po.iter().map(|&b| (b, BitSet::new(n))).collect();
+        let mut lout: HashMap<Block, BitSet> =
+            po.iter().map(|&b| (b, BitSet::new(n))).collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &po {
+                let mut out = BitSet::new(n);
+                for s in func.successors(b) {
+                    if let Some(si) = lin.get(&s) {
+                        out.union_with(si);
+                    }
+                }
+                let mut input = out.clone();
+                input.subtract(&def_set[&b]);
+                input.union_with(&use_set[&b]);
+                if lout[&b] != out {
+                    lout.insert(b, out);
+                }
+                if lin[&b] != input {
+                    lin.insert(b, input);
+                    changed = true;
+                }
+            }
+        }
+        Liveness {
+            live_in: lin,
+            live_out: lout,
+        }
+    }
+
+    /// Whether `var` is live at the entry of `block`.
+    pub fn live_at_entry(&self, block: Block, var: Var) -> bool {
+        self.live_in
+            .get(&block)
+            .map(|s| s.contains(var.index()))
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn bitset_basics() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(0));
+        assert!(s.contains(129));
+        assert!(!s.contains(64));
+        assert_eq!(s.count(), 2);
+        s.remove(0);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![129]);
+    }
+
+    #[test]
+    fn bitset_union_subtract() {
+        let mut a = BitSet::new(10);
+        let mut b = BitSet::new(10);
+        a.insert(1);
+        b.insert(2);
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b));
+        a.subtract(&b);
+        assert!(a.contains(1));
+        assert!(!a.contains(2));
+    }
+
+    #[test]
+    fn reaching_defs_in_loop() {
+        // i has a def before the loop and one inside; both reach the
+        // header.
+        let program = parse_program(
+            "func f(n) { i = 0 L1: loop { i = i + 1 if i > n { break } } }",
+        )
+        .unwrap();
+        let f = &program.functions[0];
+        let rd = ReachingDefs::compute(f);
+        let header = f.block_by_label("L1").unwrap();
+        let i = f.var_by_name("i").unwrap();
+        let reaching = rd.reaching_defs_of(header, i);
+        assert_eq!(reaching.len(), 2, "init def + loop def");
+    }
+
+    #[test]
+    fn liveness_through_loop() {
+        let program = parse_program(
+            "func f(n) { i = 0 L1: loop { i = i + 1 if i > n { break } } x = i }",
+        )
+        .unwrap();
+        let f = &program.functions[0];
+        let live = Liveness::compute(f);
+        let header = f.block_by_label("L1").unwrap();
+        let i = f.var_by_name("i").unwrap();
+        let n = f.var_by_name("n").unwrap();
+        assert!(live.live_at_entry(header, i));
+        assert!(live.live_at_entry(header, n));
+    }
+
+    #[test]
+    fn dead_variable_not_live() {
+        let program = parse_program("func f() { x = 1 y = 2 }").unwrap();
+        let f = &program.functions[0];
+        let live = Liveness::compute(f);
+        let x = f.var_by_name("x").unwrap();
+        assert!(!live.live_at_entry(f.entry(), x));
+    }
+}

@@ -1,0 +1,462 @@
+//! Dominator and postdominator trees, and dominance frontiers.
+//!
+//! Implements the Cooper–Harvey–Kennedy iterative algorithm ("A Simple,
+//! Fast Dominance Algorithm"), which is near-linear in practice and
+//! produces exactly the structures SSA construction needs: immediate
+//! dominators and dominance frontiers.
+
+use std::collections::HashMap;
+
+use crate::entity::EntityId;
+use crate::function::{Block, Function};
+
+/// The dominator tree of a function's CFG.
+///
+/// ```
+/// use biv_ir::dom::DomTree;
+/// use biv_ir::parser::parse_program;
+///
+/// let program = parse_program("func f(n) { L1: for i = 1 to n { x = i } }")?;
+/// let func = &program.functions[0];
+/// let dom = DomTree::compute(func);
+/// let header = func.block_by_label("L1").unwrap();
+/// assert!(dom.dominates(func.entry(), header));
+/// # Ok::<(), biv_ir::parser::ParseError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// `idom[b]` — immediate dominator; the entry maps to itself.
+    idom: HashMap<Block, Block>,
+    /// Reverse postorder used for iteration and ordering queries.
+    rpo: Vec<Block>,
+    /// Position of each block in `rpo`.
+    rpo_index: HashMap<Block, usize>,
+    /// Dominator-tree children, precomputed.
+    children: HashMap<Block, Vec<Block>>,
+    entry: Block,
+}
+
+impl DomTree {
+    /// Computes the dominator tree of `func` (forward CFG).
+    pub fn compute(func: &Function) -> DomTree {
+        let rpo = func.reverse_postorder();
+        let preds = func.predecessors();
+        Self::compute_generic(func.entry(), &rpo, |b| {
+            preds.get(&b).cloned().unwrap_or_default()
+        })
+    }
+
+    /// Core CHK iteration over an arbitrary edge function — shared with
+    /// [`PostDomTree`].
+    fn compute_generic<F>(entry: Block, rpo: &[Block], preds_of: F) -> DomTree
+    where
+        F: Fn(Block) -> Vec<Block>,
+    {
+        let mut rpo_index = HashMap::with_capacity(rpo.len());
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index.insert(b, i);
+        }
+        let mut idom: HashMap<Block, Block> = HashMap::with_capacity(rpo.len());
+        idom.insert(entry, entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                // First processed predecessor.
+                let mut new_idom: Option<Block> = None;
+                for p in preds_of(b) {
+                    if !rpo_index.contains_key(&p) {
+                        continue; // unreachable predecessor
+                    }
+                    if idom.contains_key(&p) {
+                        new_idom = Some(match new_idom {
+                            None => p,
+                            Some(cur) => Self::intersect(&idom, &rpo_index, p, cur),
+                        });
+                    }
+                }
+                if let Some(ni) = new_idom {
+                    if idom.get(&b) != Some(&ni) {
+                        idom.insert(b, ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        let mut children: HashMap<Block, Vec<Block>> = HashMap::new();
+        for (&b, &d) in &idom {
+            if b != d {
+                children.entry(d).or_default().push(b);
+            }
+        }
+        for kids in children.values_mut() {
+            kids.sort_by_key(|b| b.index());
+        }
+        DomTree {
+            idom,
+            rpo: rpo.to_vec(),
+            rpo_index,
+            children,
+            entry,
+        }
+    }
+
+    fn intersect(
+        idom: &HashMap<Block, Block>,
+        rpo_index: &HashMap<Block, usize>,
+        mut a: Block,
+        mut b: Block,
+    ) -> Block {
+        while a != b {
+            while rpo_index[&a] > rpo_index[&b] {
+                a = idom[&a];
+            }
+            while rpo_index[&b] > rpo_index[&a] {
+                b = idom[&b];
+            }
+        }
+        a
+    }
+
+    /// The root of the tree (the CFG entry).
+    pub fn root(&self) -> Block {
+        self.entry
+    }
+
+    /// The immediate dominator of `block`; `None` for the entry or for
+    /// unreachable blocks.
+    pub fn idom(&self, block: Block) -> Option<Block> {
+        if block == self.entry {
+            return None;
+        }
+        self.idom.get(&block).copied()
+    }
+
+    /// Whether `a` dominates `b` (reflexively).
+    pub fn dominates(&self, a: Block, b: Block) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(next) => cur = next,
+                None => return false,
+            }
+        }
+    }
+
+    /// Whether `a` strictly dominates `b`.
+    pub fn strictly_dominates(&self, a: Block, b: Block) -> bool {
+        a != b && self.dominates(a, b)
+    }
+
+    /// Whether `block` is reachable from the entry.
+    pub fn is_reachable(&self, block: Block) -> bool {
+        block == self.entry || self.idom.contains_key(&block)
+    }
+
+    /// Blocks in reverse postorder.
+    pub fn reverse_postorder(&self) -> &[Block] {
+        &self.rpo
+    }
+
+    /// The position of `block` in reverse postorder, when reachable.
+    pub fn rpo_position(&self, block: Block) -> Option<usize> {
+        self.rpo_index.get(&block).copied()
+    }
+
+    /// Children of `block` in the dominator tree. Constant time (the
+    /// adjacency is precomputed).
+    pub fn children(&self, block: Block) -> Vec<Block> {
+        self.children.get(&block).cloned().unwrap_or_default()
+    }
+
+    /// Computes the dominance frontier of every reachable block
+    /// (Cytron et al.'s definition, via the CHK two-finger method).
+    pub fn dominance_frontiers(&self, func: &Function) -> HashMap<Block, Vec<Block>> {
+        let preds = func.predecessors();
+        let mut df: HashMap<Block, Vec<Block>> = HashMap::new();
+        for &b in &self.rpo {
+            let bpreds = match preds.get(&b) {
+                Some(p) if p.len() >= 2 => p,
+                _ => continue,
+            };
+            let Some(b_idom) = self.idom(b) else {
+                continue;
+            };
+            for &p in bpreds {
+                if !self.is_reachable(p) {
+                    continue;
+                }
+                let mut runner = p;
+                while runner != b_idom {
+                    let entry = df.entry(runner).or_default();
+                    if !entry.contains(&b) {
+                        entry.push(b);
+                    }
+                    match self.idom(runner) {
+                        Some(next) if next != runner => runner = next,
+                        _ => break,
+                    }
+                }
+            }
+        }
+        df
+    }
+}
+
+/// The postdominator tree (dominators of the reversed CFG).
+///
+/// Functions may have several `Return` blocks; they are all treated as
+/// predecessors of a virtual exit, which becomes the tree root.
+#[derive(Debug, Clone)]
+pub struct PostDomTree {
+    /// `ipdom[b]` — immediate postdominator; blocks postdominated only by
+    /// the virtual exit map to `None`.
+    ipdom: HashMap<Block, Option<Block>>,
+}
+
+impl PostDomTree {
+    /// Computes the postdominator tree of `func`.
+    pub fn compute(func: &Function) -> PostDomTree {
+        // Reverse CFG: successors become predecessors. We run a reverse
+        // DFS from all return blocks to get a reverse-graph RPO.
+        let returns: Vec<Block> = func
+            .blocks
+            .iter()
+            .filter(|(_, d)| d.term.successors().is_empty())
+            .map(|(b, _)| b)
+            .collect();
+        let preds = func.predecessors();
+        // Postorder over the reversed graph starting from each return.
+        let mut visited = vec![false; func.blocks.len()];
+        let mut post = Vec::new();
+        for &ret in &returns {
+            if visited[ret.index()] {
+                continue;
+            }
+            visited[ret.index()] = true;
+            let mut stack: Vec<(Block, usize)> = vec![(ret, 0)];
+            while let Some((block, idx)) = stack.pop() {
+                let ps = preds.get(&block).cloned().unwrap_or_default();
+                if idx < ps.len() {
+                    stack.push((block, idx + 1));
+                    let next = ps[idx];
+                    if !visited[next.index()] {
+                        visited[next.index()] = true;
+                        stack.push((next, 0));
+                    }
+                } else {
+                    post.push(block);
+                }
+            }
+        }
+        post.reverse(); // reverse postorder of the reversed graph
+
+        // Iterate CHK with an explicit virtual exit: `None` in the idom
+        // map denotes it. Every return block's immediate postdominator is
+        // the virtual exit.
+        let mut rpo_index: HashMap<Block, usize> = HashMap::new();
+        for (i, &b) in post.iter().enumerate() {
+            rpo_index.insert(b, i);
+        }
+        // `idom[b] = None` means the virtual exit; absent means unknown.
+        let mut idom: HashMap<Block, Option<Block>> = HashMap::new();
+        for &r in &returns {
+            idom.insert(r, None);
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &post {
+                if returns.contains(&b) {
+                    continue;
+                }
+                let succs = func.successors(b);
+                let mut new_idom: Option<Option<Block>> = None;
+                for s in succs {
+                    if !rpo_index.contains_key(&s) || !idom.contains_key(&s) {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => Some(s),
+                        Some(cur) => {
+                            Self::intersect(&idom, &rpo_index, Some(s), cur)
+                        }
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom.get(&b) != Some(&ni) {
+                        idom.insert(b, ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        PostDomTree { ipdom: idom }
+    }
+
+    /// Two-finger intersection where `None` denotes the virtual exit (the
+    /// root of the postdominator tree): once either side walks past a
+    /// return, the meet is the virtual exit.
+    fn intersect(
+        idom: &HashMap<Block, Option<Block>>,
+        rpo_index: &HashMap<Block, usize>,
+        mut a: Option<Block>,
+        mut b: Option<Block>,
+    ) -> Option<Block> {
+        loop {
+            let (x, y) = match (a, b) {
+                (None, _) | (_, None) => return None,
+                (Some(x), Some(y)) => (x, y),
+            };
+            if x == y {
+                return Some(x);
+            }
+            if rpo_index[&x] > rpo_index[&y] {
+                a = idom[&x];
+            } else {
+                b = idom[&y];
+            }
+        }
+    }
+
+    /// The immediate postdominator of `block`, or `None` when it is only
+    /// postdominated by the virtual exit.
+    pub fn ipdom(&self, block: Block) -> Option<Block> {
+        self.ipdom.get(&block).copied().flatten()
+    }
+
+    /// Whether `a` postdominates `b` (reflexively).
+    pub fn postdominates(&self, a: Block, b: Block) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.ipdom(cur) {
+                Some(next) => cur = next,
+                None => return false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::function::{CmpOp, Operand};
+
+    /// entry -> header; header -> (body, exit); body -> header.
+    fn simple_loop() -> (Function, Block, Block, Block) {
+        let mut b = FunctionBuilder::new("loop");
+        let i = b.new_var("i");
+        b.copy(i, Operand::Const(0));
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.jump(header);
+        b.switch_to(header);
+        b.branch(CmpOp::Lt, Operand::Var(i), Operand::Const(10), body, exit);
+        b.switch_to(body);
+        b.add(i, Operand::Var(i), Operand::Const(1));
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret();
+        let f = b.finish();
+        (f, header, body, exit)
+    }
+
+    fn diamond() -> (Function, Block, Block, Block) {
+        let mut b = FunctionBuilder::new("diamond");
+        let x = b.new_var("x");
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        b.branch(CmpOp::Lt, Operand::Var(x), Operand::Const(0), t, e);
+        b.switch_to(t);
+        b.jump(j);
+        b.switch_to(e);
+        b.jump(j);
+        b.switch_to(j);
+        b.ret();
+        (b.finish(), t, e, j)
+    }
+
+    #[test]
+    fn loop_dominators() {
+        let (f, header, body, exit) = simple_loop();
+        let dom = DomTree::compute(&f);
+        assert_eq!(dom.idom(header), Some(f.entry()));
+        assert_eq!(dom.idom(body), Some(header));
+        assert_eq!(dom.idom(exit), Some(header));
+        assert!(dom.dominates(header, body));
+        assert!(dom.dominates(header, exit));
+        assert!(!dom.dominates(body, exit));
+        assert!(dom.strictly_dominates(f.entry(), header));
+        assert!(!dom.strictly_dominates(header, header));
+    }
+
+    #[test]
+    fn diamond_dominators_and_frontier() {
+        let (f, t, e, j) = diamond();
+        let dom = DomTree::compute(&f);
+        assert_eq!(dom.idom(j), Some(f.entry()));
+        assert_eq!(dom.idom(t), Some(f.entry()));
+        let df = dom.dominance_frontiers(&f);
+        assert_eq!(df[&t], vec![j]);
+        assert_eq!(df[&e], vec![j]);
+        assert!(!df.contains_key(&j));
+    }
+
+    #[test]
+    fn loop_header_in_own_frontier() {
+        let (f, header, body, _) = simple_loop();
+        let dom = DomTree::compute(&f);
+        let df = dom.dominance_frontiers(&f);
+        // The body's frontier contains the header (back edge), and the
+        // header's own frontier contains itself.
+        assert!(df[&body].contains(&header));
+        assert!(df[&header].contains(&header));
+    }
+
+    #[test]
+    fn dom_children() {
+        let (f, header, body, exit) = simple_loop();
+        let dom = DomTree::compute(&f);
+        let kids = dom.children(header);
+        assert!(kids.contains(&body));
+        assert!(kids.contains(&exit));
+    }
+
+    #[test]
+    fn postdominators_diamond() {
+        let (f, t, e, j) = diamond();
+        let pdom = PostDomTree::compute(&f);
+        assert_eq!(pdom.ipdom(t), Some(j));
+        assert_eq!(pdom.ipdom(e), Some(j));
+        assert_eq!(pdom.ipdom(f.entry()), Some(j));
+        assert!(pdom.postdominates(j, f.entry()));
+        assert!(!pdom.postdominates(t, f.entry()));
+    }
+
+    #[test]
+    fn postdominators_loop() {
+        let (f, header, body, exit) = simple_loop();
+        let pdom = PostDomTree::compute(&f);
+        assert!(pdom.postdominates(exit, f.entry()));
+        assert!(pdom.postdominates(header, body));
+        assert_eq!(pdom.ipdom(body), Some(header));
+    }
+
+    #[test]
+    fn unreachable_block_not_reachable() {
+        let (mut f, _, _, _) = simple_loop();
+        let orphan = f.new_block();
+        let dom = DomTree::compute(&f);
+        assert!(!dom.is_reachable(orphan));
+        assert_eq!(dom.idom(orphan), None);
+    }
+}

@@ -1,0 +1,56 @@
+//! Graphviz DOT export for CFGs — handy when inspecting how loops and
+//! dominators interact on a nontrivial function.
+
+use std::fmt::Write as _;
+
+use crate::function::Function;
+use crate::print::{inst_to_string, term_to_string};
+
+/// Renders the CFG as a Graphviz digraph. Blocks show their label (when
+/// any), instructions, and terminator; edges follow the terminators.
+pub fn cfg_to_dot(func: &Function) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", func.name());
+    let _ = writeln!(out, "    node [shape=box, fontname=\"monospace\"];");
+    for (b, data) in func.blocks.iter() {
+        let mut label = match &data.label {
+            Some(l) => format!("{b} ({l})\\l"),
+            None => format!("{b}\\l"),
+        };
+        for inst in &data.insts {
+            let _ = write!(label, "{}\\l", escape(&inst_to_string(func, inst)));
+        }
+        let _ = write!(label, "{}\\l", escape(&term_to_string(func, &data.term)));
+        let _ = writeln!(out, "    \"{b}\" [label=\"{label}\"];");
+        for succ in data.term.successors() {
+            let _ = writeln!(out, "    \"{b}\" -> \"{succ}\";");
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn dot_contains_blocks_and_edges() {
+        let program = parse_program(
+            "func f(n) { L1: for i = 1 to n { A[i] = i } }",
+        )
+        .unwrap();
+        let dot = cfg_to_dot(&program.functions[0]);
+        assert!(dot.starts_with("digraph \"f\""), "{dot}");
+        assert!(dot.contains("(L1)"), "{dot}");
+        assert!(dot.contains("->"), "{dot}");
+        assert!(dot.contains("i = i + 1"), "{dot}");
+        // Balanced braces.
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+}

@@ -1,0 +1,162 @@
+//! Typed entity identifiers and arenas.
+//!
+//! Every IR object (block, variable, array, loop, SSA value, …) is referred
+//! to by a small typed index into an [`Arena`]. The newtype indices keep
+//! the different namespaces from being confused at compile time.
+
+use std::fmt;
+use std::marker::PhantomData;
+
+/// A typed index into an [`Arena`].
+///
+/// Implemented by the ID newtypes generated with the `entity_id!` macro.
+pub trait EntityId: Copy + Eq + std::hash::Hash + fmt::Debug {
+    /// Creates an ID from a raw index.
+    fn from_index(index: usize) -> Self;
+    /// The raw index.
+    fn index(self) -> usize;
+}
+
+/// Declares an entity ID newtype with a display prefix.
+#[macro_export]
+macro_rules! entity_id {
+    ($(#[$meta:meta])* $vis:vis struct $name:ident, $prefix:expr) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        $vis struct $name(u32);
+
+        impl $crate::EntityId for $name {
+            fn from_index(index: usize) -> Self {
+                $name(u32::try_from(index).expect("entity index overflow"))
+            }
+            fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl ::std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl ::std::fmt::Display for $name {
+            fn fmt(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+/// A growable store of `T` addressed by a typed ID.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Arena<I, T> {
+    items: Vec<T>,
+    _marker: PhantomData<I>,
+}
+
+impl<I: EntityId, T> Arena<I, T> {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Arena {
+            items: Vec::new(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Adds an item, returning its ID.
+    pub fn push(&mut self, item: T) -> I {
+        let id = I::from_index(self.items.len());
+        self.items.push(item);
+        id
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the arena is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether `id` is a valid index into this arena.
+    pub fn contains(&self, id: I) -> bool {
+        id.index() < self.items.len()
+    }
+
+    /// Iterates over `(id, &item)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (I, &T)> {
+        self.items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (I::from_index(i), t))
+    }
+
+    /// Iterates over the IDs.
+    pub fn ids(&self) -> impl Iterator<Item = I> {
+        (0..self.items.len()).map(I::from_index)
+    }
+}
+
+impl<I: EntityId, T> Default for Arena<I, T> {
+    fn default() -> Self {
+        Arena::new()
+    }
+}
+
+impl<I: EntityId, T> std::ops::Index<I> for Arena<I, T> {
+    type Output = T;
+    fn index(&self, id: I) -> &T {
+        &self.items[id.index()]
+    }
+}
+
+impl<I: EntityId, T> std::ops::IndexMut<I> for Arena<I, T> {
+    fn index_mut(&mut self, id: I) -> &mut T {
+        &mut self.items[id.index()]
+    }
+}
+
+impl<I: EntityId, T: fmt::Debug> fmt::Debug for Arena<I, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    entity_id!(struct TestId, "t");
+
+    #[test]
+    fn push_and_index() {
+        let mut arena: Arena<TestId, &str> = Arena::new();
+        let a = arena.push("alpha");
+        let b = arena.push("beta");
+        assert_eq!(arena[a], "alpha");
+        assert_eq!(arena[b], "beta");
+        assert_eq!(arena.len(), 2);
+        assert!(!arena.is_empty());
+        assert!(arena.contains(a));
+    }
+
+    #[test]
+    fn iter_preserves_order() {
+        let mut arena: Arena<TestId, i32> = Arena::new();
+        for v in 0..5 {
+            arena.push(v);
+        }
+        let collected: Vec<i32> = arena.iter().map(|(_, &v)| v).collect();
+        assert_eq!(collected, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        let id = TestId::from_index(7);
+        assert_eq!(id.to_string(), "t7");
+        assert_eq!(format!("{:?}", id), "t7");
+    }
+}

@@ -1,0 +1,612 @@
+//! The three-address CFG IR.
+
+use std::collections::HashMap;
+
+use crate::entity::Arena;
+use crate::entity_id;
+
+entity_id!(
+    /// A basic block.
+    pub struct Block,
+    "bb"
+);
+entity_id!(
+    /// A named scalar variable.
+    pub struct Var,
+    "v"
+);
+entity_id!(
+    /// A named array.
+    pub struct Array,
+    "a"
+);
+
+/// An instruction operand: a scalar variable or an integer constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A scalar variable read.
+    Var(Var),
+    /// An integer literal (the paper's `LT` tuples).
+    Const(i64),
+}
+
+impl Operand {
+    /// The variable read by this operand, when any.
+    pub fn as_var(&self) -> Option<Var> {
+        match self {
+            Operand::Var(v) => Some(*v),
+            Operand::Const(_) => None,
+        }
+    }
+}
+
+impl From<Var> for Operand {
+    fn from(v: Var) -> Operand {
+        Operand::Var(v)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(c: i64) -> Operand {
+        Operand::Const(c)
+    }
+}
+
+/// Binary arithmetic operators (the paper's AD/SB/MP/DV/EX tuples).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Integer division (truncating toward zero).
+    Div,
+    /// Exponentiation.
+    Exp,
+}
+
+impl BinOp {
+    /// Human-readable operator symbol.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Exp => "^",
+        }
+    }
+}
+
+/// Integer comparison operators used by branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Human-readable operator symbol.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+
+    /// The comparison with both sides exchanged (`a < b` ⇔ `b > a`).
+    pub fn swapped(&self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// The logical negation (`a < b` ⇔ `!(a >= b)`).
+    pub fn negated(&self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+
+    /// Evaluates the comparison on concrete values.
+    pub fn eval(&self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
+}
+
+/// A three-address instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inst {
+    /// `dst = src`
+    Copy {
+        /// Destination variable.
+        dst: Var,
+        /// Source operand.
+        src: Operand,
+    },
+    /// `dst = -src` (the paper's `NG` tuple).
+    Neg {
+        /// Destination variable.
+        dst: Var,
+        /// Source operand.
+        src: Operand,
+    },
+    /// `dst = lhs op rhs`
+    Binary {
+        /// Destination variable.
+        dst: Var,
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// `dst = array[index…]` (the paper's indexed `LD`).
+    Load {
+        /// Destination variable.
+        dst: Var,
+        /// Array being read.
+        array: Array,
+        /// One operand per dimension.
+        index: Vec<Operand>,
+    },
+    /// `array[index…] = value` (the paper's indexed `ST`).
+    Store {
+        /// Array being written.
+        array: Array,
+        /// One operand per dimension.
+        index: Vec<Operand>,
+        /// Value stored.
+        value: Operand,
+    },
+}
+
+impl Inst {
+    /// The scalar variable defined by this instruction, if any.
+    pub fn def(&self) -> Option<Var> {
+        match self {
+            Inst::Copy { dst, .. }
+            | Inst::Neg { dst, .. }
+            | Inst::Binary { dst, .. }
+            | Inst::Load { dst, .. } => Some(*dst),
+            Inst::Store { .. } => None,
+        }
+    }
+
+    /// Collects the scalar variables read by this instruction.
+    pub fn uses(&self, out: &mut Vec<Var>) {
+        let mut push = |op: &Operand| {
+            if let Operand::Var(v) = op {
+                out.push(*v);
+            }
+        };
+        match self {
+            Inst::Copy { src, .. } | Inst::Neg { src, .. } => push(src),
+            Inst::Binary { lhs, rhs, .. } => {
+                push(lhs);
+                push(rhs);
+            }
+            Inst::Load { index, .. } => index.iter().for_each(&mut push),
+            Inst::Store { index, value, .. } => {
+                index.iter().for_each(&mut push);
+                push(value);
+            }
+        }
+    }
+}
+
+/// A block terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(Block),
+    /// Two-way conditional branch on an integer comparison.
+    Branch {
+        /// Comparison operator.
+        op: CmpOp,
+        /// Left comparison operand.
+        lhs: Operand,
+        /// Right comparison operand.
+        rhs: Operand,
+        /// Successor when the comparison holds.
+        then_bb: Block,
+        /// Successor when it does not.
+        else_bb: Block,
+    },
+    /// Function return.
+    Return,
+}
+
+impl Terminator {
+    /// The successor blocks, in order.
+    pub fn successors(&self) -> Vec<Block> {
+        match self {
+            Terminator::Jump(b) => vec![*b],
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
+            Terminator::Return => vec![],
+        }
+    }
+
+    /// Collects the scalar variables read by the terminator.
+    pub fn uses(&self, out: &mut Vec<Var>) {
+        if let Terminator::Branch { lhs, rhs, .. } = self {
+            if let Operand::Var(v) = lhs {
+                out.push(*v);
+            }
+            if let Operand::Var(v) = rhs {
+                out.push(*v);
+            }
+        }
+    }
+
+    /// Rewrites successor `from` to `to`.
+    pub fn replace_successor(&mut self, from: Block, to: Block) {
+        match self {
+            Terminator::Jump(b) => {
+                if *b == from {
+                    *b = to;
+                }
+            }
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => {
+                if *then_bb == from {
+                    *then_bb = to;
+                }
+                if *else_bb == from {
+                    *else_bb = to;
+                }
+            }
+            Terminator::Return => {}
+        }
+    }
+}
+
+/// Per-block payload: straight-line instructions plus a terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockData {
+    /// Straight-line instructions.
+    pub insts: Vec<Inst>,
+    /// Terminator; every reachable block must end in one.
+    pub term: Terminator,
+    /// Optional source-level label (e.g. the paper's `L7`).
+    pub label: Option<String>,
+}
+
+impl BlockData {
+    /// A fresh block ending in `Return`.
+    pub fn new() -> BlockData {
+        BlockData {
+            insts: Vec::new(),
+            term: Terminator::Return,
+            label: None,
+        }
+    }
+}
+
+impl Default for BlockData {
+    fn default() -> Self {
+        BlockData::new()
+    }
+}
+
+/// A scalar variable's metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarData {
+    /// Source-level name.
+    pub name: String,
+    /// Whether the variable is a function parameter (live on entry).
+    pub is_param: bool,
+}
+
+/// An array's metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayData {
+    /// Source-level name.
+    pub name: String,
+    /// Number of dimensions.
+    pub dims: usize,
+}
+
+/// A function: a CFG over scalar variables and arrays.
+#[derive(Debug, Clone)]
+pub struct Function {
+    name: String,
+    /// Scalar variables.
+    pub vars: Arena<Var, VarData>,
+    /// Arrays.
+    pub arrays: Arena<Array, ArrayData>,
+    /// Basic blocks.
+    pub blocks: Arena<Block, BlockData>,
+    entry: Block,
+    params: Vec<Var>,
+}
+
+impl Function {
+    /// Creates an empty function with a fresh entry block.
+    pub fn new(name: impl Into<String>) -> Function {
+        let mut blocks = Arena::new();
+        let entry = blocks.push(BlockData::new());
+        Function {
+            name: name.into(),
+            vars: Arena::new(),
+            arrays: Arena::new(),
+            blocks,
+            entry,
+            params: Vec::new(),
+        }
+    }
+
+    /// The function name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The entry block.
+    pub fn entry(&self) -> Block {
+        self.entry
+    }
+
+    /// The declared parameters (variables live on entry).
+    pub fn params(&self) -> &[Var] {
+        &self.params
+    }
+
+    /// Declares a fresh scalar variable.
+    pub fn new_var(&mut self, name: impl Into<String>) -> Var {
+        self.vars.push(VarData {
+            name: name.into(),
+            is_param: false,
+        })
+    }
+
+    /// Declares a parameter variable (live on entry, symbolic to the
+    /// analyses).
+    pub fn new_param(&mut self, name: impl Into<String>) -> Var {
+        let v = self.vars.push(VarData {
+            name: name.into(),
+            is_param: true,
+        });
+        self.params.push(v);
+        v
+    }
+
+    /// Declares an array.
+    pub fn new_array(&mut self, name: impl Into<String>, dims: usize) -> Array {
+        self.arrays.push(ArrayData {
+            name: name.into(),
+            dims,
+        })
+    }
+
+    /// Adds an empty block.
+    pub fn new_block(&mut self) -> Block {
+        self.blocks.push(BlockData::new())
+    }
+
+    /// Adds an empty block carrying a source label.
+    pub fn new_labeled_block(&mut self, label: impl Into<String>) -> Block {
+        let mut data = BlockData::new();
+        data.label = Some(label.into());
+        self.blocks.push(data)
+    }
+
+    /// The successor blocks of `block`.
+    pub fn successors(&self, block: Block) -> Vec<Block> {
+        self.blocks[block].term.successors()
+    }
+
+    /// Computes the predecessor map for the whole CFG.
+    pub fn predecessors(&self) -> HashMap<Block, Vec<Block>> {
+        let mut preds: HashMap<Block, Vec<Block>> = HashMap::new();
+        for (b, data) in self.blocks.iter() {
+            for succ in data.term.successors() {
+                preds.entry(succ).or_default().push(b);
+            }
+        }
+        preds
+    }
+
+    /// Blocks in reverse postorder from the entry. Unreachable blocks are
+    /// omitted.
+    pub fn reverse_postorder(&self) -> Vec<Block> {
+        let mut po = self.postorder();
+        po.reverse();
+        po
+    }
+
+    /// Blocks in postorder from the entry (iterative DFS).
+    pub fn postorder(&self) -> Vec<Block> {
+        let mut visited = vec![false; self.blocks.len()];
+        let mut order = Vec::with_capacity(self.blocks.len());
+        // Stack entries: (block, next successor index to explore).
+        let mut stack: Vec<(Block, usize)> = vec![(self.entry, 0)];
+        visited[crate::EntityId::index(self.entry)] = true;
+        while let Some((block, succ_idx)) = stack.pop() {
+            let succs = self.successors(block);
+            if succ_idx < succs.len() {
+                stack.push((block, succ_idx + 1));
+                let next = succs[succ_idx];
+                let idx = crate::EntityId::index(next);
+                if !visited[idx] {
+                    visited[idx] = true;
+                    stack.push((next, 0));
+                }
+            } else {
+                order.push(block);
+            }
+        }
+        order
+    }
+
+    /// Looks up a variable by source name.
+    pub fn var_by_name(&self, name: &str) -> Option<Var> {
+        self.vars.iter().find(|(_, d)| d.name == name).map(|(v, _)| v)
+    }
+
+    /// Looks up an array by source name.
+    pub fn array_by_name(&self, name: &str) -> Option<Array> {
+        self.arrays
+            .iter()
+            .find(|(_, d)| d.name == name)
+            .map(|(a, _)| a)
+    }
+
+    /// Looks up a block by source label.
+    pub fn block_by_label(&self, label: &str) -> Option<Block> {
+        self.blocks
+            .iter()
+            .find(|(_, d)| d.label.as_deref() == Some(label))
+            .map(|(b, _)| b)
+    }
+
+    /// The source name of a variable.
+    pub fn var_name(&self, var: Var) -> &str {
+        &self.vars[var].name
+    }
+
+    /// The source name of an array.
+    pub fn array_name(&self, array: Array) -> &str {
+        &self.arrays[array].name
+    }
+}
+
+/// A whole program: a set of functions.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// The functions, in source order.
+    pub functions: Vec<Function>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Function {
+        // entry -> (then, else) -> join
+        let mut f = Function::new("diamond");
+        let x = f.new_var("x");
+        let then_bb = f.new_block();
+        let else_bb = f.new_block();
+        let join = f.new_block();
+        let entry = f.entry();
+        f.blocks[entry].term = Terminator::Branch {
+            op: CmpOp::Lt,
+            lhs: Operand::Var(x),
+            rhs: Operand::Const(0),
+            then_bb,
+            else_bb,
+        };
+        f.blocks[then_bb].term = Terminator::Jump(join);
+        f.blocks[else_bb].term = Terminator::Jump(join);
+        f.blocks[join].term = Terminator::Return;
+        f
+    }
+
+    #[test]
+    fn successors_and_predecessors() {
+        let f = diamond();
+        let entry = f.entry();
+        let succs = f.successors(entry);
+        assert_eq!(succs.len(), 2);
+        let preds = f.predecessors();
+        let join = f
+            .blocks
+            .ids()
+            .find(|&b| f.successors(b).is_empty())
+            .unwrap();
+        assert_eq!(preds[&join].len(), 2);
+    }
+
+    #[test]
+    fn reverse_postorder_starts_at_entry() {
+        let f = diamond();
+        let rpo = f.reverse_postorder();
+        assert_eq!(rpo[0], f.entry());
+        assert_eq!(rpo.len(), 4);
+        // Join must come after both branches.
+        let join_pos = rpo
+            .iter()
+            .position(|&b| f.successors(b).is_empty())
+            .unwrap();
+        assert_eq!(join_pos, 3);
+    }
+
+    #[test]
+    fn cmp_op_algebra() {
+        assert_eq!(CmpOp::Lt.swapped(), CmpOp::Gt);
+        assert_eq!(CmpOp::Lt.negated(), CmpOp::Ge);
+        assert!(CmpOp::Le.eval(3, 3));
+        assert!(!CmpOp::Gt.eval(3, 3));
+    }
+
+    #[test]
+    fn inst_def_use() {
+        let mut f = Function::new("t");
+        let a = f.new_var("a");
+        let b = f.new_var("b");
+        let inst = Inst::Binary {
+            dst: a,
+            op: BinOp::Add,
+            lhs: Operand::Var(b),
+            rhs: Operand::Const(1),
+        };
+        assert_eq!(inst.def(), Some(a));
+        let mut uses = Vec::new();
+        inst.uses(&mut uses);
+        assert_eq!(uses, vec![b]);
+    }
+
+    #[test]
+    fn terminator_replace_successor() {
+        let f = diamond();
+        let entry = f.entry();
+        let mut term = f.blocks[entry].term.clone();
+        let succs = term.successors();
+        term.replace_successor(succs[0], succs[1]);
+        assert_eq!(term.successors(), vec![succs[1], succs[1]]);
+    }
+
+    #[test]
+    fn unreachable_blocks_skipped() {
+        let mut f = Function::new("t");
+        let _orphan = f.new_block();
+        assert_eq!(f.postorder().len(), 1);
+    }
+}

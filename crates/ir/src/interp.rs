@@ -1,0 +1,308 @@
+//! A concrete interpreter for CFG functions.
+//!
+//! The interpreter is the ground truth for differential testing: the
+//! classifier predicts closed forms for variables at loop headers, and the
+//! test suite replays the program concretely and checks the predictions
+//! iteration by iteration.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::entity::EntityId;
+use crate::function::{Array, BinOp, Block, Function, Inst, Operand, Terminator, Var};
+
+/// Errors the interpreter can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// Executed more block transitions than the configured limit.
+    StepLimitExceeded,
+    /// Integer overflow in checked arithmetic.
+    Overflow,
+    /// Division by zero.
+    DivisionByZero,
+    /// Negative exponent in `^`.
+    NegativeExponent,
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::StepLimitExceeded => write!(f, "step limit exceeded"),
+            InterpError::Overflow => write!(f, "integer overflow"),
+            InterpError::DivisionByZero => write!(f, "division by zero"),
+            InterpError::NegativeExponent => write!(f, "negative exponent"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// A complete execution trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Sequence of `(block, variable snapshot at block entry)`.
+    pub visits: Vec<(Block, Vec<i64>)>,
+    /// Final variable values.
+    pub final_vars: Vec<i64>,
+    /// Final array contents.
+    pub arrays: HashMap<(Array, Vec<i64>), i64>,
+}
+
+impl Trace {
+    /// Values of `var` at each entry to `block`, in visit order — i.e. the
+    /// per-iteration sequence for a loop header.
+    pub fn values_at(&self, block: Block, var: Var) -> Vec<i64> {
+        self.visits
+            .iter()
+            .filter(|(b, _)| *b == block)
+            .map(|(_, snapshot)| snapshot[var.index()])
+            .collect()
+    }
+
+    /// Number of times `block` was entered.
+    pub fn visit_count(&self, block: Block) -> usize {
+        self.visits.iter().filter(|(b, _)| *b == block).count()
+    }
+}
+
+/// Interpreter configuration and entry point.
+///
+/// ```
+/// use biv_ir::interp::Interpreter;
+/// use biv_ir::parser::parse_program;
+///
+/// let program = parse_program("func f(n) { s = 0 L1: for i = 1 to n { s = s + i } }")?;
+/// let func = &program.functions[0];
+/// let trace = Interpreter::new().run(func, &[10]).unwrap();
+/// let s = func.var_by_name("s").unwrap();
+/// assert_eq!(trace.final_vars[biv_ir::EntityId::index(s)], 55);
+/// # Ok::<(), biv_ir::parser::ParseError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Interpreter {
+    /// Maximum number of block transitions before aborting.
+    pub step_limit: usize,
+}
+
+impl Default for Interpreter {
+    fn default() -> Self {
+        Interpreter { step_limit: 100_000 }
+    }
+}
+
+impl Interpreter {
+    /// Creates an interpreter with the default step limit.
+    pub fn new() -> Interpreter {
+        Interpreter::default()
+    }
+
+    /// Runs `func` with the given parameter values (by position; missing
+    /// parameters default to 0). Non-parameter variables start at 0 and
+    /// array cells read before any write yield 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InterpError`] on arithmetic faults or when the step
+    /// limit is exceeded (e.g. a non-terminating loop).
+    pub fn run(&self, func: &Function, args: &[i64]) -> Result<Trace, InterpError> {
+        let mut vars = vec![0i64; func.vars.len()];
+        for (i, &p) in func.params().iter().enumerate() {
+            vars[p.index()] = args.get(i).copied().unwrap_or(0);
+        }
+        let mut arrays: HashMap<(Array, Vec<i64>), i64> = HashMap::new();
+        let mut visits = Vec::new();
+        let mut block = func.entry();
+        let mut steps = 0usize;
+        loop {
+            steps += 1;
+            if steps > self.step_limit {
+                return Err(InterpError::StepLimitExceeded);
+            }
+            visits.push((block, vars.clone()));
+            let data = &func.blocks[block];
+            for inst in &data.insts {
+                self.exec_inst(inst, &mut vars, &mut arrays)?;
+            }
+            match &data.term {
+                Terminator::Jump(b) => block = *b,
+                Terminator::Branch {
+                    op,
+                    lhs,
+                    rhs,
+                    then_bb,
+                    else_bb,
+                } => {
+                    let l = eval_operand(lhs, &vars);
+                    let r = eval_operand(rhs, &vars);
+                    block = if op.eval(l, r) { *then_bb } else { *else_bb };
+                }
+                Terminator::Return => {
+                    return Ok(Trace {
+                        visits,
+                        final_vars: vars,
+                        arrays,
+                    })
+                }
+            }
+        }
+    }
+
+    fn exec_inst(
+        &self,
+        inst: &Inst,
+        vars: &mut [i64],
+        arrays: &mut HashMap<(Array, Vec<i64>), i64>,
+    ) -> Result<(), InterpError> {
+        match inst {
+            Inst::Copy { dst, src } => {
+                vars[dst.index()] = eval_operand(src, vars);
+            }
+            Inst::Neg { dst, src } => {
+                vars[dst.index()] = eval_operand(src, vars)
+                    .checked_neg()
+                    .ok_or(InterpError::Overflow)?;
+            }
+            Inst::Binary { dst, op, lhs, rhs } => {
+                let l = eval_operand(lhs, vars);
+                let r = eval_operand(rhs, vars);
+                vars[dst.index()] = eval_binop(*op, l, r)?;
+            }
+            Inst::Load { dst, array, index } => {
+                let idx: Vec<i64> = index.iter().map(|o| eval_operand(o, vars)).collect();
+                vars[dst.index()] = arrays.get(&(*array, idx)).copied().unwrap_or(0);
+            }
+            Inst::Store {
+                array,
+                index,
+                value,
+            } => {
+                let idx: Vec<i64> = index.iter().map(|o| eval_operand(o, vars)).collect();
+                let v = eval_operand(value, vars);
+                arrays.insert((*array, idx), v);
+            }
+        }
+        Ok(())
+    }
+}
+
+fn eval_operand(op: &Operand, vars: &[i64]) -> i64 {
+    match op {
+        Operand::Var(v) => vars[v.index()],
+        Operand::Const(c) => *c,
+    }
+}
+
+fn eval_binop(op: BinOp, l: i64, r: i64) -> Result<i64, InterpError> {
+    match op {
+        BinOp::Add => l.checked_add(r).ok_or(InterpError::Overflow),
+        BinOp::Sub => l.checked_sub(r).ok_or(InterpError::Overflow),
+        BinOp::Mul => l.checked_mul(r).ok_or(InterpError::Overflow),
+        BinOp::Div => {
+            if r == 0 {
+                Err(InterpError::DivisionByZero)
+            } else {
+                l.checked_div(r).ok_or(InterpError::Overflow)
+            }
+        }
+        BinOp::Exp => {
+            if r < 0 {
+                return Err(InterpError::NegativeExponent);
+            }
+            let exp = u32::try_from(r).map_err(|_| InterpError::Overflow)?;
+            l.checked_pow(exp).ok_or(InterpError::Overflow)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn run_src(src: &str, args: &[i64]) -> Trace {
+        let program = parse_program(src).unwrap();
+        Interpreter::new().run(&program.functions[0], args).unwrap()
+    }
+
+    #[test]
+    fn counts_iterations() {
+        let t = run_src("func f(n) { L1: for i = 1 to n { x = i } }", &[5]);
+        let program =
+            parse_program("func f(n) { L1: for i = 1 to n { x = i } }").unwrap();
+        let f = &program.functions[0];
+        let header = f.block_by_label("L1").unwrap();
+        // Header executes n+1 times (n body trips + final exit test).
+        assert_eq!(t.visit_count(header), 6);
+        let i = f.var_by_name("i").unwrap();
+        assert_eq!(t.values_at(header, i), vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn l14_sequences_match_paper() {
+        // Paper's loop L14: j = j+i, k = k+j+1, l = l*2+1.
+        let src = r#"
+            func l14(n) {
+                j = 1
+                k = 1
+                l = 1
+                L14: for i = 1 to n {
+                    j = j + i
+                    k = k + j + 1
+                    l = l * 2 + 1
+                }
+            }
+        "#;
+        let t = run_src(src, &[4]);
+        let program = parse_program(src).unwrap();
+        let f = &program.functions[0];
+        let header = f.block_by_label("L14").unwrap();
+        let j = f.var_by_name("j").unwrap();
+        let k = f.var_by_name("k").unwrap();
+        let l = f.var_by_name("l").unwrap();
+        // Header-entry sequences start with the initial value 1 and then
+        // follow the paper's table: j: 2,4,7,11; k: 4,9,17,29; l: 3,7,15,31.
+        assert_eq!(t.values_at(header, j), vec![1, 2, 4, 7, 11]);
+        assert_eq!(t.values_at(header, k), vec![1, 4, 9, 17, 29]);
+        assert_eq!(t.values_at(header, l), vec![1, 3, 7, 15, 31]);
+    }
+
+    #[test]
+    fn arrays_read_write() {
+        let t = run_src(
+            "func f(n) { for i = 1 to n { A[i] = i * i } s = A[3] }",
+            &[5],
+        );
+        let program =
+            parse_program("func f(n) { for i = 1 to n { A[i] = i * i } s = A[3] }").unwrap();
+        let f = &program.functions[0];
+        let s = f.var_by_name("s").unwrap();
+        assert_eq!(t.final_vars[s.index()], 9);
+    }
+
+    #[test]
+    fn infinite_loop_hits_limit() {
+        let program = parse_program("func f() { loop { x = 1 } }").unwrap();
+        let interp = Interpreter { step_limit: 100 };
+        assert_eq!(
+            interp.run(&program.functions[0], &[]),
+            Err(InterpError::StepLimitExceeded)
+        );
+    }
+
+    #[test]
+    fn division_by_zero_detected() {
+        let program = parse_program("func f(n) { x = 1 / n }").unwrap();
+        assert_eq!(
+            Interpreter::new().run(&program.functions[0], &[0]),
+            Err(InterpError::DivisionByZero)
+        );
+    }
+
+    #[test]
+    fn exponent_works() {
+        let t = run_src("func f() { x = 2 ^ 10 }", &[]);
+        let program = parse_program("func f() { x = 2 ^ 10 }").unwrap();
+        let x = program.functions[0].var_by_name("x").unwrap();
+        assert_eq!(t.final_vars[x.index()], 1024);
+    }
+}

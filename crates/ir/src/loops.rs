@@ -1,0 +1,572 @@
+//! Natural-loop detection and the loop-nest forest.
+//!
+//! The classifier processes loops inner-to-outer (§5.3 of the paper), so we
+//! build an explicit loop forest. A loop-simplify pass guarantees each
+//! analyzed loop has a **preheader** (unique out-of-loop predecessor of the
+//! header) and a **unique latch** (single back edge), which the SSA
+//! loop-header φ shape relies on.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::dom::DomTree;
+use crate::entity::{Arena, EntityId};
+use crate::entity_id;
+use crate::function::{Block, Function, Terminator};
+
+entity_id!(
+    /// A natural loop in the loop forest.
+    pub struct Loop,
+    "L"
+);
+
+/// A natural loop: header, member blocks, and its place in the nest.
+#[derive(Debug, Clone)]
+pub struct LoopData {
+    /// The loop header (target of the back edges).
+    pub header: Block,
+    /// All blocks in the loop, header first. Includes inner-loop blocks.
+    pub blocks: Vec<Block>,
+    /// Blocks with a back edge to the header.
+    pub latches: Vec<Block>,
+    /// Enclosing loop, if any.
+    pub parent: Option<Loop>,
+    /// Directly nested loops.
+    pub children: Vec<Loop>,
+    /// Depth in the nest (outermost = 1).
+    pub depth: usize,
+}
+
+/// The loop-nest forest of a function.
+///
+/// ```
+/// use biv_ir::dom::DomTree;
+/// use biv_ir::loops::LoopForest;
+/// use biv_ir::parser::parse_program;
+///
+/// let program = parse_program(
+///     "func f(n) { L1: for i = 1 to n { L2: for j = 1 to i { x = j } } }",
+/// )?;
+/// let func = &program.functions[0];
+/// let dom = DomTree::compute(func);
+/// let forest = LoopForest::compute(func, &dom);
+/// assert_eq!(forest.len(), 2);
+/// // Inner-to-outer order, as the nested-IV driver needs.
+/// let order = forest.inner_to_outer();
+/// assert_eq!(forest.name(func, order[0]), "L2");
+/// assert_eq!(forest.name(func, order[1]), "L1");
+/// # Ok::<(), biv_ir::parser::ParseError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoopForest {
+    loops: Arena<Loop, LoopData>,
+    /// Innermost loop containing each block.
+    block_loop: HashMap<Block, Loop>,
+    /// Per-loop membership sets for O(1) containment tests.
+    block_sets: Vec<HashSet<Block>>,
+    /// Precomputed preheaders (unique outside predecessor whose only
+    /// successor is the header).
+    preheaders: Vec<Option<Block>>,
+}
+
+impl LoopForest {
+    /// Detects all natural loops of `func` using its dominator tree.
+    ///
+    /// Back edges `latch → header` where `header` dominates `latch` define
+    /// loops; loops sharing a header are merged (as in the classical
+    /// construction).
+    pub fn compute(func: &Function, dom: &DomTree) -> LoopForest {
+        let preds = func.predecessors();
+        // Find back edges grouped by header, in RPO so outer headers come
+        // first.
+        let mut headers: Vec<Block> = Vec::new();
+        let mut latches_by_header: HashMap<Block, Vec<Block>> = HashMap::new();
+        for &b in dom.reverse_postorder() {
+            for succ in func.successors(b) {
+                if dom.dominates(succ, b) {
+                    let entry = latches_by_header.entry(succ).or_default();
+                    if entry.is_empty() {
+                        headers.push(succ);
+                    }
+                    entry.push(b);
+                }
+            }
+        }
+        // Compute the body of each loop: backwards reachability from the
+        // latches without passing through the header.
+        let mut loops: Arena<Loop, LoopData> = Arena::new();
+        let mut loop_of_header: HashMap<Block, Loop> = HashMap::new();
+        for &header in &headers {
+            let latches = latches_by_header[&header].clone();
+            let mut body: HashSet<Block> = HashSet::new();
+            body.insert(header);
+            let mut stack: Vec<Block> = latches
+                .iter()
+                .copied()
+                .filter(|l| dom.is_reachable(*l))
+                .collect();
+            while let Some(b) = stack.pop() {
+                if body.insert(b) {
+                    // keep walking
+                }
+                if b == header {
+                    continue;
+                }
+                for &p in preds.get(&b).map(|v| v.as_slice()).unwrap_or(&[]) {
+                    if dom.is_reachable(p) && !body.contains(&p) {
+                        stack.push(p);
+                    }
+                }
+            }
+            let mut blocks: Vec<Block> = body.into_iter().collect();
+            blocks.sort_by_key(|b| b.index());
+            // Put the header first for readability.
+            if let Some(pos) = blocks.iter().position(|&b| b == header) {
+                blocks.swap(0, pos);
+            }
+            let id = loops.push(LoopData {
+                header,
+                blocks,
+                latches,
+                parent: None,
+                children: Vec::new(),
+                depth: 0,
+            });
+            loop_of_header.insert(header, id);
+        }
+        // Establish nesting: the innermost loop containing each block is
+        // the one with the smallest body among those containing it.
+        let ids: Vec<Loop> = loops.ids().collect();
+        for &a in &ids {
+            // Parent of `a` = smallest loop strictly containing a's header
+            // other than `a` itself.
+            let header = loops[a].header;
+            let mut best: Option<Loop> = None;
+            for &b in &ids {
+                if b == a {
+                    continue;
+                }
+                if loops[b].blocks.contains(&header) {
+                    best = match best {
+                        None => Some(b),
+                        Some(cur) => {
+                            if loops[b].blocks.len() < loops[cur].blocks.len() {
+                                Some(b)
+                            } else {
+                                Some(cur)
+                            }
+                        }
+                    };
+                }
+            }
+            loops[a].parent = best;
+        }
+        for &a in &ids {
+            if let Some(p) = loops[a].parent {
+                loops[p].children.push(a);
+            }
+        }
+        // Depths.
+        for &a in &ids {
+            let mut d = 1;
+            let mut cur = loops[a].parent;
+            while let Some(p) = cur {
+                d += 1;
+                cur = loops[p].parent;
+            }
+            loops[a].depth = d;
+        }
+        // Innermost loop of each block.
+        let mut block_loop: HashMap<Block, Loop> = HashMap::new();
+        for &a in &ids {
+            for &b in &loops[a].blocks {
+                match block_loop.get(&b) {
+                    Some(&cur) if loops[cur].blocks.len() <= loops[a].blocks.len() => {}
+                    _ => {
+                        block_loop.insert(b, a);
+                    }
+                }
+            }
+        }
+        let block_sets: Vec<HashSet<Block>> = loops
+            .iter()
+            .map(|(_, d)| d.blocks.iter().copied().collect())
+            .collect();
+        // Precompute preheaders with the predecessor map built once.
+        let preheaders = loops
+            .iter()
+            .map(|(l, d)| {
+                let outside: Vec<Block> = preds
+                    .get(&d.header)?
+                    .iter()
+                    .copied()
+                    .filter(|p| !block_sets[l.index()].contains(p))
+                    .collect();
+                match outside.as_slice() {
+                    [single] if func.successors(*single) == vec![d.header] => {
+                        Some(*single)
+                    }
+                    _ => None,
+                }
+            })
+            .collect();
+        LoopForest {
+            loops,
+            block_loop,
+            block_sets,
+            preheaders,
+        }
+    }
+
+    /// All loops, unordered.
+    pub fn iter(&self) -> impl Iterator<Item = (Loop, &LoopData)> {
+        self.loops.iter()
+    }
+
+    /// Number of loops.
+    pub fn len(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// Whether there are no loops.
+    pub fn is_empty(&self) -> bool {
+        self.loops.is_empty()
+    }
+
+    /// Loop data by ID.
+    pub fn data(&self, l: Loop) -> &LoopData {
+        &self.loops[l]
+    }
+
+    /// The innermost loop containing `block`, if any.
+    pub fn innermost(&self, block: Block) -> Option<Loop> {
+        self.block_loop.get(&block).copied()
+    }
+
+    /// Whether `block` belongs to loop `l` (including nested loops).
+    /// Constant time.
+    pub fn contains(&self, l: Loop, block: Block) -> bool {
+        self.block_sets[l.index()].contains(&block)
+    }
+
+    /// Loops ordered inner-to-outer (children before parents), the order
+    /// the paper's nested-IV driver requires.
+    pub fn inner_to_outer(&self) -> Vec<Loop> {
+        let mut order = Vec::with_capacity(self.loops.len());
+        let mut visited = vec![false; self.loops.len()];
+        // DFS from roots, emitting children first.
+        let roots: Vec<Loop> = self
+            .loops
+            .iter()
+            .filter(|(_, d)| d.parent.is_none())
+            .map(|(l, _)| l)
+            .collect();
+        fn visit(
+            forest: &Arena<Loop, LoopData>,
+            l: Loop,
+            visited: &mut [bool],
+            order: &mut Vec<Loop>,
+        ) {
+            if visited[l.index()] {
+                return;
+            }
+            visited[l.index()] = true;
+            for &c in &forest[l].children {
+                visit(forest, c, visited, order);
+            }
+            order.push(l);
+        }
+        for r in roots {
+            visit(&self.loops, r, &mut visited, &mut order);
+        }
+        order
+    }
+
+    /// The loop's exit edges: `(inside_block, outside_block)` pairs.
+    pub fn exit_edges(&self, func: &Function, l: Loop) -> Vec<(Block, Block)> {
+        let data = &self.loops[l];
+        let mut out = Vec::new();
+        for &b in &data.blocks {
+            for succ in func.successors(b) {
+                if !data.blocks.contains(&succ) {
+                    out.push((b, succ));
+                }
+            }
+        }
+        out
+    }
+
+    /// The unique preheader of the loop: the single predecessor of the
+    /// header from outside the loop, which must have the header as its
+    /// only successor. Returns `None` when the CFG is not simplified.
+    /// Precomputed — constant time; `_func` is kept for signature
+    /// stability and must be the function the forest was built from.
+    pub fn preheader(&self, _func: &Function, l: Loop) -> Option<Block> {
+        self.preheaders[l.index()]
+    }
+
+    /// The unique latch, when the loop has exactly one back edge.
+    pub fn single_latch(&self, l: Loop) -> Option<Block> {
+        match self.loops[l].latches.as_slice() {
+            [single] => Some(*single),
+            _ => None,
+        }
+    }
+
+    /// A human-readable name for the loop: the header block's source label
+    /// when present, else `L#header`.
+    pub fn name(&self, func: &Function, l: Loop) -> String {
+        let header = self.loops[l].header;
+        func.blocks[header]
+            .label
+            .clone()
+            .unwrap_or_else(|| format!("L@{}", header))
+    }
+}
+
+/// Rewrites the CFG so every natural loop has a preheader and a unique
+/// latch. Returns `true` when the function was changed (in which case
+/// dominators and the forest must be recomputed).
+pub fn loop_simplify(func: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        let dom = DomTree::compute(func);
+        let forest = LoopForest::compute(func, &dom);
+        let mut did = false;
+        for (l, data) in forest.iter() {
+            let header = data.header;
+            // Insert a preheader when missing.
+            if forest.preheader(func, l).is_none() {
+                let preds = func.predecessors();
+                let outside: Vec<Block> = preds
+                    .get(&header)
+                    .map(|v| {
+                        v.iter()
+                            .copied()
+                            .filter(|p| !data.blocks.contains(p))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                if !outside.is_empty() {
+                    let pre = func.new_block();
+                    func.blocks[pre].term = Terminator::Jump(header);
+                    for p in outside {
+                        func.blocks[p].term.replace_successor(header, pre);
+                    }
+                    did = true;
+                    break; // recompute structures
+                }
+            }
+            // Merge multiple latches through a single forwarding block.
+            if data.latches.len() > 1 {
+                let latch = func.new_block();
+                func.blocks[latch].term = Terminator::Jump(header);
+                for &old in &data.latches {
+                    func.blocks[old].term.replace_successor(header, latch);
+                }
+                did = true;
+                break;
+            }
+        }
+        if did {
+            changed = true;
+            continue;
+        }
+        break;
+    }
+    changed
+}
+
+/// Ensures the entry block is not itself a loop header by splitting an
+/// empty pre-entry block when needed. (Lowered programs never need this,
+/// but builder-made CFGs might.)
+pub fn split_entry_if_header(func: &mut Function) -> bool {
+    let preds = func.predecessors();
+    if preds.get(&func.entry()).is_none_or(Vec::is_empty) {
+        return false;
+    }
+    // Move entry contents into a fresh block; keep `entry` empty jumping
+    // to it. Simplest correct approach: create new first block that holds
+    // the old entry's instructions.
+    let old_entry = func.entry();
+    let moved = func.new_block();
+    let data = std::mem::take(&mut func.blocks[old_entry]);
+    func.blocks[moved] = data;
+    // Redirect all edges that pointed at entry to the moved block.
+    let ids: Vec<Block> = func.blocks.ids().collect();
+    for b in ids {
+        if b != old_entry {
+            func.blocks[b].term.replace_successor(old_entry, moved);
+        }
+    }
+    func.blocks[old_entry].term = Terminator::Jump(moved);
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::function::{CmpOp, Operand};
+
+    /// Two nested counting loops.
+    fn nested() -> (Function, Block, Block) {
+        let mut b = FunctionBuilder::new("nested");
+        let i = b.new_var("i");
+        let j = b.new_var("j");
+        let outer_h = b.new_block();
+        let inner_pre = b.new_block();
+        let inner_h = b.new_block();
+        let inner_body = b.new_block();
+        let outer_latch = b.new_block();
+        let exit = b.new_block();
+        b.copy(i, Operand::Const(0));
+        b.jump(outer_h);
+        b.switch_to(outer_h);
+        b.branch(CmpOp::Lt, Operand::Var(i), Operand::Const(10), inner_pre, exit);
+        b.switch_to(inner_pre);
+        b.copy(j, Operand::Const(0));
+        b.jump(inner_h);
+        b.switch_to(inner_h);
+        b.branch(
+            CmpOp::Lt,
+            Operand::Var(j),
+            Operand::Const(5),
+            inner_body,
+            outer_latch,
+        );
+        b.switch_to(inner_body);
+        b.add(j, Operand::Var(j), Operand::Const(1));
+        b.jump(inner_h);
+        b.switch_to(outer_latch);
+        b.add(i, Operand::Var(i), Operand::Const(1));
+        b.jump(outer_h);
+        b.switch_to(exit);
+        b.ret();
+        (b.finish(), outer_h, inner_h)
+    }
+
+    #[test]
+    fn detects_nested_loops() {
+        let (f, outer_h, inner_h) = nested();
+        let dom = DomTree::compute(&f);
+        let forest = LoopForest::compute(&f, &dom);
+        assert_eq!(forest.len(), 2);
+        let outer = forest
+            .iter()
+            .find(|(_, d)| d.header == outer_h)
+            .map(|(l, _)| l)
+            .unwrap();
+        let inner = forest
+            .iter()
+            .find(|(_, d)| d.header == inner_h)
+            .map(|(l, _)| l)
+            .unwrap();
+        assert_eq!(forest.data(inner).parent, Some(outer));
+        assert_eq!(forest.data(outer).depth, 1);
+        assert_eq!(forest.data(inner).depth, 2);
+        assert!(forest.data(outer).blocks.contains(&inner_h));
+    }
+
+    #[test]
+    fn inner_to_outer_order() {
+        let (f, outer_h, inner_h) = nested();
+        let dom = DomTree::compute(&f);
+        let forest = LoopForest::compute(&f, &dom);
+        let order = forest.inner_to_outer();
+        assert_eq!(order.len(), 2);
+        assert_eq!(forest.data(order[0]).header, inner_h);
+        assert_eq!(forest.data(order[1]).header, outer_h);
+    }
+
+    #[test]
+    fn innermost_lookup() {
+        let (f, _, inner_h) = nested();
+        let dom = DomTree::compute(&f);
+        let forest = LoopForest::compute(&f, &dom);
+        let il = forest.innermost(inner_h).unwrap();
+        assert_eq!(forest.data(il).header, inner_h);
+    }
+
+    #[test]
+    fn exit_edges_found() {
+        let (f, outer_h, _) = nested();
+        let dom = DomTree::compute(&f);
+        let forest = LoopForest::compute(&f, &dom);
+        let outer = forest
+            .iter()
+            .find(|(_, d)| d.header == outer_h)
+            .map(|(l, _)| l)
+            .unwrap();
+        let exits = forest.exit_edges(&f, outer);
+        assert_eq!(exits.len(), 1);
+        assert_eq!(exits[0].0, outer_h);
+    }
+
+    #[test]
+    fn simplify_inserts_preheader() {
+        // Build a loop whose header has two outside predecessors.
+        let mut b = FunctionBuilder::new("messy");
+        let x = b.new_var("x");
+        let header = b.new_block();
+        let alt = b.new_block();
+        let exit = b.new_block();
+        b.branch(CmpOp::Lt, Operand::Var(x), Operand::Const(0), header, alt);
+        b.switch_to(alt);
+        b.jump(header);
+        b.switch_to(header);
+        b.add(x, Operand::Var(x), Operand::Const(1));
+        b.branch(CmpOp::Lt, Operand::Var(x), Operand::Const(9), header, exit);
+        b.switch_to(exit);
+        b.ret();
+        let mut f = b.finish();
+        assert!(loop_simplify(&mut f));
+        let dom = DomTree::compute(&f);
+        let forest = LoopForest::compute(&f, &dom);
+        assert_eq!(forest.len(), 1);
+        let (l, _) = forest.iter().next().unwrap();
+        assert!(forest.preheader(&f, l).is_some());
+        assert!(forest.single_latch(l).is_some());
+    }
+
+    #[test]
+    fn simplify_merges_latches() {
+        // Loop with two back edges.
+        let mut b = FunctionBuilder::new("twolatch");
+        let x = b.new_var("x");
+        let header = b.new_block();
+        let l1 = b.new_block();
+        let l2 = b.new_block();
+        let exit = b.new_block();
+        b.jump(header);
+        b.switch_to(header);
+        b.branch(CmpOp::Lt, Operand::Var(x), Operand::Const(5), l1, l2);
+        b.switch_to(l1);
+        b.add(x, Operand::Var(x), Operand::Const(1));
+        b.jump(header);
+        b.switch_to(l2);
+        b.add(x, Operand::Var(x), Operand::Const(2));
+        b.branch(CmpOp::Lt, Operand::Var(x), Operand::Const(100), header, exit);
+        b.switch_to(exit);
+        b.ret();
+        let mut f = b.finish();
+        assert!(loop_simplify(&mut f));
+        let dom = DomTree::compute(&f);
+        let forest = LoopForest::compute(&f, &dom);
+        assert_eq!(forest.len(), 1);
+        let (l, _) = forest.iter().next().unwrap();
+        assert!(forest.single_latch(l).is_some(), "latches merged");
+        assert!(forest.preheader(&f, l).is_some());
+    }
+
+    #[test]
+    fn no_loops_in_straight_line() {
+        let mut b = FunctionBuilder::new("s");
+        let x = b.new_var("x");
+        b.copy(x, Operand::Const(1));
+        b.ret();
+        let f = b.finish();
+        let dom = DomTree::compute(&f);
+        let forest = LoopForest::compute(&f, &dom);
+        assert!(forest.is_empty());
+    }
+}

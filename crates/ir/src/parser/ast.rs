@@ -1,0 +1,129 @@
+//! Abstract syntax for the mini loop language.
+
+use crate::function::{BinOp, CmpOp};
+
+/// A parsed function declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncDecl {
+    /// Function name.
+    pub name: String,
+    /// Parameter names (loop-entry symbolic values).
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `name = expr`
+    Assign {
+        /// Target variable name.
+        name: String,
+        /// Right-hand side.
+        expr: Expr,
+    },
+    /// `array[index…] = expr`
+    Store {
+        /// Target array name.
+        array: String,
+        /// One expression per dimension.
+        index: Vec<Expr>,
+        /// Value stored.
+        value: Expr,
+    },
+    /// `if cond { … } else { … }`
+    If {
+        /// Branch condition.
+        cond: Cond,
+        /// Then-branch statements.
+        then_body: Vec<Stmt>,
+        /// Else-branch statements (possibly empty).
+        else_body: Vec<Stmt>,
+    },
+    /// `LABEL: loop { … }` — an unconditional loop exited by `break`.
+    Loop {
+        /// Optional source label (the paper's `L7` names).
+        label: Option<String>,
+        /// Body statements.
+        body: Vec<Stmt>,
+    },
+    /// `LABEL: for v = from to to [by step] { … }`
+    For {
+        /// Optional source label.
+        label: Option<String>,
+        /// Loop variable name.
+        var: String,
+        /// Initial value.
+        from: Expr,
+        /// Inclusive bound.
+        to: Expr,
+        /// Step (defaults to 1).
+        by: Option<Expr>,
+        /// Body statements.
+        body: Vec<Stmt>,
+    },
+    /// `LABEL: while cond { … }`
+    While {
+        /// Optional source label.
+        label: Option<String>,
+        /// Continuation condition.
+        cond: Cond,
+        /// Body statements.
+        body: Vec<Stmt>,
+    },
+    /// `break [LABEL]` — exit the innermost (or named) loop.
+    Break {
+        /// Optional target loop label.
+        label: Option<String>,
+    },
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Const(i64),
+    /// Scalar variable reference.
+    Var(String),
+    /// Array element read.
+    Load {
+        /// Array name.
+        array: String,
+        /// One expression per dimension.
+        index: Vec<Expr>,
+    },
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Binary arithmetic.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for binary nodes.
+    pub fn binary(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
+    }
+}
+
+/// A comparison `lhs op rhs` used by `if` and `while`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cond {
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Left side.
+    pub lhs: Expr,
+    /// Right side.
+    pub rhs: Expr,
+}

@@ -1,0 +1,328 @@
+//! Tokenizer for the mini loop language.
+
+use std::fmt;
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    Ident(String),
+    Int(i64),
+    // keywords
+    Func,
+    Loop,
+    For,
+    To,
+    By,
+    While,
+    If,
+    Else,
+    Break,
+    // punctuation
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Colon,
+    Assign, // =
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Caret,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(v) => write!(f, "integer `{v}`"),
+            Tok::Func => write!(f, "`func`"),
+            Tok::Loop => write!(f, "`loop`"),
+            Tok::For => write!(f, "`for`"),
+            Tok::To => write!(f, "`to`"),
+            Tok::By => write!(f, "`by`"),
+            Tok::While => write!(f, "`while`"),
+            Tok::If => write!(f, "`if`"),
+            Tok::Else => write!(f, "`else`"),
+            Tok::Break => write!(f, "`break`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LBracket => write!(f, "`[`"),
+            Tok::RBracket => write!(f, "`]`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Colon => write!(f, "`:`"),
+            Tok::Assign => write!(f, "`=`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Minus => write!(f, "`-`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::Slash => write!(f, "`/`"),
+            Tok::Caret => write!(f, "`^`"),
+            Tok::EqEq => write!(f, "`==`"),
+            Tok::NotEq => write!(f, "`!=`"),
+            Tok::Lt => write!(f, "`<`"),
+            Tok::Le => write!(f, "`<=`"),
+            Tok::Gt => write!(f, "`>`"),
+            Tok::Ge => write!(f, "`>=`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub tok: Tok,
+    pub span: Span,
+}
+
+/// Error produced by the lexer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Explanation.
+    pub message: String,
+    /// Where it happened.
+    pub span: Span,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `src`. `#` and `//` start line comments.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    macro_rules! span {
+        () => {
+            Span { line, col }
+        };
+    }
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = span!();
+        match c {
+            '\n' => {
+                line += 1;
+                col = 1;
+                i += 1;
+                continue;
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+                col += 1;
+                continue;
+            }
+            '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            '{' | '}' | '(' | ')' | '[' | ']' | ',' | ':' | '+' | '-' | '*' | '/' | '^' => {
+                let tok = match c {
+                    '{' => Tok::LBrace,
+                    '}' => Tok::RBrace,
+                    '(' => Tok::LParen,
+                    ')' => Tok::RParen,
+                    '[' => Tok::LBracket,
+                    ']' => Tok::RBracket,
+                    ',' => Tok::Comma,
+                    ':' => Tok::Colon,
+                    '+' => Tok::Plus,
+                    '-' => Tok::Minus,
+                    '*' => Tok::Star,
+                    '/' => Tok::Slash,
+                    _ => Tok::Caret,
+                };
+                tokens.push(Token { tok, span: start });
+                i += 1;
+                col += 1;
+            }
+            '=' | '!' | '<' | '>' => {
+                let two = i + 1 < bytes.len() && bytes[i + 1] == b'=';
+                let tok = match (c, two) {
+                    ('=', true) => Tok::EqEq,
+                    ('=', false) => Tok::Assign,
+                    ('!', true) => Tok::NotEq,
+                    ('!', false) => {
+                        return Err(LexError {
+                            message: "unexpected `!` (did you mean `!=`?)".into(),
+                            span: start,
+                        })
+                    }
+                    ('<', true) => Tok::Le,
+                    ('<', false) => Tok::Lt,
+                    ('>', true) => Tok::Ge,
+                    (_, false) => Tok::Gt,
+                    (_, true) => Tok::Ge,
+                };
+                let width = if two { 2 } else { 1 };
+                tokens.push(Token { tok, span: start });
+                i += width;
+                col += width as u32;
+            }
+            c if c.is_ascii_digit() => {
+                let begin = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                    col += 1;
+                }
+                let text = &src[begin..i];
+                let value: i64 = text.parse().map_err(|_| LexError {
+                    message: format!("integer literal `{text}` out of range"),
+                    span: start,
+                })?;
+                tokens.push(Token {
+                    tok: Tok::Int(value),
+                    span: start,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let begin = i;
+                while i < bytes.len() {
+                    let ch = bytes[i] as char;
+                    if ch.is_ascii_alphanumeric() || ch == '_' {
+                        i += 1;
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &src[begin..i];
+                let tok = match text {
+                    "func" => Tok::Func,
+                    "loop" => Tok::Loop,
+                    "for" => Tok::For,
+                    "to" => Tok::To,
+                    "by" => Tok::By,
+                    "while" => Tok::While,
+                    "if" => Tok::If,
+                    "else" => Tok::Else,
+                    "break" => Tok::Break,
+                    _ => Tok::Ident(text.to_string()),
+                };
+                tokens.push(Token { tok, span: start });
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character `{other}`"),
+                    span: start,
+                })
+            }
+        }
+    }
+    tokens.push(Token {
+        tok: Tok::Eof,
+        span: span!(),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        let toks = tokenize("func main loop xyz").unwrap();
+        assert_eq!(toks[0].tok, Tok::Func);
+        assert_eq!(toks[1].tok, Tok::Ident("main".into()));
+        assert_eq!(toks[2].tok, Tok::Loop);
+        assert_eq!(toks[3].tok, Tok::Ident("xyz".into()));
+        assert_eq!(toks[4].tok, Tok::Eof);
+    }
+
+    #[test]
+    fn lexes_operators() {
+        let toks = tokenize("= == != < <= > >= + - * / ^").unwrap();
+        let kinds: Vec<Tok> = toks.into_iter().map(|t| t.tok).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                Tok::Assign,
+                Tok::EqEq,
+                Tok::NotEq,
+                Tok::Lt,
+                Tok::Le,
+                Tok::Gt,
+                Tok::Ge,
+                Tok::Plus,
+                Tok::Minus,
+                Tok::Star,
+                Tok::Slash,
+                Tok::Caret,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_positions() {
+        let toks = tokenize("a\n  b").unwrap();
+        assert_eq!(toks[0].span, Span { line: 1, col: 1 });
+        assert_eq!(toks[1].span, Span { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = tokenize("a # comment\nb // another\nc").unwrap();
+        let idents: Vec<String> = toks
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(idents, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn rejects_stray_bang() {
+        assert!(tokenize("a ! b").is_err());
+    }
+
+    #[test]
+    fn rejects_huge_literal() {
+        assert!(tokenize("99999999999999999999999").is_err());
+    }
+}

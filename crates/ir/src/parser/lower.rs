@@ -1,0 +1,525 @@
+//! Lowering from the AST to the three-address CFG.
+
+use std::collections::HashMap;
+
+use super::ast::{Cond, Expr, FuncDecl, Stmt};
+use super::parse::ParseError;
+use crate::function::{
+    Array, BinOp, Block, CmpOp, Function, Inst, Operand, Terminator, Var,
+};
+
+/// Lowers one parsed function to CFG form.
+///
+/// `for` loops produce the paper's countable shape: initialization in the
+/// preheader, the exit test at the loop header, and the increment at the
+/// bottom of the body. Loop labels land on the header block so analyses
+/// can report the paper's `L7`-style loop names.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for semantic problems (a name used both as a
+/// scalar and an array, inconsistent array ranks, `break` outside a loop,
+/// or an unknown break label).
+pub fn lower_function(decl: &FuncDecl) -> Result<Function, ParseError> {
+    let mut cx = Lowerer::new(decl)?;
+    cx.lower_body(&decl.body)?;
+    // Seal the final block.
+    cx.set_term(Terminator::Return);
+    Ok(cx.func)
+}
+
+struct LoopCtx {
+    label: Option<String>,
+    exit: Block,
+}
+
+struct Lowerer {
+    func: Function,
+    current: Block,
+    scalars: HashMap<String, Var>,
+    arrays: HashMap<String, Array>,
+    loop_stack: Vec<LoopCtx>,
+    temp_count: usize,
+}
+
+impl Lowerer {
+    fn new(decl: &FuncDecl) -> Result<Lowerer, ParseError> {
+        let mut func = Function::new(decl.name.clone());
+        let current = func.entry();
+        let mut scalars = HashMap::new();
+        for p in &decl.params {
+            if scalars.contains_key(p) {
+                return Err(ParseError::custom(format!("duplicate parameter `{p}`")));
+            }
+            let v = func.new_param(p.clone());
+            scalars.insert(p.clone(), v);
+        }
+        Ok(Lowerer {
+            func,
+            current,
+            scalars,
+            arrays: HashMap::new(),
+            loop_stack: Vec::new(),
+            temp_count: 0,
+        })
+    }
+
+    fn scalar(&mut self, name: &str) -> Result<Var, ParseError> {
+        if self.arrays.contains_key(name) {
+            return Err(ParseError::custom(format!(
+                "`{name}` is used both as a scalar and as an array"
+            )));
+        }
+        if let Some(&v) = self.scalars.get(name) {
+            return Ok(v);
+        }
+        let v = self.func.new_var(name);
+        self.scalars.insert(name.to_string(), v);
+        Ok(v)
+    }
+
+    fn array(&mut self, name: &str, dims: usize) -> Result<Array, ParseError> {
+        if self.scalars.contains_key(name) {
+            return Err(ParseError::custom(format!(
+                "`{name}` is used both as a scalar and as an array"
+            )));
+        }
+        if let Some(&a) = self.arrays.get(name) {
+            let have = self.func.arrays[a].dims;
+            if have != dims {
+                return Err(ParseError::custom(format!(
+                    "array `{name}` used with {dims} subscripts but earlier with {have}"
+                )));
+            }
+            return Ok(a);
+        }
+        let a = self.func.new_array(name, dims);
+        self.arrays.insert(name.to_string(), a);
+        Ok(a)
+    }
+
+    fn fresh_temp(&mut self) -> Var {
+        let v = self.func.new_var(format!("%t{}", self.temp_count));
+        self.temp_count += 1;
+        v
+    }
+
+    fn push(&mut self, inst: Inst) {
+        self.func.blocks[self.current].insts.push(inst);
+    }
+
+    fn set_term(&mut self, term: Terminator) {
+        self.func.blocks[self.current].term = term;
+    }
+
+    /// Lowers an expression to an operand, emitting temps as needed.
+    fn operand(&mut self, expr: &Expr) -> Result<Operand, ParseError> {
+        match expr {
+            Expr::Const(v) => Ok(Operand::Const(*v)),
+            Expr::Var(name) => Ok(Operand::Var(self.scalar(name)?)),
+            Expr::Neg(inner) => {
+                let src = self.operand(inner)?;
+                let dst = self.fresh_temp();
+                self.push(Inst::Neg { dst, src });
+                Ok(Operand::Var(dst))
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let l = self.operand(lhs)?;
+                let r = self.operand(rhs)?;
+                let dst = self.fresh_temp();
+                self.push(Inst::Binary {
+                    dst,
+                    op: *op,
+                    lhs: l,
+                    rhs: r,
+                });
+                Ok(Operand::Var(dst))
+            }
+            Expr::Load { array, index } => {
+                let idx = index
+                    .iter()
+                    .map(|e| self.operand(e))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let a = self.array(array, idx.len())?;
+                let dst = self.fresh_temp();
+                self.push(Inst::Load {
+                    dst,
+                    array: a,
+                    index: idx,
+                });
+                Ok(Operand::Var(dst))
+            }
+        }
+    }
+
+    /// Lowers an assignment right-hand side directly into `dst`, avoiding
+    /// a temp for the outermost operation.
+    fn assign_into(&mut self, dst: Var, expr: &Expr) -> Result<(), ParseError> {
+        match expr {
+            Expr::Binary { op, lhs, rhs } => {
+                let l = self.operand(lhs)?;
+                let r = self.operand(rhs)?;
+                self.push(Inst::Binary {
+                    dst,
+                    op: *op,
+                    lhs: l,
+                    rhs: r,
+                });
+            }
+            Expr::Neg(inner) => {
+                let src = self.operand(inner)?;
+                self.push(Inst::Neg { dst, src });
+            }
+            Expr::Load { array, index } => {
+                let idx = index
+                    .iter()
+                    .map(|e| self.operand(e))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let a = self.array(array, idx.len())?;
+                self.push(Inst::Load {
+                    dst,
+                    array: a,
+                    index: idx,
+                });
+            }
+            simple => {
+                let src = self.operand(simple)?;
+                self.push(Inst::Copy { dst, src });
+            }
+        }
+        Ok(())
+    }
+
+    fn lower_body(&mut self, stmts: &[Stmt]) -> Result<(), ParseError> {
+        for stmt in stmts {
+            self.lower_stmt(stmt)?;
+        }
+        Ok(())
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt) -> Result<(), ParseError> {
+        match stmt {
+            Stmt::Assign { name, expr } => {
+                let dst = self.scalar(name)?;
+                self.assign_into(dst, expr)
+            }
+            Stmt::Store {
+                array,
+                index,
+                value,
+            } => {
+                let idx = index
+                    .iter()
+                    .map(|e| self.operand(e))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let a = self.array(array, idx.len())?;
+                let v = self.operand(value)?;
+                self.push(Inst::Store {
+                    array: a,
+                    index: idx,
+                    value: v,
+                });
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => self.lower_if(cond, then_body, else_body),
+            Stmt::Loop { label, body } => self.lower_loop(label.as_deref(), body),
+            Stmt::For {
+                label,
+                var,
+                from,
+                to,
+                by,
+                body,
+            } => self.lower_for(label.as_deref(), var, from, to, by.as_ref(), body),
+            Stmt::While { label, cond, body } => {
+                self.lower_while(label.as_deref(), cond, body)
+            }
+            Stmt::Break { label } => self.lower_break(label.as_deref()),
+        }
+    }
+
+    fn lower_cond(
+        &mut self,
+        cond: &Cond,
+        then_bb: Block,
+        else_bb: Block,
+    ) -> Result<(), ParseError> {
+        let lhs = self.operand(&cond.lhs)?;
+        let rhs = self.operand(&cond.rhs)?;
+        self.set_term(Terminator::Branch {
+            op: cond.op,
+            lhs,
+            rhs,
+            then_bb,
+            else_bb,
+        });
+        Ok(())
+    }
+
+    fn lower_if(
+        &mut self,
+        cond: &Cond,
+        then_body: &[Stmt],
+        else_body: &[Stmt],
+    ) -> Result<(), ParseError> {
+        let then_bb = self.func.new_block();
+        let join = self.func.new_block();
+        let else_bb = if else_body.is_empty() {
+            join
+        } else {
+            self.func.new_block()
+        };
+        self.lower_cond(cond, then_bb, else_bb)?;
+        self.current = then_bb;
+        self.lower_body(then_body)?;
+        self.set_term(Terminator::Jump(join));
+        if !else_body.is_empty() {
+            self.current = else_bb;
+            self.lower_body(else_body)?;
+            self.set_term(Terminator::Jump(join));
+        }
+        self.current = join;
+        Ok(())
+    }
+
+    fn lower_loop(&mut self, label: Option<&str>, body: &[Stmt]) -> Result<(), ParseError> {
+        let header = match label {
+            Some(l) => self.func.new_labeled_block(l),
+            None => self.func.new_block(),
+        };
+        let exit = self.func.new_block();
+        self.set_term(Terminator::Jump(header));
+        self.current = header;
+        self.loop_stack.push(LoopCtx {
+            label: label.map(str::to_string),
+            exit,
+        });
+        self.lower_body(body)?;
+        self.loop_stack.pop();
+        self.set_term(Terminator::Jump(header));
+        self.current = exit;
+        Ok(())
+    }
+
+    fn lower_for(
+        &mut self,
+        label: Option<&str>,
+        var: &str,
+        from: &Expr,
+        to: &Expr,
+        by: Option<&Expr>,
+        body: &[Stmt],
+    ) -> Result<(), ParseError> {
+        let v = self.scalar(var)?;
+        // Initialization and (loop-invariant) bound/step evaluation happen
+        // before the header.
+        self.assign_into(v, from)?;
+        let bound = self.operand(to)?;
+        let step = match by {
+            Some(e) => self.operand(e)?,
+            None => Operand::Const(1),
+        };
+        let header = match label {
+            Some(l) => self.func.new_labeled_block(l),
+            None => self.func.new_block(),
+        };
+        let body_bb = self.func.new_block();
+        let exit = self.func.new_block();
+        self.set_term(Terminator::Jump(header));
+        // Header: exit when the index passes the bound. For a negative
+        // constant step the sense flips (paper §5.2's condition table).
+        self.current = header;
+        let exit_op = match step {
+            Operand::Const(c) if c < 0 => CmpOp::Lt,
+            _ => CmpOp::Gt,
+        };
+        self.set_term(Terminator::Branch {
+            op: exit_op,
+            lhs: Operand::Var(v),
+            rhs: bound,
+            then_bb: exit,
+            else_bb: body_bb,
+        });
+        self.current = body_bb;
+        self.loop_stack.push(LoopCtx {
+            label: label.map(str::to_string),
+            exit,
+        });
+        self.lower_body(body)?;
+        self.loop_stack.pop();
+        // Increment and jump back.
+        self.push(Inst::Binary {
+            dst: v,
+            op: BinOp::Add,
+            lhs: Operand::Var(v),
+            rhs: step,
+        });
+        self.set_term(Terminator::Jump(header));
+        self.current = exit;
+        Ok(())
+    }
+
+    fn lower_while(
+        &mut self,
+        label: Option<&str>,
+        cond: &Cond,
+        body: &[Stmt],
+    ) -> Result<(), ParseError> {
+        let header = match label {
+            Some(l) => self.func.new_labeled_block(l),
+            None => self.func.new_block(),
+        };
+        let body_bb = self.func.new_block();
+        let exit = self.func.new_block();
+        self.set_term(Terminator::Jump(header));
+        self.current = header;
+        self.lower_cond(cond, body_bb, exit)?;
+        self.current = body_bb;
+        self.loop_stack.push(LoopCtx {
+            label: label.map(str::to_string),
+            exit,
+        });
+        self.lower_body(body)?;
+        self.loop_stack.pop();
+        self.set_term(Terminator::Jump(header));
+        self.current = exit;
+        Ok(())
+    }
+
+    fn lower_break(&mut self, label: Option<&str>) -> Result<(), ParseError> {
+        let target = match label {
+            None => self
+                .loop_stack
+                .last()
+                .ok_or_else(|| ParseError::custom("`break` outside of a loop"))?,
+            Some(l) => self
+                .loop_stack
+                .iter()
+                .rev()
+                .find(|c| c.label.as_deref() == Some(l))
+                .ok_or_else(|| {
+                    ParseError::custom(format!("`break {l}` does not name an enclosing loop"))
+                })?,
+        };
+        let exit = target.exit;
+        self.set_term(Terminator::Jump(exit));
+        // Continue lowering any trailing statements into a fresh,
+        // unreachable block so the CFG stays well formed.
+        let dead = self.func.new_block();
+        self.current = dead;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn lowers_figure1_shape() {
+        let program = parse_program(
+            r#"
+            func fig1(n, c, k) {
+                j = n
+                L7: loop {
+                    i = j + c
+                    j = i + k
+                    if j > 1000 { break }
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let f = &program.functions[0];
+        let header = f.block_by_label("L7").expect("labeled header");
+        // Header is the target of the entry and of the back edge.
+        let preds = f.predecessors();
+        assert_eq!(preds[&header].len(), 2);
+        assert!(f.var_by_name("i").is_some());
+        assert!(f.var_by_name("j").is_some());
+        assert_eq!(f.params().len(), 3);
+    }
+
+    #[test]
+    fn lowers_for_to_countable_shape() {
+        let program = parse_program("func f(n) { L1: for i = 1 to n { x = i } }").unwrap();
+        let f = &program.functions[0];
+        let header = f.block_by_label("L1").unwrap();
+        // Header terminator is the exit test `i > n`.
+        match &f.blocks[header].term {
+            Terminator::Branch { op, .. } => assert_eq!(*op, CmpOp::Gt),
+            other => panic!("expected branch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_step_flips_test() {
+        let program =
+            parse_program("func f() { L1: for i = 10 to 1 by -1 { x = i } }").unwrap();
+        let f = &program.functions[0];
+        let header = f.block_by_label("L1").unwrap();
+        match &f.blocks[header].term {
+            Terminator::Branch { op, .. } => assert_eq!(*op, CmpOp::Lt),
+            other => panic!("expected branch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scalar_array_conflict_rejected() {
+        let err = parse_program("func f() { A = 1 A[2] = 3 }").unwrap_err();
+        assert!(err.to_string().contains("scalar"));
+    }
+
+    #[test]
+    fn array_rank_mismatch_rejected() {
+        let err = parse_program("func f() { A[1] = 1 A[1, 2] = 3 }").unwrap_err();
+        assert!(err.to_string().contains("subscripts"));
+    }
+
+    #[test]
+    fn break_outside_loop_rejected() {
+        let err = parse_program("func f() { break }").unwrap_err();
+        assert!(err.to_string().contains("outside"));
+    }
+
+    #[test]
+    fn unknown_break_label_rejected() {
+        let err = parse_program("func f() { L1: loop { break L9 } }").unwrap_err();
+        assert!(err.to_string().contains("L9"));
+    }
+
+    #[test]
+    fn while_loop_shape() {
+        let program = parse_program("func f(n) { W: while n > 0 { n = n - 1 } }").unwrap();
+        let f = &program.functions[0];
+        let header = f.block_by_label("W").unwrap();
+        let preds = f.predecessors();
+        assert_eq!(preds[&header].len(), 2, "entry edge + back edge");
+    }
+
+    #[test]
+    fn nested_loops_lower() {
+        let program = parse_program(
+            r#"
+            func f(n) {
+                L1: for i = 1 to n {
+                    L2: for j = i + 1 to n {
+                        A[i, j] = A[i - 1, j]
+                    }
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let f = &program.functions[0];
+        assert!(f.block_by_label("L1").is_some());
+        assert!(f.block_by_label("L2").is_some());
+        let a = f.array_by_name("A").unwrap();
+        assert_eq!(f.arrays[a].dims, 2);
+    }
+}

@@ -1,0 +1,85 @@
+//! The mini loop language front end.
+//!
+//! Every example loop in the paper can be written in this language, e.g.
+//! Figure 1's loop L7:
+//!
+//! ```text
+//! func fig1(n, c, k) {
+//!     j = n
+//!     L7: loop {
+//!         i = j + c
+//!         j = i + k
+//!         if j > 1000 { break }
+//!     }
+//! }
+//! ```
+//!
+//! The grammar (loops may carry a `LABEL:` prefix, matching the paper's
+//! `L7: loop` style):
+//!
+//! ```text
+//! program := func+
+//! func    := "func" IDENT "(" [IDENT ("," IDENT)*] ")" "{" stmt* "}"
+//! stmt    := [IDENT ":"] loop-stmt
+//!          | IDENT "=" expr
+//!          | IDENT "[" expr ("," expr)* "]" "=" expr
+//!          | "if" cond "{" stmt* "}" ["else" "{" stmt* "}"]
+//!          | "break" [IDENT]
+//! loop    := "loop" "{" stmt* "}"
+//!          | "for" IDENT "=" expr "to" expr ["by" expr] "{" stmt* "}"
+//!          | "while" cond "{" stmt* "}"
+//! cond    := expr ("=="|"!="|"<"|"<="|">"|">=") expr
+//! expr    := term (("+"|"-") term)*
+//! term    := power (("*"|"/") power)*
+//! power   := unary ["^" power]
+//! unary   := "-" unary | primary
+//! primary := INT | IDENT | IDENT "[" expr ("," expr)* "]" | "(" expr ")"
+//! ```
+//!
+//! `for` loops lower to the paper's countable-loop shape — initialize,
+//! test at the loop header, increment in the latch — so the classifier's
+//! trip-count machinery sees exactly the §5.2 pattern.
+
+pub mod ast;
+mod lexer;
+mod lower;
+mod parse;
+
+pub use ast::{Cond, Expr, FuncDecl, Stmt};
+pub use lexer::{LexError, Span};
+pub use lower::lower_function;
+pub use parse::{parse_program_ast, ParseError};
+
+use crate::function::Program;
+
+/// Parses source text and lowers it to CFG form.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax or lowering
+/// problem, with line/column information.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let decls = parse_program_ast(src)?;
+    let mut program = Program::default();
+    for decl in &decls {
+        program.functions.push(lower_function(decl)?);
+    }
+    Ok(program)
+}
+
+/// Parses a source file expected to contain exactly one function.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on syntax errors or when the file does not
+/// contain exactly one function.
+pub fn parse_function(src: &str) -> Result<crate::function::Function, ParseError> {
+    let mut program = parse_program(src)?;
+    if program.functions.len() != 1 {
+        return Err(ParseError::custom(format!(
+            "expected exactly one function, found {}",
+            program.functions.len()
+        )));
+    }
+    Ok(program.functions.remove(0))
+}

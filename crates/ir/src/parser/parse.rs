@@ -1,0 +1,534 @@
+//! Recursive-descent parser for the mini loop language.
+
+use std::fmt;
+
+use super::ast::{Cond, Expr, FuncDecl, Stmt};
+use super::lexer::{tokenize, LexError, Span, Tok, Token};
+use crate::function::{BinOp, CmpOp};
+
+/// A syntax or lowering error with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+    span: Option<Span>,
+}
+
+impl ParseError {
+    /// Creates an error without position information (used by lowering).
+    pub fn custom(message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            span: None,
+        }
+    }
+
+    fn at(message: impl Into<String>, span: Span) -> ParseError {
+        ParseError {
+            message: message.into(),
+            span: Some(span),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.span {
+            Some(span) => write!(f, "{span}: {}", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(err: LexError) -> ParseError {
+        ParseError::at(err.message, err.span)
+    }
+}
+
+/// Parses source text into function declarations.
+///
+/// # Errors
+///
+/// Returns the first syntax error encountered.
+pub fn parse_program_ast(src: &str) -> Result<Vec<FuncDecl>, ParseError> {
+    let tokens = tokenize(src)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let mut decls = Vec::new();
+    while parser.peek() != &Tok::Eof {
+        decls.push(parser.func_decl()?);
+    }
+    if decls.is_empty() {
+        return Err(ParseError::custom("no functions in input"));
+    }
+    Ok(decls)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        let i = (self.pos + 1).min(self.tokens.len() - 1);
+        &self.tokens[i].tok
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].tok.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: &Tok) -> Result<(), ParseError> {
+        if self.peek() == tok {
+            self.bump();
+            Ok(())
+        } else {
+            Err(ParseError::at(
+                format!("expected {tok}, found {}", self.peek()),
+                self.span(),
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(ParseError::at(
+                format!("expected identifier, found {other}"),
+                self.span(),
+            )),
+        }
+    }
+
+    fn func_decl(&mut self) -> Result<FuncDecl, ParseError> {
+        self.expect(&Tok::Func)?;
+        let name = self.ident()?;
+        let mut params = Vec::new();
+        if self.peek() == &Tok::LParen {
+            self.bump();
+            if self.peek() != &Tok::RParen {
+                loop {
+                    params.push(self.ident()?);
+                    if self.peek() == &Tok::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect(&Tok::RParen)?;
+        }
+        let body = self.block()?;
+        Ok(FuncDecl { name, params, body })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect(&Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while self.peek() != &Tok::RBrace {
+            if self.peek() == &Tok::Eof {
+                return Err(ParseError::at("unexpected end of input in block", self.span()));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.expect(&Tok::RBrace)?;
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek().clone() {
+            Tok::If => self.if_stmt(),
+            Tok::Break => {
+                self.bump();
+                let label = match self.peek().clone() {
+                    Tok::Ident(s) => {
+                        self.bump();
+                        Some(s)
+                    }
+                    _ => None,
+                };
+                Ok(Stmt::Break { label })
+            }
+            Tok::Loop | Tok::For | Tok::While => self.loop_stmt(None),
+            Tok::Ident(name) => {
+                // Could be `LABEL: loop`, an assignment, or a store.
+                if self.peek2() == &Tok::Colon {
+                    self.bump(); // ident
+                    self.bump(); // colon
+                    match self.peek() {
+                        Tok::Loop | Tok::For | Tok::While => self.loop_stmt(Some(name)),
+                        other => Err(ParseError::at(
+                            format!("expected a loop after label `{name}:`, found {other}"),
+                            self.span(),
+                        )),
+                    }
+                } else if self.peek2() == &Tok::LBracket {
+                    self.bump(); // array name
+                    let index = self.index_list()?;
+                    self.expect(&Tok::Assign)?;
+                    let value = self.expr()?;
+                    Ok(Stmt::Store {
+                        array: name,
+                        index,
+                        value,
+                    })
+                } else {
+                    self.bump();
+                    self.expect(&Tok::Assign)?;
+                    let expr = self.expr()?;
+                    Ok(Stmt::Assign { name, expr })
+                }
+            }
+            other => Err(ParseError::at(
+                format!("expected a statement, found {other}"),
+                self.span(),
+            )),
+        }
+    }
+
+    fn loop_stmt(&mut self, label: Option<String>) -> Result<Stmt, ParseError> {
+        match self.bump() {
+            Tok::Loop => {
+                let body = self.block()?;
+                Ok(Stmt::Loop { label, body })
+            }
+            Tok::For => {
+                let var = self.ident()?;
+                self.expect(&Tok::Assign)?;
+                let from = self.expr()?;
+                self.expect(&Tok::To)?;
+                let to = self.expr()?;
+                let by = if self.peek() == &Tok::By {
+                    self.bump();
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                let body = self.block()?;
+                Ok(Stmt::For {
+                    label,
+                    var,
+                    from,
+                    to,
+                    by,
+                    body,
+                })
+            }
+            Tok::While => {
+                let cond = self.cond()?;
+                let body = self.block()?;
+                Ok(Stmt::While { label, cond, body })
+            }
+            other => Err(ParseError::at(
+                format!("expected a loop keyword, found {other}"),
+                self.span(),
+            )),
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.expect(&Tok::If)?;
+        let cond = self.cond()?;
+        let then_body = self.block()?;
+        let else_body = if self.peek() == &Tok::Else {
+            self.bump();
+            if self.peek() == &Tok::If {
+                vec![self.if_stmt()?]
+            } else {
+                self.block()?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        })
+    }
+
+    fn cond(&mut self) -> Result<Cond, ParseError> {
+        let lhs = self.expr()?;
+        let op = match self.bump() {
+            Tok::EqEq => CmpOp::Eq,
+            Tok::NotEq => CmpOp::Ne,
+            Tok::Lt => CmpOp::Lt,
+            Tok::Le => CmpOp::Le,
+            Tok::Gt => CmpOp::Gt,
+            Tok::Ge => CmpOp::Ge,
+            other => {
+                return Err(ParseError::at(
+                    format!("expected a comparison operator, found {other}"),
+                    self.span(),
+                ))
+            }
+        };
+        let rhs = self.expr()?;
+        Ok(Cond { op, lhs, rhs })
+    }
+
+    fn index_list(&mut self) -> Result<Vec<Expr>, ParseError> {
+        self.expect(&Tok::LBracket)?;
+        let mut index = vec![self.expr()?];
+        while self.peek() == &Tok::Comma {
+            self.bump();
+            index.push(self.expr()?);
+        }
+        self.expect(&Tok::RBracket)?;
+        Ok(index)
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.term()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.power()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.power()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn power(&mut self) -> Result<Expr, ParseError> {
+        let base = self.unary()?;
+        if self.peek() == &Tok::Caret {
+            self.bump();
+            let exp = self.power()?; // right associative
+            Ok(Expr::binary(BinOp::Exp, base, exp))
+        } else {
+            Ok(base)
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.peek() == &Tok::Minus {
+            self.bump();
+            let inner = self.unary()?;
+            // Fold negative literals immediately.
+            if let Expr::Const(v) = inner {
+                return Ok(Expr::Const(-v));
+            }
+            return Ok(Expr::Neg(Box::new(inner)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::Const(v))
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                if self.peek() == &Tok::LBracket {
+                    let index = self.index_list()?;
+                    Ok(Expr::Load { array: name, index })
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            other => Err(ParseError::at(
+                format!("expected an expression, found {other}"),
+                self.span(),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_figure1() {
+        let decls = parse_program_ast(
+            r#"
+            func fig1(n, c, k) {
+                j = n
+                L7: loop {
+                    i = j + c
+                    j = i + k
+                    if j > 1000 { break }
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(decls.len(), 1);
+        assert_eq!(decls[0].name, "fig1");
+        assert_eq!(decls[0].params, vec!["n", "c", "k"]);
+        match &decls[0].body[1] {
+            Stmt::Loop { label, body } => {
+                assert_eq!(label.as_deref(), Some("L7"));
+                assert_eq!(body.len(), 3);
+            }
+            other => panic!("expected loop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_for_with_step() {
+        let decls = parse_program_ast(
+            "func f(n) { L9: for i = 1 to n by 2 { x = i } }",
+        )
+        .unwrap();
+        match &decls[0].body[0] {
+            Stmt::For { label, var, by, .. } => {
+                assert_eq!(label.as_deref(), Some("L9"));
+                assert_eq!(var, "i");
+                assert!(by.is_some());
+            }
+            other => panic!("expected for, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_array_access() {
+        let decls =
+            parse_program_ast("func f(n) { for i = 1 to n { A[i] = A[i - 1] + B[i, 2] } }")
+                .unwrap();
+        match &decls[0].body[0] {
+            Stmt::For { body, .. } => match &body[0] {
+                Stmt::Store { array, index, .. } => {
+                    assert_eq!(array, "A");
+                    assert_eq!(index.len(), 1);
+                }
+                other => panic!("expected store, got {other:?}"),
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let decls = parse_program_ast("func f() { x = 1 + 2 * 3 }").unwrap();
+        match &decls[0].body[0] {
+            Stmt::Assign { expr, .. } => match expr {
+                Expr::Binary { op: BinOp::Add, rhs, .. } => {
+                    assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+                }
+                other => panic!("expected add at top, got {other:?}"),
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn power_right_associative() {
+        let decls = parse_program_ast("func f() { x = 2 ^ 3 ^ 2 }").unwrap();
+        match &decls[0].body[0] {
+            Stmt::Assign { expr, .. } => match expr {
+                Expr::Binary { op: BinOp::Exp, rhs, .. } => {
+                    assert!(matches!(**rhs, Expr::Binary { op: BinOp::Exp, .. }));
+                }
+                other => panic!("expected exp at top, got {other:?}"),
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn negative_literal_folds() {
+        let decls = parse_program_ast("func f() { x = -5 }").unwrap();
+        match &decls[0].body[0] {
+            Stmt::Assign { expr, .. } => assert_eq!(*expr, Expr::Const(-5)),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let decls = parse_program_ast(
+            "func f(a) { if a < 0 { x = 1 } else if a < 10 { x = 2 } else { x = 3 } }",
+        )
+        .unwrap();
+        match &decls[0].body[0] {
+            Stmt::If { else_body, .. } => {
+                assert_eq!(else_body.len(), 1);
+                assert!(matches!(else_body[0], Stmt::If { .. }));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse_program_ast("func f() { x = }").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("1:"), "message was: {msg}");
+        assert!(msg.contains("expected an expression"), "message was: {msg}");
+    }
+
+    #[test]
+    fn rejects_label_without_loop() {
+        assert!(parse_program_ast("func f() { L1: x = 2 }").is_err());
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(parse_program_ast("").is_err());
+    }
+
+    #[test]
+    fn break_with_label() {
+        let decls =
+            parse_program_ast("func f() { L1: loop { L2: loop { break L1 } } }").unwrap();
+        match &decls[0].body[0] {
+            Stmt::Loop { body, .. } => match &body[0] {
+                Stmt::Loop { body, .. } => {
+                    assert_eq!(
+                        body[0],
+                        Stmt::Break {
+                            label: Some("L1".into())
+                        }
+                    );
+                }
+                _ => unreachable!(),
+            },
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Human-readable printing of CFG functions.
+
+use std::fmt::Write as _;
+
+use crate::function::{Function, Inst, Operand, Terminator};
+
+/// Renders a function as text, one block per paragraph.
+pub fn function_to_string(func: &Function) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "func {}({}) {{",
+        func.name(),
+        func.params()
+            .iter()
+            .map(|&p| func.var_name(p).to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    for (b, data) in func.blocks.iter() {
+        match &data.label {
+            Some(l) => {
+                let _ = writeln!(out, "{b} ({l}):");
+            }
+            None => {
+                let _ = writeln!(out, "{b}:");
+            }
+        }
+        for inst in &data.insts {
+            let _ = writeln!(out, "    {}", inst_to_string(func, inst));
+        }
+        let _ = writeln!(out, "    {}", term_to_string(func, &data.term));
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders one operand.
+pub fn operand_to_string(func: &Function, op: &Operand) -> String {
+    match op {
+        Operand::Var(v) => func.var_name(*v).to_string(),
+        Operand::Const(c) => c.to_string(),
+    }
+}
+
+/// Renders one instruction.
+pub fn inst_to_string(func: &Function, inst: &Inst) -> String {
+    let op = |o: &Operand| operand_to_string(func, o);
+    match inst {
+        Inst::Copy { dst, src } => format!("{} = {}", func.var_name(*dst), op(src)),
+        Inst::Neg { dst, src } => format!("{} = -{}", func.var_name(*dst), op(src)),
+        Inst::Binary { dst, op: b, lhs, rhs } => format!(
+            "{} = {} {} {}",
+            func.var_name(*dst),
+            op(lhs),
+            b.symbol(),
+            op(rhs)
+        ),
+        Inst::Load { dst, array, index } => format!(
+            "{} = {}[{}]",
+            func.var_name(*dst),
+            func.array_name(*array),
+            index.iter().map(op).collect::<Vec<_>>().join(", ")
+        ),
+        Inst::Store {
+            array,
+            index,
+            value,
+        } => format!(
+            "{}[{}] = {}",
+            func.array_name(*array),
+            index.iter().map(op).collect::<Vec<_>>().join(", "),
+            op(value)
+        ),
+    }
+}
+
+/// Renders one terminator.
+pub fn term_to_string(func: &Function, term: &Terminator) -> String {
+    match term {
+        Terminator::Jump(b) => format!("jump {b}"),
+        Terminator::Branch {
+            op,
+            lhs,
+            rhs,
+            then_bb,
+            else_bb,
+        } => format!(
+            "if {} {} {} then {then_bb} else {else_bb}",
+            operand_to_string(func, lhs),
+            op.symbol(),
+            operand_to_string(func, rhs)
+        ),
+        Terminator::Return => "return".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn prints_readable_text() {
+        let program = parse_program(
+            "func f(n) { L1: for i = 1 to n { A[i] = i * 2 } }",
+        )
+        .unwrap();
+        let text = function_to_string(&program.functions[0]);
+        assert!(text.contains("func f(n)"), "{text}");
+        assert!(text.contains("(L1):"), "{text}");
+        assert!(text.contains("i = i + 1"), "{text}");
+        assert!(text.contains("A["), "{text}");
+        assert!(text.contains("if i > n"), "{text}");
+    }
+}

@@ -1,0 +1,173 @@
+//! Structural validation of CFG functions.
+
+use std::fmt;
+
+use crate::entity::EntityId;
+use crate::function::{Function, Inst, Operand, Terminator};
+
+/// A structural problem found by [`verify_function`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Explanation of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Checks structural invariants of a function:
+///
+/// - every terminator targets an existing block;
+/// - every operand references an existing variable or array;
+/// - array accesses match the array's declared rank;
+/// - block labels are unique.
+///
+/// # Errors
+///
+/// Returns all violations found.
+pub fn verify_function(func: &Function) -> Result<(), Vec<VerifyError>> {
+    let mut errors = Vec::new();
+    fn err(errors: &mut Vec<VerifyError>, message: String) {
+        errors.push(VerifyError { message });
+    }
+
+    let mut labels = std::collections::HashSet::new();
+    for (b, data) in func.blocks.iter() {
+        if let Some(label) = &data.label {
+            if !labels.insert(label.clone()) {
+                err(&mut errors, format!("duplicate block label `{label}`"));
+            }
+        }
+        for succ in data.term.successors() {
+            if !func.blocks.contains(succ) {
+                err(&mut errors, format!("{b}: terminator targets unknown block {succ}"));
+            }
+        }
+        let check_operand = |op: &Operand, errors: &mut Vec<VerifyError>| {
+            if let Operand::Var(v) = op {
+                if v.index() >= func.vars.len() {
+                    errors.push(VerifyError {
+                        message: format!("{b}: operand references unknown variable {v}"),
+                    });
+                }
+            }
+        };
+        for inst in &data.insts {
+            match inst {
+                Inst::Copy { dst, src } | Inst::Neg { dst, src } => {
+                    if dst.index() >= func.vars.len() {
+                        err(&mut errors, format!("{b}: unknown destination {dst}"));
+                    }
+                    check_operand(src, &mut errors);
+                }
+                Inst::Binary { dst, lhs, rhs, .. } => {
+                    if dst.index() >= func.vars.len() {
+                        err(&mut errors, format!("{b}: unknown destination {dst}"));
+                    }
+                    check_operand(lhs, &mut errors);
+                    check_operand(rhs, &mut errors);
+                }
+                Inst::Load { dst, array, index } => {
+                    if dst.index() >= func.vars.len() {
+                        err(&mut errors, format!("{b}: unknown destination {dst}"));
+                    }
+                    if array.index() >= func.arrays.len() {
+                        err(&mut errors, format!("{b}: unknown array {array}"));
+                    } else if func.arrays[*array].dims != index.len() {
+                        err(&mut errors, format!(
+                            "{b}: array {} loaded with {} subscripts, declared {}",
+                            func.array_name(*array),
+                            index.len(),
+                            func.arrays[*array].dims
+                        ));
+                    }
+                    for op in index {
+                        check_operand(op, &mut errors);
+                    }
+                }
+                Inst::Store {
+                    array,
+                    index,
+                    value,
+                } => {
+                    if array.index() >= func.arrays.len() {
+                        err(&mut errors, format!("{b}: unknown array {array}"));
+                    } else if func.arrays[*array].dims != index.len() {
+                        err(&mut errors, format!(
+                            "{b}: array {} stored with {} subscripts, declared {}",
+                            func.array_name(*array),
+                            index.len(),
+                            func.arrays[*array].dims
+                        ));
+                    }
+                    for op in index {
+                        check_operand(op, &mut errors);
+                    }
+                    check_operand(value, &mut errors);
+                }
+            }
+        }
+        if let Terminator::Branch { lhs, rhs, .. } = &data.term {
+            check_operand(lhs, &mut errors);
+            check_operand(rhs, &mut errors);
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::function::{Block, CmpOp};
+    use crate::parser::parse_program;
+
+    #[test]
+    fn parsed_programs_verify() {
+        let program = parse_program(
+            r#"
+            func f(n) {
+                L1: for i = 1 to n {
+                    if i > 3 { A[i] = i } else { A[i] = 0 }
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        assert!(verify_function(&program.functions[0]).is_ok());
+    }
+
+    #[test]
+    fn detects_bad_successor() {
+        let mut b = FunctionBuilder::new("bad");
+        let x = b.new_var("x");
+        let bogus = Block::from_index(99);
+        b.branch(CmpOp::Lt, Operand::Var(x), Operand::Const(0), bogus, bogus);
+        let f = b.finish();
+        let errs = verify_function(&f).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("unknown block")));
+    }
+
+    #[test]
+    fn detects_duplicate_labels() {
+        let mut b = FunctionBuilder::new("dup");
+        let l1 = b.new_labeled_block("L1");
+        let l2 = b.new_labeled_block("L1");
+        b.jump(l1);
+        b.switch_to(l1);
+        b.jump(l2);
+        b.switch_to(l2);
+        b.ret();
+        let errs = verify_function(&b.finish()).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("duplicate")));
+    }
+}

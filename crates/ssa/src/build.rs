@@ -1,0 +1,497 @@
+//! SSA construction: φ placement on dominance frontiers and renaming.
+
+use std::collections::{HashMap, HashSet};
+
+use biv_ir::dataflow::Liveness;
+use biv_ir::dom::DomTree;
+use biv_ir::loops::loop_simplify;
+use biv_ir::{Arena, Block, Function, Inst, Terminator, Var};
+
+use crate::ssa::{
+    Operand, SsaBlock, SsaFunction, SsaInst, SsaTerminator, Value, ValueData, ValueDef,
+};
+
+/// Options for SSA construction.
+#[derive(Debug, Clone, Copy)]
+pub struct BuildConfig {
+    /// When `true` (the default), φs are only placed where the variable is
+    /// live — *pruned* SSA. When `false`, the construction is *minimal*
+    /// SSA without the liveness filter (more dead φs; used by the
+    /// ablation benchmark).
+    pub pruned: bool,
+    /// When `true` (the default), run loop-simplify first so every loop
+    /// has a preheader and a unique latch — the shape the classifier's
+    /// loop-header φ reasoning expects.
+    pub simplify_loops: bool,
+}
+
+impl Default for BuildConfig {
+    fn default() -> Self {
+        BuildConfig {
+            pruned: true,
+            simplify_loops: true,
+        }
+    }
+}
+
+impl SsaFunction {
+    /// Builds pruned SSA form for `func` (loop-simplifying first).
+    pub fn build(func: &Function) -> SsaFunction {
+        SsaFunction::build_with(func, BuildConfig::default())
+    }
+
+    /// Builds SSA form with explicit options.
+    pub fn build_with(func: &Function, config: BuildConfig) -> SsaFunction {
+        let mut func = func.clone();
+        if config.simplify_loops {
+            loop_simplify(&mut func);
+        }
+        Builder::new(&func, config).run(func.clone())
+    }
+}
+
+struct Builder<'f> {
+    func: &'f Function,
+    config: BuildConfig,
+    dom: DomTree,
+    values: Arena<Value, ValueData>,
+    blocks: Vec<SsaBlock>,
+    /// φ values placed per block, with the var each versions.
+    phi_var: HashMap<Value, Var>,
+    /// Pending φ argument lists.
+    phi_args: HashMap<Value, Vec<(Block, Operand)>>,
+    /// Renaming stacks.
+    stacks: HashMap<Var, Vec<Value>>,
+    /// Version counters per var.
+    versions: HashMap<Var, u32>,
+    /// Memoized live-in values.
+    live_ins: HashMap<Var, Value>,
+}
+
+impl<'f> Builder<'f> {
+    fn new(func: &'f Function, config: BuildConfig) -> Builder<'f> {
+        let dom = DomTree::compute(func);
+        let blocks = vec![SsaBlock::default(); func.blocks.len()];
+        Builder {
+            func,
+            config,
+            dom,
+            values: Arena::new(),
+            blocks,
+            phi_var: HashMap::new(),
+            phi_args: HashMap::new(),
+            stacks: HashMap::new(),
+            versions: HashMap::new(),
+            live_ins: HashMap::new(),
+        }
+    }
+
+    fn run(mut self, owned_func: Function) -> SsaFunction {
+        self.place_phis();
+        self.rename(self.func.entry());
+        // Commit φ argument lists.
+        let phi_args = std::mem::take(&mut self.phi_args);
+        for (value, args) in phi_args {
+            if let ValueDef::Phi { args: slot } = &mut self.values[value].def {
+                *slot = args;
+            }
+        }
+        SsaFunction::from_parts(
+            owned_func,
+            self.values,
+            self.blocks,
+            self.live_ins,
+        )
+    }
+
+    fn next_version(&mut self, var: Var) -> u32 {
+        let counter = self.versions.entry(var).or_insert(0);
+        *counter += 1;
+        *counter
+    }
+
+    fn place_phis(&mut self) {
+        let df = self.dom.dominance_frontiers(self.func);
+        let entry_live = Liveness::compute(self.func);
+        let liveness = if self.config.pruned {
+            Some(&entry_live)
+        } else {
+            None
+        };
+        // Definition blocks per variable. The entry counts as a definition
+        // site for variables live into the function (their LiveIn value).
+        let mut def_blocks: HashMap<Var, Vec<Block>> = HashMap::new();
+        for (b, data) in self.func.blocks.iter() {
+            for inst in &data.insts {
+                if let Some(v) = inst.def() {
+                    let list = def_blocks.entry(v).or_default();
+                    if !list.contains(&b) {
+                        list.push(b);
+                    }
+                }
+            }
+        }
+        for var in self.func.vars.ids() {
+            if entry_live.live_at_entry(self.func.entry(), var) {
+                let list = def_blocks.entry(var).or_default();
+                if !list.contains(&self.func.entry()) {
+                    list.push(self.func.entry());
+                }
+            }
+        }
+        // Standard worklist over dominance frontiers.
+        for (var, defs) in def_blocks {
+            let mut has_phi: HashSet<Block> = HashSet::new();
+            let mut work: Vec<Block> = defs.clone();
+            let mut in_work: HashSet<Block> = work.iter().copied().collect();
+            while let Some(x) = work.pop() {
+                for &y in df.get(&x).map(|v| v.as_slice()).unwrap_or(&[]) {
+                    if has_phi.contains(&y) {
+                        continue;
+                    }
+                    if let Some(live) = &liveness {
+                        if !live.live_at_entry(y, var) {
+                            continue;
+                        }
+                    }
+                    has_phi.insert(y);
+                    let value = self.values.push(ValueData {
+                        def: ValueDef::Phi { args: Vec::new() },
+                        block: y,
+                        var: Some(var),
+                        version: 0, // assigned during renaming
+                    });
+                    self.blocks[biv_ir::EntityId::index(y)].phis.push(value);
+                    self.phi_var.insert(value, var);
+                    self.phi_args.insert(value, Vec::new());
+                    if in_work.insert(y) {
+                        work.push(y);
+                    }
+                }
+            }
+        }
+    }
+
+    fn current_def(&mut self, var: Var) -> Operand {
+        if let Some(top) = self.stacks.get(&var).and_then(|s| s.last()) {
+            return Operand::Value(*top);
+        }
+        // No dominating definition: the variable's entry value.
+        let value = self.live_in_value(var);
+        Operand::Value(value)
+    }
+
+    fn live_in_value(&mut self, var: Var) -> Value {
+        if let Some(&v) = self.live_ins.get(&var) {
+            return v;
+        }
+        let version = self.next_version(var);
+        let value = self.values.push(ValueData {
+            def: ValueDef::LiveIn { var },
+            block: self.func.entry(),
+            var: Some(var),
+            version,
+        });
+        self.live_ins.insert(var, value);
+        value
+    }
+
+    fn resolve(&mut self, op: &biv_ir::Operand) -> Operand {
+        match op {
+            biv_ir::Operand::Var(v) => self.current_def(*v),
+            biv_ir::Operand::Const(c) => Operand::Const(*c),
+        }
+    }
+
+    fn rename(&mut self, block: Block) {
+        let mut pushed: Vec<Var> = Vec::new();
+        // φs define first.
+        let phis = self.blocks[biv_ir::EntityId::index(block)].phis.clone();
+        for phi in phis {
+            let var = self.phi_var[&phi];
+            let version = self.next_version(var);
+            self.values[phi].version = version;
+            self.stacks.entry(var).or_default().push(phi);
+            pushed.push(var);
+        }
+        // Body.
+        let insts = self.func.blocks[block].insts.clone();
+        for inst in &insts {
+            match inst {
+                Inst::Copy { dst, src } => {
+                    let src = self.resolve(src);
+                    self.define(block, *dst, ValueDef::Copy { src }, &mut pushed);
+                }
+                Inst::Neg { dst, src } => {
+                    let src = self.resolve(src);
+                    self.define(block, *dst, ValueDef::Neg { src }, &mut pushed);
+                }
+                Inst::Binary { dst, op, lhs, rhs } => {
+                    let lhs = self.resolve(lhs);
+                    let rhs = self.resolve(rhs);
+                    self.define(
+                        block,
+                        *dst,
+                        ValueDef::Binary { op: *op, lhs, rhs },
+                        &mut pushed,
+                    );
+                }
+                Inst::Load { dst, array, index } => {
+                    let index = index.iter().map(|o| self.resolve(o)).collect();
+                    self.define(
+                        block,
+                        *dst,
+                        ValueDef::Load {
+                            array: *array,
+                            index,
+                        },
+                        &mut pushed,
+                    );
+                }
+                Inst::Store {
+                    array,
+                    index,
+                    value,
+                } => {
+                    let index = index.iter().map(|o| self.resolve(o)).collect();
+                    let value = self.resolve(value);
+                    self.blocks[biv_ir::EntityId::index(block)]
+                        .body
+                        .push(SsaInst::Store {
+                            array: *array,
+                            index,
+                            value,
+                        });
+                }
+            }
+        }
+        // Terminator.
+        let term = match &self.func.blocks[block].term {
+            Terminator::Jump(b) => SsaTerminator::Jump(*b),
+            Terminator::Branch {
+                op,
+                lhs,
+                rhs,
+                then_bb,
+                else_bb,
+            } => {
+                let lhs = self.resolve(lhs);
+                let rhs = self.resolve(rhs);
+                SsaTerminator::Branch {
+                    op: *op,
+                    lhs,
+                    rhs,
+                    then_bb: *then_bb,
+                    else_bb: *else_bb,
+                }
+            }
+            Terminator::Return => SsaTerminator::Return,
+        };
+        self.blocks[biv_ir::EntityId::index(block)].term = Some(term);
+        // Fill φ arguments in successors.
+        for succ in self.func.successors(block) {
+            let phis = self.blocks[biv_ir::EntityId::index(succ)].phis.clone();
+            for phi in phis {
+                let var = self.phi_var[&phi];
+                let arg = self.current_def(var);
+                self.phi_args
+                    .get_mut(&phi)
+                    .expect("phi argument slot exists")
+                    .push((block, arg));
+            }
+        }
+        // Recurse into dominated blocks.
+        for child in self.dom.children(block) {
+            self.rename(child);
+        }
+        // Pop this block's definitions.
+        for var in pushed.into_iter().rev() {
+            self.stacks
+                .get_mut(&var)
+                .expect("stack exists for pushed var")
+                .pop();
+        }
+    }
+
+    fn define(&mut self, block: Block, var: Var, def: ValueDef, pushed: &mut Vec<Var>) {
+        let version = self.next_version(var);
+        let value = self.values.push(ValueData {
+            def,
+            block,
+            var: Some(var),
+            version,
+        });
+        self.blocks[biv_ir::EntityId::index(block)]
+            .body
+            .push(SsaInst::Def(value));
+        self.stacks.entry(var).or_default().push(value);
+        pushed.push(var);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biv_ir::parser::parse_program;
+
+    fn build(src: &str) -> SsaFunction {
+        let program = parse_program(src).unwrap();
+        SsaFunction::build(&program.functions[0])
+    }
+
+    #[test]
+    fn figure1_has_loop_header_phis() {
+        // Paper Figure 1: j gets a header φ; i is defined fresh each
+        // iteration so needs none.
+        let ssa = build(
+            r#"
+            func fig1(n, c, k) {
+                j = n
+                L7: loop {
+                    i = j + c
+                    j = i + k
+                    if j > 1000 { break }
+                }
+            }
+            "#,
+        );
+        let header = ssa.func().block_by_label("L7").unwrap();
+        let phis = &ssa.block(header).phis;
+        assert_eq!(phis.len(), 1, "only j needs a header phi");
+        let phi = phis[0];
+        let var = ssa.values[phi].var.unwrap();
+        assert_eq!(ssa.func().var_name(var), "j");
+        // The φ has two arguments: entry value and loop-carried value.
+        match ssa.def(phi) {
+            ValueDef::Phi { args } => assert_eq!(args.len(), 2),
+            other => panic!("expected phi, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn value_names_match_paper_style() {
+        let ssa = build(
+            r#"
+            func fig1(n, c, k) {
+                j = n
+                L7: loop {
+                    i = j + c
+                    j = i + k
+                    if j > 1000 { break }
+                }
+            }
+            "#,
+        );
+        // j1 = copy of n, j2 = phi, j3 = i + k.
+        assert!(ssa.value_by_name("j1").is_some());
+        assert!(ssa.value_by_name("j2").is_some());
+        assert!(ssa.value_by_name("j3").is_some());
+        let j2 = ssa.value_by_name("j2").unwrap();
+        assert!(ssa.def(j2).is_phi());
+    }
+
+    #[test]
+    fn diamond_join_phi() {
+        let ssa = build(
+            r#"
+            func f(a) {
+                if a > 0 { x = 1 } else { x = 2 }
+                y = x
+            }
+            "#,
+        );
+        // Exactly one φ in the whole function (x at the join).
+        let phi_count: usize = ssa
+            .block_ids()
+            .map(|b| ssa.block(b).phis.len())
+            .sum();
+        assert_eq!(phi_count, 1);
+    }
+
+    #[test]
+    fn pruned_skips_dead_phi() {
+        // x merges at the join but is never used afterwards: pruned SSA
+        // places no φ, minimal SSA places one.
+        let src = r#"
+            func f(a) {
+                if a > 0 { x = 1 } else { x = 2 }
+                y = a
+            }
+        "#;
+        let program = parse_program(src).unwrap();
+        let pruned = SsaFunction::build(&program.functions[0]);
+        let pruned_phis: usize = pruned
+            .block_ids()
+            .map(|b| pruned.block(b).phis.len())
+            .sum();
+        assert_eq!(pruned_phis, 0);
+        let minimal = SsaFunction::build_with(
+            &program.functions[0],
+            BuildConfig {
+                pruned: false,
+                simplify_loops: true,
+            },
+        );
+        let minimal_phis: usize = minimal
+            .block_ids()
+            .map(|b| minimal.block(b).phis.len())
+            .sum();
+        assert!(minimal_phis >= 1);
+    }
+
+    #[test]
+    fn params_become_live_ins() {
+        let ssa = build("func f(n) { x = n + 1 }");
+        let n = ssa.func().var_by_name("n").unwrap();
+        let live_in = ssa.live_in(n).expect("n read before write");
+        assert!(matches!(ssa.def(live_in), ValueDef::LiveIn { .. }));
+    }
+
+    #[test]
+    fn figure3_same_offset_paths() {
+        // Paper Figure 3: i incremented by 2 on both branch arms; φ at the
+        // endif and φ at the header.
+        let ssa = build(
+            r#"
+            func fig3(n, exp) {
+                i = 1
+                L8: loop {
+                    if exp > 0 { i = i + 2 } else { i = i + 2 }
+                    if i > n { break }
+                }
+            }
+            "#,
+        );
+        let header = ssa.func().block_by_label("L8").unwrap();
+        assert_eq!(ssa.block(header).phis.len(), 1, "header phi for i");
+        // There is also a join φ somewhere else.
+        let total: usize = ssa.block_ids().map(|b| ssa.block(b).phis.len()).sum();
+        assert_eq!(total, 2, "header phi + endif phi");
+    }
+
+    #[test]
+    fn phi_args_reference_dominating_defs() {
+        let ssa = build(
+            "func f(n) { i = 0 L1: loop { i = i + 1 if i > n { break } } }",
+        );
+        let header = ssa.func().block_by_label("L1").unwrap();
+        let phi = ssa.block(header).phis[0];
+        let ValueDef::Phi { args } = ssa.def(phi) else {
+            panic!("not a phi")
+        };
+        // One arg is the init (copy of 0), the other the increment.
+        let mut kinds: Vec<&'static str> = args
+            .iter()
+            .map(|(_, op)| match op {
+                Operand::Value(v) => match ssa.def(*v) {
+                    ValueDef::Copy { .. } => "copy",
+                    ValueDef::Binary { .. } => "binary",
+                    other => panic!("unexpected def {other:?}"),
+                },
+                Operand::Const(_) => "const",
+            })
+            .collect();
+        kinds.sort();
+        assert_eq!(kinds, vec!["binary", "copy"]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Textual rendering of SSA functions in the paper's subscripted style.
+
+use std::fmt::Write as _;
+
+use crate::ssa::{Operand, SsaFunction, SsaInst, SsaTerminator, ValueDef};
+
+/// Renders an SSA function as text; φs print as `i2 = phi(i1, i3)` like
+/// the paper's figures.
+pub fn ssa_to_string(ssa: &SsaFunction) -> String {
+    let mut out = String::new();
+    let func = ssa.func();
+    let _ = writeln!(
+        out,
+        "func {}({}) {{",
+        func.name(),
+        func.params()
+            .iter()
+            .map(|&p| func.var_name(p).to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    for block in ssa.block_ids() {
+        let data = ssa.block(block);
+        if data.term.is_none() {
+            continue;
+        }
+        match &func.blocks[block].label {
+            Some(l) => {
+                let _ = writeln!(out, "{block} ({l}):");
+            }
+            None => {
+                let _ = writeln!(out, "{block}:");
+            }
+        }
+        for &phi in &data.phis {
+            let ValueDef::Phi { args } = ssa.def(phi) else {
+                continue;
+            };
+            let rendered: Vec<String> = args
+                .iter()
+                .map(|(b, op)| format!("{}: {}", b, operand_to_string(ssa, op)))
+                .collect();
+            let _ = writeln!(
+                out,
+                "    {} = phi({})",
+                ssa.value_name(phi),
+                rendered.join(", ")
+            );
+        }
+        for inst in &data.body {
+            match inst {
+                SsaInst::Def(v) => {
+                    let _ = writeln!(out, "    {}", def_to_string(ssa, *v));
+                }
+                SsaInst::Store {
+                    array,
+                    index,
+                    value,
+                } => {
+                    let idx: Vec<String> =
+                        index.iter().map(|o| operand_to_string(ssa, o)).collect();
+                    let _ = writeln!(
+                        out,
+                        "    {}[{}] = {}",
+                        func.array_name(*array),
+                        idx.join(", "),
+                        operand_to_string(ssa, value)
+                    );
+                }
+            }
+        }
+        match data.term.as_ref().expect("checked above") {
+            SsaTerminator::Jump(b) => {
+                let _ = writeln!(out, "    jump {b}");
+            }
+            SsaTerminator::Branch {
+                op,
+                lhs,
+                rhs,
+                then_bb,
+                else_bb,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "    if {} {} {} then {then_bb} else {else_bb}",
+                    operand_to_string(ssa, lhs),
+                    op.symbol(),
+                    operand_to_string(ssa, rhs)
+                );
+            }
+            SsaTerminator::Return => {
+                let _ = writeln!(out, "    return");
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders one operand with paper-style value names.
+pub fn operand_to_string(ssa: &SsaFunction, op: &Operand) -> String {
+    match op {
+        Operand::Value(v) => ssa.value_name(*v),
+        Operand::Const(c) => c.to_string(),
+    }
+}
+
+fn def_to_string(ssa: &SsaFunction, value: crate::ssa::Value) -> String {
+    let name = ssa.value_name(value);
+    match ssa.def(value) {
+        ValueDef::Phi { args } => {
+            let rendered: Vec<String> = args
+                .iter()
+                .map(|(b, op)| format!("{}: {}", b, operand_to_string(ssa, op)))
+                .collect();
+            format!("{name} = phi({})", rendered.join(", "))
+        }
+        ValueDef::Copy { src } => format!("{name} = {}", operand_to_string(ssa, src)),
+        ValueDef::Neg { src } => format!("{name} = -{}", operand_to_string(ssa, src)),
+        ValueDef::Binary { op, lhs, rhs } => format!(
+            "{name} = {} {} {}",
+            operand_to_string(ssa, lhs),
+            op.symbol(),
+            operand_to_string(ssa, rhs)
+        ),
+        ValueDef::Load { array, index } => {
+            let idx: Vec<String> = index.iter().map(|o| operand_to_string(ssa, o)).collect();
+            format!(
+                "{name} = {}[{}]",
+                ssa.func().array_name(*array),
+                idx.join(", ")
+            )
+        }
+        ValueDef::LiveIn { var } => {
+            format!("{name} = live-in {}", ssa.func().var_name(*var))
+        }
+        ValueDef::ExitValue { inner } => {
+            format!("{name} = exit-value {}", ssa.value_name(*inner))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ssa::SsaFunction;
+    use biv_ir::parser::parse_program;
+
+    #[test]
+    fn renders_phis() {
+        let program = parse_program(
+            "func f(n) { i = 0 L1: loop { i = i + 1 if i > n { break } } }",
+        )
+        .unwrap();
+        let ssa = SsaFunction::build(&program.functions[0]);
+        let text = ssa_to_string(&ssa);
+        assert!(text.contains("= phi("), "{text}");
+        assert!(text.contains("i2"), "{text}");
+        assert!(text.contains("(L1):"), "{text}");
+    }
+}

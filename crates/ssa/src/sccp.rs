@@ -1,0 +1,396 @@
+//! Sparse conditional constant propagation (Wegman–Zadeck), the paper's
+//! [WZ91] citation: constants are propagated *through* conditional
+//! structure, so a φ whose other arm is unreachable under constant
+//! branches still folds — strictly stronger than local folding
+//! ([`crate::fold_constants`]).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use biv_ir::{BinOp, Block, CmpOp};
+
+use crate::ssa::{Operand, SsaFunction, SsaInst, SsaTerminator, Value, ValueDef};
+
+/// The constant lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lattice {
+    /// Not yet shown to take any value (⊤).
+    Top,
+    /// Proven to always hold this constant.
+    Const(i64),
+    /// Varying (⊥).
+    Bottom,
+}
+
+impl Lattice {
+    fn meet(self, other: Lattice) -> Lattice {
+        match (self, other) {
+            (Lattice::Top, x) | (x, Lattice::Top) => x,
+            (Lattice::Const(a), Lattice::Const(b)) if a == b => Lattice::Const(a),
+            _ => Lattice::Bottom,
+        }
+    }
+}
+
+/// SCCP analysis results.
+#[derive(Debug)]
+pub struct Sccp {
+    values: HashMap<Value, Lattice>,
+    reachable: HashSet<Block>,
+}
+
+impl Sccp {
+    /// Runs the analysis.
+    pub fn run(ssa: &SsaFunction) -> Sccp {
+        Solver::new(ssa).solve()
+    }
+
+    /// The lattice value of `v`.
+    pub fn lattice(&self, v: Value) -> Lattice {
+        self.values.get(&v).copied().unwrap_or(Lattice::Top)
+    }
+
+    /// The proven constant of `v`, if any.
+    pub fn constant(&self, v: Value) -> Option<i64> {
+        match self.lattice(v) {
+            Lattice::Const(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Whether `block` can execute.
+    pub fn is_reachable(&self, block: Block) -> bool {
+        self.reachable.contains(&block)
+    }
+
+    /// Rewrites every proven-constant definition into a constant copy.
+    /// Returns the number of definitions rewritten.
+    pub fn apply(&self, ssa: &mut SsaFunction) -> usize {
+        let mut rewritten = 0;
+        let values: Vec<Value> = ssa.values.ids().collect();
+        for v in values {
+            if let Some(c) = self.constant(v) {
+                let def = &mut ssa.values[v].def;
+                let already = matches!(
+                    def,
+                    ValueDef::Copy {
+                        src: Operand::Const(_)
+                    } | ValueDef::LiveIn { .. }
+                );
+                if !already {
+                    *def = ValueDef::Copy {
+                        src: Operand::Const(c),
+                    };
+                    rewritten += 1;
+                }
+            }
+        }
+        rewritten
+    }
+}
+
+struct Solver<'a> {
+    ssa: &'a SsaFunction,
+    values: HashMap<Value, Lattice>,
+    reachable: HashSet<Block>,
+    exec_edges: HashSet<(Block, Block)>,
+    /// Values read by each value's definition (reverse of operand edges).
+    users: HashMap<Value, Vec<Value>>,
+    /// Blocks whose terminator reads a value.
+    branch_users: HashMap<Value, Vec<Block>>,
+    value_work: VecDeque<Value>,
+    block_work: VecDeque<(Block, Block)>,
+}
+
+impl<'a> Solver<'a> {
+    fn new(ssa: &'a SsaFunction) -> Solver<'a> {
+        let users = ssa.users();
+        let mut branch_users: HashMap<Value, Vec<Block>> = HashMap::new();
+        for b in ssa.block_ids() {
+            if let Some(SsaTerminator::Branch { lhs, rhs, .. }) = &ssa.block(b).term {
+                for op in [lhs, rhs] {
+                    if let Operand::Value(v) = op {
+                        branch_users.entry(*v).or_default().push(b);
+                    }
+                }
+            }
+        }
+        Solver {
+            ssa,
+            values: HashMap::new(),
+            reachable: HashSet::new(),
+            exec_edges: HashSet::new(),
+            users,
+            branch_users,
+            value_work: VecDeque::new(),
+            block_work: VecDeque::new(),
+        }
+    }
+
+    fn solve(mut self) -> Sccp {
+        // Live-ins of parameters are unknown inputs: Bottom. Other
+        // live-ins default to 0 in this language, so they are constants.
+        let params: HashSet<_> = self.ssa.func().params().iter().copied().collect();
+        for (v, data) in self.ssa.values.iter() {
+            if let ValueDef::LiveIn { var } = data.def {
+                let l = if params.contains(&var) {
+                    Lattice::Bottom
+                } else {
+                    Lattice::Const(0)
+                };
+                self.values.insert(v, l);
+            }
+        }
+        let entry = self.ssa.func().entry();
+        self.block_work.push_back((entry, entry)); // virtual entry edge
+        while !self.block_work.is_empty() || !self.value_work.is_empty() {
+            while let Some((pred, block)) = self.block_work.pop_front() {
+                self.flow_edge(pred, block);
+            }
+            while let Some(v) = self.value_work.pop_front() {
+                self.revisit_users(v);
+            }
+        }
+        Sccp {
+            values: self.values,
+            reachable: self.reachable,
+        }
+    }
+
+    fn flow_edge(&mut self, pred: Block, block: Block) {
+        let first_visit = self.reachable.insert(block);
+        let edge_new = self.exec_edges.insert((pred, block));
+        if !edge_new && !first_visit {
+            return;
+        }
+        // (Re)evaluate φs — a new incoming edge can lower them.
+        for &phi in &self.ssa.block(block).phis {
+            self.evaluate(phi);
+        }
+        if first_visit {
+            for inst in &self.ssa.block(block).body {
+                if let SsaInst::Def(v) = inst {
+                    self.evaluate(*v);
+                }
+            }
+            self.evaluate_terminator(block);
+        }
+    }
+
+    fn revisit_users(&mut self, v: Value) {
+        if let Some(users) = self.users.get(&v).cloned() {
+            for u in users {
+                if self.reachable.contains(&self.ssa.def_block(u)) {
+                    self.evaluate(u);
+                }
+            }
+        }
+        if let Some(blocks) = self.branch_users.get(&v).cloned() {
+            for b in blocks {
+                if self.reachable.contains(&b) {
+                    self.evaluate_terminator(b);
+                }
+            }
+        }
+    }
+
+    fn set(&mut self, v: Value, l: Lattice) {
+        let old = self.values.get(&v).copied().unwrap_or(Lattice::Top);
+        let new = old.meet(l);
+        if new != old {
+            self.values.insert(v, new);
+            self.value_work.push_back(v);
+        }
+    }
+
+    fn operand(&self, op: &Operand) -> Lattice {
+        match op {
+            Operand::Const(c) => Lattice::Const(*c),
+            Operand::Value(v) => self.values.get(v).copied().unwrap_or(Lattice::Top),
+        }
+    }
+
+    fn evaluate(&mut self, v: Value) {
+        let result = match self.ssa.def(v) {
+            ValueDef::Phi { args } => {
+                let block = self.ssa.def_block(v);
+                let mut acc = Lattice::Top;
+                for (pred, op) in args {
+                    if self.exec_edges.contains(&(*pred, block)) {
+                        acc = acc.meet(self.operand(op));
+                    }
+                }
+                acc
+            }
+            ValueDef::Copy { src } => self.operand(src),
+            ValueDef::Neg { src } => match self.operand(src) {
+                Lattice::Const(c) => c
+                    .checked_neg()
+                    .map(Lattice::Const)
+                    .unwrap_or(Lattice::Bottom),
+                other => other,
+            },
+            ValueDef::Binary { op, lhs, rhs } => {
+                match (self.operand(lhs), self.operand(rhs)) {
+                    (Lattice::Const(a), Lattice::Const(b)) => eval_binop(*op, a, b),
+                    (Lattice::Top, _) | (_, Lattice::Top) => Lattice::Top,
+                    _ => Lattice::Bottom,
+                }
+            }
+            ValueDef::Load { .. } => Lattice::Bottom,
+            ValueDef::LiveIn { .. } => return, // seeded
+            ValueDef::ExitValue { .. } => Lattice::Bottom,
+        };
+        self.set(v, result);
+    }
+
+    fn evaluate_terminator(&mut self, block: Block) {
+        match self.ssa.block(block).term.as_ref() {
+            Some(SsaTerminator::Jump(t)) => {
+                self.block_work.push_back((block, *t));
+            }
+            Some(SsaTerminator::Branch {
+                op,
+                lhs,
+                rhs,
+                then_bb,
+                else_bb,
+            }) => match (self.operand(lhs), self.operand(rhs)) {
+                (Lattice::Const(a), Lattice::Const(b)) => {
+                    let target = if eval_cmp(*op, a, b) { *then_bb } else { *else_bb };
+                    self.block_work.push_back((block, target));
+                }
+                (Lattice::Top, _) | (_, Lattice::Top) => {}
+                _ => {
+                    self.block_work.push_back((block, *then_bb));
+                    self.block_work.push_back((block, *else_bb));
+                }
+            },
+            Some(SsaTerminator::Return) | None => {}
+        }
+    }
+}
+
+fn eval_binop(op: BinOp, a: i64, b: i64) -> Lattice {
+    let r = match op {
+        BinOp::Add => a.checked_add(b),
+        BinOp::Sub => a.checked_sub(b),
+        BinOp::Mul => a.checked_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                None
+            } else {
+                a.checked_div(b)
+            }
+        }
+        BinOp::Exp => u32::try_from(b).ok().and_then(|e| a.checked_pow(e)),
+    };
+    r.map(Lattice::Const).unwrap_or(Lattice::Bottom)
+}
+
+fn eval_cmp(op: CmpOp, a: i64, b: i64) -> bool {
+    op.eval(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ssa::SsaFunction;
+    use biv_ir::parser::parse_program;
+
+    fn run(src: &str) -> (SsaFunction, Sccp) {
+        let program = parse_program(src).unwrap();
+        let ssa = SsaFunction::build(&program.functions[0]);
+        let sccp = Sccp::run(&ssa);
+        (ssa, sccp)
+    }
+
+    #[test]
+    fn straight_line_constants() {
+        let (ssa, sccp) = run("func f() { a = 2 + 3 b = a * 4 }");
+        let b1 = ssa.value_by_name("b1").unwrap();
+        assert_eq!(sccp.constant(b1), Some(20));
+    }
+
+    #[test]
+    fn conditional_constant_beats_local_folding() {
+        // The branch is decidable: 1 < 2 always takes the then arm, so x
+        // is 10 — a φ that local folding cannot touch.
+        let (ssa, sccp) = run(
+            "func f() { if 1 < 2 { x = 10 } else { x = 20 } y = x + 1 }",
+        );
+        let y1 = ssa.value_by_name("y1").unwrap();
+        assert_eq!(sccp.constant(y1), Some(11));
+    }
+
+    #[test]
+    fn unreachable_block_detected() {
+        let (ssa, sccp) = run(
+            "func f() { if 1 > 2 { x = 10 } else { x = 20 } y = x }",
+        );
+        // The then-block is unreachable.
+        let unreachable: Vec<Block> = ssa
+            .block_ids()
+            .filter(|&b| {
+                ssa.block(b).term.is_some() && !sccp.is_reachable(b)
+            })
+            .collect();
+        assert!(!unreachable.is_empty());
+        let y1 = ssa.value_by_name("y1").unwrap();
+        assert_eq!(sccp.constant(y1), Some(20));
+    }
+
+    #[test]
+    fn parameters_are_bottom() {
+        let (ssa, sccp) = run("func f(n) { x = n + 1 }");
+        let x1 = ssa.value_by_name("x1").unwrap();
+        assert_eq!(sccp.lattice(x1), Lattice::Bottom);
+    }
+
+    #[test]
+    fn loop_carried_values_are_bottom() {
+        let (ssa, sccp) = run(
+            "func f(n) { i = 0 L1: loop { i = i + 1 if i > n { break } } }",
+        );
+        let i2 = ssa.value_by_name("i2").unwrap();
+        assert_eq!(sccp.lattice(i2), Lattice::Bottom);
+    }
+
+    #[test]
+    fn constant_loop_invariant_inside_loop() {
+        let (ssa, sccp) = run(
+            "func f(n) { c = 3 * 7 L1: loop { x = c + 1 if x > n { break } } }",
+        );
+        let x1 = ssa.value_by_name("x1").unwrap();
+        assert_eq!(sccp.constant(x1), Some(22));
+    }
+
+    #[test]
+    fn apply_rewrites_constants() {
+        let src = "func f() { if 1 < 2 { x = 10 } else { x = 20 } y = x + 1 }";
+        let program = parse_program(src).unwrap();
+        let mut ssa = SsaFunction::build(&program.functions[0]);
+        let sccp = Sccp::run(&ssa);
+        let rewritten = sccp.apply(&mut ssa);
+        assert!(rewritten >= 2, "x phi and y fold: {rewritten}");
+        let y1 = ssa.value_by_name("y1").unwrap();
+        assert_eq!(
+            crate::fold::constant_operand(&ssa, &Operand::Value(y1)),
+            Some(11)
+        );
+    }
+
+    #[test]
+    fn constant_trip_loop_stays_bottom_but_reachable() {
+        // SCCP does not unroll loops; the φ meets both edges.
+        let (ssa, sccp) = run(
+            "func f() { s = 0 L1: for i = 1 to 3 { s = s + 2 } t = s }",
+        );
+        let t1 = ssa.value_by_name("t1").unwrap();
+        assert_eq!(sccp.lattice(t1), Lattice::Bottom);
+        for b in ssa.block_ids() {
+            if ssa.block(b).term.is_some() {
+                assert!(sccp.is_reachable(b), "{b} unreachable");
+            }
+        }
+    }
+}

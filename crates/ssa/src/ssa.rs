@@ -1,0 +1,313 @@
+//! SSA data structures and the SSA graph.
+
+use std::collections::HashMap;
+
+use biv_ir::{entity_id, Arena, Array, BinOp, Block, CmpOp, Function, Var};
+
+entity_id!(
+    /// An SSA value.
+    pub struct Value,
+    "%"
+);
+
+/// An SSA operand: a value reference or an integer constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A reference to an SSA value.
+    Value(Value),
+    /// An integer literal.
+    Const(i64),
+}
+
+impl Operand {
+    /// The referenced value, if any.
+    pub fn as_value(&self) -> Option<Value> {
+        match self {
+            Operand::Value(v) => Some(*v),
+            Operand::Const(_) => None,
+        }
+    }
+}
+
+impl From<Value> for Operand {
+    fn from(v: Value) -> Operand {
+        Operand::Value(v)
+    }
+}
+
+/// How an SSA value is defined.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValueDef {
+    /// A φ-function. One argument per predecessor of the defining block.
+    Phi {
+        /// `(incoming edge source, operand)` pairs.
+        args: Vec<(Block, Operand)>,
+    },
+    /// A copy `dst = src`.
+    Copy {
+        /// Source operand.
+        src: Operand,
+    },
+    /// Unary negation.
+    Neg {
+        /// Source operand.
+        src: Operand,
+    },
+    /// Binary arithmetic.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// An array element load.
+    Load {
+        /// Array read.
+        array: Array,
+        /// One operand per dimension.
+        index: Vec<Operand>,
+    },
+    /// The value a variable holds at function entry (parameters and
+    /// reads-before-writes). Symbolic to the analyses.
+    LiveIn {
+        /// The source variable.
+        var: Var,
+    },
+    /// A synthetic definition materialized by the nested-loop driver for a
+    /// loop's exit value (the paper's `k6 = k2 + 101*2` in Figure 8).
+    /// Holds the inner-loop value it summarizes.
+    ExitValue {
+        /// The inner-loop SSA value whose exit value this represents.
+        inner: Value,
+    },
+}
+
+impl ValueDef {
+    /// Collects the values this definition reads.
+    pub fn operands(&self, out: &mut Vec<Value>) {
+        let mut push = |op: &Operand| {
+            if let Operand::Value(v) = op {
+                out.push(*v);
+            }
+        };
+        match self {
+            ValueDef::Phi { args } => args.iter().for_each(|(_, op)| push(op)),
+            ValueDef::Copy { src } | ValueDef::Neg { src } => push(src),
+            ValueDef::Binary { lhs, rhs, .. } => {
+                push(lhs);
+                push(rhs);
+            }
+            ValueDef::Load { index, .. } => index.iter().for_each(&mut push),
+            ValueDef::LiveIn { .. } => {}
+            ValueDef::ExitValue { inner } => out.push(*inner),
+        }
+    }
+
+    /// Whether this is a φ-function.
+    pub fn is_phi(&self) -> bool {
+        matches!(self, ValueDef::Phi { .. })
+    }
+}
+
+/// Metadata for an SSA value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValueData {
+    /// The definition.
+    pub def: ValueDef,
+    /// The defining block.
+    pub block: Block,
+    /// The source variable this value versions, when known.
+    pub var: Option<Var>,
+    /// Version number within the source variable (1-based, paper style).
+    pub version: u32,
+}
+
+/// One element of a block body after SSA conversion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SsaInst {
+    /// A value-producing instruction (in original program order).
+    Def(Value),
+    /// An array store.
+    Store {
+        /// Array written.
+        array: Array,
+        /// One operand per dimension.
+        index: Vec<Operand>,
+        /// Stored value.
+        value: Operand,
+    },
+}
+
+/// A block terminator in SSA form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SsaTerminator {
+    /// Unconditional jump.
+    Jump(Block),
+    /// Conditional branch on a comparison.
+    Branch {
+        /// Comparison operator.
+        op: CmpOp,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+        /// Successor when the comparison holds.
+        then_bb: Block,
+        /// Successor when it does not.
+        else_bb: Block,
+    },
+    /// Function return.
+    Return,
+}
+
+impl SsaTerminator {
+    /// Successor blocks, in order.
+    pub fn successors(&self) -> Vec<Block> {
+        match self {
+            SsaTerminator::Jump(b) => vec![*b],
+            SsaTerminator::Branch {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
+            SsaTerminator::Return => vec![],
+        }
+    }
+}
+
+/// A basic block in SSA form. φs execute conceptually in parallel at block
+/// entry, before the body.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SsaBlock {
+    /// φ values at the block head.
+    pub phis: Vec<Value>,
+    /// Body instructions in order.
+    pub body: Vec<SsaInst>,
+    /// The terminator. `None` only for blocks absent from the original
+    /// function (never observed through the public API).
+    pub term: Option<SsaTerminator>,
+}
+
+/// A function in SSA form.
+///
+/// Block IDs are shared with the original [`Function`], which is kept
+/// alongside for names, labels, and CFG queries.
+#[derive(Debug, Clone)]
+pub struct SsaFunction {
+    func: Function,
+    /// All SSA values.
+    pub values: Arena<Value, ValueData>,
+    blocks: Vec<SsaBlock>,
+    live_in_of_var: HashMap<Var, Value>,
+}
+
+impl SsaFunction {
+    pub(crate) fn from_parts(
+        func: Function,
+        values: Arena<Value, ValueData>,
+        blocks: Vec<SsaBlock>,
+        live_in_of_var: HashMap<Var, Value>,
+    ) -> SsaFunction {
+        SsaFunction {
+            func,
+            values,
+            blocks,
+            live_in_of_var,
+        }
+    }
+
+    /// The underlying (pre-SSA) function.
+    pub fn func(&self) -> &Function {
+        &self.func
+    }
+
+    /// The SSA block overlay for `block`.
+    pub fn block(&self, block: Block) -> &SsaBlock {
+        &self.blocks[biv_ir::EntityId::index(block)]
+    }
+
+    /// Mutable access to a block overlay. Used by analyses that rewrite
+    /// SSA in place (e.g. exit-value materialization); callers are
+    /// responsible for keeping SSA form valid.
+    pub fn block_mut(&mut self, block: Block) -> &mut SsaBlock {
+        &mut self.blocks[biv_ir::EntityId::index(block)]
+    }
+
+    /// All block IDs (shared with the source function).
+    pub fn block_ids(&self) -> impl Iterator<Item = Block> + '_ {
+        self.func.blocks.ids()
+    }
+
+    /// The definition of `value`.
+    pub fn def(&self, value: Value) -> &ValueDef {
+        &self.values[value].def
+    }
+
+    /// The block defining `value`.
+    pub fn def_block(&self, value: Value) -> Block {
+        self.values[value].block
+    }
+
+    /// The live-in value for `var`, when one was created.
+    pub fn live_in(&self, var: Var) -> Option<Value> {
+        self.live_in_of_var.get(&var).copied()
+    }
+
+    /// The paper-style display name of a value, e.g. `i2` — source
+    /// variable name plus version — or `%7` for unnamed temporaries.
+    pub fn value_name(&self, value: Value) -> String {
+        let data = &self.values[value];
+        match data.var {
+            Some(var) => format!("{}{}", self.func.var_name(var), data.version),
+            None => format!("{value}"),
+        }
+    }
+
+    /// Looks up a value by its paper-style display name (`"i2"`).
+    pub fn value_by_name(&self, name: &str) -> Option<Value> {
+        self.values
+            .ids()
+            .find(|&v| self.value_name(v) == name)
+    }
+
+    /// The SSA-graph operands of a value (edges from the operation to its
+    /// source operands, as in the paper's Figure 2).
+    pub fn operands_of(&self, value: Value) -> Vec<Value> {
+        let mut out = Vec::new();
+        self.values[value].def.operands(&mut out);
+        out
+    }
+
+    /// All uses: map from value to the values that read it.
+    pub fn users(&self) -> HashMap<Value, Vec<Value>> {
+        let mut users: HashMap<Value, Vec<Value>> = HashMap::new();
+        let mut ops = Vec::new();
+        for (v, data) in self.values.iter() {
+            ops.clear();
+            data.def.operands(&mut ops);
+            for &o in &ops {
+                users.entry(o).or_default().push(v);
+            }
+        }
+        users
+    }
+
+    /// Adds a synthetic value (used by the nested-loop exit-value driver).
+    /// The value is appended to `block`'s body.
+    pub fn add_synthetic_value(
+        &mut self,
+        block: Block,
+        def: ValueDef,
+        var: Option<Var>,
+        version: u32,
+    ) -> Value {
+        let v = self.values.push(ValueData {
+            def,
+            block,
+            var,
+            version,
+        });
+        self.block_mut(block).body.push(SsaInst::Def(v));
+        v
+    }
+}

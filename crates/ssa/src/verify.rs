@@ -1,0 +1,313 @@
+//! SSA well-formedness checking.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use biv_ir::dom::DomTree;
+use biv_ir::Block;
+
+use crate::ssa::{Operand, SsaFunction, SsaInst, SsaTerminator, Value, ValueDef};
+
+/// A violation of SSA form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SsaVerifyError {
+    /// Explanation of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for SsaVerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for SsaVerifyError {}
+
+/// Position of a definition for dominance checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DefPos {
+    /// Live-ins dominate everything.
+    Entry,
+    /// φs define at the head of their block.
+    PhiHead(Block),
+    /// Body definitions at an index within their block.
+    Body(Block, usize),
+}
+
+/// Checks the two SSA properties plus structural sanity:
+///
+/// - every value is defined exactly once (by arena construction) and every
+///   use is dominated by its definition;
+/// - every φ has exactly one argument per CFG predecessor of its block,
+///   and each argument's definition dominates the incoming edge;
+/// - φ lists only contain φ definitions and bodies contain none.
+///
+/// # Errors
+///
+/// Returns every violation found.
+pub fn verify_ssa(ssa: &SsaFunction) -> Result<(), Vec<SsaVerifyError>> {
+    let mut errors: Vec<SsaVerifyError> = Vec::new();
+    fn err_into(errors: &mut Vec<SsaVerifyError>, message: String) {
+        errors.push(SsaVerifyError { message });
+    }
+    let func = ssa.func();
+    let dom = DomTree::compute(func);
+    let preds = func.predecessors();
+
+    // Index definition positions.
+    let mut pos: HashMap<Value, DefPos> = HashMap::new();
+    for (v, data) in ssa.values.iter() {
+        match &data.def {
+            ValueDef::LiveIn { .. } => {
+                pos.insert(v, DefPos::Entry);
+            }
+            ValueDef::Phi { .. } => {
+                pos.insert(v, DefPos::PhiHead(data.block));
+            }
+            _ => {} // filled below with body order
+        }
+    }
+    for block in ssa.block_ids() {
+        let data = ssa.block(block);
+        for (i, inst) in data.body.iter().enumerate() {
+            if let SsaInst::Def(v) = inst {
+                if ssa.def(*v).is_phi() {
+                    err_into(&mut errors, format!("{block}: phi {} appears in block body", ssa.value_name(*v)));
+                }
+                pos.insert(*v, DefPos::Body(block, i));
+            }
+        }
+        for &phi in &data.phis {
+            if !ssa.def(phi).is_phi() {
+                err_into(&mut errors, format!(
+                    "{block}: non-phi {} in phi list",
+                    ssa.value_name(phi)
+                ));
+            }
+        }
+    }
+
+    let dominates_use =
+        |def: DefPos, use_block: Block, use_index: Option<usize>| -> bool {
+            match def {
+                DefPos::Entry => true,
+                DefPos::PhiHead(db) => {
+                    if db == use_block {
+                        true // φ defines before the body
+                    } else {
+                        dom.strictly_dominates(db, use_block)
+                            || dom.dominates(db, use_block)
+                    }
+                }
+                DefPos::Body(db, di) => {
+                    if db == use_block {
+                        match use_index {
+                            Some(ui) => di < ui,
+                            None => true, // used by terminator
+                        }
+                    } else {
+                        dom.strictly_dominates(db, use_block)
+                    }
+                }
+            }
+        };
+
+    let check_operand = |op: &Operand,
+                             use_block: Block,
+                             use_index: Option<usize>,
+                             what: &str,
+                             errors: &mut Vec<SsaVerifyError>| {
+        if let Operand::Value(v) = op {
+            match pos.get(v) {
+                None => errors.push(SsaVerifyError {
+                    message: format!("{use_block}: {what} uses undefined value {v}"),
+                }),
+                Some(&p) => {
+                    if !dominates_use(p, use_block, use_index) {
+                        errors.push(SsaVerifyError {
+                            message: format!(
+                                "{use_block}: use of {} in {what} not dominated by its definition",
+                                ssa.value_name(*v)
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    };
+
+    for block in ssa.block_ids() {
+        let data = ssa.block(block);
+        let Some(term) = data.term.as_ref() else {
+            continue;
+        };
+        // φ argument checks.
+        let bpreds = preds.get(&block).cloned().unwrap_or_default();
+        for &phi in &data.phis {
+            let ValueDef::Phi { args } = ssa.def(phi) else {
+                continue;
+            };
+            if args.len() != bpreds.len() {
+                err_into(&mut errors, format!(
+                    "{block}: phi {} has {} args but block has {} predecessors",
+                    ssa.value_name(phi),
+                    args.len(),
+                    bpreds.len()
+                ));
+            }
+            for (pred, op) in args {
+                if !bpreds.contains(pred) {
+                    err_into(&mut errors, format!(
+                        "{block}: phi {} names non-predecessor {pred}",
+                        ssa.value_name(phi)
+                    ));
+                }
+                // The def must dominate the end of the incoming edge.
+                if let Operand::Value(v) = op {
+                    match pos.get(v) {
+                        None => err_into(&mut errors, format!(
+                            "{block}: phi {} argument {v} undefined",
+                            ssa.value_name(phi)
+                        )),
+                        Some(&p) => {
+                            let ok = match p {
+                                DefPos::Entry => true,
+                                DefPos::PhiHead(db) | DefPos::Body(db, _) => {
+                                    dom.dominates(db, *pred)
+                                }
+                            };
+                            if !ok {
+                                err_into(&mut errors, format!(
+                                    "{block}: phi {} argument {} does not dominate edge from {pred}",
+                                    ssa.value_name(phi),
+                                    ssa.value_name(*v)
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Body operand checks.
+        for (i, inst) in data.body.iter().enumerate() {
+            match inst {
+                SsaInst::Def(v) => {
+                    let mut ops = Vec::new();
+                    match ssa.def(*v) {
+                        ValueDef::Phi { .. } => {} // handled above
+                        other => other.operands(&mut ops),
+                    }
+                    for o in ops {
+                        check_operand(
+                            &Operand::Value(o),
+                            block,
+                            Some(i),
+                            "instruction",
+                            &mut errors,
+                        );
+                    }
+                }
+                SsaInst::Store {
+                    index, value: val, ..
+                } => {
+                    for o in index {
+                        check_operand(o, block, Some(i), "store index", &mut errors);
+                    }
+                    check_operand(val, block, Some(i), "store value", &mut errors);
+                }
+            }
+        }
+        if let SsaTerminator::Branch { lhs, rhs, .. } = term {
+            check_operand(lhs, block, None, "branch", &mut errors);
+            check_operand(rhs, block, None, "branch", &mut errors);
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ssa::SsaFunction;
+    use biv_ir::parser::parse_program;
+
+    fn check(src: &str) {
+        let program = parse_program(src).unwrap();
+        for f in &program.functions {
+            let ssa = SsaFunction::build(f);
+            if let Err(errs) = verify_ssa(&ssa) {
+                let text = crate::print::ssa_to_string(&ssa);
+                panic!("SSA verification failed: {errs:?}\n{text}");
+            }
+        }
+    }
+
+    #[test]
+    fn simple_loop_verifies() {
+        check("func f(n) { i = 0 L1: loop { i = i + 1 if i > n { break } } }");
+    }
+
+    #[test]
+    fn diamond_verifies() {
+        check("func f(a) { if a > 0 { x = 1 } else { x = 2 } y = x }");
+    }
+
+    #[test]
+    fn nested_loops_verify() {
+        check(
+            r#"
+            func f(n) {
+                k = 0
+                L17: loop {
+                    i = 1
+                    L18: loop {
+                        k = k + 2
+                        if i > 100 { break }
+                        i = i + 1
+                    }
+                    k = k + 2
+                    if k > n { break }
+                }
+            }
+            "#,
+        );
+    }
+
+    #[test]
+    fn triangular_loop_verifies() {
+        check(
+            r#"
+            func f(n) {
+                j = 0
+                L19: for i = 1 to n {
+                    j = j + i
+                    L20: for k = 1 to i {
+                        j = j + 1
+                    }
+                }
+            }
+            "#,
+        );
+    }
+
+    #[test]
+    fn while_and_breaks_verify() {
+        check(
+            r#"
+            func f(n) {
+                s = 0
+                W: while n > 0 {
+                    n = n - 1
+                    if n == 3 { break }
+                    s = s + n
+                }
+                t = s
+            }
+            "#,
+        );
+    }
+}

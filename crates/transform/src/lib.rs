@@ -1,0 +1,476 @@
+//! Loop transformations enabled by induction-variable analysis.
+//!
+//! The paper motivates classification with the optimizations it unlocks;
+//! this crate implements three of them on the CFG:
+//!
+//! - [`strength_reduce`] — the classical companion transformation (§1):
+//!   `j = c * i` with `i` a basic induction variable becomes an
+//!   incremented temporary;
+//! - [`peel_first_iteration`] — "the standard compiler trick, once a
+//!   wrap-around variable is found, is to peel off the first iteration of
+//!   the loop and replace the wrap-around variable with the appropriate
+//!   induction variable" (§4.1);
+//! - [`insert_canonical_counter`] — materializes the paper's basic loop
+//!   counter `h = (L, 0, 1)` that all induction expressions are
+//!   implicitly normalized to (§6.1).
+//!
+//! Every transformation preserves semantics; the test suite checks this
+//! by differential interpretation against the original function.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+use biv_classic::{detect, IvKind};
+use biv_ir::dom::DomTree;
+use biv_ir::loops::{Loop, LoopForest};
+use biv_ir::{BinOp, Block, Function, Inst, Operand, Terminator, Var};
+
+/// Applies classical strength reduction to every loop: multiplications of
+/// a basic induction variable by a constant become additively maintained
+/// temporaries. Returns the number of multiplications eliminated.
+///
+/// Soundness: the temporary is initialized in the preheader and updated
+/// immediately after every definition of the induction variable, so
+/// `t == i*c` holds at every point where the original multiplication
+/// executed.
+pub fn strength_reduce(func: &mut Function) -> usize {
+    let dom = DomTree::compute(func);
+    let forest = LoopForest::compute(func, &dom);
+    let report = detect(func);
+    let mut reduced = 0;
+    for loop_report in &report.loops {
+        let l = loop_report.loop_id;
+        let Some(preheader) = forest.preheader(func, l) else {
+            continue;
+        };
+        let basic: Vec<Var> = loop_report
+            .ivs
+            .iter()
+            .filter(|iv| matches!(iv.kind, IvKind::Basic { step: Some(_) }))
+            .map(|iv| iv.var)
+            .collect();
+        for var in basic {
+            reduced += reduce_var(func, &forest, l, preheader, var);
+        }
+    }
+    reduced
+}
+
+fn reduce_var(
+    func: &mut Function,
+    forest: &LoopForest,
+    l: Loop,
+    preheader: Block,
+    var: Var,
+) -> usize {
+    // Find candidate multiplications `dst = var * c` / `dst = c * var`
+    // inside the loop.
+    let blocks: Vec<Block> = forest.data(l).blocks.clone();
+    let mut candidates: Vec<(Block, usize, i64)> = Vec::new();
+    for &b in &blocks {
+        for (i, inst) in func.blocks[b].insts.iter().enumerate() {
+            if let Inst::Binary {
+                op: BinOp::Mul,
+                lhs,
+                rhs,
+                ..
+            } = inst
+            {
+                let c = match (lhs, rhs) {
+                    (Operand::Var(v), Operand::Const(c)) if *v == var => Some(*c),
+                    (Operand::Const(c), Operand::Var(v)) if *v == var => Some(*c),
+                    _ => None,
+                };
+                if let Some(c) = c {
+                    candidates.push((b, i, c));
+                }
+            }
+        }
+    }
+    if candidates.is_empty() {
+        return 0;
+    }
+    let count = candidates.len();
+    // One temporary per distinct constant.
+    let mut temp_for: HashMap<i64, Var> = HashMap::new();
+    let constants: Vec<i64> = {
+        let mut cs: Vec<i64> = candidates.iter().map(|&(_, _, c)| c).collect();
+        cs.sort_unstable();
+        cs.dedup();
+        cs
+    };
+    for &c in &constants {
+        let t = func.new_var(format!(
+            "%sr_{}_{c}",
+            func.vars[var].name.replace('%', "")
+        ));
+        temp_for.insert(c, t);
+        // Initialize in the preheader: t = var * c.
+        func.blocks[preheader].insts.push(Inst::Binary {
+            dst: t,
+            op: BinOp::Mul,
+            lhs: Operand::Var(var),
+            rhs: Operand::Const(c),
+        });
+    }
+    // Update after every in-loop definition of var: t = t + step*c where
+    // step is that definition's increment. Walk and rewrite each block.
+    for &b in &blocks {
+        let mut i = 0;
+        while i < func.blocks[b].insts.len() {
+            let inst = func.blocks[b].insts[i].clone();
+            let step: Option<i64> = match &inst {
+                Inst::Binary {
+                    dst,
+                    op: BinOp::Add,
+                    lhs,
+                    rhs,
+                } if *dst == var => match (lhs, rhs) {
+                    (Operand::Var(v), Operand::Const(c)) if *v == var => Some(*c),
+                    (Operand::Const(c), Operand::Var(v)) if *v == var => Some(*c),
+                    _ => None,
+                },
+                Inst::Binary {
+                    dst,
+                    op: BinOp::Sub,
+                    lhs,
+                    rhs,
+                } if *dst == var => match (lhs, rhs) {
+                    (Operand::Var(v), Operand::Const(c)) if *v == var => {
+                        c.checked_neg()
+                    }
+                    _ => None,
+                },
+                _ => None,
+            };
+            if let Some(step) = step {
+                // Insert updates right after the increment.
+                let mut insert_at = i + 1;
+                for &c in &constants {
+                    let t = temp_for[&c];
+                    let Some(delta) = step.checked_mul(c) else {
+                        continue;
+                    };
+                    func.blocks[b].insts.insert(
+                        insert_at,
+                        Inst::Binary {
+                            dst: t,
+                            op: BinOp::Add,
+                            lhs: Operand::Var(t),
+                            rhs: Operand::Const(delta),
+                        },
+                    );
+                    insert_at += 1;
+                }
+                i = insert_at;
+                continue;
+            }
+            i += 1;
+        }
+    }
+    // Replace the multiplications by copies from the temporaries.
+    for &b in &blocks {
+        for inst in &mut func.blocks[b].insts {
+            if let Inst::Binary {
+                dst,
+                op: BinOp::Mul,
+                lhs,
+                rhs,
+            } = inst
+            {
+                let c = match (&lhs, &rhs) {
+                    (Operand::Var(v), Operand::Const(c)) if *v == var => Some(*c),
+                    (Operand::Const(c), Operand::Var(v)) if *v == var => Some(*c),
+                    _ => None,
+                };
+                if let Some(c) = c {
+                    *inst = Inst::Copy {
+                        dst: *dst,
+                        src: Operand::Var(temp_for[&c]),
+                    };
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Peels the first iteration of the loop whose header carries
+/// `header_label`: the loop body is duplicated before the loop, with the
+/// duplicate's back edge targeting the original header. Returns `false`
+/// when the label does not name a simplified loop.
+///
+/// This is the §4.1 enabling transformation: after peeling, a wrap-around
+/// variable's initial value lies on the induction sequence, so the
+/// classifier refines it to a plain induction variable.
+pub fn peel_first_iteration(func: &mut Function, header_label: &str) -> bool {
+    let dom = DomTree::compute(func);
+    let forest = LoopForest::compute(func, &dom);
+    let Some(header) = func.block_by_label(header_label) else {
+        return false;
+    };
+    let Some((l, _)) = forest.iter().find(|(_, d)| d.header == header) else {
+        return false;
+    };
+    let Some(preheader) = forest.preheader(func, l) else {
+        return false;
+    };
+    let loop_blocks: Vec<Block> = forest.data(l).blocks.clone();
+    // Clone each loop block (instructions + terminator).
+    let mut clone_of: HashMap<Block, Block> = HashMap::new();
+    for &b in &loop_blocks {
+        let copy = func.new_block();
+        clone_of.insert(b, copy);
+    }
+    for &b in &loop_blocks {
+        let copy = clone_of[&b];
+        let insts = func.blocks[b].insts.clone();
+        let mut term = func.blocks[b].term.clone();
+        // In-loop successors map to their clones — except the header: the
+        // clone's back edge enters the original loop.
+        match &mut term {
+            Terminator::Jump(t) => {
+                if *t != header {
+                    if let Some(&c) = clone_of.get(t) {
+                        *t = c;
+                    }
+                }
+            }
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => {
+                for t in [then_bb, else_bb] {
+                    if *t != header {
+                        if let Some(&c) = clone_of.get(t) {
+                            *t = c;
+                        }
+                    }
+                }
+            }
+            Terminator::Return => {}
+        }
+        func.blocks[copy].insts = insts;
+        func.blocks[copy].term = term;
+    }
+    // The preheader now enters the peeled copy.
+    func.blocks[preheader]
+        .term
+        .replace_successor(header, clone_of[&header]);
+    true
+}
+
+/// Inserts the canonical loop counter `h = (L, 0, 1)` for the labeled
+/// loop: `h = 0` in the preheader and `h = h + 1` at the top of the
+/// latch. Returns the new variable, or `None` when the label does not
+/// name a simplified single-latch loop.
+pub fn insert_canonical_counter(func: &mut Function, header_label: &str) -> Option<Var> {
+    let dom = DomTree::compute(func);
+    let forest = LoopForest::compute(func, &dom);
+    let header = func.block_by_label(header_label)?;
+    let (l, _) = forest.iter().find(|(_, d)| d.header == header)?;
+    let preheader = forest.preheader(func, l)?;
+    let latch = forest.single_latch(l)?;
+    let h = func.new_var(format!("%h_{header_label}"));
+    func.blocks[preheader].insts.push(Inst::Copy {
+        dst: h,
+        src: Operand::Const(0),
+    });
+    func.blocks[latch].insts.push(Inst::Binary {
+        dst: h,
+        op: BinOp::Add,
+        lhs: Operand::Var(h),
+        rhs: Operand::Const(1),
+    });
+    Some(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biv_ir::interp::Interpreter;
+    use biv_ir::parser::parse_program;
+    use biv_ir::verify::verify_function;
+
+    /// Differential check: identical final state on several inputs.
+    fn assert_equivalent(original: &Function, transformed: &Function, max_arg: i64) {
+        let interp = Interpreter::new();
+        for arg in [0, 1, 2, 3, 7, max_arg] {
+            let a = interp.run(original, &[arg]).expect("original runs");
+            let b = interp.run(transformed, &[arg]).expect("transformed runs");
+            assert_eq!(a.arrays, b.arrays, "arrays differ for n={arg}");
+            // Compare variables common to both (new temps excluded).
+            for (v, _) in original.vars.iter() {
+                assert_eq!(
+                    a.final_vars[biv_ir::EntityId::index(v)],
+                    b.final_vars[biv_ir::EntityId::index(v)],
+                    "variable {} differs for n={arg}",
+                    original.var_name(v)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strength_reduction_eliminates_muls() {
+        let src = r#"
+            func f(n) {
+                L1: for i = 1 to n {
+                    j = 4 * i
+                    A[j] = i
+                    k = i * 8
+                    B[k] = j
+                }
+            }
+        "#;
+        let program = parse_program(src).unwrap();
+        let original = program.functions[0].clone();
+        let mut transformed = original.clone();
+        let reduced = strength_reduce(&mut transformed);
+        assert_eq!(reduced, 2);
+        verify_function(&transformed).unwrap();
+        assert_equivalent(&original, &transformed, 25);
+        // No multiplication by i remains in the loop.
+        let header = transformed.block_by_label("L1").unwrap();
+        let dom = DomTree::compute(&transformed);
+        let forest = LoopForest::compute(&transformed, &dom);
+        let (l, _) = forest.iter().find(|(_, d)| d.header == header).unwrap();
+        let i_var = transformed.var_by_name("i").unwrap();
+        for &b in &forest.data(l).blocks {
+            for inst in &transformed.blocks[b].insts {
+                if let Inst::Binary {
+                    op: BinOp::Mul,
+                    lhs,
+                    rhs,
+                    ..
+                } = inst
+                {
+                    assert!(
+                        lhs.as_var() != Some(i_var) && rhs.as_var() != Some(i_var),
+                        "mul by i remains: {inst:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn strength_reduction_with_negative_step() {
+        let src = r#"
+            func f(n) {
+                L1: for i = n to 1 by -1 {
+                    j = 3 * i
+                    A[j] = i
+                }
+            }
+        "#;
+        let program = parse_program(src).unwrap();
+        let original = program.functions[0].clone();
+        let mut transformed = original.clone();
+        assert_eq!(strength_reduce(&mut transformed), 1);
+        assert_equivalent(&original, &transformed, 13);
+    }
+
+    #[test]
+    fn peel_preserves_semantics() {
+        let src = r#"
+            func f(n) {
+                iml = n
+                s = 0
+                L9: for i = 1 to n {
+                    A[i] = A[iml] + i
+                    iml = i
+                    s = s + A[i]
+                }
+            }
+        "#;
+        let program = parse_program(src).unwrap();
+        let original = program.functions[0].clone();
+        let mut transformed = original.clone();
+        assert!(peel_first_iteration(&mut transformed, "L9"));
+        verify_function(&transformed).unwrap();
+        assert_equivalent(&original, &transformed, 11);
+    }
+
+    #[test]
+    fn peel_refines_wraparound_to_iv() {
+        // Before peeling: j2 is a wrap-around; after peeling the paper's
+        // trick applies and the in-loop phi refines to a plain IV.
+        let src = r#"
+            func f(n) {
+                j = 100
+                i = 1
+                L10: loop {
+                    A[j] = i
+                    j = i
+                    i = i + 1
+                    if i > n { break }
+                }
+            }
+        "#;
+        let program = parse_program(src).unwrap();
+        let mut func = program.functions[0].clone();
+        let before = biv_core::analyze(&func);
+        let j2 = before.ssa().value_by_name("j2").unwrap();
+        assert!(matches!(
+            before.class_of(j2).unwrap().1,
+            biv_core::Class::WrapAround { .. }
+        ));
+        assert!(peel_first_iteration(&mut func, "L10"));
+        let after = biv_core::analyze(&func);
+        // The loop's header phi for j is now a linear IV.
+        let l10 = after.loop_by_label("L10").unwrap();
+        let info = after.info(l10);
+        let j_var = after.ssa().func().var_by_name("j").unwrap();
+        let refined = info.classes.iter().any(|(v, c)| {
+            after.ssa().values[*v].var == Some(j_var)
+                && matches!(c, biv_core::Class::Induction(cf) if cf.is_linear())
+        });
+        assert!(refined, "j should refine to a linear IV after peeling");
+    }
+
+    #[test]
+    fn canonical_counter_matches_iteration_index() {
+        let src = r#"
+            func f(n) {
+                L1: for i = 5 to n by 3 {
+                    A[i] = i
+                }
+            }
+        "#;
+        let program = parse_program(src).unwrap();
+        let mut func = program.functions[0].clone();
+        let h = insert_canonical_counter(&mut func, "L1").unwrap();
+        verify_function(&func).unwrap();
+        let trace = Interpreter::new().run(&func, &[20]).unwrap();
+        // i takes 5, 8, 11, 14, 17, 20 → 6 iterations; h ends at 6.
+        assert_eq!(trace.final_vars[biv_ir::EntityId::index(h)], 6);
+        // And the classifier sees h = (L1, 0, 1).
+        let analysis = biv_core::analyze(&func);
+        let l1 = analysis.loop_by_label("L1").unwrap();
+        let info = analysis.info(l1);
+        let found = info.classes.iter().any(|(v, c)| {
+            analysis.ssa().values[*v].var
+                == analysis.ssa().func().var_by_name("%h_L1")
+                && matches!(c, biv_core::Class::Induction(cf)
+                    if cf.is_linear()
+                    && cf.coeffs[0].is_zero()
+                    && cf.coeffs[1].constant_value()
+                        == Some(biv_algebra_one()))
+        });
+        assert!(found, "h classifies as (L1, 0, 1)");
+    }
+
+    fn biv_algebra_one() -> biv_algebra::Rational {
+        biv_algebra::Rational::ONE
+    }
+
+    #[test]
+    fn peel_unknown_label_is_noop() {
+        let src = "func f(n) { L1: for i = 1 to n { x = i } }";
+        let program = parse_program(src).unwrap();
+        let mut func = program.functions[0].clone();
+        assert!(!peel_first_iteration(&mut func, "NOPE"));
+    }
+}

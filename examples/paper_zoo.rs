@@ -1,0 +1,117 @@
+//! The full zoo: every worked example from the paper (Figures 1–10,
+//! loops L7–L24), classified and printed side by side with the paper's
+//! expected results.
+//!
+//! ```sh
+//! cargo run --example paper_zoo
+//! ```
+
+use biv::core_analysis::{analyze_source, Analysis};
+
+struct Example {
+    title: &'static str,
+    paper_says: &'static str,
+    source: &'static str,
+    show: &'static [&'static str],
+}
+
+fn examples() -> Vec<Example> {
+    vec![
+        Example {
+            title: "Figure 1 / L7 — basic linear induction variables",
+            paper_says: "i3=(L7, n1+c1, c1+k1)  j2=(L7, n1, c1+k1)  j3=(L7, n1+c1+k1, c1+k1)",
+            source: "func fig1(n, c, k) { j = n L7: loop { i = j + c j = i + k if j > 1000 { break } } }",
+            show: &["j2", "i1", "j3"],
+        },
+        Example {
+            title: "Figure 3 / L8 — same increment on both branch paths",
+            paper_says: "i2=(L8, 1, 2)  i3=i4=i5=(L8, 3, 2)",
+            source: "func fig3(e, n) { i = 1 L8: loop { if e > 0 { i = i + 2 } else { i = i + 2 } if i > n { break } } }",
+            show: &["i2", "i3", "i4", "i5"],
+        },
+        Example {
+            title: "Figure 4 / L10 — wrap-around variables (orders 1 and 2)",
+            paper_says: "j2 first-order wrap-around of (L10,1,1); k2 second-order",
+            source: "func fig4(n, k0, j0) { k = k0 j = j0 i = 1 L10: loop { A[k] = i A[j] = i k = j j = i i = i + 1 if i > n { break } } }",
+            show: &["i2", "j2", "k2"],
+        },
+        Example {
+            title: "Figure 5 / L13 — periodic family, period 3",
+            paper_says: "(j,k,l) rotate: periodic period 3; t2 wraps the family",
+            source: "func fig5(n, j0, k0, l0, t0) { t = t0 j = j0 k = k0 l = l0 L13: loop { A[t] = j t = j j = k k = l l = t if j > n { break } } }",
+            show: &["j2", "k2", "l2", "t2"],
+        },
+        Example {
+            title: "L11 — flip-flop by explicit swap",
+            paper_says: "j, jold periodic with period 2",
+            source: "func l11(n) { j = 1 jold = 2 L11: for it = 1 to n { jt = jold jold = j j = jt A[j] = it } }",
+            show: &["j2", "jold2"],
+        },
+        Example {
+            title: "L12 — flip-flop by j = 3 - j",
+            paper_says: "geometric with base -1: values alternate 1, 2, 1, 2, …",
+            source: "func l12(n) { j = 1 L12: for it = 1 to n { j = 3 - j A[j] = it } }",
+            show: &["j2", "j3"],
+        },
+        Example {
+            title: "L14 — polynomial and geometric induction variables",
+            paper_says: "j: (h²+3h+4)/2   k: (h³+6h²+23h+24)/6   l: 2^(h+2) − 1",
+            source: "func l14(n) { j = 1 k = 1 l = 1 L14: for i = 1 to n { j = j + i k = k + j + 1 l = l * 2 + 1 A[j] = k } }",
+            show: &["j3", "k3", "l3"],
+        },
+        Example {
+            title: "L14 variant — m = 3*m + 2*i + 1",
+            paper_says: "geometric: 2·3^h − h − 2",
+            source: "func l14m(n) { m = 0 L14: for i = 1 to n { m = 3 * m + 2 * i + 1 A[m] = i } }",
+            show: &["m2", "m3"],
+        },
+        Example {
+            title: "Figure 6 / L16 — strictly monotonic",
+            paper_says: "k incremented on every path: monotonically strictly increasing",
+            source: "func fig6(n, e) { k = 0 L16: loop { if e > 0 { k = k + 1 } else { k = k + 2 } if k > n { break } } }",
+            show: &["k2", "k3", "k4"],
+        },
+        Example {
+            title: "L15 — conditional pack: monotonic (non-strict)",
+            paper_says: "k monotonically increasing; k3 strictly (§5.4)",
+            source: "func l15(n) { k = 0 L15: for i = 1 to n { t = A[i] if t > 0 { k = k + 1 B[k] = t } } }",
+            show: &["k2", "k3"],
+        },
+        Example {
+            title: "Figures 7–8 / L17–L18 — nested loops with exit values",
+            paper_says: "inner trip count 100; outer: k2=(L17, 0, 204)",
+            source: "func fig7(n) { k = 0 L17: loop { i = 1 L18: loop { k = k + 2 if i > 100 { break } i = i + 1 } k = k + 2 if k > n { break } } }",
+            show: &["k2", "k3", "k4"],
+        },
+        Example {
+            title: "Figure 9 / L19–L20 — triangular loop (the EHLP92 case)",
+            paper_says: "j quadratic in the outer loop: h² + h at the header",
+            source: "func fig9(n) { j = 0 L19: for i = 1 to n { j = j + i L20: for k = 1 to i { j = j + 1 } } }",
+            show: &["j2", "j4"],
+        },
+    ]
+}
+
+fn print_example(ex: &Example) -> Result<(), Box<dyn std::error::Error>> {
+    println!("════════════════════════════════════════════════════════════");
+    println!("{}", ex.title);
+    println!("  paper: {}", ex.paper_says);
+    let analysis: Analysis = analyze_source(ex.source)?;
+    for name in ex.show {
+        match analysis.describe_by_name(name) {
+            Some(desc) => println!("  ours:  {name:<6} => {desc}"),
+            None => println!("  ours:  {name:<6} => (no such value)"),
+        }
+    }
+    for (_, info) in analysis.loops() {
+        println!("  trip count of {}: {}", info.name, info.trip_count);
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for ex in examples() {
+        print_example(&ex)?;
+    }
+    Ok(())
+}

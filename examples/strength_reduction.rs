@@ -1,0 +1,76 @@
+//! Strength reduction and wrap-around loop peeling — the transformations
+//! the classification was historically tied to (§1, §4.1).
+//!
+//! ```sh
+//! cargo run --example strength_reduction
+//! ```
+
+use biv::ir::interp::Interpreter;
+use biv::ir::parser::parse_program;
+use biv::ir::print::function_to_string;
+use biv::transform::{peel_first_iteration, strength_reduce};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Strength reduction -------------------------------------------
+    let src = r#"
+        func addressing(n) {
+            L1: for i = 1 to n {
+                j = 8 * i
+                A[j] = i
+                k = i * 4
+                B[k] = j
+            }
+        }
+    "#;
+    let program = parse_program(src)?;
+    let original = program.functions[0].clone();
+    let mut reduced = original.clone();
+    let count = strength_reduce(&mut reduced);
+    println!("strength reduction eliminated {count} multiplications");
+    println!("--- before ---\n{}", function_to_string(&original));
+    println!("--- after ----\n{}", function_to_string(&reduced));
+
+    // Differential check.
+    let interp = Interpreter::new();
+    let a = interp.run(&original, &[10])?;
+    let b = interp.run(&reduced, &[10])?;
+    assert_eq!(a.arrays, b.arrays);
+    println!("semantics preserved (differential interpretation on n=10)\n");
+
+    // --- Wrap-around peeling -------------------------------------------
+    let src = r#"
+        func wrap(n) {
+            j = 100
+            i = 1
+            L10: loop {
+                A[j] = i
+                j = i
+                i = i + 1
+                if i > n { break }
+            }
+        }
+    "#;
+    let program = parse_program(src)?;
+    let mut func = program.functions[0].clone();
+    let before = biv::core_analysis::analyze(&func);
+    let j2 = before.ssa().value_by_name("j2").expect("j2 exists");
+    println!(
+        "before peeling: j2 = {}",
+        before.describe(j2).unwrap_or_default()
+    );
+    assert!(peel_first_iteration(&mut func, "L10"));
+    let after = biv::core_analysis::analyze(&func);
+    let l10 = after.loop_by_label("L10").expect("loop remains");
+    let j_var = after.ssa().func().var_by_name("j").expect("j exists");
+    for (v, class) in &after.info(l10).classes {
+        if after.ssa().values[*v].var == Some(j_var) {
+            println!(
+                "after peeling:  {} = {}",
+                after.ssa().value_name(*v),
+                biv::core_analysis::describe_class(&after, class)
+            );
+        }
+    }
+    println!("the wrap-around refined to a plain induction variable");
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Trip-count analysis (§5.2): the condition-conversion table, constant
+//! and symbolic counts, and the countable-loop machinery behind nested
+//! induction variables.
+//!
+//! ```sh
+//! cargo run --example trip_counts
+//! ```
+
+use biv::core_analysis::analyze_source;
+
+fn show(title: &str, src: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let analysis = analyze_source(src)?;
+    println!("── {title}");
+    for (_, info) in analysis.loops() {
+        println!("   {}: trip count = {}", info.name, info.trip_count);
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    show(
+        "constant bounds: for i = 1 to 10",
+        "func f() { L1: for i = 1 to 10 { x = i } }",
+    )?;
+    show(
+        "constant bounds, step 3: for i = 5 to 20 by 3 (rounds up)",
+        "func f() { L1: for i = 5 to 20 by 3 { x = i } }",
+    )?;
+    show(
+        "downward: for i = 10 to 1 by -2",
+        "func f() { L1: for i = 10 to 1 by -2 { x = i } }",
+    )?;
+    show(
+        "symbolic bound: for i = 1 to n",
+        "func f(n) { L1: for i = 1 to n { x = i } }",
+    )?;
+    show(
+        "triangular inner loop: for k = 1 to i (count is the outer IV)",
+        "func f(n) { L19: for i = 1 to n { L20: for k = 1 to i { x = k } } }",
+    )?;
+    show(
+        "zero-trip: for i = 10 to 5",
+        "func f() { L1: for i = 10 to 5 { x = i } }",
+    )?;
+    show(
+        "non-terminating: step 0",
+        "func f() { x = 0 L1: loop { x = x + 0 if x > 5 { break } } }",
+    )?;
+    show(
+        "mid-loop exit like the paper's L18",
+        "func f() { k = 0 L18: loop { k = k + 2 if k > 9 { break } } }",
+    )?;
+    show(
+        "uncountable: data-dependent exit",
+        "func f(n) { L1: loop { t = A[n] if t > 0 { break } } }",
+    )?;
+    Ok(())
+}

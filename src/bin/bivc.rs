@@ -1,0 +1,190 @@
+//! `bivc` — command-line driver for the `biv` analysis pipeline.
+//!
+//! ```text
+//! bivc [--ssa] [--classes] [--deps] [--trip-counts] [--classic] [--dot] FILE
+//! bivc --demo            # run the built-in Figure 1 demo
+//! ```
+//!
+//! With no mode flags, everything is printed.
+
+use std::process::ExitCode;
+
+use biv::core_analysis::{analyze, describe_class};
+use biv::depend::{DepTestResult, DependenceTester};
+use biv::ir::parser::parse_program;
+
+struct Options {
+    dot: bool,
+    ssa: bool,
+    classes: bool,
+    deps: bool,
+    trip_counts: bool,
+    classic: bool,
+    path: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        dot: false,
+        ssa: false,
+        classes: false,
+        deps: false,
+        trip_counts: false,
+        classic: false,
+        path: None,
+    };
+    let mut any_flag = false;
+    let mut demo = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--ssa" => {
+                opts.ssa = true;
+                any_flag = true;
+            }
+            "--dot" => {
+                opts.dot = true;
+                any_flag = true;
+            }
+            "--classes" => {
+                opts.classes = true;
+                any_flag = true;
+            }
+            "--deps" => {
+                opts.deps = true;
+                any_flag = true;
+            }
+            "--trip-counts" => {
+                opts.trip_counts = true;
+                any_flag = true;
+            }
+            "--classic" => {
+                opts.classic = true;
+                any_flag = true;
+            }
+            "--demo" => demo = true,
+            "--help" | "-h" => {
+                return Err("usage: bivc [--ssa] [--classes] [--deps] [--trip-counts] [--classic] [--dot] FILE | --demo".into())
+            }
+            path if !path.starts_with('-') => opts.path = Some(path.to_string()),
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    if !any_flag {
+        opts.ssa = true;
+        opts.classes = true;
+        opts.deps = true;
+        opts.trip_counts = true;
+    }
+    if demo && opts.path.is_none() {
+        opts.path = None;
+    } else if opts.path.is_none() {
+        return Err("no input file (try --demo or --help)".into());
+    }
+    Ok(opts)
+}
+
+const DEMO: &str = r#"
+func fig1(n, c, k) {
+    j = n
+    L7: loop {
+        i = j + c
+        j = i + k
+        A[j] = A[i] + 1
+        if j > 1000 { break }
+    }
+}
+"#;
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let source = match &opts.path {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => DEMO.to_string(),
+    };
+    let program = match parse_program(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for func in &program.functions {
+        println!("══ function {} ══", func.name());
+        if opts.classic {
+            let report = biv::classic::detect(func);
+            println!("classical detector: {} variables classified", report.total());
+            for lr in &report.loops {
+                for iv in &lr.ivs {
+                    println!("    {}: {:?}", func.var_name(iv.var), iv.kind);
+                }
+            }
+        }
+        let analysis = analyze(func);
+        if opts.dot {
+            println!("{}", biv::ir::dot::cfg_to_dot(func));
+            println!("{}", biv::ssa::ssa_graph_to_dot(analysis.ssa()));
+        }
+        if opts.ssa {
+            println!("{}", biv::ssa::ssa_to_string(analysis.ssa()));
+        }
+        if opts.classes || opts.trip_counts {
+            for (_, info) in analysis.loops() {
+                if opts.trip_counts {
+                    println!("loop {}: trip count {}", info.name, info.trip_count);
+                    if let Some(max) = &info.max_trip_count {
+                        println!("    max trip count: {max}");
+                    }
+                }
+                if opts.classes {
+                    let mut values: Vec<_> = info.classes.iter().collect();
+                    values.sort_by_key(|(v, _)| **v);
+                    for (v, class) in values {
+                        println!(
+                            "    {:<8} => {}",
+                            analysis.ssa().value_name(*v),
+                            describe_class(&analysis, class)
+                        );
+                    }
+                }
+            }
+        }
+        if opts.deps {
+            let tester = DependenceTester::new(&analysis);
+            let accesses = tester.accesses();
+            println!("dependences ({} array references):", accesses.len());
+            for s in 0..accesses.len() {
+                for d in 0..accesses.len() {
+                    let (a, b) = (&accesses[s], &accesses[d]);
+                    if a.array != b.array || (!a.is_write && !b.is_write) {
+                        continue;
+                    }
+                    if s == d && !a.is_write {
+                        continue;
+                    }
+                    if let DepTestResult::Dependent(dep) = tester.test(s, d) {
+                        let array = analysis.ssa().func().array_name(a.array);
+                        println!(
+                            "    {array}: {} {} {}",
+                            dep.kind,
+                            dep.directions,
+                            if dep.exact { "" } else { "(assumed)" }
+                        );
+                    }
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,46 @@
+//! `biv` — a reproduction of Michael Wolfe's *Beyond Induction Variables*
+//! (PLDI 1992) as a Rust library suite.
+//!
+//! This facade crate re-exports the whole pipeline:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`algebra`] | `biv-algebra` | exact rationals, symbolic polynomials, rational matrices |
+//! | [`ir`] | `biv-ir` | CFG, mini-language front end, dominators, loops, dataflow, interpreter |
+//! | [`ssa`] | `biv-ssa` | SSA construction, verifier, SSA interpreter |
+//! | [`core_analysis`] | `biv-core` | **the paper's classifier**: Tarjan over the SSA graph, closed forms, trip counts, nested loops |
+//! | [`classic`] | `biv-classic` | the classical baseline detector with ad-hoc matchers |
+//! | [`depend`] | `biv-depend` | dependence testing: SIV/GCD/Banerjee + periodic/monotonic/wrap-around rules |
+//! | [`transform`] | `biv-transform` | strength reduction, loop peeling, canonical counters |
+//! | [`workload`] | `biv-workload` | synthetic program generation with ground truth |
+//!
+//! # The 30-second tour
+//!
+//! ```
+//! use biv::core_analysis::analyze_source;
+//!
+//! let analysis = analyze_source(
+//!     "func f(n) { j = 1 L14: for i = 1 to n { j = j + i A[j] = i } }",
+//! )?;
+//! // j's in-loop value is the quadratic (h² + 3h + 4)/2 from the paper's
+//! // L14 table.
+//! let j3 = analysis.ssa().value_by_name("j3").unwrap();
+//! let (_, class) = analysis.class_of(j3).unwrap();
+//! match class {
+//!     biv::core_analysis::Class::Induction(cf) => assert_eq!(cf.degree(), 2),
+//!     other => panic!("expected quadratic, got {other:?}"),
+//! }
+//! # Ok::<(), biv::core_analysis::AnalyzeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use biv_algebra as algebra;
+pub use biv_classic as classic;
+pub use biv_core as core_analysis;
+pub use biv_depend as depend;
+pub use biv_ir as ir;
+pub use biv_ssa as ssa;
+pub use biv_transform as transform;
+pub use biv_workload as workload;

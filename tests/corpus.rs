@@ -1,0 +1,380 @@
+//! A corpus of classification scenarios beyond the paper's figures — each
+//! case exercises a distinct interaction between the classifier's parts.
+
+use biv::core_analysis::{analyze_source, Analysis, Class, Direction};
+
+fn class_of<'a>(analysis: &'a Analysis, name: &str) -> &'a Class {
+    let v = analysis
+        .ssa()
+        .value_by_name(name)
+        .unwrap_or_else(|| panic!("no value `{name}`"));
+    analysis
+        .class_of(v)
+        .unwrap_or_else(|| panic!("`{name}` unclassified"))
+        .1
+}
+
+#[test]
+fn downward_counting_loop() {
+    let a = analyze_source(
+        "func f(n) { L1: for i = n to 1 by -1 { A[i] = i } }",
+    )
+    .unwrap();
+    match class_of(&a, "i2") {
+        Class::Induction(cf) => {
+            assert!(cf.is_linear());
+            assert_eq!(
+                cf.coeffs[1].constant_value().unwrap(),
+                biv::algebra::Rational::from_integer(-1)
+            );
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn two_independent_families_in_one_loop() {
+    let a = analyze_source(
+        r#"
+        func f(n) {
+            x = 0
+            y = 100
+            L1: for i = 1 to n {
+                x = x + 2
+                y = y - 3
+                A[x] = y
+            }
+        }
+        "#,
+    )
+    .unwrap();
+    match (class_of(&a, "x2"), class_of(&a, "y2")) {
+        (Class::Induction(cx), Class::Induction(cy)) => {
+            assert_eq!(
+                cx.coeffs[1].constant_value().unwrap(),
+                biv::algebra::Rational::from_integer(2)
+            );
+            assert_eq!(
+                cy.coeffs[1].constant_value().unwrap(),
+                biv::algebra::Rational::from_integer(-3)
+            );
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn coupled_families_through_subtraction() {
+    // x and y advance together; their difference is invariant.
+    let a = analyze_source(
+        r#"
+        func f(n) {
+            x = 0
+            y = 7
+            L1: for i = 1 to n {
+                x = x + 2
+                y = y + 2
+                d = y - x
+                A[d] = i
+            }
+        }
+        "#,
+    )
+    .unwrap();
+    match class_of(&a, "d1") {
+        Class::Invariant(p) => {
+            assert_eq!(
+                p.constant_value().unwrap(),
+                biv::algebra::Rational::from_integer(7)
+            );
+        }
+        other => panic!("difference should be invariant 7, got {other:?}"),
+    }
+}
+
+#[test]
+fn self_cancelling_updates_are_invariant() {
+    // x += 5 then x -= 5: the SCR's cumulative effect is zero.
+    let a = analyze_source(
+        r#"
+        func f(n) {
+            x = 42
+            L1: for i = 1 to n {
+                x = x + 5
+                A[x] = i
+                x = x - 5
+                B[x] = i
+            }
+        }
+        "#,
+    )
+    .unwrap();
+    // The header phi carries 42 forever.
+    match class_of(&a, "x2") {
+        Class::Invariant(p) => assert_eq!(
+            p.constant_value().unwrap(),
+            biv::algebra::Rational::from_integer(42)
+        ),
+        other => panic!("x2 should be invariant, got {other:?}"),
+    }
+    // The intermediate +5 value is the invariant 47.
+    match class_of(&a, "x3") {
+        Class::Invariant(p) => assert_eq!(
+            p.constant_value().unwrap(),
+            biv::algebra::Rational::from_integer(47)
+        ),
+        other => panic!("x3 should be invariant 47, got {other:?}"),
+    }
+}
+
+#[test]
+fn fourth_order_polynomial() {
+    // Cascading accumulators: a is linear, b quadratic, c cubic, d quartic.
+    let a = analyze_source(
+        r#"
+        func f(n) {
+            b = 0
+            c = 0
+            d = 0
+            L1: for i = 1 to n {
+                b = b + i
+                c = c + b
+                d = d + c
+                A[d] = i
+            }
+        }
+        "#,
+    )
+    .unwrap();
+    match class_of(&a, "d3") {
+        Class::Induction(cf) => assert_eq!(cf.degree(), 4),
+        other => panic!("d should be quartic, got {other:?}"),
+    }
+    // Differential spot check at h = 5: b=1+..., sequence check via eval.
+    // d3 after iteration h sums the first partial sums; d3(0) = value
+    // after the first iteration = 1? Verify against a concrete run.
+    let program = biv::ir::parser::parse_program(
+        r#"
+        func f(n) {
+            b = 0
+            c = 0
+            d = 0
+            L1: for i = 1 to n {
+                b = b + i
+                c = c + b
+                d = d + c
+                A[d] = i
+            }
+        }
+        "#,
+    )
+    .unwrap();
+    let ssa = biv::ssa::SsaFunction::build(&program.functions[0]);
+    let trace = biv::ssa::SsaInterpreter::new().run(&ssa, &[8]).unwrap();
+    let d3 = ssa.value_by_name("d3").unwrap();
+    let history = trace.history(d3);
+    let Class::Induction(cf) = class_of(&a, "d3") else {
+        unreachable!()
+    };
+    for (h, &observed) in history.iter().enumerate() {
+        let expected = cf.eval_at(h as i128).unwrap().constant_value().unwrap();
+        assert_eq!(
+            expected,
+            biv::algebra::Rational::from_integer(i128::from(observed)),
+            "d3({h})"
+        );
+    }
+}
+
+#[test]
+fn periodic_of_period_four() {
+    let a = analyze_source(
+        r#"
+        func f(n, p0, q0, r0, s0) {
+            p = p0
+            q = q0
+            r = r0
+            s = s0
+            L1: for i = 1 to n {
+                A[p] = i
+                t = p
+                p = q
+                q = r
+                r = s
+                s = t
+            }
+        }
+        "#,
+    )
+    .unwrap();
+    match class_of(&a, "p2") {
+        Class::Periodic(per) => assert_eq!(per.period(), 4),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn monotonic_with_multiple_conditionals() {
+    let a = analyze_source(
+        r#"
+        func f(n) {
+            k = 0
+            L1: for i = 1 to n {
+                t = A[i]
+                if t > 0 { k = k + 1 }
+                u = B[i]
+                if u > 0 { k = k + 2 }
+                C[k] = i
+            }
+        }
+        "#,
+    )
+    .unwrap();
+    match class_of(&a, "k2") {
+        Class::Monotonic(m) => {
+            assert_eq!(m.direction, Direction::Increasing);
+            assert!(!m.strict, "both conditionals may be skipped");
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn wraparound_of_polynomial() {
+    // w trails a quadratic accumulator by one iteration.
+    let a = analyze_source(
+        r#"
+        func f(n, w0) {
+            w = w0
+            b = 0
+            L1: for i = 1 to n {
+                A[w] = i
+                w = b
+                b = b + i
+            }
+        }
+        "#,
+    )
+    .unwrap();
+    match class_of(&a, "w2") {
+        Class::WrapAround { order, steady, .. } => {
+            assert_eq!(*order, 1);
+            match steady.as_ref() {
+                Class::Induction(cf) => assert_eq!(cf.degree(), 2),
+                other => panic!("steady should be quadratic, got {other:?}"),
+            }
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn geometric_decay_by_division_is_unknown() {
+    // Integer division truncates; g = g / 2 is NOT a geometric IV.
+    let a = analyze_source(
+        r#"
+        func f(n) {
+            g = 1000
+            L1: for i = 1 to n {
+                g = g / 2
+                A[g] = i
+            }
+        }
+        "#,
+    )
+    .unwrap();
+    assert!(matches!(class_of(&a, "g2"), Class::Unknown));
+}
+
+#[test]
+fn nested_loop_with_invariant_inner_bound() {
+    // Rectangular nest: inner IV restarts; outer accumulator is linear
+    // with step = inner trip count.
+    let a = analyze_source(
+        r#"
+        func f(n) {
+            s = 0
+            L1: for i = 1 to n {
+                L2: for j = 1 to 7 {
+                    s = s + 1
+                    A[s] = j
+                }
+            }
+        }
+        "#,
+    )
+    .unwrap();
+    let l1 = a.loop_by_label("L1").unwrap();
+    let s_var = a.ssa().func().var_by_name("s").unwrap();
+    let found = a.info(l1).classes.iter().any(|(v, c)| {
+        a.ssa().values[*v].var == Some(s_var)
+            && matches!(c, Class::Induction(cf)
+                if cf.is_linear()
+                && cf.coeffs[1].constant_value()
+                    == Some(biv::algebra::Rational::from_integer(7)))
+    });
+    assert!(found, "s has step 7 in the outer loop");
+}
+
+#[test]
+fn alternating_sign_geometric() {
+    // g = -2 * g: base −2.
+    let a = analyze_source(
+        r#"
+        func f(n) {
+            g = 1
+            L1: for i = 1 to n {
+                g = 0 - 2 * g
+                A[g] = i
+            }
+        }
+        "#,
+    )
+    .unwrap();
+    match class_of(&a, "g2") {
+        Class::Induction(cf) => {
+            assert_eq!(cf.geo.len(), 1);
+            assert_eq!(cf.geo[0].0, biv::algebra::Rational::from_integer(-2));
+            // Values: 1, -2, 4, -8, ...
+            for (h, expected) in [(0, 1), (1, -2), (2, 4), (3, -8)] {
+                assert_eq!(
+                    cf.eval_at(h).unwrap().constant_value().unwrap(),
+                    biv::algebra::Rational::from_integer(expected)
+                );
+            }
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn symbolic_bound_with_concrete_step_mix() {
+    // The classic blocked-loop shape: outer blocks of 16, inner scans the
+    // block. s = 16(i-1) + (j-1) should make the A subscript linear in
+    // both loops.
+    let a = analyze_source(
+        r#"
+        func f(n) {
+            L1: for i = 1 to n {
+                L2: for j = 1 to 16 {
+                    s = 16 * i + j
+                    A[s] = j
+                }
+            }
+        }
+        "#,
+    )
+    .unwrap();
+    let l2 = a.loop_by_label("L2").unwrap();
+    let s1 = a.ssa().value_by_name("s1").unwrap();
+    match a.class_in(l2, s1).unwrap() {
+        Class::Induction(cf) => {
+            assert!(cf.is_linear());
+            assert_eq!(
+                cf.coeffs[1].constant_value().unwrap(),
+                biv::algebra::Rational::ONE
+            );
+        }
+        other => panic!("{other:?}"),
+    }
+}
