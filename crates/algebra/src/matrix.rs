@@ -246,9 +246,7 @@ mod tests {
         let inv = a.inverse().unwrap().expect("vandermonde is nonsingular");
         // Multiplying inverse by the first four values of k from L14
         // (4, 9, 17, 29) yields coefficients [4, 23/6, 1, 1/6].
-        let coeffs = inv
-            .mul_vec(&[int(4), int(9), int(17), int(29)])
-            .unwrap();
+        let coeffs = inv.mul_vec(&[int(4), int(9), int(17), int(29)]).unwrap();
         assert_eq!(coeffs[0], int(4));
         assert_eq!(coeffs[1], Rational::new(23, 6).unwrap());
         assert_eq!(coeffs[2], int(1));
@@ -257,11 +255,7 @@ mod tests {
 
     #[test]
     fn singular_detected() {
-        let m = Matrix::from_rows(
-            2,
-            2,
-            vec![int(1), int(2), int(2), int(4)],
-        );
+        let m = Matrix::from_rows(2, 2, vec![int(1), int(2), int(2), int(4)]);
         assert!(m.inverse().unwrap().is_none());
     }
 
@@ -277,9 +271,15 @@ mod tests {
             3,
             3,
             vec![
-                int(2), int(1), int(0),
-                int(1), int(3), int(1),
-                int(0), int(1), int(2),
+                int(2),
+                int(1),
+                int(0),
+                int(1),
+                int(3),
+                int(1),
+                int(0),
+                int(1),
+                int(2),
             ],
         );
         let inv = m.inverse().unwrap().unwrap();
@@ -288,7 +288,11 @@ mod tests {
             let col: Vec<Rational> = (0..3).map(|r| m.get(r, c)).collect();
             let e = inv.mul_vec(&col).unwrap();
             for (r, val) in e.iter().enumerate() {
-                let expected = if r == c { Rational::ONE } else { Rational::ZERO };
+                let expected = if r == c {
+                    Rational::ONE
+                } else {
+                    Rational::ZERO
+                };
                 assert_eq!(*val, expected);
             }
         }
@@ -296,11 +300,7 @@ mod tests {
 
     #[test]
     fn pivot_requires_row_swap() {
-        let m = Matrix::from_rows(
-            2,
-            2,
-            vec![int(0), int(1), int(1), int(0)],
-        );
+        let m = Matrix::from_rows(2, 2, vec![int(0), int(1), int(1), int(0)]);
         let inv = m.inverse().unwrap().unwrap();
         assert_eq!(inv, m); // the swap matrix is its own inverse
     }

@@ -448,10 +448,7 @@ mod tests {
     fn pow_positive_negative() {
         let two = Rational::from_integer(2);
         assert_eq!(two.checked_pow(10).unwrap(), Rational::from_integer(1024));
-        assert_eq!(
-            two.checked_pow(-2).unwrap(),
-            Rational::new(1, 4).unwrap()
-        );
+        assert_eq!(two.checked_pow(-2).unwrap(), Rational::new(1, 4).unwrap());
         assert_eq!(two.checked_pow(0).unwrap(), Rational::ONE);
         assert_eq!(
             Rational::ZERO.checked_pow(-1),
@@ -484,7 +481,10 @@ mod tests {
     fn overflow_detected() {
         let big = Rational::from_integer(i128::MAX);
         assert_eq!(big.checked_mul(&big), Err(RationalError::Overflow));
-        assert_eq!(big.checked_add(&Rational::ONE), Err(RationalError::Overflow));
+        assert_eq!(
+            big.checked_add(&Rational::ONE),
+            Err(RationalError::Overflow)
+        );
     }
 
     #[test]

@@ -61,7 +61,8 @@ impl Monomial {
 
     /// Product of two monomials.
     pub fn mul(&self, other: &Monomial) -> Monomial {
-        let mut out: Vec<(SymId, u32)> = Vec::with_capacity(self.factors.len() + other.factors.len());
+        let mut out: Vec<(SymId, u32)> =
+            Vec::with_capacity(self.factors.len() + other.factors.len());
         let (mut i, mut j) = (0, 0);
         while i < self.factors.len() && j < other.factors.len() {
             let (sa, pa) = self.factors[i];
@@ -143,7 +144,8 @@ impl SymPoly {
 
     /// Whether this polynomial is a constant (possibly zero).
     pub fn is_constant(&self) -> bool {
-        self.terms.is_empty() || (self.terms.len() == 1 && self.terms.keys().next().unwrap().is_one())
+        self.terms.is_empty()
+            || (self.terms.len() == 1 && self.terms.keys().next().unwrap().is_one())
     }
 
     /// Returns the constant value when [`SymPoly::is_constant`] holds.
@@ -400,14 +402,16 @@ impl Add for &SymPoly {
 impl Sub for &SymPoly {
     type Output = SymPoly;
     fn sub(self, rhs: &SymPoly) -> SymPoly {
-        self.checked_sub(rhs).expect("symbolic subtraction overflowed")
+        self.checked_sub(rhs)
+            .expect("symbolic subtraction overflowed")
     }
 }
 
 impl Mul for &SymPoly {
     type Output = SymPoly;
     fn mul(self, rhs: &SymPoly) -> SymPoly {
-        self.checked_mul(rhs).expect("symbolic multiplication overflowed")
+        self.checked_mul(rhs)
+            .expect("symbolic multiplication overflowed")
     }
 }
 

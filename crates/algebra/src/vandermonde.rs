@@ -39,9 +39,7 @@ pub fn fit_polynomial(samples: &[SymPoly]) -> Option<Vec<SymPoly>> {
 /// # Panics
 ///
 /// Panics when `samples` is empty.
-pub fn fit_polynomial_checked(
-    samples: &[SymPoly],
-) -> Result<Option<Vec<SymPoly>>, RationalError> {
+pub fn fit_polynomial_checked(samples: &[SymPoly]) -> Result<Option<Vec<SymPoly>>, RationalError> {
     assert!(!samples.is_empty(), "need at least one sample");
     let n = samples.len();
     let mut basis = Matrix::zero(n, n);
@@ -189,15 +187,24 @@ mod tests {
     fn fit_linear() {
         // 3, 5, -> 3 + 2h
         let coeffs = fit_polynomial(&[c(3), c(5)]).unwrap();
-        assert_eq!(coeffs[0].constant_value().unwrap(), Rational::from_integer(3));
-        assert_eq!(coeffs[1].constant_value().unwrap(), Rational::from_integer(2));
+        assert_eq!(
+            coeffs[0].constant_value().unwrap(),
+            Rational::from_integer(3)
+        );
+        assert_eq!(
+            coeffs[1].constant_value().unwrap(),
+            Rational::from_integer(2)
+        );
     }
 
     #[test]
     fn fit_quadratic_paper_j() {
         // L14's j: 2, 4, 7 -> (h^2 + 3h + 4)/2
         let coeffs = fit_polynomial(&[c(2), c(4), c(7)]).unwrap();
-        assert_eq!(coeffs[0].constant_value().unwrap(), Rational::from_integer(2));
+        assert_eq!(
+            coeffs[0].constant_value().unwrap(),
+            Rational::from_integer(2)
+        );
         assert_eq!(
             coeffs[1].constant_value().unwrap(),
             Rational::new(3, 2).unwrap()
@@ -212,10 +219,7 @@ mod tests {
     fn fit_cubic_paper_k() {
         // L14's k: 4, 9, 17, 29 -> (h^3 + 6h^2 + 23h + 24)/6
         let coeffs = fit_polynomial(&[c(4), c(9), c(17), c(29)]).unwrap();
-        let consts: Vec<Rational> = coeffs
-            .iter()
-            .map(|p| p.constant_value().unwrap())
-            .collect();
+        let consts: Vec<Rational> = coeffs.iter().map(|p| p.constant_value().unwrap()).collect();
         assert_eq!(consts[0], Rational::from_integer(4));
         assert_eq!(consts[1], Rational::new(23, 6).unwrap());
         assert_eq!(consts[2], Rational::from_integer(1));
@@ -245,12 +249,9 @@ mod tests {
         // at 1: m1 = 3*0 + 2*1 + 1 = 3, m2 = 9 + 4 + 1 = 14, m3 = 42+6+1 = 49?
         // Careful: i at iteration h (0-based) is h+1, so
         // m_{h+1} = 3 m_h + 2(h+1) + 1. m0=0, m1=3, m2=3*3+5=14, m3=3*14+7=49.
-        let fit = fit_geometric(
-            &[c(0), c(3), c(14), c(49)],
-            Rational::from_integer(3),
-        )
-        .unwrap()
-        .unwrap();
+        let fit = fit_geometric(&[c(0), c(3), c(14), c(49)], Rational::from_integer(3))
+            .unwrap()
+            .unwrap();
         // Fit: c0 + c1 h + g 3^h. At h=0: c0+g=0; h=1: c0+c1+3g=3;
         // h=2: c0+2c1+9g=14; consistent with g=5/2? Solve: from rows:
         // (1) c0 + g = 0, (2) c0 + c1 + 3g = 3, (3) c0 + 2c1 + 9g = 14.
@@ -283,7 +284,10 @@ mod tests {
         let s2 = s1.checked_add(&two).unwrap();
         let coeffs = fit_polynomial(&[n.clone(), s1, s2]).unwrap();
         assert_eq!(coeffs[0], n);
-        assert_eq!(coeffs[1].constant_value().unwrap(), Rational::from_integer(2));
+        assert_eq!(
+            coeffs[1].constant_value().unwrap(),
+            Rational::from_integer(2)
+        );
         assert!(coeffs[2].is_zero());
     }
 
@@ -316,10 +320,22 @@ mod mixed_tests {
         )
         .unwrap()
         .unwrap();
-        assert_eq!(fit.poly[0].constant_value().unwrap(), Rational::from_integer(1));
-        assert_eq!(fit.poly[1].constant_value().unwrap(), Rational::from_integer(2));
-        assert_eq!(fit.geo[0].constant_value().unwrap(), Rational::from_integer(3));
-        assert_eq!(fit.geo[1].constant_value().unwrap(), Rational::from_integer(-1));
+        assert_eq!(
+            fit.poly[0].constant_value().unwrap(),
+            Rational::from_integer(1)
+        );
+        assert_eq!(
+            fit.poly[1].constant_value().unwrap(),
+            Rational::from_integer(2)
+        );
+        assert_eq!(
+            fit.geo[0].constant_value().unwrap(),
+            Rational::from_integer(3)
+        );
+        assert_eq!(
+            fit.geo[1].constant_value().unwrap(),
+            Rational::from_integer(-1)
+        );
     }
 
     #[test]

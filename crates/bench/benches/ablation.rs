@@ -5,8 +5,9 @@
 //!   which is the engineering argument for the unified algorithm;
 //! - A2: pruned vs minimal SSA construction.
 
+use biv_bench::harness::Criterion;
+use biv_bench::{criterion_group, criterion_main};
 use std::time::Duration;
-use criterion::{criterion_group, criterion_main, Criterion};
 
 use biv_core::{analyze_with, AnalysisConfig};
 use biv_ssa::{BuildConfig, SsaFunction};

@@ -2,8 +2,9 @@
 //! point of the whole exercise (§6). Measures all-pairs testing over
 //! programs with linear, periodic, monotonic, and wrap-around subscripts.
 
+use biv_bench::harness::Criterion;
+use biv_bench::{criterion_group, criterion_main};
 use std::time::Duration;
-use criterion::{criterion_group, criterion_main, Criterion};
 
 use biv_core::analyze_source;
 use biv_depend::DependenceTester;

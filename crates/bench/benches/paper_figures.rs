@@ -2,8 +2,9 @@
 //! from the paper (parse excluded; SSA construction + classification
 //! included).
 
+use biv_bench::harness::{BatchSize, Criterion};
+use biv_bench::{criterion_group, criterion_main};
 use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use biv_core::analyze;
 use biv_ir::parser::parse_program;
@@ -17,11 +18,7 @@ fn bench_paper(c: &mut Criterion) {
         let program = parse_program(src).expect("paper source parses");
         let func = program.functions[0].clone();
         group.bench_function(name, |b| {
-            b.iter_batched(
-                || func.clone(),
-                |f| analyze(&f),
-                BatchSize::SmallInput,
-            )
+            b.iter_batched(|| func.clone(), |f| analyze(&f), BatchSize::SmallInput)
         });
     }
     group.finish();

@@ -3,8 +3,9 @@
 //! Criterion's throughput report shows time **per instruction** staying
 //! flat as programs grow 64×.
 
+use biv_bench::harness::{BenchmarkId, Criterion, Throughput};
+use biv_bench::{criterion_group, criterion_main};
 use std::time::Duration;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use biv_bench::instruction_count;
 use biv_core::analyze;
@@ -20,11 +21,9 @@ fn bench_scaling(c: &mut Criterion) {
         let w = generate(&WorkloadSpec::sized_linear(target, 0xBEEF + exp as u64));
         let insts = instruction_count(&w.func);
         group.throughput(Throughput::Elements(insts as u64));
-        group.bench_with_input(
-            BenchmarkId::new("classify", insts),
-            &w.func,
-            |b, func| b.iter(|| analyze(func)),
-        );
+        group.bench_with_input(BenchmarkId::new("classify", insts), &w.func, |b, func| {
+            b.iter(|| analyze(func))
+        });
     }
     group.finish();
 }
@@ -75,11 +74,9 @@ fn bench_scaling_mixed(c: &mut Criterion) {
         let w = generate(&WorkloadSpec::mixed(scale, 0xCAFE + scale as u64));
         let insts = instruction_count(&w.func);
         group.throughput(Throughput::Elements(insts as u64));
-        group.bench_with_input(
-            BenchmarkId::new("classify", insts),
-            &w.func,
-            |b, func| b.iter(|| analyze(func)),
-        );
+        group.bench_with_input(BenchmarkId::new("classify", insts), &w.func, |b, func| {
+            b.iter(|| analyze(func))
+        });
     }
     group.finish();
 }

@@ -11,8 +11,9 @@
 //!   matchers *and still* classifies strictly less (the coverage gap is
 //!   reported by the `coverage` "benchmark", which prints counts once).
 
+use biv_bench::harness::Criterion;
+use biv_bench::{criterion_group, criterion_main};
 use std::time::Duration;
-use criterion::{criterion_group, criterion_main, Criterion};
 
 use biv_core::{analyze, analyze_with, AnalysisConfig};
 use biv_workload::{count_classes, generate, WorkloadSpec};
@@ -44,7 +45,9 @@ fn bench_vs_classic(c: &mut Criterion) {
     group.bench_function("unified_ssa_linear_cfg", |b| {
         b.iter(|| analyze_with(&linear.func, AnalysisConfig::linear_only()))
     });
-    group.bench_function("classical", |b| b.iter(|| biv_classic::detect(&linear.func)));
+    group.bench_function("classical", |b| {
+        b.iter(|| biv_classic::detect(&linear.func))
+    });
     group.finish();
 
     let mut group = c.benchmark_group("vs_classic/mixed");

@@ -16,6 +16,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod harness;
+
 /// The paper-figure sources benchmarked by `benches/paper_figures.rs`, as
 /// `(experiment id, source)` pairs.
 pub fn paper_sources() -> Vec<(&'static str, &'static str)> {

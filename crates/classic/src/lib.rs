@@ -118,10 +118,7 @@ pub fn detect(func: &Function) -> Report {
 
 /// Operand invariance: constants, or variables with no definition inside
 /// the loop.
-fn invariant_operand(
-    op: &Operand,
-    defs_in_loop: &HashMap<Var, Vec<(Block, usize)>>,
-) -> bool {
+fn invariant_operand(op: &Operand, defs_in_loop: &HashMap<Var, Vec<(Block, usize)>>) -> bool {
     match op {
         Operand::Const(_) => true,
         Operand::Var(v) => !defs_in_loop.contains_key(v),
@@ -220,9 +217,10 @@ fn detect_in_loop(func: &Function, forest: &LoopForest, dom: &DomTree, l: Loop) 
         // The classical definition also wants the increments to execute
         // exactly once per iteration; require each def's block to
         // dominate the latch (conservative but standard).
-        let latch_ok = data.latches.iter().all(|&latch| {
-            defs.iter().all(|&(b, _)| dom.dominates(b, latch))
-        });
+        let latch_ok = data
+            .latches
+            .iter()
+            .all(|&latch| defs.iter().all(|&(b, _)| dom.dominates(b, latch)));
         if !latch_ok {
             continue;
         }

@@ -1,0 +1,679 @@
+//! Parallel batch analysis with structural-hash memoization.
+//!
+//! The paper's classifier is a single linear-time pass per function, so
+//! whole-program throughput is bounded only by how many functions can be
+//! fed to it. This module turns the one-function [`analyze`] driver into
+//! a corpus driver:
+//!
+//! - **Sharding** — functions are distributed over a
+//!   [`std::thread::scope`] worker pool (`jobs` workers; `0` means
+//!   auto-detect via `BIV_JOBS` or the machine's available parallelism).
+//!   Workers pull work items from a shared atomic cursor, so scheduling
+//!   is dynamic, but results are written to pre-assigned slots and
+//!   returned in **input order**: output is byte-identical for every job
+//!   count.
+//! - **Structural memoization** — before any work is scheduled, each
+//!   function is hashed *structurally* (CFG shape, instruction opcodes,
+//!   constants, canonically numbered variables and arrays — names and
+//!   value numbering excluded). Functions whose hash is already in the
+//!   [`StructuralCache`], or that duplicate an earlier function in the
+//!   same batch, are served from the cache and never analyzed again.
+//!   Generated and machine-translated corpora are full of duplicate
+//!   functions; they are classified exactly once.
+//! - **Canonical summaries** — cached results must not leak one
+//!   function's variable names into another structurally identical
+//!   function's report, so summaries render SSA values canonically by
+//!   value index (`%7`) via [`describe_class_with`]. Two α-renamed
+//!   functions therefore produce byte-identical summaries.
+//!
+//! Determinism guarantees (pinned by the differential test suite):
+//!
+//! 1. `analyze_batch(funcs, jobs=N)` output equals `jobs=1` output,
+//!    byte for byte, for every `N` — the hit/miss plan is computed
+//!    serially before any thread is spawned.
+//! 2. Cache statistics are scheduling-independent: `misses` is the
+//!    number of distinct structures analyzed, `hits + misses` equals the
+//!    number of functions submitted.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use biv_ir::{EntityId, Function, Inst, Operand, Terminator};
+
+use crate::config::AnalysisConfig;
+use crate::display::{canonical_value_name, describe_class_with};
+use crate::driver::analyze_with;
+
+/// Options for a batch run.
+#[derive(Debug, Clone)]
+pub struct BatchOptions {
+    /// Worker threads; `0` resolves via [`resolve_jobs`] (the `BIV_JOBS`
+    /// environment variable, then available parallelism).
+    pub jobs: usize,
+    /// The per-function analysis configuration.
+    pub config: AnalysisConfig,
+    /// Maximum entries the structural cache retains (FIFO eviction).
+    pub cache_capacity: usize,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            jobs: 0,
+            config: AnalysisConfig::default(),
+            cache_capacity: 4096,
+        }
+    }
+}
+
+/// Resolves a requested job count: explicit request wins, then the
+/// `BIV_JOBS` environment variable, then the machine's available
+/// parallelism, then 1.
+pub fn resolve_jobs(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(var) = std::env::var("BIV_JOBS") {
+        if let Ok(n) = var.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Counters for one batch run. All values are scheduling-independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchStats {
+    /// Functions submitted.
+    pub functions: usize,
+    /// Functions served from the cache (including duplicates within the
+    /// batch, which are analyzed once and shared).
+    pub hits: usize,
+    /// Functions actually analyzed (distinct structures not in cache).
+    pub misses: usize,
+    /// Entries evicted from the cache by this batch's insertions.
+    pub evictions: usize,
+    /// Worker threads used.
+    pub jobs: usize,
+}
+
+impl BatchStats {
+    /// Renders the scheduling-independent counters (everything except
+    /// `jobs`, which varies by invocation and must not affect
+    /// byte-identical output comparisons).
+    pub fn render(&self) -> String {
+        format!(
+            "batch: {} functions, {} analyzed, {} cache hits, {} evictions",
+            self.functions, self.misses, self.hits, self.evictions
+        )
+    }
+}
+
+/// One loop's classification summary, rendered canonically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopSummary {
+    /// Loop name (source label when present).
+    pub name: String,
+    /// Rendered trip count.
+    pub trip_count: String,
+    /// Rendered trip-count upper bound, when known.
+    pub max_trip_count: Option<String>,
+    /// `(canonical value name, class description)` per classified value,
+    /// in value-numbering order.
+    pub classes: Vec<(String, String)>,
+}
+
+/// The cache-shareable portion of a function's analysis: everything
+/// except the function's own name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructuralSummary {
+    /// Per-loop summaries in inner-to-outer order.
+    pub loops: Vec<LoopSummary>,
+}
+
+/// One function's batch result.
+#[derive(Debug, Clone)]
+pub struct FunctionSummary {
+    /// The function's name (never cached — two structurally identical
+    /// functions keep their own names).
+    pub name: String,
+    /// The structural hash used as the cache key.
+    pub hash: u64,
+    /// Whether this result was served from the cache (a pre-existing
+    /// entry or an earlier duplicate in the same batch).
+    pub cached: bool,
+    /// The shared summary body.
+    pub summary: Arc<StructuralSummary>,
+}
+
+impl FunctionSummary {
+    /// Renders the per-function report block. Deterministic: identical
+    /// for every job count and for cached vs freshly analyzed results.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "func {} [{:016x}]", self.name, self.hash);
+        for l in &self.summary.loops {
+            let _ = writeln!(out, "  loop {}: trip count {}", l.name, l.trip_count);
+            if let Some(max) = &l.max_trip_count {
+                let _ = writeln!(out, "    max trip count: {max}");
+            }
+            for (value, class) in &l.classes {
+                let _ = writeln!(out, "    {value:<8} => {class}");
+            }
+        }
+        out
+    }
+}
+
+/// A bounded structural-hash → summary cache with FIFO eviction,
+/// reusable across batches (e.g. successive files fed to `bivc`).
+#[derive(Debug, Default)]
+pub struct StructuralCache {
+    map: HashMap<u64, Arc<StructuralSummary>>,
+    order: VecDeque<u64>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl StructuralCache {
+    /// Creates a cache bounded to `capacity` entries (0 disables
+    /// retention entirely: every lookup misses, nothing is stored).
+    pub fn new(capacity: usize) -> StructuralCache {
+        StructuralCache {
+            capacity,
+            ..StructuralCache::default()
+        }
+    }
+
+    /// Entries currently retained.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Cumulative hits across all batches served by this cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cumulative misses across all batches served by this cache.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Cumulative evictions across all batches served by this cache.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    fn peek(&self, hash: u64) -> Option<Arc<StructuralSummary>> {
+        self.map.get(&hash).map(Arc::clone)
+    }
+
+    fn insert(&mut self, hash: u64, summary: Arc<StructuralSummary>) -> usize {
+        if self.capacity == 0 {
+            return 0;
+        }
+        let mut evicted = 0;
+        if self.map.insert(hash, summary).is_none() {
+            self.order.push_back(hash);
+        }
+        while self.map.len() > self.capacity {
+            let Some(oldest) = self.order.pop_front() else {
+                break;
+            };
+            if self.map.remove(&oldest).is_some() {
+                self.evictions += 1;
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+}
+
+/// The result of a batch run: per-function summaries in input order plus
+/// scheduling-independent statistics.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// One summary per submitted function, in input order.
+    pub functions: Vec<FunctionSummary>,
+    /// Counters for this run.
+    pub stats: BatchStats,
+}
+
+impl BatchReport {
+    /// Renders every function block plus the stats line. Byte-identical
+    /// across job counts.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.functions {
+            out.push_str(&f.render());
+        }
+        out.push_str(&self.stats.render());
+        out.push('\n');
+        out
+    }
+}
+
+/// Analyzes a batch of functions with a fresh cache.
+pub fn analyze_batch(funcs: &[Function], opts: &BatchOptions) -> BatchReport {
+    let mut cache = StructuralCache::new(opts.cache_capacity);
+    analyze_batch_with_cache(funcs, opts, &mut cache)
+}
+
+/// Analyzes a batch of functions, consulting and updating `cache`.
+///
+/// The hit/miss plan is computed serially before any worker starts, so
+/// results, summaries, and statistics do not depend on scheduling.
+pub fn analyze_batch_with_cache(
+    funcs: &[Function],
+    opts: &BatchOptions,
+    cache: &mut StructuralCache,
+) -> BatchReport {
+    let hashes: Vec<u64> = funcs.iter().map(structural_hash).collect();
+
+    // Serial planning phase: decide, per function, whether it is served
+    // from the cache, aliases an earlier function in this batch, or is
+    // the representative that will actually be analyzed.
+    enum Plan {
+        Cached(Arc<StructuralSummary>),
+        Computed { slot: usize },
+    }
+    let mut stats = BatchStats {
+        functions: funcs.len(),
+        ..BatchStats::default()
+    };
+    let mut slot_of_hash: HashMap<u64, usize> = HashMap::new();
+    let mut representatives: Vec<usize> = Vec::new();
+    let mut plans: Vec<(Plan, bool)> = Vec::with_capacity(funcs.len());
+    for (i, &hash) in hashes.iter().enumerate() {
+        if let Some(summary) = cache.peek(hash) {
+            stats.hits += 1;
+            cache.hits += 1;
+            plans.push((Plan::Cached(summary), true));
+        } else if let Some(&slot) = slot_of_hash.get(&hash) {
+            // Duplicate within this batch: share the representative's
+            // result. Counts as a hit — it is not analyzed again.
+            stats.hits += 1;
+            cache.hits += 1;
+            plans.push((Plan::Computed { slot }, true));
+        } else {
+            stats.misses += 1;
+            cache.misses += 1;
+            let slot = representatives.len();
+            slot_of_hash.insert(hash, slot);
+            representatives.push(i);
+            plans.push((Plan::Computed { slot }, false));
+        }
+    }
+
+    // Parallel analysis of the representatives.
+    let jobs = resolve_jobs(opts.jobs).min(representatives.len()).max(1);
+    stats.jobs = jobs;
+    let computed: Vec<Arc<StructuralSummary>> = if representatives.len() <= 1 || jobs == 1 {
+        representatives
+            .iter()
+            .map(|&i| Arc::new(summarize(&funcs[i], &opts.config)))
+            .collect()
+    } else {
+        let slots: Mutex<Vec<Option<Arc<StructuralSummary>>>> =
+            Mutex::new(vec![None; representatives.len()]);
+        let cursor = AtomicUsize::new(0);
+        let config = &opts.config;
+        let reps = &representatives;
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    if k >= reps.len() {
+                        break;
+                    }
+                    let summary = Arc::new(summarize(&funcs[reps[k]], config));
+                    slots.lock().expect("no panics hold the slot lock")[k] = Some(summary);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .expect("workers joined")
+            .into_iter()
+            .map(|s| s.expect("every slot filled"))
+            .collect()
+    };
+
+    // Deterministic cache insertion, in representative (= input) order.
+    for (slot, &i) in representatives.iter().enumerate() {
+        stats.evictions += cache.insert(hashes[i], Arc::clone(&computed[slot]));
+    }
+
+    let functions = plans
+        .into_iter()
+        .zip(funcs.iter().zip(&hashes))
+        .map(|((plan, cached), (func, &hash))| {
+            let summary = match plan {
+                Plan::Cached(s) => s,
+                Plan::Computed { slot } => Arc::clone(&computed[slot]),
+            };
+            FunctionSummary {
+                name: func.name().to_string(),
+                hash,
+                cached,
+                summary,
+            }
+        })
+        .collect();
+    BatchReport { functions, stats }
+}
+
+/// Analyzes one function and renders its canonical summary.
+fn summarize(func: &Function, config: &AnalysisConfig) -> StructuralSummary {
+    let analysis = analyze_with(func, *config);
+    let namer = canonical_value_name;
+    let mut loops = Vec::new();
+    for (_, info) in analysis.loops() {
+        let mut classes: Vec<_> = info.classes.iter().collect();
+        classes.sort_by_key(|(v, _)| **v);
+        let classes = classes
+            .into_iter()
+            .map(|(v, c)| {
+                (
+                    canonical_value_name(*v),
+                    describe_class_with(&analysis, c, &namer),
+                )
+            })
+            .collect();
+        loops.push(LoopSummary {
+            name: info.name.clone(),
+            trip_count: info.trip_count.to_string(),
+            max_trip_count: info.max_trip_count.as_ref().map(|p| p.to_string()),
+            classes,
+        });
+    }
+    StructuralSummary { loops }
+}
+
+/// Computes the structural hash of a function: CFG shape, labels,
+/// instruction opcodes, constants, and *canonically numbered* variables
+/// and arrays. Variable and array names, value numbering, and the
+/// function's own name are excluded, so α-renamed functions collide (by
+/// design) while any single-instruction change separates.
+pub fn structural_hash(func: &Function) -> u64 {
+    let mut h = Fnv1a::new();
+    let mut canon = Canonicalizer::default();
+    h.write_usize(func.params().len());
+    for &p in func.params() {
+        h.write_u64(canon.var(p));
+    }
+    h.write_usize(func.blocks.iter().count());
+    for (block, data) in func.blocks.iter() {
+        // Block identity is its arena index (construction order), which
+        // the parser assigns purely from program structure.
+        h.write_u64(block.index() as u64);
+        match &data.label {
+            Some(label) => {
+                h.write_u8(1);
+                h.write_bytes(label.as_bytes());
+            }
+            None => h.write_u8(0),
+        }
+        h.write_usize(data.insts.len());
+        for inst in &data.insts {
+            hash_inst(&mut h, &mut canon, inst);
+        }
+        hash_term(&mut h, &mut canon, &data.term);
+    }
+    h.finish()
+}
+
+fn hash_operand(h: &mut Fnv1a, canon: &mut Canonicalizer, op: &Operand) {
+    match op {
+        Operand::Var(v) => {
+            h.write_u8(1);
+            h.write_u64(canon.var(*v));
+        }
+        Operand::Const(c) => {
+            h.write_u8(2);
+            h.write_u64(*c as u64);
+        }
+    }
+}
+
+fn hash_inst(h: &mut Fnv1a, canon: &mut Canonicalizer, inst: &Inst) {
+    match inst {
+        Inst::Copy { dst, src } => {
+            h.write_u8(10);
+            hash_operand(h, canon, src);
+            h.write_u64(canon.var(*dst));
+        }
+        Inst::Neg { dst, src } => {
+            h.write_u8(11);
+            hash_operand(h, canon, src);
+            h.write_u64(canon.var(*dst));
+        }
+        Inst::Binary { dst, op, lhs, rhs } => {
+            h.write_u8(12);
+            h.write_u8(*op as u8);
+            hash_operand(h, canon, lhs);
+            hash_operand(h, canon, rhs);
+            h.write_u64(canon.var(*dst));
+        }
+        Inst::Load { dst, array, index } => {
+            h.write_u8(13);
+            h.write_u64(canon.array(*array));
+            h.write_usize(index.len());
+            for op in index {
+                hash_operand(h, canon, op);
+            }
+            h.write_u64(canon.var(*dst));
+        }
+        Inst::Store {
+            array,
+            index,
+            value,
+        } => {
+            h.write_u8(14);
+            h.write_u64(canon.array(*array));
+            h.write_usize(index.len());
+            for op in index {
+                hash_operand(h, canon, op);
+            }
+            hash_operand(h, canon, value);
+        }
+    }
+}
+
+fn hash_term(h: &mut Fnv1a, canon: &mut Canonicalizer, term: &Terminator) {
+    match term {
+        Terminator::Jump(b) => {
+            h.write_u8(20);
+            h.write_u64(b.index() as u64);
+        }
+        Terminator::Branch {
+            op,
+            lhs,
+            rhs,
+            then_bb,
+            else_bb,
+        } => {
+            h.write_u8(21);
+            h.write_u8(*op as u8);
+            hash_operand(h, canon, lhs);
+            hash_operand(h, canon, rhs);
+            h.write_u64(then_bb.index() as u64);
+            h.write_u64(else_bb.index() as u64);
+        }
+        Terminator::Return => h.write_u8(22),
+    }
+}
+
+/// First-occurrence canonical numbering of variables and arrays.
+#[derive(Default)]
+struct Canonicalizer {
+    vars: HashMap<biv_ir::Var, u64>,
+    arrays: HashMap<biv_ir::Array, u64>,
+}
+
+impl Canonicalizer {
+    fn var(&mut self, v: biv_ir::Var) -> u64 {
+        let next = self.vars.len() as u64;
+        *self.vars.entry(v).or_insert(next)
+    }
+
+    fn array(&mut self, a: biv_ir::Array) -> u64 {
+        let next = self.arrays.len() as u64;
+        *self.arrays.entry(a).or_insert(next)
+    }
+}
+
+/// FNV-1a, 64-bit: tiny, dependency-free, and stable across platforms.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Fnv1a {
+        Fnv1a(0xCBF2_9CE4_8422_2325)
+    }
+
+    fn write_u8(&mut self, byte: u8) {
+        self.0 ^= u64::from(byte);
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_usize(bytes.len());
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.write_u8(b);
+        }
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biv_ir::parser::parse_program;
+
+    fn funcs_of(src: &str) -> Vec<Function> {
+        parse_program(src).expect("test source parses").functions
+    }
+
+    const TWO_LOOPS: &str = r#"
+        func first(n) {
+            j = 1
+            L1: for i = 1 to n { j = j + i A[j] = i }
+        }
+        func second(n) {
+            q = 1
+            L1: for r = 1 to n { q = q + r A[q] = r }
+        }
+        func third(n) {
+            j = 2
+            L1: for i = 1 to n { j = j + i A[j] = i }
+        }
+    "#;
+
+    #[test]
+    fn alpha_renamed_functions_share_a_hash() {
+        let funcs = funcs_of(TWO_LOOPS);
+        assert_eq!(structural_hash(&funcs[0]), structural_hash(&funcs[1]));
+    }
+
+    #[test]
+    fn constant_mutation_changes_the_hash() {
+        let funcs = funcs_of(TWO_LOOPS);
+        assert_ne!(structural_hash(&funcs[0]), structural_hash(&funcs[2]));
+    }
+
+    #[test]
+    fn batch_serves_duplicates_from_cache() {
+        let funcs = funcs_of(TWO_LOOPS);
+        let report = analyze_batch(&funcs, &BatchOptions::default());
+        assert_eq!(report.stats.functions, 3);
+        assert_eq!(report.stats.misses, 2); // first/second share; third differs
+        assert_eq!(report.stats.hits, 1);
+        assert!(report.functions[1].cached);
+        assert_eq!(
+            report.functions[0].summary, report.functions[1].summary,
+            "α-renamed twins share the summary"
+        );
+        // Names are never cached.
+        assert_eq!(report.functions[0].name, "first");
+        assert_eq!(report.functions[1].name, "second");
+    }
+
+    #[test]
+    fn cache_persists_across_batches() {
+        let funcs = funcs_of(TWO_LOOPS);
+        let opts = BatchOptions::default();
+        let mut cache = StructuralCache::new(16);
+        let first = analyze_batch_with_cache(&funcs, &opts, &mut cache);
+        assert_eq!(first.stats.misses, 2);
+        let second = analyze_batch_with_cache(&funcs, &opts, &mut cache);
+        assert_eq!(second.stats.misses, 0);
+        assert_eq!(second.stats.hits, 3);
+        // Per-function output is identical whether analyzed or cached;
+        // only the stats line records the different hit counts.
+        for (a, b) in first.functions.iter().zip(&second.functions) {
+            assert_eq!(a.render(), b.render());
+        }
+    }
+
+    #[test]
+    fn eviction_is_counted_and_bounded() {
+        let funcs = funcs_of(TWO_LOOPS);
+        let opts = BatchOptions {
+            cache_capacity: 1,
+            ..BatchOptions::default()
+        };
+        let mut cache = StructuralCache::new(opts.cache_capacity);
+        let report = analyze_batch_with_cache(&funcs, &opts, &mut cache);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(report.stats.evictions, 1);
+        assert_eq!(cache.evictions(), 1);
+    }
+
+    #[test]
+    fn job_counts_do_not_change_output() {
+        let funcs = funcs_of(TWO_LOOPS);
+        let render_with = |jobs: usize| {
+            let opts = BatchOptions {
+                jobs,
+                ..BatchOptions::default()
+            };
+            analyze_batch(&funcs, &opts).render()
+        };
+        let serial = render_with(1);
+        assert_eq!(serial, render_with(2));
+        assert_eq!(serial, render_with(8));
+    }
+
+    #[test]
+    fn resolve_jobs_prefers_explicit_request() {
+        assert_eq!(resolve_jobs(3), 3);
+        assert!(resolve_jobs(0) >= 1);
+    }
+}

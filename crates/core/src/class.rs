@@ -209,8 +209,7 @@ impl ClosedForm {
             return None;
         }
         // Polynomial × polynomial: convolution.
-        let mut coeffs =
-            vec![SymPoly::zero(); self.coeffs.len() + other.coeffs.len() - 1];
+        let mut coeffs = vec![SymPoly::zero(); self.coeffs.len() + other.coeffs.len() - 1];
         for (i, a) in self.coeffs.iter().enumerate() {
             if a.is_zero() {
                 continue;
@@ -487,9 +486,7 @@ impl Class {
     /// Normalizes `Induction` forms that are actually invariant.
     pub fn normalized(self) -> Class {
         match self {
-            Class::Induction(cf) if cf.is_invariant() => {
-                Class::Invariant(cf.coeffs[0].clone())
-            }
+            Class::Induction(cf) if cf.is_invariant() => Class::Invariant(cf.coeffs[0].clone()),
             other => other,
         }
     }
@@ -612,12 +609,10 @@ mod tests {
         // h^2 is non-decreasing for h >= 0.
         assert!(ClosedForm::from_parts(lp(), vec![c(0), c(0), c(1)], vec![]).is_nondecreasing());
         // 2^h increasing.
-        assert!(ClosedForm::from_parts(
-            lp(),
-            vec![c(0)],
-            vec![(Rational::from_integer(2), c(1))]
-        )
-        .is_nondecreasing());
+        assert!(
+            ClosedForm::from_parts(lp(), vec![c(0)], vec![(Rational::from_integer(2), c(1))])
+                .is_nondecreasing()
+        );
         // -2^h decreasing.
         assert!(!ClosedForm::from_parts(
             lp(),

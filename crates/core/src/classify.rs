@@ -95,40 +95,34 @@ pub fn combine_classes(loop_id: Loop, op: BinOp, lhs: &Class, rhs: &Class) -> Cl
             (Invariant(a), Invariant(b)) => {
                 // Integer division: only fold exact constant division.
                 match (a.constant_value(), b.constant_value()) {
-                    (Some(x), Some(y)) if !y.is_zero() => {
-                        match x.checked_div(&y) {
-                            Ok(q) if q.is_integer() => {
-                                Invariant(SymPoly::constant(q))
-                            }
-                            _ => Unknown,
-                        }
-                    }
+                    (Some(x), Some(y)) if !y.is_zero() => match x.checked_div(&y) {
+                        Ok(q) if q.is_integer() => Invariant(SymPoly::constant(q)),
+                        _ => Unknown,
+                    },
                     _ => Unknown,
                 }
             }
             _ => Unknown,
         },
         BinOp::Exp => match (lhs, rhs) {
-            (Invariant(a), Invariant(b)) => {
-                match (a.constant_value(), b.constant_value()) {
-                    (Some(base), Some(e)) if e.is_integer() => {
-                        let Some(e) = e.as_integer() else {
-                            return Unknown;
-                        };
-                        let Ok(e32) = i32::try_from(e) else {
-                            return Unknown;
-                        };
-                        if e32 < 0 {
-                            return Unknown;
-                        }
-                        match base.checked_pow(e32) {
-                            Ok(v) => Invariant(SymPoly::constant(v)),
-                            Err(_) => Unknown,
-                        }
+            (Invariant(a), Invariant(b)) => match (a.constant_value(), b.constant_value()) {
+                (Some(base), Some(e)) if e.is_integer() => {
+                    let Some(e) = e.as_integer() else {
+                        return Unknown;
+                    };
+                    let Ok(e32) = i32::try_from(e) else {
+                        return Unknown;
+                    };
+                    if e32 < 0 {
+                        return Unknown;
                     }
-                    _ => Unknown,
+                    match base.checked_pow(e32) {
+                        Ok(v) => Invariant(SymPoly::constant(v)),
+                        Err(_) => Unknown,
+                    }
                 }
-            }
+                _ => Unknown,
+            },
             (Invariant(g), Induction(cf)) if cf.is_linear() => {
                 // g^(a + b·h) = g^a · (g^b)^h — a geometric IV when g, a,
                 // b are integer constants with a, b ≥ 0.
@@ -151,8 +145,7 @@ pub fn combine_classes(loop_id: Loop, op: BinOp, lhs: &Class, rhs: &Class) -> Cl
                 let (Ok(a32), Ok(b32)) = (i32::try_from(a), i32::try_from(b)) else {
                     return Unknown;
                 };
-                let (Ok(coeff), Ok(base)) = (g.checked_pow(a32), g.checked_pow(b32))
-                else {
+                let (Ok(coeff), Ok(base)) = (g.checked_pow(a32), g.checked_pow(b32)) else {
                     return Unknown;
                 };
                 Induction(ClosedForm::from_parts(
@@ -175,8 +168,7 @@ fn add_classes(loop_id: Loop, lhs: &Class, rhs: &Class) -> Class {
             Err(_) => Unknown,
         },
         (Induction(_) | Invariant(_), Induction(_) | Invariant(_)) => {
-            let (Some(a), Some(b)) = (lhs.closed_form(loop_id), rhs.closed_form(loop_id))
-            else {
+            let (Some(a), Some(b)) = (lhs.closed_form(loop_id), rhs.closed_form(loop_id)) else {
                 return Unknown;
             };
             match a.add(&b) {
@@ -205,16 +197,18 @@ fn add_classes(loop_id: Loop, lhs: &Class, rhs: &Class) -> Class {
                 loop_id: m1.loop_id,
                 direction: m1.direction,
                 strict: m1.strict || m2.strict,
-                family: if m1.family == m2.family { m1.family } else { None },
+                family: if m1.family == m2.family {
+                    m1.family
+                } else {
+                    None
+                },
             })
         }
         (Monotonic(m), Induction(cf)) | (Induction(cf), Monotonic(m)) => {
             // Monotonic + co-directed induction stays monotonic (§5.1).
             let cf_ok = match m.direction {
                 Direction::Increasing => cf.is_nondecreasing(),
-                Direction::Decreasing => {
-                    cf.neg().map(|n| n.is_nondecreasing()).unwrap_or(false)
-                }
+                Direction::Decreasing => cf.neg().map(|n| n.is_nondecreasing()).unwrap_or(false),
             };
             if cf_ok {
                 Monotonic(*m)
@@ -266,12 +260,10 @@ fn mul_classes(_loop_id: Loop, lhs: &Class, rhs: &Class) -> Class {
             Ok(p) => Invariant(p),
             Err(_) => Unknown,
         },
-        (Induction(cf), Invariant(s)) | (Invariant(s), Induction(cf)) => {
-            match cf.scale(s) {
-                Some(p) => Induction(p).normalized(),
-                None => Unknown,
-            }
-        }
+        (Induction(cf), Invariant(s)) | (Invariant(s), Induction(cf)) => match cf.scale(s) {
+            Some(p) => Induction(p).normalized(),
+            None => Unknown,
+        },
         (Induction(a), Induction(b)) => match a.mul(b) {
             Some(p) => Induction(p).normalized(),
             None => Unknown,
@@ -422,9 +414,17 @@ impl Sign {
         use Sign::*;
         Some(match (self, other) {
             (a, b) if a == b => a,
-            (Zero, Pos) | (Pos, Zero) | (Pos, NonNeg) | (NonNeg, Pos) | (Zero, NonNeg)
+            (Zero, Pos)
+            | (Pos, Zero)
+            | (Pos, NonNeg)
+            | (NonNeg, Pos)
+            | (Zero, NonNeg)
             | (NonNeg, Zero) => NonNeg,
-            (Zero, Neg) | (Neg, Zero) | (Neg, NonPos) | (NonPos, Neg) | (Zero, NonPos)
+            (Zero, Neg)
+            | (Neg, Zero)
+            | (Neg, NonPos)
+            | (NonPos, Neg)
+            | (Zero, NonPos)
             | (NonPos, Zero) => NonPos,
             _ => return None,
         })
@@ -599,9 +599,7 @@ impl<'a> Cx<'a> {
                         .map(|(_, op)| self.class_of_operand(op))
                         .collect();
                     match classes.split_first() {
-                        Some((first, rest)) if rest.iter().all(|c| c == first) => {
-                            first.clone()
-                        }
+                        Some((first, rest)) if rest.iter().all(|c| c == first) => first.clone(),
                         _ => Class::Unknown,
                     }
                 }
@@ -619,13 +617,9 @@ impl<'a> Cx<'a> {
             // Array loads have non-invariant addresses in general; the
             // paper's invariant scalar loads are registers in this IR.
             ValueDef::Load { .. } => Class::Unknown,
-            ValueDef::LiveIn { .. } => {
-                Class::Invariant(SymPoly::symbol(sym_of_value(v)))
-            }
+            ValueDef::LiveIn { .. } => Class::Invariant(SymPoly::symbol(sym_of_value(v))),
             ValueDef::ExitValue { .. } => match self.exit_exprs.get(&v) {
-                Some(expr) => {
-                    class_of_sympoly(self.loop_id, expr, &self.classify_symbol_fn())
-                }
+                Some(expr) => class_of_sympoly(self.loop_id, expr, &self.classify_symbol_fn()),
                 None => Class::Unknown,
             },
         }
@@ -987,10 +981,7 @@ impl<'a> Cx<'a> {
                             .ok_or(NonAffine)?;
                         Ok(Transform {
                             a: varying.a.checked_mul(&c).map_err(|_| NonAffine)?,
-                            b: varying
-                                .b
-                                .scale(&SymPoly::constant(c))
-                                .ok_or(NonAffine)?,
+                            b: varying.b.scale(&SymPoly::constant(c)).ok_or(NonAffine)?,
                         })
                     }
                     BinOp::Div | BinOp::Exp => Err(NonAffine),
@@ -1024,11 +1015,10 @@ impl<'a> Cx<'a> {
                     match scr_syms.as_slice() {
                         [] => {
                             // φ-free term: classify and fold into b.
-                            let mut term =
-                                Class::Invariant(SymPoly::constant(*coeff));
+                            let mut term = Class::Invariant(SymPoly::constant(*coeff));
                             for &(sym, pow) in monomial.factors() {
-                                let base = self
-                                    .class_of_operand(&Operand::Value(value_of_sym(sym)));
+                                let base =
+                                    self.class_of_operand(&Operand::Value(value_of_sym(sym)));
                                 for _ in 0..pow {
                                     term = mul_classes(self.loop_id, &term, &base);
                                 }
@@ -1038,16 +1028,9 @@ impl<'a> Cx<'a> {
                         }
                         [(sym, 1)] if monomial.factors().len() == 1 => {
                             // coeff · (single SCR symbol).
-                            let t = self.transform_value(
-                                value_of_sym(*sym),
-                                phi,
-                                members,
-                                memo,
-                            )?;
+                            let t = self.transform_value(value_of_sym(*sym), phi, members, memo)?;
                             a = a
-                                .checked_add(
-                                    &t.a.checked_mul(coeff).map_err(|_| NonAffine)?,
-                                )
+                                .checked_add(&t.a.checked_mul(coeff).map_err(|_| NonAffine)?)
                                 .map_err(|_| NonAffine)?;
                             b = b
                                 .add(&t.b.scale(&SymPoly::constant(*coeff)).ok_or(NonAffine)?)
@@ -1072,14 +1055,15 @@ impl<'a> Cx<'a> {
         // Resolve copies only when they lead out of the SCR; in-SCR copy
         // chains go through transform_value so members get transforms.
         let resolved = resolve_copies(self.ssa, *op);
-        let op = if self.in_scr(op, members) { op } else { &resolved };
+        let op = if self.in_scr(op, members) {
+            op
+        } else {
+            &resolved
+        };
         match op {
             Operand::Const(c) => Ok(Transform {
                 a: Rational::ZERO,
-                b: ClosedForm::constant(
-                    self.loop_id,
-                    SymPoly::from_integer(i128::from(*c)),
-                ),
+                b: ClosedForm::constant(self.loop_id, SymPoly::from_integer(i128::from(*c))),
             }),
             Operand::Value(v) => {
                 if members.contains(v) {
@@ -1153,15 +1137,12 @@ impl<'a> Cx<'a> {
                     // growth, not the offset sign — but strictness does
                     // not. Conservatively require non-conflicting sign.
                     let compatible = match direction {
-                        Direction::Increasing => {
-                            !matches!(sign, Sign::Neg | Sign::NonPos)
-                        }
-                        Direction::Decreasing => {
-                            !matches!(sign, Sign::Pos | Sign::NonNeg)
-                        }
+                        Direction::Increasing => !matches!(sign, Sign::Neg | Sign::NonPos),
+                        Direction::Decreasing => !matches!(sign, Sign::Pos | Sign::NonNeg),
                     };
-                    let family =
-                        Some(FamilyAnchor(u32::try_from(biv_ir::EntityId::index(phi)).unwrap_or(u32::MAX)));
+                    let family = Some(FamilyAnchor(
+                        u32::try_from(biv_ir::EntityId::index(phi)).unwrap_or(u32::MAX),
+                    ));
                     Class::Monotonic(Monotonic {
                         loop_id: self.loop_id,
                         direction,
@@ -1200,8 +1181,7 @@ impl<'a> Cx<'a> {
             } => {
                 // Exactly one side stays in the SCR (offset), the other
                 // contributes its value sign.
-                let (inner, outer) = match (self.in_scr(lhs, members), self.in_scr(rhs, members))
-                {
+                let (inner, outer) = match (self.in_scr(lhs, members), self.in_scr(rhs, members)) {
                     (true, false) => (lhs, rhs),
                     (false, true) => (rhs, lhs),
                     _ => return cache(memo, v, None),
@@ -1278,11 +1258,7 @@ fn phi_strict_or_member(sign: Sign, phi_strict: bool) -> bool {
     }
 }
 
-fn cache(
-    memo: &mut HashMap<Value, Option<Sign>>,
-    v: Value,
-    s: Option<Sign>,
-) -> Option<Sign> {
+fn cache(memo: &mut HashMap<Value, Option<Sign>>, v: Value, s: Option<Sign>) -> Option<Sign> {
     memo.insert(v, s);
     s
 }

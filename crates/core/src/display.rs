@@ -1,15 +1,32 @@
 //! Paper-style rendering of classifications: `(L7, n1, c1 + k1)` tuples,
 //! nested for multi-loop induction variables.
+//!
+//! All renderers are parameterized over a *value namer* so the same
+//! machinery serves two audiences: the interactive CLI renders SSA values
+//! with their source names (`j2`), while the batch driver renders them
+//! canonically by value index (`%7`) so structurally identical functions
+//! produce byte-identical summaries regardless of variable naming.
 
 use biv_algebra::{Rational, SymPoly};
+use biv_ssa::Value;
 
 use crate::class::{Class, ClosedForm, Direction};
 use crate::driver::Analysis;
 use crate::symbols::value_of_sym;
 
-/// Renders a symbolic polynomial with SSA value names, substituting nested
-/// induction-variable tuples for symbols classified in outer loops.
-fn render_sympoly(analysis: &Analysis, poly: &SymPoly) -> String {
+/// A function rendering an SSA value as display text.
+pub type ValueNamer<'a> = &'a dyn Fn(Value) -> String;
+
+/// The canonical namer: pure value index, independent of source naming.
+pub fn canonical_value_name(value: Value) -> String {
+    use biv_ir::EntityId;
+    format!("%{}", value.index())
+}
+
+/// Renders a symbolic polynomial with the given namer, substituting
+/// nested induction-variable tuples for symbols classified in outer
+/// loops.
+fn render_sympoly(analysis: &Analysis, poly: &SymPoly, namer: ValueNamer<'_>) -> String {
     // If the polynomial is exactly one symbol and that symbol is an outer
     // induction variable, render its tuple (the paper's nested form).
     if poly.term_count() == 1 {
@@ -20,31 +37,40 @@ fn render_sympoly(analysis: &Analysis, poly: &SymPoly) -> String {
                 let value = value_of_sym(sym);
                 if let Some((_, Class::Induction(cf))) = analysis.class_of(value) {
                     if !cf.is_invariant() {
-                        return describe_closed_form(analysis, cf);
+                        return describe_closed_form_with(analysis, cf, namer);
                     }
                 }
             }
         }
     }
-    poly.display_with(|s| analysis.ssa().value_name(value_of_sym(s)))
+    poly.display_with(|s| namer(value_of_sym(s)))
 }
 
-/// Renders a closed form as the paper's tuple.
+/// Renders a closed form as the paper's tuple, with source value names.
 ///
 /// - linear: `(L, init, step)`
 /// - polynomial: `(L, s0, s1, …, sm)` — value at iteration `h` is
 ///   `Σ s_k·h^k`
 /// - geometric: polynomial coefficients followed by `| c·g^h` terms
 pub fn describe_closed_form(analysis: &Analysis, cf: &ClosedForm) -> String {
+    describe_closed_form_with(analysis, cf, &|v| analysis.ssa().value_name(v))
+}
+
+/// [`describe_closed_form`] with an explicit value namer.
+pub fn describe_closed_form_with(
+    analysis: &Analysis,
+    cf: &ClosedForm,
+    namer: ValueNamer<'_>,
+) -> String {
     let loop_name = analysis
         .loops()
         .find(|(l, _)| *l == cf.loop_id)
         .map(|(_, info)| info.name.clone())
         .unwrap_or_else(|| format!("{}", cf.loop_id));
-    let mut parts: Vec<String> = cf
+    let parts: Vec<String> = cf
         .coeffs
         .iter()
-        .map(|c| render_sympoly(analysis, c))
+        .map(|c| render_sympoly(analysis, c, namer))
         .collect();
     if cf.coeffs.len() == 1 && cf.geo.is_empty() {
         // Invariant rendered as a bare tuple of one value.
@@ -53,7 +79,7 @@ pub fn describe_closed_form(analysis: &Analysis, cf: &ClosedForm) -> String {
     let geo: Vec<String> = cf
         .geo
         .iter()
-        .map(|(base, coeff)| format!("{}*{}^h", render_sympoly(analysis, coeff), base))
+        .map(|(base, coeff)| format!("{}*{}^h", render_sympoly(analysis, coeff, namer), base))
         .collect();
     let mut body = parts.join(", ");
     if !geo.is_empty() {
@@ -63,15 +89,22 @@ pub fn describe_closed_form(analysis: &Analysis, cf: &ClosedForm) -> String {
         let sep = if body.is_empty() { "" } else { " | " };
         body = format!("{body}{sep}{}", geo.join(" + "));
     }
-    let _ = &mut parts;
     format!("({loop_name}, {body})")
 }
 
-/// Renders any class in a human-readable, paper-flavored form.
+/// Renders any class in a human-readable, paper-flavored form, with
+/// source value names.
 pub fn describe_class(analysis: &Analysis, class: &Class) -> String {
+    describe_class_with(analysis, class, &|v| analysis.ssa().value_name(v))
+}
+
+/// [`describe_class`] with an explicit value namer.
+pub fn describe_class_with(analysis: &Analysis, class: &Class, namer: ValueNamer<'_>) -> String {
     match class {
-        Class::Invariant(p) => format!("invariant {}", render_sympoly(analysis, p)),
-        Class::Induction(cf) => describe_closed_form(analysis, cf),
+        Class::Invariant(p) => {
+            format!("invariant {}", render_sympoly(analysis, p, namer))
+        }
+        Class::Induction(cf) => describe_closed_form_with(analysis, cf, namer),
         Class::WrapAround {
             order,
             steady,
@@ -79,19 +112,19 @@ pub fn describe_class(analysis: &Analysis, class: &Class) -> String {
         } => {
             let inits: Vec<String> = initials
                 .iter()
-                .map(|p| render_sympoly(analysis, p))
+                .map(|p| render_sympoly(analysis, p, namer))
                 .collect();
             format!(
                 "wrap-around(order {order}, initial [{}]) of {}",
                 inits.join(", "),
-                describe_class(analysis, steady)
+                describe_class_with(analysis, steady, namer)
             )
         }
         Class::Periodic(p) => {
             let values: Vec<String> = p
                 .values
                 .iter()
-                .map(|v| render_sympoly(analysis, v))
+                .map(|v| render_sympoly(analysis, v, namer))
                 .collect();
             let loop_name = analysis
                 .loops()

@@ -249,9 +249,11 @@ fn materialize_exit_values(
                 SsaInst::Store { .. } => None,
             }));
         for v in defs {
-            let used_outside = use_map
-                .get(&v)
-                .is_some_and(|sites| sites.iter().any(|&s| !forest.contains(l, site_block(ssa, s))));
+            let used_outside = use_map.get(&v).is_some_and(|sites| {
+                sites
+                    .iter()
+                    .any(|&s| !forest.contains(l, site_block(ssa, s)))
+            });
             if used_outside {
                 outside_used.push(v);
             }
@@ -273,8 +275,7 @@ fn materialize_exit_values(
                         .checked_sub(&SymPoly::from_integer(1))
                         .ok()
                         .filter(|p| {
-                            p.constant_value()
-                                != Some(biv_algebra::Rational::from_integer(-1))
+                            p.constant_value() != Some(biv_algebra::Rational::from_integer(-1))
                         }) {
                         Some(p) => p,
                         None => continue, // never executed
@@ -339,17 +340,13 @@ fn rewrite_outside_uses(
                     continue;
                 }
                 match &mut ssa.values[u].def {
-                    ValueDef::Phi { args } => {
-                        args.iter_mut().for_each(|(_, op)| rewrite_op(op))
-                    }
+                    ValueDef::Phi { args } => args.iter_mut().for_each(|(_, op)| rewrite_op(op)),
                     ValueDef::Copy { src } | ValueDef::Neg { src } => rewrite_op(src),
                     ValueDef::Binary { lhs, rhs, .. } => {
                         rewrite_op(lhs);
                         rewrite_op(rhs);
                     }
-                    ValueDef::Load { index, .. } => {
-                        index.iter_mut().for_each(rewrite_op)
-                    }
+                    ValueDef::Load { index, .. } => index.iter_mut().for_each(rewrite_op),
                     ValueDef::LiveIn { .. } | ValueDef::ExitValue { .. } => {}
                 }
             }
@@ -362,9 +359,7 @@ fn rewrite_outside_uses(
                 }
             }
             UseSite::Term(b) => {
-                if let Some(SsaTerminator::Branch { lhs, rhs, .. }) =
-                    &mut ssa.block_mut(b).term
-                {
+                if let Some(SsaTerminator::Branch { lhs, rhs, .. }) = &mut ssa.block_mut(b).term {
                     rewrite_op(lhs);
                     rewrite_op(rhs);
                 }
@@ -449,11 +444,7 @@ impl Analysis {
     /// before the value can be observed again.
     ///
     /// Returns `true` also for values that are strict outright.
-    pub fn strictly_monotonic_at(
-        &self,
-        value: biv_ssa::Value,
-        use_block: biv_ir::Block,
-    ) -> bool {
+    pub fn strictly_monotonic_at(&self, value: biv_ssa::Value, use_block: biv_ir::Block) -> bool {
         let Some((info, class)) = self.class_of(value) else {
             return false;
         };

@@ -48,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 mod class;
 mod classify;
 mod config;
@@ -57,13 +58,19 @@ mod scc;
 mod symbols;
 mod tripcount;
 
+pub use batch::{
+    analyze_batch, analyze_batch_with_cache, resolve_jobs, structural_hash, BatchOptions,
+    BatchReport, BatchStats, FunctionSummary, LoopSummary, StructuralCache, StructuralSummary,
+};
 pub use class::{Class, ClosedForm, Direction, FamilyAnchor, Monotonic, Periodic};
 pub use classify::{
-    class_of_sympoly, classify_loop, combine_classes, negate_class, operand_class,
-    resolve_copies,
+    class_of_sympoly, classify_loop, combine_classes, negate_class, operand_class, resolve_copies,
 };
 pub use config::AnalysisConfig;
-pub use display::{describe_class, describe_closed_form};
+pub use display::{
+    canonical_value_name, describe_class, describe_class_with, describe_closed_form,
+    describe_closed_form_with, ValueNamer,
+};
 pub use driver::{
     analyze, analyze_source, analyze_ssa_with, analyze_with, Analysis, AnalyzeError, LoopInfo,
 };

@@ -27,8 +27,7 @@ pub fn strongly_connected_regions<F>(nodes: &[Value], mut edges: F) -> Vec<Scr>
 where
     F: FnMut(Value) -> Vec<Value>,
 {
-    let in_region: HashMap<Value, usize> =
-        nodes.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let in_region: HashMap<Value, usize> = nodes.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     let n = nodes.len();
     let mut index = vec![usize::MAX; n];
     let mut lowlink = vec![0usize; n];
@@ -114,8 +113,7 @@ where
                 }
                 let finished = frames.pop().expect("frame exists");
                 if let Some(parent) = frames.last_mut() {
-                    lowlink[parent.node] =
-                        lowlink[parent.node].min(lowlink[finished.node]);
+                    lowlink[parent.node] = lowlink[parent.node].min(lowlink[finished.node]);
                 }
             }
         }
@@ -195,11 +193,7 @@ mod tests {
             _ => vec![],
         });
         assert_eq!(sccs.len(), 3);
-        let pos = |val: Value| {
-            sccs.iter()
-                .position(|s| s.members.contains(&val))
-                .unwrap()
-        };
+        let pos = |val: Value| sccs.iter().position(|s| s.members.contains(&val)).unwrap();
         assert!(pos(v(2)) < pos(v(0)), "inner cycle pops first");
         assert!(pos(v(0)) < pos(v(4)), "user pops last");
         assert!(pos(v(2)) < pos(v(4)));

@@ -1,9 +1,7 @@
 //! API surface tests: `Analysis` queries, display rendering, config
 //! gating, and error paths.
 
-use biv_core::{
-    analyze_source, analyze_with, AnalysisConfig, AnalyzeError, Class,
-};
+use biv_core::{analyze_source, analyze_with, AnalysisConfig, AnalyzeError, Class};
 use biv_ir::parser::parse_program;
 
 #[test]
@@ -20,17 +18,15 @@ fn analyze_source_rejects_bad_input() {
 
 #[test]
 fn describe_by_name_unknown_is_none() {
-    let analysis =
-        analyze_source("func f(n) { L1: for i = 1 to n { x = i } }").unwrap();
+    let analysis = analyze_source("func f(n) { L1: for i = 1 to n { x = i } }").unwrap();
     assert!(analysis.describe_by_name("zzz9").is_none());
 }
 
 #[test]
 fn loop_by_label_and_info() {
-    let analysis = analyze_source(
-        "func f(n) { L1: for i = 1 to n { L2: for j = 1 to n { x = i + j } } }",
-    )
-    .unwrap();
+    let analysis =
+        analyze_source("func f(n) { L1: for i = 1 to n { L2: for j = 1 to n { x = i + j } } }")
+            .unwrap();
     let l1 = analysis.loop_by_label("L1").unwrap();
     let l2 = analysis.loop_by_label("L2").unwrap();
     assert_ne!(l1, l2);
@@ -87,10 +83,22 @@ fn display_renders_all_class_shapes() {
     .unwrap();
     let descr = |name: &str| analysis.describe_by_name(name).unwrap();
     assert!(descr("lin2").starts_with("(L1,"), "{}", descr("lin2"));
-    assert!(descr("poly2").matches(", ").count() >= 2, "{}", descr("poly2"));
+    assert!(
+        descr("poly2").matches(", ").count() >= 2,
+        "{}",
+        descr("poly2")
+    );
     assert!(descr("geo2").contains("2^h"), "{}", descr("geo2"));
-    assert!(descr("wrap2").starts_with("wrap-around"), "{}", descr("wrap2"));
-    assert!(descr("mono2").starts_with("monotonic"), "{}", descr("mono2"));
+    assert!(
+        descr("wrap2").starts_with("wrap-around"),
+        "{}",
+        descr("wrap2")
+    );
+    assert!(
+        descr("mono2").starts_with("monotonic"),
+        "{}",
+        descr("mono2")
+    );
     assert!(descr("pa2").starts_with("periodic"), "{}", descr("pa2"));
     assert!(descr("x1").starts_with("invariant"), "{}", descr("x1"));
 }
@@ -130,9 +138,8 @@ fn config_gates_disable_classes() {
             .filter(|c| pred(c))
             .count()
     };
-    let is_poly = |c: &Class| {
-        matches!(c, Class::Induction(cf) if cf.degree() >= 2 || !cf.geo.is_empty())
-    };
+    let is_poly =
+        |c: &Class| matches!(c, Class::Induction(cf) if cf.degree() >= 2 || !cf.geo.is_empty());
     let is_wrap = |c: &Class| matches!(c, Class::WrapAround { .. });
     let is_periodic = |c: &Class| matches!(c, Class::Periodic(_));
     let is_mono = |c: &Class| matches!(c, Class::Monotonic(_));
@@ -211,10 +218,8 @@ fn exit_values_materialized_and_queryable() {
 
 #[test]
 fn unknown_classes_for_data_dependent_values() {
-    let analysis = analyze_source(
-        "func f(n) { s = 0 L1: for i = 1 to n { s = s + A[i] } }",
-    )
-    .unwrap();
+    let analysis =
+        analyze_source("func f(n) { s = 0 L1: for i = 1 to n { s = s + A[i] } }").unwrap();
     // s accumulates array loads: unknown.
     let l1 = analysis.loop_by_label("L1").unwrap();
     let info = analysis.info(l1);
@@ -262,10 +267,7 @@ fn division_and_exponent_edge_cases() {
 
 #[test]
 fn negation_classifies() {
-    let analysis = analyze_source(
-        "func f(n) { L1: for i = 1 to n { x = -i A[x] = i } }",
-    )
-    .unwrap();
+    let analysis = analyze_source("func f(n) { L1: for i = 1 to n { x = -i A[x] = i } }").unwrap();
     let x1 = analysis.ssa().value_by_name("x1").unwrap();
     match analysis.class_of(x1).unwrap().1 {
         Class::Induction(cf) => {
@@ -281,10 +283,8 @@ fn negation_classifies() {
 
 #[test]
 fn mul_of_two_ivs_is_quadratic() {
-    let analysis = analyze_source(
-        "func f(n) { L1: for i = 1 to n { x = i * i A[x] = i } }",
-    )
-    .unwrap();
+    let analysis =
+        analyze_source("func f(n) { L1: for i = 1 to n { x = i * i A[x] = i } }").unwrap();
     let x1 = analysis.ssa().value_by_name("x1").unwrap();
     match analysis.class_of(x1).unwrap().1 {
         Class::Induction(cf) => assert_eq!(cf.degree(), 2),
@@ -296,10 +296,9 @@ fn mul_of_two_ivs_is_quadratic() {
 fn symbolic_step_stays_linear() {
     // The paper's L3/L4: step varies in the outer context but is
     // invariant in the loop — still a linear IV.
-    let analysis = analyze_source(
-        "func f(n, s) { x = 0 L1: loop { x = x + s A[x] = x if x > n { break } } }",
-    )
-    .unwrap();
+    let analysis =
+        analyze_source("func f(n, s) { x = 0 L1: loop { x = x + s A[x] = x if x > n { break } } }")
+            .unwrap();
     let x2 = analysis.ssa().value_by_name("x2").unwrap();
     match analysis.class_of(x2).unwrap().1 {
         Class::Induction(cf) => {

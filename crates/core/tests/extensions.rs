@@ -38,12 +38,15 @@ fn multi_exit_loop_gets_max_trip_count() {
 
 #[test]
 fn single_exit_max_equals_trip_count() {
-    let analysis =
-        analyze_source("func f() { L1: for i = 1 to 10 { x = i } }").unwrap();
+    let analysis = analyze_source("func f() { L1: for i = 1 to 10 { x = i } }").unwrap();
     let l1 = analysis.loop_by_label("L1").unwrap();
     let info = analysis.info(l1);
     assert_eq!(
-        info.max_trip_count.clone().unwrap().constant_value().unwrap(),
+        info.max_trip_count
+            .clone()
+            .unwrap()
+            .constant_value()
+            .unwrap(),
         biv_algebra::Rational::from_integer(10)
     );
 }
@@ -149,8 +152,7 @@ fn strict_values_are_strict_everywhere() {
 
 #[test]
 fn non_monotonic_values_never_refine() {
-    let analysis =
-        analyze_source("func f(n) { L1: for i = 1 to n { x = i } }").unwrap();
+    let analysis = analyze_source("func f(n) { L1: for i = 1 to n { x = i } }").unwrap();
     let i2 = analysis.ssa().value_by_name("i2").unwrap();
     let block = analysis.ssa().def_block(i2);
     assert!(!analysis.strictly_monotonic_at(i2, block));
@@ -163,10 +165,8 @@ fn non_monotonic_values_never_refine() {
 #[test]
 fn trip_count_equality_exit() {
     // exit when i == 7, i = 0, 1, 2, …: trips = 7.
-    let analysis = analyze_source(
-        "func f() { i = 0 L1: loop { i = i + 1 if i == 7 { break } } }",
-    )
-    .unwrap();
+    let analysis =
+        analyze_source("func f() { i = 0 L1: loop { i = i + 1 if i == 7 { break } } }").unwrap();
     let l1 = analysis.loop_by_label("L1").unwrap();
     match &analysis.info(l1).trip_count {
         TripCount::Finite(p) => assert_eq!(
@@ -181,10 +181,8 @@ fn trip_count_equality_exit() {
 #[test]
 fn trip_count_equality_never_hit_is_infinite() {
     // i = 0, 2, 4, … never equals 7.
-    let analysis = analyze_source(
-        "func f() { i = 0 L1: loop { i = i + 2 if i == 7 { break } } }",
-    )
-    .unwrap();
+    let analysis =
+        analyze_source("func f() { i = 0 L1: loop { i = i + 2 if i == 7 { break } } }").unwrap();
     let l1 = analysis.loop_by_label("L1").unwrap();
     assert_eq!(analysis.info(l1).trip_count, TripCount::Infinite);
 }
@@ -193,14 +191,12 @@ fn trip_count_equality_never_hit_is_infinite() {
 fn trip_count_all_four_inequalities() {
     // Exercise <, <=, >, >= exits with the same underlying sequence.
     for (cond, expected) in [
-        ("i > 10", 10i128),  // stays while i ≤ 10, i starts 1
-        ("i >= 10", 9),      // stays while i ≤ 9
-        ("11 < i", 10),      // same as i > 11? no: 11 < i ⇔ i > 11 → stays while i ≤ 11
-        ("11 <= i", 10),     // i ≥ 11 exits → stays while i ≤ 10
+        ("i > 10", 10i128), // stays while i ≤ 10, i starts 1
+        ("i >= 10", 9),     // stays while i ≤ 9
+        ("11 < i", 10),     // same as i > 11? no: 11 < i ⇔ i > 11 → stays while i ≤ 11
+        ("11 <= i", 10),    // i ≥ 11 exits → stays while i ≤ 10
     ] {
-        let src = format!(
-            "func f() {{ i = 1 L1: loop {{ i = i + 1 if {cond} {{ break }} }} }}"
-        );
+        let src = format!("func f() {{ i = 1 L1: loop {{ i = i + 1 if {cond} {{ break }} }} }}");
         let analysis = analyze_source(&src).unwrap();
         let l1 = analysis.loop_by_label("L1").unwrap();
         match &analysis.info(l1).trip_count {
@@ -223,10 +219,9 @@ fn trip_count_all_four_inequalities() {
 
 #[test]
 fn trip_count_symbolic_triangular() {
-    let analysis = analyze_source(
-        "func f(n) { L19: for i = 1 to n { L20: for k = 1 to i { x = k } } }",
-    )
-    .unwrap();
+    let analysis =
+        analyze_source("func f(n) { L19: for i = 1 to n { L20: for k = 1 to i { x = k } } }")
+            .unwrap();
     let l20 = analysis.loop_by_label("L20").unwrap();
     match &analysis.info(l20).trip_count {
         TripCount::Finite(p) => {

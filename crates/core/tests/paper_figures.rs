@@ -233,11 +233,7 @@ fn l12_flip_flop_arithmetic() {
             // j2(h) = 3/2 + (-1/2)·(-1)^h: values 1, 2, 1, 2, …
             for (h, expected) in [(0, 1), (1, 2), (2, 1), (3, 2)] {
                 let v = cf.eval_at(h).unwrap().constant_value().unwrap();
-                assert_eq!(
-                    v,
-                    biv_algebra::Rational::from_integer(expected),
-                    "j2({h})"
-                );
+                assert_eq!(v, biv_algebra::Rational::from_integer(expected), "j2({h})");
             }
         }
         other => panic!("j2 should be a base -1 geometric, got {other:?}"),
@@ -547,10 +543,7 @@ fn fig9_triangular_quadratic() {
 
 #[test]
 fn trip_count_constant() {
-    let analysis = analyze_source(
-        "func f() { L1: for i = 1 to 10 { x = i } }",
-    )
-    .unwrap();
+    let analysis = analyze_source("func f() { L1: for i = 1 to 10 { x = i } }").unwrap();
     let l1 = analysis.loop_by_label("L1").unwrap();
     match &analysis.info(l1).trip_count {
         TripCount::Finite(p) => assert_eq!(
@@ -563,10 +556,7 @@ fn trip_count_constant() {
 
 #[test]
 fn trip_count_symbolic() {
-    let analysis = analyze_source(
-        "func f(n) { L1: for i = 1 to n { x = i } }",
-    )
-    .unwrap();
+    let analysis = analyze_source("func f(n) { L1: for i = 1 to n { x = i } }").unwrap();
     let l1 = analysis.loop_by_label("L1").unwrap();
     match &analysis.info(l1).trip_count {
         TripCount::Finite(p) => {
@@ -578,17 +568,12 @@ fn trip_count_symbolic() {
 
 #[test]
 fn trip_count_zero_and_infinite() {
-    let analysis = analyze_source(
-        "func f() { L1: for i = 10 to 5 { x = i } }",
-    )
-    .unwrap();
+    let analysis = analyze_source("func f() { L1: for i = 10 to 5 { x = i } }").unwrap();
     let l1 = analysis.loop_by_label("L1").unwrap();
     assert_eq!(analysis.info(l1).trip_count, TripCount::Zero);
 
-    let analysis = analyze_source(
-        "func f() { x = 0 L1: loop { x = x + 0 if x > 5 { break } } }",
-    )
-    .unwrap();
+    let analysis =
+        analyze_source("func f() { x = 0 L1: loop { x = x + 0 if x > 5 { break } } }").unwrap();
     let l1 = analysis.loop_by_label("L1").unwrap();
     assert_eq!(analysis.info(l1).trip_count, TripCount::Infinite);
 }
@@ -596,10 +581,7 @@ fn trip_count_zero_and_infinite() {
 #[test]
 fn trip_count_step_two_rounds_up() {
     // i = 1, 3, 5, 7, 9, 11 → exits when i > 10, i.e. 5 full iterations.
-    let analysis = analyze_source(
-        "func f() { L1: for i = 1 to 10 by 2 { x = i } }",
-    )
-    .unwrap();
+    let analysis = analyze_source("func f() { L1: for i = 1 to 10 by 2 { x = i } }").unwrap();
     let l1 = analysis.loop_by_label("L1").unwrap();
     match &analysis.info(l1).trip_count {
         TripCount::Finite(p) => assert_eq!(

@@ -64,10 +64,8 @@ mod tests {
 
     #[test]
     fn finds_loads_and_stores() {
-        let program = parse_program(
-            "func f(n) { for i = 1 to n { A[i] = A[i - 1] + B[i, 2] } }",
-        )
-        .unwrap();
+        let program =
+            parse_program("func f(n) { for i = 1 to n { A[i] = A[i - 1] + B[i, 2] } }").unwrap();
         let ssa = SsaFunction::build(&program.functions[0]);
         let accesses = collect_accesses(&ssa);
         assert_eq!(accesses.len(), 3);

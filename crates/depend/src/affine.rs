@@ -84,11 +84,7 @@ pub fn affine_subscript(
                             .checked_add(&step.checked_mul(&counter).ok()?)
                             .ok()?
                     }
-                    Class::WrapAround {
-                        order,
-                        steady,
-                        ..
-                    } => match steady.as_ref() {
+                    Class::WrapAround { order, steady, .. } => match steady.as_ref() {
                         // Steady state: value(h) = steady(h - order).
                         Class::Induction(cf) if cf.is_linear() => {
                             wraparound_after = wraparound_after.max(*order);
@@ -183,12 +179,9 @@ mod tests {
 
     #[test]
     fn simple_loop_index() {
-        let analysis = analyze_source(
-            "func f(n) { L1: for i = 1 to n { A[i] = A[i - 1] } }",
-        )
-        .unwrap();
-        let tester_accesses =
-            crate::access::collect_accesses(analysis.ssa());
+        let analysis =
+            analyze_source("func f(n) { L1: for i = 1 to n { A[i] = A[i - 1] } }").unwrap();
+        let tester_accesses = crate::access::collect_accesses(analysis.ssa());
         let l1 = analysis.loop_by_label("L1").unwrap();
         let store = tester_accesses.iter().find(|a| a.is_write).unwrap();
         let load = tester_accesses.iter().find(|a| !a.is_write).unwrap();
@@ -228,17 +221,18 @@ mod tests {
 
     #[test]
     fn scaled_subscript() {
-        let analysis = analyze_source(
-            "func f(n) { L1: for i = 1 to n { A[2 * i + 3] = i } }",
-        )
-        .unwrap();
+        let analysis =
+            analyze_source("func f(n) { L1: for i = 1 to n { A[2 * i + 3] = i } }").unwrap();
         let accesses = crate::access::collect_accesses(analysis.ssa());
         let l1 = analysis.loop_by_label("L1").unwrap();
         let store = accesses.iter().find(|a| a.is_write).unwrap();
         let s = affine_subscript(&analysis, &store.index[0], &[l1]).unwrap();
         assert_eq!(s.coeffs, vec![Rational::from_integer(2)]);
         // 2·(1 + h) + 3 = 5 + 2h
-        assert_eq!(s.consts.constant_value().unwrap(), Rational::from_integer(5));
+        assert_eq!(
+            s.consts.constant_value().unwrap(),
+            Rational::from_integer(5)
+        );
     }
 
     #[test]

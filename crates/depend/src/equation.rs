@@ -144,12 +144,7 @@ pub fn banerjee_test(eq: &DimEquation, dirs: &[DirSet]) -> bool {
 /// Range of `a·h − b·h'` for `h, h' ∈ [0, U]` under a direction
 /// constraint. Regions are convex polyhedra; linear extrema lie at the
 /// vertices (or escape along recession rays when `U` is unknown).
-fn loop_contribution(
-    a: Rational,
-    b: Rational,
-    upper: Option<i128>,
-    dir: DirSet,
-) -> (Bound, Bound) {
+fn loop_contribution(a: Rational, b: Rational, upper: Option<i128>, dir: DirSet) -> (Bound, Bound) {
     // Evaluate over the union of the selected elementary regions.
     let mut lo: Bound = None;
     let mut hi: Bound = None;

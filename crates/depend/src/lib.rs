@@ -57,6 +57,4 @@ pub use affine::{affine_subscript, AffineSubscript};
 pub use direction::{DepKind, DirSet, DirectionVector};
 pub use equation::{banerjee_range, gcd_test, DimEquation};
 pub use interchange::{interchange_legal, parallelizable, summarize};
-pub use tester::{
-    Dependence, DependenceTester, DepTestResult, PeriodicConstraint,
-};
+pub use tester::{DepTestResult, Dependence, DependenceTester, PeriodicConstraint};

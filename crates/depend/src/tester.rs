@@ -146,9 +146,7 @@ impl<'a> DependenceTester<'a> {
                     if let Some((idx, dist)) = distance {
                         match distances[idx] {
                             None => distances[idx] = Some(dist),
-                            Some(prev) if prev != dist => {
-                                return DepTestResult::Independent
-                            }
+                            Some(prev) if prev != dist => return DepTestResult::Independent,
                             Some(_) => {}
                         }
                     }
@@ -346,8 +344,7 @@ impl<'a> DependenceTester<'a> {
         // initials are constants, verify distinctness; symbolic initials
         // are assumed distinct (the paper makes the same assumption
         // explicit).
-        let consts: Vec<Option<Rational>> =
-            pa.values.iter().map(SymPoly::constant_value).collect();
+        let consts: Vec<Option<Rational>> = pa.values.iter().map(SymPoly::constant_value).collect();
         if consts.iter().all(Option::is_some) {
             let mut seen = std::collections::HashSet::new();
             for c in consts.into_iter().flatten() {

@@ -46,7 +46,10 @@ fn l23_l24_same_verdict_in_both_forms() {
             parallelizable(&deps, 1),
         ));
     }
-    assert_eq!(verdicts[0], verdicts[1], "normalization cannot change the answer");
+    assert_eq!(
+        verdicts[0], verdicts[1],
+        "normalization cannot change the answer"
+    );
     // In normalized space the second component is (>): naive interchange
     // is rejected, exactly the sensitivity the paper discusses.
     assert!(!verdicts[0].1);
@@ -93,7 +96,10 @@ fn summary_over_multiple_dependences() {
     let s = summarize(&deps, 2);
     // Both a (<, =) and a (=, <) dependence exist.
     assert_eq!(s.to_string(), "(<=, <=)");
-    assert!(interchange_legal(&deps, 0, 1), "classic stencil interchanges");
+    assert!(
+        interchange_legal(&deps, 0, 1),
+        "classic stencil interchanges"
+    );
     assert!(!parallelizable(&deps, 0));
     assert!(!parallelizable(&deps, 1));
 }

@@ -32,23 +32,13 @@ fn l21_dependence_equation_from_tuples() {
     let store = accesses.iter().position(|a| a.is_write).unwrap();
     let load = accesses.iter().position(|a| !a.is_write).unwrap();
     // Subscript tuples: store side (L21, 1, 1); load side j−1 = (L21, 2, 2).
-    let s = biv_depend::affine_subscript(
-        &analysis,
-        &accesses[store].index[0],
-        &[l21],
-    )
-    .unwrap();
+    let s = biv_depend::affine_subscript(&analysis, &accesses[store].index[0], &[l21]).unwrap();
     assert_eq!(s.coeffs, vec![biv_algebra::Rational::ONE]);
     assert_eq!(
         s.consts.constant_value().unwrap(),
         biv_algebra::Rational::ONE
     );
-    let r = biv_depend::affine_subscript(
-        &analysis,
-        &accesses[load].index[0],
-        &[l21],
-    )
-    .unwrap();
+    let r = biv_depend::affine_subscript(&analysis, &accesses[load].index[0], &[l21]).unwrap();
     assert_eq!(r.coeffs, vec![biv_algebra::Rational::from_integer(2)]);
     assert_eq!(
         r.consts.constant_value().unwrap(),

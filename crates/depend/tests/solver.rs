@@ -27,9 +27,8 @@ fn tester_src(src: &str) -> (biv_core::Analysis, Vec<usize>, Vec<usize>) {
 #[test]
 fn weak_zero_siv_within_bounds() {
     // A[5] read, A[i] written for i in 1..=10: dependence at i = 5.
-    let (analysis, writes, reads) = tester_src(
-        "func f() { L1: for i = 1 to 10 { A[i] = A[5] + 1 } }",
-    );
+    let (analysis, writes, reads) =
+        tester_src("func f() { L1: for i = 1 to 10 { A[i] = A[5] + 1 } }");
     let tester = DependenceTester::new(&analysis);
     match tester.test(writes[0], reads[0]) {
         DepTestResult::Dependent(d) => assert_eq!(d.kind, DepKind::Flow),
@@ -40,9 +39,8 @@ fn weak_zero_siv_within_bounds() {
 #[test]
 fn weak_zero_siv_outside_bounds() {
     // A[50] is never written when i only reaches 10.
-    let (analysis, writes, reads) = tester_src(
-        "func f() { L1: for i = 1 to 10 { A[i] = A[50] + 1 } }",
-    );
+    let (analysis, writes, reads) =
+        tester_src("func f() { L1: for i = 1 to 10 { A[i] = A[50] + 1 } }");
     let tester = DependenceTester::new(&analysis);
     assert_eq!(tester.test(writes[0], reads[0]), DepTestResult::Independent);
     assert_eq!(tester.test(reads[0], writes[0]), DepTestResult::Independent);
@@ -50,9 +48,8 @@ fn weak_zero_siv_outside_bounds() {
 
 #[test]
 fn output_dependence_on_same_subscript() {
-    let (analysis, writes, _) = tester_src(
-        "func f(n) { L1: for i = 1 to n { A[i] = 1 A[i] = 2 } }",
-    );
+    let (analysis, writes, _) =
+        tester_src("func f(n) { L1: for i = 1 to n { A[i] = 1 A[i] = 2 } }");
     let tester = DependenceTester::new(&analysis);
     match tester.test(writes[0], writes[1]) {
         DepTestResult::Dependent(d) => {
@@ -67,9 +64,8 @@ fn output_dependence_on_same_subscript() {
 #[test]
 fn symbolic_offset_assumed_dependent() {
     // A[i] vs A[i + n]: n symbolic — cannot disprove.
-    let (analysis, writes, reads) = tester_src(
-        "func f(n) { L1: for i = 1 to 10 { A[i] = A[i + n] } }",
-    );
+    let (analysis, writes, reads) =
+        tester_src("func f(n) { L1: for i = 1 to 10 { A[i] = A[i + n] } }");
     let tester = DependenceTester::new(&analysis);
     match tester.test(writes[0], reads[0]) {
         DepTestResult::Dependent(_) => {}
@@ -80,9 +76,8 @@ fn symbolic_offset_assumed_dependent() {
 #[test]
 fn crossing_siv() {
     // A[i] = A[20 - i]: crossing dependence around i = 10.
-    let (analysis, writes, reads) = tester_src(
-        "func f() { L1: for i = 1 to 19 { A[i] = A[20 - i] } }",
-    );
+    let (analysis, writes, reads) =
+        tester_src("func f() { L1: for i = 1 to 19 { A[i] = A[20 - i] } }");
     let tester = DependenceTester::new(&analysis);
     match tester.test(writes[0], reads[0]) {
         DepTestResult::Dependent(_) => {}
@@ -93,9 +88,8 @@ fn crossing_siv() {
 #[test]
 fn crossing_siv_disproved_when_parity_excludes() {
     // A[2i] = A[2i + 11]: 2h ≡ 2h' + 11 has no integer solution (parity).
-    let (analysis, writes, reads) = tester_src(
-        "func f(n) { L1: for i = 1 to n { A[2 * i] = A[2 * i + 11] } }",
-    );
+    let (analysis, writes, reads) =
+        tester_src("func f(n) { L1: for i = 1 to n { A[2 * i] = A[2 * i + 11] } }");
     let tester = DependenceTester::new(&analysis);
     assert_eq!(tester.test(writes[0], reads[0]), DepTestResult::Independent);
     assert_eq!(tester.test(reads[0], writes[0]), DepTestResult::Independent);
@@ -149,20 +143,15 @@ fn anti_parallel_diagonal() {
 
 #[test]
 fn loads_only_are_not_tested() {
-    let analysis = analyze_source(
-        "func f(n) { L1: for i = 1 to n { x = A[i] + A[i - 1] } }",
-    )
-    .unwrap();
+    let analysis =
+        analyze_source("func f(n) { L1: for i = 1 to n { x = A[i] + A[i - 1] } }").unwrap();
     let tester = DependenceTester::new(&analysis);
     assert!(tester.all_dependences().is_empty(), "no writes, no deps");
 }
 
 #[test]
 fn different_arrays_are_independent() {
-    let analysis = analyze_source(
-        "func f(n) { L1: for i = 1 to n { A[i] = B[i] } }",
-    )
-    .unwrap();
+    let analysis = analyze_source("func f(n) { L1: for i = 1 to n { A[i] = B[i] } }").unwrap();
     let tester = DependenceTester::new(&analysis);
     assert!(tester.all_dependences().is_empty());
 }
@@ -171,9 +160,8 @@ fn different_arrays_are_independent() {
 fn unknown_subscripts_conservatively_depend() {
     // Subscript loaded from memory: untestable, reported as dependence
     // with exact = false.
-    let (analysis, writes, _) = tester_src(
-        "func f(n) { L1: for i = 1 to n { t = IDX[i] A[t] = i A[t + 1] = i } }",
-    );
+    let (analysis, writes, _) =
+        tester_src("func f(n) { L1: for i = 1 to n { t = IDX[i] A[t] = i A[t + 1] = i } }");
     let tester = DependenceTester::new(&analysis);
     match tester.test(writes[0], writes[1]) {
         DepTestResult::Dependent(d) => assert!(!d.exact),
@@ -184,16 +172,14 @@ fn unknown_subscripts_conservatively_depend() {
 #[test]
 fn scalar_trip_count_bounds_distance() {
     // distance 3 in a 3-iteration loop (trips 1..=3): just out of range.
-    let (analysis, writes, reads) = tester_src(
-        "func f() { L1: for i = 1 to 3 { A[i] = A[i + 3] } }",
-    );
+    let (analysis, writes, reads) =
+        tester_src("func f() { L1: for i = 1 to 3 { A[i] = A[i + 3] } }");
     let tester = DependenceTester::new(&analysis);
     assert_eq!(tester.test(writes[0], reads[0]), DepTestResult::Independent);
     assert_eq!(tester.test(reads[0], writes[0]), DepTestResult::Independent);
     // distance 2 in the same loop: in range.
-    let (analysis, writes, reads) = tester_src(
-        "func f() { L1: for i = 1 to 3 { A[i] = A[i + 2] } }",
-    );
+    let (analysis, writes, reads) =
+        tester_src("func f() { L1: for i = 1 to 3 { A[i] = A[i + 2] } }");
     let tester = DependenceTester::new(&analysis);
     assert!(matches!(
         tester.test(reads[0], writes[0]),

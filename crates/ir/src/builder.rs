@@ -3,9 +3,7 @@
 //! The parser covers most needs; the builder exists for generated
 //! workloads and for tests that want precise control over block shape.
 
-use crate::function::{
-    Array, BinOp, Block, CmpOp, Function, Inst, Operand, Terminator, Var,
-};
+use crate::function::{Array, BinOp, Block, CmpOp, Function, Inst, Operand, Terminator, Var};
 
 /// Incrementally builds a [`Function`].
 ///

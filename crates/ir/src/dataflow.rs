@@ -170,10 +170,8 @@ impl ReachingDefs {
         // Iterate to fixpoint in RPO.
         let rpo = func.reverse_postorder();
         let preds = func.predecessors();
-        let mut rin: HashMap<Block, BitSet> =
-            rpo.iter().map(|&b| (b, BitSet::new(n))).collect();
-        let mut rout: HashMap<Block, BitSet> =
-            rpo.iter().map(|&b| (b, BitSet::new(n))).collect();
+        let mut rin: HashMap<Block, BitSet> = rpo.iter().map(|&b| (b, BitSet::new(n))).collect();
+        let mut rout: HashMap<Block, BitSet> = rpo.iter().map(|&b| (b, BitSet::new(n))).collect();
         let mut changed = true;
         while changed {
             changed = false;
@@ -264,10 +262,8 @@ impl Liveness {
             def_set.insert(b, d);
         }
         let po = func.postorder();
-        let mut lin: HashMap<Block, BitSet> =
-            po.iter().map(|&b| (b, BitSet::new(n))).collect();
-        let mut lout: HashMap<Block, BitSet> =
-            po.iter().map(|&b| (b, BitSet::new(n))).collect();
+        let mut lin: HashMap<Block, BitSet> = po.iter().map(|&b| (b, BitSet::new(n))).collect();
+        let mut lout: HashMap<Block, BitSet> = po.iter().map(|&b| (b, BitSet::new(n))).collect();
         let mut changed = true;
         while changed {
             changed = false;
@@ -340,10 +336,8 @@ mod tests {
     fn reaching_defs_in_loop() {
         // i has a def before the loop and one inside; both reach the
         // header.
-        let program = parse_program(
-            "func f(n) { i = 0 L1: loop { i = i + 1 if i > n { break } } }",
-        )
-        .unwrap();
+        let program =
+            parse_program("func f(n) { i = 0 L1: loop { i = i + 1 if i > n { break } } }").unwrap();
         let f = &program.functions[0];
         let rd = ReachingDefs::compute(f);
         let header = f.block_by_label("L1").unwrap();
@@ -354,10 +348,9 @@ mod tests {
 
     #[test]
     fn liveness_through_loop() {
-        let program = parse_program(
-            "func f(n) { i = 0 L1: loop { i = i + 1 if i > n { break } } x = i }",
-        )
-        .unwrap();
+        let program =
+            parse_program("func f(n) { i = 0 L1: loop { i = i + 1 if i > n { break } } x = i }")
+                .unwrap();
         let f = &program.functions[0];
         let live = Liveness::compute(f);
         let header = f.block_by_label("L1").unwrap();

@@ -281,9 +281,7 @@ impl PostDomTree {
                     }
                     new_idom = Some(match new_idom {
                         None => Some(s),
-                        Some(cur) => {
-                            Self::intersect(&idom, &rpo_index, Some(s), cur)
-                        }
+                        Some(cur) => Self::intersect(&idom, &rpo_index, Some(s), cur),
                     });
                 }
                 if let Some(ni) = new_idom {

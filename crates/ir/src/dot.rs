@@ -41,10 +41,7 @@ mod tests {
 
     #[test]
     fn dot_contains_blocks_and_edges() {
-        let program = parse_program(
-            "func f(n) { L1: for i = 1 to n { A[i] = i } }",
-        )
-        .unwrap();
+        let program = parse_program("func f(n) { L1: for i = 1 to n { A[i] = i } }").unwrap();
         let dot = cfg_to_dot(&program.functions[0]);
         assert!(dot.starts_with("digraph \"f\""), "{dot}");
         assert!(dot.contains("(L1)"), "{dot}");

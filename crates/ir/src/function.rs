@@ -477,7 +477,10 @@ impl Function {
 
     /// Looks up a variable by source name.
     pub fn var_by_name(&self, name: &str) -> Option<Var> {
-        self.vars.iter().find(|(_, d)| d.name == name).map(|(v, _)| v)
+        self.vars
+            .iter()
+            .find(|(_, d)| d.name == name)
+            .map(|(v, _)| v)
     }
 
     /// Looks up an array by source name.

@@ -86,7 +86,9 @@ pub struct Interpreter {
 
 impl Default for Interpreter {
     fn default() -> Self {
-        Interpreter { step_limit: 100_000 }
+        Interpreter {
+            step_limit: 100_000,
+        }
     }
 }
 
@@ -227,8 +229,7 @@ mod tests {
     #[test]
     fn counts_iterations() {
         let t = run_src("func f(n) { L1: for i = 1 to n { x = i } }", &[5]);
-        let program =
-            parse_program("func f(n) { L1: for i = 1 to n { x = i } }").unwrap();
+        let program = parse_program("func f(n) { L1: for i = 1 to n { x = i } }").unwrap();
         let f = &program.functions[0];
         let header = f.block_by_label("L1").unwrap();
         // Header executes n+1 times (n body trips + final exit test).

@@ -51,8 +51,8 @@ mod function;
 
 pub mod builder;
 pub mod dataflow;
-pub mod dot;
 pub mod dom;
+pub mod dot;
 pub mod interp;
 pub mod loops;
 pub mod parser;
@@ -61,6 +61,14 @@ pub mod verify;
 
 pub use entity::{Arena, EntityId};
 pub use function::{
-    Array, ArrayData, BinOp, Block, BlockData, CmpOp, Function, Inst, Operand, Program,
-    Terminator, Var, VarData,
+    Array, ArrayData, BinOp, Block, BlockData, CmpOp, Function, Inst, Operand, Program, Terminator,
+    Var, VarData,
+};
+
+// Functions (and whole programs) cross thread boundaries in the parallel
+// batch driver; keep them `Send + Sync` by construction.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Function>();
+    assert_send_sync::<Program>();
 };

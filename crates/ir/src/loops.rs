@@ -202,9 +202,7 @@ impl LoopForest {
                     .filter(|p| !block_sets[l.index()].contains(p))
                     .collect();
                 match outside.as_slice() {
-                    [single] if func.successors(*single) == vec![d.header] => {
-                        Some(*single)
-                    }
+                    [single] if func.successors(*single) == vec![d.header] => Some(*single),
                     _ => None,
                 }
             })
@@ -422,7 +420,13 @@ mod tests {
         b.copy(i, Operand::Const(0));
         b.jump(outer_h);
         b.switch_to(outer_h);
-        b.branch(CmpOp::Lt, Operand::Var(i), Operand::Const(10), inner_pre, exit);
+        b.branch(
+            CmpOp::Lt,
+            Operand::Var(i),
+            Operand::Const(10),
+            inner_pre,
+            exit,
+        );
         b.switch_to(inner_pre);
         b.copy(j, Operand::Const(0));
         b.jump(inner_h);
@@ -545,7 +549,13 @@ mod tests {
         b.jump(header);
         b.switch_to(l2);
         b.add(x, Operand::Var(x), Operand::Const(2));
-        b.branch(CmpOp::Lt, Operand::Var(x), Operand::Const(100), header, exit);
+        b.branch(
+            CmpOp::Lt,
+            Operand::Var(x),
+            Operand::Const(100),
+            header,
+            exit,
+        );
         b.switch_to(exit);
         b.ret();
         let mut f = b.finish();

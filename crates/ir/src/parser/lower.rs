@@ -4,9 +4,7 @@ use std::collections::HashMap;
 
 use super::ast::{Cond, Expr, FuncDecl, Stmt};
 use super::parse::ParseError;
-use crate::function::{
-    Array, BinOp, Block, CmpOp, Function, Inst, Operand, Terminator, Var,
-};
+use crate::function::{Array, BinOp, Block, CmpOp, Function, Inst, Operand, Terminator, Var};
 
 /// Lowers one parsed function to CFG form.
 ///
@@ -235,9 +233,7 @@ impl Lowerer {
                 by,
                 body,
             } => self.lower_for(label.as_deref(), var, from, to, by.as_ref(), body),
-            Stmt::While { label, cond, body } => {
-                self.lower_while(label.as_deref(), cond, body)
-            }
+            Stmt::While { label, cond, body } => self.lower_while(label.as_deref(), cond, body),
             Stmt::Break { label } => self.lower_break(label.as_deref()),
         }
     }
@@ -459,8 +455,7 @@ mod tests {
 
     #[test]
     fn negative_step_flips_test() {
-        let program =
-            parse_program("func f() { L1: for i = 10 to 1 by -1 { x = i } }").unwrap();
+        let program = parse_program("func f() { L1: for i = 10 to 1 by -1 { x = i } }").unwrap();
         let f = &program.functions[0];
         let header = f.block_by_label("L1").unwrap();
         match &f.blocks[header].term {

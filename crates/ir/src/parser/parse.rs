@@ -144,7 +144,10 @@ impl Parser {
         let mut stmts = Vec::new();
         while self.peek() != &Tok::RBrace {
             if self.peek() == &Tok::Eof {
-                return Err(ParseError::at("unexpected end of input in block", self.span()));
+                return Err(ParseError::at(
+                    "unexpected end of input in block",
+                    self.span(),
+                ));
             }
             stmts.push(self.stmt()?);
         }
@@ -411,10 +414,7 @@ mod tests {
 
     #[test]
     fn parses_for_with_step() {
-        let decls = parse_program_ast(
-            "func f(n) { L9: for i = 1 to n by 2 { x = i } }",
-        )
-        .unwrap();
+        let decls = parse_program_ast("func f(n) { L9: for i = 1 to n by 2 { x = i } }").unwrap();
         match &decls[0].body[0] {
             Stmt::For { label, var, by, .. } => {
                 assert_eq!(label.as_deref(), Some("L9"));
@@ -427,9 +427,8 @@ mod tests {
 
     #[test]
     fn parses_array_access() {
-        let decls =
-            parse_program_ast("func f(n) { for i = 1 to n { A[i] = A[i - 1] + B[i, 2] } }")
-                .unwrap();
+        let decls = parse_program_ast("func f(n) { for i = 1 to n { A[i] = A[i - 1] + B[i, 2] } }")
+            .unwrap();
         match &decls[0].body[0] {
             Stmt::For { body, .. } => match &body[0] {
                 Stmt::Store { array, index, .. } => {
@@ -447,7 +446,11 @@ mod tests {
         let decls = parse_program_ast("func f() { x = 1 + 2 * 3 }").unwrap();
         match &decls[0].body[0] {
             Stmt::Assign { expr, .. } => match expr {
-                Expr::Binary { op: BinOp::Add, rhs, .. } => {
+                Expr::Binary {
+                    op: BinOp::Add,
+                    rhs,
+                    ..
+                } => {
                     assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
                 }
                 other => panic!("expected add at top, got {other:?}"),
@@ -461,7 +464,11 @@ mod tests {
         let decls = parse_program_ast("func f() { x = 2 ^ 3 ^ 2 }").unwrap();
         match &decls[0].body[0] {
             Stmt::Assign { expr, .. } => match expr {
-                Expr::Binary { op: BinOp::Exp, rhs, .. } => {
+                Expr::Binary {
+                    op: BinOp::Exp,
+                    rhs,
+                    ..
+                } => {
                     assert!(matches!(**rhs, Expr::Binary { op: BinOp::Exp, .. }));
                 }
                 other => panic!("expected exp at top, got {other:?}"),
@@ -514,8 +521,7 @@ mod tests {
 
     #[test]
     fn break_with_label() {
-        let decls =
-            parse_program_ast("func f() { L1: loop { L2: loop { break L1 } } }").unwrap();
+        let decls = parse_program_ast("func f() { L1: loop { L2: loop { break L1 } } }").unwrap();
         match &decls[0].body[0] {
             Stmt::Loop { body, .. } => match &body[0] {
                 Stmt::Loop { body, .. } => {

@@ -49,7 +49,12 @@ pub fn inst_to_string(func: &Function, inst: &Inst) -> String {
     match inst {
         Inst::Copy { dst, src } => format!("{} = {}", func.var_name(*dst), op(src)),
         Inst::Neg { dst, src } => format!("{} = -{}", func.var_name(*dst), op(src)),
-        Inst::Binary { dst, op: b, lhs, rhs } => format!(
+        Inst::Binary {
+            dst,
+            op: b,
+            lhs,
+            rhs,
+        } => format!(
             "{} = {} {} {}",
             func.var_name(*dst),
             op(lhs),
@@ -102,10 +107,7 @@ mod tests {
 
     #[test]
     fn prints_readable_text() {
-        let program = parse_program(
-            "func f(n) { L1: for i = 1 to n { A[i] = i * 2 } }",
-        )
-        .unwrap();
+        let program = parse_program("func f(n) { L1: for i = 1 to n { A[i] = i * 2 } }").unwrap();
         let text = function_to_string(&program.functions[0]);
         assert!(text.contains("func f(n)"), "{text}");
         assert!(text.contains("(L1):"), "{text}");

@@ -45,7 +45,10 @@ pub fn verify_function(func: &Function) -> Result<(), Vec<VerifyError>> {
         }
         for succ in data.term.successors() {
             if !func.blocks.contains(succ) {
-                err(&mut errors, format!("{b}: terminator targets unknown block {succ}"));
+                err(
+                    &mut errors,
+                    format!("{b}: terminator targets unknown block {succ}"),
+                );
             }
         }
         let check_operand = |op: &Operand, errors: &mut Vec<VerifyError>| {
@@ -79,12 +82,15 @@ pub fn verify_function(func: &Function) -> Result<(), Vec<VerifyError>> {
                     if array.index() >= func.arrays.len() {
                         err(&mut errors, format!("{b}: unknown array {array}"));
                     } else if func.arrays[*array].dims != index.len() {
-                        err(&mut errors, format!(
-                            "{b}: array {} loaded with {} subscripts, declared {}",
-                            func.array_name(*array),
-                            index.len(),
-                            func.arrays[*array].dims
-                        ));
+                        err(
+                            &mut errors,
+                            format!(
+                                "{b}: array {} loaded with {} subscripts, declared {}",
+                                func.array_name(*array),
+                                index.len(),
+                                func.arrays[*array].dims
+                            ),
+                        );
                     }
                     for op in index {
                         check_operand(op, &mut errors);
@@ -98,12 +104,15 @@ pub fn verify_function(func: &Function) -> Result<(), Vec<VerifyError>> {
                     if array.index() >= func.arrays.len() {
                         err(&mut errors, format!("{b}: unknown array {array}"));
                     } else if func.arrays[*array].dims != index.len() {
-                        err(&mut errors, format!(
-                            "{b}: array {} stored with {} subscripts, declared {}",
-                            func.array_name(*array),
-                            index.len(),
-                            func.arrays[*array].dims
-                        ));
+                        err(
+                            &mut errors,
+                            format!(
+                                "{b}: array {} stored with {} subscripts, declared {}",
+                                func.array_name(*array),
+                                index.len(),
+                                func.arrays[*array].dims
+                            ),
+                        );
                     }
                     for op in index {
                         check_operand(op, &mut errors);

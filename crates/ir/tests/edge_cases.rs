@@ -78,8 +78,12 @@ fn interpreter_is_deterministic() {
         }
     "#;
     let program = parse_program(src).unwrap();
-    let a = Interpreter::new().run(&program.functions[0], &[10]).unwrap();
-    let b = Interpreter::new().run(&program.functions[0], &[10]).unwrap();
+    let a = Interpreter::new()
+        .run(&program.functions[0], &[10])
+        .unwrap();
+    let b = Interpreter::new()
+        .run(&program.functions[0], &[10])
+        .unwrap();
     assert_eq!(a.final_vars, b.final_vars);
     assert_eq!(a.arrays, b.arrays);
 }
@@ -130,8 +134,7 @@ fn deep_nesting_parses_and_runs() {
 
 #[test]
 fn while_false_never_enters() {
-    let program =
-        parse_program("func f() { x = 0 L1: while x > 5 { x = x + 1 } }").unwrap();
+    let program = parse_program("func f() { x = 0 L1: while x > 5 { x = x + 1 } }").unwrap();
     let trace = Interpreter::new().run(&program.functions[0], &[]).unwrap();
     let x = program.functions[0].var_by_name("x").unwrap();
     assert_eq!(trace.final_vars[biv_ir::EntityId::index(x)], 0);

@@ -96,12 +96,7 @@ impl<'f> Builder<'f> {
                 *slot = args;
             }
         }
-        SsaFunction::from_parts(
-            owned_func,
-            self.values,
-            self.blocks,
-            self.live_ins,
-        )
+        SsaFunction::from_parts(owned_func, self.values, self.blocks, self.live_ins)
     }
 
     fn next_version(&mut self, var: Var) -> u32 {
@@ -139,7 +134,13 @@ impl<'f> Builder<'f> {
                 }
             }
         }
-        // Standard worklist over dominance frontiers.
+        // Standard worklist over dominance frontiers. Variables are
+        // visited in id order so φ creation order — and with it the SSA
+        // value numbering — is a pure function of the input CFG. Batch
+        // analysis relies on this: structurally identical functions must
+        // get identical value numbers for cached summaries to be exact.
+        let mut def_blocks: Vec<(Var, Vec<Block>)> = def_blocks.into_iter().collect();
+        def_blocks.sort_by_key(|(var, _)| *var);
         for (var, defs) in def_blocks {
             let mut has_phi: HashSet<Block> = HashSet::new();
             let mut work: Vec<Block> = defs.clone();
@@ -401,10 +402,7 @@ mod tests {
             "#,
         );
         // Exactly one φ in the whole function (x at the join).
-        let phi_count: usize = ssa
-            .block_ids()
-            .map(|b| ssa.block(b).phis.len())
-            .sum();
+        let phi_count: usize = ssa.block_ids().map(|b| ssa.block(b).phis.len()).sum();
         assert_eq!(phi_count, 1);
     }
 
@@ -420,10 +418,7 @@ mod tests {
         "#;
         let program = parse_program(src).unwrap();
         let pruned = SsaFunction::build(&program.functions[0]);
-        let pruned_phis: usize = pruned
-            .block_ids()
-            .map(|b| pruned.block(b).phis.len())
-            .sum();
+        let pruned_phis: usize = pruned.block_ids().map(|b| pruned.block(b).phis.len()).sum();
         assert_eq!(pruned_phis, 0);
         let minimal = SsaFunction::build_with(
             &program.functions[0],
@@ -471,9 +466,7 @@ mod tests {
 
     #[test]
     fn phi_args_reference_dominating_defs() {
-        let ssa = build(
-            "func f(n) { i = 0 L1: loop { i = i + 1 if i > n { break } } }",
-        );
+        let ssa = build("func f(n) { i = 0 L1: loop { i = i + 1 if i > n { break } } }");
         let header = ssa.func().block_by_label("L1").unwrap();
         let phi = ssa.block(header).phis[0];
         let ValueDef::Phi { args } = ssa.def(phi) else {

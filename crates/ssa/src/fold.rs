@@ -20,7 +20,12 @@ pub fn fold_constants(ssa: &mut SsaFunction) -> usize {
         let mut changed = false;
         let values: Vec<Value> = ssa.values.ids().collect();
         for v in values {
-            if matches!(ssa.def(v), ValueDef::Copy { src: Operand::Const(_) }) {
+            if matches!(
+                ssa.def(v),
+                ValueDef::Copy {
+                    src: Operand::Const(_)
+                }
+            ) {
                 continue;
             }
             if let Some(c) = fold_value(ssa, v) {
@@ -122,9 +127,7 @@ mod tests {
 
     #[test]
     fn folds_same_constant_phi() {
-        let mut ssa = build(
-            "func f(e) { if e > 0 { x = 2 + 3 } else { x = 5 } y = x + 1 }",
-        );
+        let mut ssa = build("func f(e) { if e > 0 { x = 2 + 3 } else { x = 5 } y = x + 1 }");
         fold_constants(&mut ssa);
         let y1 = ssa.value_by_name("y1").unwrap();
         assert_eq!(constant_operand(&ssa, &Operand::Value(y1)), Some(6));
@@ -141,9 +144,7 @@ mod tests {
 
     #[test]
     fn loop_phis_do_not_fold() {
-        let mut ssa = build(
-            "func f(n) { i = 0 L1: loop { i = i + 1 if i > n { break } } }",
-        );
+        let mut ssa = build("func f(n) { i = 0 L1: loop { i = i + 1 if i > n { break } } }");
         let folded = fold_constants(&mut ssa);
         assert_eq!(folded, 0, "loop-carried phi is not constant");
     }

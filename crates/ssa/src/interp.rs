@@ -76,7 +76,9 @@ pub struct SsaInterpreter {
 
 impl Default for SsaInterpreter {
     fn default() -> Self {
-        SsaInterpreter { step_limit: 100_000 }
+        SsaInterpreter {
+            step_limit: 100_000,
+        }
     }
 }
 
@@ -213,10 +215,7 @@ impl SsaInterpreter {
     fn eval(&self, op: &Operand, env: &HashMap<Value, i64>) -> Result<i64, SsaInterpError> {
         match op {
             Operand::Const(c) => Ok(*c),
-            Operand::Value(v) => env
-                .get(v)
-                .copied()
-                .ok_or(SsaInterpError::MissingPhiArg),
+            Operand::Value(v) => env.get(v).copied().ok_or(SsaInterpError::MissingPhiArg),
         }
     }
 }
@@ -252,10 +251,8 @@ mod tests {
 
     #[test]
     fn phi_history_matches_iterations() {
-        let program = parse_program(
-            "func f(n) { i = 0 L1: loop { i = i + 1 if i > n { break } } }",
-        )
-        .unwrap();
+        let program =
+            parse_program("func f(n) { i = 0 L1: loop { i = i + 1 if i > n { break } } }").unwrap();
         let ssa = SsaFunction::build(&program.functions[0]);
         let trace = SsaInterpreter::new().run(&ssa, &[4]).unwrap();
         let header = ssa.func().block_by_label("L1").unwrap();
@@ -313,10 +310,7 @@ mod tests {
         let ssa_header = ssa.func().block_by_label("L7").unwrap();
         let j = f.var_by_name("j").unwrap();
         let phi = ssa.block(ssa_header).phis[0];
-        assert_eq!(
-            cfg_trace.values_at(header, j),
-            ssa_trace.history(phi),
-        );
+        assert_eq!(cfg_trace.values_at(header, j), ssa_trace.history(phi),);
     }
 
     #[test]

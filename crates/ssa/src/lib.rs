@@ -50,3 +50,16 @@ pub use print::ssa_to_string;
 pub use sccp::{Lattice, Sccp};
 pub use ssa::{Operand, SsaBlock, SsaFunction, SsaInst, SsaTerminator, Value, ValueData, ValueDef};
 pub use verify::{verify_ssa, SsaVerifyError};
+
+// The batch-analysis driver shards functions across worker threads;
+// everything it moves between threads must be `Send` (and shared caches
+// `Sync`). Pin that property at compile time so an accidental `Rc` or
+// raw pointer in the SSA data structures fails here, not at a distant
+// `thread::scope` call site.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SsaFunction>();
+    assert_send_sync::<ValueData>();
+    assert_send_sync::<ValueDef>();
+    assert_send_sync::<Value>();
+};

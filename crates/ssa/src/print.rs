@@ -148,10 +148,8 @@ mod tests {
 
     #[test]
     fn renders_phis() {
-        let program = parse_program(
-            "func f(n) { i = 0 L1: loop { i = i + 1 if i > n { break } } }",
-        )
-        .unwrap();
+        let program =
+            parse_program("func f(n) { i = 0 L1: loop { i = i + 1 if i > n { break } } }").unwrap();
         let ssa = SsaFunction::build(&program.functions[0]);
         let text = ssa_to_string(&ssa);
         assert!(text.contains("= phi("), "{text}");

@@ -229,13 +229,11 @@ impl<'a> Solver<'a> {
                     .unwrap_or(Lattice::Bottom),
                 other => other,
             },
-            ValueDef::Binary { op, lhs, rhs } => {
-                match (self.operand(lhs), self.operand(rhs)) {
-                    (Lattice::Const(a), Lattice::Const(b)) => eval_binop(*op, a, b),
-                    (Lattice::Top, _) | (_, Lattice::Top) => Lattice::Top,
-                    _ => Lattice::Bottom,
-                }
-            }
+            ValueDef::Binary { op, lhs, rhs } => match (self.operand(lhs), self.operand(rhs)) {
+                (Lattice::Const(a), Lattice::Const(b)) => eval_binop(*op, a, b),
+                (Lattice::Top, _) | (_, Lattice::Top) => Lattice::Top,
+                _ => Lattice::Bottom,
+            },
             ValueDef::Load { .. } => Lattice::Bottom,
             ValueDef::LiveIn { .. } => return, // seeded
             ValueDef::ExitValue { .. } => Lattice::Bottom,
@@ -256,7 +254,11 @@ impl<'a> Solver<'a> {
                 else_bb,
             }) => match (self.operand(lhs), self.operand(rhs)) {
                 (Lattice::Const(a), Lattice::Const(b)) => {
-                    let target = if eval_cmp(*op, a, b) { *then_bb } else { *else_bb };
+                    let target = if eval_cmp(*op, a, b) {
+                        *then_bb
+                    } else {
+                        *else_bb
+                    };
                     self.block_work.push_back((block, target));
                 }
                 (Lattice::Top, _) | (_, Lattice::Top) => {}
@@ -315,24 +317,18 @@ mod tests {
     fn conditional_constant_beats_local_folding() {
         // The branch is decidable: 1 < 2 always takes the then arm, so x
         // is 10 — a φ that local folding cannot touch.
-        let (ssa, sccp) = run(
-            "func f() { if 1 < 2 { x = 10 } else { x = 20 } y = x + 1 }",
-        );
+        let (ssa, sccp) = run("func f() { if 1 < 2 { x = 10 } else { x = 20 } y = x + 1 }");
         let y1 = ssa.value_by_name("y1").unwrap();
         assert_eq!(sccp.constant(y1), Some(11));
     }
 
     #[test]
     fn unreachable_block_detected() {
-        let (ssa, sccp) = run(
-            "func f() { if 1 > 2 { x = 10 } else { x = 20 } y = x }",
-        );
+        let (ssa, sccp) = run("func f() { if 1 > 2 { x = 10 } else { x = 20 } y = x }");
         // The then-block is unreachable.
         let unreachable: Vec<Block> = ssa
             .block_ids()
-            .filter(|&b| {
-                ssa.block(b).term.is_some() && !sccp.is_reachable(b)
-            })
+            .filter(|&b| ssa.block(b).term.is_some() && !sccp.is_reachable(b))
             .collect();
         assert!(!unreachable.is_empty());
         let y1 = ssa.value_by_name("y1").unwrap();
@@ -348,18 +344,14 @@ mod tests {
 
     #[test]
     fn loop_carried_values_are_bottom() {
-        let (ssa, sccp) = run(
-            "func f(n) { i = 0 L1: loop { i = i + 1 if i > n { break } } }",
-        );
+        let (ssa, sccp) = run("func f(n) { i = 0 L1: loop { i = i + 1 if i > n { break } } }");
         let i2 = ssa.value_by_name("i2").unwrap();
         assert_eq!(sccp.lattice(i2), Lattice::Bottom);
     }
 
     #[test]
     fn constant_loop_invariant_inside_loop() {
-        let (ssa, sccp) = run(
-            "func f(n) { c = 3 * 7 L1: loop { x = c + 1 if x > n { break } } }",
-        );
+        let (ssa, sccp) = run("func f(n) { c = 3 * 7 L1: loop { x = c + 1 if x > n { break } } }");
         let x1 = ssa.value_by_name("x1").unwrap();
         assert_eq!(sccp.constant(x1), Some(22));
     }
@@ -382,9 +374,7 @@ mod tests {
     #[test]
     fn constant_trip_loop_stays_bottom_but_reachable() {
         // SCCP does not unroll loops; the φ meets both edges.
-        let (ssa, sccp) = run(
-            "func f() { s = 0 L1: for i = 1 to 3 { s = s + 2 } t = s }",
-        );
+        let (ssa, sccp) = run("func f() { s = 0 L1: for i = 1 to 3 { s = s + 2 } t = s }");
         let t1 = ssa.value_by_name("t1").unwrap();
         assert_eq!(sccp.lattice(t1), Lattice::Bottom);
         for b in ssa.block_ids() {

@@ -265,9 +265,7 @@ impl SsaFunction {
 
     /// Looks up a value by its paper-style display name (`"i2"`).
     pub fn value_by_name(&self, name: &str) -> Option<Value> {
-        self.values
-            .ids()
-            .find(|&v| self.value_name(v) == name)
+        self.values.ids().find(|&v| self.value_name(v) == name)
     }
 
     /// The SSA-graph operands of a value (edges from the operation to its

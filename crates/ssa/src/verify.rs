@@ -72,51 +72,52 @@ pub fn verify_ssa(ssa: &SsaFunction) -> Result<(), Vec<SsaVerifyError>> {
         for (i, inst) in data.body.iter().enumerate() {
             if let SsaInst::Def(v) = inst {
                 if ssa.def(*v).is_phi() {
-                    err_into(&mut errors, format!("{block}: phi {} appears in block body", ssa.value_name(*v)));
+                    err_into(
+                        &mut errors,
+                        format!("{block}: phi {} appears in block body", ssa.value_name(*v)),
+                    );
                 }
                 pos.insert(*v, DefPos::Body(block, i));
             }
         }
         for &phi in &data.phis {
             if !ssa.def(phi).is_phi() {
-                err_into(&mut errors, format!(
-                    "{block}: non-phi {} in phi list",
-                    ssa.value_name(phi)
-                ));
+                err_into(
+                    &mut errors,
+                    format!("{block}: non-phi {} in phi list", ssa.value_name(phi)),
+                );
             }
         }
     }
 
-    let dominates_use =
-        |def: DefPos, use_block: Block, use_index: Option<usize>| -> bool {
-            match def {
-                DefPos::Entry => true,
-                DefPos::PhiHead(db) => {
-                    if db == use_block {
-                        true // φ defines before the body
-                    } else {
-                        dom.strictly_dominates(db, use_block)
-                            || dom.dominates(db, use_block)
-                    }
-                }
-                DefPos::Body(db, di) => {
-                    if db == use_block {
-                        match use_index {
-                            Some(ui) => di < ui,
-                            None => true, // used by terminator
-                        }
-                    } else {
-                        dom.strictly_dominates(db, use_block)
-                    }
+    let dominates_use = |def: DefPos, use_block: Block, use_index: Option<usize>| -> bool {
+        match def {
+            DefPos::Entry => true,
+            DefPos::PhiHead(db) => {
+                if db == use_block {
+                    true // φ defines before the body
+                } else {
+                    dom.strictly_dominates(db, use_block) || dom.dominates(db, use_block)
                 }
             }
-        };
+            DefPos::Body(db, di) => {
+                if db == use_block {
+                    match use_index {
+                        Some(ui) => di < ui,
+                        None => true, // used by terminator
+                    }
+                } else {
+                    dom.strictly_dominates(db, use_block)
+                }
+            }
+        }
+    };
 
     let check_operand = |op: &Operand,
-                             use_block: Block,
-                             use_index: Option<usize>,
-                             what: &str,
-                             errors: &mut Vec<SsaVerifyError>| {
+                         use_block: Block,
+                         use_index: Option<usize>,
+                         what: &str,
+                         errors: &mut Vec<SsaVerifyError>| {
         if let Operand::Value(v) = op {
             match pos.get(v) {
                 None => errors.push(SsaVerifyError {
@@ -148,27 +149,36 @@ pub fn verify_ssa(ssa: &SsaFunction) -> Result<(), Vec<SsaVerifyError>> {
                 continue;
             };
             if args.len() != bpreds.len() {
-                err_into(&mut errors, format!(
-                    "{block}: phi {} has {} args but block has {} predecessors",
-                    ssa.value_name(phi),
-                    args.len(),
-                    bpreds.len()
-                ));
+                err_into(
+                    &mut errors,
+                    format!(
+                        "{block}: phi {} has {} args but block has {} predecessors",
+                        ssa.value_name(phi),
+                        args.len(),
+                        bpreds.len()
+                    ),
+                );
             }
             for (pred, op) in args {
                 if !bpreds.contains(pred) {
-                    err_into(&mut errors, format!(
-                        "{block}: phi {} names non-predecessor {pred}",
-                        ssa.value_name(phi)
-                    ));
+                    err_into(
+                        &mut errors,
+                        format!(
+                            "{block}: phi {} names non-predecessor {pred}",
+                            ssa.value_name(phi)
+                        ),
+                    );
                 }
                 // The def must dominate the end of the incoming edge.
                 if let Operand::Value(v) = op {
                     match pos.get(v) {
-                        None => err_into(&mut errors, format!(
-                            "{block}: phi {} argument {v} undefined",
-                            ssa.value_name(phi)
-                        )),
+                        None => err_into(
+                            &mut errors,
+                            format!(
+                                "{block}: phi {} argument {v} undefined",
+                                ssa.value_name(phi)
+                            ),
+                        ),
                         Some(&p) => {
                             let ok = match p {
                                 DefPos::Entry => true,

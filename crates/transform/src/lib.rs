@@ -102,10 +102,7 @@ fn reduce_var(
         cs
     };
     for &c in &constants {
-        let t = func.new_var(format!(
-            "%sr_{}_{c}",
-            func.vars[var].name.replace('%', "")
-        ));
+        let t = func.new_var(format!("%sr_{}_{c}", func.vars[var].name.replace('%', "")));
         temp_for.insert(c, t);
         // Initialize in the preheader: t = var * c.
         func.blocks[preheader].insts.push(Inst::Binary {
@@ -138,9 +135,7 @@ fn reduce_var(
                     lhs,
                     rhs,
                 } if *dst == var => match (lhs, rhs) {
-                    (Operand::Var(v), Operand::Const(c)) if *v == var => {
-                        c.checked_neg()
-                    }
+                    (Operand::Var(v), Operand::Const(c)) if *v == var => c.checked_neg(),
                     _ => None,
                 },
                 _ => None,
@@ -451,8 +446,7 @@ mod tests {
         let l1 = analysis.loop_by_label("L1").unwrap();
         let info = analysis.info(l1);
         let found = info.classes.iter().any(|(v, c)| {
-            analysis.ssa().values[*v].var
-                == analysis.ssa().func().var_by_name("%h_L1")
+            analysis.ssa().values[*v].var == analysis.ssa().func().var_by_name("%h_L1")
                 && matches!(c, biv_core::Class::Induction(cf)
                     if cf.is_linear()
                     && cf.coeffs[0].is_zero()

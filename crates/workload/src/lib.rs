@@ -15,8 +15,10 @@ use std::fmt::Write as _;
 use biv_core::{Analysis, Class};
 use biv_ir::parser::parse_program;
 use biv_ir::Function;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+pub mod rng;
+
+use rng::SplitMix64;
 
 /// What to plant in each generated loop.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -130,14 +132,9 @@ pub struct Workload {
 ///
 /// Panics if the generator emits unparsable source (a bug).
 pub fn generate(spec: &WorkloadSpec) -> Workload {
-    let mut rng = StdRng::seed_from_u64(spec.seed);
     let mut src = String::new();
     let mut expected = ExpectedCounts::default();
-    let _ = writeln!(src, "func generated(n) {{");
-    for l in 0..spec.loops {
-        emit_loop(&mut src, spec, l, &mut rng, &mut expected);
-    }
-    let _ = writeln!(src, "}}");
+    emit_function(&mut src, "generated", spec, &mut expected);
     let program = parse_program(&src)
         .unwrap_or_else(|e| panic!("generator produced invalid source: {e}\n{src}"));
     Workload {
@@ -147,11 +144,109 @@ pub fn generate(spec: &WorkloadSpec) -> Workload {
     }
 }
 
+/// Emits one complete function from a spec, accumulating ground truth.
+fn emit_function(src: &mut String, name: &str, spec: &WorkloadSpec, expected: &mut ExpectedCounts) {
+    let mut rng = SplitMix64::seed_from_u64(spec.seed);
+    let _ = writeln!(src, "func {name}(n) {{");
+    for l in 0..spec.loops {
+        emit_loop(src, spec, l, &mut rng, expected);
+    }
+    let _ = writeln!(src, "}}");
+}
+
+/// What to generate for a multi-function corpus — the workload shape of
+/// the parallel batch driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorpusSpec {
+    /// Number of functions in the corpus.
+    pub functions: usize,
+    /// Every `duplicate_every`-th function (when > 0) reuses an earlier
+    /// function's seed, making it a *structural duplicate* — identical
+    /// modulo its name — as found in generated or macro-expanded code.
+    /// The batch driver's cache classifies each such group once.
+    pub duplicate_every: usize,
+    /// Loops per function.
+    pub loops: usize,
+    /// Constant trip count used in bounds.
+    pub trip: i64,
+    /// Base RNG seed; function `i` uses `seed + i` (unless a duplicate).
+    pub seed: u64,
+}
+
+impl Default for CorpusSpec {
+    fn default() -> Self {
+        CorpusSpec {
+            functions: 16,
+            duplicate_every: 4,
+            loops: 1,
+            trip: 100,
+            seed: 42,
+        }
+    }
+}
+
+/// A generated multi-function corpus.
+#[derive(Debug)]
+pub struct Corpus {
+    /// The generated source text (all functions).
+    pub source: String,
+    /// The parsed functions, in source order.
+    pub funcs: Vec<Function>,
+    /// How many functions are structural duplicates of an earlier one.
+    pub duplicates: usize,
+    /// Ground-truth class counts summed over all functions.
+    pub expected: ExpectedCounts,
+}
+
+/// Generates a multi-function corpus from a spec.
+///
+/// # Panics
+///
+/// Panics if the generator emits unparsable source (a bug).
+pub fn generate_corpus(spec: &CorpusSpec) -> Corpus {
+    let mut src = String::new();
+    let mut expected = ExpectedCounts::default();
+    let mut duplicates = 0;
+    let mut last_fresh_seed = spec.seed;
+    for i in 0..spec.functions {
+        let is_dup = spec.duplicate_every > 0 && i > 0 && i % spec.duplicate_every == 0;
+        let seed = if is_dup {
+            duplicates += 1;
+            // Reuse the seed of the most recent fresh function,
+            // reproducing its structure *and* constants exactly.
+            last_fresh_seed
+        } else {
+            last_fresh_seed = spec.seed + i as u64;
+            last_fresh_seed
+        };
+        let fspec = WorkloadSpec {
+            loops: spec.loops.max(1),
+            trip: spec.trip,
+            seed,
+            ..WorkloadSpec::default()
+        };
+        emit_function(&mut src, &format!("f{i}"), &fspec, &mut expected);
+    }
+    let program = parse_program(&src)
+        .unwrap_or_else(|e| panic!("corpus generator produced invalid source: {e}\n{src}"));
+    assert_eq!(
+        program.functions.len(),
+        spec.functions,
+        "one function per spec"
+    );
+    Corpus {
+        source: src,
+        funcs: program.functions,
+        duplicates,
+        expected,
+    }
+}
+
 fn emit_loop(
     src: &mut String,
     spec: &WorkloadSpec,
     l: usize,
-    rng: &mut StdRng,
+    rng: &mut SplitMix64,
     expected: &mut ExpectedCounts,
 ) {
     let trip = spec.trip;
@@ -181,7 +276,7 @@ fn emit_loop(
     }
     let _ = writeln!(src, "    L{l}: for i{l} = 1 to {trip} {{");
     expected.linear += 1; // the loop index
-    // Linear updates with uses so pruned SSA keeps the phis.
+                          // Linear updates with uses so pruned SSA keeps the phis.
     for v in 0..spec.linear {
         let step = rng.gen_range(1..9);
         let _ = writeln!(src, "        lin_{l}_{v} = lin_{l}_{v} + {step}");
@@ -337,12 +432,41 @@ mod tests {
     }
 
     #[test]
+    fn corpus_has_expected_shape_and_duplicates() {
+        let spec = CorpusSpec {
+            functions: 9,
+            duplicate_every: 3,
+            ..CorpusSpec::default()
+        };
+        let c = generate_corpus(&spec);
+        assert_eq!(c.funcs.len(), 9);
+        assert_eq!(c.duplicates, 2); // f3 dups f2, f6 dups f5
+                                     // Duplicate pairs are structurally identical: same block count,
+                                     // same instruction mix, different names.
+        let count_insts =
+            |f: &Function| -> usize { f.blocks.iter().map(|(_, b)| b.insts.len()).sum() };
+        assert_eq!(count_insts(&c.funcs[3]), count_insts(&c.funcs[2]));
+        assert_ne!(c.funcs[3].name(), c.funcs[2].name());
+    }
+
+    #[test]
+    fn corpus_without_duplicates() {
+        let spec = CorpusSpec {
+            functions: 4,
+            duplicate_every: 0,
+            ..CorpusSpec::default()
+        };
+        let c = generate_corpus(&spec);
+        assert_eq!(c.duplicates, 0);
+        assert_eq!(c.funcs.len(), 4);
+    }
+
+    #[test]
     fn sized_spec_scales() {
         let small = generate(&WorkloadSpec::sized_linear(500, 7));
         let large = generate(&WorkloadSpec::sized_linear(5000, 7));
-        let count_insts = |f: &Function| -> usize {
-            f.blocks.iter().map(|(_, b)| b.insts.len()).sum()
-        };
+        let count_insts =
+            |f: &Function| -> usize { f.blocks.iter().map(|(_, b)| b.insts.len()).sum() };
         assert!(count_insts(&large.func) > 4 * count_insts(&small.func));
     }
 }

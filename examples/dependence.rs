@@ -34,8 +34,7 @@ fn report(title: &str, src: &str) -> Result<(), Box<dyn std::error::Error>> {
                 DepTestResult::Dependent(d) => {
                     let mut extras = Vec::new();
                     if d.wraparound_after > 0 {
-                        extras
-                            .push(format!("holds after iteration {}", d.wraparound_after));
+                        extras.push(format!("holds after iteration {}", d.wraparound_after));
                     }
                     if let Some(p) = d.periodic {
                         extras.push(format!(

@@ -2,16 +2,24 @@
 //!
 //! ```text
 //! bivc [--ssa] [--classes] [--deps] [--trip-counts] [--classic] [--dot] FILE
-//! bivc --demo            # run the built-in Figure 1 demo
+//! bivc [--jobs N] [--batch] FILE|DIR...   # parallel batch analysis
+//! bivc --demo                             # run the built-in Figure 1 demo
 //! ```
 //!
-//! With no mode flags, everything is printed.
+//! With a single input file and no batch flags, everything is printed in
+//! the detailed single-function format. With several inputs, a
+//! directory, `--batch`, or `--jobs`, the parallel batch driver runs
+//! instead: every function from every input is classified (sharded
+//! across `--jobs` workers, structurally deduplicated through the batch
+//! cache) and printed as canonical per-function summaries followed by a
+//! cache statistics line. Batch output is byte-identical for every job
+//! count. `BIV_JOBS` sets the default worker count.
 
 use std::process::ExitCode;
 
-use biv::core_analysis::{analyze, describe_class};
-use biv::depend::{DepTestResult, DependenceTester};
+use biv::core_analysis::{analyze, analyze_batch, describe_class, resolve_jobs, BatchOptions};
 use biv::ir::parser::parse_program;
+use biv::ir::Function;
 
 struct Options {
     dot: bool,
@@ -20,8 +28,12 @@ struct Options {
     deps: bool,
     trip_counts: bool,
     classic: bool,
-    path: Option<String>,
+    batch: bool,
+    jobs: usize,
+    paths: Vec<String>,
 }
+
+const USAGE: &str = "usage: bivc [--ssa] [--classes] [--deps] [--trip-counts] [--classic] [--dot] FILE\n       bivc [--jobs N] [--batch] FILE|DIR...\n       bivc --demo";
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
@@ -31,11 +43,14 @@ fn parse_args() -> Result<Options, String> {
         deps: false,
         trip_counts: false,
         classic: false,
-        path: None,
+        batch: false,
+        jobs: 0,
+        paths: Vec::new(),
     };
     let mut any_flag = false;
     let mut demo = false;
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--ssa" => {
                 opts.ssa = true;
@@ -61,12 +76,27 @@ fn parse_args() -> Result<Options, String> {
                 opts.classic = true;
                 any_flag = true;
             }
-            "--demo" => demo = true,
-            "--help" | "-h" => {
-                return Err("usage: bivc [--ssa] [--classes] [--deps] [--trip-counts] [--classic] [--dot] FILE | --demo".into())
+            "--batch" => opts.batch = true,
+            "--jobs" => {
+                let value = args.next().ok_or("--jobs needs a value")?;
+                opts.jobs = value
+                    .parse()
+                    .map_err(|_| format!("invalid --jobs value `{value}`"))?;
+                opts.batch = true;
             }
-            path if !path.starts_with('-') => opts.path = Some(path.to_string()),
-            other => return Err(format!("unknown flag `{other}` (try --help)")),
+            "--demo" => demo = true,
+            "--help" | "-h" => return Err(USAGE.into()),
+            path if !path.starts_with('-') => opts.paths.push(path.to_string()),
+            other => {
+                if let Some(value) = other.strip_prefix("--jobs=") {
+                    opts.jobs = value
+                        .parse()
+                        .map_err(|_| format!("invalid --jobs value `{value}`"))?;
+                    opts.batch = true;
+                } else {
+                    return Err(format!("unknown flag `{other}` (try --help)"));
+                }
+            }
         }
     }
     if !any_flag {
@@ -75,9 +105,7 @@ fn parse_args() -> Result<Options, String> {
         opts.deps = true;
         opts.trip_counts = true;
     }
-    if demo && opts.path.is_none() {
-        opts.path = None;
-    } else if opts.path.is_none() {
+    if opts.paths.is_empty() && !demo {
         return Err("no input file (try --demo or --help)".into());
     }
     Ok(opts)
@@ -95,6 +123,78 @@ func fig1(n, c, k) {
 }
 "#;
 
+/// Expands the input paths: files pass through, directories contribute
+/// their `.biv` files (sorted by name, non-recursive then recursive
+/// subdirectories, also sorted) so the batch order is deterministic.
+fn expand_inputs(paths: &[String]) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    for path in paths {
+        let meta = std::fs::metadata(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        if meta.is_dir() {
+            let mut stack = vec![path.clone()];
+            while let Some(dir) = stack.pop() {
+                let mut entries: Vec<_> = std::fs::read_dir(&dir)
+                    .map_err(|e| format!("cannot read directory `{dir}`: {e}"))?
+                    .filter_map(|e| e.ok())
+                    .map(|e| e.path())
+                    .collect();
+                entries.sort();
+                for entry in entries {
+                    let display = entry.to_string_lossy().into_owned();
+                    if entry.is_dir() {
+                        stack.push(display);
+                    } else if display.ends_with(".biv") {
+                        out.push(display);
+                    }
+                }
+            }
+        } else {
+            out.push(path.clone());
+        }
+    }
+    if out.is_empty() {
+        return Err("no input files found".into());
+    }
+    Ok(out)
+}
+
+/// The parallel batch mode: all functions from all files, classified
+/// through the sharded, cached batch driver.
+fn run_batch(opts: &Options) -> Result<(), String> {
+    let files = expand_inputs(&opts.paths)?;
+    let mut funcs: Vec<Function> = Vec::new();
+    // (file path, functions in that file) for grouped printing.
+    let mut ranges: Vec<(String, usize)> = Vec::new();
+    for path in &files {
+        let source =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        let program = parse_program(&source).map_err(|e| format!("{path}: parse error: {e}"))?;
+        ranges.push((path.clone(), program.functions.len()));
+        funcs.extend(program.functions);
+    }
+    let batch_opts = BatchOptions {
+        jobs: opts.jobs,
+        ..BatchOptions::default()
+    };
+    eprintln!(
+        "analyzing {} functions from {} files on {} workers",
+        funcs.len(),
+        ranges.len(),
+        resolve_jobs(opts.jobs)
+    );
+    let report = analyze_batch(&funcs, &batch_opts);
+    let mut next = 0usize;
+    for (path, count) in &ranges {
+        println!("══ {path} ══");
+        for summary in &report.functions[next..next + count] {
+            print!("{}", summary.render());
+        }
+        next += count;
+    }
+    println!("{}", report.stats.render());
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -103,7 +203,22 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let source = match &opts.path {
+    let multiple_inputs = opts.paths.len() > 1
+        || opts
+            .paths
+            .first()
+            .and_then(|p| std::fs::metadata(p).ok())
+            .is_some_and(|m| m.is_dir());
+    if opts.batch || multiple_inputs {
+        return match run_batch(&opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let source = match opts.paths.first() {
         Some(path) => match std::fs::read_to_string(path) {
             Ok(s) => s,
             Err(e) => {
@@ -124,7 +239,10 @@ fn main() -> ExitCode {
         println!("══ function {} ══", func.name());
         if opts.classic {
             let report = biv::classic::detect(func);
-            println!("classical detector: {} variables classified", report.total());
+            println!(
+                "classical detector: {} variables classified",
+                report.total()
+            );
             for lr in &report.loops {
                 for iv in &lr.ivs {
                     println!("    {}: {:?}", func.var_name(iv.var), iv.kind);
@@ -161,7 +279,7 @@ fn main() -> ExitCode {
             }
         }
         if opts.deps {
-            let tester = DependenceTester::new(&analysis);
+            let tester = biv::depend::DependenceTester::new(&analysis);
             let accesses = tester.accesses();
             println!("dependences ({} array references):", accesses.len());
             for s in 0..accesses.len() {
@@ -173,7 +291,7 @@ fn main() -> ExitCode {
                     if s == d && !a.is_write {
                         continue;
                     }
-                    if let DepTestResult::Dependent(dep) = tester.test(s, d) {
+                    if let biv::depend::DepTestResult::Dependent(dep) = tester.test(s, d) {
                         let array = analysis.ssa().func().array_name(a.array);
                         println!(
                             "    {array}: {} {} {}",

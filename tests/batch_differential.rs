@@ -1,0 +1,231 @@
+//! Parallel-vs-serial differential suite for the batch driver.
+//!
+//! The batch subsystem promises that scheduling never leaks into its
+//! output: `analyze_batch` with any worker count produces byte-identical
+//! per-function summaries and byte-identical statistics. These tests pin
+//! that promise for every program in a hand-written test corpus and for
+//! randomized `biv-workload` corpora.
+
+use biv::core_analysis::{analyze_batch, BatchOptions, BatchReport};
+use biv::ir::parser::parse_program;
+use biv::ir::Function;
+use biv::workload::{generate_corpus, CorpusSpec};
+
+const JOB_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Hand-written programs spanning the paper's figures and the trickier
+/// classification scenarios from the corpus tests.
+const TEST_CORPUS: &[&str] = &[
+    // Figure 1: coupled pair j/i with symbolic step c + k.
+    r#"
+    func fig1(n, c, k) {
+        j = n
+        L7: loop {
+            i = j + c
+            j = i + k
+            A[j] = A[i] + 1
+            if j > 1000 { break }
+        }
+    }
+    "#,
+    // Figure 3: polynomial induction (quadratic j).
+    "func fig3(n) { j = 1 L14: for i = 1 to n { j = j + i A[j] = i } }",
+    // Wrap-around variable from the paper's Figure 5 shape.
+    r#"
+    func wrap(n) {
+        m = 100
+        L1: for i = 1 to n {
+            A[m] = i
+            m = i
+        }
+    }
+    "#,
+    // Periodic flip-flop.
+    r#"
+    func flip(n) {
+        p = 0
+        q = 1
+        L1: for i = 1 to n {
+            t = p
+            p = q
+            q = t
+            A[p] = i
+        }
+    }
+    "#,
+    // Geometric plant.
+    "func geo(n) { g = 1 L1: for i = 1 to n { g = g * 2 A[g] = i } }",
+    // Two independent families plus a coupled difference.
+    r#"
+    func families(n) {
+        x = 0
+        y = 7
+        L1: for i = 1 to n {
+            x = x + 2
+            y = y + 2
+            d = y - x
+            A[d] = i
+        }
+    }
+    "#,
+    // Nested loops with an outer-dependent inner bound.
+    r#"
+    func nest(n) {
+        s = 0
+        L1: for i = 1 to n {
+            L2: for j = 1 to i {
+                s = s + 1
+                A[s] = j
+            }
+        }
+    }
+    "#,
+    // Monotonic (conditionally bumped) variable.
+    r#"
+    func mono(n) {
+        m = 0
+        L1: for i = 1 to n {
+            if A[i] > 0 { m = m + 1 }
+            B[m] = i
+        }
+    }
+    "#,
+];
+
+fn parse_corpus() -> Vec<Function> {
+    let mut funcs = Vec::new();
+    for source in TEST_CORPUS {
+        let program = parse_program(source).expect("test corpus parses");
+        funcs.extend(program.functions);
+    }
+    funcs
+}
+
+/// Renders everything observable about a report: every per-function
+/// summary (name, hash, cached flag, loops, classes) plus the stats line.
+fn render_report(report: &BatchReport) -> String {
+    let mut out = String::new();
+    for f in &report.functions {
+        out.push_str(&f.render());
+        out.push_str(&format!("cached: {}\n", f.cached));
+    }
+    out.push_str(&report.stats.render());
+    out.push('\n');
+    out
+}
+
+fn run(funcs: &[Function], jobs: usize) -> String {
+    let opts = BatchOptions {
+        jobs,
+        ..BatchOptions::default()
+    };
+    render_report(&analyze_batch(funcs, &opts))
+}
+
+/// Asserts that all job counts agree on `funcs`, returning the (shared)
+/// rendering for further checks.
+fn assert_jobs_agree(funcs: &[Function], label: &str) -> String {
+    let baseline = run(funcs, JOB_COUNTS[0]);
+    for &jobs in &JOB_COUNTS[1..] {
+        let got = run(funcs, jobs);
+        assert_eq!(
+            baseline, got,
+            "{label}: batch(jobs={jobs}) diverged from jobs={}",
+            JOB_COUNTS[0]
+        );
+    }
+    baseline
+}
+
+#[test]
+fn test_corpus_is_job_count_invariant() {
+    let funcs = parse_corpus();
+    let rendered = assert_jobs_agree(&funcs, "hand-written corpus");
+    // Sanity: the output actually contains every function.
+    for f in &funcs {
+        assert!(
+            rendered.contains(&format!("func {}", f.name())),
+            "missing summary for {}",
+            f.name()
+        );
+    }
+}
+
+#[test]
+fn each_test_program_alone_is_job_count_invariant() {
+    // Degenerate batches (single function, fewer functions than
+    // workers) take the serial path for some job counts and the
+    // sharded path for others; they must still agree.
+    for source in TEST_CORPUS {
+        let program = parse_program(source).expect("test corpus parses");
+        assert_jobs_agree(&program.functions, source);
+    }
+}
+
+#[test]
+fn randomized_corpora_are_job_count_invariant() {
+    let specs = [
+        CorpusSpec {
+            functions: 24,
+            duplicate_every: 0,
+            loops: 1,
+            trip: 50,
+            seed: 1,
+        },
+        CorpusSpec {
+            functions: 24,
+            duplicate_every: 3,
+            loops: 2,
+            trip: 100,
+            seed: 0xDEAD_BEEF,
+        },
+        CorpusSpec {
+            functions: 7,
+            duplicate_every: 2,
+            loops: 1,
+            trip: 10,
+            seed: 7,
+        },
+    ];
+    for spec in &specs {
+        let corpus = generate_corpus(spec);
+        assert_jobs_agree(&corpus.funcs, &format!("corpus seed {}", spec.seed));
+    }
+}
+
+#[test]
+fn randomized_seeds_sweep() {
+    // A wider sweep of seeds with a smaller corpus each: scheduling
+    // nondeterminism, if any, shows up as a flaky failure here.
+    for seed in 0..8u64 {
+        let corpus = generate_corpus(&CorpusSpec {
+            functions: 9,
+            duplicate_every: 4,
+            loops: 1,
+            trip: 25,
+            seed,
+        });
+        assert_jobs_agree(&corpus.funcs, &format!("sweep seed {seed}"));
+    }
+}
+
+#[test]
+fn oversubscribed_jobs_matches_serial() {
+    // More workers than functions: workers that never receive an item
+    // must not perturb the result.
+    let corpus = generate_corpus(&CorpusSpec {
+        functions: 3,
+        duplicate_every: 0,
+        loops: 1,
+        trip: 20,
+        seed: 99,
+    });
+    let serial = run(&corpus.funcs, 1);
+    let oversub = run(&corpus.funcs, 32);
+    assert_eq!(serial, oversub);
+}
+
+#[test]
+fn empty_batch_is_job_count_invariant() {
+    assert_jobs_agree(&[], "empty batch");
+}

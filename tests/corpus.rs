@@ -16,10 +16,7 @@ fn class_of<'a>(analysis: &'a Analysis, name: &str) -> &'a Class {
 
 #[test]
 fn downward_counting_loop() {
-    let a = analyze_source(
-        "func f(n) { L1: for i = n to 1 by -1 { A[i] = i } }",
-    )
-    .unwrap();
+    let a = analyze_source("func f(n) { L1: for i = n to 1 by -1 { A[i] = i } }").unwrap();
     match class_of(&a, "i2") {
         Class::Induction(cf) => {
             assert!(cf.is_linear());

@@ -73,8 +73,8 @@ fn check_program(src: &str, args: &[i64]) {
                 // Per-iteration indexing additionally requires the value
                 // to execute on every iteration (its block dominates the
                 // latch); conditionally executed values skip those checks.
-                let every_iteration = latch
-                    .is_some_and(|latch| dom.dominates(ssa.def_block(value), latch));
+                let every_iteration =
+                    latch.is_some_and(|latch| dom.dominates(ssa.def_block(value), latch));
                 match class {
                     Class::Induction(cf) if outermost && every_iteration => {
                         for (h, &observed) in history.iter().enumerate() {
@@ -302,14 +302,8 @@ fn differential_nested_and_triangular() {
 
 #[test]
 fn differential_negative_steps_and_bounds() {
-    check_program(
-        "func f(n) { L1: for i = n to 1 by -3 { A[i] = i } }",
-        &[20],
-    );
-    check_program(
-        "func f() { L1: for i = 10 to 5 { A[i] = i } }",
-        &[],
-    );
+    check_program("func f(n) { L1: for i = n to 1 by -3 { A[i] = i } }", &[20]);
+    check_program("func f() { L1: for i = 10 to 5 { A[i] = i } }", &[]);
 }
 
 #[test]

@@ -1,0 +1,109 @@
+//! Golden-file tests for `bivc`'s multi-file batch output.
+//!
+//! The batch CLI's stdout is a stable, documented format: per-file
+//! headers, canonical per-function summaries, and a scheduling-independent
+//! stats line. These tests pin it byte-for-byte against fixtures under
+//! `tests/golden/` and check that `--jobs` never changes it.
+//!
+//! To regenerate the goldens after an intentional format change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_cli
+//! ```
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+fn bivc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_bivc"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .env_remove("BIV_JOBS")
+        .output()
+        .expect("bivc runs")
+}
+
+fn stdout_of(args: &[&str]) -> String {
+    let out = bivc(args);
+    assert!(
+        out.status.success(),
+        "bivc {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("bivc output is UTF-8")
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden `{}`: {e} (run with UPDATE_GOLDEN=1)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "golden `{name}` mismatch — if the change is intentional, rerun with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn multi_file_batch_output_matches_golden() {
+    let actual = stdout_of(&[
+        "--jobs",
+        "2",
+        "tests/golden/fig1.biv",
+        "tests/golden/poly.biv",
+    ]);
+    check_golden("multi_file.txt", &actual);
+}
+
+#[test]
+fn directory_batch_output_matches_golden() {
+    // A directory argument expands recursively (sorted, deterministic)
+    // and triggers batch mode without an explicit flag.
+    let actual = stdout_of(&["tests/golden"]);
+    check_golden("directory.txt", &actual);
+}
+
+#[test]
+fn cli_output_is_job_count_invariant() {
+    let base = stdout_of(&["--jobs", "1", "tests/golden"]);
+    for jobs in ["2", "8"] {
+        let got = stdout_of(&["--jobs", jobs, "tests/golden"]);
+        assert_eq!(base, got, "--jobs {jobs} changed the batch output");
+    }
+    // BIV_JOBS picks the default worker count but not the output.
+    let out = Command::new(env!("CARGO_BIN_EXE_bivc"))
+        .args(["--batch", "tests/golden"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .env("BIV_JOBS", "3")
+        .output()
+        .expect("bivc runs");
+    assert!(out.status.success());
+    assert_eq!(base, String::from_utf8(out.stdout).unwrap());
+}
+
+#[test]
+fn structural_twins_are_reported_as_cache_hits() {
+    // wrap.biv holds an α-renamed pair: the stats line must show one
+    // analysis and one hit.
+    let actual = stdout_of(&["--batch", "tests/golden/nested/wrap.biv"]);
+    assert!(
+        actual.contains("batch: 2 functions, 1 analyzed, 1 cache hits, 0 evictions"),
+        "unexpected stats in:\n{actual}"
+    );
+}
+
+#[test]
+fn missing_input_fails_cleanly() {
+    let out = bivc(&["--batch", "tests/golden/nope.biv"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("nope.biv"));
+}

@@ -25,7 +25,10 @@ fn every_generated_workload_passes_all_verifiers() {
         verify_ssa(&ssa).expect("SSA verifies");
         let analysis = analyze(&w.func);
         let counts = count_classes(&analysis);
-        assert!(counts.linear >= w.expected.linear, "seed {seed}: {counts:?}");
+        assert!(
+            counts.linear >= w.expected.linear,
+            "seed {seed}: {counts:?}"
+        );
         assert!(counts.wraparound >= w.expected.wraparound, "seed {seed}");
         assert!(counts.periodic >= w.expected.periodic, "seed {seed}");
         assert!(counts.monotonic >= w.expected.monotonic, "seed {seed}");

@@ -1,79 +1,112 @@
-//! Property-based tests (proptest) on the algebra substrate and on the
-//! analysis invariants.
+//! Property-based tests on the algebra substrate and on the analysis
+//! invariants.
+//!
+//! The properties are exercised over deterministic pseudo-random inputs
+//! from the in-tree [`SplitMix64`] generator, so failures are exactly
+//! reproducible from the iteration index alone and the suite needs no
+//! external dependencies.
 
 use biv::algebra::{Matrix, Rational, SymId, SymPoly};
-use proptest::prelude::*;
+use biv::workload::rng::SplitMix64;
 
-fn rational() -> impl Strategy<Value = Rational> {
-    (-1000i128..1000, 1i128..50).prop_map(|(n, d)| Rational::new(n, d).unwrap())
+const CASES: usize = 256;
+
+fn rational(rng: &mut SplitMix64) -> Rational {
+    let n = rng.gen_range(-1000..1000) as i128;
+    let d = rng.gen_range(1..50) as i128;
+    Rational::new(n, d).unwrap()
 }
 
-fn sympoly() -> impl Strategy<Value = SymPoly> {
+fn sympoly(rng: &mut SplitMix64) -> SymPoly {
     // Up to 4 terms over 3 symbols with small coefficients.
-    proptest::collection::vec((0u32..3, -20i128..20), 0..4).prop_map(|terms| {
-        let mut p = SymPoly::zero();
-        for (sym, coeff) in terms {
-            let term = SymPoly::symbol(SymId(sym))
-                .checked_scale(&Rational::from_integer(coeff))
-                .unwrap();
-            p = p.checked_add(&term).unwrap();
-        }
-        p
-    })
+    let terms = rng.gen_range_usize(0..4);
+    let mut p = SymPoly::zero();
+    for _ in 0..terms {
+        let sym = rng.gen_range(0..3) as u32;
+        let coeff = rng.gen_range(-20..20) as i128;
+        let term = SymPoly::symbol(SymId(sym))
+            .checked_scale(&Rational::from_integer(coeff))
+            .unwrap();
+        p = p.checked_add(&term).unwrap();
+    }
+    p
 }
 
-proptest! {
-    #[test]
-    fn rational_addition_commutes(a in rational(), b in rational()) {
-        prop_assert_eq!(a + b, b + a);
+#[test]
+fn rational_addition_commutes() {
+    let mut rng = SplitMix64::seed_from_u64(0xA001);
+    for _ in 0..CASES {
+        let (a, b) = (rational(&mut rng), rational(&mut rng));
+        assert_eq!(a + b, b + a);
     }
+}
 
-    #[test]
-    fn rational_mul_distributes(a in rational(), b in rational(), c in rational()) {
-        prop_assert_eq!(a * (b + c), a * b + a * c);
+#[test]
+fn rational_mul_distributes() {
+    let mut rng = SplitMix64::seed_from_u64(0xA002);
+    for _ in 0..CASES {
+        let (a, b, c) = (rational(&mut rng), rational(&mut rng), rational(&mut rng));
+        assert_eq!(a * (b + c), a * b + a * c);
     }
+}
 
-    #[test]
-    fn rational_double_negation(a in rational()) {
-        prop_assert_eq!(-(-a), a);
+#[test]
+fn rational_double_negation() {
+    let mut rng = SplitMix64::seed_from_u64(0xA003);
+    for _ in 0..CASES {
+        let a = rational(&mut rng);
+        assert_eq!(-(-a), a);
     }
+}
 
-    #[test]
-    fn rational_ordering_consistent_with_subtraction(a in rational(), b in rational()) {
-        prop_assert_eq!(a < b, (a - b).signum() < 0);
+#[test]
+fn rational_ordering_consistent_with_subtraction() {
+    let mut rng = SplitMix64::seed_from_u64(0xA004);
+    for _ in 0..CASES {
+        let (a, b) = (rational(&mut rng), rational(&mut rng));
+        assert_eq!(a < b, (a - b).signum() < 0);
     }
+}
 
-    #[test]
-    fn rational_floor_ceil_bracket(a in rational()) {
+#[test]
+fn rational_floor_ceil_bracket() {
+    let mut rng = SplitMix64::seed_from_u64(0xA005);
+    for _ in 0..CASES {
+        let a = rational(&mut rng);
         let f = Rational::from_integer(a.floor());
         let c = Rational::from_integer(a.ceil());
-        prop_assert!(f <= a && a <= c);
-        prop_assert!((c - f) <= Rational::ONE);
+        assert!(f <= a && a <= c);
+        assert!((c - f) <= Rational::ONE);
     }
+}
 
-    #[test]
-    fn sympoly_ring_laws(a in sympoly(), b in sympoly(), c in sympoly()) {
+#[test]
+fn sympoly_ring_laws() {
+    let mut rng = SplitMix64::seed_from_u64(0xB001);
+    for _ in 0..CASES {
+        let (a, b, c) = (sympoly(&mut rng), sympoly(&mut rng), sympoly(&mut rng));
         // Commutativity and associativity of +, distributivity of *.
         let ab = a.checked_add(&b).unwrap();
         let ba = b.checked_add(&a).unwrap();
-        prop_assert_eq!(&ab, &ba);
+        assert_eq!(&ab, &ba);
         let left = ab.checked_mul(&c).unwrap();
         let right = a
             .checked_mul(&c)
             .unwrap()
             .checked_add(&b.checked_mul(&c).unwrap())
             .unwrap();
-        prop_assert_eq!(left, right);
+        assert_eq!(left, right);
     }
+}
 
-    #[test]
-    fn sympoly_eval_is_homomorphic(
-        a in sympoly(),
-        b in sympoly(),
-        x in -50i128..50,
-        y in -50i128..50,
-        z in -50i128..50,
-    ) {
+#[test]
+fn sympoly_eval_is_homomorphic() {
+    let mut rng = SplitMix64::seed_from_u64(0xB002);
+    for _ in 0..CASES {
+        let (a, b) = (sympoly(&mut rng), sympoly(&mut rng));
+        let x = rng.gen_range(-50..50) as i128;
+        let y = rng.gen_range(-50..50) as i128;
+        let z = rng.gen_range(-50..50) as i128;
         let env = move |s: SymId| -> Option<Rational> {
             Some(Rational::from_integer(match s.0 {
                 0 => x,
@@ -82,20 +115,25 @@ proptest! {
             }))
         };
         let sum = a.checked_add(&b).unwrap();
-        prop_assert_eq!(
+        assert_eq!(
             sum.eval(env).unwrap(),
             a.eval(env).unwrap() + b.eval(env).unwrap()
         );
         let prod = a.checked_mul(&b).unwrap();
-        prop_assert_eq!(
+        assert_eq!(
             prod.eval(env).unwrap(),
             a.eval(env).unwrap() * b.eval(env).unwrap()
         );
     }
+}
 
-    #[test]
-    fn matrix_inverse_roundtrip(entries in proptest::collection::vec(-6i128..6, 9)) {
-        let data: Vec<Rational> = entries.iter().map(|&v| Rational::from_integer(v)).collect();
+#[test]
+fn matrix_inverse_roundtrip() {
+    let mut rng = SplitMix64::seed_from_u64(0xC001);
+    for _ in 0..CASES {
+        let data: Vec<Rational> = (0..9)
+            .map(|_| Rational::from_integer(rng.gen_range(-6..6) as i128))
+            .collect();
         let m = Matrix::from_rows(3, 3, data);
         if let Some(inv) = m.inverse().unwrap() {
             // A⁻¹·(A·e_j) = e_j for every basis column.
@@ -103,15 +141,25 @@ proptest! {
                 let col: Vec<Rational> = (0..3).map(|r| m.get(r, c)).collect();
                 let back = inv.mul_vec(&col).unwrap();
                 for (r, v) in back.iter().enumerate() {
-                    let expected = if r == c { Rational::ONE } else { Rational::ZERO };
-                    prop_assert_eq!(*v, expected);
+                    let expected = if r == c {
+                        Rational::ONE
+                    } else {
+                        Rational::ZERO
+                    };
+                    assert_eq!(*v, expected);
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn polynomial_fit_reproduces_samples(coeffs in proptest::collection::vec(-9i128..9, 1..5)) {
+#[test]
+fn polynomial_fit_reproduces_samples() {
+    let mut rng = SplitMix64::seed_from_u64(0xC002);
+    for _ in 0..CASES {
+        let coeffs: Vec<i128> = (0..rng.gen_range_usize(1..5))
+            .map(|_| rng.gen_range(-9..9) as i128)
+            .collect();
         // Build a polynomial, sample it, fit it back: must round-trip.
         let eval = |h: i128| -> i128 {
             coeffs
@@ -125,22 +173,16 @@ proptest! {
             .collect();
         let fit = biv::algebra::vandermonde::fit_polynomial(&samples).unwrap();
         for (k, c) in coeffs.iter().enumerate() {
-            prop_assert_eq!(
-                fit[k].constant_value().unwrap(),
-                Rational::from_integer(*c)
-            );
+            assert_eq!(fit[k].constant_value().unwrap(), Rational::from_integer(*c));
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The classifier never misclassifies on randomized workloads: every
-    /// closed form matches the interpreter (thin wrapper over the
-    /// differential machinery via public APIs).
-    #[test]
-    fn random_workloads_classify_consistently(seed in 0u64..500) {
+/// The classifier never misclassifies on randomized workloads: every
+/// planted variable is recovered, and SSA stays well-formed.
+#[test]
+fn random_workloads_classify_consistently() {
+    for seed in 0..24u64 {
         let spec = biv::workload::WorkloadSpec {
             loops: 1,
             trip: 10,
@@ -150,21 +192,30 @@ proptest! {
         let w = biv::workload::generate(&spec);
         let analysis = biv::core_analysis::analyze(&w.func);
         let counts = biv::workload::count_classes(&analysis);
-        prop_assert!(counts.linear >= w.expected.linear);
-        prop_assert!(counts.polynomial >= w.expected.polynomial);
-        prop_assert!(counts.geometric >= w.expected.geometric);
-        prop_assert!(counts.wraparound >= w.expected.wraparound);
-        prop_assert!(counts.periodic >= w.expected.periodic);
-        prop_assert!(counts.monotonic >= w.expected.monotonic);
+        assert!(
+            counts.linear >= w.expected.linear,
+            "seed {seed}: {counts:?}"
+        );
+        assert!(counts.polynomial >= w.expected.polynomial, "seed {seed}");
+        assert!(counts.geometric >= w.expected.geometric, "seed {seed}");
+        assert!(counts.wraparound >= w.expected.wraparound, "seed {seed}");
+        assert!(counts.periodic >= w.expected.periodic, "seed {seed}");
+        assert!(counts.monotonic >= w.expected.monotonic, "seed {seed}");
         // And SSA remains well-formed.
         let ssa = biv::ssa::SsaFunction::build(&w.func);
-        prop_assert!(biv::ssa::verify_ssa(&ssa).is_ok());
+        assert!(biv::ssa::verify_ssa(&ssa).is_ok(), "seed {seed}");
     }
+}
 
-    /// Interpreter equivalence under strength reduction on random
-    /// programs with multiplications by the loop index.
-    #[test]
-    fn strength_reduction_random_equivalence(c1 in 1i64..9, c2 in 1i64..9, n in 1i64..30) {
+/// Interpreter equivalence under strength reduction on random programs
+/// with multiplications by the loop index.
+#[test]
+fn strength_reduction_random_equivalence() {
+    let mut rng = SplitMix64::seed_from_u64(0xD001);
+    for _ in 0..24 {
+        let c1 = rng.gen_range(1..9);
+        let c2 = rng.gen_range(1..9);
+        let n = rng.gen_range(1..30);
         let src = format!(
             "func f(n) {{ L1: for i = 1 to n {{ j = {c1} * i A[j] = i k = i * {c2} B[k] = j }} }}"
         );
@@ -175,6 +226,6 @@ proptest! {
         let interp = biv::ir::interp::Interpreter::new();
         let a = interp.run(&original, &[n]).unwrap();
         let b = interp.run(&reduced, &[n]).unwrap();
-        prop_assert_eq!(a.arrays, b.arrays);
+        assert_eq!(a.arrays, b.arrays, "c1={c1} c2={c2} n={n}");
     }
 }
