@@ -5,9 +5,12 @@
 //! c1+k1)` — the init and step are *polynomials over loop-entry symbols*.
 //! [`SymPoly`] is that representation.
 
-use std::collections::BTreeMap;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::ops::{Add, Mul, Neg, Sub};
+use std::rc::Rc;
 
 use crate::rational::{Rational, RationalError};
 
@@ -105,24 +108,130 @@ impl Monomial {
 /// assert_eq!(v, Rational::from_integer(42));
 /// # Ok::<(), biv_algebra::RationalError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+///
+/// The term map lives behind an [`Rc`]: cloning a polynomial is a
+/// pointer copy, and the zero polynomial, small constants, and single
+/// symbols are hash-consed per thread, so the classifier's pervasive
+/// `Class` clones never copy term maps. Equality takes a pointer
+/// fast path before falling back to structural comparison.
+#[derive(Debug, Clone)]
 pub struct SymPoly {
-    terms: BTreeMap<Monomial, Rational>,
+    terms: Rc<BTreeMap<Monomial, Rational>>,
+}
+
+type Terms = Rc<BTreeMap<Monomial, Rational>>;
+
+thread_local! {
+    /// The shared empty term map: every zero on a thread is one allocation.
+    static ZERO_TERMS: Terms = Rc::new(BTreeMap::new());
+    /// Hash-consed constants, bounded so pathological inputs cannot grow
+    /// the cache without limit.
+    static CONST_TERMS: RefCell<HashMap<Rational, Terms, BuildConsHasher>> =
+        RefCell::new(HashMap::default());
+    /// Hash-consed single-symbol polynomials, indexed directly by the
+    /// dense [`SymId`] index so the hottest constructor never hashes.
+    static SYMBOL_TERMS: RefCell<Vec<Option<Terms>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Upper bound on the constant-consing table. On overflow the table is
+/// cleared and refilled rather than frozen: reuse is temporally local (a
+/// constant is consulted many times while its loop is analyzed, rarely
+/// after), so a recycled cache keeps serving the current region even when
+/// a whole run touches far more than `CAP` keys — a frozen one would miss
+/// on every key past the first `CAP`.
+const CONS_CACHE_CAP: usize = 4096;
+
+/// Upper bound on the symbol-consing vector. Symbols past this index are
+/// built uncached; `SymId`s are dense per function, so only pathological
+/// inputs get there.
+const SYMBOL_CACHE_CAP: usize = 1 << 17;
+
+/// Interns `rc` under `key`, recycling the table when it is full.
+fn cache_insert<K: std::hash::Hash + Eq, S: std::hash::BuildHasher>(
+    cache: &mut HashMap<K, Terms, S>,
+    key: K,
+    rc: &Terms,
+) {
+    if cache.len() >= CONS_CACHE_CAP {
+        cache.clear();
+    }
+    cache.insert(key, Rc::clone(rc));
+}
+
+/// A multiply-rotate-xor hasher for the consed-cache tables. The keys are
+/// small fixed-size integers (`Rational`'s two `i128`s); SipHash's
+/// per-lookup setup dominated these tables in classification profiles,
+/// and the tables are thread-local and size-capped, so HashDoS
+/// resistance buys nothing here.
+#[derive(Default)]
+struct ConsHasher {
+    hash: u64,
+}
+
+type BuildConsHasher = std::hash::BuildHasherDefault<ConsHasher>;
+
+impl ConsHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        // fxhash-style mix: rotate, xor, multiply by a large odd constant.
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    }
+}
+
+impl Hasher for ConsHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+    #[inline]
+    fn write_i128(&mut self, n: i128) {
+        self.add(n as u64);
+        self.add((n >> 64) as u64);
+    }
 }
 
 impl SymPoly {
     /// The zero polynomial.
     pub fn zero() -> SymPoly {
-        SymPoly::default()
+        ZERO_TERMS.with(|z| SymPoly {
+            terms: Rc::clone(z),
+        })
     }
 
     /// A constant polynomial.
     pub fn constant(value: Rational) -> SymPoly {
-        let mut terms = BTreeMap::new();
-        if !value.is_zero() {
-            terms.insert(Monomial::one(), value);
+        if value.is_zero() {
+            return SymPoly::zero();
         }
-        SymPoly { terms }
+        CONST_TERMS.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if let Some(rc) = cache.get(&value) {
+                return SymPoly {
+                    terms: Rc::clone(rc),
+                };
+            }
+            let mut terms = BTreeMap::new();
+            terms.insert(Monomial::one(), value);
+            let rc = Rc::new(terms);
+            cache_insert(&mut cache, value, &rc);
+            SymPoly { terms: rc }
+        })
     }
 
     /// A constant polynomial from an integer.
@@ -132,9 +241,59 @@ impl SymPoly {
 
     /// The polynomial consisting of a single symbol.
     pub fn symbol(sym: SymId) -> SymPoly {
-        let mut terms = BTreeMap::new();
-        terms.insert(Monomial::symbol(sym), Rational::ONE);
-        SymPoly { terms }
+        let idx = sym.0 as usize;
+        SYMBOL_TERMS.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if let Some(Some(rc)) = cache.get(idx) {
+                return SymPoly {
+                    terms: Rc::clone(rc),
+                };
+            }
+            let mut terms = BTreeMap::new();
+            terms.insert(Monomial::symbol(sym), Rational::ONE);
+            let rc = Rc::new(terms);
+            if idx < SYMBOL_CACHE_CAP {
+                if cache.len() <= idx {
+                    cache.resize(idx + 1, None);
+                }
+                cache[idx] = Some(Rc::clone(&rc));
+            }
+            SymPoly { terms: rc }
+        })
+    }
+
+    /// Wraps a freshly built term map, routing empty and constant results
+    /// back through the consed caches so arithmetic that collapses to a
+    /// constant still shares its allocation.
+    fn from_terms(terms: BTreeMap<Monomial, Rational>) -> SymPoly {
+        if terms.is_empty() {
+            return SymPoly::zero();
+        }
+        if terms.len() == 1 {
+            let (m, c) = terms.iter().next().expect("len checked");
+            if m.is_one() {
+                return SymPoly::constant(*c);
+            }
+        }
+        SymPoly {
+            terms: Rc::new(terms),
+        }
+    }
+
+    /// Whether both polynomials share one interned allocation. Implies
+    /// equality; the converse only holds for consed constructors.
+    pub fn shares_allocation(&self, other: &SymPoly) -> bool {
+        Rc::ptr_eq(&self.terms, &other.terms)
+    }
+
+    /// Whether this polynomial is the constant one.
+    fn is_one(&self) -> bool {
+        self.terms.len() == 1
+            && self
+                .terms
+                .iter()
+                .next()
+                .is_some_and(|(m, c)| m.is_one() && *c == Rational::ONE)
     }
 
     /// Whether this polynomial is identically zero.
@@ -205,8 +364,14 @@ impl SymPoly {
     ///
     /// Propagates [`RationalError::Overflow`] from coefficient arithmetic.
     pub fn checked_add(&self, other: &SymPoly) -> Result<SymPoly, RationalError> {
-        let mut terms = self.terms.clone();
-        for (m, c) in &other.terms {
+        if self.is_zero() {
+            return Ok(other.clone());
+        }
+        if other.is_zero() {
+            return Ok(self.clone());
+        }
+        let mut terms = BTreeMap::clone(&self.terms);
+        for (m, c) in other.terms.iter() {
             match terms.get_mut(m) {
                 Some(existing) => {
                     *existing = existing.checked_add(c)?;
@@ -219,7 +384,7 @@ impl SymPoly {
                 }
             }
         }
-        Ok(SymPoly { terms })
+        Ok(SymPoly::from_terms(terms))
     }
 
     /// Checked subtraction.
@@ -228,6 +393,9 @@ impl SymPoly {
     ///
     /// Propagates [`RationalError::Overflow`].
     pub fn checked_sub(&self, other: &SymPoly) -> Result<SymPoly, RationalError> {
+        if other.is_zero() {
+            return Ok(self.clone());
+        }
         self.checked_add(&other.checked_neg()?)
     }
 
@@ -237,11 +405,14 @@ impl SymPoly {
     ///
     /// Propagates [`RationalError::Overflow`].
     pub fn checked_neg(&self) -> Result<SymPoly, RationalError> {
+        if self.is_zero() {
+            return Ok(self.clone());
+        }
         let mut terms = BTreeMap::new();
-        for (m, c) in &self.terms {
+        for (m, c) in self.terms.iter() {
             terms.insert(m.clone(), c.checked_neg()?);
         }
-        Ok(SymPoly { terms })
+        Ok(SymPoly::from_terms(terms))
     }
 
     /// Checked multiplication.
@@ -250,9 +421,18 @@ impl SymPoly {
     ///
     /// Propagates [`RationalError::Overflow`].
     pub fn checked_mul(&self, other: &SymPoly) -> Result<SymPoly, RationalError> {
+        if self.is_zero() || other.is_zero() {
+            return Ok(SymPoly::zero());
+        }
+        if self.is_one() {
+            return Ok(other.clone());
+        }
+        if other.is_one() {
+            return Ok(self.clone());
+        }
         let mut terms: BTreeMap<Monomial, Rational> = BTreeMap::new();
-        for (ma, ca) in &self.terms {
-            for (mb, cb) in &other.terms {
+        for (ma, ca) in self.terms.iter() {
+            for (mb, cb) in other.terms.iter() {
                 let m = ma.mul(mb);
                 let c = ca.checked_mul(cb)?;
                 match terms.get_mut(&m) {
@@ -270,7 +450,7 @@ impl SymPoly {
                 }
             }
         }
-        Ok(SymPoly { terms })
+        Ok(SymPoly::from_terms(terms))
     }
 
     /// Checked scaling by a rational.
@@ -279,14 +459,17 @@ impl SymPoly {
     ///
     /// Propagates [`RationalError::Overflow`].
     pub fn checked_scale(&self, factor: &Rational) -> Result<SymPoly, RationalError> {
-        if factor.is_zero() {
+        if factor.is_zero() || self.is_zero() {
             return Ok(SymPoly::zero());
         }
+        if *factor == Rational::ONE {
+            return Ok(self.clone());
+        }
         let mut terms = BTreeMap::new();
-        for (m, c) in &self.terms {
+        for (m, c) in self.terms.iter() {
             terms.insert(m.clone(), c.checked_mul(factor)?);
         }
-        Ok(SymPoly { terms })
+        Ok(SymPoly::from_terms(terms))
     }
 
     /// Evaluates the polynomial with a (total) assignment of symbols to
@@ -303,7 +486,7 @@ impl SymPoly {
         F: Fn(SymId) -> Option<Rational>,
     {
         let mut total = Rational::ZERO;
-        for (m, c) in &self.terms {
+        for (m, c) in self.terms.iter() {
             let mut term = *c;
             for &(sym, pow) in m.factors() {
                 let v = lookup(sym)?;
@@ -326,8 +509,11 @@ impl SymPoly {
     where
         F: Fn(SymId) -> Option<SymPoly>,
     {
+        if self.is_constant() {
+            return Ok(self.clone());
+        }
         let mut total = SymPoly::zero();
-        for (m, c) in &self.terms {
+        for (m, c) in self.terms.iter() {
             let mut term = SymPoly::constant(*c);
             for &(sym, pow) in m.factors() {
                 let replacement = lookup(sym).unwrap_or_else(|| SymPoly::symbol(sym));
@@ -377,6 +563,28 @@ impl SymPoly {
             }
         }
         out
+    }
+}
+
+impl Default for SymPoly {
+    fn default() -> SymPoly {
+        SymPoly::zero()
+    }
+}
+
+impl PartialEq for SymPoly {
+    fn eq(&self, other: &SymPoly) -> bool {
+        Rc::ptr_eq(&self.terms, &other.terms) || self.terms == other.terms
+    }
+}
+
+impl Eq for SymPoly {}
+
+impl Hash for SymPoly {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Contents only, never the pointer: `a == b` must imply equal
+        // hashes even for polynomials in distinct allocations.
+        (*self.terms).hash(state);
     }
 }
 
@@ -525,6 +733,68 @@ mod tests {
             .checked_add(&SymPoly::from_integer(-3))
             .unwrap();
         assert_eq!(p.to_string(), "-3 + 1/2*s0");
+    }
+
+    #[test]
+    fn interned_zero_and_constants_share_allocations() {
+        assert!(SymPoly::zero().shares_allocation(&SymPoly::zero()));
+        assert!(SymPoly::from_integer(5).shares_allocation(&SymPoly::from_integer(5)));
+        assert!(sym(3).shares_allocation(&sym(3)));
+        // Arithmetic that collapses to a consed value re-enters the cache.
+        let x = sym(0);
+        let diff = x.checked_sub(&x).unwrap();
+        assert!(diff.shares_allocation(&SymPoly::zero()));
+        let five = SymPoly::from_integer(2)
+            .checked_add(&SymPoly::from_integer(3))
+            .unwrap();
+        assert!(five.shares_allocation(&SymPoly::from_integer(5)));
+    }
+
+    #[test]
+    fn clone_is_a_pointer_copy() {
+        let p = sym(0).checked_add(&SymPoly::from_integer(7)).unwrap();
+        assert!(p.clone().shares_allocation(&p));
+    }
+
+    #[test]
+    fn hash_consistent_with_eq_across_allocations() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash_of = |p: &SymPoly| {
+            let mut h = DefaultHasher::new();
+            p.hash(&mut h);
+            h.finish()
+        };
+        // Same value built two different ways: distinct allocations,
+        // equal, and therefore equal hashes.
+        let a = sym(0).checked_add(&SymPoly::from_integer(1)).unwrap();
+        let b = SymPoly::from_integer(3)
+            .checked_add(&sym(0))
+            .unwrap()
+            .checked_sub(&SymPoly::from_integer(2))
+            .unwrap();
+        assert!(!a.shares_allocation(&b));
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+        // And a pointer-shared pair trivially agrees.
+        assert_eq!(hash_of(&a), hash_of(&a.clone()));
+    }
+
+    #[test]
+    fn arithmetic_identity_fast_paths() {
+        let x = sym(0);
+        let zero = SymPoly::zero();
+        let one = SymPoly::from_integer(1);
+        assert!(x.checked_add(&zero).unwrap().shares_allocation(&x));
+        assert!(zero.checked_add(&x).unwrap().shares_allocation(&x));
+        assert!(x.checked_sub(&zero).unwrap().shares_allocation(&x));
+        assert!(x.checked_mul(&one).unwrap().shares_allocation(&x));
+        assert!(one.checked_mul(&x).unwrap().shares_allocation(&x));
+        assert!(x.checked_mul(&zero).unwrap().is_zero());
+        assert!(x
+            .checked_scale(&Rational::ONE)
+            .unwrap()
+            .shares_allocation(&x));
     }
 
     #[test]

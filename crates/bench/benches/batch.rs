@@ -6,10 +6,39 @@
 
 use std::time::Duration;
 
+use biv_bench::criterion_group;
 use biv_bench::harness::{BenchmarkId, Criterion, Throughput};
-use biv_bench::{criterion_group, criterion_main};
+use biv_bench::report::{self, Baseline};
 use biv_core::{analyze_batch, resolve_jobs, BatchOptions};
 use biv_workload::{generate_corpus, CorpusSpec};
+
+/// Medians recorded before the PR 2 kernel optimizations (ns/op).
+const BASELINES: &[Baseline] = &[
+    Baseline {
+        id: "batch/jobs/1",
+        median_ns: 18_552_961.0,
+    },
+    Baseline {
+        id: "batch_cache/distinct/64",
+        median_ns: 18_188_728.0,
+    },
+    Baseline {
+        id: "batch_cache/duplicated/64",
+        median_ns: 10_461_620.0,
+    },
+];
+
+fn timing(group: &mut biv_bench::harness::BenchmarkGroup<'_>) {
+    if report::quick_mode() {
+        group.measurement_time(Duration::from_millis(300));
+        group.warm_up_time(Duration::from_millis(50));
+        group.sample_size(5);
+    } else {
+        group.measurement_time(Duration::from_secs(2));
+        group.warm_up_time(Duration::from_millis(400));
+        group.sample_size(10);
+    }
+}
 
 const CORPUS_FUNCTIONS: usize = 64;
 
@@ -28,9 +57,7 @@ fn bench_batch_scaling(c: &mut Criterion) {
     let corpus = generate_corpus(&corpus_spec(0));
     let available = resolve_jobs(0);
     let mut group = c.benchmark_group("batch");
-    group.measurement_time(Duration::from_secs(2));
-    group.warm_up_time(Duration::from_millis(400));
-    group.sample_size(10);
+    timing(&mut group);
     group.throughput(Throughput::Elements(CORPUS_FUNCTIONS as u64));
     let mut job_counts = vec![1usize];
     if available > 1 {
@@ -70,9 +97,7 @@ fn bench_batch_cache(c: &mut Criterion) {
     let distinct = generate_corpus(&corpus_spec(0));
     let duplicated = generate_corpus(&corpus_spec(2));
     let mut group = c.benchmark_group("batch_cache");
-    group.measurement_time(Duration::from_secs(2));
-    group.warm_up_time(Duration::from_millis(400));
-    group.sample_size(10);
+    timing(&mut group);
     group.throughput(Throughput::Elements(CORPUS_FUNCTIONS as u64));
     let opts = BatchOptions {
         jobs: 1,
@@ -92,4 +117,14 @@ fn bench_batch_cache(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_batch_scaling, bench_batch_cache);
-criterion_main!(benches);
+
+fn main() {
+    let mut criterion = Criterion::new();
+    benches(&mut criterion);
+    criterion.final_summary();
+    let path = report::workspace_root().join("BENCH_batch.json");
+    match report::emit_json(&path, "batch", criterion.measurements(), BASELINES) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+}

@@ -1,0 +1,148 @@
+//! The classification kernel in isolation: parse + SSA + loop forest are
+//! built once per shape, and only `classify_loop` over the loop forest is
+//! timed. This is the per-function hot path PR 2 optimizes (dense entity
+//! maps + SymPoly interning), measured on the same `scaling.rs` shapes so
+//! the trajectory is comparable across PRs.
+//!
+//! Emits `BENCH_kernel.json` at the workspace root (median ns/op,
+//! throughput, and speedup against the recorded pre-optimization
+//! baseline). `BIV_BENCH_QUICK=1` shrinks times and the shape sweep for
+//! CI smoke runs.
+
+use std::time::Duration;
+
+use biv_bench::criterion_group;
+use biv_bench::harness::{BenchmarkId, Criterion, Throughput};
+use biv_bench::instruction_count;
+use biv_bench::report::{self, Baseline};
+use biv_core::{classify_loop, AnalysisConfig};
+use biv_ir::dom::DomTree;
+use biv_ir::loops::LoopForest;
+use biv_ssa::SsaFunction;
+use biv_workload::{generate, WorkloadSpec};
+
+/// Medians measured at the commit before the dense-map + interning
+/// sweep, on the same shapes (ns/op). Recorded so the emitted JSON
+/// carries its own before/after comparison.
+const BASELINES: &[Baseline] = &[
+    Baseline {
+        id: "kernel_linear/classify/196",
+        median_ns: 158_821.0,
+    },
+    Baseline {
+        id: "kernel_linear/classify/882",
+        median_ns: 723_994.0,
+    },
+    Baseline {
+        id: "kernel_linear/classify/3822",
+        median_ns: 3_060_919.0,
+    },
+    Baseline {
+        id: "kernel_linear/classify/15386",
+        median_ns: 13_015_054.0,
+    },
+    Baseline {
+        id: "kernel_mixed/classify/688",
+        median_ns: 688_661.0,
+    },
+    Baseline {
+        id: "kernel_mixed/classify/2752",
+        median_ns: 3_015_621.0,
+    },
+];
+
+fn shape_exps() -> Vec<usize> {
+    if report::quick_mode() {
+        vec![8, 10]
+    } else {
+        vec![8, 10, 12, 14]
+    }
+}
+
+fn timing(group: &mut biv_bench::harness::BenchmarkGroup<'_>) {
+    if report::quick_mode() {
+        group.measurement_time(Duration::from_millis(200));
+        group.warm_up_time(Duration::from_millis(50));
+        group.sample_size(5);
+    } else {
+        group.measurement_time(Duration::from_secs(2));
+        group.warm_up_time(Duration::from_millis(400));
+        group.sample_size(10);
+    }
+}
+
+/// `classify_loop` alone over the linear-chain shapes: one big loop of
+/// linear inductions, the regime where per-value table overhead
+/// dominates.
+fn bench_kernel_linear(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_linear");
+    timing(&mut group);
+    for exp in shape_exps() {
+        let target = 1usize << exp;
+        let w = generate(&WorkloadSpec::sized_linear(target, 0xBEEF + exp as u64));
+        let insts = instruction_count(&w.func);
+        let ssa = SsaFunction::build(&w.func);
+        let dom = DomTree::compute(ssa.func());
+        let forest = LoopForest::compute(ssa.func(), &dom);
+        let order = forest.inner_to_outer();
+        let config = AnalysisConfig::default();
+        let empty = biv_ir::EntityMap::new();
+        group.throughput(Throughput::Elements(insts as u64));
+        group.bench_with_input(BenchmarkId::new("classify", insts), &ssa, |b, ssa| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for &l in &order {
+                    total += classify_loop(ssa, &forest, l, &empty, &config).len();
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The mixed workload (every variable class present): exercises the
+/// wrap-around / periodic / polynomial paths and their SymPoly traffic.
+fn bench_kernel_mixed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_mixed");
+    timing(&mut group);
+    let scales: &[usize] = if report::quick_mode() {
+        &[4]
+    } else {
+        &[16, 64]
+    };
+    for &scale in scales {
+        let w = generate(&WorkloadSpec::mixed(scale, 0xCAFE + scale as u64));
+        let insts = instruction_count(&w.func);
+        let ssa = SsaFunction::build(&w.func);
+        let dom = DomTree::compute(ssa.func());
+        let forest = LoopForest::compute(ssa.func(), &dom);
+        let order = forest.inner_to_outer();
+        let config = AnalysisConfig::default();
+        let empty = biv_ir::EntityMap::new();
+        group.throughput(Throughput::Elements(insts as u64));
+        group.bench_with_input(BenchmarkId::new("classify", insts), &ssa, |b, ssa| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for &l in &order {
+                    total += classify_loop(ssa, &forest, l, &empty, &config).len();
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel_linear, bench_kernel_mixed);
+
+fn main() {
+    let mut criterion = Criterion::new();
+    benches(&mut criterion);
+    criterion.final_summary();
+    let path = report::workspace_root().join("BENCH_kernel.json");
+    match report::emit_json(&path, "kernel", criterion.measurements(), BASELINES) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+}

@@ -49,7 +49,7 @@ fn bench_scaling_classify_only(c: &mut Criterion) {
         let forest = LoopForest::compute(ssa.func(), &dom);
         let order = forest.inner_to_outer();
         let config = AnalysisConfig::default();
-        let empty = std::collections::HashMap::new();
+        let empty = biv_ir::EntityMap::new();
         group.throughput(Throughput::Elements(insts as u64));
         group.bench_with_input(BenchmarkId::new("classify", insts), &ssa, |b, ssa| {
             b.iter(|| {

@@ -1,0 +1,41 @@
+//! Profiling helper: runs the classification kernel over the largest
+//! `scaling.rs` shape in a flat loop so a sampling profiler (gprofng,
+//! perf) sees only the hot path. Not a benchmark — no timing, no JSON.
+//!
+//! ```text
+//! cargo build --release -p biv-bench --example profile_kernel
+//! gprofng collect app target/release/examples/profile_kernel
+//! ```
+
+use biv_core::{classify_loop, AnalysisConfig};
+use biv_ir::dom::DomTree;
+use biv_ir::loops::LoopForest;
+use biv_ssa::SsaFunction;
+use biv_workload::{generate, WorkloadSpec};
+
+fn main() {
+    let target = 1usize << 14;
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40);
+    let w = generate(&WorkloadSpec::sized_linear(target, 0xBEEF + 14));
+    let ssa = SsaFunction::build(&w.func);
+    let dom = DomTree::compute(ssa.func());
+    let forest = LoopForest::compute(ssa.func(), &dom);
+    let order = forest.inner_to_outer();
+    let config = AnalysisConfig::default();
+    let empty = biv_ir::EntityMap::new();
+    let mut total = 0usize;
+    let start = std::time::Instant::now();
+    for _ in 0..reps {
+        for &l in &order {
+            total += classify_loop(&ssa, &forest, l, &empty, &config).len();
+        }
+    }
+    let elapsed = start.elapsed();
+    println!(
+        "{total} classifications, {reps} reps, {:.3} ms/rep",
+        elapsed.as_secs_f64() * 1e3 / reps as f64
+    );
+}

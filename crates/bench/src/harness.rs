@@ -26,6 +26,12 @@ pub struct Measurement {
     pub id: String,
     /// Mean wall-clock time per iteration.
     pub mean: Duration,
+    /// Median per-iteration time across samples. Robust against a stray
+    /// slow sample (page faults, scheduler noise) and therefore the
+    /// number recorded in `BENCH_*.json`.
+    pub median: Duration,
+    /// Per-sample per-iteration times, in measurement order.
+    pub samples: Vec<Duration>,
     /// Throughput elements per iteration, when declared.
     pub elements: Option<u64>,
 }
@@ -150,9 +156,11 @@ impl BenchmarkGroup<'_> {
             measurement_time: self.measurement_time,
             sample_size: self.sample_size,
             mean: Duration::ZERO,
+            samples: Vec::new(),
         };
         f(&mut bencher);
-        self.record(id, bencher.mean);
+        let samples = std::mem::take(&mut bencher.samples);
+        self.record(id, bencher.mean, samples);
         self
     }
 
@@ -180,22 +188,31 @@ impl BenchmarkGroup<'_> {
         }
     }
 
-    fn record(&mut self, id: String, mean: Duration) {
+    fn record(&mut self, id: String, mean: Duration, samples: Vec<Duration>) {
         let elements = match self.throughput {
             Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) => Some(n),
             None => None,
         };
+        let median = median_duration(&samples).unwrap_or(mean);
         let thrpt = match elements {
-            Some(n) if mean > Duration::ZERO => {
-                let per_sec = n as f64 / mean.as_secs_f64();
+            Some(n) if median > Duration::ZERO => {
+                let per_sec = n as f64 / median.as_secs_f64();
                 format!("  thrpt: [{} elem/s]", human_count(per_sec))
             }
             _ => String::new(),
         };
-        println!("{id:<40} time: [{}]{thrpt}", human_duration(mean));
-        self.criterion
-            .results
-            .push(Measurement { id, mean, elements });
+        println!(
+            "{id:<40} time: [{} median {} mean]{thrpt}",
+            human_duration(median),
+            human_duration(mean)
+        );
+        self.criterion.results.push(Measurement {
+            id,
+            mean,
+            median,
+            samples,
+            elements,
+        });
     }
 }
 
@@ -223,6 +240,7 @@ pub struct Bencher {
     measurement_time: Duration,
     sample_size: usize,
     mean: Duration,
+    samples: Vec<Duration>,
 }
 
 impl Bencher {
@@ -243,12 +261,15 @@ impl Bencher {
         let iters_per_sample = ((budget / per_iter.max(1e-9)) as u64).max(1);
         let mut total = Duration::ZERO;
         let mut iters = 0u64;
+        self.samples.clear();
         for _ in 0..self.sample_size {
             let t0 = Instant::now();
             for _ in 0..iters_per_sample {
                 black_box(routine());
             }
-            total += t0.elapsed();
+            let sample = t0.elapsed();
+            self.samples.push(sample.div_f64(iters_per_sample as f64));
+            total += sample;
             iters += iters_per_sample;
         }
         self.mean = total.div_f64(iters as f64);
@@ -277,17 +298,37 @@ impl Bencher {
         let iters_per_sample = ((budget / per_iter) as u64).max(1);
         let mut total = Duration::ZERO;
         let mut iters = 0u64;
+        self.samples.clear();
         for _ in 0..self.sample_size {
+            let mut sample = Duration::ZERO;
             for _ in 0..iters_per_sample {
                 let input = setup();
                 let t0 = Instant::now();
                 black_box(routine(input));
-                total += t0.elapsed();
+                sample += t0.elapsed();
             }
+            self.samples.push(sample.div_f64(iters_per_sample as f64));
+            total += sample;
             iters += iters_per_sample;
         }
         self.mean = total.div_f64(iters as f64);
     }
+}
+
+/// The median of a set of per-sample durations (average of the middle
+/// pair for even counts); `None` when empty.
+pub fn median_duration(samples: &[Duration]) -> Option<Duration> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort();
+    let mid = sorted.len() / 2;
+    Some(if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2
+    })
 }
 
 fn human_duration(d: Duration) -> String {
@@ -350,7 +391,11 @@ mod tests {
         group.measurement_time(Duration::from_millis(20));
         group.warm_up_time(Duration::from_millis(5));
         group.sample_size(3);
-        group.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        // black_box keeps the sum from being const-folded in release mode,
+        // where a 0ns body would defeat the mean > 0 assertion below.
+        group.bench_function("spin", |b| {
+            b.iter(|| (0..std::hint::black_box(10_000u64)).sum::<u64>())
+        });
         group.finish();
         assert_eq!(c.measurements().len(), 1);
         assert!(c.measurements()[0].mean > Duration::ZERO);

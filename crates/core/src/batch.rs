@@ -9,9 +9,9 @@
 //!   [`std::thread::scope`] worker pool (`jobs` workers; `0` means
 //!   auto-detect via `BIV_JOBS` or the machine's available parallelism).
 //!   Workers pull work items from a shared atomic cursor, so scheduling
-//!   is dynamic, but results are written to pre-assigned slots and
-//!   returned in **input order**: output is byte-identical for every job
-//!   count.
+//!   is dynamic, but each result is sent back over an mpsc channel
+//!   tagged with its pre-assigned slot and reordered into **input
+//!   order**: output is byte-identical for every job count.
 //! - **Structural memoization** — before any work is scheduled, each
 //!   function is hashed *structurally* (CFG shape, instruction opcodes,
 //!   constants, canonically numbered variables and arrays — names and
@@ -37,7 +37,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc};
 
 use biv_ir::{EntityId, Function, Inst, Operand, Terminator};
 
@@ -328,29 +328,40 @@ pub fn analyze_batch_with_cache(
             .map(|&i| Arc::new(summarize(&funcs[i], &opts.config)))
             .collect()
     } else {
-        let slots: Mutex<Vec<Option<Arc<StructuralSummary>>>> =
-            Mutex::new(vec![None; representatives.len()]);
+        // Workers pull indices from a shared cursor and send each result
+        // back tagged with its slot; the receive loop below reorders into
+        // input order, so no lock is held while a summary is produced.
         let cursor = AtomicUsize::new(0);
         let config = &opts.config;
         let reps = &representatives;
         std::thread::scope(|scope| {
+            let cursor = &cursor;
+            let (tx, rx) = mpsc::channel::<(usize, Arc<StructuralSummary>)>();
             for _ in 0..jobs {
-                scope.spawn(|| loop {
+                let tx = tx.clone();
+                scope.spawn(move || loop {
                     let k = cursor.fetch_add(1, Ordering::Relaxed);
                     if k >= reps.len() {
                         break;
                     }
                     let summary = Arc::new(summarize(&funcs[reps[k]], config));
-                    slots.lock().expect("no panics hold the slot lock")[k] = Some(summary);
+                    if tx.send((k, summary)).is_err() {
+                        break;
+                    }
                 });
             }
-        });
-        slots
-            .into_inner()
-            .expect("workers joined")
-            .into_iter()
-            .map(|s| s.expect("every slot filled"))
-            .collect()
+            // The receiver loop ends when every worker has dropped its
+            // sender clone; the original must go first.
+            drop(tx);
+            let mut slots: Vec<Option<Arc<StructuralSummary>>> = vec![None; reps.len()];
+            for (k, summary) in rx {
+                slots[k] = Some(summary);
+            }
+            slots
+                .into_iter()
+                .map(|s| s.expect("every slot filled"))
+                .collect()
+        })
     };
 
     // Deterministic cache insertion, in representative (= input) order.
@@ -383,13 +394,13 @@ fn summarize(func: &Function, config: &AnalysisConfig) -> StructuralSummary {
     let namer = canonical_value_name;
     let mut loops = Vec::new();
     for (_, info) in analysis.loops() {
-        let mut classes: Vec<_> = info.classes.iter().collect();
-        classes.sort_by_key(|(v, _)| **v);
-        let classes = classes
-            .into_iter()
+        // `VecMap` iteration is in value-index order.
+        let classes = info
+            .classes
+            .iter()
             .map(|(v, c)| {
                 (
-                    canonical_value_name(*v),
+                    canonical_value_name(v),
                     describe_class_with(&analysis, c, &namer),
                 )
             })

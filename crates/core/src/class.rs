@@ -67,42 +67,46 @@ impl ClosedForm {
     }
 
     fn normalized(mut self) -> ClosedForm {
-        // Fold base-1 "geometric" terms into the constant coefficient and
-        // drop zero coefficients.
-        let mut folded = SymPoly::zero();
-        self.geo.retain(|(base, coeff)| {
-            if *base == Rational::ONE {
-                folded = folded
-                    .checked_add(coeff)
-                    .unwrap_or_else(|_| SymPoly::zero());
-                false
-            } else {
-                !coeff.is_zero() && !base.is_zero()
-            }
-        });
-        if !folded.is_zero() {
-            if self.coeffs.is_empty() {
-                self.coeffs.push(SymPoly::zero());
-            }
-            if let Ok(sum) = self.coeffs[0].checked_add(&folded) {
-                self.coeffs[0] = sum;
-            }
-        }
-        // Merge duplicate bases.
-        self.geo.sort_by_key(|a| a.0);
-        let mut merged: Vec<(Rational, SymPoly)> = Vec::with_capacity(self.geo.len());
-        for (base, coeff) in std::mem::take(&mut self.geo) {
-            match merged.last_mut() {
-                Some((b, c)) if *b == base => {
-                    if let Ok(sum) = c.checked_add(&coeff) {
-                        *c = sum;
-                    }
+        // The common case — purely polynomial forms — skips straight to
+        // the coefficient trim.
+        if !self.geo.is_empty() {
+            // Fold base-1 "geometric" terms into the constant coefficient
+            // and drop zero coefficients.
+            let mut folded = SymPoly::zero();
+            self.geo.retain(|(base, coeff)| {
+                if *base == Rational::ONE {
+                    folded = folded
+                        .checked_add(coeff)
+                        .unwrap_or_else(|_| SymPoly::zero());
+                    false
+                } else {
+                    !coeff.is_zero() && !base.is_zero()
                 }
-                _ => merged.push((base, coeff)),
+            });
+            if !folded.is_zero() {
+                if self.coeffs.is_empty() {
+                    self.coeffs.push(SymPoly::zero());
+                }
+                if let Ok(sum) = self.coeffs[0].checked_add(&folded) {
+                    self.coeffs[0] = sum;
+                }
             }
+            // Merge duplicate bases.
+            self.geo.sort_by_key(|a| a.0);
+            let mut merged: Vec<(Rational, SymPoly)> = Vec::with_capacity(self.geo.len());
+            for (base, coeff) in std::mem::take(&mut self.geo) {
+                match merged.last_mut() {
+                    Some((b, c)) if *b == base => {
+                        if let Ok(sum) = c.checked_add(&coeff) {
+                            *c = sum;
+                        }
+                    }
+                    _ => merged.push((base, coeff)),
+                }
+            }
+            merged.retain(|(_, c)| !c.is_zero());
+            self.geo = merged;
         }
-        merged.retain(|(_, c)| !c.is_zero());
-        self.geo = merged;
         while self.coeffs.len() > 1 && self.coeffs.last().is_some_and(SymPoly::is_zero) {
             self.coeffs.pop();
         }

@@ -1,12 +1,12 @@
 //! Per-loop classification: Tarjan over the SSA graph, then classify each
 //! SCR as it pops (§3–§4 of the paper).
 
-use std::collections::{HashMap, HashSet};
+use std::cell::RefCell;
 
 use biv_algebra::vandermonde::fit_mixed;
 use biv_algebra::{Rational, SymPoly};
 use biv_ir::loops::{Loop, LoopForest};
-use biv_ir::{BinOp, Block};
+use biv_ir::{BinOp, Block, EntityMap, EntitySet, VecMap};
 use biv_ssa::{Operand, SsaFunction, SsaInst, Value, ValueDef};
 
 use crate::class::{Class, ClosedForm, Direction, FamilyAnchor, Monotonic, Periodic};
@@ -14,8 +14,46 @@ use crate::config::AnalysisConfig;
 use crate::scc::{strongly_connected_regions, Scr};
 use crate::symbols::{operand_to_sympoly, sym_of_value, value_of_sym};
 
+/// Read access to per-value classifications, independent of the backing
+/// store: the classifier works against its dense scratch table, external
+/// callers against the compact [`VecMap`] stored in `LoopInfo`.
+pub trait ClassLookup {
+    /// The classification recorded for `v`, if any.
+    fn lookup_class(&self, v: Value) -> Option<&Class>;
+}
+
+impl ClassLookup for EntityMap<Value, Class> {
+    fn lookup_class(&self, v: Value) -> Option<&Class> {
+        self.get(v)
+    }
+}
+
+impl ClassLookup for VecMap<Value, Class> {
+    fn lookup_class(&self, v: Value) -> Option<&Class> {
+        self.get(v)
+    }
+}
+
+thread_local! {
+    /// Per-thread classification scratch, reused across `classify_loop`
+    /// calls. The dense tables inside grow to the largest value index a
+    /// thread ever sees and stay allocated; each call only pays for the
+    /// entries it actually touches (cleared by key on the way out), so a
+    /// function with many small loops costs O(values) total, not
+    /// O(loops × max index).
+    static LOOP_SCRATCH: RefCell<LoopScratch> = RefCell::new(LoopScratch::default());
+}
+
+#[derive(Default)]
+struct LoopScratch {
+    classes: EntityMap<Value, Class>,
+    scr: Scratch,
+}
+
 /// Classifies every SSA value in `loop_id`'s region (its blocks minus
-/// inner-loop blocks) with respect to that loop.
+/// inner-loop blocks) with respect to that loop. The result is a compact
+/// table sorted by value index — iteration order is the deterministic
+/// dense order, memory is proportional to the region size.
 ///
 /// `exit_exprs` carries the symbolic exit expressions of synthetic
 /// [`ValueDef::ExitValue`] definitions materialized by the nested-loop
@@ -24,12 +62,15 @@ pub fn classify_loop(
     ssa: &SsaFunction,
     forest: &LoopForest,
     loop_id: Loop,
-    exit_exprs: &HashMap<Value, SymPoly>,
+    exit_exprs: &EntityMap<Value, SymPoly>,
     config: &AnalysisConfig,
-) -> HashMap<Value, Class> {
-    let mut cx = Cx::new(ssa, forest, loop_id, exit_exprs, config);
-    cx.run();
-    cx.classes
+) -> VecMap<Value, Class> {
+    LOOP_SCRATCH.with(|cell| {
+        let scratch = &mut *cell.borrow_mut();
+        let mut cx = Cx::new(ssa, forest, loop_id, exit_exprs, config, scratch);
+        cx.run();
+        cx.finish()
+    })
 }
 
 /// Classifies an operand with respect to a loop, given the loop's member
@@ -59,14 +100,14 @@ pub fn operand_class(
     ssa: &SsaFunction,
     forest: &LoopForest,
     loop_id: Loop,
-    classes: &HashMap<Value, Class>,
+    classes: &impl ClassLookup,
     op: &Operand,
 ) -> Class {
     let op = &resolve_copies(ssa, *op);
     match op {
         Operand::Const(c) => Class::Invariant(SymPoly::from_integer(i128::from(*c))),
         Operand::Value(v) => {
-            if let Some(cls) = classes.get(v) {
+            if let Some(cls) = classes.lookup_class(*v) {
                 return cls.clone();
             }
             let block = ssa.def_block(*v);
@@ -470,9 +511,28 @@ struct Cx<'a> {
     preheader: Option<Block>,
     latch: Option<Block>,
     nodes: Vec<Value>,
-    exit_exprs: &'a HashMap<Value, SymPoly>,
+    exit_exprs: &'a EntityMap<Value, SymPoly>,
     config: &'a AnalysisConfig,
-    classes: HashMap<Value, Class>,
+    classes: &'a mut EntityMap<Value, Class>,
+    scratch: &'a mut Scratch,
+}
+
+/// Dense per-SCR working state, hoisted out of the per-SCR calls and
+/// reused so each SCR costs O(|scr|), not O(max value index). The memo
+/// and periodic tables are not cleared between SCRs: within one loop,
+/// SCRs partition the value space, so entries written while analyzing one
+/// SCR can never be read while analyzing another. `members` carries
+/// meaning across lookups and is unwound entry-by-entry after each SCR;
+/// everything else is cleared by key in [`Cx::finish`] (value indices
+/// restart per function, so stale entries would alias across functions).
+#[derive(Default)]
+struct Scratch {
+    members: EntitySet<Value>,
+    affine_memo: EntityMap<Value, Result<Transform, NonAffine>>,
+    sign_memo: EntityMap<Value, Option<Sign>>,
+    sigma: EntityMap<Value, Value>,
+    inits: EntityMap<Value, SymPoly>,
+    phase_of: EntityMap<Value, usize>,
 }
 
 impl<'a> Cx<'a> {
@@ -480,8 +540,9 @@ impl<'a> Cx<'a> {
         ssa: &'a SsaFunction,
         forest: &'a LoopForest,
         loop_id: Loop,
-        exit_exprs: &'a HashMap<Value, SymPoly>,
+        exit_exprs: &'a EntityMap<Value, SymPoly>,
         config: &'a AnalysisConfig,
+        loop_scratch: &'a mut LoopScratch,
     ) -> Cx<'a> {
         let data = forest.data(loop_id);
         let header = data.header;
@@ -517,8 +578,28 @@ impl<'a> Cx<'a> {
             nodes,
             exit_exprs,
             config,
-            classes: HashMap::new(),
+            classes: &mut loop_scratch.classes,
+            scratch: &mut loop_scratch.scr,
         }
+    }
+
+    /// Drains the dense scratch into the compact result, clearing every
+    /// entry this call wrote so the scratch is clean for the next loop
+    /// (and the next function — value indices restart there).
+    fn finish(self) -> VecMap<Value, Class> {
+        let mut out: Vec<(Value, Class)> = Vec::with_capacity(self.classes.len());
+        for &v in &self.nodes {
+            if let Some(cls) = self.classes.remove(v) {
+                out.push((v, cls));
+            }
+            self.scratch.affine_memo.remove(v);
+            self.scratch.sign_memo.remove(v);
+            self.scratch.sigma.remove(v);
+            self.scratch.inits.remove(v);
+            self.scratch.phase_of.remove(v);
+        }
+        // `FromIterator` sorts by value index; `nodes` is block order.
+        out.into_iter().collect()
     }
 
     fn run(&mut self) {
@@ -530,7 +611,7 @@ impl<'a> Cx<'a> {
             return;
         }
         let nodes = self.nodes.clone();
-        let scrs = strongly_connected_regions(&nodes, |v| self.graph_edges(v));
+        let scrs = strongly_connected_regions(&nodes, |v, out| self.graph_edges(v, out));
         for scr in &scrs {
             if scr.cyclic {
                 self.classify_cycle(scr);
@@ -542,19 +623,21 @@ impl<'a> Cx<'a> {
         }
     }
 
-    /// SSA-graph successor edges restricted to the region. Synthetic exit
-    /// values depend on the symbols of their exit expression.
-    fn graph_edges(&self, v: Value) -> Vec<Value> {
+    /// Appends `v`'s SSA-graph successor edges (restricted to the region)
+    /// to `out`. Synthetic exit values depend on the symbols of their exit
+    /// expression.
+    fn graph_edges(&self, v: Value, out: &mut Vec<Value>) {
         if let ValueDef::ExitValue { .. } = self.ssa.def(v) {
-            if let Some(expr) = self.exit_exprs.get(&v) {
-                return expr.symbols().into_iter().map(value_of_sym).collect();
+            if let Some(expr) = self.exit_exprs.get(v) {
+                out.extend(expr.symbols().into_iter().map(value_of_sym));
+                return;
             }
         }
-        self.ssa.operands_of(v)
+        self.ssa.def(v).operands(out);
     }
 
     fn class_of_operand(&self, op: &Operand) -> Class {
-        operand_class(self.ssa, self.forest, self.loop_id, &self.classes, op)
+        operand_class(self.ssa, self.forest, self.loop_id, &*self.classes, op)
     }
 
     fn classify_symbol_fn(&self) -> impl Fn(Value) -> Class + '_ {
@@ -618,7 +701,7 @@ impl<'a> Cx<'a> {
             // paper's invariant scalar loads are registers in this IR.
             ValueDef::Load { .. } => Class::Unknown,
             ValueDef::LiveIn { .. } => Class::Invariant(SymPoly::symbol(sym_of_value(v))),
-            ValueDef::ExitValue { .. } => match self.exit_exprs.get(&v) {
+            ValueDef::ExitValue { .. } => match self.exit_exprs.get(v) {
                 Some(expr) => class_of_sympoly(self.loop_id, expr, &self.classify_symbol_fn()),
                 None => Class::Unknown,
             },
@@ -709,7 +792,10 @@ impl<'a> Cx<'a> {
     // ------------------------------------------------------------------
 
     fn classify_cycle(&mut self, scr: &Scr) {
-        let members: HashSet<Value> = scr.members.iter().copied().collect();
+        let mut scratch = std::mem::take(self.scratch);
+        for &v in &scr.members {
+            scratch.members.insert(v);
+        }
         let header_phis: Vec<Value> = scr
             .members
             .iter()
@@ -719,15 +805,19 @@ impl<'a> Cx<'a> {
         let result: Option<()> = match header_phis.len() {
             0 => None, // data cycle not through the header: unanalyzable
             1 => self
-                .classify_affine_scr(scr, &members, header_phis[0])
-                .or_else(|| self.classify_monotonic_scr(scr, &members, header_phis[0])),
-            _ => self.classify_periodic_scr(scr, &members, &header_phis),
+                .classify_affine_scr(scr, &mut scratch, header_phis[0])
+                .or_else(|| self.classify_monotonic_scr(scr, &mut scratch, header_phis[0])),
+            _ => self.classify_periodic_scr(scr, &mut scratch, &header_phis),
         };
         if result.is_none() {
             for &v in &scr.members {
                 self.classes.insert(v, Class::Unknown);
             }
         }
+        for &v in &scr.members {
+            scratch.members.remove(v);
+        }
+        *self.scratch = scratch;
     }
 
     /// Copy-only SCRs threading several header φs: a periodic family
@@ -735,12 +825,16 @@ impl<'a> Cx<'a> {
     fn classify_periodic_scr(
         &mut self,
         scr: &Scr,
-        members: &HashSet<Value>,
+        scratch: &mut Scratch,
         header_phis: &[Value],
     ) -> Option<()> {
         if !self.config.periodic {
             return None;
         }
+        let members = &scratch.members;
+        let sigma = &mut scratch.sigma;
+        let inits = &mut scratch.inits;
+        let phase_of = &mut scratch.phase_of;
         // Only header φs and copies are allowed.
         for &v in &scr.members {
             match self.ssa.def(v) {
@@ -759,7 +853,7 @@ impl<'a> Cx<'a> {
             let mut fuel = scr.members.len() + 1;
             while fuel > 0 {
                 fuel -= 1;
-                if !members.contains(&cur) {
+                if !members.contains(cur) {
                     return None;
                 }
                 match self.ssa.def(cur) {
@@ -771,8 +865,6 @@ impl<'a> Cx<'a> {
             None
         };
         let period = header_phis.len();
-        let mut sigma: HashMap<Value, Value> = HashMap::new();
-        let mut inits: HashMap<Value, SymPoly> = HashMap::new();
         for &phi in header_phis {
             let (init_op, carried_op) = self.phi_init_carried(phi)?;
             // Initial values must come from outside the loop.
@@ -787,29 +879,30 @@ impl<'a> Cx<'a> {
         // Walk the σ-orbit from the first φ; it must visit every φ.
         let start = header_phis[0];
         let mut orbit = vec![start];
-        let mut cur = sigma[&start];
+        let mut cur = sigma[start];
         while cur != start {
             if orbit.len() > period {
                 return None;
             }
             orbit.push(cur);
-            cur = sigma[&cur];
+            cur = sigma[cur];
         }
         if orbit.len() != period {
             return None;
         }
         // F(h) = σ^h(F)(0): the family values in rotation order from the
         // start φ.
-        let values: Vec<SymPoly> = orbit.iter().map(|phi| inits[phi].clone()).collect();
-        let phase_of: HashMap<Value, usize> =
-            orbit.iter().enumerate().map(|(k, &phi)| (phi, k)).collect();
+        let values: Vec<SymPoly> = orbit.iter().map(|&phi| inits[phi].clone()).collect();
+        for (k, &phi) in orbit.iter().enumerate() {
+            phase_of.insert(phi, k);
+        }
         for &phi in header_phis {
             self.classes.insert(
                 phi,
                 Class::Periodic(Periodic {
                     loop_id: self.loop_id,
                     values: values.clone(),
-                    phase: phase_of[&phi],
+                    phase: phase_of[phi],
                 }),
             );
         }
@@ -822,7 +915,7 @@ impl<'a> Cx<'a> {
                     Class::Periodic(Periodic {
                         loop_id: self.loop_id,
                         values: values.clone(),
-                        phase: phase_of[&phi],
+                        phase: phase_of[phi],
                     }),
                 );
             }
@@ -832,17 +925,13 @@ impl<'a> Cx<'a> {
 
     /// Single-header-φ SCR: affine-transform analysis producing linear,
     /// polynomial, geometric, or flip-flop closed forms.
-    fn classify_affine_scr(
-        &mut self,
-        scr: &Scr,
-        members: &HashSet<Value>,
-        phi: Value,
-    ) -> Option<()> {
+    fn classify_affine_scr(&mut self, scr: &Scr, scratch: &mut Scratch, phi: Value) -> Option<()> {
+        let members = &scratch.members;
+        let memo = &mut scratch.affine_memo;
         let (init_op, carried_op) = self.phi_init_carried(phi)?;
         let init = operand_to_sympoly(&resolve_copies(self.ssa, init_op));
-        let mut memo: HashMap<Value, Result<Transform, NonAffine>> = HashMap::new();
         let latch_t = self
-            .transform_operand(&carried_op, phi, members, &mut memo)
+            .transform_operand(&carried_op, phi, members, memo)
             .ok()?;
         // Cumulative effect per iteration: φ ← a·φ + b(h).
         let a = latch_t.a;
@@ -888,7 +977,7 @@ impl<'a> Cx<'a> {
         };
         // Classify every member through its transform.
         for &m in &scr.members {
-            let cls = match self.transform_value(m, phi, members, &mut memo) {
+            let cls = match self.transform_value(m, phi, members, memo) {
                 Ok(t) => {
                     let scaled = cf_phi.scale(&SymPoly::constant(t.a));
                     match scaled.and_then(|s| s.add(&t.b)) {
@@ -907,8 +996,8 @@ impl<'a> Cx<'a> {
         &self,
         v: Value,
         phi: Value,
-        members: &HashSet<Value>,
-        memo: &mut HashMap<Value, Result<Transform, NonAffine>>,
+        members: &EntitySet<Value>,
+        memo: &mut EntityMap<Value, Result<Transform, NonAffine>>,
     ) -> Result<Transform, NonAffine> {
         if v == phi {
             return Ok(Transform {
@@ -916,7 +1005,7 @@ impl<'a> Cx<'a> {
                 b: ClosedForm::constant(self.loop_id, SymPoly::zero()),
             });
         }
-        if let Some(t) = memo.get(&v) {
+        if let Some(t) = memo.get(v) {
             return t.clone();
         }
         // Mark in-progress to cut (impossible in well-formed SCRs) cycles
@@ -931,8 +1020,8 @@ impl<'a> Cx<'a> {
         &self,
         v: Value,
         phi: Value,
-        members: &HashSet<Value>,
-        memo: &mut HashMap<Value, Result<Transform, NonAffine>>,
+        members: &EntitySet<Value>,
+        memo: &mut EntityMap<Value, Result<Transform, NonAffine>>,
     ) -> Result<Transform, NonAffine> {
         let zero = || ClosedForm::constant(self.loop_id, SymPoly::zero());
         match self.ssa.def(v) {
@@ -1003,14 +1092,14 @@ impl<'a> Cx<'a> {
             ValueDef::ExitValue { .. } => {
                 // The exit expression is a polynomial over symbols; it is
                 // affine in the SCR when at most linear in SCR symbols.
-                let expr = self.exit_exprs.get(&v).ok_or(NonAffine)?;
+                let expr = self.exit_exprs.get(v).ok_or(NonAffine)?;
                 let mut a = Rational::ZERO;
                 let mut b = zero();
                 for (monomial, coeff) in expr.iter() {
                     let scr_syms: Vec<_> = monomial
                         .factors()
                         .iter()
-                        .filter(|(s, _)| members.contains(&value_of_sym(*s)))
+                        .filter(|(s, _)| members.contains(value_of_sym(*s)))
                         .collect();
                     match scr_syms.as_slice() {
                         [] => {
@@ -1049,8 +1138,8 @@ impl<'a> Cx<'a> {
         &self,
         op: &Operand,
         phi: Value,
-        members: &HashSet<Value>,
-        memo: &mut HashMap<Value, Result<Transform, NonAffine>>,
+        members: &EntitySet<Value>,
+        memo: &mut EntityMap<Value, Result<Transform, NonAffine>>,
     ) -> Result<Transform, NonAffine> {
         // Resolve copies only when they lead out of the SCR; in-SCR copy
         // chains go through transform_value so members get transforms.
@@ -1066,7 +1155,7 @@ impl<'a> Cx<'a> {
                 b: ClosedForm::constant(self.loop_id, SymPoly::from_integer(i128::from(*c))),
             }),
             Operand::Value(v) => {
-                if members.contains(v) {
+                if members.contains(*v) {
                     return self.transform_value(*v, phi, members, memo);
                 }
                 // Out-of-SCR operand: use its class.
@@ -1091,15 +1180,16 @@ impl<'a> Cx<'a> {
     fn classify_monotonic_scr(
         &mut self,
         scr: &Scr,
-        members: &HashSet<Value>,
+        scratch: &mut Scratch,
         phi: Value,
     ) -> Option<()> {
         if !self.config.monotonic {
             return None;
         }
+        let members = &scratch.members;
+        let memo = &mut scratch.sign_memo;
         let (_, carried_op) = self.phi_init_carried(phi)?;
-        let mut memo: HashMap<Value, Option<Sign>> = HashMap::new();
-        let latch_sign = self.offset_sign_operand(&carried_op, phi, members, &mut memo)?;
+        let latch_sign = self.offset_sign_operand(&carried_op, phi, members, memo)?;
         let direction = match latch_sign {
             Sign::Pos | Sign::NonNeg => Direction::Increasing,
             Sign::Neg | Sign::NonPos => Direction::Decreasing,
@@ -1109,7 +1199,7 @@ impl<'a> Cx<'a> {
                 let (init_op, _) = self.phi_init_carried(phi)?;
                 let init = operand_to_sympoly(&resolve_copies(self.ssa, init_op));
                 for &m in &scr.members {
-                    let sign = self.offset_sign_value(m, phi, members, &mut memo);
+                    let sign = self.offset_sign_value(m, phi, members, memo);
                     let cls = match sign {
                         Some(Sign::Zero) => Class::Invariant(init.clone()),
                         _ => Class::Unknown,
@@ -1121,7 +1211,7 @@ impl<'a> Cx<'a> {
         };
         let phi_strict = matches!(latch_sign, Sign::Pos | Sign::Neg);
         for &m in &scr.members {
-            let cls = match self.offset_sign_value(m, phi, members, &mut memo) {
+            let cls = match self.offset_sign_value(m, phi, members, memo) {
                 Some(sign) => {
                     // A member whose offset from the header value is
                     // strictly signed assigns a strictly larger (smaller)
@@ -1162,13 +1252,13 @@ impl<'a> Cx<'a> {
         &self,
         v: Value,
         phi: Value,
-        members: &HashSet<Value>,
-        memo: &mut HashMap<Value, Option<Sign>>,
+        members: &EntitySet<Value>,
+        memo: &mut EntityMap<Value, Option<Sign>>,
     ) -> Option<Sign> {
         if v == phi {
             return Some(Sign::Zero);
         }
-        if let Some(s) = memo.get(&v) {
+        if let Some(s) = memo.get(v) {
             return *s;
         }
         memo.insert(v, None);
@@ -1220,19 +1310,19 @@ impl<'a> Cx<'a> {
         result
     }
 
-    fn in_scr(&self, op: &Operand, members: &HashSet<Value>) -> bool {
-        op.as_value().is_some_and(|v| members.contains(&v))
+    fn in_scr(&self, op: &Operand, members: &EntitySet<Value>) -> bool {
+        op.as_value().is_some_and(|v| members.contains(v))
     }
 
     fn offset_sign_operand(
         &self,
         op: &Operand,
         phi: Value,
-        members: &HashSet<Value>,
-        memo: &mut HashMap<Value, Option<Sign>>,
+        members: &EntitySet<Value>,
+        memo: &mut EntityMap<Value, Option<Sign>>,
     ) -> Option<Sign> {
         match op {
-            Operand::Value(v) if members.contains(v) => {
+            Operand::Value(v) if members.contains(*v) => {
                 self.offset_sign_value(*v, phi, members, memo)
             }
             // A non-SCR operand cannot be an offset from φ.
@@ -1258,7 +1348,7 @@ fn phi_strict_or_member(sign: Sign, phi_strict: bool) -> bool {
     }
 }
 
-fn cache(memo: &mut HashMap<Value, Option<Sign>>, v: Value, s: Option<Sign>) -> Option<Sign> {
+fn cache(memo: &mut EntityMap<Value, Option<Sign>>, v: Value, s: Option<Sign>) -> Option<Sign> {
     memo.insert(v, s);
     s
 }

@@ -1,14 +1,14 @@
 //! The whole-function analysis driver: loops processed inner-to-outer
 //! with exit-value materialization (§5.3).
 
-use std::collections::HashMap;
 use std::fmt;
+use std::time::{Duration, Instant};
 
 use biv_algebra::SymPoly;
 use biv_ir::dom::DomTree;
 use biv_ir::loops::{Loop, LoopForest};
 use biv_ir::parser::ParseError;
-use biv_ir::{Block, Function};
+use biv_ir::{Block, EntityMap, Function, VecMap};
 use biv_ssa::{Operand, SsaFunction, SsaInst, SsaTerminator, Value, ValueDef};
 
 use crate::class::Class;
@@ -53,7 +53,7 @@ pub struct LoopInfo {
     /// Human-readable loop name (source label when present).
     pub name: String,
     /// Classification of every SSA value in the loop's region.
-    pub classes: HashMap<Value, Class>,
+    pub classes: VecMap<Value, Class>,
     /// The loop's trip count (§5.2).
     pub trip_count: TripCount,
     /// An upper bound on the trip count for multi-exit loops (§5.2);
@@ -61,9 +61,9 @@ pub struct LoopInfo {
     pub max_trip_count: Option<SymPoly>,
     /// Symbolic exit values materialized for values referenced outside the
     /// loop, keyed by the original in-loop value.
-    pub exit_values: HashMap<Value, SymPoly>,
+    pub exit_values: VecMap<Value, SymPoly>,
     /// Synthetic exit-value definitions, keyed by the original value.
-    pub synthetics: HashMap<Value, Value>,
+    pub synthetics: VecMap<Value, Value>,
 }
 
 /// Whole-function classification results.
@@ -73,8 +73,57 @@ pub struct Analysis {
     forest: LoopForest,
     /// Per-loop results, in inner-to-outer processing order.
     pub loop_order: Vec<Loop>,
-    loops: HashMap<Loop, LoopInfo>,
+    loops: EntityMap<Loop, LoopInfo>,
     config: AnalysisConfig,
+}
+
+/// Wall-clock time spent in each analysis phase, as reported by
+/// `bivc --time`. Parsing happens before the driver and is timed by the
+/// caller.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimes {
+    /// SSA construction, including constant folding when enabled.
+    pub ssa: Duration,
+    /// Dominator tree and loop forest construction.
+    pub loop_forest: Duration,
+    /// Per-loop classification, summed over all loops.
+    pub classify: Duration,
+    /// Trip counts and exit-value materialization, summed over all loops.
+    pub closed_forms: Duration,
+}
+
+impl PhaseTimes {
+    /// Adds another function's phase times into this accumulator.
+    pub fn accumulate(&mut self, other: &PhaseTimes) {
+        self.ssa += other.ssa;
+        self.loop_forest += other.loop_forest;
+        self.classify += other.classify;
+        self.closed_forms += other.closed_forms;
+    }
+}
+
+impl fmt::Display for PhaseTimes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ssa {:.3?}, loop forest {:.3?}, classify {:.3?}, closed forms {:.3?}",
+            self.ssa, self.loop_forest, self.classify, self.closed_forms
+        )
+    }
+}
+
+/// `Some(now)` only on the timed monomorphization, so the untimed path
+/// compiles to no clock reads at all.
+#[inline]
+fn phase_start<const TIMED: bool>() -> Option<Instant> {
+    TIMED.then(Instant::now)
+}
+
+#[inline]
+fn phase_end(start: Option<Instant>, slot: &mut Duration) {
+    if let Some(t) = start {
+        *slot += t.elapsed();
+    }
 }
 
 /// Analyzes a function with the default configuration.
@@ -86,6 +135,16 @@ pub fn analyze(func: &Function) -> Analysis {
 pub fn analyze_with(func: &Function, config: AnalysisConfig) -> Analysis {
     let ssa = SsaFunction::build(func);
     analyze_ssa_with(ssa, config)
+}
+
+/// Like [`analyze_with`], additionally returning per-phase wall times.
+pub fn analyze_with_times(func: &Function, config: AnalysisConfig) -> (Analysis, PhaseTimes) {
+    let mut times = PhaseTimes::default();
+    let t = Instant::now();
+    let ssa = SsaFunction::build(func);
+    times.ssa += t.elapsed();
+    let analysis = analyze_ssa_inner::<true>(ssa, config, &mut times);
+    (analysis, times)
 }
 
 /// Parses source text containing one function and analyzes it.
@@ -103,25 +162,40 @@ pub fn analyze_source(src: &str) -> Result<Analysis, AnalyzeError> {
 }
 
 /// Analyzes an already-built SSA function.
-pub fn analyze_ssa_with(mut ssa: SsaFunction, config: AnalysisConfig) -> Analysis {
+pub fn analyze_ssa_with(ssa: SsaFunction, config: AnalysisConfig) -> Analysis {
+    analyze_ssa_inner::<false>(ssa, config, &mut PhaseTimes::default())
+}
+
+fn analyze_ssa_inner<const TIMED: bool>(
+    mut ssa: SsaFunction,
+    config: AnalysisConfig,
+    times: &mut PhaseTimes,
+) -> Analysis {
+    let t = phase_start::<TIMED>();
     if config.constant_folding {
         biv_ssa::fold_constants(&mut ssa);
     }
+    phase_end(t, &mut times.ssa);
+    let t = phase_start::<TIMED>();
     let dom = DomTree::compute(ssa.func());
     let forest = LoopForest::compute(ssa.func(), &dom);
     let order = forest.inner_to_outer();
-    let mut exit_exprs: HashMap<Value, SymPoly> = HashMap::new();
-    let mut loops: HashMap<Loop, LoopInfo> = HashMap::new();
+    phase_end(t, &mut times.loop_forest);
+    let mut exit_exprs: EntityMap<Value, SymPoly> = EntityMap::new();
+    let mut loops: EntityMap<Loop, LoopInfo> = EntityMap::new();
     let mut use_map = build_use_map(&ssa);
     for &l in &order {
+        let t = phase_start::<TIMED>();
         let classes = classify_loop(&ssa, &forest, l, &exit_exprs, &config);
+        phase_end(t, &mut times.classify);
+        let t = phase_start::<TIMED>();
         let tc = trip_count(&ssa, &forest, l, &classes, &config);
         let max_tc = match tc.as_symbolic() {
             Some(p) => Some(p),
             None => max_trip_count(&ssa, &forest, l, &classes),
         };
-        let mut exit_values = HashMap::new();
-        let mut synthetics = HashMap::new();
+        let mut exit_values = VecMap::new();
+        let mut synthetics = VecMap::new();
         if config.nested_exit_values {
             materialize_exit_values(
                 &mut ssa,
@@ -136,6 +210,7 @@ pub fn analyze_ssa_with(mut ssa: SsaFunction, config: AnalysisConfig) -> Analysi
                 &mut use_map,
             );
         }
+        phase_end(t, &mut times.closed_forms);
         let name = forest.name(ssa.func(), l);
         loops.insert(
             l,
@@ -171,14 +246,14 @@ enum UseSite {
 }
 
 /// Builds the value → use-sites map in one pass over the function.
-fn build_use_map(ssa: &SsaFunction) -> HashMap<Value, Vec<UseSite>> {
-    let mut map: HashMap<Value, Vec<UseSite>> = HashMap::new();
+fn build_use_map(ssa: &SsaFunction) -> EntityMap<Value, Vec<UseSite>> {
+    let mut map: EntityMap<Value, Vec<UseSite>> = EntityMap::new();
     let mut ops = Vec::new();
     for (v, data) in ssa.values.iter() {
         ops.clear();
         data.def.operands(&mut ops);
         for &o in &ops {
-            map.entry(o).or_default().push(UseSite::Def(v));
+            map.get_or_insert_with(o, Vec::new).push(UseSite::Def(v));
         }
     }
     for b in ssa.block_ids() {
@@ -187,7 +262,7 @@ fn build_use_map(ssa: &SsaFunction) -> HashMap<Value, Vec<UseSite>> {
             if let SsaInst::Store { index, value, .. } = inst {
                 for op in index.iter().chain(std::iter::once(value)) {
                     if let Operand::Value(v) = op {
-                        map.entry(*v).or_default().push(UseSite::Store(b));
+                        map.get_or_insert_with(*v, Vec::new).push(UseSite::Store(b));
                     }
                 }
             }
@@ -195,7 +270,7 @@ fn build_use_map(ssa: &SsaFunction) -> HashMap<Value, Vec<UseSite>> {
         if let Some(SsaTerminator::Branch { lhs, rhs, .. }) = &sb.term {
             for op in [lhs, rhs] {
                 if let Operand::Value(v) = op {
-                    map.entry(*v).or_default().push(UseSite::Term(b));
+                    map.get_or_insert_with(*v, Vec::new).push(UseSite::Term(b));
                 }
             }
         }
@@ -220,12 +295,12 @@ fn materialize_exit_values(
     forest: &LoopForest,
     dom: &DomTree,
     l: Loop,
-    classes: &HashMap<Value, Class>,
+    classes: &VecMap<Value, Class>,
     tc: &TripCount,
-    exit_exprs: &mut HashMap<Value, SymPoly>,
-    exit_values: &mut HashMap<Value, SymPoly>,
-    synthetics: &mut HashMap<Value, Value>,
-    use_map: &mut HashMap<Value, Vec<UseSite>>,
+    exit_exprs: &mut EntityMap<Value, SymPoly>,
+    exit_values: &mut VecMap<Value, SymPoly>,
+    synthetics: &mut VecMap<Value, Value>,
+    use_map: &mut EntityMap<Value, Vec<UseSite>>,
 ) {
     let Some(tc_sym) = tc.as_symbolic() else {
         return;
@@ -249,7 +324,7 @@ fn materialize_exit_values(
                 SsaInst::Store { .. } => None,
             }));
         for v in defs {
-            let used_outside = use_map.get(&v).is_some_and(|sites| {
+            let used_outside = use_map.get(v).is_some_and(|sites| {
                 sites
                     .iter()
                     .any(|&s| !forest.contains(l, site_block(ssa, s)))
@@ -260,7 +335,7 @@ fn materialize_exit_values(
         }
     }
     for v in outside_used {
-        let Some(class) = classes.get(&v) else {
+        let Some(class) = classes.get(v) else {
             continue; // inner-loop value without a class
         };
         let expr = match class {
@@ -299,8 +374,7 @@ fn materialize_exit_values(
         // used by outer classifications and later materializations).
         for sym in expr.symbols() {
             use_map
-                .entry(crate::symbols::value_of_sym(sym))
-                .or_default()
+                .get_or_insert_with(crate::symbols::value_of_sym(sym), Vec::new)
                 .push(UseSite::Def(synthetic));
         }
         exit_exprs.insert(synthetic, expr.clone());
@@ -318,9 +392,9 @@ fn rewrite_outside_uses(
     l: Loop,
     old: Value,
     new: Value,
-    use_map: &mut HashMap<Value, Vec<UseSite>>,
+    use_map: &mut EntityMap<Value, Vec<UseSite>>,
 ) {
-    let sites = use_map.remove(&old).unwrap_or_default();
+    let sites = use_map.remove(old).unwrap_or_default();
     let mut kept = Vec::with_capacity(sites.len());
     let mut moved = Vec::new();
     let rewrite_op = |op: &mut Operand| {
@@ -370,7 +444,7 @@ fn rewrite_outside_uses(
     if !kept.is_empty() {
         use_map.insert(old, kept);
     }
-    use_map.entry(new).or_default().extend(moved);
+    use_map.get_or_insert_with(new, Vec::new).extend(moved);
 }
 
 impl Analysis {
@@ -392,7 +466,7 @@ impl Analysis {
 
     /// Per-loop results.
     pub fn info(&self, l: Loop) -> &LoopInfo {
-        &self.loops[&l]
+        &self.loops[l]
     }
 
     /// Finds a loop by its source label.
@@ -406,8 +480,8 @@ impl Analysis {
         let block = self.ssa.def_block(value);
         let mut l = self.forest.innermost(block)?;
         loop {
-            let info = self.loops.get(&l)?;
-            if let Some(cls) = info.classes.get(&value) {
+            let info = self.loops.get(l)?;
+            if let Some(cls) = info.classes.get(value) {
                 return Some((info, cls));
             }
             l = self.forest.data(l).parent?;
@@ -416,7 +490,7 @@ impl Analysis {
 
     /// The classification of `value` with respect to a specific loop.
     pub fn class_in(&self, l: Loop, value: Value) -> Option<&Class> {
-        self.loops.get(&l)?.classes.get(&value)
+        self.loops.get(l)?.classes.get(value)
     }
 
     /// Renders the paper-style description of a value, e.g.
@@ -434,7 +508,7 @@ impl Analysis {
 
     /// Iterates over `(loop, info)` in inner-to-outer order.
     pub fn loops(&self) -> impl Iterator<Item = (Loop, &LoopInfo)> {
-        self.loop_order.iter().map(move |&l| (l, &self.loops[&l]))
+        self.loop_order.iter().map(move |&l| (l, &self.loops[l]))
     }
 
     /// The §5.4 refinement: a *non-strict* monotonic value used at
@@ -458,7 +532,7 @@ impl Analysis {
             return false;
         };
         let pdom = biv_ir::dom::PostDomTree::compute(self.ssa.func());
-        info.classes.iter().any(|(&member, c)| {
+        info.classes.iter().any(|(member, c)| {
             matches!(c, Class::Monotonic(mm) if mm.strict && mm.family == Some(family))
                 && pdom.postdominates(self.ssa.def_block(member), use_block)
         })

@@ -65,6 +65,7 @@ pub use batch::{
 pub use class::{Class, ClosedForm, Direction, FamilyAnchor, Monotonic, Periodic};
 pub use classify::{
     class_of_sympoly, classify_loop, combine_classes, negate_class, operand_class, resolve_copies,
+    ClassLookup,
 };
 pub use config::AnalysisConfig;
 pub use display::{
@@ -72,7 +73,8 @@ pub use display::{
     describe_closed_form_with, ValueNamer,
 };
 pub use driver::{
-    analyze, analyze_source, analyze_ssa_with, analyze_with, Analysis, AnalyzeError, LoopInfo,
+    analyze, analyze_source, analyze_ssa_with, analyze_with, analyze_with_times, Analysis,
+    AnalyzeError, LoopInfo, PhaseTimes,
 };
 pub use scc::{strongly_connected_regions, Scr};
 pub use symbols::{sym_of_value, value_of_sym};

@@ -5,9 +5,18 @@
 //! region — have been emitted. So when an SCR is classified, every value
 //! feeding it already has a classification.
 
-use std::collections::HashMap;
+use std::cell::RefCell;
 
+use biv_ir::EntityMap;
 use biv_ssa::Value;
+
+thread_local! {
+    /// Reusable node → position table. A fresh dense map would grow to
+    /// the largest value index on every call, making a many-loop function
+    /// quadratic; the shared table grows once per thread and each call
+    /// clears only the entries it inserted.
+    static REGION_INDEX: RefCell<EntityMap<Value, usize>> = RefCell::new(EntityMap::new());
+}
 
 /// One strongly connected region, in Tarjan emission order.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -20,14 +29,30 @@ pub struct Scr {
 }
 
 /// Runs Tarjan's algorithm over the sub-graph induced by `nodes`, with
-/// `edges(v)` producing the operand values of `v` (only edges to other
-/// members of `nodes` are followed). Returns SCRs in emission order —
-/// operands before users.
+/// `edges(v, out)` appending the operand values of `v` to `out` (only
+/// edges to other members of `nodes` are followed). Returns SCRs in
+/// emission order — operands before users.
 pub fn strongly_connected_regions<F>(nodes: &[Value], mut edges: F) -> Vec<Scr>
 where
-    F: FnMut(Value) -> Vec<Value>,
+    F: FnMut(Value, &mut Vec<Value>),
 {
-    let in_region: HashMap<Value, usize> = nodes.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    REGION_INDEX.with(|cell| {
+        let in_region = &mut *cell.borrow_mut();
+        for (i, &v) in nodes.iter().enumerate() {
+            in_region.insert(v, i);
+        }
+        let out = tarjan(nodes, &mut edges, in_region);
+        for &v in nodes {
+            in_region.remove(v);
+        }
+        out
+    })
+}
+
+fn tarjan<F>(nodes: &[Value], edges: &mut F, in_region: &EntityMap<Value, usize>) -> Vec<Scr>
+where
+    F: FnMut(Value, &mut Vec<Value>),
+{
     let n = nodes.len();
     let mut index = vec![usize::MAX; n];
     let mut lowlink = vec![0usize; n];
@@ -36,49 +61,66 @@ where
     let mut next_index = 0usize;
     let mut out = Vec::new();
 
-    // Iterative Tarjan with an explicit work stack:
-    // (node, resume position in its successor list).
+    // Iterative Tarjan with an explicit work stack. Successor lists live
+    // in one flat buffer (frames nest LIFO, so a popped frame's range is
+    // always the buffer's tail) — no per-node allocation.
     #[derive(Debug)]
     struct Frame {
         node: usize,
-        succs: Vec<usize>,
+        succ_start: usize,
+        succ_end: usize,
         next: usize,
     }
 
     let mut self_loop = vec![false; n];
+    let mut succ_buf: Vec<usize> = Vec::new();
+    let mut edge_buf: Vec<Value> = Vec::new();
 
     for start in 0..n {
         if index[start] != usize::MAX {
             continue;
         }
         let mut frames: Vec<Frame> = Vec::new();
-        let succs_of = |v: usize, edges: &mut F, self_loop: &mut Vec<bool>| -> Vec<usize> {
-            let mut out = Vec::new();
-            for succ in edges(nodes[v]) {
-                if let Some(&idx) = in_region.get(&succ) {
+        // Appends v's in-region successor positions to succ_buf.
+        let succs_of = |v: usize,
+                        edges: &mut F,
+                        self_loop: &mut Vec<bool>,
+                        succ_buf: &mut Vec<usize>,
+                        edge_buf: &mut Vec<Value>| {
+            edge_buf.clear();
+            edges(nodes[v], edge_buf);
+            for &succ in edge_buf.iter() {
+                if let Some(&idx) = in_region.get(succ) {
                     if idx == v {
                         self_loop[v] = true;
                     }
-                    out.push(idx);
+                    succ_buf.push(idx);
                 }
             }
-            out
         };
         index[start] = next_index;
         lowlink[start] = next_index;
         next_index += 1;
         stack.push(start);
         on_stack[start] = true;
-        let succs = succs_of(start, &mut edges, &mut self_loop);
+        let succ_start = succ_buf.len();
+        succs_of(
+            start,
+            &mut *edges,
+            &mut self_loop,
+            &mut succ_buf,
+            &mut edge_buf,
+        );
         frames.push(Frame {
             node: start,
-            succs,
+            succ_start,
+            succ_end: succ_buf.len(),
             next: 0,
         });
         while let Some(frame) = frames.last_mut() {
             let v = frame.node;
-            if frame.next < frame.succs.len() {
-                let w = frame.succs[frame.next];
+            if frame.succ_start + frame.next < frame.succ_end {
+                let w = succ_buf[frame.succ_start + frame.next];
                 frame.next += 1;
                 if index[w] == usize::MAX {
                     index[w] = next_index;
@@ -86,10 +128,12 @@ where
                     next_index += 1;
                     stack.push(w);
                     on_stack[w] = true;
-                    let succs = succs_of(w, &mut edges, &mut self_loop);
+                    let succ_start = succ_buf.len();
+                    succs_of(w, &mut *edges, &mut self_loop, &mut succ_buf, &mut edge_buf);
                     frames.push(Frame {
                         node: w,
-                        succs,
+                        succ_start,
+                        succ_end: succ_buf.len(),
                         next: 0,
                     });
                 } else if on_stack[w] {
@@ -112,6 +156,7 @@ where
                     out.push(Scr { members, cyclic });
                 }
                 let finished = frames.pop().expect("frame exists");
+                succ_buf.truncate(finished.succ_start);
                 if let Some(parent) = frames.last_mut() {
                     lowlink[parent.node] = lowlink[parent.node].min(lowlink[finished.node]);
                 }
@@ -134,10 +179,12 @@ mod tests {
     fn straight_line_is_all_trivial() {
         // 0 -> 1 -> 2 (0 uses 1, 1 uses 2)
         let nodes = vec![v(0), v(1), v(2)];
-        let sccs = strongly_connected_regions(&nodes, |x| match x.index() {
-            0 => vec![v(1)],
-            1 => vec![v(2)],
-            _ => vec![],
+        let sccs = strongly_connected_regions(&nodes, |x, out| {
+            out.extend(match x.index() {
+                0 => vec![v(1)],
+                1 => vec![v(2)],
+                _ => vec![],
+            })
         });
         assert_eq!(sccs.len(), 3);
         assert!(sccs.iter().all(|s| !s.cyclic));
@@ -150,10 +197,12 @@ mod tests {
     fn cycle_detected() {
         // 0 <-> 1, plus leaf 2 used by 1.
         let nodes = vec![v(0), v(1), v(2)];
-        let sccs = strongly_connected_regions(&nodes, |x| match x.index() {
-            0 => vec![v(1)],
-            1 => vec![v(0), v(2)],
-            _ => vec![],
+        let sccs = strongly_connected_regions(&nodes, |x, out| {
+            out.extend(match x.index() {
+                0 => vec![v(1)],
+                1 => vec![v(0), v(2)],
+                _ => vec![],
+            })
         });
         // Leaf pops first, then the cycle.
         assert_eq!(sccs.len(), 2);
@@ -167,7 +216,7 @@ mod tests {
     #[test]
     fn self_loop_is_cyclic() {
         let nodes = vec![v(0)];
-        let sccs = strongly_connected_regions(&nodes, |_| vec![v(0)]);
+        let sccs = strongly_connected_regions(&nodes, |_, out| out.push(v(0)));
         assert_eq!(sccs.len(), 1);
         assert!(sccs[0].cyclic);
     }
@@ -175,7 +224,7 @@ mod tests {
     #[test]
     fn edges_outside_region_ignored() {
         let nodes = vec![v(0)];
-        let sccs = strongly_connected_regions(&nodes, |_| vec![v(7)]);
+        let sccs = strongly_connected_regions(&nodes, |_, out| out.push(v(7)));
         assert_eq!(sccs.len(), 1);
         assert!(!sccs[0].cyclic);
     }
@@ -184,13 +233,15 @@ mod tests {
     fn operands_pop_before_users() {
         // Two cycles: {0,1} uses {2,3}; 4 uses both.
         let nodes = vec![v(0), v(1), v(2), v(3), v(4)];
-        let sccs = strongly_connected_regions(&nodes, |x| match x.index() {
-            0 => vec![v(1)],
-            1 => vec![v(0), v(2)],
-            2 => vec![v(3)],
-            3 => vec![v(2)],
-            4 => vec![v(0), v(2)],
-            _ => vec![],
+        let sccs = strongly_connected_regions(&nodes, |x, out| {
+            out.extend(match x.index() {
+                0 => vec![v(1)],
+                1 => vec![v(0), v(2)],
+                2 => vec![v(3)],
+                3 => vec![v(2)],
+                4 => vec![v(0), v(2)],
+                _ => vec![],
+            })
         });
         assert_eq!(sccs.len(), 3);
         let pos = |val: Value| sccs.iter().position(|s| s.members.contains(&val)).unwrap();
@@ -204,12 +255,10 @@ mod tests {
         // 100k-long chain exercises the iterative implementation.
         let n = 100_000;
         let nodes: Vec<Value> = (0..n).map(v).collect();
-        let sccs = strongly_connected_regions(&nodes, |x| {
+        let sccs = strongly_connected_regions(&nodes, |x, out| {
             let i = x.index();
             if i + 1 < n {
-                vec![v(i + 1)]
-            } else {
-                vec![]
+                out.push(v(i + 1));
             }
         });
         assert_eq!(sccs.len(), n);

@@ -10,12 +10,11 @@
 //!              ⎩ ∞            if i > 0 and s ≥ 0
 //! ```
 
-use std::collections::HashMap;
 use std::fmt;
 
 use biv_algebra::{Rational, SymPoly};
 use biv_ir::loops::{Loop, LoopForest};
-use biv_ir::{BinOp, CmpOp};
+use biv_ir::{BinOp, CmpOp, VecMap};
 use biv_ssa::{SsaFunction, SsaTerminator, Value};
 
 use crate::class::Class;
@@ -75,7 +74,7 @@ pub fn trip_count(
     ssa: &SsaFunction,
     forest: &LoopForest,
     loop_id: Loop,
-    classes: &HashMap<Value, Class>,
+    classes: &VecMap<Value, Class>,
     config: &AnalysisConfig,
 ) -> TripCount {
     if !config.nested_exit_values {
@@ -100,7 +99,7 @@ pub fn max_trip_count(
     ssa: &SsaFunction,
     forest: &LoopForest,
     loop_id: Loop,
-    classes: &HashMap<Value, Class>,
+    classes: &VecMap<Value, Class>,
 ) -> Option<SymPoly> {
     let func = ssa.func();
     let mut best: Option<i128> = None;
@@ -131,7 +130,7 @@ fn exit_trip_count(
     ssa: &SsaFunction,
     forest: &LoopForest,
     loop_id: Loop,
-    classes: &HashMap<Value, Class>,
+    classes: &VecMap<Value, Class>,
     exit_block: biv_ir::Block,
 ) -> TripCount {
     let Some(SsaTerminator::Branch {

@@ -227,7 +227,7 @@ fn unknown_classes_for_data_dependent_values() {
     let all_unknown = info
         .classes
         .iter()
-        .filter(|(v, _)| analysis.ssa().values[**v].var == Some(s_var))
+        .filter(|(v, _)| analysis.ssa().values[*v].var == Some(s_var))
         .all(|(_, c)| matches!(c, Class::Unknown));
     assert!(all_unknown);
 }

@@ -125,6 +125,578 @@ impl<I: EntityId, T: fmt::Debug> fmt::Debug for Arena<I, T> {
     }
 }
 
+/// A dense side-table over an entity namespace, total over all IDs.
+///
+/// Every key maps to a value: slots that were never written read as the
+/// default. Writing through `IndexMut` grows the table on demand.
+/// Iteration visits materialized slots in index order, so any output
+/// derived from it is deterministic by construction — no hash seeds
+/// involved. This is the table of choice when "absent" and "default" mean
+/// the same thing (memo tables, counters, per-value scratch state).
+#[derive(Clone, PartialEq, Eq)]
+pub struct SecondaryMap<K, V> {
+    items: Vec<V>,
+    default: V,
+    _marker: PhantomData<K>,
+}
+
+impl<K: EntityId, V: Clone + Default> SecondaryMap<K, V> {
+    /// Creates an empty map whose unwritten slots read as `V::default()`.
+    pub fn new() -> Self {
+        SecondaryMap::with_default(V::default())
+    }
+}
+
+impl<K: EntityId, V: Clone> SecondaryMap<K, V> {
+    /// Creates an empty map whose unwritten slots read as `default`.
+    pub fn with_default(default: V) -> Self {
+        SecondaryMap {
+            items: Vec::new(),
+            default,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Creates an empty map with space reserved for `capacity` slots.
+    pub fn with_capacity(capacity: usize, default: V) -> Self {
+        SecondaryMap {
+            items: Vec::with_capacity(capacity),
+            default,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The value for `key`; the default when the slot was never written.
+    pub fn get(&self, key: K) -> &V {
+        self.items.get(key.index()).unwrap_or(&self.default)
+    }
+
+    /// Mutable access to `key`'s slot, growing the table as needed.
+    pub fn get_mut(&mut self, key: K) -> &mut V {
+        let index = key.index();
+        if index >= self.items.len() {
+            self.items.resize(index + 1, self.default.clone());
+        }
+        &mut self.items[index]
+    }
+
+    /// Writes `value` at `key`, growing the table as needed.
+    pub fn insert(&mut self, key: K, value: V) {
+        *self.get_mut(key) = value;
+    }
+
+    /// Number of materialized slots (indices `0..capacity`), not a count
+    /// of "present" entries — a total map has no notion of presence.
+    pub fn capacity(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Iterates over materialized `(id, &value)` slots in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (K, &V)> {
+        self.items
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (K::from_index(i), v))
+    }
+
+    /// Resets every slot to the default, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
+impl<K: EntityId, V: Clone + Default> Default for SecondaryMap<K, V> {
+    fn default() -> Self {
+        SecondaryMap::new()
+    }
+}
+
+impl<K: EntityId, V: Clone> std::ops::Index<K> for SecondaryMap<K, V> {
+    type Output = V;
+    fn index(&self, key: K) -> &V {
+        self.get(key)
+    }
+}
+
+impl<K: EntityId, V: Clone> std::ops::IndexMut<K> for SecondaryMap<K, V> {
+    fn index_mut(&mut self, key: K) -> &mut V {
+        self.get_mut(key)
+    }
+}
+
+impl<K: EntityId, V: Clone + fmt::Debug> fmt::Debug for SecondaryMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+/// A dense map over an entity namespace that tracks key presence.
+///
+/// The drop-in replacement for `HashMap<K, V>` when keys are entity IDs:
+/// same `get`/`insert`/`remove`/`contains_key` surface, but backed by a
+/// `Vec<Option<V>>` so lookups are an index, not a hash, and iteration is
+/// in index order — deterministic without sorting. Use this (not
+/// [`SecondaryMap`]) when absence is meaningful, e.g. "this value has no
+/// class yet" vs "this value's class is the default".
+#[derive(Clone, PartialEq, Eq)]
+pub struct EntityMap<K, V> {
+    slots: Vec<Option<V>>,
+    len: usize,
+    _marker: PhantomData<K>,
+}
+
+impl<K: EntityId, V> EntityMap<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        EntityMap {
+            slots: Vec::new(),
+            len: 0,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Creates an empty map with space reserved for `capacity` keys.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EntityMap {
+            slots: Vec::with_capacity(capacity),
+            len: 0,
+            _marker: PhantomData,
+        }
+    }
+
+    /// The value at `key`, if present.
+    pub fn get(&self, key: K) -> Option<&V> {
+        self.slots.get(key.index()).and_then(|s| s.as_ref())
+    }
+
+    /// Mutable access to the value at `key`, if present.
+    pub fn get_mut(&mut self, key: K) -> Option<&mut V> {
+        self.slots.get_mut(key.index()).and_then(|s| s.as_mut())
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Inserts `value` at `key`, returning the previous value if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let index = key.index();
+        if index >= self.slots.len() {
+            self.slots.resize_with(index + 1, || None);
+        }
+        let old = self.slots[index].replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Removes and returns the value at `key`, if present.
+    pub fn remove(&mut self, key: K) -> Option<V> {
+        let old = self.slots.get_mut(key.index()).and_then(|s| s.take());
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// The value at `key`, inserting `make()` first if absent.
+    pub fn get_or_insert_with(&mut self, key: K, make: impl FnOnce() -> V) -> &mut V {
+        let index = key.index();
+        if index >= self.slots.len() {
+            self.slots.resize_with(index + 1, || None);
+        }
+        let slot = &mut self.slots[index];
+        if slot.is_none() {
+            *slot = Some(make());
+            self.len += 1;
+        }
+        slot.as_mut().expect("slot just filled")
+    }
+
+    /// Number of present entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no entries are present.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates over present `(id, &value)` entries in index order.
+    pub fn iter(&self) -> EntityMapIter<'_, K, V> {
+        EntityMapIter {
+            inner: self.slots.iter().enumerate(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Iterates over present `(id, &mut value)` entries in index order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (K, &mut V)> {
+        self.slots
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_mut().map(|v| (K::from_index(i), v)))
+    }
+
+    /// Iterates over present keys in index order.
+    pub fn keys(&self) -> impl Iterator<Item = K> + '_ {
+        self.iter().map(|(k, _)| k)
+    }
+
+    /// Iterates over present values in key-index order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.iter().map(|(_, v)| v)
+    }
+
+    /// Removes all entries, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.len = 0;
+    }
+}
+
+impl<K: EntityId, V> Default for EntityMap<K, V> {
+    fn default() -> Self {
+        EntityMap::new()
+    }
+}
+
+impl<K: EntityId, V> FromIterator<(K, V)> for EntityMap<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut map = EntityMap::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+impl<K: EntityId, V: fmt::Debug> fmt::Debug for EntityMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
+impl<K: EntityId, V> std::ops::Index<K> for EntityMap<K, V> {
+    type Output = V;
+    /// # Panics
+    ///
+    /// Panics when `key` is absent, mirroring `HashMap`'s indexing.
+    fn index(&self, key: K) -> &V {
+        self.get(key).expect("no entry for key in EntityMap")
+    }
+}
+
+/// Iterator over the present entries of an [`EntityMap`], in index order.
+pub struct EntityMapIter<'a, K, V> {
+    inner: std::iter::Enumerate<std::slice::Iter<'a, Option<V>>>,
+    _marker: PhantomData<K>,
+}
+
+impl<'a, K: EntityId, V> Iterator for EntityMapIter<'a, K, V> {
+    type Item = (K, &'a V);
+    fn next(&mut self) -> Option<Self::Item> {
+        for (i, slot) in self.inner.by_ref() {
+            if let Some(v) = slot {
+                return Some((K::from_index(i), v));
+            }
+        }
+        None
+    }
+}
+
+impl<'a, K: EntityId, V> IntoIterator for &'a EntityMap<K, V> {
+    type Item = (K, &'a V);
+    type IntoIter = EntityMapIter<'a, K, V>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// A compact map over an entity namespace, sorted by key index.
+///
+/// Backed by a `Vec<(K, V)>` kept in ascending key order: lookups are a
+/// binary search, iteration is index order (deterministic, like
+/// [`EntityMap`]), and — unlike the dense maps — memory and iteration
+/// cost are proportional to the number of *entries*, not to the largest
+/// key index. This is the container for analysis *products* that outlive
+/// the pass that computed them: a function with many loops stores one
+/// small sorted table per loop instead of many max-index-sized vectors.
+#[derive(Clone, PartialEq, Eq)]
+pub struct VecMap<K, V> {
+    entries: Vec<(K, V)>,
+}
+
+impl<K: EntityId, V> VecMap<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        VecMap {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Creates an empty map with space reserved for `capacity` entries.
+    pub fn with_capacity(capacity: usize) -> Self {
+        VecMap {
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    fn position(&self, key: K) -> Result<usize, usize> {
+        self.entries
+            .binary_search_by_key(&key.index(), |(k, _)| k.index())
+    }
+
+    /// The value at `key`, if present.
+    pub fn get(&self, key: K) -> Option<&V> {
+        self.position(key).ok().map(|i| &self.entries[i].1)
+    }
+
+    /// Mutable access to the value at `key`, if present.
+    pub fn get_mut(&mut self, key: K) -> Option<&mut V> {
+        match self.position(key) {
+            Ok(i) => Some(&mut self.entries[i].1),
+            Err(_) => None,
+        }
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: K) -> bool {
+        self.position(key).is_ok()
+    }
+
+    /// Inserts `value` at `key`, returning the previous value if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        match self.position(key) {
+            Ok(i) => Some(std::mem::replace(&mut self.entries[i].1, value)),
+            Err(i) => {
+                self.entries.insert(i, (key, value));
+                None
+            }
+        }
+    }
+
+    /// Removes and returns the value at `key`, if present.
+    pub fn remove(&mut self, key: K) -> Option<V> {
+        match self.position(key) {
+            Ok(i) => Some(self.entries.remove(i).1),
+            Err(_) => None,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(id, &value)` entries in ascending key order.
+    pub fn iter(&self) -> VecMapIter<'_, K, V> {
+        VecMapIter {
+            inner: self.entries.iter(),
+        }
+    }
+
+    /// Iterates over keys in ascending order.
+    pub fn keys(&self) -> impl Iterator<Item = K> + '_ {
+        self.entries.iter().map(|(k, _)| *k)
+    }
+
+    /// Iterates over values in key order.
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+
+    /// Removes all entries, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+impl<K: EntityId, V> Default for VecMap<K, V> {
+    fn default() -> Self {
+        VecMap::new()
+    }
+}
+
+impl<K: EntityId, V> FromIterator<(K, V)> for VecMap<K, V> {
+    /// Collects entries, sorting by key; on duplicate keys the last
+    /// yielded value wins, mirroring repeated `insert`s.
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        let mut entries: Vec<(K, V)> = iter.into_iter().collect();
+        entries.sort_by_key(|(k, _)| k.index());
+        // Keep the last of each run of equal keys.
+        let mut out: Vec<(K, V)> = Vec::with_capacity(entries.len());
+        for (k, v) in entries {
+            match out.last_mut() {
+                Some(last) if last.0 == k => last.1 = v,
+                _ => out.push((k, v)),
+            }
+        }
+        VecMap { entries: out }
+    }
+}
+
+impl<K: EntityId, V: fmt::Debug> fmt::Debug for VecMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map()
+            .entries(self.entries.iter().map(|(k, v)| (k, v)))
+            .finish()
+    }
+}
+
+impl<K: EntityId, V> std::ops::Index<K> for VecMap<K, V> {
+    type Output = V;
+    /// # Panics
+    ///
+    /// Panics when `key` is absent, mirroring `HashMap`'s indexing.
+    fn index(&self, key: K) -> &V {
+        self.get(key).expect("no entry for key in VecMap")
+    }
+}
+
+/// Iterator over the entries of a [`VecMap`], in ascending key order.
+pub struct VecMapIter<'a, K, V> {
+    inner: std::slice::Iter<'a, (K, V)>,
+}
+
+impl<'a, K: EntityId, V> Iterator for VecMapIter<'a, K, V> {
+    type Item = (K, &'a V);
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next().map(|(k, v)| (*k, v))
+    }
+}
+
+impl<'a, K: EntityId, V> IntoIterator for &'a VecMap<K, V> {
+    type Item = (K, &'a V);
+    type IntoIter = VecMapIter<'a, K, V>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// A set of entity IDs backed by a bitset.
+///
+/// One bit per possible ID: membership tests are a shift and a mask, and
+/// iteration yields members in ascending index order.
+#[derive(Clone, PartialEq, Eq)]
+pub struct EntitySet<K> {
+    words: Vec<u64>,
+    len: usize,
+    _marker: PhantomData<K>,
+}
+
+impl<K: EntityId> EntitySet<K> {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        EntitySet {
+            words: Vec::new(),
+            len: 0,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Adds `key`; returns `true` if it was not already present.
+    pub fn insert(&mut self, key: K) -> bool {
+        let (word, bit) = (key.index() / 64, key.index() % 64);
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let mask = 1u64 << bit;
+        let fresh = self.words[word] & mask == 0;
+        self.words[word] |= mask;
+        if fresh {
+            self.len += 1;
+        }
+        fresh
+    }
+
+    /// Whether `key` is in the set.
+    pub fn contains(&self, key: K) -> bool {
+        let (word, bit) = (key.index() / 64, key.index() % 64);
+        self.words.get(word).is_some_and(|w| w & (1 << bit) != 0)
+    }
+
+    /// Removes `key`; returns `true` if it was present.
+    pub fn remove(&mut self, key: K) -> bool {
+        let (word, bit) = (key.index() / 64, key.index() % 64);
+        let Some(w) = self.words.get_mut(word) else {
+            return false;
+        };
+        let mask = 1u64 << bit;
+        let present = *w & mask != 0;
+        *w &= !mask;
+        if present {
+            self.len -= 1;
+        }
+        present
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates over members in ascending index order.
+    pub fn iter(&self) -> impl Iterator<Item = K> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let bit = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(K::from_index(wi * 64 + bit))
+            })
+        })
+    }
+
+    /// Removes all members, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.len = 0;
+    }
+}
+
+impl<K> Default for EntitySet<K> {
+    fn default() -> Self {
+        EntitySet {
+            words: Vec::new(),
+            len: 0,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<K: EntityId> FromIterator<K> for EntitySet<K> {
+    fn from_iter<I: IntoIterator<Item = K>>(iter: I) -> Self {
+        let mut set = EntitySet::new();
+        for k in iter {
+            set.insert(k);
+        }
+        set
+    }
+}
+
+impl<K: EntityId> fmt::Debug for EntitySet<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,5 +730,139 @@ mod tests {
         let id = TestId::from_index(7);
         assert_eq!(id.to_string(), "t7");
         assert_eq!(format!("{:?}", id), "t7");
+    }
+
+    #[test]
+    fn secondary_map_defaults_and_grows() {
+        let mut map: SecondaryMap<TestId, i32> = SecondaryMap::new();
+        // Out-of-range reads return the default without growing.
+        assert_eq!(*map.get(TestId::from_index(100)), 0);
+        assert_eq!(map.capacity(), 0);
+        // IndexMut grows and fills the gap with defaults.
+        map[TestId::from_index(5)] = 42;
+        assert_eq!(map.capacity(), 6);
+        assert_eq!(map[TestId::from_index(5)], 42);
+        assert_eq!(map[TestId::from_index(3)], 0);
+        // Custom defaults.
+        let mut m = SecondaryMap::<TestId, i32>::with_default(-1);
+        assert_eq!(*m.get(TestId::from_index(9)), -1);
+        m.insert(TestId::from_index(2), 7);
+        assert_eq!(m[TestId::from_index(0)], -1);
+        assert_eq!(m[TestId::from_index(2)], 7);
+    }
+
+    #[test]
+    fn secondary_map_iterates_in_index_order() {
+        let mut map: SecondaryMap<TestId, u32> = SecondaryMap::new();
+        // Insert out of order; iteration is index order regardless.
+        for i in [4usize, 1, 3, 0, 2] {
+            map[TestId::from_index(i)] = i as u32 * 10;
+        }
+        let pairs: Vec<(usize, u32)> = map.iter().map(|(k, &v)| (k.index(), v)).collect();
+        assert_eq!(pairs, vec![(0, 0), (1, 10), (2, 20), (3, 30), (4, 40)]);
+    }
+
+    #[test]
+    fn entity_map_tracks_presence() {
+        let mut map: EntityMap<TestId, String> = EntityMap::new();
+        assert!(map.is_empty());
+        assert_eq!(map.get(TestId::from_index(3)), None);
+        assert_eq!(map.insert(TestId::from_index(3), "c".into()), None);
+        assert_eq!(
+            map.insert(TestId::from_index(3), "c2".into()),
+            Some("c".into())
+        );
+        map.insert(TestId::from_index(0), "a".into());
+        assert_eq!(map.len(), 2);
+        assert!(map.contains_key(TestId::from_index(0)));
+        assert!(!map.contains_key(TestId::from_index(1)));
+        // Slot 1 and 2 exist in the backing vec but are absent.
+        assert_eq!(map.get(TestId::from_index(2)), None);
+        assert_eq!(map.remove(TestId::from_index(3)), Some("c2".into()));
+        assert_eq!(map.remove(TestId::from_index(3)), None);
+        assert_eq!(map.len(), 1);
+        // Out-of-range removals are a no-op.
+        assert_eq!(map.remove(TestId::from_index(50)), None);
+    }
+
+    #[test]
+    fn entity_map_iterates_in_index_order() {
+        let mut map: EntityMap<TestId, u32> = EntityMap::new();
+        for i in [7usize, 2, 9, 0] {
+            map.insert(TestId::from_index(i), i as u32);
+        }
+        let keys: Vec<usize> = map.keys().map(|k| k.index()).collect();
+        assert_eq!(keys, vec![0, 2, 7, 9]);
+        let values: Vec<u32> = map.values().copied().collect();
+        assert_eq!(values, vec![0, 2, 7, 9]);
+        let from_iter: EntityMap<TestId, u32> =
+            [(TestId::from_index(1), 1u32)].into_iter().collect();
+        assert_eq!(from_iter.len(), 1);
+    }
+
+    #[test]
+    fn entity_map_get_or_insert_with() {
+        let mut map: EntityMap<TestId, Vec<u32>> = EntityMap::new();
+        map.get_or_insert_with(TestId::from_index(2), Vec::new)
+            .push(5);
+        map.get_or_insert_with(TestId::from_index(2), Vec::new)
+            .push(6);
+        assert_eq!(map.get(TestId::from_index(2)), Some(&vec![5, 6]));
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn vec_map_sorted_semantics() {
+        let mut map: VecMap<TestId, u32> = VecMap::new();
+        assert!(map.is_empty());
+        assert_eq!(map.insert(TestId::from_index(7), 70), None);
+        assert_eq!(map.insert(TestId::from_index(2), 20), None);
+        assert_eq!(map.insert(TestId::from_index(7), 71), Some(70));
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.get(TestId::from_index(7)), Some(&71));
+        assert_eq!(map.get(TestId::from_index(3)), None);
+        assert!(map.contains_key(TestId::from_index(2)));
+        // Iteration is key order regardless of insertion order.
+        let keys: Vec<usize> = map.keys().map(|k| k.index()).collect();
+        assert_eq!(keys, vec![2, 7]);
+        assert_eq!(map.remove(TestId::from_index(2)), Some(20));
+        assert_eq!(map.remove(TestId::from_index(2)), None);
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn vec_map_from_iter_sorts_and_dedups_last_wins() {
+        let map: VecMap<TestId, u32> = [
+            (TestId::from_index(5), 50),
+            (TestId::from_index(1), 10),
+            (TestId::from_index(5), 51),
+            (TestId::from_index(3), 30),
+        ]
+        .into_iter()
+        .collect();
+        let pairs: Vec<(usize, u32)> = map.iter().map(|(k, &v)| (k.index(), v)).collect();
+        assert_eq!(pairs, vec![(1, 10), (3, 30), (5, 51)]);
+        assert_eq!(map[TestId::from_index(5)], 51);
+    }
+
+    #[test]
+    fn entity_set_insert_contains_remove() {
+        let mut set: EntitySet<TestId> = EntitySet::new();
+        assert!(!set.contains(TestId::from_index(65)));
+        assert!(set.insert(TestId::from_index(65)));
+        assert!(!set.insert(TestId::from_index(65)));
+        assert!(set.insert(TestId::from_index(1)));
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(TestId::from_index(65)));
+        assert!(set.contains(TestId::from_index(1)));
+        assert!(!set.contains(TestId::from_index(64)));
+        assert!(set.remove(TestId::from_index(65)));
+        assert!(!set.remove(TestId::from_index(65)));
+        assert_eq!(set.len(), 1);
+        // Members iterate in ascending order across word boundaries.
+        set.insert(TestId::from_index(200));
+        set.insert(TestId::from_index(63));
+        let members: Vec<usize> = set.iter().map(|k| k.index()).collect();
+        assert_eq!(members, vec![1, 63, 200]);
     }
 }

@@ -59,7 +59,7 @@ pub mod parser;
 pub mod print;
 pub mod verify;
 
-pub use entity::{Arena, EntityId};
+pub use entity::{Arena, EntityId, EntityMap, EntitySet, SecondaryMap, VecMap};
 pub use function::{
     Array, ArrayData, BinOp, Block, BlockData, CmpOp, Function, Inst, Operand, Program, Terminator,
     Var, VarData,

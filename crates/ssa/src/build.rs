@@ -1,11 +1,9 @@
 //! SSA construction: φ placement on dominance frontiers and renaming.
 
-use std::collections::{HashMap, HashSet};
-
 use biv_ir::dataflow::Liveness;
 use biv_ir::dom::DomTree;
 use biv_ir::loops::loop_simplify;
-use biv_ir::{Arena, Block, Function, Inst, Terminator, Var};
+use biv_ir::{Arena, Block, EntityMap, EntitySet, Function, Inst, SecondaryMap, Terminator, Var};
 
 use crate::ssa::{
     Operand, SsaBlock, SsaFunction, SsaInst, SsaTerminator, Value, ValueData, ValueDef,
@@ -57,15 +55,15 @@ struct Builder<'f> {
     values: Arena<Value, ValueData>,
     blocks: Vec<SsaBlock>,
     /// φ values placed per block, with the var each versions.
-    phi_var: HashMap<Value, Var>,
+    phi_var: EntityMap<Value, Var>,
     /// Pending φ argument lists.
-    phi_args: HashMap<Value, Vec<(Block, Operand)>>,
+    phi_args: EntityMap<Value, Vec<(Block, Operand)>>,
     /// Renaming stacks.
-    stacks: HashMap<Var, Vec<Value>>,
-    /// Version counters per var.
-    versions: HashMap<Var, u32>,
+    stacks: EntityMap<Var, Vec<Value>>,
+    /// Version counters per var (dense: every var starts at 0).
+    versions: SecondaryMap<Var, u32>,
     /// Memoized live-in values.
-    live_ins: HashMap<Var, Value>,
+    live_ins: EntityMap<Var, Value>,
 }
 
 impl<'f> Builder<'f> {
@@ -78,11 +76,11 @@ impl<'f> Builder<'f> {
             dom,
             values: Arena::new(),
             blocks,
-            phi_var: HashMap::new(),
-            phi_args: HashMap::new(),
-            stacks: HashMap::new(),
-            versions: HashMap::new(),
-            live_ins: HashMap::new(),
+            phi_var: EntityMap::new(),
+            phi_args: EntityMap::new(),
+            stacks: EntityMap::new(),
+            versions: SecondaryMap::new(),
+            live_ins: EntityMap::new(),
         }
     }
 
@@ -90,17 +88,17 @@ impl<'f> Builder<'f> {
         self.place_phis();
         self.rename(self.func.entry());
         // Commit φ argument lists.
-        let phi_args = std::mem::take(&mut self.phi_args);
-        for (value, args) in phi_args {
+        let mut phi_args = std::mem::take(&mut self.phi_args);
+        for (value, args) in phi_args.iter_mut() {
             if let ValueDef::Phi { args: slot } = &mut self.values[value].def {
-                *slot = args;
+                *slot = std::mem::take(args);
             }
         }
         SsaFunction::from_parts(owned_func, self.values, self.blocks, self.live_ins)
     }
 
     fn next_version(&mut self, var: Var) -> u32 {
-        let counter = self.versions.entry(var).or_insert(0);
+        let counter = self.versions.get_mut(var);
         *counter += 1;
         *counter
     }
@@ -115,11 +113,11 @@ impl<'f> Builder<'f> {
         };
         // Definition blocks per variable. The entry counts as a definition
         // site for variables live into the function (their LiveIn value).
-        let mut def_blocks: HashMap<Var, Vec<Block>> = HashMap::new();
+        let mut def_blocks: EntityMap<Var, Vec<Block>> = EntityMap::new();
         for (b, data) in self.func.blocks.iter() {
             for inst in &data.insts {
                 if let Some(v) = inst.def() {
-                    let list = def_blocks.entry(v).or_default();
+                    let list = def_blocks.get_or_insert_with(v, Vec::new);
                     if !list.contains(&b) {
                         list.push(b);
                     }
@@ -128,26 +126,25 @@ impl<'f> Builder<'f> {
         }
         for var in self.func.vars.ids() {
             if entry_live.live_at_entry(self.func.entry(), var) {
-                let list = def_blocks.entry(var).or_default();
+                let list = def_blocks.get_or_insert_with(var, Vec::new);
                 if !list.contains(&self.func.entry()) {
                     list.push(self.func.entry());
                 }
             }
         }
-        // Standard worklist over dominance frontiers. Variables are
-        // visited in id order so φ creation order — and with it the SSA
-        // value numbering — is a pure function of the input CFG. Batch
-        // analysis relies on this: structurally identical functions must
-        // get identical value numbers for cached summaries to be exact.
-        let mut def_blocks: Vec<(Var, Vec<Block>)> = def_blocks.into_iter().collect();
-        def_blocks.sort_by_key(|(var, _)| *var);
-        for (var, defs) in def_blocks {
-            let mut has_phi: HashSet<Block> = HashSet::new();
+        // Standard worklist over dominance frontiers. The dense map
+        // iterates variables in id order, so φ creation order — and with
+        // it the SSA value numbering — is a pure function of the input
+        // CFG. Batch analysis relies on this: structurally identical
+        // functions must get identical value numbers for cached summaries
+        // to be exact.
+        for (var, defs) in def_blocks.iter() {
+            let mut has_phi: EntitySet<Block> = EntitySet::new();
             let mut work: Vec<Block> = defs.clone();
-            let mut in_work: HashSet<Block> = work.iter().copied().collect();
+            let mut in_work: EntitySet<Block> = work.iter().copied().collect();
             while let Some(x) = work.pop() {
                 for &y in df.get(&x).map(|v| v.as_slice()).unwrap_or(&[]) {
-                    if has_phi.contains(&y) {
+                    if has_phi.contains(y) {
                         continue;
                     }
                     if let Some(live) = &liveness {
@@ -174,7 +171,7 @@ impl<'f> Builder<'f> {
     }
 
     fn current_def(&mut self, var: Var) -> Operand {
-        if let Some(top) = self.stacks.get(&var).and_then(|s| s.last()) {
+        if let Some(top) = self.stacks.get(var).and_then(|s| s.last()) {
             return Operand::Value(*top);
         }
         // No dominating definition: the variable's entry value.
@@ -183,7 +180,7 @@ impl<'f> Builder<'f> {
     }
 
     fn live_in_value(&mut self, var: Var) -> Value {
-        if let Some(&v) = self.live_ins.get(&var) {
+        if let Some(&v) = self.live_ins.get(var) {
             return v;
         }
         let version = self.next_version(var);
@@ -209,10 +206,10 @@ impl<'f> Builder<'f> {
         // φs define first.
         let phis = self.blocks[biv_ir::EntityId::index(block)].phis.clone();
         for phi in phis {
-            let var = self.phi_var[&phi];
+            let var = self.phi_var[phi];
             let version = self.next_version(var);
             self.values[phi].version = version;
-            self.stacks.entry(var).or_default().push(phi);
+            self.stacks.get_or_insert_with(var, Vec::new).push(phi);
             pushed.push(var);
         }
         // Body.
@@ -293,10 +290,10 @@ impl<'f> Builder<'f> {
         for succ in self.func.successors(block) {
             let phis = self.blocks[biv_ir::EntityId::index(succ)].phis.clone();
             for phi in phis {
-                let var = self.phi_var[&phi];
+                let var = self.phi_var[phi];
                 let arg = self.current_def(var);
                 self.phi_args
-                    .get_mut(&phi)
+                    .get_mut(phi)
                     .expect("phi argument slot exists")
                     .push((block, arg));
             }
@@ -308,7 +305,7 @@ impl<'f> Builder<'f> {
         // Pop this block's definitions.
         for var in pushed.into_iter().rev() {
             self.stacks
-                .get_mut(&var)
+                .get_mut(var)
                 .expect("stack exists for pushed var")
                 .pop();
         }
@@ -325,7 +322,7 @@ impl<'f> Builder<'f> {
         self.blocks[biv_ir::EntityId::index(block)]
             .body
             .push(SsaInst::Def(value));
-        self.stacks.entry(var).or_default().push(value);
+        self.stacks.get_or_insert_with(var, Vec::new).push(value);
         pushed.push(var);
     }
 }

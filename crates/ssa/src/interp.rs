@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use biv_ir::{Array, BinOp, Block};
+use biv_ir::{Array, BinOp, Block, EntityMap};
 
 use crate::ssa::{Operand, SsaFunction, SsaInst, SsaTerminator, Value, ValueDef};
 
@@ -98,11 +98,13 @@ impl SsaInterpreter {
     /// or step-limit exhaustion.
     pub fn run(&self, ssa: &SsaFunction, args: &[i64]) -> Result<SsaTrace, SsaInterpError> {
         let func = ssa.func();
-        let mut env: HashMap<Value, i64> = HashMap::new();
+        // Presence matters: an absent value means a φ argument was read
+        // before its edge executed, which `eval` reports as MissingPhiArg.
+        let mut env: EntityMap<Value, i64> = EntityMap::with_capacity(ssa.values.len());
         let mut arrays: HashMap<(Array, Vec<i64>), i64> = HashMap::new();
         let mut assignments: Vec<(Value, i64)> = Vec::new();
         // Bind live-ins.
-        let param_values: HashMap<_, _> = func
+        let param_values: EntityMap<_, _> = func
             .params()
             .iter()
             .enumerate()
@@ -110,7 +112,7 @@ impl SsaInterpreter {
             .collect();
         for (v, data) in ssa.values.iter() {
             if let ValueDef::LiveIn { var } = data.def {
-                let val = param_values.get(&var).copied().unwrap_or(0);
+                let val = param_values.get(var).copied().unwrap_or(0);
                 env.insert(v, val);
                 assignments.push((v, val));
             }
@@ -212,10 +214,10 @@ impl SsaInterpreter {
         }
     }
 
-    fn eval(&self, op: &Operand, env: &HashMap<Value, i64>) -> Result<i64, SsaInterpError> {
+    fn eval(&self, op: &Operand, env: &EntityMap<Value, i64>) -> Result<i64, SsaInterpError> {
         match op {
             Operand::Const(c) => Ok(*c),
-            Operand::Value(v) => env.get(v).copied().ok_or(SsaInterpError::MissingPhiArg),
+            Operand::Value(v) => env.get(*v).copied().ok_or(SsaInterpError::MissingPhiArg),
         }
     }
 }

@@ -4,9 +4,9 @@
 //! branches still folds — strictly stronger than local folding
 //! ([`crate::fold_constants`]).
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashSet, VecDeque};
 
-use biv_ir::{BinOp, Block, CmpOp};
+use biv_ir::{BinOp, Block, CmpOp, EntityMap, EntitySet, SecondaryMap};
 
 use crate::ssa::{Operand, SsaFunction, SsaInst, SsaTerminator, Value, ValueDef};
 
@@ -34,8 +34,9 @@ impl Lattice {
 /// SCCP analysis results.
 #[derive(Debug)]
 pub struct Sccp {
-    values: HashMap<Value, Lattice>,
-    reachable: HashSet<Block>,
+    /// Dense per-value lattice; unvisited values sit at the ⊤ default.
+    values: SecondaryMap<Value, Lattice>,
+    reachable: EntitySet<Block>,
 }
 
 impl Sccp {
@@ -46,7 +47,7 @@ impl Sccp {
 
     /// The lattice value of `v`.
     pub fn lattice(&self, v: Value) -> Lattice {
-        self.values.get(&v).copied().unwrap_or(Lattice::Top)
+        *self.values.get(v)
     }
 
     /// The proven constant of `v`, if any.
@@ -59,7 +60,7 @@ impl Sccp {
 
     /// Whether `block` can execute.
     pub fn is_reachable(&self, block: Block) -> bool {
-        self.reachable.contains(&block)
+        self.reachable.contains(block)
     }
 
     /// Rewrites every proven-constant definition into a constant copy.
@@ -90,13 +91,13 @@ impl Sccp {
 
 struct Solver<'a> {
     ssa: &'a SsaFunction,
-    values: HashMap<Value, Lattice>,
-    reachable: HashSet<Block>,
+    values: SecondaryMap<Value, Lattice>,
+    reachable: EntitySet<Block>,
     exec_edges: HashSet<(Block, Block)>,
     /// Values read by each value's definition (reverse of operand edges).
-    users: HashMap<Value, Vec<Value>>,
+    users: EntityMap<Value, Vec<Value>>,
     /// Blocks whose terminator reads a value.
-    branch_users: HashMap<Value, Vec<Block>>,
+    branch_users: EntityMap<Value, Vec<Block>>,
     value_work: VecDeque<Value>,
     block_work: VecDeque<(Block, Block)>,
 }
@@ -104,20 +105,20 @@ struct Solver<'a> {
 impl<'a> Solver<'a> {
     fn new(ssa: &'a SsaFunction) -> Solver<'a> {
         let users = ssa.users();
-        let mut branch_users: HashMap<Value, Vec<Block>> = HashMap::new();
+        let mut branch_users: EntityMap<Value, Vec<Block>> = EntityMap::new();
         for b in ssa.block_ids() {
             if let Some(SsaTerminator::Branch { lhs, rhs, .. }) = &ssa.block(b).term {
                 for op in [lhs, rhs] {
                     if let Operand::Value(v) = op {
-                        branch_users.entry(*v).or_default().push(b);
+                        branch_users.get_or_insert_with(*v, Vec::new).push(b);
                     }
                 }
             }
         }
         Solver {
             ssa,
-            values: HashMap::new(),
-            reachable: HashSet::new(),
+            values: SecondaryMap::with_default(Lattice::Top),
+            reachable: EntitySet::new(),
             exec_edges: HashSet::new(),
             users,
             branch_users,
@@ -129,10 +130,10 @@ impl<'a> Solver<'a> {
     fn solve(mut self) -> Sccp {
         // Live-ins of parameters are unknown inputs: Bottom. Other
         // live-ins default to 0 in this language, so they are constants.
-        let params: HashSet<_> = self.ssa.func().params().iter().copied().collect();
+        let params: EntitySet<_> = self.ssa.func().params().iter().copied().collect();
         for (v, data) in self.ssa.values.iter() {
             if let ValueDef::LiveIn { var } = data.def {
-                let l = if params.contains(&var) {
+                let l = if params.contains(var) {
                     Lattice::Bottom
                 } else {
                     Lattice::Const(0)
@@ -177,16 +178,16 @@ impl<'a> Solver<'a> {
     }
 
     fn revisit_users(&mut self, v: Value) {
-        if let Some(users) = self.users.get(&v).cloned() {
+        if let Some(users) = self.users.get(v).cloned() {
             for u in users {
-                if self.reachable.contains(&self.ssa.def_block(u)) {
+                if self.reachable.contains(self.ssa.def_block(u)) {
                     self.evaluate(u);
                 }
             }
         }
-        if let Some(blocks) = self.branch_users.get(&v).cloned() {
+        if let Some(blocks) = self.branch_users.get(v).cloned() {
             for b in blocks {
-                if self.reachable.contains(&b) {
+                if self.reachable.contains(b) {
                     self.evaluate_terminator(b);
                 }
             }
@@ -194,7 +195,7 @@ impl<'a> Solver<'a> {
     }
 
     fn set(&mut self, v: Value, l: Lattice) {
-        let old = self.values.get(&v).copied().unwrap_or(Lattice::Top);
+        let old = *self.values.get(v);
         let new = old.meet(l);
         if new != old {
             self.values.insert(v, new);
@@ -205,7 +206,7 @@ impl<'a> Solver<'a> {
     fn operand(&self, op: &Operand) -> Lattice {
         match op {
             Operand::Const(c) => Lattice::Const(*c),
-            Operand::Value(v) => self.values.get(v).copied().unwrap_or(Lattice::Top),
+            Operand::Value(v) => *self.values.get(*v),
         }
     }
 

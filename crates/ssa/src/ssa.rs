@@ -1,8 +1,6 @@
 //! SSA data structures and the SSA graph.
 
-use std::collections::HashMap;
-
-use biv_ir::{entity_id, Arena, Array, BinOp, Block, CmpOp, Function, Var};
+use biv_ir::{entity_id, Arena, Array, BinOp, Block, CmpOp, EntityMap, Function, Var};
 
 entity_id!(
     /// An SSA value.
@@ -198,7 +196,7 @@ pub struct SsaFunction {
     /// All SSA values.
     pub values: Arena<Value, ValueData>,
     blocks: Vec<SsaBlock>,
-    live_in_of_var: HashMap<Var, Value>,
+    live_in_of_var: EntityMap<Var, Value>,
 }
 
 impl SsaFunction {
@@ -206,7 +204,7 @@ impl SsaFunction {
         func: Function,
         values: Arena<Value, ValueData>,
         blocks: Vec<SsaBlock>,
-        live_in_of_var: HashMap<Var, Value>,
+        live_in_of_var: EntityMap<Var, Value>,
     ) -> SsaFunction {
         SsaFunction {
             func,
@@ -250,7 +248,7 @@ impl SsaFunction {
 
     /// The live-in value for `var`, when one was created.
     pub fn live_in(&self, var: Var) -> Option<Value> {
-        self.live_in_of_var.get(&var).copied()
+        self.live_in_of_var.get(var).copied()
     }
 
     /// The paper-style display name of a value, e.g. `i2` — source
@@ -276,15 +274,15 @@ impl SsaFunction {
         out
     }
 
-    /// All uses: map from value to the values that read it.
-    pub fn users(&self) -> HashMap<Value, Vec<Value>> {
-        let mut users: HashMap<Value, Vec<Value>> = HashMap::new();
+    /// All uses: map from value to the values that read it, in def order.
+    pub fn users(&self) -> EntityMap<Value, Vec<Value>> {
+        let mut users: EntityMap<Value, Vec<Value>> = EntityMap::with_capacity(self.values.len());
         let mut ops = Vec::new();
         for (v, data) in self.values.iter() {
             ops.clear();
             data.def.operands(&mut ops);
             for &o in &ops {
-                users.entry(o).or_default().push(v);
+                users.get_or_insert_with(o, Vec::new).push(v);
             }
         }
         users

@@ -1,10 +1,9 @@
 //! SSA well-formedness checking.
 
-use std::collections::HashMap;
 use std::fmt;
 
 use biv_ir::dom::DomTree;
-use biv_ir::Block;
+use biv_ir::{Block, EntityMap};
 
 use crate::ssa::{Operand, SsaFunction, SsaInst, SsaTerminator, Value, ValueDef};
 
@@ -55,7 +54,7 @@ pub fn verify_ssa(ssa: &SsaFunction) -> Result<(), Vec<SsaVerifyError>> {
     let preds = func.predecessors();
 
     // Index definition positions.
-    let mut pos: HashMap<Value, DefPos> = HashMap::new();
+    let mut pos: EntityMap<Value, DefPos> = EntityMap::with_capacity(ssa.values.len());
     for (v, data) in ssa.values.iter() {
         match &data.def {
             ValueDef::LiveIn { .. } => {
@@ -119,7 +118,7 @@ pub fn verify_ssa(ssa: &SsaFunction) -> Result<(), Vec<SsaVerifyError>> {
                          what: &str,
                          errors: &mut Vec<SsaVerifyError>| {
         if let Operand::Value(v) = op {
-            match pos.get(v) {
+            match pos.get(*v) {
                 None => errors.push(SsaVerifyError {
                     message: format!("{use_block}: {what} uses undefined value {v}"),
                 }),
@@ -171,7 +170,7 @@ pub fn verify_ssa(ssa: &SsaFunction) -> Result<(), Vec<SsaVerifyError>> {
                 }
                 // The def must dominate the end of the incoming edge.
                 if let Operand::Value(v) = op {
-                    match pos.get(v) {
+                    match pos.get(*v) {
                         None => err_into(
                             &mut errors,
                             format!(

@@ -419,7 +419,7 @@ mod tests {
         let info = after.info(l10);
         let j_var = after.ssa().func().var_by_name("j").unwrap();
         let refined = info.classes.iter().any(|(v, c)| {
-            after.ssa().values[*v].var == Some(j_var)
+            after.ssa().values[v].var == Some(j_var)
                 && matches!(c, biv_core::Class::Induction(cf) if cf.is_linear())
         });
         assert!(refined, "j should refine to a linear IV after peeling");
@@ -446,7 +446,7 @@ mod tests {
         let l1 = analysis.loop_by_label("L1").unwrap();
         let info = analysis.info(l1);
         let found = info.classes.iter().any(|(v, c)| {
-            analysis.ssa().values[*v].var == analysis.ssa().func().var_by_name("%h_L1")
+            analysis.ssa().values[v].var == analysis.ssa().func().var_by_name("%h_L1")
                 && matches!(c, biv_core::Class::Induction(cf)
                     if cf.is_linear()
                     && cf.coeffs[0].is_zero()

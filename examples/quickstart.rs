@@ -27,9 +27,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for (_, info) in analysis.loops() {
         println!("loop {} (trip count: {}):", info.name, info.trip_count);
-        let mut entries: Vec<_> = info.classes.keys().copied().collect();
-        entries.sort();
-        for value in entries {
+        // Dense-map keys iterate in ascending index order already.
+        for value in info.classes.keys() {
             let name = analysis.ssa().value_name(value);
             let description = analysis.describe(value).unwrap_or_default();
             println!("    {name:<6} => {description}");

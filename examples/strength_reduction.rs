@@ -63,10 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let l10 = after.loop_by_label("L10").expect("loop remains");
     let j_var = after.ssa().func().var_by_name("j").expect("j exists");
     for (v, class) in &after.info(l10).classes {
-        if after.ssa().values[*v].var == Some(j_var) {
+        if after.ssa().values[v].var == Some(j_var) {
             println!(
                 "after peeling:  {} = {}",
-                after.ssa().value_name(*v),
+                after.ssa().value_name(v),
                 biv::core_analysis::describe_class(&after, class)
             );
         }

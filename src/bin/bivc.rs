@@ -6,6 +6,10 @@
 //! bivc --demo                             # run the built-in Figure 1 demo
 //! ```
 //!
+//! `--time` additionally prints per-phase wall times (parse, SSA, loop
+//! forest, classify, closed forms) to stderr; analysis output on stdout
+//! is unchanged, and the flag costs nothing when absent.
+//!
 //! With a single input file and no batch flags, everything is printed in
 //! the detailed single-function format. With several inputs, a
 //! directory, `--batch`, or `--jobs`, the parallel batch driver runs
@@ -16,8 +20,12 @@
 //! count. `BIV_JOBS` sets the default worker count.
 
 use std::process::ExitCode;
+use std::time::Instant;
 
-use biv::core_analysis::{analyze, analyze_batch, describe_class, resolve_jobs, BatchOptions};
+use biv::core_analysis::{
+    analyze, analyze_batch, analyze_with_times, describe_class, resolve_jobs, AnalysisConfig,
+    BatchOptions, PhaseTimes,
+};
 use biv::ir::parser::parse_program;
 use biv::ir::Function;
 
@@ -29,11 +37,12 @@ struct Options {
     trip_counts: bool,
     classic: bool,
     batch: bool,
+    time: bool,
     jobs: usize,
     paths: Vec<String>,
 }
 
-const USAGE: &str = "usage: bivc [--ssa] [--classes] [--deps] [--trip-counts] [--classic] [--dot] FILE\n       bivc [--jobs N] [--batch] FILE|DIR...\n       bivc --demo";
+const USAGE: &str = "usage: bivc [--ssa] [--classes] [--deps] [--trip-counts] [--classic] [--dot] [--time] FILE\n       bivc [--jobs N] [--batch] [--time] FILE|DIR...\n       bivc --demo";
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
@@ -44,6 +53,7 @@ fn parse_args() -> Result<Options, String> {
         trip_counts: false,
         classic: false,
         batch: false,
+        time: false,
         jobs: 0,
         paths: Vec::new(),
     };
@@ -77,6 +87,8 @@ fn parse_args() -> Result<Options, String> {
                 any_flag = true;
             }
             "--batch" => opts.batch = true,
+            // Orthogonal to the output selectors: does not touch any_flag.
+            "--time" => opts.time = true,
             "--jobs" => {
                 let value = args.next().ok_or("--jobs needs a value")?;
                 opts.jobs = value
@@ -161,6 +173,7 @@ fn expand_inputs(paths: &[String]) -> Result<Vec<String>, String> {
 /// The parallel batch mode: all functions from all files, classified
 /// through the sharded, cached batch driver.
 fn run_batch(opts: &Options) -> Result<(), String> {
+    let t_parse = opts.time.then(Instant::now);
     let files = expand_inputs(&opts.paths)?;
     let mut funcs: Vec<Function> = Vec::new();
     // (file path, functions in that file) for grouped printing.
@@ -172,6 +185,7 @@ fn run_batch(opts: &Options) -> Result<(), String> {
         ranges.push((path.clone(), program.functions.len()));
         funcs.extend(program.functions);
     }
+    let parse_time = t_parse.map(|t| t.elapsed());
     let batch_opts = BatchOptions {
         jobs: opts.jobs,
         ..BatchOptions::default()
@@ -182,7 +196,17 @@ fn run_batch(opts: &Options) -> Result<(), String> {
         ranges.len(),
         resolve_jobs(opts.jobs)
     );
+    let t_analyze = opts.time.then(Instant::now);
     let report = analyze_batch(&funcs, &batch_opts);
+    // Batch workers interleave phases, so only end-to-end times are
+    // meaningful here; per-phase timing is the single-function mode's job.
+    if let (Some(parse), Some(t)) = (parse_time, t_analyze) {
+        eprintln!(
+            "timing: parse {:.3?}, batch analysis {:.3?}",
+            parse,
+            t.elapsed()
+        );
+    }
     let mut next = 0usize;
     for (path, count) in &ranges {
         println!("══ {path} ══");
@@ -228,6 +252,7 @@ fn main() -> ExitCode {
         },
         None => DEMO.to_string(),
     };
+    let t_parse = opts.time.then(Instant::now);
     let program = match parse_program(&source) {
         Ok(p) => p,
         Err(e) => {
@@ -235,6 +260,8 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let parse_time = t_parse.map(|t| t.elapsed());
+    let mut phase_totals = PhaseTimes::default();
     for func in &program.functions {
         println!("══ function {} ══", func.name());
         if opts.classic {
@@ -249,7 +276,13 @@ fn main() -> ExitCode {
                 }
             }
         }
-        let analysis = analyze(func);
+        let analysis = if opts.time {
+            let (analysis, times) = analyze_with_times(func, AnalysisConfig::default());
+            phase_totals.accumulate(&times);
+            analysis
+        } else {
+            analyze(func)
+        };
         if opts.dot {
             println!("{}", biv::ir::dot::cfg_to_dot(func));
             println!("{}", biv::ssa::ssa_graph_to_dot(analysis.ssa()));
@@ -266,12 +299,11 @@ fn main() -> ExitCode {
                     }
                 }
                 if opts.classes {
-                    let mut values: Vec<_> = info.classes.iter().collect();
-                    values.sort_by_key(|(v, _)| **v);
-                    for (v, class) in values {
+                    // `VecMap` iteration is in value-index order.
+                    for (v, class) in info.classes.iter() {
                         println!(
                             "    {:<8} => {}",
-                            analysis.ssa().value_name(*v),
+                            analysis.ssa().value_name(v),
                             describe_class(&analysis, class)
                         );
                     }
@@ -303,6 +335,9 @@ fn main() -> ExitCode {
                 }
             }
         }
+    }
+    if let Some(parse) = parse_time {
+        eprintln!("timing: parse {parse:.3?}, {phase_totals}");
     }
     ExitCode::SUCCESS
 }

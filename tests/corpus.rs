@@ -304,7 +304,7 @@ fn nested_loop_with_invariant_inner_bound() {
     let l1 = a.loop_by_label("L1").unwrap();
     let s_var = a.ssa().func().var_by_name("s").unwrap();
     let found = a.info(l1).classes.iter().any(|(v, c)| {
-        a.ssa().values[*v].var == Some(s_var)
+        a.ssa().values[v].var == Some(s_var)
             && matches!(c, Class::Induction(cf)
                 if cf.is_linear()
                 && cf.coeffs[1].constant_value()

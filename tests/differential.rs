@@ -58,7 +58,7 @@ fn check_program(src: &str, args: &[i64]) {
             // per-h checks are limited to outermost loops.
             let outermost = analysis.forest().data(info.loop_id).depth == 1;
             let latch = analysis.forest().single_latch(info.loop_id);
-            for (&value, class) in &info.classes {
+            for (value, class) in &info.classes {
                 // Only check values that exist in the executable SSA.
                 if !ssa.values.contains(value) {
                     continue;

@@ -91,6 +91,34 @@ fn cli_output_is_job_count_invariant() {
 }
 
 #[test]
+fn repeated_runs_are_byte_identical_across_hash_seeds() {
+    // Every spawned process gets a fresh `RandomState` hash seed, so any
+    // surviving dependence on HashMap iteration order would flicker
+    // between runs. Covers the detailed single-function mode (SSA dump,
+    // classes, trip counts, dependences) and the parallel batch mode.
+    for args in [
+        &[
+            "--ssa",
+            "--classes",
+            "--trip-counts",
+            "--deps",
+            "tests/golden/fig1.biv",
+        ][..],
+        &["--classes", "--trip-counts", "tests/golden/poly.biv"][..],
+        &["--jobs", "4", "tests/golden"][..],
+    ] {
+        let first = stdout_of(args);
+        for run in 0..2 {
+            assert_eq!(
+                first,
+                stdout_of(args),
+                "bivc {args:?} output changed on re-run {run}"
+            );
+        }
+    }
+}
+
+#[test]
 fn structural_twins_are_reported_as_cache_hits() {
     // wrap.biv holds an α-renamed pair: the stats line must show one
     // analysis and one hit.
@@ -98,6 +126,23 @@ fn structural_twins_are_reported_as_cache_hits() {
     assert!(
         actual.contains("batch: 2 functions, 1 analyzed, 1 cache hits, 0 evictions"),
         "unexpected stats in:\n{actual}"
+    );
+}
+
+#[test]
+fn time_flag_reports_phases_on_stderr_only() {
+    let plain = stdout_of(&["--classes", "tests/golden/fig1.biv"]);
+    let out = bivc(&["--classes", "--time", "tests/golden/fig1.biv"]);
+    assert!(out.status.success());
+    assert_eq!(
+        plain,
+        String::from_utf8(out.stdout).unwrap(),
+        "--time must not change stdout"
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("timing: parse") && err.contains("classify"),
+        "missing timing line in stderr:\n{err}"
     );
 }
 

@@ -178,7 +178,7 @@ fn deeply_nested_loops_classify() {
     let info = analysis.info(l1);
     let s_var = analysis.ssa().func().var_by_name("s").unwrap();
     let step_64 = info.classes.iter().any(|(v, c)| {
-        analysis.ssa().values[*v].var == Some(s_var)
+        analysis.ssa().values[v].var == Some(s_var)
             && matches!(c, biv::core_analysis::Class::Induction(cf)
                 if cf.is_linear()
                 && cf.coeffs[1].constant_value()
