@@ -37,7 +37,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 
 use biv_ir::{EntityId, Function, Inst, Operand, Terminator};
 
@@ -198,6 +198,11 @@ impl StructuralCache {
         self.map.len()
     }
 
+    /// The configured retention bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Whether the cache holds no entries.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
@@ -322,47 +327,7 @@ pub fn analyze_batch_with_cache(
     // Parallel analysis of the representatives.
     let jobs = resolve_jobs(opts.jobs).min(representatives.len()).max(1);
     stats.jobs = jobs;
-    let computed: Vec<Arc<StructuralSummary>> = if representatives.len() <= 1 || jobs == 1 {
-        representatives
-            .iter()
-            .map(|&i| Arc::new(summarize(&funcs[i], &opts.config)))
-            .collect()
-    } else {
-        // Workers pull indices from a shared cursor and send each result
-        // back tagged with its slot; the receive loop below reorders into
-        // input order, so no lock is held while a summary is produced.
-        let cursor = AtomicUsize::new(0);
-        let config = &opts.config;
-        let reps = &representatives;
-        std::thread::scope(|scope| {
-            let cursor = &cursor;
-            let (tx, rx) = mpsc::channel::<(usize, Arc<StructuralSummary>)>();
-            for _ in 0..jobs {
-                let tx = tx.clone();
-                scope.spawn(move || loop {
-                    let k = cursor.fetch_add(1, Ordering::Relaxed);
-                    if k >= reps.len() {
-                        break;
-                    }
-                    let summary = Arc::new(summarize(&funcs[reps[k]], config));
-                    if tx.send((k, summary)).is_err() {
-                        break;
-                    }
-                });
-            }
-            // The receiver loop ends when every worker has dropped its
-            // sender clone; the original must go first.
-            drop(tx);
-            let mut slots: Vec<Option<Arc<StructuralSummary>>> = vec![None; reps.len()];
-            for (k, summary) in rx {
-                slots[k] = Some(summary);
-            }
-            slots
-                .into_iter()
-                .map(|s| s.expect("every slot filled"))
-                .collect()
-        })
-    };
+    let computed = compute_representatives(funcs, &representatives, jobs, &opts.config);
 
     // Deterministic cache insertion, in representative (= input) order.
     for (slot, &i) in representatives.iter().enumerate() {
@@ -386,6 +351,200 @@ pub fn analyze_batch_with_cache(
         })
         .collect();
     BatchReport { functions, stats }
+}
+
+/// Renders a batch report grouped by input file, exactly as `bivc`
+/// prints it: a `══ path ══` header per file, that file's function
+/// blocks, then the stats line. `ranges` pairs each display path with
+/// its function count; counts must sum to `functions.len()`.
+///
+/// This is the single definition of the batch output format — the
+/// local CLI and the analysis server both render through it, which is
+/// what makes their outputs byte-identical by construction.
+pub fn render_grouped(
+    ranges: &[(String, usize)],
+    functions: &[FunctionSummary],
+    stats: &BatchStats,
+) -> String {
+    let mut out = String::new();
+    let mut next = 0usize;
+    for (path, count) in ranges {
+        out.push_str(&format!("══ {path} ══\n"));
+        for summary in &functions[next..next + count] {
+            out.push_str(&summary.render());
+        }
+        next += count;
+    }
+    debug_assert_eq!(next, functions.len(), "ranges cover every function");
+    out.push_str(&stats.render());
+    out.push('\n');
+    out
+}
+
+/// Computes the statistics a *cold* run over `hashes` would report: a
+/// fresh cache of `capacity` entries, batch-local deduplication, FIFO
+/// eviction. Pure arithmetic — no analysis is performed.
+///
+/// This is the determinism anchor for remote serving: a long-running
+/// server answers from a warm shared cache, but its rendered stats line
+/// must not depend on which requests happened to come first, so it
+/// reports what a fresh `bivc` run over the same inputs would have said.
+/// The warm cache's real cumulative counters stay observable through the
+/// server's `stats` endpoint instead.
+pub fn cold_batch_stats(hashes: &[u64], capacity: usize) -> BatchStats {
+    let mut seen: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let mut distinct = 0usize;
+    for &h in hashes {
+        if seen.insert(h) {
+            distinct += 1;
+        }
+    }
+    // A fresh FIFO cache only ever evicts once more distinct structures
+    // have been inserted than it can hold.
+    let evictions = if capacity == 0 {
+        0
+    } else {
+        distinct.saturating_sub(capacity)
+    };
+    BatchStats {
+        functions: hashes.len(),
+        hits: hashes.len() - distinct,
+        misses: distinct,
+        evictions,
+        jobs: 0,
+    }
+}
+
+/// Analyzes a batch against a mutex-shared cache, as used by concurrent
+/// servers: the lock is held only for the serial plan phase (lookups)
+/// and the commit phase (insertions), never while a function is being
+/// analyzed, so requests on different worker threads overlap their
+/// actual classification work.
+///
+/// Two racing batches that both miss on the same structure each analyze
+/// it once — wasted work, never wrong output, because summaries are
+/// canonical and insertion is idempotent. Counter invariants are
+/// preserved under contention: every submitted function increments
+/// exactly one of the cache's cumulative `hits`/`misses` counters.
+pub fn analyze_batch_shared(
+    funcs: &[Function],
+    opts: &BatchOptions,
+    cache: &Mutex<StructuralCache>,
+) -> BatchReport {
+    let hashes: Vec<u64> = funcs.iter().map(structural_hash).collect();
+
+    enum Plan {
+        Cached(Arc<StructuralSummary>),
+        Computed { slot: usize },
+    }
+    let mut stats = BatchStats {
+        functions: funcs.len(),
+        ..BatchStats::default()
+    };
+    let mut slot_of_hash: HashMap<u64, usize> = HashMap::new();
+    let mut representatives: Vec<usize> = Vec::new();
+    let mut plans: Vec<(Plan, bool)> = Vec::with_capacity(funcs.len());
+    {
+        let mut cache = cache.lock().expect("structural cache poisoned");
+        for (i, &hash) in hashes.iter().enumerate() {
+            if let Some(summary) = cache.peek(hash) {
+                stats.hits += 1;
+                cache.hits += 1;
+                plans.push((Plan::Cached(summary), true));
+            } else if let Some(&slot) = slot_of_hash.get(&hash) {
+                stats.hits += 1;
+                cache.hits += 1;
+                plans.push((Plan::Computed { slot }, true));
+            } else {
+                stats.misses += 1;
+                cache.misses += 1;
+                let slot = representatives.len();
+                slot_of_hash.insert(hash, slot);
+                representatives.push(i);
+                plans.push((Plan::Computed { slot }, false));
+            }
+        }
+    }
+
+    // Analysis runs with the lock released. Server workers call this
+    // with `jobs: 1` — request-level parallelism comes from the pool.
+    let jobs = resolve_jobs(opts.jobs).min(representatives.len()).max(1);
+    stats.jobs = jobs;
+    let computed = compute_representatives(funcs, &representatives, jobs, &opts.config);
+
+    {
+        let mut cache = cache.lock().expect("structural cache poisoned");
+        for (slot, &i) in representatives.iter().enumerate() {
+            stats.evictions += cache.insert(hashes[i], Arc::clone(&computed[slot]));
+        }
+    }
+
+    let functions = plans
+        .into_iter()
+        .zip(funcs.iter().zip(&hashes))
+        .map(|((plan, cached), (func, &hash))| {
+            let summary = match plan {
+                Plan::Cached(s) => s,
+                Plan::Computed { slot } => Arc::clone(&computed[slot]),
+            };
+            FunctionSummary {
+                name: func.name().to_string(),
+                hash,
+                cached,
+                summary,
+            }
+        })
+        .collect();
+    BatchReport { functions, stats }
+}
+
+/// Analyzes the representative functions, sharded over `jobs` workers.
+///
+/// Workers pull indices from a shared cursor and send each result back
+/// tagged with its slot; the receive loop reorders into input order, so
+/// no lock is held while a summary is produced.
+fn compute_representatives(
+    funcs: &[Function],
+    representatives: &[usize],
+    jobs: usize,
+    config: &AnalysisConfig,
+) -> Vec<Arc<StructuralSummary>> {
+    if representatives.len() <= 1 || jobs == 1 {
+        return representatives
+            .iter()
+            .map(|&i| Arc::new(summarize(&funcs[i], config)))
+            .collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let reps = representatives;
+    std::thread::scope(|scope| {
+        let cursor = &cursor;
+        let (tx, rx) = mpsc::channel::<(usize, Arc<StructuralSummary>)>();
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            scope.spawn(move || loop {
+                let k = cursor.fetch_add(1, Ordering::Relaxed);
+                if k >= reps.len() {
+                    break;
+                }
+                let summary = Arc::new(summarize(&funcs[reps[k]], config));
+                if tx.send((k, summary)).is_err() {
+                    break;
+                }
+            });
+        }
+        // The receiver loop ends when every worker has dropped its
+        // sender clone; the original must go first.
+        drop(tx);
+        let mut slots: Vec<Option<Arc<StructuralSummary>>> = vec![None; reps.len()];
+        for (k, summary) in rx {
+            slots[k] = Some(summary);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every slot filled"))
+            .collect()
+    })
 }
 
 /// Analyzes one function and renders its canonical summary.
@@ -686,5 +845,90 @@ mod tests {
     fn resolve_jobs_prefers_explicit_request() {
         assert_eq!(resolve_jobs(3), 3);
         assert!(resolve_jobs(0) >= 1);
+    }
+
+    #[test]
+    fn cold_stats_replay_matches_a_fresh_run() {
+        let funcs = funcs_of(TWO_LOOPS);
+        let hashes: Vec<u64> = funcs.iter().map(structural_hash).collect();
+        for capacity in [0, 1, 2, 4096] {
+            let opts = BatchOptions {
+                cache_capacity: capacity,
+                ..BatchOptions::default()
+            };
+            let fresh = analyze_batch(&funcs, &opts);
+            let mut replay = cold_batch_stats(&hashes, capacity);
+            replay.jobs = fresh.stats.jobs;
+            assert_eq!(replay, fresh.stats, "capacity {capacity}");
+        }
+    }
+
+    #[test]
+    fn shared_cache_batches_match_exclusive_ones() {
+        let funcs = funcs_of(TWO_LOOPS);
+        let opts = BatchOptions {
+            jobs: 1,
+            ..BatchOptions::default()
+        };
+        let shared = Mutex::new(StructuralCache::new(16));
+        let first = analyze_batch_shared(&funcs, &opts, &shared);
+        let second = analyze_batch_shared(&funcs, &opts, &shared);
+        let mut exclusive = StructuralCache::new(16);
+        let expect_first = analyze_batch_with_cache(&funcs, &opts, &mut exclusive);
+        let expect_second = analyze_batch_with_cache(&funcs, &opts, &mut exclusive);
+        assert_eq!(first.render(), expect_first.render());
+        assert_eq!(second.render(), expect_second.render());
+        let cache = shared.lock().unwrap();
+        assert_eq!(cache.hits(), exclusive.hits());
+        assert_eq!(cache.misses(), exclusive.misses());
+        assert_eq!(
+            cache.hits() + cache.misses(),
+            2 * funcs.len() as u64,
+            "every submitted function counts exactly once"
+        );
+    }
+
+    #[test]
+    fn shared_cache_is_consistent_under_contention() {
+        let funcs = funcs_of(TWO_LOOPS);
+        let opts = BatchOptions {
+            jobs: 1,
+            ..BatchOptions::default()
+        };
+        let shared = Mutex::new(StructuralCache::new(64));
+        let rounds = 8;
+        let reference = analyze_batch(&funcs, &opts).render();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..rounds {
+                        let report = analyze_batch_shared(&funcs, &opts, &shared);
+                        for (f, name) in report.functions.iter().zip(["first", "second", "third"]) {
+                            assert_eq!(f.name, name);
+                        }
+                        assert_eq!(
+                            report.stats.hits + report.stats.misses,
+                            funcs.len(),
+                            "per-request counts are total"
+                        );
+                    }
+                });
+            }
+        });
+        let cache = shared.lock().unwrap();
+        assert_eq!(
+            cache.hits() + cache.misses(),
+            (4 * rounds * funcs.len()) as u64,
+            "cumulative hits + misses == functions submitted"
+        );
+        drop(cache);
+        // A warm follow-up run renders the same per-function blocks as a
+        // cold exclusive run; only the stats line differs.
+        let warm = analyze_batch_shared(&funcs, &opts, &shared);
+        let cold = analyze_batch(&funcs, &opts);
+        assert!(reference.contains(&cold.functions[0].render()));
+        for (w, c) in warm.functions.iter().zip(&cold.functions) {
+            assert_eq!(w.render(), c.render());
+        }
     }
 }

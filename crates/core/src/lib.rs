@@ -59,8 +59,9 @@ mod symbols;
 mod tripcount;
 
 pub use batch::{
-    analyze_batch, analyze_batch_with_cache, resolve_jobs, structural_hash, BatchOptions,
-    BatchReport, BatchStats, FunctionSummary, LoopSummary, StructuralCache, StructuralSummary,
+    analyze_batch, analyze_batch_shared, analyze_batch_with_cache, cold_batch_stats,
+    render_grouped, resolve_jobs, structural_hash, BatchOptions, BatchReport, BatchStats,
+    FunctionSummary, LoopSummary, StructuralCache, StructuralSummary,
 };
 pub use class::{Class, ClosedForm, Direction, FamilyAnchor, Monotonic, Periodic};
 pub use classify::{

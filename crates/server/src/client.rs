@@ -1,0 +1,64 @@
+//! A blocking `bivd` client: one connection, framed request/response
+//! pairs, and a bounded busy-retry loop for analyze submissions.
+
+use std::io;
+use std::time::Duration;
+
+use crate::frame::{read_frame, write_frame, MAX_FRAME_BYTES};
+use crate::net::{Conn, Endpoint};
+use crate::proto::{AnalyzeFile, Request, Response};
+
+/// How many `busy` rejections an analyze submission tolerates before
+/// giving up. With the server's `retry_after_ms` hints this spans
+/// multiple seconds of sustained overload.
+const MAX_BUSY_RETRIES: u32 = 10;
+
+/// A connected client.
+pub struct Client {
+    conn: Conn,
+    max_frame_bytes: usize,
+}
+
+impl Client {
+    /// Dials the endpoint.
+    pub fn connect(endpoint: &Endpoint) -> io::Result<Client> {
+        Ok(Client {
+            conn: Conn::connect(endpoint)?,
+            max_frame_bytes: MAX_FRAME_BYTES,
+        })
+    }
+
+    /// Sends one request and reads its response.
+    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        write_frame(&mut self.conn, &request.encode())?;
+        let payload = read_frame(&mut self.conn, self.max_frame_bytes)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            )
+        })?;
+        Response::decode(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Submits files for analysis, honoring `busy` backpressure by
+    /// sleeping for the server's hint and retrying, a bounded number of
+    /// times.
+    pub fn analyze(
+        &mut self,
+        files: Vec<AnalyzeFile>,
+        cache_cap: Option<usize>,
+    ) -> io::Result<Response> {
+        let request = Request::Analyze { files, cache_cap };
+        let mut retries = 0;
+        loop {
+            match self.request(&request)? {
+                Response::Busy { retry_after_ms } if retries < MAX_BUSY_RETRIES => {
+                    retries += 1;
+                    std::thread::sleep(Duration::from_millis(retry_after_ms));
+                }
+                response => return Ok(response),
+            }
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Length-prefixed framing: a 4-byte big-endian payload length followed
+//! by that many bytes of UTF-8 JSON.
+//!
+//! The prefix makes request boundaries explicit (no sniffing for
+//! balanced braces on the stream) and lets the server reject oversized
+//! frames before allocating. A read that ends cleanly *between* frames
+//! is a normal close ([`read_frame`] returns `Ok(None)`); one that ends
+//! inside a frame is an error.
+
+use std::io::{self, Read, Write};
+
+/// Default cap on a single frame's payload (64 MiB) — far above any
+/// real analysis request, low enough to fail fast on garbage prefixes.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// Writes one frame: length prefix plus payload, then flushes.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame; `Ok(None)` on a clean end-of-stream before any
+/// prefix byte, an `UnexpectedEof` error on truncation mid-frame, an
+/// `InvalidData` error when the prefix exceeds `max_bytes`.
+pub fn read_frame(r: &mut impl Read, max_bytes: usize) -> io::Result<Option<Vec<u8>>> {
+    let mut prefix = [0u8; 4];
+    match read_exact_or_eof(r, &mut prefix)? {
+        FirstRead::Eof => return Ok(None),
+        FirstRead::Full => {}
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > max_bytes {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {max_bytes}-byte limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+enum FirstRead {
+    /// Zero bytes then EOF: the peer closed between frames.
+    Eof,
+    /// The buffer was filled.
+    Full,
+}
+
+/// Like `read_exact`, but distinguishes "EOF before the first byte"
+/// (clean close) from "EOF mid-buffer" (truncation).
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> io::Result<FirstRead> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(FirstRead::Eof),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream ended mid-frame",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(FirstRead::Full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_frames() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, "ütf✓".as_bytes()).unwrap();
+        let mut r = &buf[..];
+        assert_eq!(
+            read_frame(&mut r, MAX_FRAME_BYTES).unwrap().unwrap(),
+            b"hello"
+        );
+        assert_eq!(read_frame(&mut r, MAX_FRAME_BYTES).unwrap().unwrap(), b"");
+        assert_eq!(
+            read_frame(&mut r, MAX_FRAME_BYTES).unwrap().unwrap(),
+            "ütf✓".as_bytes()
+        );
+        assert!(read_frame(&mut r, MAX_FRAME_BYTES).unwrap().is_none());
+    }
+
+    #[test]
+    fn clean_eof_vs_truncation() {
+        let mut r: &[u8] = &[];
+        assert!(read_frame(&mut r, MAX_FRAME_BYTES).unwrap().is_none());
+        // Truncated prefix.
+        let mut r: &[u8] = &[0, 0];
+        assert_eq!(
+            read_frame(&mut r, MAX_FRAME_BYTES).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+        // Truncated payload.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut r = &buf[..];
+        assert_eq!(
+            read_frame(&mut r, MAX_FRAME_BYTES).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        let mut r = &buf[..];
+        assert_eq!(
+            read_frame(&mut r, 1024).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! A bounded MPMC job queue with explicit rejection — the server's
+//! backpressure point.
+//!
+//! Connection handlers [`try_push`](JobQueue::try_push) jobs; when the
+//! queue is at capacity the push is *rejected immediately* (the caller
+//! answers `busy` with a retry hint) instead of blocking the handler —
+//! an overloaded server must keep saying "no" cheaply rather than
+//! accumulate hidden latency. Workers block in [`pop`](JobQueue::pop)
+//! until a job or shutdown arrives; after [`close`](JobQueue::close)
+//! they continue draining whatever was already accepted, so accepted
+//! work is never dropped.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// A bounded FIFO queue shared between handlers and workers.
+#[derive(Debug)]
+pub struct JobQueue<T> {
+    inner: Mutex<Inner<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    jobs: VecDeque<T>,
+    closed: bool,
+}
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the job is handed back.
+    Full(T),
+    /// The queue is closed (drain in progress); the job is handed back.
+    Closed(T),
+}
+
+impl<T> JobQueue<T> {
+    /// Creates a queue bounded to `capacity` jobs. A capacity of zero is
+    /// legal and rejects every push — useful for drills and tests.
+    pub fn new(capacity: usize) -> JobQueue<T> {
+        JobQueue {
+            inner: Mutex::new(Inner {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs currently queued (racy by nature; a gauge, not a guarantee).
+    pub fn depth(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").jobs.len()
+    }
+
+    /// Enqueues a job unless the queue is full or closed.
+    pub fn try_push(&self, job: T) -> Result<(), PushError<T>> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.closed {
+            return Err(PushError::Closed(job));
+        }
+        if inner.jobs.len() >= self.capacity {
+            return Err(PushError::Full(job));
+        }
+        inner.jobs.push_back(job);
+        drop(inner);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job is available or the queue is closed *and*
+    /// empty. Jobs accepted before `close` are still handed out.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.available.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: pushes fail from now on, and workers exit once
+    /// the remaining jobs are drained.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        inner.closed = true;
+        drop(inner);
+        self.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn bounded_push_rejects_when_full() {
+        let q = JobQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(3).is_ok());
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let q = JobQueue::new(0);
+        assert_eq!(q.try_push(1), Err(PushError::Full(1)));
+    }
+
+    #[test]
+    fn close_drains_accepted_jobs_then_releases_workers() {
+        let q = JobQueue::new(8);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.try_push(3), Err(PushError::Closed(3)));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "closed+empty stays terminal");
+    }
+
+    #[test]
+    fn workers_wake_on_close_and_on_jobs() {
+        let q = JobQueue::new(64);
+        let drained = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    while q.pop().is_some() {
+                        drained.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            for i in 0..32 {
+                while q.try_push(i).is_err() {
+                    std::thread::yield_now();
+                }
+            }
+            q.close();
+        });
+        assert_eq!(drained.load(Ordering::Relaxed), 32);
+    }
+}

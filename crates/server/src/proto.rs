@@ -1,0 +1,400 @@
+//! The `bivd` wire protocol: typed requests and responses with JSON
+//! encoding.
+//!
+//! Every frame carries one JSON object. Requests name their operation
+//! in `"op"`; responses always carry `"ok"` so clients can branch
+//! without knowing every error shape. The protocol is deliberately
+//! small:
+//!
+//! | request | response |
+//! |---------|----------|
+//! | `{"op":"ping"}` | `{"ok":true,"op":"pong"}` |
+//! | `{"op":"analyze","files":[{"path","source"},…],"cache_cap"?}` | `{"ok":true,"op":"analyze","output",…,"errors":[…]}` |
+//! | `{"op":"stats"}` | `{"ok":true,"op":"stats","stats":{…}}` |
+//! | `{"op":"shutdown"}` | `{"ok":true,"op":"shutdown"}`, then drain |
+//!
+//! Failure responses are `{"ok":false,"error":KIND,…}`; the `busy`
+//! kind additionally carries `retry_after_ms` — the server's explicit
+//! backpressure signal.
+
+use crate::json::Json;
+
+/// One input file in an analyze request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalyzeFile {
+    /// Display path, echoed in the rendered per-file headers.
+    pub path: String,
+    /// The file's source text.
+    pub source: String,
+}
+
+/// A request frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Analyze a batch of files.
+    Analyze {
+        /// Files in output order.
+        files: Vec<AnalyzeFile>,
+        /// The client's structural-cache capacity, used only to render
+        /// the deterministic cold-run stats line (the server's actual
+        /// cache is sized server-side). `None` means the default.
+        cache_cap: Option<usize>,
+    },
+    /// Fetch live server metrics.
+    Stats,
+    /// Begin graceful drain: finish accepted work, then exit.
+    Shutdown,
+}
+
+/// A per-file failure inside an otherwise successful analyze response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileError {
+    /// The failing file's display path.
+    pub path: String,
+    /// What went wrong.
+    pub message: String,
+}
+
+/// A response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Reply to [`Request::Ping`].
+    Pong,
+    /// Reply to [`Request::Analyze`].
+    Analyze {
+        /// The rendered batch report — byte-identical to a local
+        /// `bivc` batch run over the same readable, parsable files.
+        output: String,
+        /// Functions analyzed or served from cache.
+        functions: usize,
+        /// Distinct structures actually analyzed for this request.
+        analyzed: usize,
+        /// Functions served from the warm shared cache.
+        cached: usize,
+        /// Files that failed to parse; the rest were still analyzed.
+        errors: Vec<FileError>,
+    },
+    /// Reply to [`Request::Stats`] — a self-describing metrics object.
+    Stats(Json),
+    /// Acknowledgement of [`Request::Shutdown`].
+    ShutdownAck,
+    /// Backpressure: the bounded queue is full; retry after the hint.
+    Busy {
+        /// Suggested client-side delay before retrying.
+        retry_after_ms: u64,
+    },
+    /// Any other failure.
+    Error {
+        /// Stable machine-readable kind (`bad-request`, `timeout`,
+        /// `draining`, …).
+        kind: String,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// A malformed frame at the protocol layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError(pub String);
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+fn bad(message: impl Into<String>) -> ProtoError {
+    ProtoError(message.into())
+}
+
+impl Request {
+    /// Encodes to a JSON frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let json = match self {
+            Request::Ping => Json::obj(vec![("op", Json::Str("ping".into()))]),
+            Request::Stats => Json::obj(vec![("op", Json::Str("stats".into()))]),
+            Request::Shutdown => Json::obj(vec![("op", Json::Str("shutdown".into()))]),
+            Request::Analyze { files, cache_cap } => {
+                let files = files
+                    .iter()
+                    .map(|f| {
+                        Json::obj(vec![
+                            ("path", Json::Str(f.path.clone())),
+                            ("source", Json::Str(f.source.clone())),
+                        ])
+                    })
+                    .collect();
+                let mut pairs = vec![
+                    ("op", Json::Str("analyze".into())),
+                    ("files", Json::Arr(files)),
+                ];
+                if let Some(cap) = cache_cap {
+                    pairs.push(("cache_cap", Json::Int(*cap as i64)));
+                }
+                Json::obj(pairs)
+            }
+        };
+        json.to_text().into_bytes()
+    }
+
+    /// Decodes a request frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Request, ProtoError> {
+        let text = std::str::from_utf8(payload).map_err(|_| bad("frame is not UTF-8"))?;
+        let json = Json::parse(text).map_err(|e| bad(e.to_string()))?;
+        let op = json
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing `op`"))?;
+        match op {
+            "ping" => Ok(Request::Ping),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            "analyze" => {
+                let files = json
+                    .get("files")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| bad("analyze needs a `files` array"))?
+                    .iter()
+                    .map(|f| {
+                        let path = f
+                            .get("path")
+                            .and_then(Json::as_str)
+                            .ok_or_else(|| bad("file entry needs `path`"))?;
+                        let source = f
+                            .get("source")
+                            .and_then(Json::as_str)
+                            .ok_or_else(|| bad("file entry needs `source`"))?;
+                        Ok(AnalyzeFile {
+                            path: path.to_string(),
+                            source: source.to_string(),
+                        })
+                    })
+                    .collect::<Result<Vec<_>, ProtoError>>()?;
+                let cache_cap = match json.get("cache_cap") {
+                    None | Some(Json::Null) => None,
+                    Some(v) => Some(
+                        v.as_i64()
+                            .and_then(|n| usize::try_from(n).ok())
+                            .ok_or_else(|| bad("`cache_cap` must be a non-negative integer"))?,
+                    ),
+                };
+                Ok(Request::Analyze { files, cache_cap })
+            }
+            other => Err(bad(format!("unknown op `{other}`"))),
+        }
+    }
+}
+
+impl Response {
+    /// Encodes to a JSON frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let json = match self {
+            Response::Pong => Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("op", Json::Str("pong".into())),
+            ]),
+            Response::ShutdownAck => Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("op", Json::Str("shutdown".into())),
+            ]),
+            Response::Stats(stats) => Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("op", Json::Str("stats".into())),
+                ("stats", stats.clone()),
+            ]),
+            Response::Analyze {
+                output,
+                functions,
+                analyzed,
+                cached,
+                errors,
+            } => Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("op", Json::Str("analyze".into())),
+                ("output", Json::Str(output.clone())),
+                ("functions", Json::Int(*functions as i64)),
+                ("analyzed", Json::Int(*analyzed as i64)),
+                ("cached", Json::Int(*cached as i64)),
+                (
+                    "errors",
+                    Json::Arr(
+                        errors
+                            .iter()
+                            .map(|e| {
+                                Json::obj(vec![
+                                    ("path", Json::Str(e.path.clone())),
+                                    ("message", Json::Str(e.message.clone())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Response::Busy { retry_after_ms } => Json::obj(vec![
+                ("ok", Json::Bool(false)),
+                ("error", Json::Str("busy".into())),
+                ("retry_after_ms", Json::Int(*retry_after_ms as i64)),
+            ]),
+            Response::Error { kind, message } => Json::obj(vec![
+                ("ok", Json::Bool(false)),
+                ("error", Json::Str(kind.clone())),
+                ("message", Json::Str(message.clone())),
+            ]),
+        };
+        json.to_text().into_bytes()
+    }
+
+    /// Decodes a response frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Response, ProtoError> {
+        let text = std::str::from_utf8(payload).map_err(|_| bad("frame is not UTF-8"))?;
+        let json = Json::parse(text).map_err(|e| bad(e.to_string()))?;
+        let ok = json
+            .get("ok")
+            .and_then(Json::as_bool)
+            .ok_or_else(|| bad("missing `ok`"))?;
+        if !ok {
+            let kind = json
+                .get("error")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("failure without `error`"))?;
+            if kind == "busy" {
+                let retry_after_ms = json
+                    .get("retry_after_ms")
+                    .and_then(Json::as_i64)
+                    .unwrap_or(50)
+                    .max(0) as u64;
+                return Ok(Response::Busy { retry_after_ms });
+            }
+            let message = json
+                .get("message")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string();
+            return Ok(Response::Error {
+                kind: kind.to_string(),
+                message,
+            });
+        }
+        let op = json
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("success without `op`"))?;
+        match op {
+            "pong" => Ok(Response::Pong),
+            "shutdown" => Ok(Response::ShutdownAck),
+            "stats" => Ok(Response::Stats(
+                json.get("stats").cloned().unwrap_or(Json::Null),
+            )),
+            "analyze" => {
+                let output = json
+                    .get("output")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("analyze response needs `output`"))?
+                    .to_string();
+                let int = |key: &str| {
+                    json.get(key)
+                        .and_then(Json::as_i64)
+                        .and_then(|n| usize::try_from(n).ok())
+                        .ok_or_else(|| bad(format!("analyze response needs `{key}`")))
+                };
+                let errors = json
+                    .get("errors")
+                    .and_then(Json::as_arr)
+                    .unwrap_or(&[])
+                    .iter()
+                    .map(|e| {
+                        Ok(FileError {
+                            path: e
+                                .get("path")
+                                .and_then(Json::as_str)
+                                .ok_or_else(|| bad("error entry needs `path`"))?
+                                .to_string(),
+                            message: e
+                                .get("message")
+                                .and_then(Json::as_str)
+                                .unwrap_or("")
+                                .to_string(),
+                        })
+                    })
+                    .collect::<Result<Vec<_>, ProtoError>>()?;
+                Ok(Response::Analyze {
+                    output,
+                    functions: int("functions")?,
+                    analyzed: int("analyzed")?,
+                    cached: int("cached")?,
+                    errors,
+                })
+            }
+            other => Err(bad(format!("unknown response op `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip() {
+        let reqs = [
+            Request::Ping,
+            Request::Stats,
+            Request::Shutdown,
+            Request::Analyze {
+                files: vec![AnalyzeFile {
+                    path: "dir/x.biv".into(),
+                    source: "func f(n) { L1: for i = 1 to n { A[i] = i } }\n".into(),
+                }],
+                cache_cap: Some(16),
+            },
+            Request::Analyze {
+                files: vec![],
+                cache_cap: None,
+            },
+        ];
+        for r in reqs {
+            assert_eq!(Request::decode(&r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let resps = [
+            Response::Pong,
+            Response::ShutdownAck,
+            Response::Busy { retry_after_ms: 75 },
+            Response::Error {
+                kind: "timeout".into(),
+                message: "request exceeded 30s".into(),
+            },
+            Response::Stats(Json::obj(vec![("requests", Json::Int(3))])),
+            Response::Analyze {
+                output: "══ x.biv ══\nfunc f [0000000000000000]\nbatch: 1 functions\n".into(),
+                functions: 1,
+                analyzed: 1,
+                cached: 0,
+                errors: vec![FileError {
+                    path: "bad.biv".into(),
+                    message: "bad.biv: parse error: …".into(),
+                }],
+            },
+        ];
+        for r in resps {
+            assert_eq!(Response::decode(&r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn malformed_frames_fail_cleanly() {
+        assert!(Request::decode(b"not json").is_err());
+        assert!(Request::decode(b"{}").is_err());
+        assert!(Request::decode(br#"{"op":"launch-missiles"}"#).is_err());
+        assert!(Request::decode(br#"{"op":"analyze"}"#).is_err());
+        assert!(Response::decode(br#"{"op":"pong"}"#).is_err());
+        assert!(Request::decode(&[0xff, 0xfe]).is_err());
+    }
+}

@@ -1,0 +1,804 @@
+//! The resident analysis server.
+//!
+//! ```text
+//!  accept loop (polls, watches the drain flag)
+//!      └─ connection handler thread per client
+//!            ├─ ping / stats / shutdown: answered inline
+//!            └─ analyze: bounded queue ── worker pool ── shared
+//!               StructuralCache (warm across requests)
+//! ```
+//!
+//! Design rules, in order:
+//!
+//! 1. **Determinism** — analyze responses are byte-identical to a local
+//!    `bivc` batch run: summaries are canonical (so cache warmth cannot
+//!    leak into them) and the rendered stats line is a cold-run replay
+//!    ([`biv_core::cold_batch_stats`]), never the warm cache's view.
+//! 2. **Explicit backpressure** — a full queue answers `busy` with a
+//!    `retry_after_ms` hint immediately; the server never buffers
+//!    unbounded work.
+//! 3. **Bounded everything** — requests carry a wall-clock timeout (the
+//!    handler answers `timeout` and the worker's late result is
+//!    discarded, not the worker), reads poll so drain cannot hang on an
+//!    idle client, and drain itself grants a grace period per
+//!    connection.
+//! 4. **No dropped accepted work** — a request that was queued is
+//!    always analyzed and answered, including during drain; requests
+//!    arriving after drain began get an explicit `draining` error.
+
+use std::io::{self, Read};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::{Duration, Instant};
+
+use biv_core::{
+    analyze_batch_shared, cold_batch_stats, render_grouped, resolve_jobs, AnalysisConfig,
+    BatchOptions, StructuralCache,
+};
+use biv_ir::parser::parse_program;
+use biv_ir::Function;
+
+use crate::frame::{write_frame, MAX_FRAME_BYTES};
+use crate::metrics::{CacheGauges, Metrics, PhaseSample};
+use crate::net::{Conn, Endpoint, Listener};
+use crate::pool::{JobQueue, PushError};
+use crate::proto::{AnalyzeFile, FileError, Request, Response};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Where to listen.
+    pub endpoint: Endpoint,
+    /// Worker threads; `0` resolves like `bivc --jobs 0` (the
+    /// `BIV_JOBS` variable, then available parallelism).
+    pub workers: usize,
+    /// Bounded queue capacity; pushes beyond it answer `busy`.
+    pub queue_cap: usize,
+    /// Shared structural-cache capacity.
+    pub cache_cap: usize,
+    /// Per-request wall-clock budget, queue wait included.
+    pub request_timeout: Duration,
+    /// Largest accepted frame payload.
+    pub max_frame_bytes: usize,
+    /// Accept-loop and idle-read poll interval.
+    pub poll_interval: Duration,
+    /// How long a mid-frame read may continue once drain has begun.
+    pub drain_grace: Duration,
+}
+
+impl ServerConfig {
+    /// Defaults for an endpoint: auto workers, queue of 64, the batch
+    /// driver's default cache capacity, 30 s request timeout.
+    pub fn new(endpoint: Endpoint) -> ServerConfig {
+        ServerConfig {
+            endpoint,
+            workers: 0,
+            queue_cap: 64,
+            cache_cap: BatchOptions::default().cache_capacity,
+            request_timeout: Duration::from_secs(30),
+            max_frame_bytes: MAX_FRAME_BYTES,
+            poll_interval: Duration::from_millis(25),
+            drain_grace: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Final counters reported when [`Server::run`] returns after drain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeSummary {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Request frames decoded.
+    pub requests: u64,
+    /// Analyze requests answered with a report.
+    pub analyze_ok: u64,
+    /// Requests answered `busy`.
+    pub rejected_busy: u64,
+    /// Requests answered `timeout`.
+    pub timeouts: u64,
+}
+
+impl std::fmt::Display for ServeSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} connections, {} requests, {} analyzed, {} busy-rejected, {} timed out",
+            self.connections, self.requests, self.analyze_ok, self.rejected_busy, self.timeouts
+        )
+    }
+}
+
+/// One queued analyze request.
+struct Job {
+    files: Vec<AnalyzeFile>,
+    cache_cap: Option<usize>,
+    submitted: Instant,
+    reply: mpsc::Sender<Response>,
+}
+
+/// State shared by the accept loop, handlers, and workers.
+struct Shared<'a> {
+    config: &'a ServerConfig,
+    workers: usize,
+    queue: JobQueue<Job>,
+    cache: Mutex<StructuralCache>,
+    metrics: Metrics,
+    shutdown: &'a AtomicBool,
+}
+
+/// A bound, not-yet-serving server.
+pub struct Server {
+    listener: Listener,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// Binds the configured endpoint (replacing a stale Unix socket
+    /// file, refusing a live one).
+    pub fn bind(config: ServerConfig) -> io::Result<Server> {
+        let listener = Listener::bind(&config.endpoint)?;
+        Ok(Server { listener, config })
+    }
+
+    /// Where the server actually listens — resolves TCP port 0.
+    pub fn bound_endpoint(&self) -> String {
+        self.listener.bound_endpoint()
+    }
+
+    /// The resolved worker count.
+    pub fn workers(&self) -> usize {
+        resolve_jobs(self.config.workers)
+    }
+
+    /// Serves until `shutdown` becomes true (SIGINT/SIGTERM via
+    /// [`crate::signal::install`], or a protocol `shutdown` request),
+    /// then drains: stops accepting, finishes every queued request,
+    /// answers it, and returns the final counters.
+    pub fn run(self, shutdown: &AtomicBool) -> io::Result<ServeSummary> {
+        let Server { listener, config } = self;
+        let workers = resolve_jobs(config.workers);
+        let shared = Shared {
+            config: &config,
+            workers,
+            queue: JobQueue::new(config.queue_cap),
+            cache: Mutex::new(StructuralCache::new(config.cache_cap)),
+            metrics: Metrics::new(),
+            shutdown,
+        };
+        listener.set_nonblocking(true)?;
+
+        std::thread::scope(|scope| {
+            let shared = &shared;
+            let mut worker_handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                worker_handles.push(scope.spawn(move || worker_loop(shared)));
+            }
+
+            let mut handlers = Vec::new();
+            while !shutdown.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok(conn) => {
+                        shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+                        handlers.push(scope.spawn(move || handle_conn(shared, conn)));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(config.poll_interval);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        // Transient accept failures (EMFILE under load)
+                        // must not kill the daemon; back off and retry.
+                        eprintln!("bivd: accept error: {e}");
+                        std::thread::sleep(config.poll_interval);
+                    }
+                }
+                // Finished handler threads are detached; the scope still
+                // guarantees they are joined before `run` returns.
+                if handlers.len() >= 64 {
+                    handlers.retain(|h| !h.is_finished());
+                }
+            }
+
+            // Drain: stop accepting (close + unlink the endpoint so new
+            // connects fail fast), let every handler finish its in-flight
+            // request, then release the workers once the queue is empty.
+            drop(listener);
+            if let Endpoint::Unix(path) = &config.endpoint {
+                std::fs::remove_file(path).ok();
+            }
+            for handler in handlers {
+                let _ = handler.join();
+            }
+            shared.queue.close();
+            for worker in worker_handles {
+                let _ = worker.join();
+            }
+
+            Ok(ServeSummary {
+                connections: shared.metrics.connections.load(Ordering::Relaxed),
+                requests: shared.metrics.requests.load(Ordering::Relaxed),
+                analyze_ok: shared.metrics.analyze_ok.load(Ordering::Relaxed),
+                rejected_busy: shared.metrics.rejected_busy.load(Ordering::Relaxed),
+                timeouts: shared.metrics.timeouts.load(Ordering::Relaxed),
+            })
+        })
+    }
+}
+
+/// One worker: pop, parse, classify through the shared cache, render,
+/// reply. A send failure means the request already timed out or its
+/// connection died — the result is discarded and the worker moves on
+/// (this is the whole worker-recovery story: workers never carry state
+/// from one request into the next).
+fn worker_loop(shared: &Shared<'_>) {
+    let opts = BatchOptions {
+        jobs: 1, // request-level parallelism comes from the pool itself
+        config: AnalysisConfig::default(),
+        cache_capacity: shared.config.cache_cap,
+    };
+    while let Some(job) = shared.queue.pop() {
+        let queue_wait = job.submitted.elapsed();
+
+        let t = Instant::now();
+        let mut funcs: Vec<Function> = Vec::new();
+        let mut ranges: Vec<(String, usize)> = Vec::new();
+        let mut errors: Vec<FileError> = Vec::new();
+        for file in &job.files {
+            match parse_program(&file.source) {
+                Ok(program) => {
+                    ranges.push((file.path.clone(), program.functions.len()));
+                    funcs.extend(program.functions);
+                }
+                Err(e) => errors.push(FileError {
+                    path: file.path.clone(),
+                    message: format!("{}: parse error: {e}", file.path),
+                }),
+            }
+        }
+        let parse = t.elapsed();
+
+        let t = Instant::now();
+        let report = analyze_batch_shared(&funcs, &opts, &shared.cache);
+        let analyze = t.elapsed();
+
+        let t = Instant::now();
+        // The rendered stats line replays a cold cache at the client's
+        // capacity, so the output never depends on what earlier requests
+        // warmed — see the module docs. Cumulative warm counters remain
+        // visible through `stats`.
+        let hashes: Vec<u64> = report.functions.iter().map(|f| f.hash).collect();
+        let replay_cap = job
+            .cache_cap
+            .unwrap_or_else(|| BatchOptions::default().cache_capacity);
+        let cold = cold_batch_stats(&hashes, replay_cap);
+        let output = render_grouped(&ranges, &report.functions, &cold);
+        let render = t.elapsed();
+
+        shared
+            .metrics
+            .functions
+            .fetch_add(report.stats.functions as u64, Ordering::Relaxed);
+        shared.metrics.analyze_ok.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.record_phases(PhaseSample {
+            queue_wait,
+            parse,
+            analyze,
+            render,
+            total: job.submitted.elapsed(),
+        });
+
+        let response = Response::Analyze {
+            output,
+            functions: report.stats.functions,
+            analyzed: report.stats.misses,
+            cached: report.stats.hits,
+            errors,
+        };
+        if job.reply.send(response).is_err() {
+            shared.metrics.late_results.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Serves one connection until the peer closes, an error occurs, or
+/// drain begins.
+fn handle_conn(shared: &Shared<'_>, mut conn: Conn) {
+    if conn
+        .set_read_timeout(Some(shared.config.poll_interval))
+        .is_err()
+    {
+        return;
+    }
+    loop {
+        let draining = shared.shutdown.load(Ordering::Relaxed);
+        let payload = match read_frame_polling(shared, &mut conn) {
+            Ok(Some(payload)) => payload,
+            Ok(None) | Err(_) => return,
+        };
+        // A frame read after drain was observed is answered, not served:
+        // the client gets an explicit rejection instead of a hang or a
+        // silent drop, and the connection closes.
+        if draining {
+            let _ = respond(
+                &mut conn,
+                &Response::Error {
+                    kind: "draining".into(),
+                    message: "server is draining; retry against a fresh instance".into(),
+                },
+            );
+            return;
+        }
+        let request = match Request::decode(&payload) {
+            Ok(request) => {
+                shared.metrics.requests.fetch_add(1, Ordering::Relaxed);
+                request
+            }
+            Err(e) => {
+                shared.metrics.bad_requests.fetch_add(1, Ordering::Relaxed);
+                let ok = respond(
+                    &mut conn,
+                    &Response::Error {
+                        kind: "bad-request".into(),
+                        message: e.to_string(),
+                    },
+                );
+                if ok.is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let sent = match request {
+            Request::Ping => respond(&mut conn, &Response::Pong),
+            Request::Stats => respond(&mut conn, &Response::Stats(stats_json(shared))),
+            Request::Shutdown => {
+                // Ack first so the requester sees the drain begin, then
+                // flip the flag the accept loop polls.
+                let sent = respond(&mut conn, &Response::ShutdownAck);
+                shared.shutdown.store(true, Ordering::Relaxed);
+                sent
+            }
+            Request::Analyze { files, cache_cap } => {
+                let response = serve_analyze(shared, files, cache_cap);
+                respond(&mut conn, &response)
+            }
+        };
+        if sent.is_err() {
+            return;
+        }
+    }
+}
+
+/// Submits an analyze request to the pool and waits, bounded by the
+/// request timeout.
+fn serve_analyze(
+    shared: &Shared<'_>,
+    files: Vec<AnalyzeFile>,
+    cache_cap: Option<usize>,
+) -> Response {
+    let (reply, result) = mpsc::channel();
+    let job = Job {
+        files,
+        cache_cap,
+        submitted: Instant::now(),
+        reply,
+    };
+    match shared.queue.try_push(job) {
+        Ok(()) => {
+            shared
+                .metrics
+                .analyze_accepted
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        Err(PushError::Full(_)) => {
+            shared.metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
+            return Response::Busy {
+                retry_after_ms: retry_hint_ms(shared),
+            };
+        }
+        Err(PushError::Closed(_)) => {
+            return Response::Error {
+                kind: "draining".into(),
+                message: "server is draining; retry against a fresh instance".into(),
+            };
+        }
+    }
+    match result.recv_timeout(shared.config.request_timeout) {
+        Ok(response) => response,
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            shared.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+            Response::Error {
+                kind: "timeout".into(),
+                message: format!(
+                    "request exceeded {} ms (queue wait included); the result will be discarded",
+                    shared.config.request_timeout.as_millis()
+                ),
+            }
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => Response::Error {
+            kind: "internal".into(),
+            message: "worker dropped the request".into(),
+        },
+    }
+}
+
+/// The backpressure hint: roughly how long until a queue slot frees up,
+/// from the live p50 end-to-end latency and the current depth.
+fn retry_hint_ms(shared: &Shared<'_>) -> u64 {
+    let p50 = shared.metrics.total_p50().as_millis() as u64;
+    let per_request = if p50 == 0 { 50 } else { p50 };
+    let depth = shared.queue.depth() as u64;
+    (per_request * (depth + 1) / shared.workers.max(1) as u64).clamp(10, 5_000)
+}
+
+/// Builds the live `stats` payload.
+fn stats_json(shared: &Shared<'_>) -> crate::json::Json {
+    let cache = shared.cache.lock().expect("structural cache poisoned");
+    let gauges = CacheGauges {
+        hits: cache.hits(),
+        misses: cache.misses(),
+        evictions: cache.evictions(),
+        entries: cache.len(),
+        capacity: cache.capacity(),
+    };
+    drop(cache);
+    shared.metrics.snapshot_json(
+        shared.queue.depth(),
+        shared.queue.capacity(),
+        gauges,
+        shared.workers,
+    )
+}
+
+fn respond(conn: &mut Conn, response: &Response) -> io::Result<()> {
+    write_frame(conn, &response.encode())
+}
+
+/// Reads one frame from a connection whose read timeout is the poll
+/// interval, so drain is always observed within one poll:
+///
+/// - idle (no prefix byte yet) + drain → clean close (`Ok(None)`);
+/// - mid-frame + drain → the peer gets `drain_grace` to finish the
+///   frame, then the read fails and the connection closes.
+fn read_frame_polling(shared: &Shared<'_>, conn: &mut Conn) -> io::Result<Option<Vec<u8>>> {
+    let mut grace_deadline: Option<Instant> = None;
+    let mut prefix = [0u8; 4];
+    if !read_full_polling(shared, conn, &mut prefix, true, &mut grace_deadline)? {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > shared.config.max_frame_bytes {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "frame of {len} bytes exceeds the {}-byte limit",
+                shared.config.max_frame_bytes
+            ),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    read_full_polling(shared, conn, &mut payload, false, &mut grace_deadline)?;
+    Ok(Some(payload))
+}
+
+/// Fills `buf`, retrying poll timeouts. Returns `false` only when
+/// `eof_ok` and the stream ended (or drain began) before the first
+/// byte.
+fn read_full_polling(
+    shared: &Shared<'_>,
+    conn: &mut Conn,
+    buf: &mut [u8],
+    eof_ok: bool,
+    grace_deadline: &mut Option<Instant>,
+) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match conn.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if eof_ok && filled == 0 {
+                    return Ok(false);
+                }
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream ended mid-frame",
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    if eof_ok && filled == 0 {
+                        // Idle connection during drain: close cleanly.
+                        return Ok(false);
+                    }
+                    let deadline = *grace_deadline
+                        .get_or_insert_with(|| Instant::now() + shared.config.drain_grace);
+                    if Instant::now() >= deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "drain grace expired mid-frame",
+                        ));
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use crate::json::Json;
+    use std::sync::atomic::AtomicBool;
+
+    const SRC: &str = "func f(n) { j = 1 L1: for i = 1 to n { j = j + i A[j] = i } }\n";
+
+    fn spawn_server(mut config: ServerConfig) -> (String, std::thread::JoinHandle<ServeSummary>) {
+        config.endpoint = Endpoint::Tcp("127.0.0.1:0".into());
+        let server = Server::bind(config).expect("bind 127.0.0.1:0");
+        let endpoint = server.bound_endpoint();
+        let flag: &'static AtomicBool = Box::leak(Box::new(AtomicBool::new(false)));
+        let handle = std::thread::spawn(move || server.run(flag).expect("server run"));
+        (endpoint, handle)
+    }
+
+    fn files(n: usize) -> Vec<AnalyzeFile> {
+        (0..n)
+            .map(|i| AnalyzeFile {
+                path: format!("mem/{i}.biv"),
+                source: SRC.to_string(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn ping_analyze_stats_shutdown_roundtrip() {
+        let mut config = ServerConfig::new(Endpoint::Tcp(String::new()));
+        config.workers = 2;
+        let (endpoint, handle) = spawn_server(config);
+        let mut client = Client::connect(&Endpoint::parse(&endpoint)).unwrap();
+        assert_eq!(client.request(&Request::Ping).unwrap(), Response::Pong);
+
+        let response = client
+            .request(&Request::Analyze {
+                files: files(2),
+                cache_cap: None,
+            })
+            .unwrap();
+        let Response::Analyze {
+            output,
+            functions,
+            analyzed,
+            cached,
+            errors,
+        } = response
+        else {
+            panic!("expected analyze response");
+        };
+        assert_eq!((functions, analyzed, cached), (2, 1, 1));
+        assert!(errors.is_empty());
+        assert!(output.starts_with("══ mem/0.biv ══\n"));
+        assert!(output.contains("══ mem/1.biv ══\n"));
+        assert!(
+            output.ends_with("batch: 2 functions, 1 analyzed, 1 cache hits, 0 evictions\n"),
+            "stats line replays a cold cache:\n{output}"
+        );
+
+        // A second identical request is warm (cache hits) but renders
+        // the exact same bytes.
+        let again = client
+            .request(&Request::Analyze {
+                files: files(2),
+                cache_cap: None,
+            })
+            .unwrap();
+        let Response::Analyze {
+            output: warm_output,
+            analyzed: warm_analyzed,
+            ..
+        } = again
+        else {
+            panic!("expected analyze response");
+        };
+        assert_eq!(warm_analyzed, 0, "served from the warm cache");
+        assert_eq!(warm_output, output, "warmth never changes the bytes");
+
+        let Response::Stats(stats) = client.request(&Request::Stats).unwrap() else {
+            panic!("expected stats");
+        };
+        let cache = stats.get("cache").unwrap();
+        let hits = cache.get("hits").unwrap().as_i64().unwrap();
+        let misses = cache.get("misses").unwrap().as_i64().unwrap();
+        let submitted = stats
+            .get("requests")
+            .unwrap()
+            .get("functions")
+            .unwrap()
+            .as_i64()
+            .unwrap();
+        assert_eq!(hits + misses, submitted, "hits + misses == functions");
+        assert_eq!(misses, 1);
+        let total = stats.get("latency").unwrap().get("total").unwrap();
+        assert_eq!(total.get("count").unwrap().as_i64(), Some(2));
+
+        assert_eq!(
+            client.request(&Request::Shutdown).unwrap(),
+            Response::ShutdownAck
+        );
+        let summary = handle.join().unwrap();
+        assert_eq!(summary.analyze_ok, 2);
+        assert!(summary.requests >= 4);
+    }
+
+    #[test]
+    fn parse_errors_are_reported_per_file() {
+        let mut config = ServerConfig::new(Endpoint::Tcp(String::new()));
+        config.workers = 1;
+        let (endpoint, handle) = spawn_server(config);
+        let mut client = Client::connect(&Endpoint::parse(&endpoint)).unwrap();
+        let response = client
+            .request(&Request::Analyze {
+                files: vec![
+                    AnalyzeFile {
+                        path: "ok.biv".into(),
+                        source: SRC.into(),
+                    },
+                    AnalyzeFile {
+                        path: "bad.biv".into(),
+                        source: "func oops {".into(),
+                    },
+                ],
+                cache_cap: None,
+            })
+            .unwrap();
+        let Response::Analyze {
+            output,
+            errors,
+            functions,
+            ..
+        } = response
+        else {
+            panic!("expected analyze response");
+        };
+        assert_eq!(functions, 1, "the good file is still analyzed");
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].path, "bad.biv");
+        assert!(errors[0].message.contains("parse error"));
+        assert!(output.contains("══ ok.biv ══"));
+        assert!(!output.contains("bad.biv"), "failed files get no header");
+        client.request(&Request::Shutdown).unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn zero_capacity_queue_answers_busy_with_retry_hint() {
+        let mut config = ServerConfig::new(Endpoint::Tcp(String::new()));
+        config.workers = 1;
+        config.queue_cap = 0;
+        let (endpoint, handle) = spawn_server(config);
+        let mut client = Client::connect(&Endpoint::parse(&endpoint)).unwrap();
+        let response = client
+            .request(&Request::Analyze {
+                files: files(1),
+                cache_cap: None,
+            })
+            .unwrap();
+        let Response::Busy { retry_after_ms } = response else {
+            panic!("expected busy, got {response:?}");
+        };
+        assert!(retry_after_ms >= 10);
+        let Response::Stats(stats) = client.request(&Request::Stats).unwrap() else {
+            panic!("expected stats");
+        };
+        let rejected = stats
+            .get("requests")
+            .unwrap()
+            .get("rejected_busy")
+            .unwrap()
+            .as_i64()
+            .unwrap();
+        assert_eq!(rejected, 1);
+        client.request(&Request::Shutdown).unwrap();
+        let summary = handle.join().unwrap();
+        assert_eq!(summary.rejected_busy, 1);
+    }
+
+    #[test]
+    fn request_timeout_recovers_the_worker() {
+        let mut config = ServerConfig::new(Endpoint::Tcp(String::new()));
+        config.workers = 1;
+        config.request_timeout = Duration::ZERO;
+        let (endpoint, handle) = spawn_server(config);
+        let mut client = Client::connect(&Endpoint::parse(&endpoint)).unwrap();
+        let response = client
+            .request(&Request::Analyze {
+                files: files(4),
+                cache_cap: None,
+            })
+            .unwrap();
+        let Response::Error { kind, .. } = response else {
+            panic!("expected timeout, got {response:?}");
+        };
+        assert_eq!(kind, "timeout");
+        // The worker discards the late result and keeps serving: give it
+        // a moment, then confirm with a normal-timeout server op.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let Response::Stats(stats) = client.request(&Request::Stats).unwrap() else {
+                panic!("expected stats");
+            };
+            let late = stats
+                .get("requests")
+                .unwrap()
+                .get("late_results")
+                .unwrap()
+                .as_i64()
+                .unwrap();
+            if late >= 1 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "late result never recorded");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        client.request(&Request::Shutdown).unwrap();
+        let summary = handle.join().unwrap();
+        assert_eq!(summary.timeouts, 1);
+    }
+
+    #[test]
+    fn bad_frames_answer_bad_request_and_keep_the_connection() {
+        let mut config = ServerConfig::new(Endpoint::Tcp(String::new()));
+        config.workers = 1;
+        let (endpoint, handle) = spawn_server(config);
+        let endpoint = Endpoint::parse(&endpoint);
+        let mut conn = Conn::connect(&endpoint).unwrap();
+        write_frame(&mut conn, b"this is not json").unwrap();
+        let payload = crate::frame::read_frame(&mut conn, MAX_FRAME_BYTES)
+            .unwrap()
+            .unwrap();
+        let response = Response::decode(&payload).unwrap();
+        let Response::Error { kind, .. } = response else {
+            panic!("expected error, got {response:?}");
+        };
+        assert_eq!(kind, "bad-request");
+        // The same connection still serves a valid request.
+        write_frame(&mut conn, &Request::Ping.encode()).unwrap();
+        let payload = crate::frame::read_frame(&mut conn, MAX_FRAME_BYTES)
+            .unwrap()
+            .unwrap();
+        assert_eq!(Response::decode(&payload).unwrap(), Response::Pong);
+        write_frame(&mut conn, &Request::Shutdown.encode()).unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn stats_payload_is_json_parsable_end_to_end() {
+        let mut config = ServerConfig::new(Endpoint::Tcp(String::new()));
+        config.workers = 1;
+        let (endpoint, handle) = spawn_server(config);
+        let mut client = Client::connect(&Endpoint::parse(&endpoint)).unwrap();
+        let Response::Stats(stats) = client.request(&Request::Stats).unwrap() else {
+            panic!("expected stats");
+        };
+        assert_eq!(Json::parse(&stats.to_text()).unwrap(), stats);
+        assert_eq!(
+            stats
+                .get("queue")
+                .unwrap()
+                .get("capacity")
+                .unwrap()
+                .as_i64(),
+            Some(64)
+        );
+        client.request(&Request::Shutdown).unwrap();
+        handle.join().unwrap();
+    }
+}

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! bivc [--ssa] [--classes] [--deps] [--trip-counts] [--classic] [--dot] FILE
-//! bivc [--jobs N] [--batch] FILE|DIR...   # parallel batch analysis
+//! bivc [--jobs N] [--batch] [--cache-cap N] FILE|DIR...   # parallel batch analysis
+//! bivc --remote ENDPOINT FILE|DIR...      # submit the batch to a running bivd
 //! bivc --demo                             # run the built-in Figure 1 demo
 //! ```
 //!
@@ -18,16 +19,26 @@
 //! cache) and printed as canonical per-function summaries followed by a
 //! cache statistics line. Batch output is byte-identical for every job
 //! count. `BIV_JOBS` sets the default worker count.
+//!
+//! Batch mode never aborts on a bad input: unreadable or unparsable
+//! files are reported individually on stderr, every remaining file is
+//! still analyzed, and the exit code is nonzero.
+//!
+//! `--remote ENDPOINT` (a Unix socket path, or `tcp:HOST:PORT`) sends
+//! the batch to a running `bivd` instead of analyzing in-process. The
+//! stdout bytes are identical to a local run over the same files — the
+//! daemon's warm cache changes latency, never output.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use biv::core_analysis::{
-    analyze, analyze_batch, analyze_with_times, describe_class, resolve_jobs, AnalysisConfig,
-    BatchOptions, PhaseTimes,
+    analyze, analyze_batch, analyze_with_times, describe_class, render_grouped, resolve_jobs,
+    AnalysisConfig, BatchOptions, PhaseTimes,
 };
 use biv::ir::parser::parse_program;
 use biv::ir::Function;
+use biv::server::{AnalyzeFile, Client, Endpoint, Response};
 
 struct Options {
     dot: bool,
@@ -39,10 +50,12 @@ struct Options {
     batch: bool,
     time: bool,
     jobs: usize,
+    cache_cap: Option<usize>,
+    remote: Option<String>,
     paths: Vec<String>,
 }
 
-const USAGE: &str = "usage: bivc [--ssa] [--classes] [--deps] [--trip-counts] [--classic] [--dot] [--time] FILE\n       bivc [--jobs N] [--batch] [--time] FILE|DIR...\n       bivc --demo";
+const USAGE: &str = "usage: bivc [--ssa] [--classes] [--deps] [--trip-counts] [--classic] [--dot] [--time] FILE\n       bivc [--jobs N] [--batch] [--cache-cap N] [--time] FILE|DIR...\n       bivc --remote ENDPOINT [--cache-cap N] FILE|DIR...\n       bivc --demo";
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
@@ -55,6 +68,8 @@ fn parse_args() -> Result<Options, String> {
         batch: false,
         time: false,
         jobs: 0,
+        cache_cap: None,
+        remote: None,
         paths: Vec::new(),
     };
     let mut any_flag = false;
@@ -96,6 +111,20 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|_| format!("invalid --jobs value `{value}`"))?;
                 opts.batch = true;
             }
+            "--cache-cap" => {
+                let value = args.next().ok_or("--cache-cap needs a value")?;
+                opts.cache_cap = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("invalid --cache-cap value `{value}`"))?,
+                );
+                opts.batch = true;
+            }
+            "--remote" => {
+                let value = args.next().ok_or("--remote needs an endpoint")?;
+                opts.remote = Some(value);
+                opts.batch = true;
+            }
             "--demo" => demo = true,
             "--help" | "-h" => return Err(USAGE.into()),
             path if !path.starts_with('-') => opts.paths.push(path.to_string()),
@@ -104,6 +133,16 @@ fn parse_args() -> Result<Options, String> {
                     opts.jobs = value
                         .parse()
                         .map_err(|_| format!("invalid --jobs value `{value}`"))?;
+                    opts.batch = true;
+                } else if let Some(value) = other.strip_prefix("--cache-cap=") {
+                    opts.cache_cap = Some(
+                        value
+                            .parse()
+                            .map_err(|_| format!("invalid --cache-cap value `{value}`"))?,
+                    );
+                    opts.batch = true;
+                } else if let Some(value) = other.strip_prefix("--remote=") {
+                    opts.remote = Some(value.to_string());
                     opts.batch = true;
                 } else {
                     return Err(format!("unknown flag `{other}` (try --help)"));
@@ -138,18 +177,29 @@ func fig1(n, c, k) {
 /// Expands the input paths: files pass through, directories contribute
 /// their `.biv` files (sorted by name, non-recursive then recursive
 /// subdirectories, also sorted) so the batch order is deterministic.
-fn expand_inputs(paths: &[String]) -> Result<Vec<String>, String> {
+/// Unreadable paths become per-file errors, not aborts.
+fn expand_inputs(paths: &[String], errors: &mut Vec<String>) -> Vec<String> {
     let mut out = Vec::new();
     for path in paths {
-        let meta = std::fs::metadata(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        let meta = match std::fs::metadata(path) {
+            Ok(meta) => meta,
+            Err(e) => {
+                errors.push(format!("cannot read `{path}`: {e}"));
+                continue;
+            }
+        };
         if meta.is_dir() {
             let mut stack = vec![path.clone()];
             while let Some(dir) = stack.pop() {
-                let mut entries: Vec<_> = std::fs::read_dir(&dir)
-                    .map_err(|e| format!("cannot read directory `{dir}`: {e}"))?
-                    .filter_map(|e| e.ok())
-                    .map(|e| e.path())
-                    .collect();
+                let entries = match std::fs::read_dir(&dir) {
+                    Ok(entries) => entries,
+                    Err(e) => {
+                        errors.push(format!("cannot read directory `{dir}`: {e}"));
+                        continue;
+                    }
+                };
+                let mut entries: Vec<_> =
+                    entries.filter_map(|e| e.ok()).map(|e| e.path()).collect();
                 entries.sort();
                 for entry in entries {
                     let display = entry.to_string_lossy().into_owned();
@@ -164,32 +214,63 @@ fn expand_inputs(paths: &[String]) -> Result<Vec<String>, String> {
             out.push(path.clone());
         }
     }
-    if out.is_empty() {
-        return Err("no input files found".into());
-    }
-    Ok(out)
+    out
 }
 
 /// The parallel batch mode: all functions from all files, classified
-/// through the sharded, cached batch driver.
-fn run_batch(opts: &Options) -> Result<(), String> {
+/// through the sharded, cached batch driver — in-process by default,
+/// or by a running `bivd` with `--remote`. Either way the stdout bytes
+/// are the same. Returns the number of per-file errors (already printed
+/// to stderr); any error makes the exit code nonzero, but every
+/// readable, parsable file is still analyzed.
+fn run_batch(opts: &Options) -> Result<usize, String> {
+    let mut errors: Vec<String> = Vec::new();
+    let files = expand_inputs(&opts.paths, &mut errors);
+    if files.is_empty() && errors.is_empty() {
+        return Err("no input files found".into());
+    }
+    let output = match &opts.remote {
+        Some(endpoint) => run_batch_remote(opts, endpoint, &files, &mut errors)?,
+        None => run_batch_local(opts, &files, &mut errors),
+    };
+    print!("{output}");
+    for error in &errors {
+        eprintln!("bivc: {error}");
+    }
+    Ok(errors.len())
+}
+
+/// In-process batch analysis over the readable, parsable subset of
+/// `files`; failures land in `errors`.
+fn run_batch_local(opts: &Options, files: &[String], errors: &mut Vec<String>) -> String {
     let t_parse = opts.time.then(Instant::now);
-    let files = expand_inputs(&opts.paths)?;
     let mut funcs: Vec<Function> = Vec::new();
     // (file path, functions in that file) for grouped printing.
     let mut ranges: Vec<(String, usize)> = Vec::new();
-    for path in &files {
-        let source =
-            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-        let program = parse_program(&source).map_err(|e| format!("{path}: parse error: {e}"))?;
-        ranges.push((path.clone(), program.functions.len()));
-        funcs.extend(program.functions);
+    for path in files {
+        let source = match std::fs::read_to_string(path) {
+            Ok(source) => source,
+            Err(e) => {
+                errors.push(format!("cannot read `{path}`: {e}"));
+                continue;
+            }
+        };
+        match parse_program(&source) {
+            Ok(program) => {
+                ranges.push((path.clone(), program.functions.len()));
+                funcs.extend(program.functions);
+            }
+            Err(e) => errors.push(format!("{path}: parse error: {e}")),
+        }
     }
     let parse_time = t_parse.map(|t| t.elapsed());
-    let batch_opts = BatchOptions {
+    let mut batch_opts = BatchOptions {
         jobs: opts.jobs,
         ..BatchOptions::default()
     };
+    if let Some(cap) = opts.cache_cap {
+        batch_opts.cache_capacity = cap;
+    }
     eprintln!(
         "analyzing {} functions from {} files on {} workers",
         funcs.len(),
@@ -207,16 +288,53 @@ fn run_batch(opts: &Options) -> Result<(), String> {
             t.elapsed()
         );
     }
-    let mut next = 0usize;
-    for (path, count) in &ranges {
-        println!("══ {path} ══");
-        for summary in &report.functions[next..next + count] {
-            print!("{}", summary.render());
+    render_grouped(&ranges, &report.functions, &report.stats)
+}
+
+/// Ships the batch to a `bivd` at `endpoint`. The daemon renders the
+/// same bytes a local run would (its stats line replays a cold cache at
+/// this client's `--cache-cap`), so callers cannot tell the modes apart
+/// by output — only by latency.
+fn run_batch_remote(
+    opts: &Options,
+    endpoint: &str,
+    files: &[String],
+    errors: &mut Vec<String>,
+) -> Result<String, String> {
+    let mut payload: Vec<AnalyzeFile> = Vec::new();
+    for path in files {
+        match std::fs::read_to_string(path) {
+            Ok(source) => payload.push(AnalyzeFile {
+                path: path.clone(),
+                source,
+            }),
+            Err(e) => errors.push(format!("cannot read `{path}`: {e}")),
         }
-        next += count;
     }
-    println!("{}", report.stats.render());
-    Ok(())
+    let endpoint = Endpoint::parse(endpoint);
+    let mut client =
+        Client::connect(&endpoint).map_err(|e| format!("cannot connect to {endpoint}: {e}"))?;
+    eprintln!("analyzing {} files via {endpoint}", payload.len());
+    let response = client
+        .analyze(payload, opts.cache_cap)
+        .map_err(|e| format!("remote analysis via {endpoint} failed: {e}"))?;
+    match response {
+        Response::Analyze {
+            output,
+            errors: remote_errors,
+            ..
+        } => {
+            errors.extend(remote_errors.into_iter().map(|e| e.message));
+            Ok(output)
+        }
+        Response::Busy { retry_after_ms } => Err(format!(
+            "server at {endpoint} is saturated (busy even after retries; last hint {retry_after_ms} ms)"
+        )),
+        Response::Error { kind, message } => {
+            Err(format!("server at {endpoint} refused the batch ({kind}): {message}"))
+        }
+        other => Err(format!("unexpected response from {endpoint}: {other:?}")),
+    }
 }
 
 fn main() -> ExitCode {
@@ -235,7 +353,8 @@ fn main() -> ExitCode {
             .is_some_and(|m| m.is_dir());
     if opts.batch || multiple_inputs {
         return match run_batch(&opts) {
-            Ok(()) => ExitCode::SUCCESS,
+            Ok(0) => ExitCode::SUCCESS,
+            Ok(_) => ExitCode::FAILURE, // per-file errors already on stderr
             Err(msg) => {
                 eprintln!("{msg}");
                 ExitCode::FAILURE

@@ -1,0 +1,108 @@
+//! `bivd` — the resident induction-variable analysis daemon.
+//!
+//! ```text
+//! bivd [--socket PATH | --tcp ADDR] [--workers N] [--queue-cap N]
+//!      [--cache-cap N] [--timeout-ms N]
+//! ```
+//!
+//! Listens on a Unix socket (default `$TMPDIR/bivd.sock`) or a TCP
+//! address, serving the framed JSON protocol that `bivc --remote`
+//! speaks. A fixed pool of workers shares one structural cache, so
+//! repeated submissions of structurally identical functions are served
+//! from cache across requests and clients — while every response stays
+//! byte-identical to a local `bivc` run.
+//!
+//! The daemon drains gracefully on SIGINT, SIGTERM, or a protocol
+//! `shutdown` request: accepted work is finished and answered, new
+//! frames are refused with an explicit `draining` error, and the final
+//! counters are printed on exit.
+
+use std::process::ExitCode;
+
+use biv::server::signal;
+use biv::server::{Endpoint, Server, ServerConfig};
+
+const USAGE: &str = "usage: bivd [--socket PATH | --tcp ADDR] [--workers N] [--queue-cap N] [--cache-cap N] [--timeout-ms N]";
+
+fn default_socket() -> String {
+    std::env::temp_dir()
+        .join("bivd.sock")
+        .to_string_lossy()
+        .into_owned()
+}
+
+fn parse_args() -> Result<ServerConfig, String> {
+    let mut endpoint: Option<Endpoint> = None;
+    let mut config = ServerConfig::new(Endpoint::Unix(default_socket().into()));
+    let mut args = std::env::args().skip(1);
+    fn set_endpoint(e: Endpoint, endpoint: &mut Option<Endpoint>) -> Result<(), String> {
+        if endpoint.is_some() {
+            return Err("give at most one of --socket / --tcp".into());
+        }
+        *endpoint = Some(e);
+        Ok(())
+    }
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--socket" => {
+                let path = value("--socket")?;
+                set_endpoint(Endpoint::Unix(path.into()), &mut endpoint)?;
+            }
+            "--tcp" => {
+                let addr = value("--tcp")?;
+                set_endpoint(Endpoint::Tcp(addr), &mut endpoint)?;
+            }
+            "--workers" => config.workers = parse_num(&value("--workers")?, "--workers")?,
+            "--queue-cap" => config.queue_cap = parse_num(&value("--queue-cap")?, "--queue-cap")?,
+            "--cache-cap" => config.cache_cap = parse_num(&value("--cache-cap")?, "--cache-cap")?,
+            "--timeout-ms" => {
+                let ms: u64 = parse_num(&value("--timeout-ms")?, "--timeout-ms")?;
+                config.request_timeout = std::time::Duration::from_millis(ms);
+            }
+            "--help" | "-h" => return Err(USAGE.into()),
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    config.endpoint = endpoint.unwrap_or(Endpoint::Unix(default_socket().into()));
+    Ok(config)
+}
+
+fn parse_num<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("invalid {flag} value `{value}`"))
+}
+
+fn main() -> ExitCode {
+    let config = match parse_args() {
+        Ok(config) => config,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match Server::bind(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("bivd: cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "bivd: listening on {} ({} workers)",
+        server.bound_endpoint(),
+        server.workers()
+    );
+    let shutdown = signal::install();
+    match server.run(shutdown) {
+        Ok(summary) => {
+            eprintln!("bivd: drained: {summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bivd: serve error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -13,6 +13,7 @@
 //! | [`depend`] | `biv-depend` | dependence testing: SIV/GCD/Banerjee + periodic/monotonic/wrap-around rules |
 //! | [`transform`] | `biv-transform` | strength reduction, loop peeling, canonical counters |
 //! | [`workload`] | `biv-workload` | synthetic program generation with ground truth |
+//! | [`server`] | `biv-server` | the `bivd` analysis daemon: framed JSON protocol, worker pool, shared warm cache |
 //!
 //! # The 30-second tour
 //!
@@ -41,6 +42,7 @@ pub use biv_classic as classic;
 pub use biv_core as core_analysis;
 pub use biv_depend as depend;
 pub use biv_ir as ir;
+pub use biv_server as server;
 pub use biv_ssa as ssa;
 pub use biv_transform as transform;
 pub use biv_workload as workload;

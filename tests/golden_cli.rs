@@ -152,3 +152,90 @@ fn missing_input_fails_cleanly() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("nope.biv"));
 }
+
+#[test]
+fn cache_cap_drives_the_eviction_counter() {
+    // Unbounded (default): the golden directory's distinct structures
+    // all stay resident, so nothing is evicted.
+    let unbounded = stdout_of(&["--batch", "tests/golden"]);
+    assert!(
+        unbounded.contains(" 0 evictions"),
+        "default capacity must not evict:\n{unbounded}"
+    );
+    // A capacity of 1 must evict every distinct structure after the
+    // first; only the stats line may change.
+    let capped = stdout_of(&["--batch", "--cache-cap", "1", "tests/golden"]);
+    let body = |s: &str| s[..s.rfind("batch:").expect("stats line")].to_string();
+    assert_eq!(
+        body(&unbounded),
+        body(&capped),
+        "--cache-cap must never change the analysis itself"
+    );
+    let evictions = |s: &str| -> usize {
+        let stats = &s[s.rfind("batch:").unwrap()..];
+        let n = stats
+            .split(',')
+            .find_map(|field| field.trim().strip_suffix(" evictions"))
+            .expect("stats line ends with evictions");
+        n.trim().parse().expect("eviction count")
+    };
+    assert_eq!(evictions(&unbounded), 0);
+    assert!(
+        evictions(&capped) > 0,
+        "cap 1 with several distinct structures must evict:\n{capped}"
+    );
+    // `--cache-cap=N` spelling parses too.
+    assert_eq!(
+        capped,
+        stdout_of(&["--batch", "--cache-cap=1", "tests/golden"])
+    );
+}
+
+#[test]
+fn batch_reports_per_file_errors_and_analyzes_the_rest() {
+    let dir = std::env::temp_dir().join(format!("biv-golden-errs-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("a_bad.biv"),
+        "func broken( { this is not the language\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("b_good.biv"),
+        "func fine(n) { j = 1 L1: for i = 1 to n { j = j + i A[j] = i } }\n",
+    )
+    .unwrap();
+    let missing = dir.join("c_missing.biv");
+
+    let out = bivc(&[
+        "--batch",
+        &dir.display().to_string(),
+        &missing.display().to_string(),
+    ]);
+    assert!(
+        !out.status.success(),
+        "per-file failures must surface in the exit code"
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // The good file is fully analyzed and rendered...
+    assert!(
+        stdout.contains("b_good.biv") && stdout.contains("batch: 1 functions, 1 analyzed"),
+        "good file missing from output:\n{stdout}"
+    );
+    // ...the bad ones are reported individually, without aborting.
+    assert!(
+        stderr.contains("a_bad.biv") && stderr.contains("parse error"),
+        "parse failure not reported:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("c_missing.biv") && stderr.contains("cannot read"),
+        "read failure not reported:\n{stderr}"
+    );
+    assert!(
+        !stdout.contains("a_bad.biv"),
+        "failed files must not get output headers:\n{stdout}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
