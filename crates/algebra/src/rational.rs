@@ -266,6 +266,14 @@ impl Rational {
     pub fn ceil(&self) -> i128 {
         -((-self.num).div_euclid(self.den))
     }
+
+    /// Checked [`ceil`](Rational::ceil): `None` when a negation inside
+    /// the rounding overflows (numerator `i128::MIN`). Analysis code
+    /// that must degrade gracefully uses this alongside the other
+    /// `checked_*` methods.
+    pub fn checked_ceil(&self) -> Option<i128> {
+        self.num.checked_neg()?.div_euclid(self.den).checked_neg()
+    }
 }
 
 impl Default for Rational {

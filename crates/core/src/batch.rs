@@ -41,9 +41,10 @@ use std::sync::{mpsc, Arc, Mutex};
 
 use biv_ir::{EntityId, Function, Inst, Operand, Terminator};
 
+use crate::budget::BudgetBreach;
 use crate::config::AnalysisConfig;
 use crate::display::{canonical_value_name, describe_class_with};
-use crate::driver::analyze_with;
+use crate::driver::{analyze_protected, AnalysisError};
 
 /// Options for a batch run.
 #[derive(Debug, Clone)]
@@ -134,6 +135,34 @@ pub struct LoopSummary {
 pub struct StructuralSummary {
     /// Per-loop summaries in inner-to-outer order.
     pub loops: Vec<LoopSummary>,
+    /// Budget breaches hit while analyzing (empty with the default
+    /// unlimited budget).
+    pub breaches: Vec<BudgetBreach>,
+    /// Set when the analysis panicked: the caught payload. `loops` is
+    /// empty in that case — the function degraded to an error line, the
+    /// rest of the batch is unaffected.
+    pub error: Option<String>,
+}
+
+impl StructuralSummary {
+    /// A summary holding only the analyzed loops — no breaches, no
+    /// error. What every analysis produced before budgets existed.
+    pub fn from_loops(loops: Vec<LoopSummary>) -> StructuralSummary {
+        StructuralSummary {
+            loops,
+            breaches: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// Whether this summary may be retained in a structure-keyed cache.
+    /// Panicked analyses must not poison the cache, and deadline-
+    /// degraded results are nondeterministic on identical input (the
+    /// deterministic caps — nodes/SCC/order — breach identically every
+    /// time, so they are safe to share).
+    pub fn cacheable(&self) -> bool {
+        self.error.is_none() && self.breaches.iter().all(BudgetBreach::is_deterministic)
+    }
 }
 
 /// One function's batch result.
@@ -158,6 +187,9 @@ impl FunctionSummary {
         use std::fmt::Write as _;
         let mut out = String::new();
         let _ = writeln!(out, "func {} [{:016x}]", self.name, self.hash);
+        if let Some(error) = &self.summary.error {
+            let _ = writeln!(out, "  error: internal: {error}");
+        }
         for l in &self.summary.loops {
             let _ = writeln!(out, "  loop {}: trip count {}", l.name, l.trip_count);
             if let Some(max) = &l.max_trip_count {
@@ -166,6 +198,9 @@ impl FunctionSummary {
             for (value, class) in &l.classes {
                 let _ = writeln!(out, "    {value:<8} => {class}");
             }
+        }
+        for breach in &self.summary.breaches {
+            let _ = writeln!(out, "  budget: {breach}");
         }
         out
     }
@@ -330,7 +365,13 @@ pub fn analyze_batch_with_cache(
     let computed = compute_representatives(funcs, &representatives, jobs, &opts.config);
 
     // Deterministic cache insertion, in representative (= input) order.
+    // Uncacheable summaries (panicked or deadline-degraded) are skipped
+    // so they cannot poison later lookups; an injected commit fault has
+    // the same effect — the result is still returned, just not retained.
     for (slot, &i) in representatives.iter().enumerate() {
+        if !computed[slot].cacheable() || crate::faults::fire("cache.commit") {
+            continue;
+        }
         stats.evictions += cache.insert(hashes[i], Arc::clone(&computed[slot]));
     }
 
@@ -475,6 +516,13 @@ pub fn analyze_batch_shared(
     {
         let mut cache = cache.lock().expect("structural cache poisoned");
         for (slot, &i) in representatives.iter().enumerate() {
+            // Same commit gate as the unshared path: never retain
+            // panicked or deadline-degraded summaries, and let the
+            // injected commit fault drop retention without affecting
+            // the returned report.
+            if !computed[slot].cacheable() || crate::faults::fire("cache.commit") {
+                continue;
+            }
             stats.evictions += cache.insert(hashes[i], Arc::clone(&computed[slot]));
         }
     }
@@ -548,8 +596,21 @@ fn compute_representatives(
 }
 
 /// Analyzes one function and renders its canonical summary.
+///
+/// Runs behind the panic-isolation boundary: a panicking function
+/// yields an error summary (rendered as an `error:` line) while the
+/// rest of the batch proceeds normally.
 fn summarize(func: &Function, config: &AnalysisConfig) -> StructuralSummary {
-    let analysis = analyze_with(func, *config);
+    let analysis = match analyze_protected(func, *config) {
+        Ok(analysis) => analysis,
+        Err(AnalysisError::Internal { detail }) => {
+            return StructuralSummary {
+                loops: Vec::new(),
+                breaches: Vec::new(),
+                error: Some(detail),
+            };
+        }
+    };
     let namer = canonical_value_name;
     let mut loops = Vec::new();
     for (_, info) in analysis.loops() {
@@ -571,7 +632,11 @@ fn summarize(func: &Function, config: &AnalysisConfig) -> StructuralSummary {
             classes,
         });
     }
-    StructuralSummary { loops }
+    StructuralSummary {
+        loops,
+        breaches: analysis.budget_breaches().to_vec(),
+        error: None,
+    }
 }
 
 /// Computes the structural hash of a function: CFG shape, labels,

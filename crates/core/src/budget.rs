@@ -1,0 +1,306 @@
+//! Resource budgets for a single analysis: graceful degradation instead
+//! of unbounded time or panic-prone blow-ups.
+//!
+//! A [`Budget`] caps what one `analyze` call may spend — wall-clock
+//! time, SSA nodes per loop region, SCC size, polynomial order. The
+//! driver turns it into a [`BudgetMeter`] once per analysis; `classify`
+//! and `tripcount` poll the meter at cheap checkpoints. A breached
+//! budget never aborts the analysis: the affected variables degrade to
+//! [`Class::Unknown`](crate::Class) (so closed forms and trip counts
+//! simply aren't emitted for them) and the reason is recorded as a
+//! [`BudgetBreach`] on the [`Analysis`](crate::Analysis).
+//!
+//! The default budget is unlimited, so existing callers see zero
+//! behavior change. Deterministic caps (nodes / SCC / order) breach
+//! identically on identical input; the wall-clock deadline does not,
+//! which is why the batch cache refuses to retain deadline-degraded
+//! summaries (see `batch::StructuralSummary::cacheable`).
+
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Limits for one analysis. `None` means unlimited; the default budget
+/// is unlimited in every dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Budget {
+    /// Wall-clock deadline for the whole analysis, in milliseconds.
+    pub time_ms: Option<u64>,
+    /// Maximum SSA nodes considered per loop region.
+    pub max_region_nodes: Option<usize>,
+    /// Maximum members in a strongly connected region.
+    pub max_scc: Option<usize>,
+    /// Maximum polynomial order fitted for a polynomial induction
+    /// variable (the paper's order-n chains of §4.3).
+    pub max_order: Option<usize>,
+}
+
+impl Budget {
+    /// No limits — the behavior of every pre-budget release.
+    pub const UNLIMITED: Budget = Budget {
+        time_ms: None,
+        max_region_nodes: None,
+        max_scc: None,
+        max_order: None,
+    };
+
+    /// True when no dimension is limited.
+    pub fn is_unlimited(&self) -> bool {
+        *self == Budget::UNLIMITED
+    }
+
+    /// Parses a `key=value` comma list: `time=MS,nodes=N,scc=N,order=N`.
+    /// Unmentioned dimensions stay unlimited.
+    pub fn parse(spec: &str) -> Result<Budget, String> {
+        let mut budget = Budget::UNLIMITED;
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("budget part `{part}` is not key=value"))?;
+            let number = || {
+                value
+                    .parse::<u64>()
+                    .map_err(|_| format!("invalid budget value `{value}` for `{key}`"))
+            };
+            match key {
+                "time" => budget.time_ms = Some(number()?),
+                "nodes" => budget.max_region_nodes = Some(number()? as usize),
+                "scc" => budget.max_scc = Some(number()? as usize),
+                "order" => budget.max_order = Some(number()? as usize),
+                _ => return Err(format!("unknown budget key `{key}` (time/nodes/scc/order)")),
+            }
+        }
+        Ok(budget)
+    }
+}
+
+/// Why part of an analysis degraded to `Unknown`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetBreach {
+    /// The wall-clock deadline passed. Nondeterministic: the same input
+    /// may or may not breach on another run, so results carrying this
+    /// breach must not enter caches keyed on input structure.
+    Deadline,
+    /// A loop region had more SSA nodes than allowed.
+    RegionNodes {
+        /// Observed node count.
+        nodes: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// A strongly connected region exceeded the size cap.
+    SccSize {
+        /// Observed SCC size.
+        size: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// A polynomial induction chain exceeded the order cap.
+    PolyOrder {
+        /// Requested polynomial order.
+        order: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+}
+
+impl BudgetBreach {
+    /// True for breaches that repeat identically on identical input.
+    /// Only these may flow into structure-keyed caches.
+    pub fn is_deterministic(&self) -> bool {
+        !matches!(self, BudgetBreach::Deadline)
+    }
+}
+
+impl fmt::Display for BudgetBreach {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetBreach::Deadline => write!(f, "wall-clock deadline exceeded"),
+            BudgetBreach::RegionNodes { nodes, limit } => {
+                write!(f, "loop region has {nodes} SSA nodes (limit {limit})")
+            }
+            BudgetBreach::SccSize { size, limit } => {
+                write!(f, "SCC has {size} members (limit {limit})")
+            }
+            BudgetBreach::PolyOrder { order, limit } => {
+                write!(f, "polynomial order {order} (limit {limit})")
+            }
+        }
+    }
+}
+
+/// How many deadline polls are absorbed between `Instant::now` calls.
+/// Checkpoints sit on per-SCR paths, so a poll is already amortized
+/// over real work; this keeps the syscall off the per-value fast path.
+const DEADLINE_POLL_STRIDE: u32 = 32;
+
+/// The live form of a [`Budget`], created once per analysis.
+///
+/// Interior-mutable so it threads through the classifier as a shared
+/// reference; analyses are single-threaded internally, so `Cell` /
+/// `RefCell` suffice. Each breach kind is recorded at most once per
+/// meter (per analysis) — checkpoints keep *answering* "breached", they
+/// just don't append duplicates.
+#[derive(Debug)]
+pub struct BudgetMeter {
+    limits: Budget,
+    deadline: Option<Instant>,
+    deadline_hit: Cell<bool>,
+    ticks: Cell<u32>,
+    breaches: RefCell<Vec<BudgetBreach>>,
+}
+
+impl BudgetMeter {
+    /// Starts metering `budget` now (the deadline clock starts here).
+    pub fn new(budget: Budget) -> BudgetMeter {
+        BudgetMeter {
+            limits: budget,
+            deadline: budget
+                .time_ms
+                .map(|ms| Instant::now() + Duration::from_millis(ms)),
+            deadline_hit: Cell::new(false),
+            ticks: Cell::new(0),
+            breaches: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// A meter that never breaches.
+    pub fn unlimited() -> BudgetMeter {
+        BudgetMeter::new(Budget::UNLIMITED)
+    }
+
+    /// The limits this meter enforces.
+    pub fn limits(&self) -> Budget {
+        self.limits
+    }
+
+    fn record(&self, breach: BudgetBreach) {
+        let mut breaches = self.breaches.borrow_mut();
+        if !breaches
+            .iter()
+            .any(|b| std::mem::discriminant(b) == std::mem::discriminant(&breach))
+        {
+            breaches.push(breach);
+        }
+    }
+
+    /// Deadline poll. Cheap: only every [`DEADLINE_POLL_STRIDE`]-th call
+    /// reads the clock; once breached, always true without reading it.
+    pub fn deadline_exceeded(&self) -> bool {
+        let Some(deadline) = self.deadline else {
+            return false;
+        };
+        if self.deadline_hit.get() {
+            return true;
+        }
+        let tick = self.ticks.get();
+        self.ticks.set(tick.wrapping_add(1));
+        if !tick.is_multiple_of(DEADLINE_POLL_STRIDE) {
+            return false;
+        }
+        if Instant::now() >= deadline {
+            self.deadline_hit.set(true);
+            self.record(BudgetBreach::Deadline);
+            return true;
+        }
+        false
+    }
+
+    /// Checks a loop region's node count; records and reports a breach.
+    pub fn region_nodes_exceeded(&self, nodes: usize) -> bool {
+        match self.limits.max_region_nodes {
+            Some(limit) if nodes > limit => {
+                self.record(BudgetBreach::RegionNodes { nodes, limit });
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Checks one SCC's member count; records and reports a breach.
+    pub fn scc_exceeded(&self, size: usize) -> bool {
+        match self.limits.max_scc {
+            Some(limit) if size > limit => {
+                self.record(BudgetBreach::SccSize { size, limit });
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Checks a polynomial fit's order; records and reports a breach.
+    pub fn order_exceeded(&self, order: usize) -> bool {
+        match self.limits.max_order {
+            Some(limit) if order > limit => {
+                self.record(BudgetBreach::PolyOrder { order, limit });
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The breaches recorded so far (each kind at most once), in the
+    /// order they were first hit.
+    pub fn breaches(&self) -> Vec<BudgetBreach> {
+        self.breaches.borrow().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_breaches() {
+        let meter = BudgetMeter::unlimited();
+        assert!(!meter.deadline_exceeded());
+        assert!(!meter.region_nodes_exceeded(usize::MAX));
+        assert!(!meter.scc_exceeded(usize::MAX));
+        assert!(!meter.order_exceeded(usize::MAX));
+        assert!(meter.breaches().is_empty());
+        assert!(Budget::UNLIMITED.is_unlimited());
+        assert!(Budget::default().is_unlimited());
+    }
+
+    #[test]
+    fn deterministic_caps_record_once() {
+        let meter = BudgetMeter::new(Budget {
+            max_scc: Some(4),
+            max_order: Some(2),
+            ..Budget::UNLIMITED
+        });
+        assert!(!meter.scc_exceeded(4), "at the limit is fine");
+        assert!(meter.scc_exceeded(5));
+        assert!(meter.scc_exceeded(9));
+        assert!(meter.order_exceeded(3));
+        let breaches = meter.breaches();
+        assert_eq!(breaches.len(), 2, "each kind recorded once: {breaches:?}");
+        assert!(breaches.iter().all(BudgetBreach::is_deterministic));
+    }
+
+    #[test]
+    fn zero_deadline_breaches_on_first_poll() {
+        let meter = BudgetMeter::new(Budget {
+            time_ms: Some(0),
+            ..Budget::UNLIMITED
+        });
+        assert!(meter.deadline_exceeded(), "tick 0 always reads the clock");
+        assert!(meter.deadline_exceeded(), "and stays breached");
+        assert_eq!(meter.breaches(), vec![BudgetBreach::Deadline]);
+        assert!(!BudgetBreach::Deadline.is_deterministic());
+    }
+
+    #[test]
+    fn parse_specs() {
+        assert_eq!(Budget::parse("").unwrap(), Budget::UNLIMITED);
+        let b = Budget::parse("time=250,nodes=10000,scc=64,order=8").unwrap();
+        assert_eq!(b.time_ms, Some(250));
+        assert_eq!(b.max_region_nodes, Some(10000));
+        assert_eq!(b.max_scc, Some(64));
+        assert_eq!(b.max_order, Some(8));
+        assert_eq!(Budget::parse("scc=9").unwrap().max_scc, Some(9));
+        assert!(Budget::parse("frobs=9").is_err());
+        assert!(Budget::parse("time=abc").is_err());
+        assert!(Budget::parse("time").is_err());
+    }
+}

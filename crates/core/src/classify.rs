@@ -9,6 +9,7 @@ use biv_ir::loops::{Loop, LoopForest};
 use biv_ir::{BinOp, Block, EntityMap, EntitySet, VecMap};
 use biv_ssa::{Operand, SsaFunction, SsaInst, Value, ValueDef};
 
+use crate::budget::BudgetMeter;
 use crate::class::{Class, ClosedForm, Direction, FamilyAnchor, Monotonic, Periodic};
 use crate::config::AnalysisConfig;
 use crate::scc::{strongly_connected_regions, Scr};
@@ -65,12 +66,46 @@ pub fn classify_loop(
     exit_exprs: &EntityMap<Value, SymPoly>,
     config: &AnalysisConfig,
 ) -> VecMap<Value, Class> {
+    classify_loop_metered(
+        ssa,
+        forest,
+        loop_id,
+        exit_exprs,
+        config,
+        &BudgetMeter::new(config.budget),
+    )
+}
+
+/// Like [`classify_loop`], with an externally owned [`BudgetMeter`] so a
+/// multi-loop analysis shares one deadline clock and one breach record.
+pub fn classify_loop_metered(
+    ssa: &SsaFunction,
+    forest: &LoopForest,
+    loop_id: Loop,
+    exit_exprs: &EntityMap<Value, SymPoly>,
+    config: &AnalysisConfig,
+    meter: &BudgetMeter,
+) -> VecMap<Value, Class> {
     LOOP_SCRATCH.with(|cell| {
         let scratch = &mut *cell.borrow_mut();
-        let mut cx = Cx::new(ssa, forest, loop_id, exit_exprs, config, scratch);
+        let mut cx = Cx::new(ssa, forest, loop_id, exit_exprs, config, meter, scratch);
         cx.run();
         cx.finish()
     })
+}
+
+/// Clears this thread's classification scratch entirely. Only needed on
+/// the panic-isolation path: an unwind out of `classify_loop` leaves the
+/// current function's entries in the thread-local tables (the `RefCell`
+/// borrow itself is released by the unwind), and value indices restart
+/// per function, so stale entries would alias into whatever this thread
+/// analyzes next.
+pub(crate) fn reset_thread_scratch() {
+    LOOP_SCRATCH.with(|cell| {
+        if let Ok(mut scratch) = cell.try_borrow_mut() {
+            *scratch = LoopScratch::default();
+        }
+    });
 }
 
 /// Classifies an operand with respect to a loop, given the loop's member
@@ -513,6 +548,7 @@ struct Cx<'a> {
     nodes: Vec<Value>,
     exit_exprs: &'a EntityMap<Value, SymPoly>,
     config: &'a AnalysisConfig,
+    meter: &'a BudgetMeter,
     classes: &'a mut EntityMap<Value, Class>,
     scratch: &'a mut Scratch,
 }
@@ -542,6 +578,7 @@ impl<'a> Cx<'a> {
         loop_id: Loop,
         exit_exprs: &'a EntityMap<Value, SymPoly>,
         config: &'a AnalysisConfig,
+        meter: &'a BudgetMeter,
         loop_scratch: &'a mut LoopScratch,
     ) -> Cx<'a> {
         let data = forest.data(loop_id);
@@ -578,6 +615,7 @@ impl<'a> Cx<'a> {
             nodes,
             exit_exprs,
             config,
+            meter,
             classes: &mut loop_scratch.classes,
             scratch: &mut loop_scratch.scr,
         }
@@ -610,9 +648,27 @@ impl<'a> Cx<'a> {
             }
             return;
         }
+        if self.meter.region_nodes_exceeded(self.nodes.len()) {
+            // Region over budget: don't even build the SCC graph.
+            for &v in &self.nodes {
+                self.classes.insert(v, Class::Unknown);
+            }
+            return;
+        }
         let nodes = self.nodes.clone();
         let scrs = strongly_connected_regions(&nodes, |v, out| self.graph_edges(v, out));
         for scr in &scrs {
+            // Budget checkpoints, one per SCR: past the deadline, or
+            // facing an oversized cycle, degrade this SCR to Unknown and
+            // keep going — later SCRs may still be cheap to classify.
+            if self.meter.deadline_exceeded()
+                || (scr.cyclic && self.meter.scc_exceeded(scr.members.len()))
+            {
+                for &v in &scr.members {
+                    self.classes.insert(v, Class::Unknown);
+                }
+                continue;
+            }
             if scr.cyclic {
                 self.classify_cycle(scr);
             } else {
@@ -959,6 +1015,15 @@ impl<'a> Cx<'a> {
             };
             bases.sort();
             bases.dedup();
+            if self.meter.order_exceeded(poly_degree) {
+                // Over the polynomial-order budget: the whole SCR
+                // degrades to Unknown (no fallback reclassification —
+                // the breach is the recorded reason).
+                for &m in &scr.members {
+                    self.classes.insert(m, Class::Unknown);
+                }
+                return Some(());
+            }
             // Sample the recurrence symbolically and invert the basis
             // matrix (§4.3).
             let n = poly_degree + 1 + bases.len();

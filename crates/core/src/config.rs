@@ -2,6 +2,8 @@
 //! suite: each extension beyond linear induction variables can be turned
 //! off independently).
 
+use crate::budget::Budget;
+
 /// Switches for the classifier's extensions beyond linear induction
 /// variables. Everything defaults to on; the ablation benchmarks measure
 /// the incremental cost of each extension.
@@ -21,6 +23,10 @@ pub struct AnalysisConfig {
     /// Run SSA constant folding before classification so literal initial
     /// values are substituted (the paper's \[WZ91\] step).
     pub constant_folding: bool,
+    /// Resource budget for one analysis; unlimited by default. Breached
+    /// dimensions degrade the affected variables to `Unknown` instead of
+    /// aborting (see [`crate::budget`]).
+    pub budget: Budget,
 }
 
 impl Default for AnalysisConfig {
@@ -32,6 +38,7 @@ impl Default for AnalysisConfig {
             wraparound: true,
             nested_exit_values: true,
             constant_folding: true,
+            budget: Budget::UNLIMITED,
         }
     }
 }
@@ -52,6 +59,7 @@ impl AnalysisConfig {
             wraparound: false,
             nested_exit_values: true,
             constant_folding: true,
+            budget: Budget::UNLIMITED,
         }
     }
 }

@@ -11,11 +11,12 @@ use biv_ir::parser::ParseError;
 use biv_ir::{Block, EntityMap, Function, VecMap};
 use biv_ssa::{Operand, SsaFunction, SsaInst, SsaTerminator, Value, ValueDef};
 
+use crate::budget::{BudgetBreach, BudgetMeter};
 use crate::class::Class;
-use crate::classify::classify_loop;
+use crate::classify::classify_loop_metered;
 use crate::config::AnalysisConfig;
 use crate::display::describe_class;
-use crate::tripcount::{max_trip_count, trip_count, TripCount};
+use crate::tripcount::{max_trip_count, trip_count_metered, TripCount};
 
 /// Errors from the convenience entry points.
 #[derive(Debug)]
@@ -44,6 +45,32 @@ impl From<ParseError> for AnalyzeError {
         AnalyzeError::Parse(e)
     }
 }
+
+/// An internal failure caught at the panic-isolation boundary
+/// ([`analyze_protected`]): the process survives, the caller gets a
+/// structured error for that one function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// The analysis panicked. The unwind was caught, the thread-local
+    /// scratch reset, and the payload reported here instead of killing
+    /// the worker.
+    Internal {
+        /// The panic payload, when it carried a message.
+        detail: String,
+    },
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::Internal { detail } => {
+                write!(f, "internal analysis error: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
 
 /// Per-loop analysis results.
 #[derive(Debug, Clone)]
@@ -75,6 +102,8 @@ pub struct Analysis {
     pub loop_order: Vec<Loop>,
     loops: EntityMap<Loop, LoopInfo>,
     config: AnalysisConfig,
+    /// Budget breaches recorded while analyzing (each kind at most once).
+    breaches: Vec<BudgetBreach>,
 }
 
 /// Wall-clock time spent in each analysis phase, as reported by
@@ -137,6 +166,48 @@ pub fn analyze_with(func: &Function, config: AnalysisConfig) -> Analysis {
     analyze_ssa_with(ssa, config)
 }
 
+/// [`analyze_with`] behind a panic-isolation boundary: a panic anywhere
+/// in SSA construction or classification becomes an
+/// [`AnalysisError::Internal`] instead of unwinding into (and killing)
+/// the caller — the degradation path for batch workers and the `bivd`
+/// pool.
+///
+/// UnwindSafe audit of the `AssertUnwindSafe` below: the closure
+/// captures `func` by shared reference (read-only here — SSA
+/// construction copies what it needs) and `config` by value (`Copy`),
+/// so no caller-visible state can be observed half-mutated. The only
+/// state that survives the unwind is the thread-local scratch in
+/// `classify`/`scc` (their `RefCell` borrows are released by the unwind
+/// itself); it is reset on the catch path before anything else runs on
+/// this thread, since its stale entries would alias value indices of
+/// the next function analyzed.
+pub fn analyze_protected(
+    func: &Function,
+    config: AnalysisConfig,
+) -> Result<Analysis, AnalysisError> {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        crate::faults::maybe_panic("analyze.panic");
+        analyze_with(func, config)
+    }));
+    result.map_err(|payload| {
+        crate::classify::reset_thread_scratch();
+        crate::scc::reset_thread_scratch();
+        AnalysisError::Internal {
+            detail: panic_message(payload.as_ref()),
+        }
+    })
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Like [`analyze_with`], additionally returning per-phase wall times.
 pub fn analyze_with_times(func: &Function, config: AnalysisConfig) -> (Analysis, PhaseTimes) {
     let mut times = PhaseTimes::default();
@@ -184,14 +255,18 @@ fn analyze_ssa_inner<const TIMED: bool>(
     let mut exit_exprs: EntityMap<Value, SymPoly> = EntityMap::new();
     let mut loops: EntityMap<Loop, LoopInfo> = EntityMap::new();
     let mut use_map = build_use_map(&ssa);
+    // One meter for the whole analysis: the deadline clock spans all
+    // loops and every breach kind is recorded once.
+    let meter = BudgetMeter::new(config.budget);
     for &l in &order {
         let t = phase_start::<TIMED>();
-        let classes = classify_loop(&ssa, &forest, l, &exit_exprs, &config);
+        let classes = classify_loop_metered(&ssa, &forest, l, &exit_exprs, &config, &meter);
         phase_end(t, &mut times.classify);
         let t = phase_start::<TIMED>();
-        let tc = trip_count(&ssa, &forest, l, &classes, &config);
+        let tc = trip_count_metered(&ssa, &forest, l, &classes, &config, &meter);
         let max_tc = match tc.as_symbolic() {
             Some(p) => Some(p),
+            None if meter.deadline_exceeded() => None,
             None => max_trip_count(&ssa, &forest, l, &classes),
         };
         let mut exit_values = VecMap::new();
@@ -231,6 +306,7 @@ fn analyze_ssa_inner<const TIMED: bool>(
         loop_order: order,
         loops,
         config,
+        breaches: meter.breaches(),
     }
 }
 
@@ -462,6 +538,13 @@ impl Analysis {
     /// The configuration the analysis ran with.
     pub fn config(&self) -> &AnalysisConfig {
         &self.config
+    }
+
+    /// Budget breaches hit during this analysis (empty with the default
+    /// unlimited budget). Affected variables were degraded to
+    /// [`Class::Unknown`]; these are the recorded reasons.
+    pub fn budget_breaches(&self) -> &[BudgetBreach] {
+        &self.breaches
     }
 
     /// Per-loop results.

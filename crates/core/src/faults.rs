@@ -1,0 +1,19 @@
+//! Compile-time shim over `biv-faults` so injection sites read the same
+//! with or without the `fault-injection` feature. Without it every hook
+//! is an inlined constant — the optimizer erases the site entirely, so
+//! release builds provably carry no injection behavior.
+
+#![allow(dead_code)]
+
+#[cfg(feature = "fault-injection")]
+pub(crate) use biv_faults::{fire, maybe_panic};
+
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub(crate) fn fire(_site: &str) -> bool {
+    false
+}
+
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub(crate) fn maybe_panic(_site: &str) {}

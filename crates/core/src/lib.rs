@@ -49,11 +49,13 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod budget;
 mod class;
 mod classify;
 mod config;
 mod display;
 mod driver;
+mod faults;
 mod scc;
 mod symbols;
 mod tripcount;
@@ -63,10 +65,11 @@ pub use batch::{
     render_grouped, resolve_jobs, structural_hash, BatchOptions, BatchReport, BatchStats,
     FunctionSummary, LoopSummary, StructuralCache, StructuralSummary,
 };
+pub use budget::{Budget, BudgetBreach, BudgetMeter};
 pub use class::{Class, ClosedForm, Direction, FamilyAnchor, Monotonic, Periodic};
 pub use classify::{
-    class_of_sympoly, classify_loop, combine_classes, negate_class, operand_class, resolve_copies,
-    ClassLookup,
+    class_of_sympoly, classify_loop, classify_loop_metered, combine_classes, negate_class,
+    operand_class, resolve_copies, ClassLookup,
 };
 pub use config::AnalysisConfig;
 pub use display::{
@@ -74,9 +77,9 @@ pub use display::{
     describe_closed_form_with, ValueNamer,
 };
 pub use driver::{
-    analyze, analyze_source, analyze_ssa_with, analyze_with, analyze_with_times, Analysis,
-    AnalyzeError, LoopInfo, PhaseTimes,
+    analyze, analyze_protected, analyze_source, analyze_ssa_with, analyze_with, analyze_with_times,
+    Analysis, AnalysisError, AnalyzeError, LoopInfo, PhaseTimes,
 };
 pub use scc::{strongly_connected_regions, Scr};
 pub use symbols::{sym_of_value, value_of_sym};
-pub use tripcount::{max_trip_count, TripCount};
+pub use tripcount::{max_trip_count, trip_count, trip_count_metered, TripCount};

@@ -49,6 +49,18 @@ where
     })
 }
 
+/// Clears this thread's region-index table entirely. Only needed on the
+/// panic-isolation path: an unwind between the insert and remove loops
+/// above strands the current call's entries, and value indices restart
+/// per function, so they would alias into later analyses on this thread.
+pub(crate) fn reset_thread_scratch() {
+    REGION_INDEX.with(|cell| {
+        if let Ok(mut table) = cell.try_borrow_mut() {
+            *table = EntityMap::new();
+        }
+    });
+}
+
 fn tarjan<F>(nodes: &[Value], edges: &mut F, in_region: &EntityMap<Value, usize>) -> Vec<Scr>
 where
     F: FnMut(Value, &mut Vec<Value>),

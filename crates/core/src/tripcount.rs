@@ -17,6 +17,7 @@ use biv_ir::loops::{Loop, LoopForest};
 use biv_ir::{BinOp, CmpOp, VecMap};
 use biv_ssa::{SsaFunction, SsaTerminator, Value};
 
+use crate::budget::BudgetMeter;
 use crate::class::Class;
 use crate::classify::{combine_classes, operand_class};
 use crate::config::AnalysisConfig;
@@ -77,7 +78,28 @@ pub fn trip_count(
     classes: &VecMap<Value, Class>,
     config: &AnalysisConfig,
 ) -> TripCount {
-    if !config.nested_exit_values {
+    trip_count_metered(
+        ssa,
+        forest,
+        loop_id,
+        classes,
+        config,
+        &BudgetMeter::new(config.budget),
+    )
+}
+
+/// Like [`trip_count`], sharing the analysis-wide [`BudgetMeter`]: past
+/// the deadline, the count degrades to `Unknown` without touching the
+/// exit condition.
+pub fn trip_count_metered(
+    ssa: &SsaFunction,
+    forest: &LoopForest,
+    loop_id: Loop,
+    classes: &VecMap<Value, Class>,
+    config: &AnalysisConfig,
+    meter: &BudgetMeter,
+) -> TripCount {
+    if !config.nested_exit_values || meter.deadline_exceeded() {
         return TripCount::Unknown;
     }
     let func = ssa.func();
@@ -114,9 +136,14 @@ pub fn max_trip_count(
                 }
             }
             TripCount::CeilDiv { numer, denom } => {
-                // ceil(n/d) ≤ n for d ≥ 1 and constant n.
-                if let Some(n) = numer.constant_value() {
-                    let c = (n / Rational::from_integer(denom)).ceil();
+                // ceil(n/d) ≤ n for d ≥ 1 and constant n. Checked: a
+                // pathological constant overflowing the division just
+                // contributes no bound.
+                if let Some(c) = numer
+                    .constant_value()
+                    .and_then(|n| n.checked_div(&Rational::from_integer(denom)).ok())
+                    .and_then(|q| q.checked_ceil())
+                {
                     best = Some(best.map_or(c, |b: i128| b.min(c)));
                 }
             }
@@ -208,9 +235,17 @@ fn exit_trip_count(
             } else if step >= Rational::ZERO {
                 TripCount::Infinite
             } else {
-                let neg_step = -step;
-                let ratio = i / neg_step;
-                TripCount::Finite(SymPoly::from_integer(ratio.ceil()))
+                // Checked throughout: i64-extreme constants can overflow
+                // the i128 rational arithmetic here, and an uncountable
+                // loop must degrade to Unknown, not panic.
+                let ratio = match step.checked_neg().and_then(|neg| i.checked_div(&neg)) {
+                    Ok(ratio) => ratio,
+                    Err(_) => return TripCount::Unknown,
+                };
+                match ratio.checked_ceil() {
+                    Some(c) => TripCount::Finite(SymPoly::from_integer(c)),
+                    None => TripCount::Unknown,
+                }
             }
         }
         None => {
@@ -219,7 +254,9 @@ fn exit_trip_count(
             if step >= Rational::ZERO {
                 return TripCount::Unknown;
             }
-            let neg = -step;
+            let Ok(neg) = step.checked_neg() else {
+                return TripCount::Unknown;
+            };
             if neg == Rational::ONE {
                 TripCount::Finite(init)
             } else if neg.is_integer() {
@@ -259,7 +296,10 @@ fn equality_trip_count(loop_id: Loop, l: &Class, r: &Class) -> TripCount {
     if s.is_zero() {
         return TripCount::Infinite;
     }
-    let h = -(i / s);
+    // Checked: extreme constants must not panic the division or negation.
+    let Ok(h) = i.checked_div(&s).and_then(|q| q.checked_neg()) else {
+        return TripCount::Unknown;
+    };
     if h.is_integer() && h >= Rational::ZERO {
         TripCount::Finite(SymPoly::constant(h))
     } else {

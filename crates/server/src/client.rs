@@ -10,8 +10,26 @@ use crate::proto::{AnalyzeFile, Request, Response};
 
 /// How many `busy` rejections an analyze submission tolerates before
 /// giving up. With the server's `retry_after_ms` hints this spans
-/// multiple seconds of sustained overload.
+/// multiple seconds of sustained overload. This is a hard cap: jitter
+/// stretches individual sleeps but never adds attempts.
 const MAX_BUSY_RETRIES: u32 = 10;
+
+/// Sleep for a busy retry: the server's hint plus up to 50% random
+/// jitter, so a herd of clients rejected by the same queue-full burst
+/// doesn't re-arrive in lockstep and recreate the burst.
+///
+/// The jitter source is a tiny SplitMix64 step seeded from the process
+/// id and attempt number — decorrelated across clients, yet
+/// reproducible within one (no global RNG state, no new dependency).
+fn busy_backoff(hint_ms: u64, attempt: u32) -> Duration {
+    let mut x = (u64::from(std::process::id()) << 32) ^ u64::from(attempt);
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    let jitter = x % (hint_ms / 2 + 1);
+    Duration::from_millis(hint_ms + jitter)
+}
 
 /// A connected client.
 pub struct Client {
@@ -55,9 +73,25 @@ impl Client {
             match self.request(&request)? {
                 Response::Busy { retry_after_ms } if retries < MAX_BUSY_RETRIES => {
                     retries += 1;
-                    std::thread::sleep(Duration::from_millis(retry_after_ms));
+                    std::thread::sleep(busy_backoff(retry_after_ms, retries));
                 }
                 response => return Ok(response),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn busy_backoff_stays_within_hint_plus_half() {
+        for hint in [0u64, 1, 25, 1000] {
+            for attempt in 1..=MAX_BUSY_RETRIES {
+                let d = busy_backoff(hint, attempt);
+                assert!(d >= Duration::from_millis(hint));
+                assert!(d <= Duration::from_millis(hint + hint / 2));
             }
         }
     }

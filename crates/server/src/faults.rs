@@ -1,0 +1,31 @@
+//! Compile-time shim over `biv-faults` so injection sites read the same
+//! with or without the `fault-injection` feature. Without it every hook
+//! is an inlined constant — the optimizer erases the site entirely, so
+//! release builds provably carry no injection behavior.
+
+#![allow(dead_code, missing_docs)]
+
+#[cfg(feature = "fault-injection")]
+pub(crate) use biv_faults::{fire, io_error, maybe_panic, short_len};
+
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub(crate) fn fire(_site: &str) -> bool {
+    false
+}
+
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub(crate) fn maybe_panic(_site: &str) {}
+
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub(crate) fn io_error(_site: &str) -> Option<std::io::Error> {
+    None
+}
+
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub(crate) fn short_len(_site: &str, _full: usize) -> Option<usize> {
+    None
+}

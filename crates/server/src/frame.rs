@@ -6,6 +6,12 @@
 //! frames before allocating. A read that ends cleanly *between* frames
 //! is a normal close ([`read_frame`] returns `Ok(None)`); one that ends
 //! inside a frame is an error.
+//!
+//! Both directions handle partial operations and spurious `EINTR`
+//! uniformly: every read and write sits in an explicit retry loop, so a
+//! signal landing mid-frame, or a transport that hands back short
+//! reads/writes (as the fault-injected chaos transport deliberately
+//! does), never corrupts framing.
 
 use std::io::{self, Read, Write};
 
@@ -17,9 +23,32 @@ pub const MAX_FRAME_BYTES: usize = 64 << 20;
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     let len = u32::try_from(payload.len())
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
-    w.write_all(&len.to_be_bytes())?;
-    w.write_all(payload)?;
+    write_full(w, &len.to_be_bytes())?;
+    write_full(w, payload)?;
     w.flush()
+}
+
+/// Writes the whole buffer, retrying short writes and `EINTR`.
+///
+/// `Write::write_all` would also loop, but spelling the loop out keeps
+/// the retry policy in one audited place next to the read side, and
+/// guarantees the behavior even for writers whose `write_all` is
+/// overridden.
+fn write_full(w: &mut impl Write, mut buf: &[u8]) -> io::Result<()> {
+    while !buf.is_empty() {
+        match w.write(buf) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "peer stopped accepting mid-frame",
+                ))
+            }
+            Ok(n) => buf = &buf[n..],
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
 }
 
 /// Reads one frame; `Ok(None)` on a clean end-of-stream before any
@@ -39,8 +68,28 @@ pub fn read_frame(r: &mut impl Read, max_bytes: usize) -> io::Result<Option<Vec<
         ));
     }
     let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
+    read_full(r, &mut payload)?;
     Ok(Some(payload))
+}
+
+/// Fills the whole buffer, retrying short reads and `EINTR`; EOF at any
+/// point here is truncation (the prefix promised `buf.len()` bytes).
+fn read_full(r: &mut impl Read, buf: &mut [u8]) -> io::Result<()> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream ended mid-frame",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
 }
 
 enum FirstRead {
@@ -113,6 +162,57 @@ mod tests {
             read_frame(&mut r, MAX_FRAME_BYTES).unwrap_err().kind(),
             io::ErrorKind::UnexpectedEof
         );
+    }
+
+    /// A transport that hands back one byte at a time and sprinkles
+    /// spurious `EINTR` between them — the worst legal stream behavior.
+    struct Hostile<T> {
+        inner: T,
+        tick: usize,
+    }
+
+    impl<R: Read> Read for Hostile<R> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.tick += 1;
+            if self.tick.is_multiple_of(3) {
+                return Err(io::Error::new(io::ErrorKind::Interrupted, "eintr"));
+            }
+            let n = buf.len().min(1);
+            self.inner.read(&mut buf[..n])
+        }
+    }
+
+    impl<W: Write> Write for Hostile<W> {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.tick += 1;
+            if self.tick.is_multiple_of(3) {
+                return Err(io::Error::new(io::ErrorKind::Interrupted, "eintr"));
+            }
+            let n = buf.len().min(1);
+            self.inner.write(&buf[..n])
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            self.inner.flush()
+        }
+    }
+
+    #[test]
+    fn short_ops_and_eintr_are_retried_uniformly() {
+        let mut w = Hostile {
+            inner: Vec::new(),
+            tick: 0,
+        };
+        write_frame(&mut w, b"resilient payload").unwrap();
+        let mut r = Hostile {
+            inner: &w.inner[..],
+            tick: 0,
+        };
+        assert_eq!(
+            read_frame(&mut r, MAX_FRAME_BYTES).unwrap().unwrap(),
+            b"resilient payload"
+        );
+        assert!(read_frame(&mut r, MAX_FRAME_BYTES).unwrap().is_none());
     }
 
     #[test]

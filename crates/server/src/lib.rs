@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+mod faults;
 pub mod frame;
 pub mod json;
 pub mod metrics;

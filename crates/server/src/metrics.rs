@@ -73,6 +73,11 @@ pub struct Metrics {
     pub functions: AtomicU64,
     /// Connections accepted.
     pub connections: AtomicU64,
+    /// Jobs whose analysis panicked inside a worker; each is answered
+    /// with an `internal` error response, never dropped.
+    pub worker_panics: AtomicU64,
+    /// Worker threads that died and were replaced by the accept loop.
+    pub workers_respawned: AtomicU64,
     phases: Mutex<Phases>,
 }
 
@@ -95,6 +100,8 @@ impl Metrics {
             bad_requests: AtomicU64::new(0),
             functions: AtomicU64::new(0),
             connections: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            workers_respawned: AtomicU64::new(0),
             phases: Mutex::new(Phases {
                 queue_wait: LatencyWindow::new(WINDOW),
                 parse: LatencyWindow::new(WINDOW),
@@ -150,6 +157,8 @@ impl Metrics {
                     ("bad_requests", load(&self.bad_requests)),
                     ("functions", load(&self.functions)),
                     ("connections", load(&self.connections)),
+                    ("worker_panics", load(&self.worker_panics)),
+                    ("workers_respawned", load(&self.workers_respawned)),
                 ]),
             ),
             (

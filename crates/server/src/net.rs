@@ -64,19 +64,40 @@ impl Listener {
     /// Binds the endpoint. A stale Unix socket file (left by a killed
     /// server) is detected by a failed probe connect and replaced; a
     /// *live* socket stays and the bind fails with `AddrInUse`.
+    ///
+    /// The probe discriminates by error kind: `ConnectionRefused` means
+    /// a socket file with no listener behind it (the classic stale
+    /// leftover), and `NotFound` means the file vanished between our
+    /// bind attempt and the probe (someone else cleaned it up) — both
+    /// are stale. Any *other* probe failure (permissions, resource
+    /// limits) proves nothing about liveness, so we conservatively
+    /// treat the socket as live rather than deleting a file we don't
+    /// understand. The `remove_file` tolerates a concurrent-cleanup
+    /// `NotFound` race for the same reason.
     pub fn bind(endpoint: &Endpoint) -> io::Result<Listener> {
         match endpoint {
             #[cfg(unix)]
             Endpoint::Unix(path) => match UnixListener::bind(path) {
                 Ok(l) => Ok(Listener::Unix(l)),
                 Err(e) if e.kind() == io::ErrorKind::AddrInUse => {
-                    if UnixStream::connect(path).is_ok() {
+                    let stale = match UnixStream::connect(path) {
+                        Ok(_) => false,
+                        Err(probe) => matches!(
+                            probe.kind(),
+                            io::ErrorKind::ConnectionRefused | io::ErrorKind::NotFound
+                        ),
+                    };
+                    if !stale {
                         return Err(io::Error::new(
                             io::ErrorKind::AddrInUse,
                             format!("a server is already listening on {}", path.display()),
                         ));
                     }
-                    std::fs::remove_file(path)?;
+                    match std::fs::remove_file(path) {
+                        Ok(()) => {}
+                        Err(rm) if rm.kind() == io::ErrorKind::NotFound => {}
+                        Err(rm) => return Err(rm),
+                    }
                     UnixListener::bind(path).map(Listener::Unix)
                 }
                 Err(e) => Err(e),
@@ -156,6 +177,14 @@ impl Conn {
 
 impl Read for Conn {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        // Fault-injection sites: a spurious EINTR or a short read here
+        // exercises exactly the retry loops in `frame` — both must be
+        // invisible to callers above the framing layer.
+        if let Some(e) = crate::faults::io_error("net.read.eintr") {
+            return Err(e);
+        }
+        let cap = crate::faults::short_len("net.read.short", buf.len()).unwrap_or(buf.len());
+        let buf = &mut buf[..cap];
         match self {
             #[cfg(unix)]
             Conn::Unix(s) => s.read(buf),
@@ -166,6 +195,11 @@ impl Read for Conn {
 
 impl Write for Conn {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if let Some(e) = crate::faults::io_error("net.write.eintr") {
+            return Err(e);
+        }
+        let cap = crate::faults::short_len("net.write.short", buf.len()).unwrap_or(buf.len());
+        let buf = &buf[..cap];
         match self {
             #[cfg(unix)]
             Conn::Unix(s) => s.write(buf),

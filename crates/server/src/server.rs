@@ -33,7 +33,7 @@ use std::time::{Duration, Instant};
 
 use biv_core::{
     analyze_batch_shared, cold_batch_stats, render_grouped, resolve_jobs, AnalysisConfig,
-    BatchOptions, StructuralCache,
+    BatchOptions, Budget, StructuralCache,
 };
 use biv_ir::parser::parse_program;
 use biv_ir::Function;
@@ -64,6 +64,10 @@ pub struct ServerConfig {
     pub poll_interval: Duration,
     /// How long a mid-frame read may continue once drain has begun.
     pub drain_grace: Duration,
+    /// Resource budget applied to every analysis. Breaches degrade the
+    /// affected values to `unknown` with a recorded reason; they never
+    /// fail the request.
+    pub budget: Budget,
 }
 
 impl ServerConfig {
@@ -79,6 +83,7 @@ impl ServerConfig {
             max_frame_bytes: MAX_FRAME_BYTES,
             poll_interval: Duration::from_millis(25),
             drain_grace: Duration::from_secs(5),
+            budget: Budget::UNLIMITED,
         }
     }
 }
@@ -197,6 +202,23 @@ impl Server {
                 if handlers.len() >= 64 {
                     handlers.retain(|h| !h.is_finished());
                 }
+                // Replace any worker that died. While the server is
+                // accepting, the queue is open, so a finished worker
+                // thread can only mean a panic escaped the per-job
+                // catch (e.g. the injected `worker.die` fault). The
+                // stranded client was already answered by the worker's
+                // reply guard; here we restore pool capacity.
+                for slot in worker_handles.iter_mut() {
+                    if slot.is_finished() {
+                        let fresh = scope.spawn(move || worker_loop(shared));
+                        let dead = std::mem::replace(slot, fresh);
+                        let _ = dead.join(); // Err(payload) is expected here
+                        shared
+                            .metrics
+                            .workers_respawned
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                }
             }
 
             // Drain: stop accepting (close + unlink the endpoint so new
@@ -230,73 +252,139 @@ impl Server {
 /// connection died — the result is discarded and the worker moves on
 /// (this is the whole worker-recovery story: workers never carry state
 /// from one request into the next).
+///
+/// Each job runs inside `catch_unwind`, so a panic in analysis answers
+/// that one request with an `internal` error and the worker keeps
+/// serving. A panic *outside* the catch (the injected `worker.die`
+/// site, or a bug in the dispatch code itself) kills the thread — the
+/// [`ReplyGuard`] still answers the client mid-unwind, and the accept
+/// loop respawns the worker.
 fn worker_loop(shared: &Shared<'_>) {
     let opts = BatchOptions {
         jobs: 1, // request-level parallelism comes from the pool itself
-        config: AnalysisConfig::default(),
+        config: AnalysisConfig {
+            budget: shared.config.budget,
+            ..AnalysisConfig::default()
+        },
         cache_capacity: shared.config.cache_cap,
     };
     while let Some(job) = shared.queue.pop() {
-        let queue_wait = job.submitted.elapsed();
-
-        let t = Instant::now();
-        let mut funcs: Vec<Function> = Vec::new();
-        let mut ranges: Vec<(String, usize)> = Vec::new();
-        let mut errors: Vec<FileError> = Vec::new();
-        for file in &job.files {
-            match parse_program(&file.source) {
-                Ok(program) => {
-                    ranges.push((file.path.clone(), program.functions.len()));
-                    funcs.extend(program.functions);
-                }
-                Err(e) => errors.push(FileError {
-                    path: file.path.clone(),
-                    message: format!("{}: parse error: {e}", file.path),
-                }),
+        let guard = ReplyGuard {
+            reply: job.reply.clone(),
+            metrics: &shared.metrics,
+        };
+        crate::faults::maybe_panic("worker.die");
+        // UnwindSafe audit: the closure borrows `shared` (atomics and
+        // mutexes — both poison-or-recover on unwind; the structural
+        // cache mutex is only held inside `analyze_batch_shared`, which
+        // releases it between functions) and `job`/`opts` by shared
+        // reference without interior mutation. Core thread-local
+        // scratch is reset by `analyze_protected`'s own catch before
+        // the panic ever reaches this boundary.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::faults::maybe_panic("worker.job.panic");
+            process_job(shared, &opts, &job)
+        }));
+        drop(guard); // not panicking here: the guard disarms silently
+        let response = match outcome {
+            Ok(response) => response,
+            Err(_) => {
+                shared.metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
+                internal_error("analysis panicked while serving the request")
             }
-        }
-        let parse = t.elapsed();
-
-        let t = Instant::now();
-        let report = analyze_batch_shared(&funcs, &opts, &shared.cache);
-        let analyze = t.elapsed();
-
-        let t = Instant::now();
-        // The rendered stats line replays a cold cache at the client's
-        // capacity, so the output never depends on what earlier requests
-        // warmed — see the module docs. Cumulative warm counters remain
-        // visible through `stats`.
-        let hashes: Vec<u64> = report.functions.iter().map(|f| f.hash).collect();
-        let replay_cap = job
-            .cache_cap
-            .unwrap_or_else(|| BatchOptions::default().cache_capacity);
-        let cold = cold_batch_stats(&hashes, replay_cap);
-        let output = render_grouped(&ranges, &report.functions, &cold);
-        let render = t.elapsed();
-
-        shared
-            .metrics
-            .functions
-            .fetch_add(report.stats.functions as u64, Ordering::Relaxed);
-        shared.metrics.analyze_ok.fetch_add(1, Ordering::Relaxed);
-        shared.metrics.record_phases(PhaseSample {
-            queue_wait,
-            parse,
-            analyze,
-            render,
-            total: job.submitted.elapsed(),
-        });
-
-        let response = Response::Analyze {
-            output,
-            functions: report.stats.functions,
-            analyzed: report.stats.misses,
-            cached: report.stats.hits,
-            errors,
         };
         if job.reply.send(response).is_err() {
             shared.metrics.late_results.fetch_add(1, Ordering::Relaxed);
         }
+    }
+}
+
+/// Answers a job's client if the worker thread unwinds past it, so even
+/// a panic outside the per-job catch never strands a waiting handler
+/// until its timeout. Dropped without a panic in flight, it does
+/// nothing.
+struct ReplyGuard<'m> {
+    reply: mpsc::Sender<Response>,
+    metrics: &'m Metrics,
+}
+
+impl Drop for ReplyGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
+            let _ = self.reply.send(internal_error(
+                "worker thread died while serving the request",
+            ));
+        }
+    }
+}
+
+fn internal_error(detail: &str) -> Response {
+    Response::Error {
+        kind: "internal".into(),
+        message: format!("internal server error: {detail}; the request was not completed"),
+    }
+}
+
+/// The panic-isolated body of one analyze job: parse, classify through
+/// the shared cache, render, and record metrics.
+fn process_job(shared: &Shared<'_>, opts: &BatchOptions, job: &Job) -> Response {
+    let queue_wait = job.submitted.elapsed();
+
+    let t = Instant::now();
+    let mut funcs: Vec<Function> = Vec::new();
+    let mut ranges: Vec<(String, usize)> = Vec::new();
+    let mut errors: Vec<FileError> = Vec::new();
+    for file in &job.files {
+        match parse_program(&file.source) {
+            Ok(program) => {
+                ranges.push((file.path.clone(), program.functions.len()));
+                funcs.extend(program.functions);
+            }
+            Err(e) => errors.push(FileError {
+                path: file.path.clone(),
+                message: format!("{}: parse error: {e}", file.path),
+            }),
+        }
+    }
+    let parse = t.elapsed();
+
+    let t = Instant::now();
+    let report = analyze_batch_shared(&funcs, opts, &shared.cache);
+    let analyze = t.elapsed();
+
+    let t = Instant::now();
+    // The rendered stats line replays a cold cache at the client's
+    // capacity, so the output never depends on what earlier requests
+    // warmed — see the module docs. Cumulative warm counters remain
+    // visible through `stats`.
+    let hashes: Vec<u64> = report.functions.iter().map(|f| f.hash).collect();
+    let replay_cap = job
+        .cache_cap
+        .unwrap_or_else(|| BatchOptions::default().cache_capacity);
+    let cold = cold_batch_stats(&hashes, replay_cap);
+    let output = render_grouped(&ranges, &report.functions, &cold);
+    let render = t.elapsed();
+
+    shared
+        .metrics
+        .functions
+        .fetch_add(report.stats.functions as u64, Ordering::Relaxed);
+    shared.metrics.analyze_ok.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.record_phases(PhaseSample {
+        queue_wait,
+        parse,
+        analyze,
+        render,
+        total: job.submitted.elapsed(),
+    });
+
+    Response::Analyze {
+        output,
+        functions: report.stats.functions,
+        analyzed: report.stats.misses,
+        cached: report.stats.hits,
+        errors,
     }
 }
 
@@ -376,6 +464,15 @@ fn serve_analyze(
     files: Vec<AnalyzeFile>,
     cache_cap: Option<usize>,
 ) -> Response {
+    // Injected queue-full storm: reject exactly as a real full queue
+    // would, *before* the request counts as accepted, so the
+    // no-dropped-accepted-work invariant is untouched.
+    if crate::faults::fire("queue.storm") {
+        shared.metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
+        return Response::Busy {
+            retry_after_ms: retry_hint_ms(shared),
+        };
+    }
     let (reply, result) = mpsc::channel();
     let job = Job {
         files,

@@ -33,8 +33,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use biv::core_analysis::{
-    analyze, analyze_batch, analyze_with_times, describe_class, render_grouped, resolve_jobs,
-    AnalysisConfig, BatchOptions, PhaseTimes,
+    analyze_batch, analyze_with, analyze_with_times, describe_class, render_grouped, resolve_jobs,
+    AnalysisConfig, BatchOptions, Budget, PhaseTimes,
 };
 use biv::ir::parser::parse_program;
 use biv::ir::Function;
@@ -52,10 +52,11 @@ struct Options {
     jobs: usize,
     cache_cap: Option<usize>,
     remote: Option<String>,
+    budget: Budget,
     paths: Vec<String>,
 }
 
-const USAGE: &str = "usage: bivc [--ssa] [--classes] [--deps] [--trip-counts] [--classic] [--dot] [--time] FILE\n       bivc [--jobs N] [--batch] [--cache-cap N] [--time] FILE|DIR...\n       bivc --remote ENDPOINT [--cache-cap N] FILE|DIR...\n       bivc --demo";
+const USAGE: &str = "usage: bivc [--ssa] [--classes] [--deps] [--trip-counts] [--classic] [--dot] [--time] FILE\n       bivc [--jobs N] [--batch] [--cache-cap N] [--time] FILE|DIR...\n       bivc --remote ENDPOINT [--cache-cap N] FILE|DIR...\n       bivc --demo\n\nrobustness knobs (any mode):\n       --budget time=MS,nodes=N,scc=N,order=N   degrade to `unknown` past these caps\n       --faults seed=N,profile=NAME             deterministic fault injection\n                                                (needs a fault-injection build)";
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
@@ -70,6 +71,7 @@ fn parse_args() -> Result<Options, String> {
         jobs: 0,
         cache_cap: None,
         remote: None,
+        budget: Budget::UNLIMITED,
         paths: Vec::new(),
     };
     let mut any_flag = false;
@@ -125,6 +127,14 @@ fn parse_args() -> Result<Options, String> {
                 opts.remote = Some(value);
                 opts.batch = true;
             }
+            "--budget" => {
+                let value = args.next().ok_or("--budget needs a value")?;
+                opts.budget = Budget::parse(&value)?;
+            }
+            "--faults" => {
+                let value = args.next().ok_or("--faults needs a value")?;
+                install_faults(&value)?;
+            }
             "--demo" => demo = true,
             "--help" | "-h" => return Err(USAGE.into()),
             path if !path.starts_with('-') => opts.paths.push(path.to_string()),
@@ -144,6 +154,10 @@ fn parse_args() -> Result<Options, String> {
                 } else if let Some(value) = other.strip_prefix("--remote=") {
                     opts.remote = Some(value.to_string());
                     opts.batch = true;
+                } else if let Some(value) = other.strip_prefix("--budget=") {
+                    opts.budget = Budget::parse(value)?;
+                } else if let Some(value) = other.strip_prefix("--faults=") {
+                    install_faults(value)?;
                 } else {
                     return Err(format!("unknown flag `{other}` (try --help)"));
                 }
@@ -160,6 +174,20 @@ fn parse_args() -> Result<Options, String> {
         return Err("no input file (try --demo or --help)".into());
     }
     Ok(opts)
+}
+
+/// Arms deterministic fault injection for this process. Only meaningful
+/// in builds with the `fault-injection` feature; release binaries carry
+/// no injection code and refuse the flag instead of silently ignoring
+/// it.
+#[cfg(feature = "fault-injection")]
+fn install_faults(spec: &str) -> Result<(), String> {
+    biv_faults::install_from_spec(spec)
+}
+
+#[cfg(not(feature = "fault-injection"))]
+fn install_faults(_spec: &str) -> Result<(), String> {
+    Err("this binary was built without fault injection; rebuild with `--features fault-injection` to use --faults".into())
 }
 
 const DEMO: &str = r#"
@@ -266,6 +294,10 @@ fn run_batch_local(opts: &Options, files: &[String], errors: &mut Vec<String>) -
     let parse_time = t_parse.map(|t| t.elapsed());
     let mut batch_opts = BatchOptions {
         jobs: opts.jobs,
+        config: AnalysisConfig {
+            budget: opts.budget,
+            ..AnalysisConfig::default()
+        },
         ..BatchOptions::default()
     };
     if let Some(cap) = opts.cache_cap {
@@ -395,12 +427,16 @@ fn main() -> ExitCode {
                 }
             }
         }
+        let config = AnalysisConfig {
+            budget: opts.budget,
+            ..AnalysisConfig::default()
+        };
         let analysis = if opts.time {
-            let (analysis, times) = analyze_with_times(func, AnalysisConfig::default());
+            let (analysis, times) = analyze_with_times(func, config);
             phase_totals.accumulate(&times);
             analysis
         } else {
-            analyze(func)
+            analyze_with(func, config)
         };
         if opts.dot {
             println!("{}", biv::ir::dot::cfg_to_dot(func));

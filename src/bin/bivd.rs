@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! bivd [--socket PATH | --tcp ADDR] [--workers N] [--queue-cap N]
-//!      [--cache-cap N] [--timeout-ms N]
+//!      [--cache-cap N] [--timeout-ms N] [--budget SPEC] [--faults SPEC]
 //! ```
 //!
 //! Listens on a Unix socket (default `$TMPDIR/bivd.sock`) or a TCP
@@ -22,7 +22,7 @@ use std::process::ExitCode;
 use biv::server::signal;
 use biv::server::{Endpoint, Server, ServerConfig};
 
-const USAGE: &str = "usage: bivd [--socket PATH | --tcp ADDR] [--workers N] [--queue-cap N] [--cache-cap N] [--timeout-ms N]";
+const USAGE: &str = "usage: bivd [--socket PATH | --tcp ADDR] [--workers N] [--queue-cap N] [--cache-cap N] [--timeout-ms N] [--budget time=MS,nodes=N,scc=N,order=N] [--faults seed=N,profile=NAME]";
 
 fn default_socket() -> String {
     std::env::temp_dir()
@@ -60,12 +60,30 @@ fn parse_args() -> Result<ServerConfig, String> {
                 let ms: u64 = parse_num(&value("--timeout-ms")?, "--timeout-ms")?;
                 config.request_timeout = std::time::Duration::from_millis(ms);
             }
+            "--budget" => {
+                config.budget = biv::core_analysis::Budget::parse(&value("--budget")?)?;
+            }
+            "--faults" => install_faults(&value("--faults")?)?,
             "--help" | "-h" => return Err(USAGE.into()),
             other => return Err(format!("unknown flag `{other}` (try --help)")),
         }
     }
     config.endpoint = endpoint.unwrap_or(Endpoint::Unix(default_socket().into()));
     Ok(config)
+}
+
+/// Arms deterministic fault injection for this daemon. Only meaningful
+/// in builds with the `fault-injection` feature; production binaries
+/// carry no injection code and refuse the flag instead of silently
+/// ignoring it.
+#[cfg(feature = "fault-injection")]
+fn install_faults(spec: &str) -> Result<(), String> {
+    biv_faults::install_from_spec(spec)
+}
+
+#[cfg(not(feature = "fault-injection"))]
+fn install_faults(_spec: &str) -> Result<(), String> {
+    Err("this binary was built without fault injection; rebuild with `--features fault-injection` to use --faults".into())
 }
 
 fn parse_num<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, String> {

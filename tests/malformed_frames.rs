@@ -1,0 +1,147 @@
+//! Malformed-frame corpus: a live server fed truncated prefixes,
+//! oversize lengths, invalid UTF-8, deeply nested JSON, and binary
+//! garbage must answer each with a protocol error or a clean close —
+//! and must never panic or stop serving well-formed clients.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::AtomicBool;
+use std::time::Duration;
+
+use biv::server::frame::{read_frame, write_frame, MAX_FRAME_BYTES};
+use biv::server::{Client, Endpoint, Request, Response, Server, ServerConfig};
+
+/// An in-process server on a loopback port; returns the dial address
+/// and the join handle (resolved by a `shutdown` request).
+fn spawn_server() -> (String, std::thread::JoinHandle<()>) {
+    let mut config = ServerConfig::new(Endpoint::Tcp("127.0.0.1:0".into()));
+    config.workers = 1;
+    // Small cap so the oversize probe is cheap.
+    config.max_frame_bytes = 1 << 20;
+    let server = Server::bind(config).expect("bind 127.0.0.1:0");
+    let endpoint = server.bound_endpoint();
+    let flag: &'static AtomicBool = Box::leak(Box::new(AtomicBool::new(false)));
+    let handle = std::thread::spawn(move || {
+        server.run(flag).expect("server run");
+    });
+    (endpoint, handle)
+}
+
+fn dial(endpoint: &str) -> TcpStream {
+    let addr = endpoint.strip_prefix("tcp:").expect("tcp endpoint");
+    let conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    conn
+}
+
+/// Expects either a framed `Response::Error` or a clean close — the two
+/// legal outcomes for garbage input.
+fn error_or_close(conn: &mut TcpStream, what: &str) {
+    match read_frame(conn, MAX_FRAME_BYTES) {
+        Ok(Some(payload)) => {
+            let response = Response::decode(&payload)
+                .unwrap_or_else(|e| panic!("{what}: undecodable response: {e}"));
+            let Response::Error { kind, .. } = response else {
+                panic!("{what}: expected an error response, got {response:?}");
+            };
+            assert_eq!(kind, "bad-request", "{what}");
+        }
+        Ok(None) => {} // clean close
+        Err(e) => {
+            // A reset after the server aborts the connection is as
+            // acceptable as a clean FIN; a timeout (hang) is not.
+            assert_ne!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock,
+                "{what}: server hung instead of answering or closing"
+            );
+        }
+    }
+}
+
+/// The server survived: a fresh well-formed client still gets served.
+fn assert_alive(endpoint: &str) {
+    let mut client = Client::connect(&Endpoint::parse(endpoint)).expect("reconnect");
+    assert_eq!(
+        client.request(&Request::Ping).expect("ping"),
+        Response::Pong
+    );
+}
+
+#[test]
+fn malformed_frame_corpus_never_kills_the_server() {
+    let (endpoint, handle) = spawn_server();
+
+    // 1. Truncated length prefix: two bytes, then FIN mid-prefix.
+    {
+        let mut conn = dial(&endpoint);
+        conn.write_all(&[0x00, 0x01]).unwrap();
+        drop(conn);
+    }
+    assert_alive(&endpoint);
+
+    // 2. Truncated payload: the prefix promises more than is sent.
+    {
+        let mut conn = dial(&endpoint);
+        conn.write_all(&64u32.to_be_bytes()).unwrap();
+        conn.write_all(b"only a few bytes").unwrap();
+        drop(conn);
+    }
+    assert_alive(&endpoint);
+
+    // 3. Oversize length prefix: must be rejected before allocation,
+    //    by dropping the connection (no way to resync after it).
+    {
+        let mut conn = dial(&endpoint);
+        conn.write_all(&u32::MAX.to_be_bytes()).unwrap();
+        let mut buf = [0u8; 16];
+        let n = conn.read(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "oversize frame should close the connection");
+    }
+    assert_alive(&endpoint);
+
+    // 4. Invalid UTF-8 payload in a well-formed frame.
+    {
+        let mut conn = dial(&endpoint);
+        write_frame(&mut conn, &[0xff, 0xfe, 0x80, 0x81]).unwrap();
+        error_or_close(&mut conn, "invalid utf-8");
+    }
+    assert_alive(&endpoint);
+
+    // 5. Deeply nested JSON: parser depth limit, not a stack overflow.
+    {
+        let mut conn = dial(&endpoint);
+        let deep = format!("{}1{}", "[".repeat(4096), "]".repeat(4096));
+        write_frame(&mut conn, deep.as_bytes()).unwrap();
+        error_or_close(&mut conn, "deeply nested json");
+    }
+    assert_alive(&endpoint);
+
+    // 6. Valid JSON, wrong shape.
+    {
+        let mut conn = dial(&endpoint);
+        write_frame(&mut conn, br#"{"op":"explode","v":[1,2,3]}"#).unwrap();
+        error_or_close(&mut conn, "wrong shape");
+        // The same connection keeps serving after a bad request.
+        write_frame(&mut conn, &Request::Ping.encode()).unwrap();
+        let payload = read_frame(&mut conn, MAX_FRAME_BYTES).unwrap().unwrap();
+        assert_eq!(Response::decode(&payload).unwrap(), Response::Pong);
+    }
+
+    // 7. Binary garbage payloads at assorted sizes.
+    for size in [1usize, 7, 255, 4096] {
+        let mut conn = dial(&endpoint);
+        let garbage: Vec<u8> = (0..size).map(|i| (i * 37 + 11) as u8).collect();
+        write_frame(&mut conn, &garbage).unwrap();
+        error_or_close(&mut conn, "binary garbage");
+    }
+    assert_alive(&endpoint);
+
+    let mut client = Client::connect(&Endpoint::parse(&endpoint)).expect("connect");
+    assert_eq!(
+        client.request(&Request::Shutdown).expect("shutdown"),
+        Response::ShutdownAck
+    );
+    handle.join().expect("server thread exits cleanly");
+}
