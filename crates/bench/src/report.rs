@@ -44,6 +44,19 @@ pub fn emit_json(
     measurements: &[Measurement],
     baselines: &[Baseline],
 ) -> std::io::Result<()> {
+    emit_json_with_extras(path, bench, measurements, baselines, &[])
+}
+
+/// Like [`emit_json`], with extra top-level numeric fields — for bench
+/// binaries whose trajectory carries more than timings (e.g. the store
+/// bench's warm hit rate).
+pub fn emit_json_with_extras(
+    path: &Path,
+    bench: &str,
+    measurements: &[Measurement],
+    baselines: &[Baseline],
+    extras: &[(&str, f64)],
+) -> std::io::Result<()> {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"bench\": {},\n", json_string(bench)));
@@ -51,6 +64,9 @@ pub fn emit_json(
         "  \"quick\": {},\n",
         if quick_mode() { "true" } else { "false" }
     ));
+    for (key, value) in extras {
+        out.push_str(&format!("  {}: {},\n", json_string(key), json_f64(*value)));
+    }
     out.push_str("  \"results\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         let median_ns = m.median.as_nanos() as f64;

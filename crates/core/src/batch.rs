@@ -42,6 +42,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use biv_ir::{EntityId, Function, Inst, Operand, Terminator};
 
 use crate::budget::BudgetBreach;
+use crate::cache::CacheBackend;
 use crate::config::AnalysisConfig;
 use crate::display::{canonical_value_name, describe_class_with};
 use crate::driver::{analyze_protected, AnalysisError};
@@ -258,11 +259,40 @@ impl StructuralCache {
         self.evictions
     }
 
-    fn peek(&self, hash: u64) -> Option<Arc<StructuralSummary>> {
+    /// Looks `hash` up without touching the counters.
+    pub fn peek(&self, hash: u64) -> Option<Arc<StructuralSummary>> {
         self.map.get(&hash).map(Arc::clone)
     }
 
-    fn insert(&mut self, hash: u64, summary: Arc<StructuralSummary>) -> usize {
+    /// Looks `hash` up, recording a hit or a miss in the cumulative
+    /// counters — the counted form backends route through.
+    pub fn lookup(&mut self, hash: u64) -> Option<Arc<StructuralSummary>> {
+        let found = self.peek(hash);
+        if found.is_some() {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        found
+    }
+
+    /// Records a hit that bypassed [`lookup`](StructuralCache::lookup)
+    /// (a batch-local structural twin served from its representative).
+    pub fn note_hit(&mut self) {
+        self.hits += 1;
+    }
+
+    /// Records a miss that bypassed [`lookup`](StructuralCache::lookup)
+    /// (a tiered backend checked every tier via `peek` and found
+    /// nothing; the miss is still charged to the front tier's counters
+    /// so `hits + misses` tracks functions submitted).
+    pub fn note_miss(&mut self) {
+        self.misses += 1;
+    }
+
+    /// Inserts a summary, evicting FIFO past capacity; returns how many
+    /// entries were evicted.
+    pub fn insert(&mut self, hash: u64, summary: Arc<StructuralSummary>) -> usize {
         if self.capacity == 0 {
             return 0;
         }
@@ -322,62 +352,118 @@ pub fn analyze_batch_with_cache(
     opts: &BatchOptions,
     cache: &mut StructuralCache,
 ) -> BatchReport {
-    let hashes: Vec<u64> = funcs.iter().map(structural_hash).collect();
+    analyze_batch_with_backend(funcs, opts, cache)
+}
 
-    // Serial planning phase: decide, per function, whether it is served
-    // from the cache, aliases an earlier function in this batch, or is
-    // the representative that will actually be analyzed.
-    enum Plan {
-        Cached(Arc<StructuralSummary>),
-        Computed { slot: usize },
-    }
+/// Analyzes a batch of functions against any [`CacheBackend`] — the
+/// in-memory [`StructuralCache`], or a memory+disk write-through tier
+/// such as `biv_store::TieredCache`.
+///
+/// The hit/miss plan is computed serially before any worker starts, so
+/// results, summaries, and statistics do not depend on scheduling. Which
+/// tier answered a lookup never changes the summary bytes — only the
+/// backend's own counters.
+pub fn analyze_batch_with_backend<B: CacheBackend + ?Sized>(
+    funcs: &[Function],
+    opts: &BatchOptions,
+    cache: &mut B,
+) -> BatchReport {
+    let hashes: Vec<u64> = funcs.iter().map(structural_hash).collect();
     let mut stats = BatchStats {
         functions: funcs.len(),
         ..BatchStats::default()
     };
-    let mut slot_of_hash: HashMap<u64, usize> = HashMap::new();
-    let mut representatives: Vec<usize> = Vec::new();
-    let mut plans: Vec<(Plan, bool)> = Vec::with_capacity(funcs.len());
-    for (i, &hash) in hashes.iter().enumerate() {
-        if let Some(summary) = cache.peek(hash) {
-            stats.hits += 1;
-            cache.hits += 1;
-            plans.push((Plan::Cached(summary), true));
-        } else if let Some(&slot) = slot_of_hash.get(&hash) {
-            // Duplicate within this batch: share the representative's
-            // result. Counts as a hit — it is not analyzed again.
-            stats.hits += 1;
-            cache.hits += 1;
-            plans.push((Plan::Computed { slot }, true));
-        } else {
-            stats.misses += 1;
-            cache.misses += 1;
-            let slot = representatives.len();
-            slot_of_hash.insert(hash, slot);
-            representatives.push(i);
-            plans.push((Plan::Computed { slot }, false));
-        }
-    }
+    let (plans, representatives) = plan_batch(&hashes, cache, &mut stats);
 
     // Parallel analysis of the representatives.
     let jobs = resolve_jobs(opts.jobs).min(representatives.len()).max(1);
     stats.jobs = jobs;
     let computed = compute_representatives(funcs, &representatives, jobs, &opts.config);
 
-    // Deterministic cache insertion, in representative (= input) order.
-    // Uncacheable summaries (panicked or deadline-degraded) are skipped
-    // so they cannot poison later lookups; an injected commit fault has
-    // the same effect — the result is still returned, just not retained.
+    commit_batch(&hashes, &representatives, &computed, cache, &mut stats);
+    assemble_report(plans, funcs, &hashes, &computed, stats)
+}
+
+/// Per-function decision from the serial plan phase.
+enum Plan {
+    /// Served from the backend (any tier).
+    Cached(Arc<StructuralSummary>),
+    /// Analyzed this batch, as representative `slot` (or sharing it).
+    Computed {
+        /// Index into the representative/computed arrays.
+        slot: usize,
+    },
+}
+
+/// Serial planning: decide, per function, whether it is served from the
+/// backend, aliases an earlier function in this batch, or is the
+/// representative that will actually be analyzed. Counts hits and
+/// misses in `stats` and in the backend's cumulative counters.
+///
+/// The batch-local duplicate check runs first and never consults the
+/// backend: the two cases are mutually exclusive (a hash lands in
+/// `slot_of_hash` only after the backend missed on its first
+/// occurrence, and planning never inserts), so counter totals are
+/// identical to checking the backend first.
+fn plan_batch<B: CacheBackend + ?Sized>(
+    hashes: &[u64],
+    cache: &mut B,
+    stats: &mut BatchStats,
+) -> (Vec<(Plan, bool)>, Vec<usize>) {
+    let mut slot_of_hash: HashMap<u64, usize> = HashMap::new();
+    let mut representatives: Vec<usize> = Vec::new();
+    let mut plans: Vec<(Plan, bool)> = Vec::with_capacity(hashes.len());
+    for (i, &hash) in hashes.iter().enumerate() {
+        if let Some(&slot) = slot_of_hash.get(&hash) {
+            // Duplicate within this batch: share the representative's
+            // result. Counts as a hit — it is not analyzed again.
+            stats.hits += 1;
+            cache.note_duplicate_hit();
+            plans.push((Plan::Computed { slot }, true));
+        } else if let Some(summary) = cache.lookup(hash) {
+            stats.hits += 1;
+            plans.push((Plan::Cached(summary), true));
+        } else {
+            stats.misses += 1;
+            let slot = representatives.len();
+            slot_of_hash.insert(hash, slot);
+            representatives.push(i);
+            plans.push((Plan::Computed { slot }, false));
+        }
+    }
+    (plans, representatives)
+}
+
+/// Deterministic cache insertion, in representative (= input) order.
+/// Uncacheable summaries (panicked or deadline-degraded) are skipped so
+/// they cannot poison later lookups; an injected commit fault has the
+/// same effect — the result is still returned, just not retained.
+fn commit_batch<B: CacheBackend + ?Sized>(
+    hashes: &[u64],
+    representatives: &[usize],
+    computed: &[Arc<StructuralSummary>],
+    cache: &mut B,
+    stats: &mut BatchStats,
+) {
     for (slot, &i) in representatives.iter().enumerate() {
         if !computed[slot].cacheable() || crate::faults::fire("cache.commit") {
             continue;
         }
-        stats.evictions += cache.insert(hashes[i], Arc::clone(&computed[slot]));
+        stats.evictions += cache.commit(hashes[i], Arc::clone(&computed[slot]));
     }
+}
 
+/// Resolves every plan into input-order [`FunctionSummary`] blocks.
+fn assemble_report(
+    plans: Vec<(Plan, bool)>,
+    funcs: &[Function],
+    hashes: &[u64],
+    computed: &[Arc<StructuralSummary>],
+    stats: BatchStats,
+) -> BatchReport {
     let functions = plans
         .into_iter()
-        .zip(funcs.iter().zip(&hashes))
+        .zip(funcs.iter().zip(hashes))
         .map(|((plan, cached), (func, &hash))| {
             let summary = match plan {
                 Plan::Cached(s) => s,
@@ -472,40 +558,27 @@ pub fn analyze_batch_shared(
     opts: &BatchOptions,
     cache: &Mutex<StructuralCache>,
 ) -> BatchReport {
-    let hashes: Vec<u64> = funcs.iter().map(structural_hash).collect();
+    analyze_batch_shared_backend(funcs, opts, cache)
+}
 
-    enum Plan {
-        Cached(Arc<StructuralSummary>),
-        Computed { slot: usize },
-    }
+/// [`analyze_batch_shared`] over any [`CacheBackend`] — what `bivd`
+/// runs when a durable store is configured. The lock is held only for
+/// the serial plan phase (lookups) and the commit phase (insertions and
+/// write-through appends), never while a function is being analyzed.
+pub fn analyze_batch_shared_backend<B: CacheBackend>(
+    funcs: &[Function],
+    opts: &BatchOptions,
+    cache: &Mutex<B>,
+) -> BatchReport {
+    let hashes: Vec<u64> = funcs.iter().map(structural_hash).collect();
     let mut stats = BatchStats {
         functions: funcs.len(),
         ..BatchStats::default()
     };
-    let mut slot_of_hash: HashMap<u64, usize> = HashMap::new();
-    let mut representatives: Vec<usize> = Vec::new();
-    let mut plans: Vec<(Plan, bool)> = Vec::with_capacity(funcs.len());
-    {
+    let (plans, representatives) = {
         let mut cache = cache.lock().expect("structural cache poisoned");
-        for (i, &hash) in hashes.iter().enumerate() {
-            if let Some(summary) = cache.peek(hash) {
-                stats.hits += 1;
-                cache.hits += 1;
-                plans.push((Plan::Cached(summary), true));
-            } else if let Some(&slot) = slot_of_hash.get(&hash) {
-                stats.hits += 1;
-                cache.hits += 1;
-                plans.push((Plan::Computed { slot }, true));
-            } else {
-                stats.misses += 1;
-                cache.misses += 1;
-                let slot = representatives.len();
-                slot_of_hash.insert(hash, slot);
-                representatives.push(i);
-                plans.push((Plan::Computed { slot }, false));
-            }
-        }
-    }
+        plan_batch(&hashes, &mut *cache, &mut stats)
+    };
 
     // Analysis runs with the lock released. Server workers call this
     // with `jobs: 1` — request-level parallelism comes from the pool.
@@ -514,36 +587,20 @@ pub fn analyze_batch_shared(
     let computed = compute_representatives(funcs, &representatives, jobs, &opts.config);
 
     {
+        // Same commit gate as the unshared path: never retain panicked
+        // or deadline-degraded summaries, and let the injected commit
+        // fault drop retention without affecting the returned report.
         let mut cache = cache.lock().expect("structural cache poisoned");
-        for (slot, &i) in representatives.iter().enumerate() {
-            // Same commit gate as the unshared path: never retain
-            // panicked or deadline-degraded summaries, and let the
-            // injected commit fault drop retention without affecting
-            // the returned report.
-            if !computed[slot].cacheable() || crate::faults::fire("cache.commit") {
-                continue;
-            }
-            stats.evictions += cache.insert(hashes[i], Arc::clone(&computed[slot]));
-        }
+        commit_batch(
+            &hashes,
+            &representatives,
+            &computed,
+            &mut *cache,
+            &mut stats,
+        );
     }
 
-    let functions = plans
-        .into_iter()
-        .zip(funcs.iter().zip(&hashes))
-        .map(|((plan, cached), (func, &hash))| {
-            let summary = match plan {
-                Plan::Cached(s) => s,
-                Plan::Computed { slot } => Arc::clone(&computed[slot]),
-            };
-            FunctionSummary {
-                name: func.name().to_string(),
-                hash,
-                cached,
-                summary,
-            }
-        })
-        .collect();
-    BatchReport { functions, stats }
+    assemble_report(plans, funcs, &hashes, &computed, stats)
 }
 
 /// Analyzes the representative functions, sharded over `jobs` workers.

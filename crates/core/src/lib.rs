@@ -50,6 +50,7 @@
 
 pub mod batch;
 pub mod budget;
+pub mod cache;
 mod class;
 mod classify;
 mod config;
@@ -61,11 +62,13 @@ mod symbols;
 mod tripcount;
 
 pub use batch::{
-    analyze_batch, analyze_batch_shared, analyze_batch_with_cache, cold_batch_stats,
-    render_grouped, resolve_jobs, structural_hash, BatchOptions, BatchReport, BatchStats,
-    FunctionSummary, LoopSummary, StructuralCache, StructuralSummary,
+    analyze_batch, analyze_batch_shared, analyze_batch_shared_backend, analyze_batch_with_backend,
+    analyze_batch_with_cache, cold_batch_stats, render_grouped, resolve_jobs, structural_hash,
+    BatchOptions, BatchReport, BatchStats, FunctionSummary, LoopSummary, StructuralCache,
+    StructuralSummary,
 };
 pub use budget::{Budget, BudgetBreach, BudgetMeter};
+pub use cache::{analysis_fingerprint, CacheBackend, StoreGauges, FORMAT_VERSION};
 pub use class::{Class, ClosedForm, Direction, FamilyAnchor, Monotonic, Periodic};
 pub use classify::{
     class_of_sympoly, classify_loop, classify_loop_metered, combine_classes, negate_class,

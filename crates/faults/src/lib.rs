@@ -27,6 +27,9 @@
 //! | `queue.storm` | an admission is refused as if the queue were full |
 //! | `cache.commit` | a computed summary is not committed to the cache |
 //! | `analyze.panic` | panic inside per-function analysis (batch boundary) |
+//! | `store.write.torn` | a store append writes only a prefix of the record and the store wedges — a simulated crash mid-commit |
+//! | `store.write.short` | a store append is split across two writes (exercises the write loop; no data loss) |
+//! | `store.record.corrupt` | one byte of a record is flipped after its checksum was computed — caught by CRC on reopen |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -51,10 +54,19 @@ pub enum Profile {
     Cache,
     /// Per-function analysis panics only (exercises the batch boundary).
     Analyze,
+    /// Durable-store faults only: torn appends (simulated crash
+    /// mid-commit), split writes, and record corruption caught by CRC
+    /// on reopen. None of them changes a served response — persistence
+    /// degrades, answers do not.
+    Store,
     /// Everything *except* `analyze.panic`, at moderate rates. The
     /// excluded site changes rendered output (an error line replaces a
     /// function's summary), so the byte-identity chaos invariant holds
-    /// only without it.
+    /// only without it. Store short-write and corrupt-record sites are
+    /// included (they only ever cost retention or reopen-time recompute,
+    /// never answer bytes); `store.write.torn` is not, because one torn
+    /// append wedges the store for the rest of the process and would
+    /// make the rest of a chaos run exercise nothing.
     Chaos,
 }
 
@@ -66,6 +78,7 @@ impl Profile {
             "storm" => Some(Profile::Storm),
             "cache" => Some(Profile::Cache),
             "analyze" => Some(Profile::Analyze),
+            "store" => Some(Profile::Store),
             "chaos" => Some(Profile::Chaos),
             _ => None,
         }
@@ -80,6 +93,9 @@ pub fn rate_per_1024(profile: Profile, site: &str) -> u32 {
     let storm = site == "queue.storm";
     let cache = site == "cache.commit";
     let analyze = site == "analyze.panic";
+    let torn = site == "store.write.torn";
+    let short = site == "store.write.short";
+    let corrupt = site == "store.record.corrupt";
     match profile {
         Profile::Io if net => 192,
         Profile::Worker if job_panic => 256,
@@ -87,11 +103,16 @@ pub fn rate_per_1024(profile: Profile, site: &str) -> u32 {
         Profile::Storm if storm => 384,
         Profile::Cache if cache => 256,
         Profile::Analyze if analyze => 256,
+        Profile::Store if torn => 96,
+        Profile::Store if short => 192,
+        Profile::Store if corrupt => 96,
         Profile::Chaos if net => 64,
         Profile::Chaos if job_panic => 128,
         Profile::Chaos if die => 48,
         Profile::Chaos if storm => 128,
         Profile::Chaos if cache => 96,
+        Profile::Chaos if short => 64,
+        Profile::Chaos if corrupt => 32,
         _ => 0,
     }
 }
@@ -146,7 +167,8 @@ pub fn install(seed: u64, profile: Profile) {
 
 /// Parses and installs a `seed=N,profile=NAME` spec (order-insensitive).
 ///
-/// Profiles: `io`, `worker`, `storm`, `cache`, `analyze`, `chaos`.
+/// Profiles: `io`, `worker`, `storm`, `cache`, `analyze`, `store`,
+/// `chaos`.
 pub fn install_from_spec(spec: &str) -> Result<(), String> {
     let mut seed: Option<u64> = None;
     let mut profile: Option<Profile> = None;
@@ -207,6 +229,15 @@ fn draw(site: &str) -> Option<u64> {
 /// Should a fault fire at `site` on this draw?
 pub fn fire(site: &str) -> bool {
     draw(site).is_some()
+}
+
+/// One draw at `site`, handing back the draw's entropy when it fires.
+///
+/// Call sites that need to *parameterize* an injected fault — which
+/// byte of a record to flip, where to tear a write — use the entropy so
+/// the parameter is as deterministic as the firing decision.
+pub fn entropy(site: &str) -> Option<u64> {
+    draw(site)
 }
 
 /// Panics with an identifiable message if a fault fires at `site`.
@@ -304,7 +335,40 @@ mod tests {
         install(7, Profile::Chaos);
         for _ in 0..512 {
             assert!(!fire("analyze.panic"), "chaos excludes analyze.panic");
+            assert!(!fire("store.write.torn"), "chaos excludes torn appends");
         }
+        uninstall();
+    }
+
+    #[test]
+    fn store_profile_scopes_and_fires() {
+        let _gate = exclusive();
+        install(13, Profile::Store);
+        for _ in 0..512 {
+            assert!(!fire("net.read.short"));
+            assert!(!fire("cache.commit"));
+        }
+        assert!((0..512).any(|_| fire("store.write.torn")));
+        assert!((0..512).any(|_| fire("store.write.short")));
+        assert!((0..512).any(|_| fire("store.record.corrupt")));
+        uninstall();
+    }
+
+    #[test]
+    fn entropy_is_deterministic_per_seed() {
+        let _gate = exclusive();
+        let site = "store.record.corrupt";
+        install(21, Profile::Store);
+        let a: Vec<Option<u64>> = (0..256).map(|_| entropy(site)).collect();
+        install(21, Profile::Store);
+        let b: Vec<Option<u64>> = (0..256).map(|_| entropy(site)).collect();
+        assert_eq!(a, b, "same seed, same entropy sequence");
+        let fires: Vec<u64> = a.into_iter().flatten().collect();
+        assert!(!fires.is_empty());
+        assert!(
+            fires.windows(2).any(|w| w[0] != w[1]),
+            "entropy varies across draws"
+        );
         uninstall();
     }
 

@@ -13,6 +13,7 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 use biv_bench::latency::{LatencySnapshot, LatencyWindow};
+use biv_core::StoreGauges;
 
 use crate::json::Json;
 
@@ -135,16 +136,20 @@ impl Metrics {
 
     /// Renders every counter and per-phase histogram summary, plus the
     /// caller-supplied queue and cache gauges, as the `stats` payload.
+    /// The `store` object appears only when the server fronts a durable
+    /// store (`--cache-dir`); memory-only deployments omit the key
+    /// entirely rather than reporting zeros that look like data.
     pub fn snapshot_json(
         &self,
         queue_depth: usize,
         queue_capacity: usize,
         cache: CacheGauges,
+        store: Option<StoreGauges>,
         workers: usize,
     ) -> Json {
         let phases = self.phases.lock().expect("metrics poisoned");
         let load = |c: &AtomicU64| Json::Int(c.load(Ordering::Relaxed) as i64);
-        Json::obj(vec![
+        let mut fields = vec![
             (
                 "requests",
                 Json::obj(vec![
@@ -189,8 +194,29 @@ impl Metrics {
                     ("total", latency_json(phases.total.snapshot())),
                 ]),
             ),
-        ])
+        ];
+        if let Some(s) = store {
+            fields.insert(3, ("store", store_json(&s)));
+        }
+        Json::obj(fields)
     }
+}
+
+/// Renders durable-store gauges as the `store` stats object; shared by
+/// the daemon's `stats` endpoint and `bivc --stats-json` so dashboards
+/// see one schema.
+pub fn store_json(s: &StoreGauges) -> Json {
+    Json::obj(vec![
+        ("disk_hits", Json::Int(s.disk_hits as i64)),
+        ("disk_misses", Json::Int(s.disk_misses as i64)),
+        ("records_live", Json::Int(s.records_live as i64)),
+        ("records_garbage", Json::Int(s.records_garbage as i64)),
+        ("compactions", Json::Int(s.compactions as i64)),
+        (
+            "corrupt_records_skipped",
+            Json::Int(s.corrupt_records_skipped as i64),
+        ),
+    ])
 }
 
 /// Point-in-time structural-cache counters for the stats payload.
@@ -248,6 +274,7 @@ mod tests {
                 entries: 5,
                 capacity: 4096,
             },
+            None,
             4,
         );
         let req = json.get("requests").unwrap();
@@ -266,6 +293,45 @@ mod tests {
         assert_eq!(analyze.get("p50_us").unwrap().as_i64(), Some(40_000));
         assert_eq!(analyze.get("max_us").unwrap().as_i64(), Some(60_000));
         // The snapshot is valid JSON end to end.
+        assert_eq!(Json::parse(&json.to_text()).unwrap(), json);
+        // Memory-only deployments omit the store object entirely.
+        assert!(json.get("store").is_none());
+    }
+
+    #[test]
+    fn store_gauges_render_when_a_durable_tier_exists() {
+        let m = Metrics::new();
+        let gauges = StoreGauges {
+            disk_hits: 11,
+            disk_misses: 3,
+            records_live: 8,
+            records_garbage: 2,
+            compactions: 1,
+            corrupt_records_skipped: 1,
+        };
+        let json = m.snapshot_json(
+            0,
+            64,
+            CacheGauges {
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+                entries: 0,
+                capacity: 4096,
+            },
+            Some(gauges),
+            2,
+        );
+        let store = json.get("store").expect("store object present");
+        assert_eq!(store.get("disk_hits").unwrap().as_i64(), Some(11));
+        assert_eq!(store.get("disk_misses").unwrap().as_i64(), Some(3));
+        assert_eq!(store.get("records_live").unwrap().as_i64(), Some(8));
+        assert_eq!(store.get("records_garbage").unwrap().as_i64(), Some(2));
+        assert_eq!(store.get("compactions").unwrap().as_i64(), Some(1));
+        assert_eq!(
+            store.get("corrupt_records_skipped").unwrap().as_i64(),
+            Some(1)
+        );
         assert_eq!(Json::parse(&json.to_text()).unwrap(), json);
     }
 

@@ -27,16 +27,18 @@
 //!    arriving after drain began get an explicit `draining` error.
 
 use std::io::{self, Read};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Mutex};
 use std::time::{Duration, Instant};
 
 use biv_core::{
-    analyze_batch_shared, cold_batch_stats, render_grouped, resolve_jobs, AnalysisConfig,
-    BatchOptions, Budget, StructuralCache,
+    analyze_batch_shared_backend, cold_batch_stats, render_grouped, resolve_jobs, AnalysisConfig,
+    BatchOptions, Budget, CacheBackend, StructuralCache,
 };
 use biv_ir::parser::parse_program;
 use biv_ir::Function;
+use biv_store::{StoreOptions, TieredCache};
 
 use crate::frame::{write_frame, MAX_FRAME_BYTES};
 use crate::metrics::{CacheGauges, Metrics, PhaseSample};
@@ -68,6 +70,11 @@ pub struct ServerConfig {
     /// affected values to `unknown` with a recorded reason; they never
     /// fail the request.
     pub budget: Budget,
+    /// Directory of the durable analysis store. `None` serves from the
+    /// in-memory cache alone; `Some` preloads the store on startup
+    /// (warm restart), writes summaries through to it, and flushes it —
+    /// fsync plus atomic index snapshot — when the drain completes.
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl ServerConfig {
@@ -84,6 +91,7 @@ impl ServerConfig {
             poll_interval: Duration::from_millis(25),
             drain_grace: Duration::from_secs(5),
             budget: Budget::UNLIMITED,
+            cache_dir: None,
         }
     }
 }
@@ -126,7 +134,7 @@ struct Shared<'a> {
     config: &'a ServerConfig,
     workers: usize,
     queue: JobQueue<Job>,
-    cache: Mutex<StructuralCache>,
+    cache: Mutex<Box<dyn CacheBackend + Send>>,
     metrics: Metrics,
     shutdown: &'a AtomicBool,
 }
@@ -162,11 +170,21 @@ impl Server {
     pub fn run(self, shutdown: &AtomicBool) -> io::Result<ServeSummary> {
         let Server { listener, config } = self;
         let workers = resolve_jobs(config.workers);
+        // Opening the store *is* the preload: every surviving record is
+        // decoded into its index before the first request is accepted.
+        let backend: Box<dyn CacheBackend + Send> = match &config.cache_dir {
+            Some(dir) => Box::new(TieredCache::open(
+                dir,
+                config.cache_cap,
+                &StoreOptions::for_budget(&config.budget),
+            )?),
+            None => Box::new(StructuralCache::new(config.cache_cap)),
+        };
         let shared = Shared {
             config: &config,
             workers,
             queue: JobQueue::new(config.queue_cap),
-            cache: Mutex::new(StructuralCache::new(config.cache_cap)),
+            cache: Mutex::new(backend),
             metrics: Metrics::new(),
             shutdown,
         };
@@ -234,6 +252,14 @@ impl Server {
             shared.queue.close();
             for worker in worker_handles {
                 let _ = worker.join();
+            }
+            // Every queued request is answered and the workers are
+            // gone: make the store durable before reporting the drain.
+            // A flush failure degrades persistence, not the drain.
+            if let Ok(mut backend) = shared.cache.lock() {
+                if let Err(e) = backend.flush() {
+                    eprintln!("bivd: cache flush failed during drain: {e}");
+                }
             }
 
             Ok(ServeSummary {
@@ -350,7 +376,7 @@ fn process_job(shared: &Shared<'_>, opts: &BatchOptions, job: &Job) -> Response 
     let parse = t.elapsed();
 
     let t = Instant::now();
-    let report = analyze_batch_shared(&funcs, opts, &shared.cache);
+    let report = analyze_batch_shared_backend(&funcs, opts, &shared.cache);
     let analyze = t.elapsed();
 
     let t = Instant::now();
@@ -530,19 +556,22 @@ fn retry_hint_ms(shared: &Shared<'_>) -> u64 {
 
 /// Builds the live `stats` payload.
 fn stats_json(shared: &Shared<'_>) -> crate::json::Json {
-    let cache = shared.cache.lock().expect("structural cache poisoned");
+    let backend = shared.cache.lock().expect("structural cache poisoned");
+    let mem = backend.memory();
     let gauges = CacheGauges {
-        hits: cache.hits(),
-        misses: cache.misses(),
-        evictions: cache.evictions(),
-        entries: cache.len(),
-        capacity: cache.capacity(),
+        hits: mem.hits(),
+        misses: mem.misses(),
+        evictions: mem.evictions(),
+        entries: mem.len(),
+        capacity: mem.capacity(),
     };
-    drop(cache);
+    let store = backend.store_gauges();
+    drop(backend);
     shared.metrics.snapshot_json(
         shared.queue.depth(),
         shared.queue.capacity(),
         gauges,
+        store,
         shared.workers,
     )
 }
@@ -874,6 +903,73 @@ mod tests {
         assert_eq!(Response::decode(&payload).unwrap(), Response::Pong);
         write_frame(&mut conn, &Request::Shutdown.encode()).unwrap();
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn warm_restart_serves_from_disk_with_identical_bytes() {
+        let dir = std::env::temp_dir().join(format!("bivd-warm-restart-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Cold run: populate the store, drain (which flushes it).
+        let mut config = ServerConfig::new(Endpoint::Tcp(String::new()));
+        config.workers = 2;
+        config.cache_dir = Some(dir.clone());
+        let (endpoint, handle) = spawn_server(config.clone());
+        let mut client = Client::connect(&Endpoint::parse(&endpoint)).unwrap();
+        let cold = client
+            .request(&Request::Analyze {
+                files: files(3),
+                cache_cap: None,
+            })
+            .unwrap();
+        let Response::Analyze {
+            output: cold_output,
+            analyzed: cold_analyzed,
+            ..
+        } = cold
+        else {
+            panic!("expected analyze response");
+        };
+        assert_eq!(cold_analyzed, 1, "one distinct structure analyzed");
+        client.request(&Request::Shutdown).unwrap();
+        handle.join().unwrap();
+
+        // Warm restart: a fresh process-equivalent server over the same
+        // store. The memory tier is cold; the disk tier answers.
+        let (endpoint, handle) = spawn_server(config);
+        let mut client = Client::connect(&Endpoint::parse(&endpoint)).unwrap();
+        let warm = client
+            .request(&Request::Analyze {
+                files: files(3),
+                cache_cap: None,
+            })
+            .unwrap();
+        let Response::Analyze {
+            output: warm_output,
+            analyzed: warm_analyzed,
+            cached: warm_cached,
+            ..
+        } = warm
+        else {
+            panic!("expected analyze response");
+        };
+        assert_eq!(warm_analyzed, 0, "nothing re-analyzed after restart");
+        assert_eq!(warm_cached, 3);
+        assert_eq!(warm_output, cold_output, "warm restart changes no bytes");
+
+        let Response::Stats(stats) = client.request(&Request::Stats).unwrap() else {
+            panic!("expected stats");
+        };
+        let store = stats.get("store").expect("store gauges present");
+        assert_eq!(store.get("disk_hits").unwrap().as_i64(), Some(1));
+        assert_eq!(store.get("records_live").unwrap().as_i64(), Some(1));
+        assert_eq!(
+            store.get("corrupt_records_skipped").unwrap().as_i64(),
+            Some(0)
+        );
+        client.request(&Request::Shutdown).unwrap();
+        handle.join().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

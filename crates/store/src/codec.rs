@@ -1,0 +1,340 @@
+//! Binary serialization of [`StructuralSummary`] record payloads.
+//!
+//! Hand-rolled and dependency-free: little-endian fixed-width integers,
+//! `u32`-length-prefixed UTF-8 strings, `u8`-tagged options and enum
+//! variants. The encoding is *not* self-describing — the store's header
+//! carries [`biv_core::FORMAT_VERSION`], and any change here must bump
+//! it so stale records are invalidated wholesale rather than misread.
+//!
+//! Decoding is total: every failure mode (truncation, bad tag, invalid
+//! UTF-8, trailing bytes, absurd lengths) maps to [`DecodeError`], which
+//! the store treats exactly like a CRC failure — the record is corrupt.
+
+use std::fmt;
+use std::sync::Arc;
+
+use biv_core::{BudgetBreach, LoopSummary, StructuralSummary};
+
+/// Why a payload failed to decode. The store does not distinguish
+/// causes — any decode failure marks the record corrupt — but tests do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The payload ended before a declared field.
+    Truncated,
+    /// An enum or option tag byte held an unknown value.
+    BadTag(u8),
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+    /// A length prefix exceeded the bytes remaining.
+    BadLength(u64),
+    /// Bytes remained after the final field.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "payload truncated"),
+            DecodeError::BadTag(t) => write!(f, "unknown tag byte {t}"),
+            DecodeError::BadUtf8 => write!(f, "invalid UTF-8 in string field"),
+            DecodeError::BadLength(n) => write!(f, "length prefix {n} exceeds payload"),
+            DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after final field"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or(DecodeError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn len(&mut self) -> Result<usize, DecodeError> {
+        let n = self.u32()?;
+        let remaining = self.buf.len() - self.pos;
+        if n as usize > remaining {
+            return Err(DecodeError::BadLength(u64::from(n)));
+        }
+        Ok(n as usize)
+    }
+
+    fn string(&mut self) -> Result<String, DecodeError> {
+        let n = self.len()?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadUtf8)
+    }
+
+    fn usize64(&mut self) -> Result<usize, DecodeError> {
+        let n = self.u64()?;
+        usize::try_from(n).map_err(|_| DecodeError::BadLength(n))
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(
+        out,
+        u32::try_from(s.len()).expect("string field over 4 GiB"),
+    );
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_opt_str(out: &mut Vec<u8>, s: Option<&str>) {
+    match s {
+        None => out.push(0),
+        Some(s) => {
+            out.push(1);
+            put_str(out, s);
+        }
+    }
+}
+
+fn get_opt_str(r: &mut Reader) -> Result<Option<String>, DecodeError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(r.string()?)),
+        t => Err(DecodeError::BadTag(t)),
+    }
+}
+
+fn put_breach(out: &mut Vec<u8>, b: &BudgetBreach) {
+    match b {
+        BudgetBreach::Deadline => out.push(0),
+        BudgetBreach::RegionNodes { nodes, limit } => {
+            out.push(1);
+            put_u64(out, *nodes as u64);
+            put_u64(out, *limit as u64);
+        }
+        BudgetBreach::SccSize { size, limit } => {
+            out.push(2);
+            put_u64(out, *size as u64);
+            put_u64(out, *limit as u64);
+        }
+        BudgetBreach::PolyOrder { order, limit } => {
+            out.push(3);
+            put_u64(out, *order as u64);
+            put_u64(out, *limit as u64);
+        }
+    }
+}
+
+fn get_breach(r: &mut Reader) -> Result<BudgetBreach, DecodeError> {
+    match r.u8()? {
+        0 => Ok(BudgetBreach::Deadline),
+        1 => Ok(BudgetBreach::RegionNodes {
+            nodes: r.usize64()?,
+            limit: r.usize64()?,
+        }),
+        2 => Ok(BudgetBreach::SccSize {
+            size: r.usize64()?,
+            limit: r.usize64()?,
+        }),
+        3 => Ok(BudgetBreach::PolyOrder {
+            order: r.usize64()?,
+            limit: r.usize64()?,
+        }),
+        t => Err(DecodeError::BadTag(t)),
+    }
+}
+
+/// Encodes a summary into a fresh payload buffer.
+pub fn encode_summary(summary: &StructuralSummary) -> Vec<u8> {
+    let mut out = Vec::with_capacity(128);
+    put_u32(
+        &mut out,
+        u32::try_from(summary.loops.len()).expect("loop count"),
+    );
+    for lp in &summary.loops {
+        put_str(&mut out, &lp.name);
+        put_str(&mut out, &lp.trip_count);
+        put_opt_str(&mut out, lp.max_trip_count.as_deref());
+        put_u32(
+            &mut out,
+            u32::try_from(lp.classes.len()).expect("class count"),
+        );
+        for (value, class) in &lp.classes {
+            put_str(&mut out, value);
+            put_str(&mut out, class);
+        }
+    }
+    put_u32(
+        &mut out,
+        u32::try_from(summary.breaches.len()).expect("breach count"),
+    );
+    for b in &summary.breaches {
+        put_breach(&mut out, b);
+    }
+    put_opt_str(&mut out, summary.error.as_deref());
+    out
+}
+
+/// Decodes a payload produced by [`encode_summary`]; rejects trailing
+/// bytes so a framing slip cannot silently pass.
+pub fn decode_summary(payload: &[u8]) -> Result<Arc<StructuralSummary>, DecodeError> {
+    let mut r = Reader {
+        buf: payload,
+        pos: 0,
+    };
+    let loop_count = r.len()?;
+    let mut loops = Vec::with_capacity(loop_count.min(1024));
+    for _ in 0..loop_count {
+        let name = r.string()?;
+        let trip_count = r.string()?;
+        let max_trip_count = get_opt_str(&mut r)?;
+        let class_count = r.len()?;
+        let mut classes = Vec::with_capacity(class_count.min(1024));
+        for _ in 0..class_count {
+            let value = r.string()?;
+            let class = r.string()?;
+            classes.push((value, class));
+        }
+        loops.push(LoopSummary {
+            name,
+            trip_count,
+            max_trip_count,
+            classes,
+        });
+    }
+    let breach_count = r.len()?;
+    let mut breaches = Vec::with_capacity(breach_count.min(1024));
+    for _ in 0..breach_count {
+        breaches.push(get_breach(&mut r)?);
+    }
+    let error = get_opt_str(&mut r)?;
+    if r.pos != payload.len() {
+        return Err(DecodeError::TrailingBytes(payload.len() - r.pos));
+    }
+    Ok(Arc::new(StructuralSummary {
+        loops,
+        breaches,
+        error,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StructuralSummary {
+        StructuralSummary {
+            loops: vec![
+                LoopSummary {
+                    name: "L7".to_string(),
+                    trip_count: "(1000 - n1) / (c1 + k1)".to_string(),
+                    max_trip_count: Some("1000".to_string()),
+                    classes: vec![
+                        ("j2".to_string(), "(L7, n1, c1 + k1)".to_string()),
+                        ("i1".to_string(), "(L7, n1 + c1, c1 + k1)".to_string()),
+                    ],
+                },
+                LoopSummary {
+                    name: "L9".to_string(),
+                    trip_count: "unknown".to_string(),
+                    max_trip_count: None,
+                    classes: Vec::new(),
+                },
+            ],
+            breaches: vec![
+                BudgetBreach::RegionNodes {
+                    nodes: 4096,
+                    limit: 1024,
+                },
+                BudgetBreach::SccSize {
+                    size: 99,
+                    limit: 64,
+                },
+                BudgetBreach::PolyOrder { order: 5, limit: 3 },
+            ],
+            error: None,
+        }
+    }
+
+    #[test]
+    fn roundtrips_every_field() {
+        let original = sample();
+        let decoded = decode_summary(&encode_summary(&original)).expect("decode");
+        assert_eq!(*decoded, original);
+    }
+
+    #[test]
+    fn roundtrips_degenerate_summaries() {
+        for summary in [
+            StructuralSummary::from_loops(Vec::new()),
+            StructuralSummary {
+                loops: Vec::new(),
+                breaches: vec![BudgetBreach::Deadline],
+                error: Some("panicked: boom".to_string()),
+            },
+        ] {
+            let decoded = decode_summary(&encode_summary(&summary)).expect("decode");
+            assert_eq!(*decoded, summary);
+        }
+    }
+
+    #[test]
+    fn truncation_anywhere_is_detected() {
+        let bytes = encode_summary(&sample());
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_summary(&bytes[..cut]).is_err(),
+                "truncation at {cut} of {} must not decode",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode_summary(&sample());
+        bytes.push(0);
+        assert_eq!(decode_summary(&bytes), Err(DecodeError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn bad_tags_are_rejected() {
+        let summary = StructuralSummary {
+            loops: Vec::new(),
+            breaches: vec![BudgetBreach::Deadline],
+            error: None,
+        };
+        let mut bytes = encode_summary(&summary);
+        // The breach tag is the byte right after the two count words.
+        bytes[8] = 9;
+        assert_eq!(decode_summary(&bytes), Err(DecodeError::BadTag(9)));
+    }
+}

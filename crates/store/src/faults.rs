@@ -1,0 +1,20 @@
+//! Compile-time shim over `biv-faults` so the append path's injection
+//! sites read the same with or without the `fault-injection` feature;
+//! without it every hook is an inlined constant the optimizer erases.
+
+#![allow(dead_code)]
+
+#[cfg(feature = "fault-injection")]
+pub(crate) use biv_faults::{entropy, short_len};
+
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub(crate) fn entropy(_site: &str) -> Option<u64> {
+    None
+}
+
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub(crate) fn short_len(_site: &str, _full: usize) -> Option<usize> {
+    None
+}

@@ -1,0 +1,392 @@
+//! On-disk framing for the record log and the index snapshot.
+//!
+//! The log is the source of truth: a fixed header followed by
+//! append-only records, each independently CRC-checked so any prefix of
+//! the file that parses is a consistent state. The snapshot is only an
+//! open-time accelerator; it is rewritten atomically and distrusted the
+//! moment its metadata disagrees with the log.
+//!
+//! ## Log layout
+//!
+//! ```text
+//! header := "BIVS" | file_format u32 | app_version u32
+//!         | fp_len u32 | fingerprint bytes | crc32
+//! record := "BIVR" | payload_len u32 | hash u64 | payload | crc32
+//! ```
+//!
+//! All integers are little-endian. The header CRC covers everything
+//! between the magic and the CRC itself; a record's CRC covers the hash
+//! and the payload (the framing words are validated structurally: bad
+//! magic or an impossible length is as fatal as a bad checksum).
+//!
+//! ## Snapshot layout
+//!
+//! ```text
+//! snapshot := "BIVI" | file_format u32 | app_version u32
+//!           | fp_len u32 | fingerprint bytes
+//!           | log_len u64 | garbage u64
+//!           | entry_count u32 | { hash u64, offset u64, len u32 }*
+//!           | crc32
+//! ```
+//!
+//! A snapshot is trusted only when its file format, app version,
+//! fingerprint, *and* recorded `log_len` all match the live log — any
+//! append the snapshot has not seen (including one torn by `kill -9`)
+//! forces the full sequential scan instead.
+
+/// Magic leading the record log.
+pub const LOG_MAGIC: [u8; 4] = *b"BIVS";
+/// Magic leading the index snapshot.
+pub const SNAP_MAGIC: [u8; 4] = *b"BIVI";
+/// Magic leading every record.
+pub const REC_MAGIC: [u8; 4] = *b"BIVR";
+/// Version of the *container* layout described in this module —
+/// orthogonal to [`biv_core::FORMAT_VERSION`], which versions the
+/// analysis semantics carried in payloads.
+pub const LOG_FILE_FORMAT: u32 = 1;
+
+/// Bytes of record framing around a payload: magic, length, hash, CRC.
+pub const RECORD_OVERHEAD: usize = 4 + 4 + 8 + 4;
+
+/// CRC-32 (IEEE 802.3, reflected) with a compile-time table.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut c = !0u32;
+    for &b in bytes {
+        c = TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn read_u32(buf: &[u8], at: usize) -> Option<u32> {
+    Some(u32::from_le_bytes(buf.get(at..at + 4)?.try_into().ok()?))
+}
+
+fn read_u64(buf: &[u8], at: usize) -> Option<u64> {
+    Some(u64::from_le_bytes(buf.get(at..at + 8)?.try_into().ok()?))
+}
+
+/// Encodes the log header for a store keyed on
+/// `(app_version, fingerprint)`.
+pub fn encode_header(app_version: u32, fingerprint: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + fingerprint.len() + 4);
+    out.extend_from_slice(&LOG_MAGIC);
+    push_u32(&mut out, LOG_FILE_FORMAT);
+    push_u32(&mut out, app_version);
+    push_u32(
+        &mut out,
+        u32::try_from(fingerprint.len()).expect("fingerprint length"),
+    );
+    out.extend_from_slice(fingerprint.as_bytes());
+    let crc = crc32(&out[4..]);
+    push_u32(&mut out, crc);
+    out
+}
+
+/// A successfully parsed log header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Header {
+    /// [`biv_core::FORMAT_VERSION`] at write time.
+    pub app_version: u32,
+    /// [`biv_core::analysis_fingerprint`] at write time.
+    pub fingerprint: String,
+    /// Bytes the header occupies; the first record starts here.
+    pub len: usize,
+}
+
+/// Parses the log header; `None` means the header is corrupt or from an
+/// unknown container format, and the log must be reset.
+pub fn decode_header(buf: &[u8]) -> Option<Header> {
+    if buf.get(..4)? != LOG_MAGIC {
+        return None;
+    }
+    if read_u32(buf, 4)? != LOG_FILE_FORMAT {
+        return None;
+    }
+    let app_version = read_u32(buf, 8)?;
+    let fp_len = read_u32(buf, 12)? as usize;
+    let body_end = 16usize.checked_add(fp_len)?;
+    let fingerprint = String::from_utf8(buf.get(16..body_end)?.to_vec()).ok()?;
+    let crc = read_u32(buf, body_end)?;
+    if crc != crc32(&buf[4..body_end]) {
+        return None;
+    }
+    Some(Header {
+        app_version,
+        fingerprint,
+        len: body_end + 4,
+    })
+}
+
+/// Encodes one record: framing, hash, payload, CRC over hash+payload.
+pub fn encode_record(hash: u64, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(RECORD_OVERHEAD + payload.len());
+    out.extend_from_slice(&REC_MAGIC);
+    push_u32(
+        &mut out,
+        u32::try_from(payload.len()).expect("payload length"),
+    );
+    push_u64(&mut out, hash);
+    out.extend_from_slice(payload);
+    let crc = crc32(&out[8..]);
+    push_u32(&mut out, crc);
+    out
+}
+
+/// A record parsed in place from the log buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct ParsedRecord<'a> {
+    /// The structural hash the record is keyed on.
+    pub hash: u64,
+    /// The CRC-verified payload bytes.
+    pub payload: &'a [u8],
+    /// Total bytes the record occupies, framing included.
+    pub len: usize,
+}
+
+/// Parses the record starting at `offset`. `None` covers every failure
+/// mode — truncation, bad magic, impossible length, CRC mismatch —
+/// because the caller's response is always the same: the consistent
+/// prefix ends here.
+pub fn parse_record(buf: &[u8], offset: usize) -> Option<ParsedRecord<'_>> {
+    let rec = buf.get(offset..)?;
+    if rec.get(..4)? != REC_MAGIC {
+        return None;
+    }
+    let payload_len = read_u32(rec, 4)? as usize;
+    let total = RECORD_OVERHEAD.checked_add(payload_len)?;
+    if rec.len() < total {
+        return None;
+    }
+    let hash = read_u64(rec, 8)?;
+    let payload = &rec[16..16 + payload_len];
+    let crc = read_u32(rec, 16 + payload_len)?;
+    if crc != crc32(&rec[8..16 + payload_len]) {
+        return None;
+    }
+    Some(ParsedRecord {
+        hash,
+        payload,
+        len: total,
+    })
+}
+
+/// One live-record descriptor inside a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapEntry {
+    /// The structural hash.
+    pub hash: u64,
+    /// Byte offset of the record in the log.
+    pub offset: u64,
+    /// Total record length, framing included.
+    pub len: u32,
+}
+
+/// The decoded contents of an index snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// [`biv_core::FORMAT_VERSION`] at write time.
+    pub app_version: u32,
+    /// [`biv_core::analysis_fingerprint`] at write time.
+    pub fingerprint: String,
+    /// Log length the snapshot describes; a live log of any other
+    /// length invalidates it.
+    pub log_len: u64,
+    /// Garbage records resident in the log at snapshot time.
+    pub garbage: u64,
+    /// Live records, in no particular order.
+    pub entries: Vec<SnapEntry>,
+}
+
+/// Encodes an index snapshot.
+pub fn encode_snapshot(snap: &Snapshot) -> Vec<u8> {
+    let mut out = Vec::with_capacity(40 + snap.fingerprint.len() + snap.entries.len() * 20);
+    out.extend_from_slice(&SNAP_MAGIC);
+    push_u32(&mut out, LOG_FILE_FORMAT);
+    push_u32(&mut out, snap.app_version);
+    push_u32(
+        &mut out,
+        u32::try_from(snap.fingerprint.len()).expect("fingerprint length"),
+    );
+    out.extend_from_slice(snap.fingerprint.as_bytes());
+    push_u64(&mut out, snap.log_len);
+    push_u64(&mut out, snap.garbage);
+    push_u32(
+        &mut out,
+        u32::try_from(snap.entries.len()).expect("entry count"),
+    );
+    for e in &snap.entries {
+        push_u64(&mut out, e.hash);
+        push_u64(&mut out, e.offset);
+        push_u32(&mut out, e.len);
+    }
+    let crc = crc32(&out[4..]);
+    push_u32(&mut out, crc);
+    out
+}
+
+/// Decodes an index snapshot; `None` on any corruption or format skew.
+pub fn decode_snapshot(buf: &[u8]) -> Option<Snapshot> {
+    if buf.len() < 4 || buf.get(..4)? != SNAP_MAGIC {
+        return None;
+    }
+    let crc_at = buf.len().checked_sub(4)?;
+    if read_u32(buf, crc_at)? != crc32(&buf[4..crc_at]) {
+        return None;
+    }
+    if read_u32(buf, 4)? != LOG_FILE_FORMAT {
+        return None;
+    }
+    let app_version = read_u32(buf, 8)?;
+    let fp_len = read_u32(buf, 12)? as usize;
+    let mut at = 16usize.checked_add(fp_len)?;
+    let fingerprint = String::from_utf8(buf.get(16..at)?.to_vec()).ok()?;
+    let log_len = read_u64(buf, at)?;
+    let garbage = read_u64(buf, at + 8)?;
+    let entry_count = read_u32(buf, at + 16)? as usize;
+    at += 20;
+    let mut entries = Vec::with_capacity(entry_count.min(1 << 16));
+    for _ in 0..entry_count {
+        entries.push(SnapEntry {
+            hash: read_u64(buf, at)?,
+            offset: read_u64(buf, at + 8)?,
+            len: read_u32(buf, at + 16)?,
+        });
+        at += 20;
+    }
+    if at != crc_at {
+        return None;
+    }
+    Some(Snapshot {
+        app_version,
+        fingerprint,
+        log_len,
+        garbage,
+        entries,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE 802.3 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn header_roundtrips_and_rejects_tampering() {
+        let bytes = encode_header(3, "nodes=-,scc=64,order=-");
+        let h = decode_header(&bytes).expect("decode");
+        assert_eq!(h.app_version, 3);
+        assert_eq!(h.fingerprint, "nodes=-,scc=64,order=-");
+        assert_eq!(h.len, bytes.len());
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            assert!(decode_header(&bad).is_none(), "flip at {i} must be caught");
+        }
+        assert!(decode_header(&bytes[..bytes.len() - 1]).is_none());
+    }
+
+    #[test]
+    fn record_roundtrips_and_rejects_tampering() {
+        let rec = encode_record(0xDEAD_BEEF_CAFE_F00D, b"payload bytes");
+        let p = parse_record(&rec, 0).expect("parse");
+        assert_eq!(p.hash, 0xDEAD_BEEF_CAFE_F00D);
+        assert_eq!(p.payload, b"payload bytes");
+        assert_eq!(p.len, rec.len());
+        for i in 0..rec.len() {
+            let mut bad = rec.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                parse_record(&bad, 0).is_none(),
+                "flip at {i} must be caught"
+            );
+        }
+        for cut in 0..rec.len() {
+            assert!(
+                parse_record(&rec[..cut], 0).is_none(),
+                "truncation at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn records_parse_back_to_back() {
+        let mut buf = encode_record(1, b"a");
+        let second_at = buf.len();
+        buf.extend_from_slice(&encode_record(2, b"bb"));
+        let first = parse_record(&buf, 0).expect("first");
+        assert_eq!(first.hash, 1);
+        assert_eq!(first.len, second_at);
+        let second = parse_record(&buf, second_at).expect("second");
+        assert_eq!(second.hash, 2);
+        assert_eq!(second.payload, b"bb");
+    }
+
+    #[test]
+    fn snapshot_roundtrips_and_rejects_tampering() {
+        let snap = Snapshot {
+            app_version: 1,
+            fingerprint: "nodes=-,scc=-,order=-".to_string(),
+            log_len: 4096,
+            garbage: 2,
+            entries: vec![
+                SnapEntry {
+                    hash: 7,
+                    offset: 30,
+                    len: 44,
+                },
+                SnapEntry {
+                    hash: 9,
+                    offset: 74,
+                    len: 120,
+                },
+            ],
+        };
+        let bytes = encode_snapshot(&snap);
+        assert_eq!(decode_snapshot(&bytes).as_ref(), Some(&snap));
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x10;
+            assert!(
+                decode_snapshot(&bad).is_none(),
+                "flip at {i} must be caught"
+            );
+        }
+    }
+}

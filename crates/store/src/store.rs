@@ -1,0 +1,782 @@
+//! The durable store: an append-only record log, a fully-decoded
+//! in-memory index, and an atomically-replaced snapshot.
+//!
+//! ## Commit protocol
+//!
+//! A `put` appends one self-checking record to the log with a plain
+//! `write`; durability is deferred to [`Store::flush`], which fsyncs
+//! the log and then replaces the snapshot via write-temp + fsync +
+//! rename + directory fsync. The log is therefore the source of truth
+//! and the snapshot is an open-time accelerator that is *only* trusted
+//! when its recorded metadata (container format, analyzer version,
+//! budget fingerprint, log length) matches the live log exactly.
+//!
+//! ## Crash matrix
+//!
+//! | failure | state on reopen |
+//! |---------|-----------------|
+//! | crash before `flush` | records up to the last complete append survive via the page cache if the OS stayed up; a torn final record is truncated |
+//! | `kill -9` mid-append | the log ends in a partial record → truncated to the consistent prefix, `corrupt_records_skipped` counts it |
+//! | crash mid-snapshot-replace | the temp file is ignored; the old snapshot either survives (stale `log_len` → full scan) or was already renamed (consistent) |
+//! | bit rot / post-CRC corruption | the record's CRC fails → the log is truncated *at* that record; everything before it is served |
+//! | analyzer upgraded ([`FORMAT_VERSION`] bump) or budget caps changed | header mismatch → every record is garbage, the store compacts to empty |
+//!
+//! Truncating at the first bad record — rather than skipping it —
+//! is deliberate: an append-only log has no framing recovery, so
+//! anything after a corrupt region is unattributable and must be
+//! recomputed, never served.
+//!
+//! ## Compaction policy
+//!
+//! Compaction runs only on open (the serving path never pays for it):
+//! when garbage records exceed [`StoreOptions::compact_garbage_percent`]
+//! of the log, or unconditionally on wholesale invalidation, the live
+//! records are rewritten to a temp log which atomically replaces the
+//! old one.
+
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use biv_core::{analysis_fingerprint, Budget, StoreGauges, StructuralSummary, FORMAT_VERSION};
+
+use crate::codec::{decode_summary, encode_summary};
+use crate::faults;
+use crate::log::{
+    decode_header, decode_snapshot, encode_header, encode_record, encode_snapshot, parse_record,
+    SnapEntry, Snapshot,
+};
+
+/// File name of the record log inside the store directory.
+pub const LOG_FILE: &str = "store.log";
+/// File name of the index snapshot inside the store directory.
+pub const SNAP_FILE: &str = "index.snap";
+const SNAP_TMP_FILE: &str = "index.snap.tmp";
+const LOG_TMP_FILE: &str = "store.log.tmp";
+
+/// What a store is keyed on and when it compacts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreOptions {
+    /// Analyzer format version; normally [`FORMAT_VERSION`]. A store
+    /// written under any other version is invalidated wholesale on
+    /// open. Overridable so tests can simulate an analyzer upgrade.
+    pub format_version: u32,
+    /// Deterministic budget fingerprint; normally
+    /// [`analysis_fingerprint`] of the serving budget. Same wholesale
+    /// invalidation semantics as the version.
+    pub fingerprint: String,
+    /// Compact on open when garbage records exceed this percentage of
+    /// all records (0 compacts whenever any garbage exists; 100 never
+    /// compacts short of wholesale invalidation).
+    pub compact_garbage_percent: u8,
+}
+
+impl StoreOptions {
+    /// Options for serving under `budget` with the current analyzer.
+    pub fn for_budget(budget: &Budget) -> StoreOptions {
+        StoreOptions {
+            format_version: FORMAT_VERSION,
+            fingerprint: analysis_fingerprint(budget),
+            compact_garbage_percent: 50,
+        }
+    }
+}
+
+impl Default for StoreOptions {
+    fn default() -> StoreOptions {
+        StoreOptions::for_budget(&Budget::UNLIMITED)
+    }
+}
+
+/// A durable content-addressed map from structural hash to
+/// [`StructuralSummary`], preloaded into memory on open.
+pub struct Store {
+    dir: PathBuf,
+    file: File,
+    log_len: u64,
+    options: StoreOptions,
+    index: HashMap<u64, Arc<StructuralSummary>>,
+    layout: HashMap<u64, SnapEntry>,
+    garbage: u64,
+    disk_hits: u64,
+    disk_misses: u64,
+    compactions: u64,
+    corrupt_skipped: u64,
+    wedged: bool,
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Store")
+            .field("dir", &self.dir)
+            .field("live", &self.index.len())
+            .field("garbage", &self.garbage)
+            .field("wedged", &self.wedged)
+            .finish_non_exhaustive()
+    }
+}
+
+fn fsync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+struct ScanOutcome {
+    index: HashMap<u64, Arc<StructuralSummary>>,
+    layout: HashMap<u64, SnapEntry>,
+    garbage: u64,
+    corrupt_skipped: u64,
+    /// Consistent-prefix length; the file is truncated here if shorter
+    /// than what was read.
+    prefix_len: u64,
+}
+
+/// Sequentially parses every record after the header, superseding
+/// earlier records for the same hash, stopping (and marking the tail
+/// corrupt) at the first record that fails framing, CRC, or decode.
+fn scan_records(buf: &[u8], header_len: usize) -> ScanOutcome {
+    let mut index = HashMap::new();
+    let mut layout: HashMap<u64, SnapEntry> = HashMap::new();
+    let mut garbage = 0u64;
+    let mut corrupt_skipped = 0u64;
+    let mut at = header_len;
+    while at < buf.len() {
+        let Some(rec) = parse_record(buf, at) else {
+            corrupt_skipped += 1;
+            break;
+        };
+        match decode_summary(rec.payload) {
+            Ok(summary) if summary.cacheable() => {
+                let entry = SnapEntry {
+                    hash: rec.hash,
+                    offset: at as u64,
+                    len: u32::try_from(rec.len).expect("record length"),
+                };
+                if layout.insert(rec.hash, entry).is_some() {
+                    garbage += 1;
+                }
+                index.insert(rec.hash, summary);
+            }
+            // A record that decodes to a non-cacheable summary should
+            // never have been written; treat it as garbage, not as
+            // corruption — the framing after it is still sound.
+            Ok(_) => garbage += 1,
+            Err(_) => {
+                corrupt_skipped += 1;
+                break;
+            }
+        }
+        at += rec.len;
+    }
+    let prefix_len = if corrupt_skipped > 0 {
+        at as u64
+    } else {
+        buf.len() as u64
+    };
+    ScanOutcome {
+        index,
+        layout,
+        garbage,
+        corrupt_skipped,
+        prefix_len,
+    }
+}
+
+impl Store {
+    /// Opens (creating if absent) the store in `dir`, validating the
+    /// log, truncating any corrupt tail, invalidating wholesale on
+    /// version or fingerprint mismatch, and compacting when the garbage
+    /// ratio warrants it. The surviving records are fully decoded into
+    /// memory — a warm open *is* the preload.
+    pub fn open(dir: &Path, options: &StoreOptions) -> io::Result<Store> {
+        fs::create_dir_all(dir)?;
+        let log_path = dir.join(LOG_FILE);
+        let mut buf = Vec::new();
+        match File::open(&log_path) {
+            Ok(mut f) => {
+                f.read_to_end(&mut buf)?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+
+        let mut store = Store {
+            dir: dir.to_path_buf(),
+            // Placeholder; replaced below once the log is settled.
+            file: OpenOptions::new()
+                .append(true)
+                .create(true)
+                .open(&log_path)?,
+            log_len: 0,
+            options: options.clone(),
+            index: HashMap::new(),
+            layout: HashMap::new(),
+            garbage: 0,
+            disk_hits: 0,
+            disk_misses: 0,
+            compactions: 0,
+            corrupt_skipped: 0,
+            wedged: false,
+        };
+
+        let header = if buf.is_empty() {
+            None
+        } else {
+            decode_header(&buf)
+        };
+        match header {
+            None => {
+                // Missing or corrupt header: nothing in this log is
+                // attributable. Start fresh.
+                store.reset_log()?;
+            }
+            Some(h)
+                if h.app_version != options.format_version
+                    || h.fingerprint != options.fingerprint =>
+            {
+                // Wholesale invalidation: every record in the old log
+                // is stale garbage, so compact straight to empty.
+                store.reset_log()?;
+                store.compactions += 1;
+            }
+            Some(h) => {
+                let outcome = match store.load_from_snapshot(&buf, &h.fingerprint, h.app_version) {
+                    Some(outcome) => outcome,
+                    None => scan_records(&buf, h.len),
+                };
+                store.corrupt_skipped = outcome.corrupt_skipped;
+                if outcome.prefix_len < buf.len() as u64 {
+                    // Truncate the unattributable tail before anything
+                    // else can append after it.
+                    store.file.set_len(outcome.prefix_len)?;
+                    store.file.sync_all()?;
+                }
+                store.log_len = outcome.prefix_len;
+                store.index = outcome.index;
+                store.layout = outcome.layout;
+                store.garbage = outcome.garbage;
+
+                let total = store.index.len() as u64 + store.garbage;
+                let threshold = u64::from(options.compact_garbage_percent);
+                if store.garbage > 0 && total > 0 && store.garbage * 100 > total * threshold {
+                    store.compact(&buf)?;
+                }
+            }
+        }
+        Ok(store)
+    }
+
+    /// Tries the snapshot fast path: decode `index.snap`, verify it
+    /// describes exactly this log, and load only the live records it
+    /// points at. Any disagreement returns `None` → full scan.
+    fn load_from_snapshot(
+        &self,
+        buf: &[u8],
+        fingerprint: &str,
+        app_version: u32,
+    ) -> Option<ScanOutcome> {
+        let snap_bytes = fs::read(self.dir.join(SNAP_FILE)).ok()?;
+        let snap = decode_snapshot(&snap_bytes)?;
+        if snap.app_version != app_version
+            || snap.fingerprint != fingerprint
+            || snap.log_len != buf.len() as u64
+        {
+            return None;
+        }
+        let mut index = HashMap::with_capacity(snap.entries.len());
+        let mut layout = HashMap::with_capacity(snap.entries.len());
+        for e in &snap.entries {
+            let offset = usize::try_from(e.offset).ok()?;
+            let rec = parse_record(buf, offset)?;
+            if rec.hash != e.hash || rec.len != e.len as usize {
+                return None;
+            }
+            let summary = decode_summary(rec.payload).ok()?;
+            index.insert(e.hash, summary);
+            layout.insert(e.hash, *e);
+        }
+        Some(ScanOutcome {
+            index,
+            layout,
+            garbage: snap.garbage,
+            corrupt_skipped: 0,
+            prefix_len: buf.len() as u64,
+        })
+    }
+
+    /// Replaces the log with a fresh empty one (header only) and drops
+    /// any snapshot.
+    fn reset_log(&mut self) -> io::Result<()> {
+        let header = encode_header(self.options.format_version, &self.options.fingerprint);
+        self.replace_log(&header)?;
+        self.index.clear();
+        self.layout.clear();
+        Ok(())
+    }
+
+    /// Rewrites the log to hold only live records, atomically.
+    fn compact(&mut self, old_buf: &[u8]) -> io::Result<()> {
+        let mut fresh = encode_header(self.options.format_version, &self.options.fingerprint);
+        let mut entries: Vec<SnapEntry> = self.layout.values().copied().collect();
+        // Deterministic output: preserve original log order.
+        entries.sort_by_key(|e| e.offset);
+        let mut layout = HashMap::with_capacity(entries.len());
+        for e in &entries {
+            let offset = usize::try_from(e.offset).expect("offset fits usize");
+            let new_offset = fresh.len() as u64;
+            fresh.extend_from_slice(&old_buf[offset..offset + e.len as usize]);
+            layout.insert(
+                e.hash,
+                SnapEntry {
+                    hash: e.hash,
+                    offset: new_offset,
+                    len: e.len,
+                },
+            );
+        }
+        self.replace_log(&fresh)?;
+        self.layout = layout;
+        self.garbage = 0;
+        self.compactions += 1;
+        Ok(())
+    }
+
+    /// Writes `contents` to a temp log, fsyncs, renames over the live
+    /// log, fsyncs the directory, reopens the append handle, and
+    /// removes any snapshot (now stale by construction).
+    fn replace_log(&mut self, contents: &[u8]) -> io::Result<()> {
+        let tmp = self.dir.join(LOG_TMP_FILE);
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(contents)?;
+            f.sync_all()?;
+        }
+        let log_path = self.dir.join(LOG_FILE);
+        fs::rename(&tmp, &log_path)?;
+        fsync_dir(&self.dir)?;
+        match fs::remove_file(self.dir.join(SNAP_FILE)) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        self.file = OpenOptions::new().append(true).open(&log_path)?;
+        self.log_len = contents.len() as u64;
+        Ok(())
+    }
+
+    /// Looks `hash` up, counting a disk hit or miss.
+    pub fn get(&mut self, hash: u64) -> Option<Arc<StructuralSummary>> {
+        let found = self.index.get(&hash).map(Arc::clone);
+        if found.is_some() {
+            self.disk_hits += 1;
+        } else {
+            self.disk_misses += 1;
+        }
+        found
+    }
+
+    /// Appends `summary` under `hash`. Returns `Ok(false)` without
+    /// writing when the hash is already present, the summary is not
+    /// cacheable (defense in depth — budget-degraded or panicked
+    /// summaries must never be persisted), or the store is wedged.
+    ///
+    /// A failed append tries to roll the log back to the record
+    /// boundary; if even that fails, the store wedges: reads keep
+    /// working, writes stop, and the next open repairs the file.
+    pub fn put(&mut self, hash: u64, summary: &Arc<StructuralSummary>) -> io::Result<bool> {
+        if self.wedged || !summary.cacheable() || self.index.contains_key(&hash) {
+            return Ok(false);
+        }
+        let payload = encode_summary(summary);
+        let mut rec = encode_record(hash, &payload);
+
+        // Injected fault: flip one byte *after* the CRC was computed —
+        // undetectable now, caught by CRC verification on reopen. The
+        // in-memory index keeps the correct summary, so this process
+        // never serves the corrupt bytes.
+        if let Some(entropy) = faults::entropy("store.record.corrupt") {
+            let at = (entropy as usize) % rec.len();
+            rec[at] ^= 1 << ((entropy >> 32) % 8);
+        }
+
+        // Injected fault: the process "dies" mid-append — only a prefix
+        // of the record reaches the file and the store wedges, exactly
+        // the state a real crash leaves behind.
+        if let Some(entropy) = faults::entropy("store.write.torn") {
+            let cut = 1 + (entropy as usize) % (rec.len() - 1);
+            let _ = self.file.write_all(&rec[..cut]);
+            self.wedged = true;
+            return Ok(false);
+        }
+
+        let write_result = match faults::short_len("store.write.short", rec.len()) {
+            // Injected fault: the append lands in two writes. No data
+            // is lost; this exercises torn-tail *detection* only when a
+            // real crash interleaves (see tests/crash.rs).
+            Some(n) => self
+                .file
+                .write_all(&rec[..n])
+                .and_then(|()| self.file.write_all(&rec[n..])),
+            None => self.file.write_all(&rec),
+        };
+        if let Err(e) = write_result {
+            if self.file.set_len(self.log_len).is_err() || self.file.sync_all().is_err() {
+                self.wedged = true;
+            }
+            return Err(e);
+        }
+
+        let entry = SnapEntry {
+            hash,
+            offset: self.log_len,
+            len: u32::try_from(rec.len()).expect("record length"),
+        };
+        self.log_len += rec.len() as u64;
+        self.layout.insert(hash, entry);
+        self.index.insert(hash, Arc::clone(summary));
+        Ok(true)
+    }
+
+    /// Makes everything appended so far durable: fsync the log, then
+    /// atomically replace the snapshot (write-temp + fsync + rename +
+    /// directory fsync). A wedged store skips the snapshot — its
+    /// in-memory state no longer matches the file.
+    pub fn flush(&mut self) -> io::Result<()> {
+        if self.wedged {
+            return Ok(());
+        }
+        self.file.sync_all()?;
+        let mut entries: Vec<SnapEntry> = self.layout.values().copied().collect();
+        entries.sort_by_key(|e| e.offset);
+        let snap = Snapshot {
+            app_version: self.options.format_version,
+            fingerprint: self.options.fingerprint.clone(),
+            log_len: self.log_len,
+            garbage: self.garbage,
+            entries,
+        };
+        let tmp = self.dir.join(SNAP_TMP_FILE);
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&encode_snapshot(&snap))?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, self.dir.join(SNAP_FILE))?;
+        fsync_dir(&self.dir)
+    }
+
+    /// Point-in-time counters for the `stats` endpoint /
+    /// `--stats-json`.
+    pub fn stats(&self) -> StoreGauges {
+        StoreGauges {
+            disk_hits: self.disk_hits,
+            disk_misses: self.disk_misses,
+            records_live: self.index.len() as u64,
+            records_garbage: self.garbage,
+            compactions: self.compactions,
+            corrupt_records_skipped: self.corrupt_skipped,
+        }
+    }
+
+    /// Live records currently indexed.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether no records are live.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Whether `hash` is live, without touching hit/miss counters.
+    pub fn contains(&self, hash: u64) -> bool {
+        self.index.contains_key(&hash)
+    }
+
+    /// Whether a failed or torn append has stopped writes.
+    pub fn wedged(&self) -> bool {
+        self.wedged
+    }
+
+    /// The options this store was opened with.
+    pub fn options(&self) -> &StoreOptions {
+        &self.options
+    }
+
+    /// The directory holding the log and snapshot.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("biv-store-test-{tag}-{}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn summary(tag: &str) -> Arc<StructuralSummary> {
+        Arc::new(StructuralSummary::from_loops(vec![biv_core::LoopSummary {
+            name: format!("L_{tag}"),
+            trip_count: "10".to_string(),
+            max_trip_count: None,
+            classes: vec![(format!("v_{tag}"), "invariant".to_string())],
+        }]))
+    }
+
+    #[test]
+    fn put_get_survive_reopen() {
+        let dir = tmp_dir("reopen");
+        let opts = StoreOptions::default();
+        {
+            let mut store = Store::open(&dir, &opts).expect("open");
+            assert!(store.put(1, &summary("a")).expect("put"));
+            assert!(store.put(2, &summary("b")).expect("put"));
+            assert!(
+                !store.put(1, &summary("a")).expect("dup put"),
+                "dup is a no-op"
+            );
+            store.flush().expect("flush");
+        }
+        let mut store = Store::open(&dir, &opts).expect("reopen");
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(1).expect("hit").loops[0].name, "L_a");
+        assert!(store.get(3).is_none());
+        let gauges = store.stats();
+        assert_eq!(gauges.disk_hits, 1);
+        assert_eq!(gauges.disk_misses, 1);
+        assert_eq!(gauges.records_live, 2);
+        assert_eq!(gauges.corrupt_records_skipped, 0);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unflushed_appends_survive_reopen_via_full_scan() {
+        let dir = tmp_dir("noflush");
+        let opts = StoreOptions::default();
+        {
+            let mut store = Store::open(&dir, &opts).expect("open");
+            store.put(1, &summary("a")).expect("put");
+            // No flush: no fsync, no snapshot. The bytes are still in
+            // the file (same OS instance), so the scan finds them.
+        }
+        let store = Store::open(&dir, &opts).expect("reopen");
+        assert_eq!(store.len(), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn version_bump_invalidates_wholesale() {
+        let dir = tmp_dir("version");
+        let opts = StoreOptions::default();
+        {
+            let mut store = Store::open(&dir, &opts).expect("open");
+            store.put(1, &summary("a")).expect("put");
+            store.put(2, &summary("b")).expect("put");
+            store.flush().expect("flush");
+        }
+        let bumped = StoreOptions {
+            format_version: opts.format_version + 1,
+            ..opts.clone()
+        };
+        let mut store = Store::open(&dir, &bumped).expect("reopen");
+        assert!(store.is_empty(), "stale records must not be visible");
+        assert!(store.get(1).is_none());
+        let gauges = store.stats();
+        assert_eq!(gauges.records_live, 0);
+        assert_eq!(gauges.records_garbage, 0);
+        assert_eq!(gauges.compactions, 1, "invalidation compacts to empty");
+        // And the new-version store works from there.
+        let mut store = store;
+        store.put(9, &summary("fresh")).expect("put");
+        store.flush().expect("flush");
+        drop(store);
+        let store = Store::open(&dir, &bumped).expect("second reopen");
+        assert_eq!(store.len(), 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fingerprint_change_invalidates_wholesale() {
+        let dir = tmp_dir("fingerprint");
+        let opts = StoreOptions::default();
+        {
+            let mut store = Store::open(&dir, &opts).expect("open");
+            store.put(1, &summary("a")).expect("put");
+            store.flush().expect("flush");
+        }
+        let capped = StoreOptions::for_budget(&Budget {
+            max_scc: Some(16),
+            ..Budget::UNLIMITED
+        });
+        let store = Store::open(&dir, &capped).expect("reopen");
+        assert!(store.is_empty());
+        assert_eq!(store.stats().compactions, 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn non_cacheable_summaries_are_refused() {
+        let dir = tmp_dir("cacheable");
+        let mut store = Store::open(&dir, &StoreOptions::default()).expect("open");
+        let degraded = Arc::new(StructuralSummary {
+            loops: Vec::new(),
+            breaches: vec![biv_core::BudgetBreach::Deadline],
+            error: None,
+        });
+        let errored = Arc::new(StructuralSummary {
+            loops: Vec::new(),
+            breaches: Vec::new(),
+            error: Some("panicked".to_string()),
+        });
+        assert!(!store.put(1, &degraded).expect("put"));
+        assert!(!store.put(2, &errored).expect("put"));
+        assert!(store.is_empty());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_counted() {
+        let dir = tmp_dir("torn");
+        let opts = StoreOptions::default();
+        {
+            let mut store = Store::open(&dir, &opts).expect("open");
+            store.put(1, &summary("a")).expect("put");
+            store.put(2, &summary("b")).expect("put");
+            store.flush().expect("flush");
+        }
+        // Simulate kill -9 mid-append: append half a record by hand.
+        let log = dir.join(LOG_FILE);
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(&log)
+            .expect("open log");
+        let torn = encode_record(3, &encode_summary(&summary("c")));
+        f.write_all(&torn[..torn.len() / 2]).expect("torn append");
+        drop(f);
+        let full_len = fs::metadata(&log).expect("meta").len();
+
+        let mut store = Store::open(&dir, &opts).expect("reopen");
+        assert_eq!(store.len(), 2, "consistent prefix survives");
+        assert!(store.get(1).is_some());
+        assert_eq!(store.stats().corrupt_records_skipped, 1);
+        assert!(
+            fs::metadata(&log).expect("meta").len() < full_len,
+            "the torn tail must be truncated from the file"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_record_truncates_from_there() {
+        let dir = tmp_dir("corrupt");
+        let opts = StoreOptions::default();
+        let record_two_offset;
+        {
+            let mut store = Store::open(&dir, &opts).expect("open");
+            store.put(1, &summary("a")).expect("put");
+            record_two_offset = fs::metadata(dir.join(LOG_FILE)).expect("meta").len();
+            store.put(2, &summary("b")).expect("put");
+            store.put(3, &summary("c")).expect("put");
+            store.flush().expect("flush");
+        }
+        // Flip one payload byte of record 2.
+        let log = dir.join(LOG_FILE);
+        let mut bytes = fs::read(&log).expect("read log");
+        let at = record_two_offset as usize + 17;
+        bytes[at] ^= 0x20;
+        fs::write(&log, &bytes).expect("write log");
+
+        let mut store = Store::open(&dir, &opts).expect("reopen");
+        assert_eq!(
+            store.len(),
+            1,
+            "records at and after the corruption are dropped"
+        );
+        assert!(store.get(1).is_some());
+        assert!(store.get(2).is_none());
+        assert!(store.get(3).is_none());
+        assert_eq!(store.stats().corrupt_records_skipped, 1);
+        // Recompute and re-store the lost records.
+        assert!(store.put(2, &summary("b")).expect("re-put"));
+        store.flush().expect("flush");
+        drop(store);
+        let store = Store::open(&dir, &opts).expect("second reopen");
+        assert_eq!(store.len(), 2);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_fast_path_matches_full_scan() {
+        let dir = tmp_dir("snap");
+        let opts = StoreOptions::default();
+        {
+            let mut store = Store::open(&dir, &opts).expect("open");
+            for i in 0..10u64 {
+                store.put(i, &summary(&format!("s{i}"))).expect("put");
+            }
+            store.flush().expect("flush");
+        }
+        // Snapshot present and fresh → fast path.
+        let via_snapshot = Store::open(&dir, &opts).expect("snap open");
+        assert_eq!(via_snapshot.len(), 10);
+        drop(via_snapshot);
+        // Remove the snapshot → full scan must agree.
+        fs::remove_file(dir.join(SNAP_FILE)).expect("rm snap");
+        let via_scan = Store::open(&dir, &opts).expect("scan open");
+        assert_eq!(via_scan.len(), 10);
+        for i in 0..10u64 {
+            assert!(via_scan.contains(i));
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_snapshot_is_distrusted() {
+        let dir = tmp_dir("stale-snap");
+        let opts = StoreOptions::default();
+        {
+            let mut store = Store::open(&dir, &opts).expect("open");
+            store.put(1, &summary("a")).expect("put");
+            store.flush().expect("flush");
+            // Append after the snapshot was taken; snapshot.log_len is
+            // now stale.
+            store.put(2, &summary("b")).expect("put");
+        }
+        let store = Store::open(&dir, &opts).expect("reopen");
+        assert_eq!(
+            store.len(),
+            2,
+            "full scan must see the post-snapshot append"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_header_resets_the_store() {
+        let dir = tmp_dir("header");
+        let opts = StoreOptions::default();
+        {
+            let mut store = Store::open(&dir, &opts).expect("open");
+            store.put(1, &summary("a")).expect("put");
+            store.flush().expect("flush");
+        }
+        let log = dir.join(LOG_FILE);
+        let mut bytes = fs::read(&log).expect("read");
+        bytes[1] ^= 0xFF;
+        fs::write(&log, &bytes).expect("write");
+        let mut store = Store::open(&dir, &opts).expect("reopen");
+        assert!(store.is_empty());
+        assert!(store.put(5, &summary("fresh")).expect("put"));
+        fs::remove_dir_all(&dir).ok();
+    }
+}

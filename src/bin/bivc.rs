@@ -3,6 +3,8 @@
 //! ```text
 //! bivc [--ssa] [--classes] [--deps] [--trip-counts] [--classic] [--dot] FILE
 //! bivc [--jobs N] [--batch] [--cache-cap N] FILE|DIR...   # parallel batch analysis
+//! bivc --cache-dir DIR FILE|DIR...        # batch with a durable analysis store
+//! bivc --stats-json PATH ...              # machine-readable batch/cache counters
 //! bivc --remote ENDPOINT FILE|DIR...      # submit the batch to a running bivd
 //! bivc --demo                             # run the built-in Figure 1 demo
 //! ```
@@ -24,21 +26,33 @@
 //! files are reported individually on stderr, every remaining file is
 //! still analyzed, and the exit code is nonzero.
 //!
+//! `--cache-dir DIR` persists summaries to (and serves them from) a
+//! durable content-addressed store in `DIR`, so a second run over the
+//! same corpus is near-free. The stdout bytes are identical to a cold
+//! in-memory run over the same files: the stats line is replayed as a
+//! cold cache, exactly like the daemon does, so store warmth changes
+//! latency, never output. Real cumulative counters are available via
+//! `--stats-json PATH`, which writes one JSON object (`batch`, `cache`,
+//! and — with a store — `store`) reusing the `bivd` stats field names.
+//!
 //! `--remote ENDPOINT` (a Unix socket path, or `tcp:HOST:PORT`) sends
 //! the batch to a running `bivd` instead of analyzing in-process. The
 //! stdout bytes are identical to a local run over the same files — the
 //! daemon's warm cache changes latency, never output.
 
+use std::path::Path;
 use std::process::ExitCode;
 use std::time::Instant;
 
 use biv::core_analysis::{
-    analyze_batch, analyze_with, analyze_with_times, describe_class, render_grouped, resolve_jobs,
-    AnalysisConfig, BatchOptions, Budget, PhaseTimes,
+    analyze_batch_with_backend, analyze_with, analyze_with_times, cold_batch_stats, describe_class,
+    render_grouped, resolve_jobs, AnalysisConfig, BatchOptions, BatchStats, Budget, CacheBackend,
+    PhaseTimes, StructuralCache,
 };
 use biv::ir::parser::parse_program;
 use biv::ir::Function;
-use biv::server::{AnalyzeFile, Client, Endpoint, Response};
+use biv::server::{AnalyzeFile, Client, Endpoint, Json, Response};
+use biv::store::{StoreOptions, TieredCache};
 
 struct Options {
     dot: bool,
@@ -51,12 +65,14 @@ struct Options {
     time: bool,
     jobs: usize,
     cache_cap: Option<usize>,
+    cache_dir: Option<String>,
+    stats_json: Option<String>,
     remote: Option<String>,
     budget: Budget,
     paths: Vec<String>,
 }
 
-const USAGE: &str = "usage: bivc [--ssa] [--classes] [--deps] [--trip-counts] [--classic] [--dot] [--time] FILE\n       bivc [--jobs N] [--batch] [--cache-cap N] [--time] FILE|DIR...\n       bivc --remote ENDPOINT [--cache-cap N] FILE|DIR...\n       bivc --demo\n\nrobustness knobs (any mode):\n       --budget time=MS,nodes=N,scc=N,order=N   degrade to `unknown` past these caps\n       --faults seed=N,profile=NAME             deterministic fault injection\n                                                (needs a fault-injection build)";
+const USAGE: &str = "usage: bivc [--ssa] [--classes] [--deps] [--trip-counts] [--classic] [--dot] [--time] FILE\n       bivc [--jobs N] [--batch] [--cache-cap N] [--cache-dir DIR] [--stats-json PATH] [--time] FILE|DIR...\n       bivc --remote ENDPOINT [--cache-cap N] FILE|DIR...\n       bivc --demo\n\nrobustness knobs (any mode):\n       --budget time=MS,nodes=N,scc=N,order=N   degrade to `unknown` past these caps\n       --faults seed=N,profile=NAME             deterministic fault injection\n                                                (needs a fault-injection build)";
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
@@ -70,6 +86,8 @@ fn parse_args() -> Result<Options, String> {
         time: false,
         jobs: 0,
         cache_cap: None,
+        cache_dir: None,
+        stats_json: None,
         remote: None,
         budget: Budget::UNLIMITED,
         paths: Vec::new(),
@@ -122,6 +140,16 @@ fn parse_args() -> Result<Options, String> {
                 );
                 opts.batch = true;
             }
+            "--cache-dir" => {
+                let value = args.next().ok_or("--cache-dir needs a value")?;
+                opts.cache_dir = Some(value);
+                opts.batch = true;
+            }
+            "--stats-json" => {
+                let value = args.next().ok_or("--stats-json needs a value")?;
+                opts.stats_json = Some(value);
+                opts.batch = true;
+            }
             "--remote" => {
                 let value = args.next().ok_or("--remote needs an endpoint")?;
                 opts.remote = Some(value);
@@ -151,6 +179,12 @@ fn parse_args() -> Result<Options, String> {
                             .map_err(|_| format!("invalid --cache-cap value `{value}`"))?,
                     );
                     opts.batch = true;
+                } else if let Some(value) = other.strip_prefix("--cache-dir=") {
+                    opts.cache_dir = Some(value.to_string());
+                    opts.batch = true;
+                } else if let Some(value) = other.strip_prefix("--stats-json=") {
+                    opts.stats_json = Some(value.to_string());
+                    opts.batch = true;
                 } else if let Some(value) = other.strip_prefix("--remote=") {
                     opts.remote = Some(value.to_string());
                     opts.batch = true;
@@ -172,6 +206,17 @@ fn parse_args() -> Result<Options, String> {
     }
     if opts.paths.is_empty() && !demo {
         return Err("no input file (try --demo or --help)".into());
+    }
+    if opts.remote.is_some() {
+        if opts.cache_dir.is_some() {
+            return Err(
+                "--cache-dir is local-only; the daemon owns its store (use `bivd --cache-dir`)"
+                    .into(),
+            );
+        }
+        if opts.stats_json.is_some() {
+            return Err("--stats-json is local-only; use the daemon's `stats` request".into());
+        }
     }
     Ok(opts)
 }
@@ -259,7 +304,7 @@ fn run_batch(opts: &Options) -> Result<usize, String> {
     }
     let output = match &opts.remote {
         Some(endpoint) => run_batch_remote(opts, endpoint, &files, &mut errors)?,
-        None => run_batch_local(opts, &files, &mut errors),
+        None => run_batch_local(opts, &files, &mut errors)?,
     };
     print!("{output}");
     for error in &errors {
@@ -269,8 +314,15 @@ fn run_batch(opts: &Options) -> Result<usize, String> {
 }
 
 /// In-process batch analysis over the readable, parsable subset of
-/// `files`; failures land in `errors`.
-fn run_batch_local(opts: &Options, files: &[String], errors: &mut Vec<String>) -> String {
+/// `files`; failures land in `errors`. With `--cache-dir` the batch
+/// runs against a durable tiered cache and the stats line is replayed
+/// cold, so store warmth never changes the output bytes. Only an
+/// unusable cache directory is a hard error.
+fn run_batch_local(
+    opts: &Options,
+    files: &[String],
+    errors: &mut Vec<String>,
+) -> Result<String, String> {
     let t_parse = opts.time.then(Instant::now);
     let mut funcs: Vec<Function> = Vec::new();
     // (file path, functions in that file) for grouped printing.
@@ -303,6 +355,15 @@ fn run_batch_local(opts: &Options, files: &[String], errors: &mut Vec<String>) -
     if let Some(cap) = opts.cache_cap {
         batch_opts.cache_capacity = cap;
     }
+    let mut backend: Box<dyn CacheBackend + Send> = match &opts.cache_dir {
+        Some(dir) => {
+            let store_opts = StoreOptions::for_budget(&opts.budget);
+            let tiered = TieredCache::open(Path::new(dir), batch_opts.cache_capacity, &store_opts)
+                .map_err(|e| format!("cannot open cache dir `{dir}`: {e}"))?;
+            Box::new(tiered)
+        }
+        None => Box::new(StructuralCache::new(batch_opts.cache_capacity)),
+    };
     eprintln!(
         "analyzing {} functions from {} files on {} workers",
         funcs.len(),
@@ -310,7 +371,10 @@ fn run_batch_local(opts: &Options, files: &[String], errors: &mut Vec<String>) -
         resolve_jobs(opts.jobs)
     );
     let t_analyze = opts.time.then(Instant::now);
-    let report = analyze_batch(&funcs, &batch_opts);
+    let report = analyze_batch_with_backend(&funcs, &batch_opts, &mut *backend);
+    if let Err(e) = backend.flush() {
+        errors.push(format!("cache flush failed: {e}"));
+    }
     // Batch workers interleave phases, so only end-to-end times are
     // meaningful here; per-phase timing is the single-function mode's job.
     if let (Some(parse), Some(t)) = (parse_time, t_analyze) {
@@ -320,7 +384,61 @@ fn run_batch_local(opts: &Options, files: &[String], errors: &mut Vec<String>) -
             t.elapsed()
         );
     }
-    render_grouped(&ranges, &report.functions, &report.stats)
+    if let Some(path) = &opts.stats_json {
+        if let Err(e) = write_stats_json(path, &report.stats, &*backend) {
+            errors.push(e);
+        }
+    }
+    // A durable store makes the warm counters depend on what earlier
+    // runs left behind, so — exactly like the daemon — the printed
+    // stats line replays a cold cache over this batch's hash sequence.
+    // The real cumulative counters remain visible via --stats-json.
+    let stats = if opts.cache_dir.is_some() {
+        let hashes: Vec<u64> = report.functions.iter().map(|f| f.hash).collect();
+        cold_batch_stats(&hashes, batch_opts.cache_capacity)
+    } else {
+        report.stats
+    };
+    Ok(render_grouped(&ranges, &report.functions, &stats))
+}
+
+/// Writes the batch's machine-readable counters to `path` as one JSON
+/// object. Field names match the daemon's `stats` response (`cache`,
+/// and `store` when a durable tier is present) so dashboards share one
+/// schema across the CLI and the server.
+fn write_stats_json<B: CacheBackend + ?Sized>(
+    path: &str,
+    stats: &BatchStats,
+    backend: &B,
+) -> Result<(), String> {
+    let mem = backend.memory();
+    let mut fields = vec![
+        (
+            "batch",
+            Json::obj(vec![
+                ("functions", Json::Int(stats.functions as i64)),
+                ("hits", Json::Int(stats.hits as i64)),
+                ("misses", Json::Int(stats.misses as i64)),
+                ("evictions", Json::Int(stats.evictions as i64)),
+                ("jobs", Json::Int(stats.jobs as i64)),
+            ]),
+        ),
+        (
+            "cache",
+            Json::obj(vec![
+                ("hits", Json::Int(mem.hits() as i64)),
+                ("misses", Json::Int(mem.misses() as i64)),
+                ("evictions", Json::Int(mem.evictions() as i64)),
+                ("entries", Json::Int(mem.len() as i64)),
+                ("capacity", Json::Int(mem.capacity() as i64)),
+            ]),
+        ),
+    ];
+    if let Some(gauges) = backend.store_gauges() {
+        fields.push(("store", biv::server::metrics::store_json(&gauges)));
+    }
+    let text = Json::obj(fields).to_text();
+    std::fs::write(path, text + "\n").map_err(|e| format!("cannot write `{path}`: {e}"))
 }
 
 /// Ships the batch to a `bivd` at `endpoint`. The daemon renders the

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! bivd [--socket PATH | --tcp ADDR] [--workers N] [--queue-cap N]
-//!      [--cache-cap N] [--timeout-ms N] [--budget SPEC] [--faults SPEC]
+//!      [--cache-cap N] [--cache-dir PATH] [--timeout-ms N]
+//!      [--budget SPEC] [--faults SPEC]
 //! ```
 //!
 //! Listens on a Unix socket (default `$TMPDIR/bivd.sock`) or a TCP
@@ -11,6 +12,12 @@
 //! repeated submissions of structurally identical functions are served
 //! from cache across requests and clients — while every response stays
 //! byte-identical to a local `bivc` run.
+//!
+//! With `--cache-dir`, summaries also persist to a durable
+//! content-addressed store in that directory: the daemon preloads it on
+//! startup (a warm restart), writes new summaries through to it, and
+//! flushes it when the drain completes, so a `kill -9` loses at most
+//! the unflushed tail — never a served answer.
 //!
 //! The daemon drains gracefully on SIGINT, SIGTERM, or a protocol
 //! `shutdown` request: accepted work is finished and answered, new
@@ -22,7 +29,7 @@ use std::process::ExitCode;
 use biv::server::signal;
 use biv::server::{Endpoint, Server, ServerConfig};
 
-const USAGE: &str = "usage: bivd [--socket PATH | --tcp ADDR] [--workers N] [--queue-cap N] [--cache-cap N] [--timeout-ms N] [--budget time=MS,nodes=N,scc=N,order=N] [--faults seed=N,profile=NAME]";
+const USAGE: &str = "usage: bivd [--socket PATH | --tcp ADDR] [--workers N] [--queue-cap N] [--cache-cap N] [--cache-dir PATH] [--timeout-ms N] [--budget time=MS,nodes=N,scc=N,order=N] [--faults seed=N,profile=NAME]";
 
 fn default_socket() -> String {
     std::env::temp_dir()
@@ -56,6 +63,7 @@ fn parse_args() -> Result<ServerConfig, String> {
             "--workers" => config.workers = parse_num(&value("--workers")?, "--workers")?,
             "--queue-cap" => config.queue_cap = parse_num(&value("--queue-cap")?, "--queue-cap")?,
             "--cache-cap" => config.cache_cap = parse_num(&value("--cache-cap")?, "--cache-cap")?,
+            "--cache-dir" => config.cache_dir = Some(value("--cache-dir")?.into()),
             "--timeout-ms" => {
                 let ms: u64 = parse_num(&value("--timeout-ms")?, "--timeout-ms")?;
                 config.request_timeout = std::time::Duration::from_millis(ms);

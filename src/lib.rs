@@ -14,6 +14,7 @@
 //! | [`transform`] | `biv-transform` | strength reduction, loop peeling, canonical counters |
 //! | [`workload`] | `biv-workload` | synthetic program generation with ground truth |
 //! | [`server`] | `biv-server` | the `bivd` analysis daemon: framed JSON protocol, worker pool, shared warm cache |
+//! | [`store`] | `biv-store` | durable content-addressed analysis store: CRC-checked record log, atomic snapshots, warm restarts |
 //!
 //! # The 30-second tour
 //!
@@ -44,5 +45,6 @@ pub use biv_depend as depend;
 pub use biv_ir as ir;
 pub use biv_server as server;
 pub use biv_ssa as ssa;
+pub use biv_store as store;
 pub use biv_transform as transform;
 pub use biv_workload as workload;
