@@ -31,6 +31,7 @@ fn bench_vs_classic(c: &mut Criterion) {
         invariants: 2,
         trip: 100,
         seed: 11,
+        ..WorkloadSpec::default()
     });
     let mixed = generate(&WorkloadSpec {
         loops: 8,

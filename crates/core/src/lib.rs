@@ -60,6 +60,7 @@ mod faults;
 mod scc;
 mod symbols;
 mod tripcount;
+pub mod validate;
 
 pub use batch::{
     analyze_batch, analyze_batch_shared, analyze_batch_shared_backend, analyze_batch_with_backend,
@@ -86,3 +87,7 @@ pub use driver::{
 pub use scc::{strongly_connected_regions, Scr};
 pub use symbols::{sym_of_value, value_of_sym};
 pub use tripcount::{max_trip_count, trip_count, trip_count_metered, TripCount};
+pub use validate::{
+    differential_check, differential_check_on, seeded_inputs, ObservableState, ValidationOptions,
+    Verdict,
+};

@@ -1,0 +1,310 @@
+//! Differential-execution validation of transformed functions.
+//!
+//! A transformation is only trusted after it survives concrete
+//! execution: the original and the rewritten function run in the CFG
+//! interpreter on a deterministic set of seeded inputs, and their
+//! *observable states* — final array contents keyed by array name — must
+//! be identical. Scalars are excluded on purpose: at function end every
+//! scalar is dead, which is exactly what licenses dead-IV elimination
+//! and strength-reduction temporaries.
+//!
+//! The policy per input:
+//!
+//! - original faults (overflow, step limit, …) → the input is
+//!   *inconclusive* and skipped; transforms may legitimately remove a
+//!   fault (e.g. deleting a dead update that overflowed);
+//! - original succeeds but the transformed function faults → **failure**;
+//! - both succeed → the observable states must match exactly.
+//!
+//! A function whose every seeded input is inconclusive reports
+//! [`Verdict::Inconclusive`] rather than a hollow pass.
+
+use std::collections::BTreeMap;
+
+use biv_ir::interp::{InterpError, Interpreter};
+use biv_ir::Function;
+
+/// Final array contents keyed by `(array name, index vector)`.
+///
+/// Array *names* — not entity ids — key the map so states compare across
+/// functions whose arenas diverged under transformation.
+pub type ObservableState = BTreeMap<(String, Vec<i64>), i64>;
+
+/// How many inputs to run and how hard to run them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationOptions {
+    /// Number of seeded inputs (minimum 1).
+    pub inputs: usize,
+    /// Seed for the input generator.
+    pub seed: u64,
+    /// Interpreter step limit per run.
+    pub step_limit: usize,
+}
+
+impl Default for ValidationOptions {
+    fn default() -> Self {
+        ValidationOptions {
+            inputs: 8,
+            seed: 0x5eed_b1f0,
+            step_limit: 400_000,
+        }
+    }
+}
+
+/// Outcome of a differential check over the seeded input set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Every conclusive input produced identical observable state.
+    Validated {
+        /// Inputs where both functions ran and matched.
+        runs: usize,
+        /// Inputs skipped because the original faulted.
+        skipped: usize,
+    },
+    /// Observable states diverged on `input`.
+    Mismatch {
+        /// The offending argument vector.
+        input: Vec<i64>,
+        /// Human-readable description of the first divergence.
+        detail: String,
+    },
+    /// The transformed function faulted where the original ran clean.
+    TransformedFault {
+        /// The offending argument vector.
+        input: Vec<i64>,
+        /// The interpreter error.
+        error: InterpError,
+    },
+    /// Every input was inconclusive (the original faulted each time).
+    Inconclusive {
+        /// Inputs attempted.
+        attempted: usize,
+    },
+}
+
+impl Verdict {
+    /// Whether the check passed (validated, or vacuously inconclusive).
+    pub fn passed(&self) -> bool {
+        !self.failed()
+    }
+
+    /// Whether the check demonstrated a miscompile.
+    pub fn failed(&self) -> bool {
+        matches!(
+            self,
+            Verdict::Mismatch { .. } | Verdict::TransformedFault { .. }
+        )
+    }
+
+    /// One-line rendering for reports (`ok (8 runs)`, `MISMATCH …`).
+    pub fn render(&self) -> String {
+        match self {
+            Verdict::Validated { runs, skipped } if *skipped == 0 => {
+                format!("ok ({runs} runs)")
+            }
+            Verdict::Validated { runs, skipped } => {
+                format!("ok ({runs} runs, {skipped} skipped)")
+            }
+            Verdict::Mismatch { input, detail } => {
+                format!("MISMATCH on {input:?}: {detail}")
+            }
+            Verdict::TransformedFault { input, error } => {
+                format!("FAULT on {input:?}: transformed function {error}")
+            }
+            Verdict::Inconclusive { attempted } => {
+                format!("inconclusive ({attempted} inputs, original always faulted)")
+            }
+        }
+    }
+}
+
+/// The observable state of one concrete run.
+///
+/// # Errors
+///
+/// Propagates the interpreter's fault, if any.
+pub fn observable_run(
+    func: &Function,
+    args: &[i64],
+    step_limit: usize,
+) -> Result<ObservableState, InterpError> {
+    let interp = Interpreter { step_limit };
+    Ok(interp.run(func, args)?.observable_arrays(func))
+}
+
+/// The deterministic seeded argument vectors for a function of the given
+/// arity: a fixed small prefix (the boundary cases every loop transform
+/// must survive — zero, one, and a few short trip counts) followed by
+/// SplitMix64-drawn values in `0..25`.
+pub fn seeded_inputs(arity: usize, opts: &ValidationOptions) -> Vec<Vec<i64>> {
+    const FIXED: [i64; 5] = [0, 1, 2, 3, 7];
+    let mut state = opts.seed;
+    let mut out = Vec::with_capacity(opts.inputs.max(1));
+    for i in 0..opts.inputs.max(1) {
+        let mut input = Vec::with_capacity(arity);
+        for p in 0..arity {
+            let v = match FIXED.get(i) {
+                Some(&fixed) if p == 0 => fixed,
+                _ => (splitmix64(&mut state) % 25) as i64,
+            };
+            input.push(v);
+        }
+        out.push(input);
+    }
+    out
+}
+
+/// One step of the SplitMix64 generator (kept inline so validation stays
+/// dependency-free; `biv-workload` depends on this crate, not the other
+/// way around).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Runs `original` and `transformed` on the seeded inputs and compares
+/// observable states.
+pub fn differential_check(
+    original: &Function,
+    transformed: &Function,
+    opts: &ValidationOptions,
+) -> Verdict {
+    let inputs = seeded_inputs(original.params().len(), opts);
+    differential_check_on(original, transformed, &inputs, opts.step_limit)
+}
+
+/// [`differential_check`] over caller-supplied argument vectors.
+pub fn differential_check_on(
+    original: &Function,
+    transformed: &Function,
+    inputs: &[Vec<i64>],
+    step_limit: usize,
+) -> Verdict {
+    let mut runs = 0usize;
+    let mut skipped = 0usize;
+    for input in inputs {
+        let a = match observable_run(original, input, step_limit) {
+            Ok(state) => state,
+            Err(_) => {
+                skipped += 1;
+                continue;
+            }
+        };
+        let b = match observable_run(transformed, input, step_limit) {
+            Ok(state) => state,
+            Err(error) => {
+                return Verdict::TransformedFault {
+                    input: input.clone(),
+                    error,
+                }
+            }
+        };
+        if a != b {
+            return Verdict::Mismatch {
+                input: input.clone(),
+                detail: first_divergence(&a, &b),
+            };
+        }
+        runs += 1;
+    }
+    if runs == 0 {
+        Verdict::Inconclusive {
+            attempted: inputs.len(),
+        }
+    } else {
+        Verdict::Validated { runs, skipped }
+    }
+}
+
+/// Describes the first key where two observable states disagree.
+fn first_divergence(a: &ObservableState, b: &ObservableState) -> String {
+    for (key, va) in a {
+        match b.get(key) {
+            None => return format!("{}{:?} = {va} vs <unwritten>", key.0, key.1),
+            Some(vb) if vb != va => {
+                return format!("{}{:?} = {va} vs {vb}", key.0, key.1);
+            }
+            Some(_) => {}
+        }
+    }
+    for (key, vb) in b {
+        if !a.contains_key(key) {
+            return format!("{}{:?} = <unwritten> vs {vb}", key.0, key.1);
+        }
+    }
+    "states equal".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use biv_ir::parser::parse_program;
+
+    fn parse(src: &str) -> Function {
+        parse_program(src).unwrap().functions.remove(0)
+    }
+
+    #[test]
+    fn identical_functions_validate() {
+        let f = parse("func f(n) { L1: for i = 1 to n { A[i] = i } }");
+        let v = differential_check(&f, &f.clone(), &ValidationOptions::default());
+        assert!(matches!(
+            v,
+            Verdict::Validated {
+                runs: 8,
+                skipped: 0
+            }
+        ));
+    }
+
+    #[test]
+    fn divergent_store_is_caught() {
+        let a = parse("func f(n) { L1: for i = 1 to n { A[i] = i } }");
+        let b = parse("func f(n) { L1: for i = 1 to n { A[i] = i + 1 } }");
+        let v = differential_check(&a, &b, &ValidationOptions::default());
+        match v {
+            Verdict::Mismatch { detail, .. } => assert!(detail.contains('A'), "{detail}"),
+            other => panic!("expected mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scalar_changes_are_unobservable() {
+        // Same stores, different scalar housekeeping: equivalent.
+        let a = parse("func f(n) { s = 0 L1: for i = 1 to n { s = s + i A[i] = i } }");
+        let b = parse("func f(n) { L1: for i = 1 to n { A[i] = i } }");
+        let v = differential_check(&a, &b, &ValidationOptions::default());
+        assert!(v.passed(), "{v:?}");
+    }
+
+    #[test]
+    fn transformed_fault_is_failure() {
+        let a = parse("func f(n) { A[0] = n }");
+        let b = parse("func f(n) { x = 1 / 0 A[0] = n }");
+        let v = differential_check(&a, &b, &ValidationOptions::default());
+        assert!(matches!(v, Verdict::TransformedFault { .. }), "{v:?}");
+    }
+
+    #[test]
+    fn original_faults_skip_and_report_inconclusive() {
+        let a = parse("func f(n) { x = 1 / 0 }");
+        let v = differential_check(&a, &a.clone(), &ValidationOptions::default());
+        assert!(matches!(v, Verdict::Inconclusive { attempted: 8 }), "{v:?}");
+        assert!(v.passed());
+    }
+
+    #[test]
+    fn seeded_inputs_are_deterministic_and_bounded() {
+        let opts = ValidationOptions::default();
+        let a = seeded_inputs(3, &opts);
+        let b = seeded_inputs(3, &opts);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+        assert_eq!(a[0][0], 0);
+        assert_eq!(a[4][0], 7);
+        assert!(a.iter().flatten().all(|&v| (0..25).contains(&v)));
+    }
+}

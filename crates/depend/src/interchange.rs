@@ -25,6 +25,27 @@ pub fn interchange_legal(deps: &[Dependence], outer: usize, inner: usize) -> boo
     })
 }
 
+/// [`interchange_legal`] restricted to the dependences of one nest: only
+/// dependences whose source *and* sink accesses satisfy `in_nest` vote.
+///
+/// The tester computes one global access list per function, so a
+/// transformation pass interrogating a single loop nest must ignore
+/// dependences between accesses elsewhere — their direction-vector
+/// positions describe *their* common nest, not this one.
+pub fn interchange_legal_in_nest(
+    deps: &[Dependence],
+    outer: usize,
+    inner: usize,
+    mut in_nest: impl FnMut(usize) -> bool,
+) -> bool {
+    let relevant: Vec<Dependence> = deps
+        .iter()
+        .filter(|d| in_nest(d.src) && in_nest(d.dst))
+        .cloned()
+        .collect();
+    interchange_legal(&relevant, outer, inner)
+}
+
 /// Whether a loop at position `pos` carries no dependence (every
 /// dependence is `=` there, or enforced by an outer `<`): such a loop can
 /// run in parallel.

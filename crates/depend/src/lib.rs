@@ -56,5 +56,5 @@ pub use access::{collect_accesses, AccessRef};
 pub use affine::{affine_subscript, AffineSubscript};
 pub use direction::{DepKind, DirSet, DirectionVector};
 pub use equation::{banerjee_range, gcd_test, DimEquation};
-pub use interchange::{interchange_legal, parallelizable, summarize};
+pub use interchange::{interchange_legal, interchange_legal_in_nest, parallelizable, summarize};
 pub use tester::{DepTestResult, Dependence, DependenceTester, PeriodicConstraint};

@@ -5,7 +5,7 @@
 //! test suite replays the program concretely and checks the predictions
 //! iteration by iteration.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 use crate::entity::EntityId;
@@ -62,6 +62,22 @@ impl Trace {
     /// Number of times `block` was entered.
     pub fn visit_count(&self, block: Block) -> usize {
         self.visits.iter().filter(|(b, _)| *b == block).count()
+    }
+
+    /// The trace's *observable state*: final array contents keyed by
+    /// array **name** and index vector, in deterministic order.
+    ///
+    /// Keying by name (not by [`Array`] id) makes the state comparable
+    /// across different functions — in particular between a function and
+    /// a transformed copy of it whose entity arenas have diverged.
+    /// Scalars are deliberately excluded: at function end they are dead,
+    /// and transformations (dead-IV elimination, strength reduction) are
+    /// free to change or remove them.
+    pub fn observable_arrays(&self, func: &Function) -> BTreeMap<(String, Vec<i64>), i64> {
+        self.arrays
+            .iter()
+            .map(|((a, idx), &v)| ((func.array_name(*a).to_string(), idx.clone()), v))
+            .collect()
     }
 }
 

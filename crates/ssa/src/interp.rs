@@ -65,6 +65,20 @@ impl SsaTrace {
             .map(|&(_, x)| x)
             .collect()
     }
+
+    /// The trace's *observable state*: final array contents keyed by
+    /// array **name** and index vector, in deterministic order — the SSA
+    /// twin of `biv_ir::interp::Trace::observable_arrays`, so the two
+    /// interpreters' observable states compare directly.
+    pub fn observable_arrays(
+        &self,
+        func: &biv_ir::Function,
+    ) -> std::collections::BTreeMap<(String, Vec<i64>), i64> {
+        self.arrays
+            .iter()
+            .map(|((a, idx), &v)| ((func.array_name(*a).to_string(), idx.clone()), v))
+            .collect()
+    }
 }
 
 /// SSA interpreter configuration and entry point.

@@ -1,0 +1,14 @@
+//! A deliberately broken transform, kept compiled (not test-gated) so
+//! integration tests in other crates can prove the differential harness
+//! detects miscompiles. Never called from the pipeline.
+
+/// Miscompiling strength reduction: every temporary is initialized one
+/// off (`t = x * f + 1`), so each reduced multiplication site observes a
+/// skewed value. Returns the number of (mis)reduced multiplications —
+/// when positive, a differential check against the original function
+/// must fail on any input whose reduced loop runs and stores.
+#[doc(hidden)]
+pub fn broken_strength_reduce(func: &mut biv_ir::Function) -> usize {
+    let analysis = biv_core::analyze(func);
+    crate::sr::strength_reduce_pass(func, &analysis, 1)
+}

@@ -1,0 +1,274 @@
+//! Linear-function test replacement and dead-IV elimination (§1, §6).
+//!
+//! After strength reduction, an induction variable is often left with a
+//! single purpose: driving its own exit test. When a strength-reduced
+//! temporary `t == i * f` (with `f > 0`) exists, the exit test
+//! `i cmp bound` rewrites to `t cmp bound * f` — linear-function test
+//! replacement — after which `i`'s update is dead and is deleted.
+//!
+//! The rewrite is justified point-wise: `t` is initialized to `i * f` in
+//! the preheader and updated immediately after `i`'s single additive
+//! update, so `t == i * f` holds at the header, and multiplying both
+//! sides of any comparison by a positive constant preserves it.
+
+use std::collections::HashSet;
+
+use biv_core::Analysis;
+use biv_ir::dom::DomTree;
+use biv_ir::loops::LoopForest;
+use biv_ir::{BinOp, Block, Function, Inst, Operand, Terminator, Var};
+
+use crate::util::{additive_iv_vars, invariant_in};
+
+/// Replaces exit tests and deletes dead induction variables across every
+/// loop. The candidate set comes from the classifier (only variables
+/// whose values carry additive closed forms are considered); the
+/// rewrite's soundness is established syntactically per loop. Returns
+/// the number of induction variables eliminated.
+pub fn eliminate_dead_ivs(func: &mut Function, analysis: &Analysis) -> usize {
+    let candidates = additive_iv_vars(analysis);
+    if candidates.is_empty() {
+        return 0;
+    }
+    let dom = DomTree::compute(func);
+    let forest = LoopForest::compute(func, &dom);
+    let mut eliminated = 0;
+    for l in forest.inner_to_outer() {
+        let Some(preheader) = forest.preheader(func, l) else {
+            continue;
+        };
+        let header = forest.data(l).header;
+        let blocks: Vec<Block> = forest.data(l).blocks.clone();
+        if let Some(()) = try_eliminate(func, &candidates, preheader, header, &blocks) {
+            eliminated += 1;
+        }
+    }
+    eliminated
+}
+
+/// The single additive constant-step update of `var` inside `blocks`,
+/// when there is exactly one def and it has that shape.
+fn single_const_update(func: &Function, blocks: &[Block], var: Var) -> Option<(Block, usize, i64)> {
+    let mut found: Option<(Block, usize, i64)> = None;
+    for &b in blocks {
+        for (i, inst) in func.blocks[b].insts.iter().enumerate() {
+            if inst.def() != Some(var) {
+                continue;
+            }
+            if found.is_some() {
+                return None; // more than one def
+            }
+            let step = match inst {
+                Inst::Binary {
+                    op: BinOp::Add,
+                    lhs,
+                    rhs,
+                    ..
+                } => match (lhs, rhs) {
+                    (Operand::Var(v), Operand::Const(c)) if *v == var => Some(*c),
+                    (Operand::Const(c), Operand::Var(v)) if *v == var => Some(*c),
+                    _ => None,
+                },
+                Inst::Binary {
+                    op: BinOp::Sub,
+                    lhs: Operand::Var(v),
+                    rhs: Operand::Const(c),
+                    ..
+                } if *v == var => c.checked_neg(),
+                _ => None,
+            }?;
+            found = Some((b, i, step));
+        }
+    }
+    found
+}
+
+fn try_eliminate(
+    func: &mut Function,
+    candidates: &HashSet<Var>,
+    preheader: Block,
+    header: Block,
+    blocks: &[Block],
+) -> Option<()> {
+    // Exit test at the header over a candidate IV and an invariant bound.
+    let (i_var, bound) = match &func.blocks[header].term {
+        Terminator::Branch {
+            lhs: Operand::Var(v),
+            rhs,
+            then_bb,
+            ..
+        } if candidates.contains(v)
+            && !blocks.contains(then_bb)
+            && invariant_in(func, blocks, rhs) =>
+        {
+            (*v, *rhs)
+        }
+        _ => return None,
+    };
+    // Exactly one in-loop update `i = i + c`.
+    let (upd_block, upd_idx, step) = single_const_update(func, blocks, i_var)?;
+    if step == 0 {
+        return None;
+    }
+    // A strength-reduced companion: `t = i * f` in the preheader with
+    // `f > 0`, whose own single update sits in the same cluster directly
+    // after `i`'s update.
+    let (t_var, factor, t_init_idx) = find_companion(func, preheader, blocks, i_var)?;
+    let (t_block, t_idx, t_step) = single_const_update(func, blocks, t_var)?;
+    if t_block != upd_block || t_idx <= upd_idx {
+        return None;
+    }
+    if t_step != step.checked_mul(factor)? {
+        return None;
+    }
+    // Between the two updates only other maintenance updates may appear
+    // (additive self-updates by a constant), so no one observes the
+    // briefly-broken invariant.
+    for inst in &func.blocks[upd_block].insts[upd_idx + 1..t_idx] {
+        let Inst::Binary {
+            dst,
+            op: BinOp::Add | BinOp::Sub,
+            lhs: Operand::Var(v),
+            rhs: Operand::Const(_),
+        } = inst
+        else {
+            return None;
+        };
+        if dst != v {
+            return None;
+        }
+    }
+    // `i` must not be read after its init except by: its own update, the
+    // header exit test, instructions in the preheader (they run before
+    // the loop), and blocks that cannot observe a post-update value.
+    if !only_dead_uses(func, blocks, preheader, header, upd_block, upd_idx, i_var) {
+        return None;
+    }
+    // `t` must have exactly two defs in the whole function: the
+    // preheader init and the in-loop update.
+    let t_defs: usize = func
+        .blocks
+        .iter()
+        .map(|(_, d)| d.insts.iter().filter(|i| i.def() == Some(t_var)).count())
+        .sum();
+    if t_defs != 2 {
+        return None;
+    }
+    // No def of `i` in the preheader after `t`'s init (the init must
+    // read `i`'s initial value).
+    if func.blocks[preheader].insts[t_init_idx + 1..]
+        .iter()
+        .any(|inst| inst.def() == Some(i_var))
+    {
+        return None;
+    }
+    // Materialize the replaced bound.
+    let new_bound = match bound {
+        Operand::Const(b) => Operand::Const(b.checked_mul(factor)?),
+        Operand::Var(bv) => {
+            let nb = func.new_var(format!("%lftr_{}", func.vars[i_var].name.replace('%', "")));
+            func.blocks[preheader].insts.push(Inst::Binary {
+                dst: nb,
+                op: BinOp::Mul,
+                lhs: Operand::Var(bv),
+                rhs: Operand::Const(factor),
+            });
+            Operand::Var(nb)
+        }
+    };
+    // Linear-function test replacement, then delete the dead update.
+    if let Terminator::Branch { lhs, rhs, .. } = &mut func.blocks[header].term {
+        *lhs = Operand::Var(t_var);
+        *rhs = new_bound;
+    }
+    func.blocks[upd_block].insts.remove(upd_idx);
+    Some(())
+}
+
+/// Finds a preheader instruction `t = i * f` (either operand order) with
+/// a positive constant factor. Returns `(t, f, init index)`.
+fn find_companion(
+    func: &Function,
+    preheader: Block,
+    blocks: &[Block],
+    i_var: Var,
+) -> Option<(Var, i64, usize)> {
+    for (idx, inst) in func.blocks[preheader].insts.iter().enumerate() {
+        let Inst::Binary {
+            dst,
+            op: BinOp::Mul,
+            lhs,
+            rhs,
+        } = inst
+        else {
+            continue;
+        };
+        let f = match (lhs, rhs) {
+            (Operand::Var(v), Operand::Const(f)) if *v == i_var => *f,
+            (Operand::Const(f), Operand::Var(v)) if *v == i_var => *f,
+            _ => continue,
+        };
+        if f > 0 && single_const_update(func, blocks, *dst).is_some() {
+            return Some((*dst, f, idx));
+        }
+    }
+    None
+}
+
+/// Whether every read of `var` is one the elimination tolerates: its own
+/// update, the header branch, the preheader, or a block that can never
+/// execute after the loop body ran.
+fn only_dead_uses(
+    func: &Function,
+    blocks: &[Block],
+    preheader: Block,
+    header: Block,
+    upd_block: Block,
+    upd_idx: usize,
+    var: Var,
+) -> bool {
+    // Blocks that may observe a post-update value of `var`: everything
+    // reachable from the loop's blocks (including the loop itself).
+    let mut tainted: HashSet<Block> = blocks.iter().copied().collect();
+    let mut work: Vec<Block> = blocks.to_vec();
+    while let Some(b) = work.pop() {
+        for succ in func.successors(b) {
+            if tainted.insert(succ) {
+                work.push(succ);
+            }
+        }
+    }
+    // When an enclosing loop re-runs the preheader, a preheader read is
+    // only safe after a re-initialization of `var` that does not itself
+    // read `var` (e.g. the for-loop's `i = from`).
+    let preheader_reinit = func.blocks[preheader].insts.iter().position(|inst| {
+        let mut used = Vec::new();
+        inst.uses(&mut used);
+        inst.def() == Some(var) && !used.contains(&var)
+    });
+    for (b, data) in func.blocks.iter() {
+        let observes = tainted.contains(&b);
+        for (i, inst) in data.insts.iter().enumerate() {
+            let mut used = Vec::new();
+            inst.uses(&mut used);
+            if !used.contains(&var) {
+                continue;
+            }
+            if b == upd_block && i == upd_idx {
+                continue; // the update reads itself
+            }
+            if b == preheader && (!observes || preheader_reinit.is_some_and(|r| r < i)) {
+                continue; // runs with the freshly (re)initialized value
+            }
+            if observes {
+                return false;
+            }
+        }
+        let mut used = Vec::new();
+        data.term.uses(&mut used);
+        if used.contains(&var) && b != header && observes {
+            return false;
+        }
+    }
+    true
+}

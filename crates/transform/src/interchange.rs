@@ -1,0 +1,361 @@
+//! Dependence-driven loop interchange (§6).
+//!
+//! For a canonical rectangular two-deep `for` nest, the interchange swaps
+//! the roles of the two loop variables — initialization, exit test, and
+//! increment travel together to the other level, while the body is left
+//! untouched. The iteration space is the same rectangle traversed in
+//! transposed order, so legality reduces to the classical direction-
+//! vector rule: no dependence may have a `(<, >)` component in the two
+//! positions ([`biv_depend::interchange_legal_in_nest`]).
+//!
+//! Profitability is the transposed-access heuristic: interchange when
+//! more two-dimensional accesses index their *first* (slowest)
+//! dimension with the inner variable than with the outer one.
+
+use biv_core::Analysis;
+use biv_depend::{interchange_legal_in_nest, Dependence, DependenceTester};
+use biv_ir::dom::DomTree;
+use biv_ir::loops::{Loop, LoopForest};
+use biv_ir::{BinOp, Block, Function, Inst, Operand, Terminator, Var};
+
+use crate::util::never_defined;
+
+/// Interchanges every legal, profitable canonical two-deep nest.
+/// Returns the number of nests interchanged.
+pub fn interchange_nests(func: &mut Function, analysis: &Analysis) -> usize {
+    let dom = DomTree::compute(func);
+    let forest = LoopForest::compute(func, &dom);
+    let tester = DependenceTester::new(analysis);
+    let deps = tester.all_dependences();
+    let mut count = 0;
+    for (outer, od) in forest.iter() {
+        if od.children.len() != 1 {
+            continue;
+        }
+        let inner = od.children[0];
+        if !forest.data(inner).children.is_empty() {
+            continue;
+        }
+        if try_interchange(func, &forest, outer, inner, analysis, &tester, &deps).is_some() {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// The canonical nest's moving parts, recognized before any rewrite.
+struct NestShape {
+    ho: Block,
+    hi: Block,
+    p_o: Block,
+    pre_i: Block,
+    latch_o: Block,
+    latch_i: Block,
+    io_init_idx: usize,
+    io: Var,
+    ii: Var,
+    from_o: Operand,
+    from_i: Operand,
+    step_o: i64,
+    step_i: i64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn try_interchange(
+    func: &mut Function,
+    forest: &LoopForest,
+    outer: Loop,
+    inner: Loop,
+    analysis: &Analysis,
+    tester: &DependenceTester,
+    deps: &[Dependence],
+) -> Option<()> {
+    let shape = recognize(func, forest, outer, inner)?;
+    // Profitability: transposed two-dimensional accesses dominate.
+    let (mut bad, mut good) = (0usize, 0usize);
+    for &b in &forest.data(inner).blocks {
+        for inst in &func.blocks[b].insts {
+            let index = match inst {
+                Inst::Load { index, .. } | Inst::Store { index, .. } => index,
+                _ => continue,
+            };
+            if index.len() != 2 {
+                continue;
+            }
+            if index[0].as_var() == Some(shape.ii) {
+                bad += 1;
+            } else if index[0].as_var() == Some(shape.io) {
+                good += 1;
+            }
+        }
+    }
+    if bad <= good {
+        return None;
+    }
+    // Legality over this nest's dependences: map both loops into the
+    // analysis (by source label) and filter the tester's global
+    // dependence list down to accesses inside the nest.
+    let outer_label = func.blocks[shape.ho].label.clone()?;
+    let inner_label = func.blocks[shape.hi].label.clone()?;
+    let a_outer = analysis.loop_by_label(&outer_label)?;
+    let a_inner = analysis.loop_by_label(&inner_label)?;
+    let af = analysis.forest();
+    if af.data(a_inner).parent != Some(a_outer) {
+        return None;
+    }
+    let pos_outer = ancestor_count(af, a_outer);
+    let accesses = tester.accesses();
+    let legal = interchange_legal_in_nest(deps, pos_outer, pos_outer + 1, |acc| {
+        af.contains(a_outer, accesses[acc].block)
+    });
+    if !legal {
+        return None;
+    }
+    apply(func, &shape);
+    Some(())
+}
+
+/// Number of loops strictly enclosing `l` — `l`'s position in a
+/// direction vector over its own nest.
+fn ancestor_count(forest: &LoopForest, mut l: Loop) -> usize {
+    let mut n = 0;
+    while let Some(p) = forest.data(l).parent {
+        n += 1;
+        l = p;
+    }
+    n
+}
+
+/// Matches the canonical shape `lower_for` emits for a rectangular
+/// two-deep nest and collects its moving parts.
+fn recognize(func: &Function, forest: &LoopForest, outer: Loop, inner: Loop) -> Option<NestShape> {
+    let od = forest.data(outer);
+    let ho = od.header;
+    let hi = forest.data(inner).header;
+    let p_o = forest.preheader(func, outer)?;
+    let latch_o = forest.single_latch(outer)?;
+    let latch_i = forest.single_latch(inner)?;
+    // Outer header: `branch io > bound_o ? exit : pre_i`.
+    let Terminator::Branch {
+        lhs: Operand::Var(io),
+        then_bb: exit_o,
+        else_bb: pre_i,
+        ..
+    } = func.blocks[ho].term
+    else {
+        return None;
+    };
+    if forest.contains(outer, exit_o) || !forest.contains(outer, pre_i) || pre_i == ho {
+        return None;
+    }
+    // Inner header: `branch ii > bound_i ? latch_o : body`.
+    let Terminator::Branch {
+        lhs: Operand::Var(ii),
+        then_bb: inner_exit,
+        else_bb: body0,
+        ..
+    } = func.blocks[hi].term
+    else {
+        return None;
+    };
+    if inner_exit != latch_o || forest.contains(inner, inner_exit) || !forest.contains(inner, body0)
+    {
+        return None;
+    }
+    if io == ii {
+        return None;
+    }
+    // The outer loop is exactly header + inner preheader + inner loop +
+    // latch: no other outer-level computation whose trip count would
+    // change.
+    for &b in &od.blocks {
+        if b != ho && b != pre_i && b != latch_o && !forest.contains(inner, b) {
+            return None;
+        }
+    }
+    // `pre_i` holds exactly the inner initialization.
+    let [Inst::Copy {
+        dst: ii_dst,
+        src: from_i,
+    }] = func.blocks[pre_i].insts.as_slice()
+    else {
+        return None;
+    };
+    if *ii_dst != ii || func.blocks[pre_i].term != Terminator::Jump(hi) {
+        return None;
+    }
+    // `latch_o` holds exactly the outer increment.
+    let [outer_inc] = func.blocks[latch_o].insts.as_slice() else {
+        return None;
+    };
+    let step_o = const_self_increment(outer_inc, io)?;
+    if func.blocks[latch_o].term != Terminator::Jump(ho) {
+        return None;
+    }
+    // The inner increment is the last instruction of the inner latch.
+    let inner_inc = func.blocks[latch_i].insts.last()?;
+    let step_i = const_self_increment(inner_inc, ii)?;
+    if func.blocks[latch_i].term != Terminator::Jump(hi) {
+        return None;
+    }
+    // Each variable has exactly the defs the shape accounts for.
+    if count_defs(func, &od.blocks, io) != 1 || count_defs(func, &od.blocks, ii) != 2 {
+        return None;
+    }
+    // The outer initialization is the last def of `io` in the preheader.
+    let io_init_idx = func.blocks[p_o]
+        .insts
+        .iter()
+        .rposition(|inst| inst.def() == Some(io))?;
+    let Inst::Copy { src: from_o, .. } = &func.blocks[p_o].insts[io_init_idx] else {
+        return None;
+    };
+    let (from_o, from_i) = (*from_o, *from_i);
+    // All four range operands must be readable from either init point:
+    // constants, or variables never written anywhere.
+    let bounds = [
+        &from_o,
+        &from_i,
+        branch_rhs(func, ho)?,
+        branch_rhs(func, hi)?,
+    ];
+    for op in bounds {
+        match op {
+            Operand::Const(_) => {}
+            Operand::Var(v) => {
+                if !never_defined(func, *v) {
+                    return None;
+                }
+            }
+        }
+    }
+    // Neither variable may be observed outside the nest.
+    if used_outside(func, &od.blocks, p_o, io) || used_outside(func, &od.blocks, p_o, ii) {
+        return None;
+    }
+    Some(NestShape {
+        ho,
+        hi,
+        p_o,
+        pre_i,
+        latch_o,
+        latch_i,
+        io_init_idx,
+        io,
+        ii,
+        from_o,
+        from_i,
+        step_o,
+        step_i,
+    })
+}
+
+/// Swaps the init / exit-test / increment triples between the two
+/// levels. The body and the CFG edges are untouched: the two variables
+/// simply trade which level drives them.
+fn apply(func: &mut Function, s: &NestShape) {
+    func.blocks[s.p_o].insts[s.io_init_idx] = Inst::Copy {
+        dst: s.ii,
+        src: s.from_i,
+    };
+    func.blocks[s.pre_i].insts[0] = Inst::Copy {
+        dst: s.io,
+        src: s.from_o,
+    };
+    func.blocks[s.latch_o].insts[0] = Inst::Binary {
+        dst: s.ii,
+        op: BinOp::Add,
+        lhs: Operand::Var(s.ii),
+        rhs: Operand::Const(s.step_i),
+    };
+    let last = func.blocks[s.latch_i].insts.len() - 1;
+    func.blocks[s.latch_i].insts[last] = Inst::Binary {
+        dst: s.io,
+        op: BinOp::Add,
+        lhs: Operand::Var(s.io),
+        rhs: Operand::Const(s.step_o),
+    };
+    // Swap the exit tests (conditions only; the edges stay).
+    let (op_o, bound_o) = branch_cond(func, s.ho);
+    let (op_i, bound_i) = branch_cond(func, s.hi);
+    set_branch_cond(func, s.ho, op_i, Operand::Var(s.ii), bound_i);
+    set_branch_cond(func, s.hi, op_o, Operand::Var(s.io), bound_o);
+}
+
+fn branch_rhs(func: &Function, b: Block) -> Option<&Operand> {
+    match &func.blocks[b].term {
+        Terminator::Branch { rhs, .. } => Some(rhs),
+        _ => None,
+    }
+}
+
+fn branch_cond(func: &Function, b: Block) -> (biv_ir::CmpOp, Operand) {
+    match &func.blocks[b].term {
+        Terminator::Branch { op, rhs, .. } => (*op, *rhs),
+        _ => unreachable!("recognized shape has a branch"),
+    }
+}
+
+fn set_branch_cond(func: &mut Function, b: Block, op: biv_ir::CmpOp, l: Operand, r: Operand) {
+    if let Terminator::Branch {
+        op: o, lhs, rhs, ..
+    } = &mut func.blocks[b].term
+    {
+        *o = op;
+        *lhs = l;
+        *rhs = r;
+    }
+}
+
+/// Matches `v = v + Const(c)` (either operand order), returning `c`.
+fn const_self_increment(inst: &Inst, v: Var) -> Option<i64> {
+    match inst {
+        Inst::Binary {
+            dst,
+            op: BinOp::Add,
+            lhs,
+            rhs,
+        } if *dst == v => match (lhs, rhs) {
+            (Operand::Var(a), Operand::Const(c)) if *a == v => Some(*c),
+            (Operand::Const(c), Operand::Var(a)) if *a == v => Some(*c),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn count_defs(func: &Function, blocks: &[Block], v: Var) -> usize {
+    blocks
+        .iter()
+        .map(|&b| {
+            func.blocks[b]
+                .insts
+                .iter()
+                .filter(|i| i.def() == Some(v))
+                .count()
+        })
+        .sum()
+}
+
+/// Whether `v` is read by any instruction or terminator outside the nest
+/// blocks (reads in the preheader are forbidden too — the init moves).
+fn used_outside(func: &Function, nest: &[Block], p_o: Block, v: Var) -> bool {
+    for (b, data) in func.blocks.iter() {
+        if nest.contains(&b) {
+            continue;
+        }
+        for inst in &data.insts {
+            let mut used = Vec::new();
+            inst.uses(&mut used);
+            if used.contains(&v) {
+                return true;
+            }
+        }
+        let mut used = Vec::new();
+        data.term.uses(&mut used);
+        if used.contains(&v) && b != p_o {
+            return true;
+        }
+    }
+    false
+}

@@ -1,0 +1,128 @@
+//! Wrap-around loop peeling (§4.1).
+//!
+//! "The standard compiler trick, once a wrap-around variable is found,
+//! is to peel off the first iteration of the loop and replace the
+//! wrap-around variable with the appropriate induction variable." The
+//! body is duplicated before the loop and the duplicate's back edge
+//! enters the original header, so after one peeled trip every
+//! wrap-around variable's value lies on its steady induction sequence
+//! and re-analysis refines it.
+
+use biv_core::{Analysis, Class};
+use biv_ir::dom::DomTree;
+use biv_ir::loops::LoopForest;
+use biv_ir::{Block, Function};
+
+use crate::util::clone_loop_blocks;
+
+/// Typed result of a peeling request, so callers cannot mistake "label
+/// was a typo" for "loop was peeled".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeelOutcome {
+    /// The first iteration was peeled.
+    Peeled {
+        /// The loop's header block.
+        header: Block,
+        /// How many blocks were cloned.
+        cloned_blocks: usize,
+    },
+    /// No block carries the requested label.
+    UnknownLabel,
+    /// The labeled block is not a natural-loop header.
+    NotALoopHeader,
+    /// The loop lacks a unique preheader (run loop simplification first).
+    NoPreheader,
+}
+
+impl PeelOutcome {
+    /// Whether the loop was actually peeled.
+    pub fn peeled(&self) -> bool {
+        matches!(self, PeelOutcome::Peeled { .. })
+    }
+}
+
+/// Peels the first iteration of the loop whose header carries
+/// `header_label`.
+pub fn peel_first_iteration(func: &mut Function, header_label: &str) -> PeelOutcome {
+    let Some(header) = func.block_by_label(header_label) else {
+        return PeelOutcome::UnknownLabel;
+    };
+    peel_header(func, header)
+}
+
+/// Peels the loop headed at `header` (which must be a loop header).
+pub fn peel_header(func: &mut Function, header: Block) -> PeelOutcome {
+    let dom = DomTree::compute(func);
+    let forest = LoopForest::compute(func, &dom);
+    let Some((l, _)) = forest.iter().find(|(_, d)| d.header == header) else {
+        return PeelOutcome::NotALoopHeader;
+    };
+    let Some(preheader) = forest.preheader(func, l) else {
+        return PeelOutcome::NoPreheader;
+    };
+    let blocks: Vec<Block> = forest.data(l).blocks.clone();
+    // Clone the body; the clones' back edges already target the original
+    // header, so routing the preheader into the cloned header peels
+    // exactly one iteration.
+    let clone_of = clone_loop_blocks(func, &blocks, header);
+    func.blocks[preheader]
+        .term
+        .replace_successor(header, clone_of[&header]);
+    PeelOutcome::Peeled {
+        header,
+        cloned_blocks: blocks.len(),
+    }
+}
+
+/// Classification-driven peeling: peels every loop whose classes include
+/// a wrap-around variable, resolving headers from the analysis (loops
+/// are matched back to the function by their source label; unlabeled
+/// loops are skipped). Returns the number of loops peeled.
+pub fn peel_wraparounds(func: &mut Function, analysis: &Analysis) -> usize {
+    let mut labels: Vec<String> = Vec::new();
+    for (_, info) in analysis.loops() {
+        let has_wrap = info
+            .classes
+            .values()
+            .any(|c| matches!(c, Class::WrapAround { .. }));
+        if has_wrap && !labels.contains(&info.name) {
+            labels.push(info.name.clone());
+        }
+    }
+    let mut peeled = 0;
+    for label in labels {
+        let Some(header) = func.block_by_label(&label) else {
+            continue; // analysis-internal name (unlabeled loop)
+        };
+        if peel_header(func, header).peeled() {
+            peeled += 1;
+        }
+    }
+    peeled
+}
+
+/// Inserts the canonical loop counter `h = (L, 0, 1)` for the labeled
+/// loop: `h = 0` in the preheader and `h = h + 1` at the top of the
+/// latch. Returns the new variable, or `None` when the label does not
+/// name a simplified single-latch loop.
+pub fn insert_canonical_counter(func: &mut Function, header_label: &str) -> Option<biv_ir::Var> {
+    use biv_ir::{BinOp, Inst, Operand};
+    let dom = DomTree::compute(func);
+    let forest = LoopForest::compute(func, &dom);
+    let header = func.block_by_label(header_label)?;
+    let (l, _) = forest.iter().find(|(_, d)| d.header == header)?;
+    let preheader = forest.preheader(func, l)?;
+    let latch = forest.single_latch(l)?;
+    let h = func.new_var(format!("%h_{header_label}"));
+    func.blocks[preheader].insts.push(Inst::Copy {
+        dst: h,
+        src: Operand::Const(0),
+    });
+    func.blocks[latch].insts.push(Inst::Binary {
+        dst: h,
+        op: BinOp::Add,
+        lhs: Operand::Var(h),
+        rhs: Operand::Const(1),
+    });
+    Some(h)
+}

@@ -1,0 +1,216 @@
+//! The `--optimize` pipeline: classification-driven transformations,
+//! self-checked by differential execution.
+//!
+//! Order matters. Interchange runs first, while the nest still has the
+//! pristine shape `lower_for` emitted (strength reduction would add
+//! maintenance code to the outer latch and break the canonical-shape
+//! match). Peeling and unrolling come next — they duplicate blocks, so
+//! they run before strength reduction doubles the code under them.
+//! Strength reduction then iterates to its polynomial fixed point, and
+//! dead-IV elimination last consumes the strength-reduced temporaries
+//! for linear-function test replacement. The function is re-analyzed
+//! after every stage that changed it.
+//!
+//! Every transformed function can be validated against its original in
+//! the IR interpreter ([`biv_core::validate`]); the batch driver does
+//! this for every function it rewrites.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use biv_core::validate::{differential_check, ValidationOptions, Verdict};
+use biv_core::{analyze_with, Analysis, AnalysisConfig};
+use biv_ir::Function;
+
+use crate::deadiv::eliminate_dead_ivs;
+use crate::interchange::interchange_nests;
+use crate::peel::peel_wraparounds;
+use crate::sr::{strength_reduce_with, MAX_PASSES};
+use crate::unroll::unroll_flip_flops;
+
+/// Per-transform application counts for one function.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransformReport {
+    /// Multiplications eliminated by strength reduction.
+    pub strength_reduced: usize,
+    /// Loops peeled for wrap-around variables.
+    pub peeled: usize,
+    /// Flip-flop loops unrolled by two.
+    pub unrolled: usize,
+    /// Induction variables deleted after test replacement.
+    pub dead_ivs: usize,
+    /// Loop nests interchanged.
+    pub interchanged: usize,
+    /// All transforms were skipped because the analysis breached its
+    /// resource budget (degraded `Unknown` classes are not a license to
+    /// transform).
+    pub budget_skipped: bool,
+}
+
+impl TransformReport {
+    /// Total number of transform applications.
+    pub fn total(&self) -> usize {
+        self.strength_reduced + self.peeled + self.unrolled + self.dead_ivs + self.interchanged
+    }
+
+    /// The number of distinct transform kinds applied at least once.
+    pub fn kinds_applied(&self) -> usize {
+        [
+            self.strength_reduced,
+            self.peeled,
+            self.unrolled,
+            self.dead_ivs,
+            self.interchanged,
+        ]
+        .iter()
+        .filter(|&&n| n > 0)
+        .count()
+    }
+
+    /// Accumulates another report into this one.
+    pub fn merge(&mut self, other: &TransformReport) {
+        self.strength_reduced += other.strength_reduced;
+        self.peeled += other.peeled;
+        self.unrolled += other.unrolled;
+        self.dead_ivs += other.dead_ivs;
+        self.interchanged += other.interchanged;
+        self.budget_skipped |= other.budget_skipped;
+    }
+
+    /// One-line rendering, `sr=2 peel=1 unroll=0 deadiv=1 interchange=0`.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "sr={} peel={} unroll={} deadiv={} interchange={}",
+            self.strength_reduced, self.peeled, self.unrolled, self.dead_ivs, self.interchanged
+        );
+        if self.budget_skipped {
+            s.push_str(" (budget-skipped)");
+        }
+        s
+    }
+}
+
+/// A transformed function together with what was done to it.
+#[derive(Debug, Clone)]
+pub struct Optimized {
+    /// The rewritten function (the original is untouched).
+    pub func: Function,
+    /// What the pipeline applied.
+    pub report: TransformReport,
+}
+
+/// Runs the full transformation pipeline on a copy of `func` under the
+/// default analysis configuration.
+pub fn optimize(func: &Function) -> Optimized {
+    optimize_with(func, AnalysisConfig::default())
+}
+
+/// Runs the full transformation pipeline on a copy of `func`, analyzing
+/// under `config` between stages.
+pub fn optimize_with(func: &Function, config: AnalysisConfig) -> Optimized {
+    let mut out = func.clone();
+    let mut report = TransformReport::default();
+    let mut analysis = analyze_with(&out, config);
+    if !analysis.budget_breaches().is_empty() {
+        // Budget-degraded classes are `Unknown`, which would silently
+        // shrink the candidate sets; refuse to transform at all rather
+        // than transform inconsistently.
+        report.budget_skipped = true;
+        return Optimized { func: out, report };
+    }
+    let refresh = |out: &Function, changed: usize, analysis: &mut Analysis| {
+        if changed > 0 {
+            *analysis = analyze_with(out, config);
+        }
+    };
+    report.interchanged = interchange_nests(&mut out, &analysis);
+    refresh(&out, report.interchanged, &mut analysis);
+    report.peeled = peel_wraparounds(&mut out, &analysis);
+    refresh(&out, report.peeled, &mut analysis);
+    report.unrolled = unroll_flip_flops(&mut out, &analysis);
+    refresh(&out, report.unrolled, &mut analysis);
+    for _ in 0..MAX_PASSES {
+        let n = strength_reduce_with(&mut out, &analysis);
+        if n == 0 {
+            break;
+        }
+        report.strength_reduced += n;
+        analysis = analyze_with(&out, config);
+    }
+    report.dead_ivs = eliminate_dead_ivs(&mut out, &analysis);
+    Optimized { func: out, report }
+}
+
+/// One function's outcome from [`optimize_batch`].
+#[derive(Debug, Clone)]
+pub struct FunctionOptimization {
+    /// The function's name.
+    pub name: String,
+    /// What the pipeline applied.
+    pub report: TransformReport,
+    /// The differential-execution verdict against the original.
+    pub verdict: Verdict,
+    /// The rewritten function.
+    pub func: Function,
+}
+
+/// Optimizes and validates a batch of functions across `jobs` worker
+/// threads. The output is in input order and byte-for-byte independent
+/// of `jobs`: workers claim indices from a shared cursor and results are
+/// reordered by slot.
+pub fn optimize_batch(
+    funcs: &[Function],
+    jobs: usize,
+    vopts: &ValidationOptions,
+    config: AnalysisConfig,
+) -> Vec<FunctionOptimization> {
+    let one = |func: &Function| {
+        let optimized = optimize_with(func, config);
+        let verdict = if optimized.report.total() > 0 {
+            differential_check(func, &optimized.func, vopts)
+        } else {
+            // Untouched functions are vacuously valid; skip the runs.
+            Verdict::Validated {
+                runs: 0,
+                skipped: 0,
+            }
+        };
+        FunctionOptimization {
+            name: func.name().to_string(),
+            report: optimized.report,
+            verdict,
+            func: optimized.func,
+        }
+    };
+    let jobs = jobs.min(funcs.len()).max(1);
+    if funcs.len() <= 1 || jobs == 1 {
+        return funcs.iter().map(one).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let cursor = &cursor;
+        let one = &one;
+        let (tx, rx) = mpsc::channel::<(usize, FunctionOptimization)>();
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            scope.spawn(move || loop {
+                let k = cursor.fetch_add(1, Ordering::Relaxed);
+                if k >= funcs.len() {
+                    break;
+                }
+                if tx.send((k, one(&funcs[k]))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<FunctionOptimization>> = vec![None; funcs.len()];
+        for (k, result) in rx {
+            slots[k] = Some(result);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every slot filled"))
+            .collect()
+    })
+}

@@ -1,0 +1,310 @@
+//! Classified strength reduction (§1, §6).
+//!
+//! The classical companion transformation, generalized: instead of the
+//! syntactic "basic induction variable times constant" pattern, the
+//! candidate set comes from the paper's classifier — every CFG variable
+//! whose SSA values carry an additive (linear *or* polynomial) closed
+//! form is eligible, and the multiplier may be any loop-invariant
+//! operand, not just a literal constant.
+//!
+//! Soundness does not rest on the classification (which only *selects*
+//! candidates): for each reduced variable `x`, every in-loop definition
+//! of `x` must be `x = x ± e`, and the temporary `t` is updated
+//! immediately after each such definition, so `t == x * factor` holds at
+//! every other program point in the loop, no dominance argument needed.
+//!
+//! Polynomial IVs reduce by *chaining*: when the step `e` is itself
+//! loop-varying (`j = j + i`), the pass leaves a multiplication
+//! `e * factor` next to the update — which the next pass strength-reduces
+//! in turn, because `e` is an induction variable one degree lower. The
+//! driver iterates to a fixed point (bounded by [`MAX_PASSES`]).
+
+use std::collections::BTreeMap;
+
+use biv_core::Analysis;
+use biv_ir::dom::DomTree;
+use biv_ir::loops::LoopForest;
+use biv_ir::{BinOp, Block, EntityId, Function, Inst, Operand, Var};
+
+use crate::util::{additive_iv_vars, invariant_in};
+
+/// Pass bound for the polynomial chain: each pass lowers remaining
+/// multiplications by one polynomial degree.
+pub const MAX_PASSES: usize = 4;
+
+/// Applies classified strength reduction to a fixed point (at most
+/// [`MAX_PASSES`] analyze-and-rewrite rounds). Returns the total number
+/// of multiplications eliminated.
+pub fn strength_reduce(func: &mut Function) -> usize {
+    let mut total = 0;
+    for _ in 0..MAX_PASSES {
+        let analysis = biv_core::analyze(func);
+        let n = strength_reduce_with(func, &analysis);
+        if n == 0 {
+            break;
+        }
+        total += n;
+    }
+    total
+}
+
+/// One strength-reduction pass against an existing analysis of `func`.
+/// Returns the number of multiplications eliminated by this pass.
+pub fn strength_reduce_with(func: &mut Function, analysis: &Analysis) -> usize {
+    strength_reduce_pass(func, analysis, 0)
+}
+
+/// Sort key for grouping multiplication sites by their invariant factor.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum FactorKey {
+    Const(i64),
+    Var(usize),
+}
+
+fn factor_key(op: &Operand) -> FactorKey {
+    match op {
+        Operand::Const(c) => FactorKey::Const(*c),
+        Operand::Var(v) => FactorKey::Var(v.index()),
+    }
+}
+
+/// The additive step of `inst` when it is `var = var ± e` with `e` not
+/// `var` itself: `(step operand, +1 | -1)`.
+fn additive_step(inst: &Inst, var: Var) -> Option<(Operand, i64)> {
+    let Inst::Binary { dst, op, lhs, rhs } = inst else {
+        return None;
+    };
+    if *dst != var {
+        return None;
+    }
+    match op {
+        BinOp::Add => match (lhs, rhs) {
+            (Operand::Var(v), e) if *v == var && e.as_var() != Some(var) => Some((*e, 1)),
+            (e, Operand::Var(v)) if *v == var && e.as_var() != Some(var) => Some((*e, 1)),
+            _ => None,
+        },
+        BinOp::Sub => match (lhs, rhs) {
+            (Operand::Var(v), e) if *v == var && e.as_var() != Some(var) => Some((*e, -1)),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// The internal pass, parameterized by `skew` for the canary module: a
+/// nonzero skew deliberately mis-initializes every temporary, producing
+/// a guaranteed miscompile the differential harness must catch.
+pub(crate) fn strength_reduce_pass(func: &mut Function, analysis: &Analysis, skew: i64) -> usize {
+    let candidates = additive_iv_vars(analysis);
+    if candidates.is_empty() {
+        return 0;
+    }
+    let dom = DomTree::compute(func);
+    let forest = LoopForest::compute(func, &dom);
+    let mut reduced = 0;
+    for l in forest.inner_to_outer() {
+        let Some(preheader) = forest.preheader(func, l) else {
+            continue;
+        };
+        let blocks: Vec<Block> = forest.data(l).blocks.clone();
+        // Deterministic variable order.
+        let mut vars: Vec<Var> = candidates.iter().copied().collect();
+        vars.sort_by_key(|v| v.index());
+        for var in vars {
+            reduced += reduce_var(func, &blocks, preheader, var, skew);
+        }
+    }
+    reduced
+}
+
+/// Reduces every multiplication of `var` by a loop-invariant factor
+/// inside one loop. Returns the number of multiplications eliminated.
+fn reduce_var(
+    func: &mut Function,
+    blocks: &[Block],
+    preheader: Block,
+    var: Var,
+    skew: i64,
+) -> usize {
+    // Every in-loop definition of `var` must be additive, or the
+    // temporary cannot be maintained.
+    let mut steps: Vec<(Block, usize)> = Vec::new();
+    for &b in blocks {
+        for (i, inst) in func.blocks[b].insts.iter().enumerate() {
+            if inst.def() == Some(var) {
+                if additive_step(inst, var).is_none() {
+                    return 0;
+                }
+                steps.push((b, i));
+            }
+        }
+    }
+    if steps.is_empty() {
+        return 0; // invariant here; nothing to maintain
+    }
+    // Find the multiplications `dst = var * factor` with an invariant
+    // factor, grouped by factor.
+    let mut groups: BTreeMap<FactorKey, (Operand, usize)> = BTreeMap::new();
+    for &b in blocks {
+        for inst in &func.blocks[b].insts {
+            if let Some((dst, factor)) = mul_by(inst, var) {
+                if dst != var && invariant_in(func, blocks, &factor) {
+                    let entry = groups
+                        .entry(factor_key(&factor))
+                        .or_insert_with(|| (factor, 0));
+                    entry.1 += 1;
+                }
+            }
+        }
+    }
+    // Pre-check constant deltas: a group whose constant-folded update
+    // would overflow is left alone entirely.
+    groups.retain(|_, (factor, _)| all_const_deltas_fit(func, &steps, factor));
+    if groups.is_empty() {
+        return 0;
+    }
+    let var_tag = func.vars[var].name.replace('%', "");
+    // One temporary per factor, initialized `t = var * factor` in the
+    // preheader (plus the canary's deliberate skew, when set).
+    let mut temp_for: BTreeMap<FactorKey, Var> = BTreeMap::new();
+    for (key, (factor, _)) in &groups {
+        let tag = match factor {
+            Operand::Const(c) => format!("{c}"),
+            Operand::Var(v) => func.vars[*v].name.replace('%', ""),
+        };
+        let t = func.new_var(format!("%sr_{var_tag}_{tag}"));
+        func.blocks[preheader].insts.push(Inst::Binary {
+            dst: t,
+            op: BinOp::Mul,
+            lhs: Operand::Var(var),
+            rhs: *factor,
+        });
+        if skew != 0 {
+            func.blocks[preheader].insts.push(Inst::Binary {
+                dst: t,
+                op: BinOp::Add,
+                lhs: Operand::Var(t),
+                rhs: Operand::Const(skew),
+            });
+        }
+        temp_for.insert(*key, t);
+    }
+    // Maintain the temporaries after every additive definition of `var`.
+    for &b in blocks {
+        let mut i = 0;
+        while i < func.blocks[b].insts.len() {
+            let inst = func.blocks[b].insts[i].clone();
+            let Some((step, sign)) = (inst.def() == Some(var))
+                .then(|| additive_step(&inst, var))
+                .flatten()
+            else {
+                i += 1;
+                continue;
+            };
+            let mut insert_at = i + 1;
+            for (factor, _) in groups.clone().values() {
+                let t = temp_for[&factor_key(factor)];
+                match (&step, factor) {
+                    (Operand::Const(c), Operand::Const(f)) => {
+                        // Pre-checked to fit.
+                        let delta = c.checked_mul(*f).and_then(|d| d.checked_mul(sign)).unwrap();
+                        func.blocks[b].insts.insert(
+                            insert_at,
+                            Inst::Binary {
+                                dst: t,
+                                op: BinOp::Add,
+                                lhs: Operand::Var(t),
+                                rhs: Operand::Const(delta),
+                            },
+                        );
+                        insert_at += 1;
+                    }
+                    _ => {
+                        // Symbolic delta: `d = step * factor` right after
+                        // the update (when the step is loop-varying this
+                        // multiplication is one polynomial degree lower
+                        // and the next pass reduces it in turn).
+                        let d = func.new_var(format!("%srd_{var_tag}"));
+                        func.blocks[b].insts.insert(
+                            insert_at,
+                            Inst::Binary {
+                                dst: d,
+                                op: BinOp::Mul,
+                                lhs: step,
+                                rhs: *factor,
+                            },
+                        );
+                        func.blocks[b].insts.insert(
+                            insert_at + 1,
+                            Inst::Binary {
+                                dst: t,
+                                op: if sign > 0 { BinOp::Add } else { BinOp::Sub },
+                                lhs: Operand::Var(t),
+                                rhs: Operand::Var(d),
+                            },
+                        );
+                        insert_at += 2;
+                    }
+                }
+            }
+            i = insert_at;
+        }
+    }
+    // Replace the multiplications with copies from the temporaries.
+    let mut count = 0;
+    for &b in blocks {
+        for inst in &mut func.blocks[b].insts {
+            let Some((dst, factor)) = mul_by(inst, var) else {
+                continue;
+            };
+            if let Some(&t) = temp_for.get(&factor_key(&factor)) {
+                if dst != var && dst != t {
+                    *inst = Inst::Copy {
+                        dst,
+                        src: Operand::Var(t),
+                    };
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Matches `dst = var * factor` (either operand order); the factor is
+/// the other operand.
+fn mul_by(inst: &Inst, var: Var) -> Option<(Var, Operand)> {
+    let Inst::Binary {
+        dst,
+        op: BinOp::Mul,
+        lhs,
+        rhs,
+    } = inst
+    else {
+        return None;
+    };
+    match (lhs, rhs) {
+        (Operand::Var(v), f) if *v == var && f.as_var() != Some(var) => Some((*dst, *f)),
+        (f, Operand::Var(v)) if *v == var && f.as_var() != Some(var) => Some((*dst, *f)),
+        _ => None,
+    }
+}
+
+/// Whether every constant-step × constant-factor delta for this group
+/// fits in `i64`.
+fn all_const_deltas_fit(func: &Function, steps: &[(Block, usize)], factor: &Operand) -> bool {
+    let Operand::Const(f) = factor else {
+        return true;
+    };
+    steps.iter().all(|&(b, i)| {
+        let inst = &func.blocks[b].insts[i];
+        let var = inst.def().expect("def site");
+        match additive_step(inst, var) {
+            Some((Operand::Const(c), sign)) => c
+                .checked_mul(*f)
+                .and_then(|d| d.checked_mul(sign))
+                .is_some(),
+            _ => true,
+        }
+    })
+}

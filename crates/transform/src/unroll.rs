@@ -1,0 +1,74 @@
+//! Flip-flop unrolling (§4.2).
+//!
+//! A loop carrying a period-2 periodic family (a flip-flop) is unrolled
+//! by two: consecutive iterations then see the *same* member of the
+//! family in each copy, turning the alternation into straight-line
+//! values that forward substitution or dependence testing can exploit.
+//!
+//! The unroll is a pure CFG duplication — both copies keep their exit
+//! tests, so odd trip counts (and any other early exit) remain correct
+//! unconditionally.
+
+use biv_core::{Analysis, Class};
+use biv_ir::dom::DomTree;
+use biv_ir::loops::LoopForest;
+use biv_ir::{Block, Function};
+
+use crate::util::clone_loop_blocks;
+
+/// Unrolls by two every innermost loop whose classes include a period-2
+/// periodic (flip-flop) family. Loops are resolved from the analysis by
+/// source label; unlabeled loops are skipped. Returns the number of
+/// loops unrolled.
+pub fn unroll_flip_flops(func: &mut Function, analysis: &Analysis) -> usize {
+    let mut labels: Vec<String> = Vec::new();
+    for (_, info) in analysis.loops() {
+        let has_flip_flop = info
+            .classes
+            .values()
+            .any(|c| matches!(c, Class::Periodic(p) if p.period() == 2));
+        if has_flip_flop && !labels.contains(&info.name) {
+            labels.push(info.name.clone());
+        }
+    }
+    let mut unrolled = 0;
+    for label in labels {
+        let Some(header) = func.block_by_label(&label) else {
+            continue;
+        };
+        if unroll_by_two(func, header) {
+            unrolled += 1;
+        }
+    }
+    unrolled
+}
+
+/// Unrolls the loop headed at `header` by two. Only innermost loops are
+/// unrolled (duplicating an outer loop would duplicate its inner loops
+/// wholesale). Returns whether the loop was unrolled.
+pub fn unroll_by_two(func: &mut Function, header: Block) -> bool {
+    let dom = DomTree::compute(func);
+    let forest = LoopForest::compute(func, &dom);
+    let Some((l, data)) = forest.iter().find(|(_, d)| d.header == header) else {
+        return false;
+    };
+    if !data.children.is_empty() {
+        return false;
+    }
+    if forest.preheader(func, l).is_none() {
+        return false;
+    }
+    let blocks: Vec<Block> = forest.data(l).blocks.clone();
+    // Clone the body. The clones' edges to the header already target the
+    // *original* header; retargeting the originals' back edges into the
+    // cloned header chains the two copies: header → … → header′ → … →
+    // header. Exit edges are preserved in both copies.
+    let clone_of = clone_loop_blocks(func, &blocks, header);
+    let cloned_header = clone_of[&header];
+    for &b in &blocks {
+        // Only in-loop edges to the header are back edges (the preheader
+        // is outside the loop and untouched).
+        func.blocks[b].term.replace_successor(header, cloned_header);
+    }
+    true
+}

@@ -1,0 +1,90 @@
+//! Shared helpers for the transformation passes.
+
+use std::collections::{HashMap, HashSet};
+
+use biv_core::{Analysis, Class};
+use biv_ir::{Block, Function, Operand, Terminator, Var};
+
+/// Whether `op` is invariant in the given blocks: a constant, or a
+/// variable with no definition inside them.
+pub(crate) fn invariant_in(func: &Function, blocks: &[Block], op: &Operand) -> bool {
+    match op {
+        Operand::Const(_) => true,
+        Operand::Var(v) => !blocks
+            .iter()
+            .any(|&b| func.blocks[b].insts.iter().any(|i| i.def() == Some(*v))),
+    }
+}
+
+/// Whether `v` has no defining instruction anywhere in the function — a
+/// parameter or an implicitly-zero live-in, so its value is fixed for the
+/// whole execution and it can be read from any program point.
+pub(crate) fn never_defined(func: &Function, v: Var) -> bool {
+    func.blocks
+        .iter()
+        .all(|(_, data)| data.insts.iter().all(|i| i.def() != Some(v)))
+}
+
+/// The CFG variables whose SSA values classify as *additive* induction
+/// variables (linear or polynomial closed forms; geometric excluded —
+/// their update is multiplicative and strength reduction does not apply).
+pub(crate) fn additive_iv_vars(analysis: &Analysis) -> HashSet<Var> {
+    let mut out = HashSet::new();
+    for (_, info) in analysis.loops() {
+        for (v, class) in info.classes.iter() {
+            if let Class::Induction(cf) = class {
+                if cf.geo.is_empty() {
+                    if let Some(var) = analysis.ssa().values[v].var {
+                        out.insert(var);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Clones every block of a loop: instructions and terminators are
+/// copied, and in-loop successors are retargeted to their clones —
+/// except the header, which the clones keep pointing at (the caller
+/// decides how the copies are wired into the CFG). Returns the
+/// original→clone map.
+pub(crate) fn clone_loop_blocks(
+    func: &mut Function,
+    blocks: &[Block],
+    header: Block,
+) -> HashMap<Block, Block> {
+    let mut clone_of: HashMap<Block, Block> = HashMap::new();
+    for &b in blocks {
+        clone_of.insert(b, func.new_block());
+    }
+    for &b in blocks {
+        let copy = clone_of[&b];
+        let insts = func.blocks[b].insts.clone();
+        let mut term = func.blocks[b].term.clone();
+        match &mut term {
+            Terminator::Jump(t) => {
+                if *t != header {
+                    if let Some(&c) = clone_of.get(t) {
+                        *t = c;
+                    }
+                }
+            }
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => {
+                for t in [then_bb, else_bb] {
+                    if *t != header {
+                        if let Some(&c) = clone_of.get(t) {
+                            *t = c;
+                        }
+                    }
+                }
+            }
+            Terminator::Return => {}
+        }
+        func.blocks[copy].insts = insts;
+        func.blocks[copy].term = term;
+    }
+    clone_of
+}

@@ -41,6 +41,17 @@ pub struct WorkloadSpec {
     pub diamonds: usize,
     /// Extra loop-invariant computations per loop.
     pub invariants: usize,
+    /// Derived induction variables per loop (`d = i * c` feeding a
+    /// store) — strength-reduction targets.
+    pub derived: usize,
+    /// Flip-flop (period-2 swap) mini-loops per loop — unroll-by-two
+    /// targets.
+    pub flipflop: usize,
+    /// Dead-IV mini-loops per loop (the index's only live use is a
+    /// strength-reducible multiplication) — test-replacement targets.
+    pub deadiv: usize,
+    /// Column-major two-deep nests per loop — interchange targets.
+    pub nests: usize,
     /// Constant trip count used in bounds.
     pub trip: i64,
     /// RNG seed (constants vary; structure does not).
@@ -59,6 +70,10 @@ impl Default for WorkloadSpec {
             monotonic: 1,
             diamonds: 1,
             invariants: 2,
+            derived: 0,
+            flipflop: 0,
+            deadiv: 0,
+            nests: 0,
             trip: 100,
             seed: 42,
         }
@@ -83,6 +98,10 @@ impl WorkloadSpec {
             monotonic: 0,
             diamonds: 0,
             invariants: 0,
+            derived: 0,
+            flipflop: 0,
+            deadiv: 0,
+            nests: 0,
             trip: 100,
             seed,
         }
@@ -94,6 +113,30 @@ impl WorkloadSpec {
             loops: scale.max(1),
             seed,
             ..WorkloadSpec::default()
+        }
+    }
+
+    /// A mix exercising every transform of `biv-transform` with exactly
+    /// known application counts ([`TransformLabels`]). The short trip
+    /// count keeps geometric plants inside `i64` and differential
+    /// interpretation cheap.
+    pub fn transforms(scale: usize, seed: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            loops: scale.max(1),
+            linear: 2,
+            polynomial: 1,
+            geometric: 1,
+            wraparound: 1,
+            periodic: 1,
+            monotonic: 1,
+            diamonds: 1,
+            invariants: 1,
+            derived: 2,
+            flipflop: 1,
+            deadiv: 1,
+            nests: 1,
+            trip: 12,
+            seed,
         }
     }
 }
@@ -115,6 +158,34 @@ pub struct ExpectedCounts {
     pub monotonic: usize,
 }
 
+/// Ground-truth transform applications planted by the generator: how
+/// many times each `biv-transform` pass should fire on the generated
+/// function. Plants are isolated (each transform target sits in its own
+/// loop or feeds nothing else) so the counts are exact, not lower
+/// bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransformLabels {
+    /// Multiplications strength reduction must eliminate
+    /// (derived-IV plants plus the dead-IV mini-loops' feeders).
+    pub strength_reduce: usize,
+    /// Loops wrap-around peeling must peel (loops containing at least
+    /// one wrap-around plant).
+    pub peel: usize,
+    /// Flip-flop mini-loops unrolling must unroll by two.
+    pub unroll: usize,
+    /// Induction variables dead-IV elimination must delete.
+    pub dead_iv: usize,
+    /// Column-major nests loop interchange must transpose.
+    pub interchange: usize,
+}
+
+impl TransformLabels {
+    /// Total planted transform applications.
+    pub fn total(&self) -> usize {
+        self.strength_reduce + self.peel + self.unroll + self.dead_iv + self.interchange
+    }
+}
+
 /// A generated workload.
 #[derive(Debug)]
 pub struct Workload {
@@ -124,6 +195,8 @@ pub struct Workload {
     pub func: Function,
     /// Ground-truth class counts.
     pub expected: ExpectedCounts,
+    /// Ground-truth transform applications.
+    pub labels: TransformLabels,
 }
 
 /// Generates a workload from a spec.
@@ -134,22 +207,30 @@ pub struct Workload {
 pub fn generate(spec: &WorkloadSpec) -> Workload {
     let mut src = String::new();
     let mut expected = ExpectedCounts::default();
-    emit_function(&mut src, "generated", spec, &mut expected);
+    let mut labels = TransformLabels::default();
+    emit_function(&mut src, "generated", spec, &mut expected, &mut labels);
     let program = parse_program(&src)
         .unwrap_or_else(|e| panic!("generator produced invalid source: {e}\n{src}"));
     Workload {
         source: src,
         func: program.functions.into_iter().next().expect("one function"),
         expected,
+        labels,
     }
 }
 
 /// Emits one complete function from a spec, accumulating ground truth.
-fn emit_function(src: &mut String, name: &str, spec: &WorkloadSpec, expected: &mut ExpectedCounts) {
+fn emit_function(
+    src: &mut String,
+    name: &str,
+    spec: &WorkloadSpec,
+    expected: &mut ExpectedCounts,
+    labels: &mut TransformLabels,
+) {
     let mut rng = SplitMix64::seed_from_u64(spec.seed);
     let _ = writeln!(src, "func {name}(n) {{");
     for l in 0..spec.loops {
-        emit_loop(src, spec, l, &mut rng, expected);
+        emit_loop(src, spec, l, &mut rng, expected, labels);
     }
     let _ = writeln!(src, "}}");
 }
@@ -196,6 +277,8 @@ pub struct Corpus {
     pub duplicates: usize,
     /// Ground-truth class counts summed over all functions.
     pub expected: ExpectedCounts,
+    /// Ground-truth transform applications summed over all functions.
+    pub labels: TransformLabels,
 }
 
 /// Generates a multi-function corpus from a spec.
@@ -206,6 +289,7 @@ pub struct Corpus {
 pub fn generate_corpus(spec: &CorpusSpec) -> Corpus {
     let mut src = String::new();
     let mut expected = ExpectedCounts::default();
+    let mut labels = TransformLabels::default();
     let mut duplicates = 0;
     let mut last_fresh_seed = spec.seed;
     for i in 0..spec.functions {
@@ -225,7 +309,13 @@ pub fn generate_corpus(spec: &CorpusSpec) -> Corpus {
             seed,
             ..WorkloadSpec::default()
         };
-        emit_function(&mut src, &format!("f{i}"), &fspec, &mut expected);
+        emit_function(
+            &mut src,
+            &format!("f{i}"),
+            &fspec,
+            &mut expected,
+            &mut labels,
+        );
     }
     let program = parse_program(&src)
         .unwrap_or_else(|e| panic!("corpus generator produced invalid source: {e}\n{src}"));
@@ -239,6 +329,7 @@ pub fn generate_corpus(spec: &CorpusSpec) -> Corpus {
         funcs: program.functions,
         duplicates,
         expected,
+        labels,
     }
 }
 
@@ -248,6 +339,7 @@ fn emit_loop(
     l: usize,
     rng: &mut SplitMix64,
     expected: &mut ExpectedCounts,
+    labels: &mut TransformLabels,
 ) {
     let trip = spec.trip;
     // Pre-loop initializations.
@@ -325,12 +417,69 @@ fn emit_loop(
         );
         let _ = writeln!(src, "        ARR[dia_{l}_{d}] = i{l}");
     }
+    for v in 0..spec.derived {
+        // A derived IV: the only use of the multiplication result is a
+        // store, so strength reduction must replace exactly this mul.
+        let c = rng.gen_range(2..9);
+        let _ = writeln!(src, "        der_{l}_{v} = i{l} * {c}");
+        let _ = writeln!(src, "        DER[der_{l}_{v}] = i{l}");
+        expected.linear += 1;
+        labels.strength_reduce += 1;
+    }
     for v in 0..spec.invariants {
         let a = rng.gen_range(2..9);
         let b = rng.gen_range(1..99);
         let _ = writeln!(src, "        inv_{l}_{v} = n * {a} + {b}");
     }
     let _ = writeln!(src, "    }}");
+    if spec.wraparound > 0 {
+        // Classification-driven peeling fires once per loop containing a
+        // wrap-around, however many wrap-arounds it carries.
+        labels.peel += 1;
+    }
+    // The remaining transform targets each live in their own mini-loop so
+    // transforms cannot interact (unrolling a loop would double any
+    // strength-reducible multiplications inside it, for example) and the
+    // labels stay exact.
+    for v in 0..spec.flipflop {
+        let base = rng.gen_range(0..50) * 4;
+        let _ = writeln!(src, "    fa_{l}_{v} = {base}");
+        let _ = writeln!(src, "    fb_{l}_{v} = {}", base + 1);
+        let _ = writeln!(src, "    FL{l}x{v}: for fi{l}_{v} = 1 to {trip} {{");
+        let _ = writeln!(src, "        FLIP[fi{l}_{v}] = fa_{l}_{v}");
+        let _ = writeln!(src, "        ft_{l}_{v} = fa_{l}_{v}");
+        let _ = writeln!(src, "        fa_{l}_{v} = fb_{l}_{v}");
+        let _ = writeln!(src, "        fb_{l}_{v} = ft_{l}_{v}");
+        let _ = writeln!(src, "    }}");
+        expected.linear += 1; // the mini-loop index
+        expected.periodic += 2; // the two swapped values
+        labels.unroll += 1;
+    }
+    for v in 0..spec.deadiv {
+        // The index's only live use is the multiplication; after strength
+        // reduction replaces it, test replacement retires the index.
+        let k = rng.gen_range(2..9);
+        let _ = writeln!(src, "    DL{l}x{v}: for di{l}_{v} = 1 to {trip} {{");
+        let _ = writeln!(src, "        dd_{l}_{v} = di{l}_{v} * {k}");
+        let _ = writeln!(src, "        DEAD[dd_{l}_{v}] = dd_{l}_{v}");
+        let _ = writeln!(src, "    }}");
+        expected.linear += 2; // the index and the derived value
+        labels.strength_reduce += 1;
+        labels.dead_iv += 1;
+    }
+    for v in 0..spec.nests {
+        // Column-major access: the store's first (slowest) subscript is
+        // the inner index, so interchange is profitable; distinct
+        // subscripts per iteration keep it legal.
+        let _ = writeln!(src, "    NO{l}x{v}: for no{l}_{v} = 1 to {trip} {{");
+        let _ = writeln!(src, "        NI{l}x{v}: for ni{l}_{v} = 1 to {trip} {{");
+        let _ = writeln!(src, "            ns_{l}_{v} = no{l}_{v} + ni{l}_{v}");
+        let _ = writeln!(src, "            MAT[ni{l}_{v}, no{l}_{v}] = ns_{l}_{v}");
+        let _ = writeln!(src, "        }}");
+        let _ = writeln!(src, "    }}");
+        expected.linear += 2; // both nest indices
+        labels.interchange += 1;
+    }
 }
 
 /// Counts classifications across all loops of an analysis.
@@ -414,6 +563,35 @@ mod tests {
         assert!(counts.wraparound >= w.expected.wraparound, "{counts:?}");
         assert!(counts.periodic >= w.expected.periodic, "{counts:?}");
         assert!(counts.monotonic >= w.expected.monotonic, "{counts:?}");
+    }
+
+    #[test]
+    fn transform_plants_are_labeled() {
+        let w = generate(&WorkloadSpec::transforms(2, 9));
+        // Per loop: 2 derived + 1 dead-IV feeder = 3 strength reductions.
+        assert_eq!(w.labels.strength_reduce, 6);
+        assert_eq!(w.labels.peel, 2);
+        assert_eq!(w.labels.unroll, 2);
+        assert_eq!(w.labels.dead_iv, 2);
+        assert_eq!(w.labels.interchange, 2);
+        assert_eq!(w.labels.total(), 14);
+        // The planted classes are still recovered on top of the plants.
+        let analysis = analyze(&w.func);
+        let counts = count_classes(&analysis);
+        assert!(counts.periodic >= w.expected.periodic, "{counts:?}");
+        assert!(counts.wraparound >= w.expected.wraparound, "{counts:?}");
+    }
+
+    #[test]
+    fn default_spec_has_no_transform_plants() {
+        let w = generate(&WorkloadSpec::default());
+        assert_eq!(
+            w.labels,
+            TransformLabels {
+                peel: 1, // the default mix plants one wrap-around
+                ..TransformLabels::default()
+            }
+        );
     }
 
     #[test]

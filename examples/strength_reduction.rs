@@ -58,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "before peeling: j2 = {}",
         before.describe(j2).unwrap_or_default()
     );
-    assert!(peel_first_iteration(&mut func, "L10"));
+    assert!(peel_first_iteration(&mut func, "L10").peeled());
     let after = biv::core_analysis::analyze(&func);
     let l10 = after.loop_by_label("L10").expect("loop remains");
     let j_var = after.ssa().func().var_by_name("j").expect("j exists");

@@ -6,8 +6,18 @@
 //! bivc --cache-dir DIR FILE|DIR...        # batch with a durable analysis store
 //! bivc --stats-json PATH ...              # machine-readable batch/cache counters
 //! bivc --remote ENDPOINT FILE|DIR...      # submit the batch to a running bivd
+//! bivc --optimize FILE|DIR...             # IV-driven transformations, validated
 //! bivc --demo                             # run the built-in Figure 1 demo
 //! ```
+//!
+//! `--optimize` runs the classification-driven transformation pipeline
+//! (strength reduction, wrap-around peeling, flip-flop unrolling,
+//! dead-IV elimination, loop interchange) on every function and
+//! validates each rewritten function against its original by
+//! differential execution on seeded inputs. A single file prints the
+//! transformed IR; several files (or `--jobs`/`--batch`) print one
+//! report line per function plus aggregate totals, byte-identical for
+//! every job count. Any validation failure makes the exit code nonzero.
 //!
 //! `--time` additionally prints per-phase wall times (parse, SSA, loop
 //! forest, classify, closed forms) to stderr; analysis output on stdout
@@ -62,6 +72,7 @@ struct Options {
     trip_counts: bool,
     classic: bool,
     batch: bool,
+    optimize: bool,
     time: bool,
     jobs: usize,
     cache_cap: Option<usize>,
@@ -72,7 +83,7 @@ struct Options {
     paths: Vec<String>,
 }
 
-const USAGE: &str = "usage: bivc [--ssa] [--classes] [--deps] [--trip-counts] [--classic] [--dot] [--time] FILE\n       bivc [--jobs N] [--batch] [--cache-cap N] [--cache-dir DIR] [--stats-json PATH] [--time] FILE|DIR...\n       bivc --remote ENDPOINT [--cache-cap N] FILE|DIR...\n       bivc --demo\n\nrobustness knobs (any mode):\n       --budget time=MS,nodes=N,scc=N,order=N   degrade to `unknown` past these caps\n       --faults seed=N,profile=NAME             deterministic fault injection\n                                                (needs a fault-injection build)";
+const USAGE: &str = "usage: bivc [--ssa] [--classes] [--deps] [--trip-counts] [--classic] [--dot] [--time] FILE\n       bivc [--jobs N] [--batch] [--cache-cap N] [--cache-dir DIR] [--stats-json PATH] [--time] FILE|DIR...\n       bivc --remote ENDPOINT [--cache-cap N] FILE|DIR...\n       bivc --optimize [--jobs N] [--stats-json PATH] FILE|DIR...\n       bivc --demo\n\nrobustness knobs (any mode):\n       --budget time=MS,nodes=N,scc=N,order=N   degrade to `unknown` past these caps\n       --faults seed=N,profile=NAME             deterministic fault injection\n                                                (needs a fault-injection build)";
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
@@ -83,6 +94,7 @@ fn parse_args() -> Result<Options, String> {
         trip_counts: false,
         classic: false,
         batch: false,
+        optimize: false,
         time: false,
         jobs: 0,
         cache_cap: None,
@@ -122,6 +134,10 @@ fn parse_args() -> Result<Options, String> {
                 any_flag = true;
             }
             "--batch" => opts.batch = true,
+            "--optimize" => {
+                opts.optimize = true;
+                any_flag = true; // suppress the default analysis dump
+            }
             // Orthogonal to the output selectors: does not touch any_flag.
             "--time" => opts.time = true,
             "--jobs" => {
@@ -217,6 +233,15 @@ fn parse_args() -> Result<Options, String> {
         if opts.stats_json.is_some() {
             return Err("--stats-json is local-only; use the daemon's `stats` request".into());
         }
+        if opts.optimize {
+            return Err("--optimize is local-only: transformed IR and validation both need the functions in-process".into());
+        }
+    }
+    if opts.optimize && opts.cache_dir.is_some() {
+        return Err(
+            "--optimize does not use the analysis store; drop --cache-dir (the pipeline re-analyzes between transforms)"
+                .into(),
+        );
     }
     Ok(opts)
 }
@@ -441,6 +466,137 @@ fn write_stats_json<B: CacheBackend + ?Sized>(
     std::fs::write(path, text + "\n").map_err(|e| format!("cannot write `{path}`: {e}"))
 }
 
+/// The `--optimize` mode: parse every input, run the transformation
+/// pipeline on every function across `--jobs` workers, and validate each
+/// rewritten function against its original by differential execution on
+/// seeded inputs. With a single input file (and no batch flags) the
+/// transformed IR is printed per function; otherwise one report line per
+/// function. Output is byte-identical for every `--jobs` value. Returns
+/// the number of errors, including validation failures (already printed
+/// to stderr).
+fn run_optimize(opts: &Options) -> Result<usize, String> {
+    use biv::core_analysis::{ValidationOptions, Verdict};
+    use biv::transform::{optimize_batch, TransformReport};
+    let mut errors: Vec<String> = Vec::new();
+    let files = expand_inputs(&opts.paths, &mut errors);
+    if files.is_empty() && errors.is_empty() {
+        return Err("no input files found".into());
+    }
+    let mut funcs: Vec<Function> = Vec::new();
+    let mut ranges: Vec<(String, usize)> = Vec::new();
+    for path in &files {
+        let source = match std::fs::read_to_string(path) {
+            Ok(source) => source,
+            Err(e) => {
+                errors.push(format!("cannot read `{path}`: {e}"));
+                continue;
+            }
+        };
+        match parse_program(&source) {
+            Ok(program) => {
+                ranges.push((path.clone(), program.functions.len()));
+                funcs.extend(program.functions);
+            }
+            Err(e) => errors.push(format!("{path}: parse error: {e}")),
+        }
+    }
+    let jobs = resolve_jobs(opts.jobs);
+    eprintln!(
+        "optimizing {} functions from {} files on {} workers",
+        funcs.len(),
+        ranges.len(),
+        jobs
+    );
+    let vopts = ValidationOptions::default();
+    let config = AnalysisConfig {
+        budget: opts.budget,
+        ..AnalysisConfig::default()
+    };
+    let t_optimize = opts.time.then(Instant::now);
+    let results = optimize_batch(&funcs, jobs, &vopts, config);
+    if let Some(t) = t_optimize {
+        eprintln!("timing: optimize + validate {:.3?}", t.elapsed());
+    }
+    let detailed = ranges.len() == 1 && !opts.batch;
+    let mut out = String::new();
+    let mut totals = TransformReport::default();
+    let (mut validated, mut inconclusive, mut failed) = (0usize, 0usize, 0usize);
+    let mut next = 0usize;
+    for (path, count) in &ranges {
+        if !detailed {
+            out.push_str(&format!("══ {path} ══\n"));
+        }
+        for r in &results[next..next + count] {
+            totals.merge(&r.report);
+            match &r.verdict {
+                Verdict::Validated { .. } => validated += 1,
+                Verdict::Inconclusive { .. } => inconclusive += 1,
+                bad => {
+                    failed += 1;
+                    errors.push(format!(
+                        "{path}: {}: validation FAILED: {}",
+                        r.name,
+                        bad.render()
+                    ));
+                }
+            }
+            if detailed {
+                out.push_str(&format!("══ function {} ══\n", r.name));
+                out.push_str(&format!("transforms: {}\n", r.report.render()));
+                out.push_str(&format!("validation: {}\n", r.verdict.render()));
+                if r.report.total() > 0 {
+                    out.push_str(&biv::ir::print::function_to_string(&r.func));
+                }
+            } else {
+                out.push_str(&format!(
+                    "  {}: {} | {}\n",
+                    r.name,
+                    r.report.render(),
+                    r.verdict.render()
+                ));
+            }
+        }
+        next += count;
+    }
+    out.push_str(&format!(
+        "transform totals: {} | functions={} validated={} inconclusive={} failed={}\n",
+        totals.render(),
+        results.len(),
+        validated,
+        inconclusive,
+        failed
+    ));
+    print!("{out}");
+    if let Some(path) = &opts.stats_json {
+        let text = Json::obj(vec![(
+            "transform",
+            Json::obj(vec![
+                ("functions", Json::Int(results.len() as i64)),
+                (
+                    "strength_reduced",
+                    Json::Int(totals.strength_reduced as i64),
+                ),
+                ("peeled", Json::Int(totals.peeled as i64)),
+                ("unrolled", Json::Int(totals.unrolled as i64)),
+                ("dead_ivs", Json::Int(totals.dead_ivs as i64)),
+                ("interchanged", Json::Int(totals.interchanged as i64)),
+                ("validated", Json::Int(validated as i64)),
+                ("inconclusive", Json::Int(inconclusive as i64)),
+                ("failed", Json::Int(failed as i64)),
+                ("budget_skipped", Json::Bool(totals.budget_skipped)),
+            ]),
+        )])
+        .to_text();
+        if let Err(e) = std::fs::write(path, text + "\n") {
+            errors.push(format!("cannot write `{path}`: {e}"));
+        }
+    }
+    for error in &errors {
+        eprintln!("bivc: {error}");
+    }
+    Ok(errors.len())
+}
+
 /// Ships the batch to a `bivd` at `endpoint`. The daemon renders the
 /// same bytes a local run would (its stats line replays a cold cache at
 /// this client's `--cache-cap`), so callers cannot tell the modes apart
@@ -495,6 +651,16 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if opts.optimize {
+        return match run_optimize(&opts) {
+            Ok(0) => ExitCode::SUCCESS,
+            Ok(_) => ExitCode::FAILURE, // errors / failed validations on stderr
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let multiple_inputs = opts.paths.len() > 1
         || opts
             .paths

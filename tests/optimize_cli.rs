@@ -1,0 +1,131 @@
+//! Golden-file tests for `bivc --optimize`.
+//!
+//! The optimize CLI's stdout is a stable format: with one input file,
+//! per-function transform reports, validation verdicts, and the
+//! transformed IR; with a directory, one report line per function plus
+//! aggregate totals. Both are pinned byte-for-byte against fixtures
+//! under `tests/golden/`, and `--jobs` must never change them.
+//!
+//! To regenerate the goldens after an intentional format change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test optimize_cli
+//! ```
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+fn bivc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_bivc"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .env_remove("BIV_JOBS")
+        .output()
+        .expect("bivc runs")
+}
+
+fn stdout_of(args: &[&str]) -> String {
+    let out = bivc(args);
+    assert!(
+        out.status.success(),
+        "bivc {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("bivc output is UTF-8")
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden `{}`: {e} (run with UPDATE_GOLDEN=1)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "golden `{name}` mismatch — if the change is intentional, rerun with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn optimize_single_file_prints_transformed_ir() {
+    let actual = stdout_of(&["--optimize", "tests/optimize_corpus/strength.biv"]);
+    check_golden("optimize_strength.txt", &actual);
+    // The strength-reduced loop must carry the maintained temporary and
+    // the dead index must be gone from its loop.
+    assert!(
+        actual.contains("%sr_"),
+        "no strength-reduction temp:\n{actual}"
+    );
+    assert!(actual.contains("%lftr_"), "no replaced bound:\n{actual}");
+}
+
+#[test]
+fn optimize_directory_reports_per_function() {
+    let actual = stdout_of(&["--optimize", "tests/optimize_corpus"]);
+    check_golden("optimize_directory.txt", &actual);
+    // The corpus exercises at least four distinct transform kinds.
+    let totals = actual
+        .lines()
+        .find(|l| l.starts_with("transform totals:"))
+        .expect("totals line");
+    let applied = ["sr=", "peel=", "unroll=", "deadiv=", "interchange="]
+        .iter()
+        .filter(|k| {
+            totals
+                .split_whitespace()
+                .any(|tok| tok.starts_with(**k) && !tok.ends_with("=0"))
+        })
+        .count();
+    assert!(applied >= 4, "expected >= 4 transform kinds in: {totals}");
+    assert!(totals.contains("failed=0"), "validation failed: {totals}");
+}
+
+#[test]
+fn optimize_output_is_job_count_invariant() {
+    let base = stdout_of(&["--optimize", "--jobs", "1", "tests/optimize_corpus"]);
+    for jobs in ["2", "8"] {
+        let got = stdout_of(&["--optimize", "--jobs", jobs, "tests/optimize_corpus"]);
+        assert_eq!(base, got, "--jobs {jobs} changed the optimize output");
+    }
+}
+
+#[test]
+fn optimize_stats_json_reports_transform_counters() {
+    let dir = std::env::temp_dir().join(format!("bivc_opt_stats_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let stats = dir.join("stats.json");
+    let stats_arg = format!("--stats-json={}", stats.display());
+    let _ = stdout_of(&["--optimize", &stats_arg, "tests/optimize_corpus"]);
+    let text = std::fs::read_to_string(&stats).expect("stats written");
+    for key in [
+        "\"transform\"",
+        "\"functions\"",
+        "\"strength_reduced\"",
+        "\"peeled\"",
+        "\"unrolled\"",
+        "\"dead_ivs\"",
+        "\"interchanged\"",
+        "\"validated\"",
+        "\"failed\"",
+    ] {
+        assert!(text.contains(key), "missing {key} in {text}");
+    }
+    assert!(text.contains("\"failed\":0"), "failures in {text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn optimize_rejects_remote_and_cache_dir() {
+    let out = bivc(&["--optimize", "--remote", "tcp:localhost:1", "x.biv"]);
+    assert!(!out.status.success());
+    let out = bivc(&["--optimize", "--cache-dir", "/tmp/x", "x.biv"]);
+    assert!(!out.status.success());
+}

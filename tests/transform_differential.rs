@@ -1,0 +1,240 @@
+//! Differential-execution property suite for the transform pipeline.
+//!
+//! Every test follows the same shape: generate a function from the
+//! workload generator (so each IV class from the paper is represented),
+//! run a transform, then execute original and transformed in the IR
+//! interpreter on the shared seeded input set and require identical
+//! observable array state. The generator also records exact ground-truth
+//! labels for how often each transform must fire, and a deliberately
+//! broken strength reducer proves the harness actually catches
+//! miscompiles rather than vacuously passing.
+
+use biv::core_analysis::{analyze, differential_check, ValidationOptions, Verdict};
+use biv::transform::{
+    canary, eliminate_dead_ivs, interchange_nests, optimize, peel_wraparounds, strength_reduce,
+    unroll_flip_flops,
+};
+use biv::workload::{generate, TransformLabels, Workload, WorkloadSpec};
+
+/// A single transform pass, named for diagnostics.
+type Pass = (&'static str, fn(&mut biv::ir::Function) -> usize);
+
+/// One spec per IV class from the paper, each emphasizing that class,
+/// plus the all-transforms mix. The short trip count keeps geometric
+/// plants inside `i64` and interpretation cheap.
+fn class_specs(seed: u64) -> Vec<(&'static str, WorkloadSpec)> {
+    let base = WorkloadSpec {
+        loops: 1,
+        linear: 1,
+        polynomial: 0,
+        geometric: 0,
+        wraparound: 0,
+        periodic: 0,
+        monotonic: 0,
+        diamonds: 0,
+        invariants: 1,
+        derived: 0,
+        flipflop: 0,
+        deadiv: 0,
+        nests: 0,
+        trip: 12,
+        seed,
+    };
+    vec![
+        (
+            "linear",
+            WorkloadSpec {
+                linear: 4,
+                derived: 2,
+                ..base
+            },
+        ),
+        (
+            "polynomial",
+            WorkloadSpec {
+                polynomial: 2,
+                ..base
+            },
+        ),
+        (
+            "geometric",
+            WorkloadSpec {
+                geometric: 2,
+                ..base
+            },
+        ),
+        (
+            "wraparound",
+            WorkloadSpec {
+                wraparound: 2,
+                ..base
+            },
+        ),
+        (
+            "periodic",
+            WorkloadSpec {
+                periodic: 1,
+                flipflop: 1,
+                ..base
+            },
+        ),
+        (
+            "monotonic",
+            WorkloadSpec {
+                monotonic: 2,
+                diamonds: 1,
+                ..base
+            },
+        ),
+        ("dead-iv", WorkloadSpec { deadiv: 2, ..base }),
+        ("nested", WorkloadSpec { nests: 2, ..base }),
+        ("all-transforms", WorkloadSpec::transforms(1, seed)),
+    ]
+}
+
+/// Asserts the transformed function is observably identical to the
+/// original on the full seeded input set, with every input conclusive.
+fn assert_validated(label: &str, workload: &Workload, transformed: &biv::ir::Function) {
+    let opts = ValidationOptions::default();
+    assert!(opts.inputs >= 8, "suite must exercise at least 8 inputs");
+    let verdict = differential_check(&workload.func, transformed, &opts);
+    match verdict {
+        Verdict::Validated { runs, skipped } => {
+            assert_eq!(
+                runs, opts.inputs,
+                "{label}: only {runs} conclusive runs ({skipped} skipped) on:\n{}",
+                workload.source
+            );
+        }
+        other => panic!(
+            "{label}: differential check failed: {}\non:\n{}",
+            other.render(),
+            workload.source
+        ),
+    }
+}
+
+/// Every individual transform, applied to every IV-class workload,
+/// preserves observable behavior on the seeded input set.
+#[test]
+fn each_transform_preserves_observable_state_across_classes() {
+    for seed in [7u64, 1992, 0xb1f0] {
+        for (class, spec) in class_specs(seed) {
+            let workload = generate(&spec);
+            let passes: [Pass; 5] = [
+                ("strength-reduce", |f| strength_reduce(f)),
+                ("peel", |f| {
+                    let a = analyze(f);
+                    peel_wraparounds(f, &a)
+                }),
+                ("unroll", |f| {
+                    let a = analyze(f);
+                    unroll_flip_flops(f, &a)
+                }),
+                ("dead-iv", |f| {
+                    let a = analyze(f);
+                    eliminate_dead_ivs(f, &a)
+                }),
+                ("interchange", |f| {
+                    let a = analyze(f);
+                    interchange_nests(f, &a)
+                }),
+            ];
+            for (name, pass) in passes {
+                let mut func = workload.func.clone();
+                let changed = pass(&mut func);
+                // Validate even when the pass reports no change: a pass
+                // that corrupts the function while claiming 0 still fails.
+                assert_validated(
+                    &format!("{name} on {class} (seed {seed}, {changed} changes)"),
+                    &workload,
+                    &func,
+                );
+            }
+        }
+    }
+}
+
+/// The full pipeline preserves observable behavior on every class mix.
+#[test]
+fn full_pipeline_preserves_observable_state_across_classes() {
+    for seed in [3u64, 77, 9001] {
+        for (class, spec) in class_specs(seed) {
+            let workload = generate(&spec);
+            let optimized = optimize(&workload.func);
+            assert_validated(
+                &format!(
+                    "pipeline on {class} (seed {seed}: {})",
+                    optimized.report.render()
+                ),
+                &workload,
+                &optimized.func,
+            );
+        }
+    }
+}
+
+/// The pipeline's per-transform counters match the generator's planted
+/// ground truth exactly — each plant is isolated, so any interaction
+/// between transforms (double-counting, missed candidates) shows up as
+/// a diff against the labels.
+#[test]
+fn pipeline_report_matches_planted_labels() {
+    for seed in [1u64, 2, 3, 42] {
+        for scale in [1usize, 2] {
+            let workload = generate(&WorkloadSpec::transforms(scale, seed));
+            let optimized = optimize(&workload.func);
+            let got = TransformLabels {
+                strength_reduce: optimized.report.strength_reduced,
+                peel: optimized.report.peeled,
+                unroll: optimized.report.unrolled,
+                dead_iv: optimized.report.dead_ivs,
+                interchange: optimized.report.interchanged,
+            };
+            assert_eq!(
+                got, workload.labels,
+                "transform report diverged from planted labels \
+                 (seed {seed}, scale {scale}) on:\n{}",
+                workload.source
+            );
+            assert!(got.total() > 0, "labels must plant work (seed {seed})");
+            assert_validated(
+                &format!("labeled pipeline (seed {seed}, scale {scale})"),
+                &workload,
+                &optimized.func,
+            );
+        }
+    }
+}
+
+/// A deliberately broken strength reducer (its replacement temporary is
+/// initialized one step off) must be caught by the harness: this is the
+/// canary proving differential execution detects miscompiles instead of
+/// passing vacuously.
+#[test]
+fn broken_transform_is_caught_by_differential_execution() {
+    let spec = WorkloadSpec {
+        derived: 2,
+        ..WorkloadSpec::transforms(1, 11)
+    };
+    let workload = generate(&spec);
+    let mut func = workload.func.clone();
+    let changed = canary::broken_strength_reduce(&mut func);
+    assert!(
+        changed > 0,
+        "canary applied nothing on:\n{}",
+        workload.source
+    );
+    let verdict = differential_check(&workload.func, &func, &ValidationOptions::default());
+    assert!(
+        verdict.failed(),
+        "miscompile not detected (verdict: {}) on:\n{}",
+        verdict.render(),
+        workload.source
+    );
+    assert!(
+        matches!(verdict, Verdict::Mismatch { .. }),
+        "expected an observable-state mismatch, got: {}",
+        verdict.render()
+    );
+}
