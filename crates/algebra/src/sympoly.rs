@@ -110,20 +110,24 @@ impl Monomial {
 /// ```
 ///
 /// The term map lives behind an [`Rc`]: cloning a polynomial is a
-/// pointer copy, and the zero polynomial, small constants, and single
-/// symbols are hash-consed per thread, so the classifier's pervasive
-/// `Class` clones never copy term maps. Equality takes a pointer
-/// fast path before falling back to structural comparison.
+/// pointer copy, and small constants and single symbols are hash-consed
+/// per thread, so the classifier's pervasive `Class` clones never copy
+/// term maps. Zero — the most common value by far — is the `None`
+/// variant and costs no allocation, no refcount traffic, and no
+/// thread-local access at all. Equality takes a pointer fast path
+/// before falling back to structural comparison.
+///
+/// Invariant: the `Some` variant always holds a non-empty map
+/// ([`SymPoly::from_terms`] routes empty results to `None`), so
+/// zero-ness is exactly `terms.is_none()`.
 #[derive(Debug, Clone)]
 pub struct SymPoly {
-    terms: Rc<BTreeMap<Monomial, Rational>>,
+    terms: Option<Rc<BTreeMap<Monomial, Rational>>>,
 }
 
 type Terms = Rc<BTreeMap<Monomial, Rational>>;
 
 thread_local! {
-    /// The shared empty term map: every zero on a thread is one allocation.
-    static ZERO_TERMS: Terms = Rc::new(BTreeMap::new());
     /// Hash-consed constants, bounded so pathological inputs cannot grow
     /// the cache without limit.
     static CONST_TERMS: RefCell<HashMap<Rational, Terms, BuildConsHasher>> =
@@ -209,9 +213,16 @@ impl Hasher for ConsHasher {
 impl SymPoly {
     /// The zero polynomial.
     pub fn zero() -> SymPoly {
-        ZERO_TERMS.with(|z| SymPoly {
-            terms: Rc::clone(z),
-        })
+        SymPoly { terms: None }
+    }
+
+    /// The term map, with zero reading as the shared empty map.
+    fn terms(&self) -> &BTreeMap<Monomial, Rational> {
+        static EMPTY: BTreeMap<Monomial, Rational> = BTreeMap::new();
+        match &self.terms {
+            Some(rc) => rc,
+            None => &EMPTY,
+        }
     }
 
     /// A constant polynomial.
@@ -223,14 +234,14 @@ impl SymPoly {
             let mut cache = cache.borrow_mut();
             if let Some(rc) = cache.get(&value) {
                 return SymPoly {
-                    terms: Rc::clone(rc),
+                    terms: Some(Rc::clone(rc)),
                 };
             }
             let mut terms = BTreeMap::new();
             terms.insert(Monomial::one(), value);
             let rc = Rc::new(terms);
             cache_insert(&mut cache, value, &rc);
-            SymPoly { terms: rc }
+            SymPoly { terms: Some(rc) }
         })
     }
 
@@ -246,7 +257,7 @@ impl SymPoly {
             let mut cache = cache.borrow_mut();
             if let Some(Some(rc)) = cache.get(idx) {
                 return SymPoly {
-                    terms: Rc::clone(rc),
+                    terms: Some(Rc::clone(rc)),
                 };
             }
             let mut terms = BTreeMap::new();
@@ -258,7 +269,7 @@ impl SymPoly {
                 }
                 cache[idx] = Some(Rc::clone(&rc));
             }
-            SymPoly { terms: rc }
+            SymPoly { terms: Some(rc) }
         })
     }
 
@@ -276,21 +287,26 @@ impl SymPoly {
             }
         }
         SymPoly {
-            terms: Rc::new(terms),
+            terms: Some(Rc::new(terms)),
         }
     }
 
-    /// Whether both polynomials share one interned allocation. Implies
-    /// equality; the converse only holds for consed constructors.
+    /// Whether both polynomials share one interned allocation (zero
+    /// counts as a shared allocation). Implies equality; the converse
+    /// only holds for consed constructors.
     pub fn shares_allocation(&self, other: &SymPoly) -> bool {
-        Rc::ptr_eq(&self.terms, &other.terms)
+        match (&self.terms, &other.terms) {
+            (Some(a), Some(b)) => Rc::ptr_eq(a, b),
+            (None, None) => true,
+            _ => false,
+        }
     }
 
     /// Whether this polynomial is the constant one.
     fn is_one(&self) -> bool {
-        self.terms.len() == 1
-            && self
-                .terms
+        let terms = self.terms();
+        terms.len() == 1
+            && terms
                 .iter()
                 .next()
                 .is_some_and(|(m, c)| m.is_one() && *c == Rational::ONE)
@@ -298,21 +314,22 @@ impl SymPoly {
 
     /// Whether this polynomial is identically zero.
     pub fn is_zero(&self) -> bool {
-        self.terms.is_empty()
+        self.terms.is_none()
     }
 
     /// Whether this polynomial is a constant (possibly zero).
     pub fn is_constant(&self) -> bool {
-        self.terms.is_empty()
-            || (self.terms.len() == 1 && self.terms.keys().next().unwrap().is_one())
+        let terms = self.terms();
+        terms.is_empty() || (terms.len() == 1 && terms.keys().next().unwrap().is_one())
     }
 
     /// Returns the constant value when [`SymPoly::is_constant`] holds.
     pub fn constant_value(&self) -> Option<Rational> {
-        if self.terms.is_empty() {
+        let terms = self.terms();
+        if terms.is_empty() {
             Some(Rational::ZERO)
-        } else if self.terms.len() == 1 {
-            let (m, c) = self.terms.iter().next().unwrap();
+        } else if terms.len() == 1 {
+            let (m, c) = terms.iter().next().unwrap();
             if m.is_one() {
                 Some(*c)
             } else {
@@ -325,7 +342,7 @@ impl SymPoly {
 
     /// The constant term (zero when absent).
     pub fn constant_term(&self) -> Rational {
-        self.terms
+        self.terms()
             .get(&Monomial::one())
             .copied()
             .unwrap_or(Rational::ZERO)
@@ -333,23 +350,23 @@ impl SymPoly {
 
     /// Total degree of the polynomial; zero for constants (including zero).
     pub fn degree(&self) -> u32 {
-        self.terms.keys().map(Monomial::degree).max().unwrap_or(0)
+        self.terms().keys().map(Monomial::degree).max().unwrap_or(0)
     }
 
     /// Number of terms.
     pub fn term_count(&self) -> usize {
-        self.terms.len()
+        self.terms().len()
     }
 
     /// Iterates over `(monomial, coefficient)` pairs in canonical order.
     pub fn iter(&self) -> impl Iterator<Item = (&Monomial, &Rational)> {
-        self.terms.iter()
+        self.terms().iter()
     }
 
     /// All symbols mentioned by the polynomial, deduplicated and sorted.
     pub fn symbols(&self) -> Vec<SymId> {
         let mut syms: Vec<SymId> = self
-            .terms
+            .terms()
             .keys()
             .flat_map(|m| m.factors().iter().map(|&(s, _)| s))
             .collect();
@@ -370,8 +387,13 @@ impl SymPoly {
         if other.is_zero() {
             return Ok(self.clone());
         }
-        let mut terms = BTreeMap::clone(&self.terms);
-        for (m, c) in other.terms.iter() {
+        // Constant ± constant goes through the consing cache instead of
+        // materializing a fresh one-node map.
+        if let (Some(a), Some(b)) = (self.constant_value(), other.constant_value()) {
+            return Ok(SymPoly::constant(a.checked_add(&b)?));
+        }
+        let mut terms = BTreeMap::clone(self.terms());
+        for (m, c) in other.terms().iter() {
             match terms.get_mut(m) {
                 Some(existing) => {
                     *existing = existing.checked_add(c)?;
@@ -409,7 +431,7 @@ impl SymPoly {
             return Ok(self.clone());
         }
         let mut terms = BTreeMap::new();
-        for (m, c) in self.terms.iter() {
+        for (m, c) in self.terms().iter() {
             terms.insert(m.clone(), c.checked_neg()?);
         }
         Ok(SymPoly::from_terms(terms))
@@ -430,9 +452,13 @@ impl SymPoly {
         if other.is_one() {
             return Ok(self.clone());
         }
+        // Constant × constant goes through the consing cache.
+        if let (Some(a), Some(b)) = (self.constant_value(), other.constant_value()) {
+            return Ok(SymPoly::constant(a.checked_mul(&b)?));
+        }
         let mut terms: BTreeMap<Monomial, Rational> = BTreeMap::new();
-        for (ma, ca) in self.terms.iter() {
-            for (mb, cb) in other.terms.iter() {
+        for (ma, ca) in self.terms().iter() {
+            for (mb, cb) in other.terms().iter() {
                 let m = ma.mul(mb);
                 let c = ca.checked_mul(cb)?;
                 match terms.get_mut(&m) {
@@ -465,8 +491,12 @@ impl SymPoly {
         if *factor == Rational::ONE {
             return Ok(self.clone());
         }
+        // Scaled constants go through the consing cache.
+        if let Some(c) = self.constant_value() {
+            return Ok(SymPoly::constant(c.checked_mul(factor)?));
+        }
         let mut terms = BTreeMap::new();
-        for (m, c) in self.terms.iter() {
+        for (m, c) in self.terms().iter() {
             terms.insert(m.clone(), c.checked_mul(factor)?);
         }
         Ok(SymPoly::from_terms(terms))
@@ -486,7 +516,7 @@ impl SymPoly {
         F: Fn(SymId) -> Option<Rational>,
     {
         let mut total = Rational::ZERO;
-        for (m, c) in self.terms.iter() {
+        for (m, c) in self.terms().iter() {
             let mut term = *c;
             for &(sym, pow) in m.factors() {
                 let v = lookup(sym)?;
@@ -513,7 +543,7 @@ impl SymPoly {
             return Ok(self.clone());
         }
         let mut total = SymPoly::zero();
-        for (m, c) in self.terms.iter() {
+        for (m, c) in self.terms().iter() {
             let mut term = SymPoly::constant(*c);
             for &(sym, pow) in m.factors() {
                 let replacement = lookup(sym).unwrap_or_else(|| SymPoly::symbol(sym));
@@ -531,11 +561,11 @@ impl SymPoly {
     where
         F: Fn(SymId) -> String,
     {
-        if self.terms.is_empty() {
+        if self.is_zero() {
             return "0".to_string();
         }
         let mut out = String::new();
-        for (idx, (m, c)) in self.terms.iter().enumerate() {
+        for (idx, (m, c)) in self.terms().iter().enumerate() {
             let coeff_abs = c.abs();
             let negative = c.signum() < 0;
             if idx == 0 {
@@ -574,7 +604,12 @@ impl Default for SymPoly {
 
 impl PartialEq for SymPoly {
     fn eq(&self, other: &SymPoly) -> bool {
-        Rc::ptr_eq(&self.terms, &other.terms) || self.terms == other.terms
+        match (&self.terms, &other.terms) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Rc::ptr_eq(a, b) || a == b,
+            // `Some` is never empty, so zero only equals zero.
+            _ => false,
+        }
     }
 }
 
@@ -584,7 +619,7 @@ impl Hash for SymPoly {
     fn hash<H: Hasher>(&self, state: &mut H) {
         // Contents only, never the pointer: `a == b` must imply equal
         // hashes even for polynomials in distinct allocations.
-        (*self.terms).hash(state);
+        self.terms().hash(state);
     }
 }
 

@@ -1,0 +1,174 @@
+//! Incremental per-nest re-analysis vs whole-function re-analysis under
+//! an editing workload.
+//!
+//! Three measurements per function shape (generated multi-nest linear
+//! workloads, same shapes as `kernel.rs`):
+//!
+//! - `incremental_update` — the headline: one nest's constant is edited
+//!   (outside the timed region, chained so every edit produces a region
+//!   hash the warm cache has never seen) and `analyze_incremental`
+//!   re-analyzes against the warm per-nest cache. Exactly one nest
+//!   misses; every other nest splices its cached summary. The routine
+//!   returns the mutant so the harness drops it outside the timed
+//!   window — input teardown is editor-loop bookkeeping, not analysis
+//!   cost.
+//! - `full_reanalysis` — the same mutant stream through `analyze_with`,
+//!   the whole-function SSA + classification pipeline an editor loop
+//!   would otherwise pay per keystroke.
+//! - `incremental_noop` — re-analysis of an unchanged function on a warm
+//!   cache: pure region-hashing + lookup overhead, the floor of the
+//!   incremental path.
+//!
+//! Emits `BENCH_incremental.json` at the workspace root.
+//! `BIV_BENCH_QUICK=1` shrinks times and shapes for CI smoke runs.
+
+use std::cell::RefCell;
+use std::time::Duration;
+
+use biv_bench::criterion_group;
+use biv_bench::harness::{BatchSize, BenchmarkId, Criterion, Throughput};
+use biv_bench::instruction_count;
+use biv_bench::report;
+use biv_core::incremental::{
+    analyze_incremental, perturb_nest_constant, IncrementalState, RegionMap,
+};
+use biv_core::{analyze_with, AnalysisConfig};
+use biv_ir::Function;
+use biv_workload::{generate, WorkloadSpec};
+
+fn shape_exps() -> Vec<usize> {
+    if report::quick_mode() {
+        vec![8, 10]
+    } else {
+        vec![8, 10, 12, 14]
+    }
+}
+
+fn timing(group: &mut biv_bench::harness::BenchmarkGroup<'_>) {
+    if report::quick_mode() {
+        group.measurement_time(Duration::from_millis(200));
+        group.warm_up_time(Duration::from_millis(50));
+        group.sample_size(5);
+    } else {
+        group.measurement_time(Duration::from_secs(2));
+        group.warm_up_time(Duration::from_millis(400));
+        group.sample_size(10);
+    }
+}
+
+/// A deterministic stream of single-nest edits: each call mutates one
+/// constant in the next nest (round robin) of the current function
+/// version and advances to it, so every produced version carries a
+/// region hash no earlier version had.
+struct EditStream {
+    current: Function,
+    counter: u64,
+}
+
+impl EditStream {
+    fn new(func: &Function) -> EditStream {
+        EditStream {
+            current: func.clone(),
+            counter: 0,
+        }
+    }
+
+    fn next_mutant(&mut self) -> Function {
+        let regions = RegionMap::compute(&self.current);
+        let n = regions.nests.len().max(1);
+        // A nest without constants skips its turn; every generated
+        // linear workload has constants in every nest, so this loop is
+        // one iteration in practice.
+        for _ in 0..n {
+            let k = (self.counter as usize) % n;
+            let pick = self.counter;
+            self.counter += 1;
+            if let Some(mutated) = perturb_nest_constant(&self.current, &regions, k, pick) {
+                self.current = mutated.clone();
+                return mutated;
+            }
+        }
+        self.current.clone()
+    }
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let config = AnalysisConfig::default();
+
+    let mut group = c.benchmark_group("incremental_update");
+    timing(&mut group);
+    for exp in shape_exps() {
+        let target = 1usize << exp;
+        let w = generate(&WorkloadSpec::sized_linear(target, 0xBEEF + exp as u64));
+        let insts = instruction_count(&w.func);
+        let mut state = IncrementalState::new(config);
+        analyze_incremental(&w.func, &mut state); // warm every nest
+        let state = RefCell::new(state);
+        let stream = RefCell::new(EditStream::new(&w.func));
+        group.throughput(Throughput::Elements(insts as u64));
+        group.bench_with_input(BenchmarkId::new("edit", insts), &w.func, |b, _| {
+            b.iter_batched(
+                || stream.borrow_mut().next_mutant(),
+                |mutant| {
+                    let stats = analyze_incremental(&mutant, &mut state.borrow_mut()).stats;
+                    // Return the mutant so its teardown (a 15k-inst
+                    // function's worth of heap frees at the largest
+                    // shape) lands outside the timed window.
+                    (stats, mutant)
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("full_reanalysis");
+    timing(&mut group);
+    for exp in shape_exps() {
+        let target = 1usize << exp;
+        let w = generate(&WorkloadSpec::sized_linear(target, 0xBEEF + exp as u64));
+        let insts = instruction_count(&w.func);
+        let stream = RefCell::new(EditStream::new(&w.func));
+        group.throughput(Throughput::Elements(insts as u64));
+        group.bench_with_input(BenchmarkId::new("edit", insts), &w.func, |b, _| {
+            b.iter_batched(
+                || stream.borrow_mut().next_mutant(),
+                |mutant| {
+                    let n = analyze_with(&mutant, config).loops().count();
+                    (n, mutant)
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("incremental_noop");
+    timing(&mut group);
+    for exp in shape_exps() {
+        let target = 1usize << exp;
+        let w = generate(&WorkloadSpec::sized_linear(target, 0xBEEF + exp as u64));
+        let insts = instruction_count(&w.func);
+        let mut state = IncrementalState::new(config);
+        analyze_incremental(&w.func, &mut state);
+        let state = RefCell::new(state);
+        group.throughput(Throughput::Elements(insts as u64));
+        group.bench_with_input(BenchmarkId::new("reanalyze", insts), &w.func, |b, func| {
+            b.iter(|| analyze_incremental(func, &mut state.borrow_mut()).stats)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental);
+
+fn main() {
+    let mut criterion = Criterion::new();
+    benches(&mut criterion);
+    criterion.final_summary();
+    let path = report::workspace_root().join("BENCH_incremental.json");
+    match report::emit_json(&path, "incremental", criterion.measurements(), &[]) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+}

@@ -1,0 +1,146 @@
+//! `bench_gate` — the CI bench regression gate.
+//!
+//! ```text
+//! cargo run -p biv-bench --release --example bench_gate -- CURRENT BASELINE [THRESHOLD]
+//! ```
+//!
+//! Compares two bench JSON files (the `BENCH_*.json` format emitted by
+//! the bench harness) id by id and fails — nonzero exit — when any
+//! shared id's current median regresses past `THRESHOLD` (a fraction,
+//! default `0.25` = 25%) over the committed baseline. Ids present in
+//! only one file are reported but never fail the gate, so adding or
+//! retiring benchmarks doesn't break CI.
+//!
+//! The threshold is deliberately loose: shared CI runners are noisy, and
+//! the gate exists to catch step-function regressions (an accidental
+//! `clone` on the hot path, a lost cache), not single-digit drift. Local
+//! full-mode runs on quiet hardware remain the arbiter for performance
+//! claims.
+//!
+//! Parsing is a std-only line scan for `"id"` / `"median_ns"` pairs —
+//! no JSON dependency, matching the hand-rolled emitter.
+
+use std::process::ExitCode;
+
+/// Extracts `(id, median_ns)` pairs from bench-report JSON. Relies only
+/// on the emitter's layout: each result object lists `"id"` first and
+/// `"median_ns"` on a following line.
+fn parse_medians(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut current_id: Option<String> = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("\"id\":") {
+            let rest = rest.trim().trim_end_matches(',');
+            current_id = rest
+                .strip_prefix('"')
+                .and_then(|s| s.strip_suffix('"'))
+                .map(str::to_string);
+        } else if let Some(rest) = line.strip_prefix("\"median_ns\":") {
+            if let Some(id) = current_id.take() {
+                if let Ok(v) = rest.trim().trim_end_matches(',').parse::<f64>() {
+                    out.push((id, v));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn read_medians(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let medians = parse_medians(&text);
+    if medians.is_empty() {
+        return Err(format!("`{path}` contains no (id, median_ns) pairs"));
+    }
+    Ok(medians)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (current_path, baseline_path, threshold) = match args.as_slice() {
+        [c, b] => (c.as_str(), b.as_str(), 0.25),
+        [c, b, t] => match t.parse::<f64>() {
+            Ok(t) if t > 0.0 => (c.as_str(), b.as_str(), t),
+            _ => {
+                eprintln!("bench_gate: invalid threshold `{t}` (want a positive fraction)");
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => {
+            eprintln!("usage: bench_gate CURRENT.json BASELINE.json [THRESHOLD]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (current, baseline) = match (read_medians(current_path), read_medians(baseline_path)) {
+        (Ok(c), Ok(b)) => (c, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut failures = 0usize;
+    let mut compared = 0usize;
+    for (id, cur) in &current {
+        let Some((_, base)) = baseline.iter().find(|(bid, _)| bid == id) else {
+            println!("  new      {id}: {:.0} ns (no baseline)", cur);
+            continue;
+        };
+        compared += 1;
+        let ratio = cur / base;
+        let verdict = if ratio > 1.0 + threshold {
+            failures += 1;
+            "REGRESSED"
+        } else if ratio < 1.0 {
+            "improved"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {verdict:<9} {id}: {cur:.0} ns vs {base:.0} ns ({:+.1}%)",
+            (ratio - 1.0) * 100.0
+        );
+    }
+    for (id, base) in &baseline {
+        if !current.iter().any(|(cid, _)| cid == id) {
+            println!("  retired  {id}: baseline {base:.0} ns, not in current run");
+        }
+    }
+    println!(
+        "bench_gate: {compared} compared, {failures} regressed past {:.0}% \
+         ({current_path} vs {baseline_path})",
+        threshold * 100.0
+    );
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_medians;
+
+    #[test]
+    fn parses_emitter_layout() {
+        let text = r#"{
+  "results": [
+    {
+      "id": "g/b/1",
+      "median_ns": 1500.0,
+      "mean_ns": 1600.0
+    },
+    {
+      "id": "g/b/2",
+      "median_ns": 2500.5
+    }
+  ]
+}"#;
+        let m = parse_medians(text);
+        assert_eq!(
+            m,
+            vec![("g/b/1".to_string(), 1500.0), ("g/b/2".to_string(), 2500.5)]
+        );
+    }
+}

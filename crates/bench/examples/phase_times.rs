@@ -1,0 +1,28 @@
+//! Phase-time probe for the whole-function pipeline on the largest
+//! `kernel.rs` shape.
+//!
+//! ```text
+//! cargo run -p biv-bench --release --example phase_times
+//! ```
+//!
+//! Prints `analyze_with_times` phase splits (SSA, loop forest,
+//! classification, closed forms) for three consecutive runs, so a
+//! regression in `full_reanalysis` or `batch` can be attributed to a
+//! phase without a sampling profiler. The first run includes cold-cache
+//! effects; read the later lines for steady state.
+use biv_core::{analyze_with_times, AnalysisConfig};
+use biv_workload::{generate, WorkloadSpec};
+
+fn main() {
+    let w = generate(&WorkloadSpec::sized_linear(1 << 14, 0xBEEF + 14));
+    let config = AnalysisConfig::default();
+    for _ in 0..3 {
+        let t = std::time::Instant::now();
+        let (_, times) = analyze_with_times(&w.func, config);
+        println!(
+            "total {:.3} ms | {}",
+            t.elapsed().as_secs_f64() * 1e3,
+            times
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Phase-level profiler for the incremental re-analysis path.
+//!
+//! ```text
+//! cargo run -p biv-bench --release --example profile_incremental -- [ITERS]
+//! ```
+//!
+//! Prints best-of-N wall times for each phase of a warm single-nest
+//! update on the 15k-instruction linear workload (the acceptance
+//! shape): dominator/loop construction, `RegionMap::compute`, slice
+//! construction, the full warm update, and the no-edit floor. Use this
+//! to attribute a regression in `incremental_update` to a phase before
+//! reaching for the full bench harness — best-of-N on a quiet machine
+//! is stable to a few percent.
+use std::time::Instant;
+
+use biv_core::incremental::{
+    analyze_incremental, perturb_nest_constant, IncrementalState, RegionMap,
+};
+use biv_core::AnalysisConfig;
+use biv_workload::{generate, WorkloadSpec};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+    let w = generate(&WorkloadSpec::sized_linear(1 << 14, 0xBEEF + 14));
+    let config = AnalysisConfig::default();
+
+    let mut best_dom = f64::MAX;
+    for _ in 0..n {
+        let t = Instant::now();
+        let dom = biv_ir::dom::DomTree::compute(&w.func);
+        let forest = biv_ir::loops::LoopForest::compute(&w.func, &dom);
+        let dt = t.elapsed().as_secs_f64() * 1e3;
+        std::hint::black_box(&forest);
+        best_dom = best_dom.min(dt);
+    }
+    println!("DomTree+LoopForest: best {best_dom:.3} ms");
+
+    let mut best_rm = f64::MAX;
+    for _ in 0..n {
+        let t = Instant::now();
+        let rm = RegionMap::compute(&w.func);
+        let dt = t.elapsed().as_secs_f64() * 1e3;
+        std::hint::black_box(&rm);
+        best_rm = best_rm.min(dt);
+    }
+    println!("RegionMap::compute: best {best_rm:.3} ms");
+
+    let rm = RegionMap::compute(&w.func);
+    println!("nests: {}", rm.nests.len());
+
+    let mut best_slice = f64::MAX;
+    for _ in 0..n {
+        let t = Instant::now();
+        let s = rm.slice(&w.func, 3);
+        let dt = t.elapsed().as_secs_f64() * 1e3;
+        std::hint::black_box(&s);
+        best_slice = best_slice.min(dt);
+    }
+    println!("slice(): best {best_slice:.3} ms");
+
+    // Full warm update: one nest miss.
+    let mut state = IncrementalState::new(config);
+    analyze_incremental(&w.func, &mut state);
+    let mut current = w.func.clone();
+    let mut best_upd = f64::MAX;
+    for i in 0..n as u64 {
+        let regions = RegionMap::compute(&current);
+        let mutated =
+            perturb_nest_constant(&current, &regions, (i as usize) % regions.nests.len(), i)
+                .unwrap();
+        let t = Instant::now();
+        let r = analyze_incremental(&mutated, &mut state);
+        let dt = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(r.stats.analyzed, 1);
+        std::hint::black_box(&r);
+        best_upd = best_upd.min(dt);
+        current = mutated;
+    }
+    println!("warm single-nest update: best {best_upd:.3} ms");
+
+    // Noop re-analysis.
+    let mut best_noop = f64::MAX;
+    for _ in 0..n {
+        let t = Instant::now();
+        let r = analyze_incremental(&current, &mut state);
+        let dt = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(r.stats.analyzed, 0);
+        std::hint::black_box(&r);
+        best_noop = best_noop.min(dt);
+    }
+    println!("noop re-analysis: best {best_noop:.3} ms");
+}

@@ -36,6 +36,6 @@ fn main() {
     let elapsed = start.elapsed();
     println!(
         "{total} classifications, {reps} reps, {:.3} ms/rep",
-        elapsed.as_secs_f64() * 1e3 / reps as f64
+        elapsed.as_secs_f64() * 1e3 / reps as f64,
     );
 }

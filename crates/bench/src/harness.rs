@@ -276,7 +276,10 @@ impl Bencher {
     }
 
     /// Times `routine` with a fresh `setup` product per call; only the
-    /// routine is timed.
+    /// routine is timed. The routine's output is dropped *outside* the
+    /// timed window (matching criterion semantics), so a routine that
+    /// wants its input's teardown excluded too can simply return the
+    /// input alongside its result.
     pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
     where
         S: FnMut() -> I,
@@ -289,8 +292,9 @@ impl Bencher {
         while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
             let input = setup();
             let t0 = Instant::now();
-            black_box(routine(input));
+            let out = black_box(routine(input));
             timed += t0.elapsed();
+            drop(out);
             warm_iters += 1;
         }
         let per_iter = (timed.as_secs_f64() / warm_iters as f64).max(1e-9);
@@ -304,8 +308,9 @@ impl Bencher {
             for _ in 0..iters_per_sample {
                 let input = setup();
                 let t0 = Instant::now();
-                black_box(routine(input));
+                let out = black_box(routine(input));
                 sample += t0.elapsed();
+                drop(out);
             }
             self.samples.push(sample.div_f64(iters_per_sample as f64));
             total += sample;

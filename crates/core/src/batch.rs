@@ -185,25 +185,32 @@ impl FunctionSummary {
     /// Renders the per-function report block. Deterministic: identical
     /// for every job count and for cached vs freshly analyzed results.
     pub fn render(&self) -> String {
-        use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "func {} [{:016x}]", self.name, self.hash);
-        if let Some(error) = &self.summary.error {
-            let _ = writeln!(out, "  error: internal: {error}");
-        }
-        for l in &self.summary.loops {
-            let _ = writeln!(out, "  loop {}: trip count {}", l.name, l.trip_count);
-            if let Some(max) = &l.max_trip_count {
-                let _ = writeln!(out, "    max trip count: {max}");
-            }
-            for (value, class) in &l.classes {
-                let _ = writeln!(out, "    {value:<8} => {class}");
-            }
-        }
-        for breach in &self.summary.breaches {
-            let _ = writeln!(out, "  budget: {breach}");
-        }
+        out.push_str(&format!("func {} [{:016x}]\n", self.name, self.hash));
+        render_summary_body(&mut out, &self.summary);
         out
+    }
+}
+
+/// Renders a summary's loop blocks, budget lines, and error line — the
+/// part shared between the batch report and the incremental per-nest
+/// report, so both print classifications in the same shape.
+pub(crate) fn render_summary_body(out: &mut String, summary: &StructuralSummary) {
+    use std::fmt::Write as _;
+    if let Some(error) = &summary.error {
+        let _ = writeln!(out, "  error: internal: {error}");
+    }
+    for l in &summary.loops {
+        let _ = writeln!(out, "  loop {}: trip count {}", l.name, l.trip_count);
+        if let Some(max) = &l.max_trip_count {
+            let _ = writeln!(out, "    max trip count: {max}");
+        }
+        for (value, class) in &l.classes {
+            let _ = writeln!(out, "    {value:<8} => {class}");
+        }
+    }
+    for breach in &summary.breaches {
+        let _ = writeln!(out, "  budget: {breach}");
     }
 }
 
@@ -657,7 +664,19 @@ fn compute_representatives(
 /// Runs behind the panic-isolation boundary: a panicking function
 /// yields an error summary (rendered as an `error:` line) while the
 /// rest of the batch proceeds normally.
-fn summarize(func: &Function, config: &AnalysisConfig) -> StructuralSummary {
+pub(crate) fn summarize(func: &Function, config: &AnalysisConfig) -> StructuralSummary {
+    summarize_filtered(func, config, None)
+}
+
+/// [`summarize`] restricted to the loops whose header lies in `keep`
+/// (`None` keeps every loop) — the incremental driver uses this to pull
+/// one nest's summary out of a sliced function that also carries its
+/// dependency nests.
+pub(crate) fn summarize_filtered(
+    func: &Function,
+    config: &AnalysisConfig,
+    keep: Option<&std::collections::HashSet<biv_ir::Block>>,
+) -> StructuralSummary {
     let analysis = match analyze_protected(func, *config) {
         Ok(analysis) => analysis,
         Err(AnalysisError::Internal { detail }) => {
@@ -670,7 +689,12 @@ fn summarize(func: &Function, config: &AnalysisConfig) -> StructuralSummary {
     };
     let namer = canonical_value_name;
     let mut loops = Vec::new();
-    for (_, info) in analysis.loops() {
+    for (l, info) in analysis.loops() {
+        if let Some(keep) = keep {
+            if !keep.contains(&analysis.forest().data(l).header) {
+                continue;
+            }
+        }
         // `VecMap` iteration is in value-index order.
         let classes = info
             .classes
@@ -830,36 +854,36 @@ impl Canonicalizer {
 }
 
 /// FNV-1a, 64-bit: tiny, dependency-free, and stable across platforms.
-struct Fnv1a(u64);
+pub(crate) struct Fnv1a(u64);
 
 impl Fnv1a {
-    fn new() -> Fnv1a {
+    pub(crate) fn new() -> Fnv1a {
         Fnv1a(0xCBF2_9CE4_8422_2325)
     }
 
-    fn write_u8(&mut self, byte: u8) {
+    pub(crate) fn write_u8(&mut self, byte: u8) {
         self.0 ^= u64::from(byte);
         self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
     }
 
-    fn write_bytes(&mut self, bytes: &[u8]) {
+    pub(crate) fn write_bytes(&mut self, bytes: &[u8]) {
         self.write_usize(bytes.len());
         for &b in bytes {
             self.write_u8(b);
         }
     }
 
-    fn write_u64(&mut self, v: u64) {
+    pub(crate) fn write_u64(&mut self, v: u64) {
         for b in v.to_le_bytes() {
             self.write_u8(b);
         }
     }
 
-    fn write_usize(&mut self, v: usize) {
+    pub(crate) fn write_usize(&mut self, v: usize) {
         self.write_u64(v as u64);
     }
 
-    fn finish(&self) -> u64 {
+    pub(crate) fn finish(&self) -> u64 {
         self.0
     }
 }

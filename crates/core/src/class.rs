@@ -11,6 +11,169 @@
 use biv_algebra::{Rational, SymPoly};
 use biv_ir::loops::Loop;
 
+/// Coefficient storage for [`ClosedForm`]. Nearly every form the
+/// classifier manipulates is constant or linear, so up to two
+/// coefficients live inline (no heap allocation — a `SymPoly` is a
+/// reference-counted pointer); higher-degree forms spill to a `Vec`.
+/// Dereferences to a slice, so all read access looks exactly like the
+/// `Vec<SymPoly>` it replaces; equality and formatting are slice-based,
+/// making the two representations indistinguishable.
+#[derive(Clone)]
+pub struct Coeffs(CoeffsRepr);
+
+#[derive(Clone)]
+enum CoeffsRepr {
+    /// Up to two coefficients inline; slots at index ≥ `len` hold the
+    /// (shared, allocation-free) zero polynomial.
+    Inline { len: u8, items: [SymPoly; 2] },
+    /// Degree ≥ 2 forms.
+    Spilled(Vec<SymPoly>),
+}
+
+impl Coeffs {
+    /// An empty coefficient list.
+    pub fn new() -> Coeffs {
+        Coeffs(CoeffsRepr::Inline {
+            len: 0,
+            items: [SymPoly::zero(), SymPoly::zero()],
+        })
+    }
+
+    /// A single coefficient, stored inline.
+    pub fn one(c0: SymPoly) -> Coeffs {
+        Coeffs(CoeffsRepr::Inline {
+            len: 1,
+            items: [c0, SymPoly::zero()],
+        })
+    }
+
+    /// Two coefficients, stored inline.
+    pub fn two(c0: SymPoly, c1: SymPoly) -> Coeffs {
+        Coeffs(CoeffsRepr::Inline {
+            len: 2,
+            items: [c0, c1],
+        })
+    }
+
+    /// Converts from a `Vec`, keeping short lists inline.
+    pub fn from_vec(mut v: Vec<SymPoly>) -> Coeffs {
+        match v.len() {
+            0 => Coeffs::new(),
+            1 => Coeffs::one(v.pop().expect("len checked")),
+            2 => {
+                let c1 = v.pop().expect("len checked");
+                let c0 = v.pop().expect("len checked");
+                Coeffs::two(c0, c1)
+            }
+            _ => Coeffs(CoeffsRepr::Spilled(v)),
+        }
+    }
+
+    /// `n` zero coefficients.
+    fn zeros(n: usize) -> Coeffs {
+        if n <= 2 {
+            Coeffs(CoeffsRepr::Inline {
+                len: n as u8,
+                items: [SymPoly::zero(), SymPoly::zero()],
+            })
+        } else {
+            Coeffs(CoeffsRepr::Spilled(vec![SymPoly::zero(); n]))
+        }
+    }
+
+    /// Appends a coefficient, spilling on overflow of the inline space.
+    pub fn push(&mut self, c: SymPoly) {
+        match &mut self.0 {
+            CoeffsRepr::Inline { len, items } => {
+                if (*len as usize) < items.len() {
+                    items[*len as usize] = c;
+                    *len += 1;
+                } else {
+                    let c0 = std::mem::replace(&mut items[0], SymPoly::zero());
+                    let c1 = std::mem::replace(&mut items[1], SymPoly::zero());
+                    self.0 = CoeffsRepr::Spilled(vec![c0, c1, c]);
+                }
+            }
+            CoeffsRepr::Spilled(v) => v.push(c),
+        }
+    }
+
+    /// Removes and returns the last coefficient.
+    pub fn pop(&mut self) -> Option<SymPoly> {
+        match &mut self.0 {
+            CoeffsRepr::Inline { len, items } => {
+                if *len == 0 {
+                    None
+                } else {
+                    *len -= 1;
+                    Some(std::mem::replace(
+                        &mut items[*len as usize],
+                        SymPoly::zero(),
+                    ))
+                }
+            }
+            CoeffsRepr::Spilled(v) => v.pop(),
+        }
+    }
+}
+
+impl Default for Coeffs {
+    fn default() -> Coeffs {
+        Coeffs::new()
+    }
+}
+
+impl std::ops::Deref for Coeffs {
+    type Target = [SymPoly];
+    fn deref(&self) -> &[SymPoly] {
+        match &self.0 {
+            CoeffsRepr::Inline { len, items } => &items[..*len as usize],
+            CoeffsRepr::Spilled(v) => v,
+        }
+    }
+}
+
+impl std::ops::DerefMut for Coeffs {
+    fn deref_mut(&mut self) -> &mut [SymPoly] {
+        match &mut self.0 {
+            CoeffsRepr::Inline { len, items } => &mut items[..*len as usize],
+            CoeffsRepr::Spilled(v) => v,
+        }
+    }
+}
+
+impl PartialEq for Coeffs {
+    fn eq(&self, other: &Coeffs) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for Coeffs {}
+
+impl std::fmt::Debug for Coeffs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl FromIterator<SymPoly> for Coeffs {
+    fn from_iter<I: IntoIterator<Item = SymPoly>>(iter: I) -> Coeffs {
+        let mut out = Coeffs::new();
+        for c in iter {
+            out.push(c);
+        }
+        out
+    }
+}
+
+impl<'a> IntoIterator for &'a Coeffs {
+    type Item = &'a SymPoly;
+    type IntoIter = std::slice::Iter<'a, SymPoly>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
 /// A closed form over the basic loop counter `h = 0, 1, 2, …` of one loop:
 ///
 /// ```text
@@ -25,8 +188,8 @@ pub struct ClosedForm {
     /// The loop whose counter `h` this form is over.
     pub loop_id: Loop,
     /// Polynomial coefficients, `coeffs[k]` multiplying `h^k`. Trailing
-    /// zeros are trimmed; the vector is never empty.
-    pub coeffs: Vec<SymPoly>,
+    /// zeros are trimmed; the list is never empty.
+    pub coeffs: Coeffs,
     /// Geometric terms `(base, coefficient)`, sorted by base, bases
     /// distinct and ∉ {0, 1}.
     pub geo: Vec<(Rational, SymPoly)>,
@@ -37,7 +200,7 @@ impl ClosedForm {
     pub fn constant(loop_id: Loop, value: SymPoly) -> ClosedForm {
         ClosedForm {
             loop_id,
-            coeffs: vec![value],
+            coeffs: Coeffs::one(value),
             geo: Vec::new(),
         }
     }
@@ -46,7 +209,7 @@ impl ClosedForm {
     pub fn linear(loop_id: Loop, init: SymPoly, step: SymPoly) -> ClosedForm {
         ClosedForm {
             loop_id,
-            coeffs: vec![init, step],
+            coeffs: Coeffs::two(init, step),
             geo: Vec::new(),
         }
         .normalized()
@@ -58,6 +221,12 @@ impl ClosedForm {
         coeffs: Vec<SymPoly>,
         geo: Vec<(Rational, SymPoly)>,
     ) -> ClosedForm {
+        ClosedForm::from_coeffs(loop_id, Coeffs::from_vec(coeffs), geo)
+    }
+
+    /// Like [`ClosedForm::from_parts`], taking the inline representation
+    /// directly.
+    fn from_coeffs(loop_id: Loop, coeffs: Coeffs, geo: Vec<(Rational, SymPoly)>) -> ClosedForm {
         ClosedForm {
             loop_id,
             coeffs,
@@ -158,8 +327,18 @@ impl ClosedForm {
         if self.loop_id != other.loop_id {
             return None;
         }
+        // Invariant operands touch only the constant coefficient; skip
+        // the full merge-and-normalize pass. This is the overwhelmingly
+        // common case on the classification hot path (adding a constant
+        // step or offset to a linear form).
+        if other.is_invariant() {
+            return self.add_invariant(&other.coeffs[0]);
+        }
+        if self.is_invariant() {
+            return other.add_invariant(&self.coeffs[0]);
+        }
         let len = self.coeffs.len().max(other.coeffs.len());
-        let mut coeffs = Vec::with_capacity(len);
+        let mut coeffs = Coeffs::new();
         for k in 0..len {
             let zero = SymPoly::zero();
             let a = self.coeffs.get(k).unwrap_or(&zero);
@@ -168,22 +347,38 @@ impl ClosedForm {
         }
         let mut geo = self.geo.clone();
         geo.extend(other.geo.iter().cloned());
-        Some(ClosedForm::from_parts(self.loop_id, coeffs, geo))
+        Some(ClosedForm::from_coeffs(self.loop_id, coeffs, geo))
+    }
+
+    /// Adds a loop-invariant value into the constant coefficient. The
+    /// receiver is already normalized, and only `coeffs[0]` changes, so
+    /// no re-normalization pass is needed (a trailing zero can only
+    /// appear at index ≥ 1).
+    fn add_invariant(&self, c: &SymPoly) -> Option<ClosedForm> {
+        if c.is_zero() {
+            return Some(self.clone());
+        }
+        let mut coeffs = self.coeffs.clone();
+        coeffs[0] = coeffs[0].checked_add(c).ok()?;
+        Some(ClosedForm {
+            loop_id: self.loop_id,
+            coeffs,
+            geo: self.geo.clone(),
+        })
     }
 
     /// Checked negation.
     pub fn neg(&self) -> Option<ClosedForm> {
-        let coeffs = self
-            .coeffs
-            .iter()
-            .map(|c| c.checked_neg().ok())
-            .collect::<Option<Vec<_>>>()?;
+        let mut coeffs = Coeffs::new();
+        for c in self.coeffs.iter() {
+            coeffs.push(c.checked_neg().ok()?);
+        }
         let geo = self
             .geo
             .iter()
             .map(|(b, c)| Some((*b, c.checked_neg().ok()?)))
             .collect::<Option<Vec<_>>>()?;
-        Some(ClosedForm::from_parts(self.loop_id, coeffs, geo))
+        Some(ClosedForm::from_coeffs(self.loop_id, coeffs, geo))
     }
 
     /// Checked subtraction.
@@ -193,17 +388,26 @@ impl ClosedForm {
 
     /// Scales by a loop-invariant symbolic factor.
     pub fn scale(&self, factor: &SymPoly) -> Option<ClosedForm> {
-        let coeffs = self
-            .coeffs
-            .iter()
-            .map(|c| c.checked_mul(factor).ok())
-            .collect::<Option<Vec<_>>>()?;
+        // Scaling by 1 is the identity and scaling by 0 collapses to the
+        // zero form; both show up constantly in affine-SCR analysis.
+        if let Some(c) = factor.constant_value() {
+            if c == Rational::ONE {
+                return Some(self.clone());
+            }
+            if c.is_zero() {
+                return Some(ClosedForm::constant(self.loop_id, SymPoly::zero()));
+            }
+        }
+        let mut coeffs = Coeffs::new();
+        for c in self.coeffs.iter() {
+            coeffs.push(c.checked_mul(factor).ok()?);
+        }
         let geo = self
             .geo
             .iter()
             .map(|(b, c)| Some((*b, c.checked_mul(factor).ok()?)))
             .collect::<Option<Vec<_>>>()?;
-        Some(ClosedForm::from_parts(self.loop_id, coeffs, geo))
+        Some(ClosedForm::from_coeffs(self.loop_id, coeffs, geo))
     }
 
     /// Checked product. Returns `None` when the product leaves the
@@ -213,7 +417,7 @@ impl ClosedForm {
             return None;
         }
         // Polynomial × polynomial: convolution.
-        let mut coeffs = vec![SymPoly::zero(); self.coeffs.len() + other.coeffs.len() - 1];
+        let mut coeffs = Coeffs::zeros(self.coeffs.len() + other.coeffs.len() - 1);
         for (i, a) in self.coeffs.iter().enumerate() {
             if a.is_zero() {
                 continue;
@@ -260,7 +464,7 @@ impl ClosedForm {
         };
         cross(self, other, &mut geo)?;
         cross(other, self, &mut geo)?;
-        Some(ClosedForm::from_parts(self.loop_id, coeffs, geo))
+        Some(ClosedForm::from_coeffs(self.loop_id, coeffs, geo))
     }
 
     /// Evaluates at a concrete iteration `h` (may be negative, e.g. for

@@ -12,7 +12,7 @@ use biv_ssa::{Operand, SsaFunction, SsaInst, Value, ValueDef};
 use crate::budget::BudgetMeter;
 use crate::class::{Class, ClosedForm, Direction, FamilyAnchor, Monotonic, Periodic};
 use crate::config::AnalysisConfig;
-use crate::scc::{strongly_connected_regions, Scr};
+use crate::scc::{strongly_connected_regions_into, ScrPool};
 use crate::symbols::{operand_to_sympoly, sym_of_value, value_of_sym};
 
 /// Read access to per-value classifications, independent of the backing
@@ -49,6 +49,7 @@ thread_local! {
 struct LoopScratch {
     classes: EntityMap<Value, Class>,
     scr: Scratch,
+    pool: ScrPool,
 }
 
 /// Classifies every SSA value in `loop_id`'s region (its blocks minus
@@ -551,6 +552,7 @@ struct Cx<'a> {
     meter: &'a BudgetMeter,
     classes: &'a mut EntityMap<Value, Class>,
     scratch: &'a mut Scratch,
+    pool: &'a mut ScrPool,
 }
 
 /// Dense per-SCR working state, hoisted out of the per-SCR calls and
@@ -569,6 +571,7 @@ struct Scratch {
     sigma: EntityMap<Value, Value>,
     inits: EntityMap<Value, SymPoly>,
     phase_of: EntityMap<Value, usize>,
+    header_phis: Vec<Value>,
 }
 
 impl<'a> Cx<'a> {
@@ -618,6 +621,7 @@ impl<'a> Cx<'a> {
             meter,
             classes: &mut loop_scratch.classes,
             scratch: &mut loop_scratch.scr,
+            pool: &mut loop_scratch.pool,
         }
     }
 
@@ -630,11 +634,27 @@ impl<'a> Cx<'a> {
             if let Some(cls) = self.classes.remove(v) {
                 out.push((v, cls));
             }
-            self.scratch.affine_memo.remove(v);
-            self.scratch.sign_memo.remove(v);
-            self.scratch.sigma.remove(v);
-            self.scratch.inits.remove(v);
-            self.scratch.phase_of.remove(v);
+        }
+        // Most loops touch only a subset of the scratch tables (e.g. no
+        // periodic SCRs means `sigma`/`inits`/`phase_of` stay empty); a
+        // table nobody wrote needs no clearing sweep.
+        let s = self.scratch;
+        if !s.affine_memo.is_empty() {
+            for &v in &self.nodes {
+                s.affine_memo.remove(v);
+            }
+        }
+        if !s.sign_memo.is_empty() {
+            for &v in &self.nodes {
+                s.sign_memo.remove(v);
+            }
+        }
+        if !s.sigma.is_empty() || !s.inits.is_empty() || !s.phase_of.is_empty() {
+            for &v in &self.nodes {
+                s.sigma.remove(v);
+                s.inits.remove(v);
+                s.phase_of.remove(v);
+            }
         }
         // `FromIterator` sorts by value index; `nodes` is block order.
         out.into_iter().collect()
@@ -655,28 +675,30 @@ impl<'a> Cx<'a> {
             }
             return;
         }
-        let nodes = self.nodes.clone();
-        let scrs = strongly_connected_regions(&nodes, |v, out| self.graph_edges(v, out));
-        for scr in &scrs {
+        let pool = std::mem::take(self.pool);
+        let mut pool = pool;
+        strongly_connected_regions_into(&self.nodes, |v, out| self.graph_edges(v, out), &mut pool);
+        for i in 0..pool.len() {
+            let (members, cyclic) = pool.get(i);
             // Budget checkpoints, one per SCR: past the deadline, or
             // facing an oversized cycle, degrade this SCR to Unknown and
             // keep going — later SCRs may still be cheap to classify.
-            if self.meter.deadline_exceeded()
-                || (scr.cyclic && self.meter.scc_exceeded(scr.members.len()))
+            if self.meter.deadline_exceeded() || (cyclic && self.meter.scc_exceeded(members.len()))
             {
-                for &v in &scr.members {
+                for &v in members {
                     self.classes.insert(v, Class::Unknown);
                 }
                 continue;
             }
-            if scr.cyclic {
-                self.classify_cycle(scr);
+            if cyclic {
+                self.classify_cycle(members);
             } else {
-                let v = scr.members[0];
+                let v = members[0];
                 let cls = self.classify_single(v);
                 self.classes.insert(v, cls);
             }
         }
+        *self.pool = pool;
     }
 
     /// Appends `v`'s SSA-graph successor edges (restricted to the region)
@@ -847,32 +869,35 @@ impl<'a> Cx<'a> {
     // Cyclic SCRs.
     // ------------------------------------------------------------------
 
-    fn classify_cycle(&mut self, scr: &Scr) {
+    fn classify_cycle(&mut self, members: &[Value]) {
         let mut scratch = std::mem::take(self.scratch);
-        for &v in &scr.members {
+        for &v in members {
             scratch.members.insert(v);
         }
-        let header_phis: Vec<Value> = scr
-            .members
-            .iter()
-            .copied()
-            .filter(|&v| self.ssa.def(v).is_phi() && self.ssa.def_block(v) == self.header)
-            .collect();
+        let mut header_phis = std::mem::take(&mut scratch.header_phis);
+        header_phis.clear();
+        header_phis.extend(
+            members
+                .iter()
+                .copied()
+                .filter(|&v| self.ssa.def(v).is_phi() && self.ssa.def_block(v) == self.header),
+        );
         let result: Option<()> = match header_phis.len() {
             0 => None, // data cycle not through the header: unanalyzable
             1 => self
-                .classify_affine_scr(scr, &mut scratch, header_phis[0])
-                .or_else(|| self.classify_monotonic_scr(scr, &mut scratch, header_phis[0])),
-            _ => self.classify_periodic_scr(scr, &mut scratch, &header_phis),
+                .classify_affine_scr(members, &mut scratch, header_phis[0])
+                .or_else(|| self.classify_monotonic_scr(members, &mut scratch, header_phis[0])),
+            _ => self.classify_periodic_scr(members, &mut scratch, &header_phis),
         };
         if result.is_none() {
-            for &v in &scr.members {
+            for &v in members {
                 self.classes.insert(v, Class::Unknown);
             }
         }
-        for &v in &scr.members {
+        for &v in members {
             scratch.members.remove(v);
         }
+        scratch.header_phis = header_phis;
         *self.scratch = scratch;
     }
 
@@ -880,7 +905,7 @@ impl<'a> Cx<'a> {
     /// (§4.2).
     fn classify_periodic_scr(
         &mut self,
-        scr: &Scr,
+        scr_members: &[Value],
         scratch: &mut Scratch,
         header_phis: &[Value],
     ) -> Option<()> {
@@ -892,7 +917,7 @@ impl<'a> Cx<'a> {
         let inits = &mut scratch.inits;
         let phase_of = &mut scratch.phase_of;
         // Only header φs and copies are allowed.
-        for &v in &scr.members {
+        for &v in scr_members {
             match self.ssa.def(v) {
                 ValueDef::Phi { .. } => {
                     if self.ssa.def_block(v) != self.header {
@@ -906,7 +931,7 @@ impl<'a> Cx<'a> {
         // Chase each φ's carried value through copies to the next φ.
         let chase = |start: Operand| -> Option<Value> {
             let mut cur = start.as_value()?;
-            let mut fuel = scr.members.len() + 1;
+            let mut fuel = scr_members.len() + 1;
             while fuel > 0 {
                 fuel -= 1;
                 if !members.contains(cur) {
@@ -963,7 +988,7 @@ impl<'a> Cx<'a> {
             );
         }
         // Copies take the phase of the φ they (transitively) read.
-        for &v in &scr.members {
+        for &v in scr_members {
             if let ValueDef::Copy { src } = self.ssa.def(v) {
                 let phi = chase(*src)?;
                 self.classes.insert(
@@ -981,7 +1006,12 @@ impl<'a> Cx<'a> {
 
     /// Single-header-φ SCR: affine-transform analysis producing linear,
     /// polynomial, geometric, or flip-flop closed forms.
-    fn classify_affine_scr(&mut self, scr: &Scr, scratch: &mut Scratch, phi: Value) -> Option<()> {
+    fn classify_affine_scr(
+        &mut self,
+        scr_members: &[Value],
+        scratch: &mut Scratch,
+        phi: Value,
+    ) -> Option<()> {
         let members = &scratch.members;
         let memo = &mut scratch.affine_memo;
         let (init_op, carried_op) = self.phi_init_carried(phi)?;
@@ -1019,7 +1049,7 @@ impl<'a> Cx<'a> {
                 // Over the polynomial-order budget: the whole SCR
                 // degrades to Unknown (no fallback reclassification —
                 // the breach is the recorded reason).
-                for &m in &scr.members {
+                for &m in scr_members {
                     self.classes.insert(m, Class::Unknown);
                 }
                 return Some(());
@@ -1040,12 +1070,22 @@ impl<'a> Cx<'a> {
             let geo = bases.into_iter().zip(fit.geo).collect();
             ClosedForm::from_parts(self.loop_id, fit.poly, geo)
         };
-        // Classify every member through its transform.
-        for &m in &scr.members {
+        // Classify every member through its transform. `a` is ±1 or 0 in
+        // almost every real SCR, so dispatch on it before paying for a
+        // symbolic scale.
+        for &m in scr_members {
             let cls = match self.transform_value(m, phi, members, memo) {
                 Ok(t) => {
-                    let scaled = cf_phi.scale(&SymPoly::constant(t.a));
-                    match scaled.and_then(|s| s.add(&t.b)) {
+                    let combined = if t.a == Rational::ONE {
+                        cf_phi.add(&t.b)
+                    } else if t.a.is_zero() {
+                        Some(t.b)
+                    } else {
+                        cf_phi
+                            .scale(&SymPoly::constant(t.a))
+                            .and_then(|s| s.add(&t.b))
+                    };
+                    match combined {
                         Some(cf) => Class::Induction(cf).normalized(),
                         None => Class::Unknown,
                     }
@@ -1244,7 +1284,7 @@ impl<'a> Cx<'a> {
     /// are allowed as long as the sign is consistent.
     fn classify_monotonic_scr(
         &mut self,
-        scr: &Scr,
+        scr_members: &[Value],
         scratch: &mut Scratch,
         phi: Value,
     ) -> Option<()> {
@@ -1263,7 +1303,7 @@ impl<'a> Cx<'a> {
                 // initial value.
                 let (init_op, _) = self.phi_init_carried(phi)?;
                 let init = operand_to_sympoly(&resolve_copies(self.ssa, init_op));
-                for &m in &scr.members {
+                for &m in scr_members {
                     let sign = self.offset_sign_value(m, phi, members, memo);
                     let cls = match sign {
                         Some(Sign::Zero) => Class::Invariant(init.clone()),
@@ -1275,7 +1315,7 @@ impl<'a> Cx<'a> {
             }
         };
         let phi_strict = matches!(latch_sign, Sign::Pos | Sign::Neg);
-        for &m in &scr.members {
+        for &m in scr_members {
             let cls = match self.offset_sign_value(m, phi, members, memo) {
                 Some(sign) => {
                     // A member whose offset from the header value is

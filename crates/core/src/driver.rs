@@ -248,8 +248,9 @@ fn analyze_ssa_inner<const TIMED: bool>(
     }
     phase_end(t, &mut times.ssa);
     let t = phase_start::<TIMED>();
-    let dom = DomTree::compute(ssa.func());
-    let forest = LoopForest::compute(ssa.func(), &dom);
+    let cfg = biv_ir::cfg::Cfg::compute(ssa.func());
+    let dom = DomTree::compute_with(ssa.func(), &cfg);
+    let forest = LoopForest::compute_with(ssa.func(), &dom, &cfg);
     let order = forest.inner_to_outer();
     phase_end(t, &mut times.loop_forest);
     let mut exit_exprs: EntityMap<Value, SymPoly> = EntityMap::new();

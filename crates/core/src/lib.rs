@@ -57,6 +57,7 @@ mod config;
 mod display;
 mod driver;
 mod faults;
+pub mod incremental;
 mod scc;
 mod symbols;
 mod tripcount;
@@ -80,11 +81,16 @@ pub use display::{
     canonical_value_name, describe_class, describe_class_with, describe_closed_form,
     describe_closed_form_with, ValueNamer,
 };
+pub use incremental::{
+    analyze_incremental, analyze_incremental_with_regions, perturb_nest_constant, FunctionSlice,
+    IncrementalReport, IncrementalState, IncrementalStats, NestOutcome, NestRegion, RegionMap,
+};
+
 pub use driver::{
     analyze, analyze_protected, analyze_source, analyze_ssa_with, analyze_with, analyze_with_times,
     Analysis, AnalysisError, AnalyzeError, LoopInfo, PhaseTimes,
 };
-pub use scc::{strongly_connected_regions, Scr};
+pub use scc::{strongly_connected_regions, strongly_connected_regions_into, Scr, ScrPool};
 pub use symbols::{sym_of_value, value_of_sym};
 pub use tripcount::{max_trip_count, trip_count, trip_count_metered, TripCount};
 pub use validate::{

@@ -11,11 +11,34 @@ use biv_ir::EntityMap;
 use biv_ssa::Value;
 
 thread_local! {
-    /// Reusable node → position table. A fresh dense map would grow to
-    /// the largest value index on every call, making a many-loop function
-    /// quadratic; the shared table grows once per thread and each call
-    /// clears only the entries it inserted.
-    static REGION_INDEX: RefCell<EntityMap<Value, usize>> = RefCell::new(EntityMap::new());
+    /// Reusable walk state. The node → position table would grow to the
+    /// largest value index on every call if allocated fresh, making a
+    /// many-loop function quadratic; the dense per-position vectors and
+    /// the work stacks are kept alongside it so a steady-state call
+    /// performs no allocation beyond the returned SCRs.
+    static SCC_SCRATCH: RefCell<SccScratch> = RefCell::new(SccScratch::default());
+}
+
+#[derive(Default)]
+struct SccScratch {
+    in_region: EntityMap<Value, usize>,
+    index: Vec<usize>,
+    lowlink: Vec<usize>,
+    on_stack: Vec<bool>,
+    self_loop: Vec<bool>,
+    stack: Vec<usize>,
+    frames: Vec<Frame>,
+    succ_buf: Vec<usize>,
+    edge_buf: Vec<Value>,
+}
+
+/// One suspended DFS visit in the iterative Tarjan walk.
+#[derive(Debug)]
+struct Frame {
+    node: usize,
+    succ_start: usize,
+    succ_end: usize,
+    next: usize,
 }
 
 /// One strongly connected region, in Tarjan emission order.
@@ -28,71 +51,129 @@ pub struct Scr {
     pub cyclic: bool,
 }
 
+/// Flat SCR storage: every region's members live in one shared pool with
+/// `(start, end, cyclic)` spans, so emitting an SCR costs no allocation.
+/// This is what the per-loop classifier iterates; [`Scr`] remains as the
+/// owned per-region form for callers that want one.
+#[derive(Debug, Default)]
+pub struct ScrPool {
+    members: Vec<Value>,
+    spans: Vec<(u32, u32, bool)>,
+}
+
+impl ScrPool {
+    /// Number of regions.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the pool holds no regions.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// The `i`-th region in emission order, as `(members, cyclic)`.
+    pub fn get(&self, i: usize) -> (&[Value], bool) {
+        let (start, end, cyclic) = self.spans[i];
+        (&self.members[start as usize..end as usize], cyclic)
+    }
+
+    /// Iterates regions in emission order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[Value], bool)> {
+        (0..self.len()).map(|i| self.get(i))
+    }
+
+    /// Drops all regions, keeping capacity.
+    pub fn clear(&mut self) {
+        self.members.clear();
+        self.spans.clear();
+    }
+}
+
 /// Runs Tarjan's algorithm over the sub-graph induced by `nodes`, with
 /// `edges(v, out)` appending the operand values of `v` to `out` (only
 /// edges to other members of `nodes` are followed). Returns SCRs in
 /// emission order — operands before users.
-pub fn strongly_connected_regions<F>(nodes: &[Value], mut edges: F) -> Vec<Scr>
+pub fn strongly_connected_regions<F>(nodes: &[Value], edges: F) -> Vec<Scr>
 where
     F: FnMut(Value, &mut Vec<Value>),
 {
-    REGION_INDEX.with(|cell| {
-        let in_region = &mut *cell.borrow_mut();
-        for (i, &v) in nodes.iter().enumerate() {
-            in_region.insert(v, i);
-        }
-        let out = tarjan(nodes, &mut edges, in_region);
-        for &v in nodes {
-            in_region.remove(v);
-        }
-        out
-    })
+    let mut pool = ScrPool::default();
+    strongly_connected_regions_into(nodes, edges, &mut pool);
+    pool.iter()
+        .map(|(members, cyclic)| Scr {
+            members: members.to_vec(),
+            cyclic,
+        })
+        .collect()
 }
 
-/// Clears this thread's region-index table entirely. Only needed on the
-/// panic-isolation path: an unwind between the insert and remove loops
-/// above strands the current call's entries, and value indices restart
-/// per function, so they would alias into later analyses on this thread.
-pub(crate) fn reset_thread_scratch() {
-    REGION_INDEX.with(|cell| {
-        if let Ok(mut table) = cell.try_borrow_mut() {
-            *table = EntityMap::new();
+/// Allocation-free variant of [`strongly_connected_regions`]: emits the
+/// SCRs into a reusable [`ScrPool`] (cleared first).
+pub fn strongly_connected_regions_into<F>(nodes: &[Value], mut edges: F, pool: &mut ScrPool)
+where
+    F: FnMut(Value, &mut Vec<Value>),
+{
+    pool.clear();
+    SCC_SCRATCH.with(|cell| {
+        let scratch = &mut *cell.borrow_mut();
+        for (i, &v) in nodes.iter().enumerate() {
+            scratch.in_region.insert(v, i);
+        }
+        tarjan(nodes, &mut edges, scratch, pool);
+        for &v in nodes {
+            scratch.in_region.remove(v);
         }
     });
 }
 
-fn tarjan<F>(nodes: &[Value], edges: &mut F, in_region: &EntityMap<Value, usize>) -> Vec<Scr>
+/// Clears this thread's walk scratch entirely. Only needed on the
+/// panic-isolation path: an unwind between the insert and remove loops
+/// above strands the current call's entries, and value indices restart
+/// per function, so they would alias into later analyses on this thread.
+pub(crate) fn reset_thread_scratch() {
+    SCC_SCRATCH.with(|cell| {
+        if let Ok(mut scratch) = cell.try_borrow_mut() {
+            *scratch = SccScratch::default();
+        }
+    });
+}
+
+fn tarjan<F>(nodes: &[Value], edges: &mut F, scratch: &mut SccScratch, pool: &mut ScrPool)
 where
     F: FnMut(Value, &mut Vec<Value>),
 {
     let n = nodes.len();
-    let mut index = vec![usize::MAX; n];
-    let mut lowlink = vec![0usize; n];
-    let mut on_stack = vec![false; n];
-    let mut stack: Vec<usize> = Vec::new();
+    let SccScratch {
+        in_region,
+        index,
+        lowlink,
+        on_stack,
+        self_loop,
+        stack,
+        frames,
+        succ_buf,
+        edge_buf,
+    } = scratch;
+    let in_region: &EntityMap<Value, usize> = in_region;
+    index.clear();
+    index.resize(n, usize::MAX);
+    lowlink.clear();
+    lowlink.resize(n, 0);
+    on_stack.clear();
+    on_stack.resize(n, false);
+    self_loop.clear();
+    self_loop.resize(n, false);
+    debug_assert!(stack.is_empty() && frames.is_empty() && succ_buf.is_empty());
     let mut next_index = 0usize;
-    let mut out = Vec::new();
 
     // Iterative Tarjan with an explicit work stack. Successor lists live
     // in one flat buffer (frames nest LIFO, so a popped frame's range is
     // always the buffer's tail) — no per-node allocation.
-    #[derive(Debug)]
-    struct Frame {
-        node: usize,
-        succ_start: usize,
-        succ_end: usize,
-        next: usize,
-    }
-
-    let mut self_loop = vec![false; n];
-    let mut succ_buf: Vec<usize> = Vec::new();
-    let mut edge_buf: Vec<Value> = Vec::new();
-
     for start in 0..n {
         if index[start] != usize::MAX {
             continue;
         }
-        let mut frames: Vec<Frame> = Vec::new();
         // Appends v's in-region successor positions to succ_buf.
         let succs_of = |v: usize,
                         edges: &mut F,
@@ -119,9 +200,9 @@ where
         succs_of(
             start,
             &mut *edges,
-            &mut self_loop,
-            &mut succ_buf,
-            &mut edge_buf,
+            &mut *self_loop,
+            &mut *succ_buf,
+            &mut *edge_buf,
         );
         frames.push(Frame {
             node: start,
@@ -141,7 +222,13 @@ where
                     stack.push(w);
                     on_stack[w] = true;
                     let succ_start = succ_buf.len();
-                    succs_of(w, &mut *edges, &mut self_loop, &mut succ_buf, &mut edge_buf);
+                    succs_of(
+                        w,
+                        &mut *edges,
+                        &mut *self_loop,
+                        &mut *succ_buf,
+                        &mut *edge_buf,
+                    );
                     frames.push(Frame {
                         node: w,
                         succ_start,
@@ -154,18 +241,20 @@ where
             } else {
                 // Done with v: pop an SCR when v is a root.
                 if lowlink[v] == index[v] {
-                    let mut members = Vec::new();
+                    let span_start = pool.members.len();
                     loop {
                         let w = stack.pop().expect("tarjan stack underflow");
                         on_stack[w] = false;
-                        members.push(nodes[w]);
+                        pool.members.push(nodes[w]);
                         if w == v {
                             break;
                         }
                     }
-                    members.reverse();
-                    let cyclic = members.len() > 1 || self_loop[v];
-                    out.push(Scr { members, cyclic });
+                    pool.members[span_start..].reverse();
+                    let span_end = pool.members.len();
+                    let cyclic = span_end - span_start > 1 || self_loop[v];
+                    pool.spans
+                        .push((span_start as u32, span_end as u32, cyclic));
                 }
                 let finished = frames.pop().expect("frame exists");
                 succ_buf.truncate(finished.succ_start);
@@ -175,7 +264,6 @@ where
             }
         }
     }
-    out
 }
 
 #[cfg(test)]

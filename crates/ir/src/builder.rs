@@ -111,14 +111,18 @@ impl FunctionBuilder {
 
     /// Emits `dst = array[index…]`.
     pub fn load(&mut self, dst: Var, array: Array, index: Vec<Operand>) {
-        self.push(Inst::Load { dst, array, index });
+        self.push(Inst::Load {
+            dst,
+            array,
+            index: index.into(),
+        });
     }
 
     /// Emits `array[index…] = value`.
     pub fn store(&mut self, array: Array, index: Vec<Operand>, value: Operand) {
         self.push(Inst::Store {
             array,
-            index,
+            index: index.into(),
             value,
         });
     }
@@ -181,7 +185,7 @@ mod tests {
         let f = b.finish();
         assert_eq!(f.blocks.len(), 3);
         assert_eq!(f.block_by_label("L1"), Some(header));
-        assert_eq!(f.successors(header), vec![header, exit]);
+        assert_eq!(f.successors(header).as_slice(), &[header, exit]);
     }
 
     #[test]

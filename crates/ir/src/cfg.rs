@@ -1,0 +1,140 @@
+//! Dense CFG adjacency in compressed-sparse-row form.
+//!
+//! `Function` stores only successor edges (inline in each terminator);
+//! analyses that walk predecessors build a [`Cfg`] once and index it by
+//! block. Both directions live in two flat pools with per-block offset
+//! tables — no hashing, no per-block allocation, and a deterministic
+//! edge order (predecessors sorted by block index, successors in
+//! terminator order) that the rest of the system's value numbering
+//! relies on.
+
+use crate::entity::EntityId;
+use crate::function::{Block, Function};
+
+/// Predecessor/successor adjacency of a function's CFG, CSR-packed.
+///
+/// ```
+/// use biv_ir::cfg::Cfg;
+/// use biv_ir::parser::parse_program;
+///
+/// let program = parse_program("func f(n) { L1: for i = 1 to n { x = i } }")?;
+/// let func = &program.functions[0];
+/// let cfg = Cfg::compute(func);
+/// let header = func.block_by_label("L1").unwrap();
+/// assert_eq!(cfg.preds(header).len(), 2); // entry edge + back edge
+/// # Ok::<(), biv_ir::parser::ParseError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    pred_off: Vec<u32>,
+    pred_data: Vec<Block>,
+    succ_off: Vec<u32>,
+    succ_data: Vec<Block>,
+}
+
+impl Cfg {
+    /// Builds the adjacency for `func` in two counting passes.
+    pub fn compute(func: &Function) -> Cfg {
+        let n = func.blocks.len();
+        let mut pred_off = vec![0u32; n + 1];
+        let mut succ_off = vec![0u32; n + 1];
+        let mut edges = 0u32;
+        for (_, data) in func.blocks.iter() {
+            for succ in data.term.successors() {
+                pred_off[succ.index() + 1] += 1;
+                edges += 1;
+            }
+        }
+        for i in 0..n {
+            pred_off[i + 1] += pred_off[i];
+        }
+        let filler = Block::from_index(0);
+        let mut pred_data = vec![filler; edges as usize];
+        let mut succ_data = Vec::with_capacity(edges as usize);
+        // Predecessor fill cursors; succ_data fills in block order directly.
+        let mut cursor: Vec<u32> = pred_off[..n].to_vec();
+        for (b, data) in func.blocks.iter() {
+            succ_off[b.index()] = succ_data.len() as u32;
+            for succ in data.term.successors() {
+                succ_data.push(succ);
+                let slot = &mut cursor[succ.index()];
+                pred_data[*slot as usize] = b;
+                *slot += 1;
+            }
+        }
+        succ_off[n] = succ_data.len() as u32;
+        Cfg {
+            pred_off,
+            pred_data,
+            succ_off,
+            succ_data,
+        }
+    }
+
+    /// The predecessors of `b`, in ascending block-index order.
+    pub fn preds(&self, b: Block) -> &[Block] {
+        let i = b.index();
+        &self.pred_data[self.pred_off[i] as usize..self.pred_off[i + 1] as usize]
+    }
+
+    /// The successors of `b`, in terminator order.
+    pub fn succs(&self, b: Block) -> &[Block] {
+        let i = b.index();
+        &self.succ_data[self.succ_off[i] as usize..self.succ_off[i + 1] as usize]
+    }
+
+    /// Number of blocks covered.
+    pub fn num_blocks(&self) -> usize {
+        self.pred_off.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::function::{CmpOp, Operand};
+
+    #[test]
+    fn diamond_adjacency() {
+        let mut b = FunctionBuilder::new("diamond");
+        let x = b.new_var("x");
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        b.branch(CmpOp::Lt, Operand::Var(x), Operand::Const(0), t, e);
+        b.switch_to(t);
+        b.jump(j);
+        b.switch_to(e);
+        b.jump(j);
+        b.switch_to(j);
+        b.ret();
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        assert_eq!(cfg.num_blocks(), 4);
+        assert_eq!(cfg.succs(f.entry()), &[t, e]);
+        assert_eq!(cfg.preds(j), &[t, e]);
+        assert!(cfg.preds(f.entry()).is_empty());
+        assert!(cfg.succs(j).is_empty());
+    }
+
+    #[test]
+    fn preds_sorted_by_block_index() {
+        // Back edge from a later block lands after the entry edge.
+        let mut b = FunctionBuilder::new("loop");
+        let x = b.new_var("x");
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.jump(header);
+        b.switch_to(header);
+        b.branch(CmpOp::Lt, Operand::Var(x), Operand::Const(9), body, exit);
+        b.switch_to(body);
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret();
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        assert_eq!(cfg.preds(header), &[f.entry(), body]);
+    }
+}

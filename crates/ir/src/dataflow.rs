@@ -2,10 +2,12 @@
 //! problems the rest of the system needs: **reaching definitions** (used by
 //! the classical induction-variable baseline) and **live variables** (used
 //! for pruned SSA construction).
+//!
+//! All per-block state is stored in dense block-indexed vectors — no
+//! hashing on the fixpoint path.
 
-use std::collections::HashMap;
-
-use crate::entity::EntityId;
+use crate::cfg::Cfg;
+use crate::entity::{EntityId, EntityMap};
 use crate::function::{Block, Function, Var};
 
 /// A fixed-width bitset.
@@ -111,12 +113,13 @@ pub struct DefSite {
 pub struct ReachingDefs {
     /// All definition sites, indexed by their bit position.
     pub defs: Vec<DefSite>,
-    /// Reaching set at block entry.
-    pub live_in: HashMap<Block, BitSet>,
-    /// Reaching set at block exit.
-    pub live_out: HashMap<Block, BitSet>,
+    /// Reaching set at block entry, indexed by block. Unreachable blocks
+    /// keep empty sets.
+    pub live_in: Vec<BitSet>,
+    /// Reaching set at block exit, indexed by block.
+    pub live_out: Vec<BitSet>,
     /// Definition bits per variable.
-    pub defs_of_var: HashMap<Var, Vec<usize>>,
+    pub defs_of_var: EntityMap<Var, Vec<usize>>,
 }
 
 impl ReachingDefs {
@@ -124,7 +127,7 @@ impl ReachingDefs {
     pub fn compute(func: &Function) -> ReachingDefs {
         // Enumerate definition sites.
         let mut defs = Vec::new();
-        let mut defs_of_var: HashMap<Var, Vec<usize>> = HashMap::new();
+        let mut defs_of_var: EntityMap<Var, Vec<usize>> = EntityMap::new();
         for (b, data) in func.blocks.iter() {
             for (i, inst) in data.insts.iter().enumerate() {
                 if let Some(var) = inst.def() {
@@ -134,21 +137,22 @@ impl ReachingDefs {
                         inst: i,
                         var,
                     });
-                    defs_of_var.entry(var).or_default().push(bit);
+                    defs_of_var.get_or_insert_with(var, Vec::new).push(bit);
                 }
             }
         }
         let n = defs.len();
+        let nblocks = func.blocks.len();
         // GEN/KILL per block.
-        let mut gen: HashMap<Block, BitSet> = HashMap::new();
-        let mut kill: HashMap<Block, BitSet> = HashMap::new();
+        let mut gen: Vec<BitSet> = Vec::with_capacity(nblocks);
+        let mut kill: Vec<BitSet> = Vec::with_capacity(nblocks);
         for (b, data) in func.blocks.iter() {
             let mut g = BitSet::new(n);
             let mut k = BitSet::new(n);
             // Walk forward; later defs of the same var kill earlier ones.
             for (i, inst) in data.insts.iter().enumerate() {
                 if let Some(var) = inst.def() {
-                    for &bit in &defs_of_var[&var] {
+                    for &bit in &defs_of_var[var] {
                         if defs[bit].block != b || defs[bit].inst != i {
                             k.insert(bit);
                         }
@@ -157,39 +161,38 @@ impl ReachingDefs {
                         }
                     }
                     // A later def in the same block kills this one from GEN.
-                    for &bit in &defs_of_var[&var] {
+                    for &bit in &defs_of_var[var] {
                         if defs[bit].block == b && defs[bit].inst < i {
                             g.remove(bit);
                         }
                     }
                 }
             }
-            gen.insert(b, g);
-            kill.insert(b, k);
+            gen.push(g);
+            kill.push(k);
         }
         // Iterate to fixpoint in RPO.
         let rpo = func.reverse_postorder();
-        let preds = func.predecessors();
-        let mut rin: HashMap<Block, BitSet> = rpo.iter().map(|&b| (b, BitSet::new(n))).collect();
-        let mut rout: HashMap<Block, BitSet> = rpo.iter().map(|&b| (b, BitSet::new(n))).collect();
+        let cfg = Cfg::compute(func);
+        let mut rin: Vec<BitSet> = (0..nblocks).map(|_| BitSet::new(n)).collect();
+        let mut rout: Vec<BitSet> = (0..nblocks).map(|_| BitSet::new(n)).collect();
         let mut changed = true;
         while changed {
             changed = false;
             for &b in &rpo {
+                let bi = b.index();
                 let mut input = BitSet::new(n);
-                for p in preds.get(&b).map(|v| v.as_slice()).unwrap_or(&[]) {
-                    if let Some(po) = rout.get(p) {
-                        input.union_with(po);
-                    }
+                for p in cfg.preds(b) {
+                    input.union_with(&rout[p.index()]);
                 }
                 let mut out = input.clone();
-                out.subtract(&kill[&b]);
-                out.union_with(&gen[&b]);
-                if rin[&b] != input {
-                    rin.insert(b, input);
+                out.subtract(&kill[bi]);
+                out.union_with(&gen[bi]);
+                if rin[bi] != input {
+                    rin[bi] = input;
                 }
-                if rout[&b] != out {
-                    rout.insert(b, out);
+                if rout[bi] != out {
+                    rout[bi] = out;
                     changed = true;
                 }
             }
@@ -204,11 +207,11 @@ impl ReachingDefs {
 
     /// The definitions of `var` that reach the entry of `block`.
     pub fn reaching_defs_of(&self, block: Block, var: Var) -> Vec<DefSite> {
-        let Some(set) = self.live_in.get(&block) else {
+        let Some(set) = self.live_in.get(block.index()) else {
             return Vec::new();
         };
         self.defs_of_var
-            .get(&var)
+            .get(var)
             .map(|bits| {
                 bits.iter()
                     .filter(|&&b| set.contains(b))
@@ -222,21 +225,23 @@ impl ReachingDefs {
 /// Live-variables analysis results (backward may-analysis).
 #[derive(Debug)]
 pub struct Liveness {
-    /// Variables live at block entry.
-    pub live_in: HashMap<Block, BitSet>,
-    /// Variables live at block exit.
-    pub live_out: HashMap<Block, BitSet>,
+    /// Variables live at block entry, indexed by block. Unreachable
+    /// blocks keep empty sets.
+    pub live_in: Vec<BitSet>,
+    /// Variables live at block exit, indexed by block.
+    pub live_out: Vec<BitSet>,
 }
 
 impl Liveness {
     /// Runs the classical backward liveness analysis over scalar variables.
     pub fn compute(func: &Function) -> Liveness {
         let n = func.vars.len();
+        let nblocks = func.blocks.len();
         // USE/DEF per block (USE = used before any def in the block).
-        let mut use_set: HashMap<Block, BitSet> = HashMap::new();
-        let mut def_set: HashMap<Block, BitSet> = HashMap::new();
+        let mut use_set: Vec<BitSet> = Vec::with_capacity(nblocks);
+        let mut def_set: Vec<BitSet> = Vec::with_capacity(nblocks);
         let mut scratch = Vec::new();
-        for (b, data) in func.blocks.iter() {
+        for (_, data) in func.blocks.iter() {
             let mut u = BitSet::new(n);
             let mut d = BitSet::new(n);
             for inst in &data.insts {
@@ -258,30 +263,29 @@ impl Liveness {
                     u.insert(v.index());
                 }
             }
-            use_set.insert(b, u);
-            def_set.insert(b, d);
+            use_set.push(u);
+            def_set.push(d);
         }
         let po = func.postorder();
-        let mut lin: HashMap<Block, BitSet> = po.iter().map(|&b| (b, BitSet::new(n))).collect();
-        let mut lout: HashMap<Block, BitSet> = po.iter().map(|&b| (b, BitSet::new(n))).collect();
+        let mut lin: Vec<BitSet> = (0..nblocks).map(|_| BitSet::new(n)).collect();
+        let mut lout: Vec<BitSet> = (0..nblocks).map(|_| BitSet::new(n)).collect();
         let mut changed = true;
         while changed {
             changed = false;
             for &b in &po {
+                let bi = b.index();
                 let mut out = BitSet::new(n);
                 for s in func.successors(b) {
-                    if let Some(si) = lin.get(&s) {
-                        out.union_with(si);
-                    }
+                    out.union_with(&lin[s.index()]);
                 }
                 let mut input = out.clone();
-                input.subtract(&def_set[&b]);
-                input.union_with(&use_set[&b]);
-                if lout[&b] != out {
-                    lout.insert(b, out);
+                input.subtract(&def_set[bi]);
+                input.union_with(&use_set[bi]);
+                if lout[bi] != out {
+                    lout[bi] = out;
                 }
-                if lin[&b] != input {
-                    lin.insert(b, input);
+                if lin[bi] != input {
+                    lin[bi] = input;
                     changed = true;
                 }
             }
@@ -295,7 +299,7 @@ impl Liveness {
     /// Whether `var` is live at the entry of `block`.
     pub fn live_at_entry(&self, block: Block, var: Var) -> bool {
         self.live_in
-            .get(&block)
+            .get(block.index())
             .map(|s| s.contains(var.index()))
             .unwrap_or(false)
     }

@@ -4,11 +4,21 @@
 //! Fast Dominance Algorithm"), which is near-linear in practice and
 //! produces exactly the structures SSA construction needs: immediate
 //! dominators and dominance frontiers.
+//!
+//! All state is flat and block-indexed: immediate dominators, reverse
+//! postorder positions, dominator-tree children, and dominance frontiers
+//! each live in one dense array (children and frontiers CSR-packed), so
+//! queries never hash and construction allocates a bounded handful of
+//! pools.
 
-use std::collections::HashMap;
-
+use crate::cfg::Cfg;
 use crate::entity::EntityId;
 use crate::function::{Block, Function};
+
+/// Sentinel for "no value" in block-indexed `u32` tables.
+const NONE: u32 = u32::MAX;
+/// Sentinel for the virtual exit in the postdominator table.
+const VIRTUAL_EXIT: u32 = u32::MAX - 1;
 
 /// The dominator tree of a function's CFG.
 ///
@@ -25,94 +35,108 @@ use crate::function::{Block, Function};
 /// ```
 #[derive(Debug, Clone)]
 pub struct DomTree {
-    /// `idom[b]` — immediate dominator; the entry maps to itself.
-    idom: HashMap<Block, Block>,
+    /// Immediate dominator by block index; the entry maps to itself and
+    /// unreachable blocks to `NONE`.
+    idom: Vec<u32>,
     /// Reverse postorder used for iteration and ordering queries.
     rpo: Vec<Block>,
-    /// Position of each block in `rpo`.
-    rpo_index: HashMap<Block, usize>,
-    /// Dominator-tree children, precomputed.
-    children: HashMap<Block, Vec<Block>>,
+    /// Position of each block in `rpo` (`NONE` when unreachable).
+    rpo_pos: Vec<u32>,
+    /// Dominator-tree children, CSR-packed by parent block index and
+    /// sorted by child block index within each parent.
+    child_off: Vec<u32>,
+    child_data: Vec<Block>,
     entry: Block,
 }
 
 impl DomTree {
     /// Computes the dominator tree of `func` (forward CFG).
     pub fn compute(func: &Function) -> DomTree {
-        let rpo = func.reverse_postorder();
-        let preds = func.predecessors();
-        Self::compute_generic(func.entry(), &rpo, |b| {
-            preds.get(&b).cloned().unwrap_or_default()
-        })
+        let cfg = Cfg::compute(func);
+        Self::compute_with(func, &cfg)
     }
 
-    /// Core CHK iteration over an arbitrary edge function — shared with
-    /// [`PostDomTree`].
-    fn compute_generic<F>(entry: Block, rpo: &[Block], preds_of: F) -> DomTree
-    where
-        F: Fn(Block) -> Vec<Block>,
-    {
-        let mut rpo_index = HashMap::with_capacity(rpo.len());
+    /// Computes the dominator tree reusing an existing [`Cfg`].
+    pub fn compute_with(func: &Function, cfg: &Cfg) -> DomTree {
+        let n = func.blocks.len();
+        let rpo = func.reverse_postorder();
+        let mut rpo_pos = vec![NONE; n];
         for (i, &b) in rpo.iter().enumerate() {
-            rpo_index.insert(b, i);
+            rpo_pos[b.index()] = i as u32;
         }
-        let mut idom: HashMap<Block, Block> = HashMap::with_capacity(rpo.len());
-        idom.insert(entry, entry);
+        // CHK iteration in reverse-postorder position space: `doms[i]` is
+        // the rpo position of the immediate dominator of `rpo[i]`.
+        let mut doms = vec![NONE; rpo.len()];
+        if !rpo.is_empty() {
+            doms[0] = 0;
+        }
         let mut changed = true;
         while changed {
             changed = false;
-            for &b in rpo.iter().skip(1) {
-                // First processed predecessor.
-                let mut new_idom: Option<Block> = None;
-                for p in preds_of(b) {
-                    if !rpo_index.contains_key(&p) {
-                        continue; // unreachable predecessor
+            for i in 1..rpo.len() {
+                let mut new_idom = NONE;
+                for &p in cfg.preds(rpo[i]) {
+                    let pp = rpo_pos[p.index()];
+                    if pp == NONE || doms[pp as usize] == NONE {
+                        continue; // unreachable or not yet processed
                     }
-                    if idom.contains_key(&p) {
-                        new_idom = Some(match new_idom {
-                            None => p,
-                            Some(cur) => Self::intersect(&idom, &rpo_index, p, cur),
-                        });
-                    }
+                    new_idom = if new_idom == NONE {
+                        pp
+                    } else {
+                        Self::intersect(&doms, pp, new_idom)
+                    };
                 }
-                if let Some(ni) = new_idom {
-                    if idom.get(&b) != Some(&ni) {
-                        idom.insert(b, ni);
-                        changed = true;
-                    }
+                if new_idom != NONE && doms[i] != new_idom {
+                    doms[i] = new_idom;
+                    changed = true;
                 }
             }
         }
-        let mut children: HashMap<Block, Vec<Block>> = HashMap::new();
-        for (&b, &d) in &idom {
-            if b != d {
-                children.entry(d).or_default().push(b);
+        // Translate to block-index space.
+        let mut idom = vec![NONE; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            if doms[i] != NONE {
+                idom[b.index()] = rpo[doms[i] as usize].index() as u32;
             }
         }
-        for kids in children.values_mut() {
-            kids.sort_by_key(|b| b.index());
+        // Children CSR: counting sort by parent. Iterating blocks in
+        // ascending index order keeps each child list sorted by index.
+        let mut child_off = vec![0u32; n + 1];
+        for (b, &d) in idom.iter().enumerate() {
+            if d != NONE && d as usize != b {
+                child_off[d as usize + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            child_off[i + 1] += child_off[i];
+        }
+        let mut child_data = vec![func.entry(); child_off[n] as usize];
+        let mut cursor: Vec<u32> = child_off[..n].to_vec();
+        for (b, &d) in idom.iter().enumerate() {
+            if d != NONE && d as usize != b {
+                let slot = &mut cursor[d as usize];
+                child_data[*slot as usize] = Block::from_index(b);
+                *slot += 1;
+            }
         }
         DomTree {
             idom,
-            rpo: rpo.to_vec(),
-            rpo_index,
-            children,
-            entry,
+            rpo,
+            rpo_pos,
+            child_off,
+            child_data,
+            entry: func.entry(),
         }
     }
 
-    fn intersect(
-        idom: &HashMap<Block, Block>,
-        rpo_index: &HashMap<Block, usize>,
-        mut a: Block,
-        mut b: Block,
-    ) -> Block {
+    /// Two-finger intersection in rpo-position space.
+    fn intersect(doms: &[u32], mut a: u32, mut b: u32) -> u32 {
         while a != b {
-            while rpo_index[&a] > rpo_index[&b] {
-                a = idom[&a];
+            while a > b {
+                a = doms[a as usize];
             }
-            while rpo_index[&b] > rpo_index[&a] {
-                b = idom[&b];
+            while b > a {
+                b = doms[b as usize];
             }
         }
         a
@@ -129,7 +153,10 @@ impl DomTree {
         if block == self.entry {
             return None;
         }
-        self.idom.get(&block).copied()
+        match self.idom.get(block.index()).copied() {
+            Some(d) if d != NONE => Some(Block::from_index(d as usize)),
+            _ => None,
+        }
     }
 
     /// Whether `a` dominates `b` (reflexively).
@@ -139,9 +166,11 @@ impl DomTree {
             if cur == a {
                 return true;
             }
-            match self.idom(cur) {
-                Some(next) => cur = next,
-                None => return false,
+            match self.idom.get(cur.index()).copied() {
+                Some(d) if d != NONE && d as usize != cur.index() => {
+                    cur = Block::from_index(d as usize);
+                }
+                _ => return false, // entry (self-mapped) or unreachable
             }
         }
     }
@@ -153,7 +182,7 @@ impl DomTree {
 
     /// Whether `block` is reachable from the entry.
     pub fn is_reachable(&self, block: Block) -> bool {
-        block == self.entry || self.idom.contains_key(&block)
+        matches!(self.rpo_pos.get(block.index()), Some(&p) if p != NONE)
     }
 
     /// Blocks in reverse postorder.
@@ -163,25 +192,39 @@ impl DomTree {
 
     /// The position of `block` in reverse postorder, when reachable.
     pub fn rpo_position(&self, block: Block) -> Option<usize> {
-        self.rpo_index.get(&block).copied()
+        match self.rpo_pos.get(block.index()).copied() {
+            Some(p) if p != NONE => Some(p as usize),
+            _ => None,
+        }
     }
 
-    /// Children of `block` in the dominator tree. Constant time (the
-    /// adjacency is precomputed).
-    pub fn children(&self, block: Block) -> Vec<Block> {
-        self.children.get(&block).cloned().unwrap_or_default()
+    /// Children of `block` in the dominator tree, sorted by block index.
+    /// Constant time — a CSR slice into the precomputed adjacency.
+    pub fn children(&self, block: Block) -> &[Block] {
+        let i = block.index();
+        if i + 1 >= self.child_off.len() {
+            return &[];
+        }
+        &self.child_data[self.child_off[i] as usize..self.child_off[i + 1] as usize]
     }
 
     /// Computes the dominance frontier of every reachable block
     /// (Cytron et al.'s definition, via the CHK two-finger method).
-    pub fn dominance_frontiers(&self, func: &Function) -> HashMap<Block, Vec<Block>> {
-        let preds = func.predecessors();
-        let mut df: HashMap<Block, Vec<Block>> = HashMap::new();
+    pub fn dominance_frontiers(&self, func: &Function) -> DomFrontiers {
+        let cfg = Cfg::compute(func);
+        self.dominance_frontiers_with(&cfg)
+    }
+
+    /// Computes all dominance frontiers in one batched pass over an
+    /// existing [`Cfg`], CSR-packing the result.
+    pub fn dominance_frontiers_with(&self, cfg: &Cfg) -> DomFrontiers {
+        let n = cfg.num_blocks();
+        let mut lists: Vec<Vec<Block>> = vec![Vec::new(); n];
         for &b in &self.rpo {
-            let bpreds = match preds.get(&b) {
-                Some(p) if p.len() >= 2 => p,
-                _ => continue,
-            };
+            let bpreds = cfg.preds(b);
+            if bpreds.len() < 2 {
+                continue;
+            }
             let Some(b_idom) = self.idom(b) else {
                 continue;
             };
@@ -191,9 +234,9 @@ impl DomTree {
                 }
                 let mut runner = p;
                 while runner != b_idom {
-                    let entry = df.entry(runner).or_default();
-                    if !entry.contains(&b) {
-                        entry.push(b);
+                    let list = &mut lists[runner.index()];
+                    if !list.contains(&b) {
+                        list.push(b);
                     }
                     match self.idom(runner) {
                         Some(next) if next != runner => runner = next,
@@ -202,7 +245,36 @@ impl DomTree {
                 }
             }
         }
-        df
+        // Flatten into CSR, preserving each block's discovery order —
+        // φ placement order (and with it SSA value numbering) depends on
+        // it.
+        let mut off = vec![0u32; n + 1];
+        for (i, list) in lists.iter().enumerate() {
+            off[i + 1] = off[i] + list.len() as u32;
+        }
+        let mut data = Vec::with_capacity(off[n] as usize);
+        for list in &lists {
+            data.extend_from_slice(list);
+        }
+        DomFrontiers { off, data }
+    }
+}
+
+/// Dominance frontiers of every block, CSR-packed by block index.
+#[derive(Debug, Clone)]
+pub struct DomFrontiers {
+    off: Vec<u32>,
+    data: Vec<Block>,
+}
+
+impl DomFrontiers {
+    /// The dominance frontier of `b`, in discovery order.
+    pub fn frontier(&self, b: Block) -> &[Block] {
+        let i = b.index();
+        if i + 1 >= self.off.len() {
+            return &[];
+        }
+        &self.data[self.off[i] as usize..self.off[i + 1] as usize]
     }
 }
 
@@ -212,14 +284,16 @@ impl DomTree {
 /// predecessors of a virtual exit, which becomes the tree root.
 #[derive(Debug, Clone)]
 pub struct PostDomTree {
-    /// `ipdom[b]` — immediate postdominator; blocks postdominated only by
-    /// the virtual exit map to `None`.
-    ipdom: HashMap<Block, Option<Block>>,
+    /// Immediate postdominator by block index: `VIRTUAL_EXIT` for blocks
+    /// postdominated only by the virtual exit, `NONE` when unknown.
+    ipdom: Vec<u32>,
 }
 
 impl PostDomTree {
     /// Computes the postdominator tree of `func`.
     pub fn compute(func: &Function) -> PostDomTree {
+        let n = func.blocks.len();
+        let cfg = Cfg::compute(func);
         // Reverse CFG: successors become predecessors. We run a reverse
         // DFS from all return blocks to get a reverse-graph RPO.
         let returns: Vec<Block> = func
@@ -228,9 +302,8 @@ impl PostDomTree {
             .filter(|(_, d)| d.term.successors().is_empty())
             .map(|(b, _)| b)
             .collect();
-        let preds = func.predecessors();
         // Postorder over the reversed graph starting from each return.
-        let mut visited = vec![false; func.blocks.len()];
+        let mut visited = vec![false; n];
         let mut post = Vec::new();
         for &ret in &returns {
             if visited[ret.index()] {
@@ -239,7 +312,7 @@ impl PostDomTree {
             visited[ret.index()] = true;
             let mut stack: Vec<(Block, usize)> = vec![(ret, 0)];
             while let Some((block, idx)) = stack.pop() {
-                let ps = preds.get(&block).cloned().unwrap_or_default();
+                let ps = cfg.preds(block);
                 if idx < ps.len() {
                     stack.push((block, idx + 1));
                     let next = ps[idx];
@@ -254,68 +327,62 @@ impl PostDomTree {
         }
         post.reverse(); // reverse postorder of the reversed graph
 
-        // Iterate CHK with an explicit virtual exit: `None` in the idom
-        // map denotes it. Every return block's immediate postdominator is
-        // the virtual exit.
-        let mut rpo_index: HashMap<Block, usize> = HashMap::new();
+        // Iterate CHK with an explicit virtual exit, all state dense:
+        // every return block's immediate postdominator is the virtual
+        // exit.
+        let mut rpo_pos = vec![NONE; n];
         for (i, &b) in post.iter().enumerate() {
-            rpo_index.insert(b, i);
+            rpo_pos[b.index()] = i as u32;
         }
-        // `idom[b] = None` means the virtual exit; absent means unknown.
-        let mut idom: HashMap<Block, Option<Block>> = HashMap::new();
+        let mut ipdom = vec![NONE; n];
+        let mut is_return = vec![false; n];
         for &r in &returns {
-            idom.insert(r, None);
+            ipdom[r.index()] = VIRTUAL_EXIT;
+            is_return[r.index()] = true;
         }
         let mut changed = true;
         while changed {
             changed = false;
             for &b in &post {
-                if returns.contains(&b) {
+                if is_return[b.index()] {
                     continue;
                 }
-                let succs = func.successors(b);
-                let mut new_idom: Option<Option<Block>> = None;
-                for s in succs {
-                    if !rpo_index.contains_key(&s) || !idom.contains_key(&s) {
+                let mut new_idom = NONE;
+                for s in func.successors(b) {
+                    if rpo_pos[s.index()] == NONE || ipdom[s.index()] == NONE {
                         continue;
                     }
-                    new_idom = Some(match new_idom {
-                        None => Some(s),
-                        Some(cur) => Self::intersect(&idom, &rpo_index, Some(s), cur),
-                    });
+                    let s = s.index() as u32;
+                    new_idom = if new_idom == NONE {
+                        s
+                    } else {
+                        Self::intersect(&ipdom, &rpo_pos, s, new_idom)
+                    };
                 }
-                if let Some(ni) = new_idom {
-                    if idom.get(&b) != Some(&ni) {
-                        idom.insert(b, ni);
-                        changed = true;
-                    }
+                if new_idom != NONE && ipdom[b.index()] != new_idom {
+                    ipdom[b.index()] = new_idom;
+                    changed = true;
                 }
             }
         }
-        PostDomTree { ipdom: idom }
+        PostDomTree { ipdom }
     }
 
-    /// Two-finger intersection where `None` denotes the virtual exit (the
-    /// root of the postdominator tree): once either side walks past a
-    /// return, the meet is the virtual exit.
-    fn intersect(
-        idom: &HashMap<Block, Option<Block>>,
-        rpo_index: &HashMap<Block, usize>,
-        mut a: Option<Block>,
-        mut b: Option<Block>,
-    ) -> Option<Block> {
+    /// Two-finger intersection where `VIRTUAL_EXIT` denotes the virtual
+    /// exit (the root of the postdominator tree): once either side walks
+    /// past a return, the meet is the virtual exit.
+    fn intersect(ipdom: &[u32], rpo_pos: &[u32], mut a: u32, mut b: u32) -> u32 {
         loop {
-            let (x, y) = match (a, b) {
-                (None, _) | (_, None) => return None,
-                (Some(x), Some(y)) => (x, y),
-            };
-            if x == y {
-                return Some(x);
+            if a == VIRTUAL_EXIT || b == VIRTUAL_EXIT {
+                return VIRTUAL_EXIT;
             }
-            if rpo_index[&x] > rpo_index[&y] {
-                a = idom[&x];
+            if a == b {
+                return a;
+            }
+            if rpo_pos[a as usize] > rpo_pos[b as usize] {
+                a = ipdom[a as usize];
             } else {
-                b = idom[&y];
+                b = ipdom[b as usize];
             }
         }
     }
@@ -323,7 +390,10 @@ impl PostDomTree {
     /// The immediate postdominator of `block`, or `None` when it is only
     /// postdominated by the virtual exit.
     pub fn ipdom(&self, block: Block) -> Option<Block> {
-        self.ipdom.get(&block).copied().flatten()
+        match self.ipdom.get(block.index()).copied() {
+            Some(d) if d != NONE && d != VIRTUAL_EXIT => Some(Block::from_index(d as usize)),
+            _ => None,
+        }
     }
 
     /// Whether `a` postdominates `b` (reflexively).
@@ -404,9 +474,9 @@ mod tests {
         assert_eq!(dom.idom(j), Some(f.entry()));
         assert_eq!(dom.idom(t), Some(f.entry()));
         let df = dom.dominance_frontiers(&f);
-        assert_eq!(df[&t], vec![j]);
-        assert_eq!(df[&e], vec![j]);
-        assert!(!df.contains_key(&j));
+        assert_eq!(df.frontier(t), &[j]);
+        assert_eq!(df.frontier(e), &[j]);
+        assert!(df.frontier(j).is_empty());
     }
 
     #[test]
@@ -416,8 +486,8 @@ mod tests {
         let df = dom.dominance_frontiers(&f);
         // The body's frontier contains the header (back edge), and the
         // header's own frontier contains itself.
-        assert!(df[&body].contains(&header));
-        assert!(df[&header].contains(&header));
+        assert!(df.frontier(body).contains(&header));
+        assert!(df.frontier(header).contains(&header));
     }
 
     #[test]

@@ -697,6 +697,150 @@ impl<K: EntityId> fmt::Debug for EntitySet<K> {
     }
 }
 
+/// A short list of copyable items stored inline — no heap allocation for
+/// up to two elements, the common case for array subscript lists (arrays
+/// in the loop language are one- or two-dimensional almost everywhere).
+/// Longer lists spill to a boxed slice.
+///
+/// Dereferences to `[T]`, so consumers read it exactly like a `Vec<T>`.
+#[derive(Clone)]
+pub struct IndexList<T: Copy + Default>(IndexListRepr<T>);
+
+#[derive(Clone)]
+enum IndexListRepr<T: Copy + Default> {
+    /// `items[len..]` hold `T::default()` padding.
+    Inline {
+        len: u8,
+        items: [T; 2],
+    },
+    Spilled(Box<[T]>),
+}
+
+impl<T: Copy + Default> IndexList<T> {
+    /// An empty list.
+    pub fn new() -> IndexList<T> {
+        IndexList(IndexListRepr::Inline {
+            len: 0,
+            items: [T::default(); 2],
+        })
+    }
+
+    /// Builds a list from a slice, inline when it fits.
+    pub fn from_slice(slice: &[T]) -> IndexList<T> {
+        if slice.len() <= 2 {
+            let mut items = [T::default(); 2];
+            items[..slice.len()].copy_from_slice(slice);
+            IndexList(IndexListRepr::Inline {
+                len: slice.len() as u8,
+                items,
+            })
+        } else {
+            IndexList(IndexListRepr::Spilled(slice.into()))
+        }
+    }
+
+    /// The elements as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        match &self.0 {
+            IndexListRepr::Inline { len, items } => &items[..*len as usize],
+            IndexListRepr::Spilled(items) => items,
+        }
+    }
+}
+
+impl<T: Copy + Default> Default for IndexList<T> {
+    fn default() -> Self {
+        IndexList::new()
+    }
+}
+
+impl<T: Copy + Default> std::ops::Deref for IndexList<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + Default> std::ops::DerefMut for IndexList<T> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        match &mut self.0 {
+            IndexListRepr::Inline { len, items } => &mut items[..*len as usize],
+            IndexListRepr::Spilled(items) => items,
+        }
+    }
+}
+
+impl<T: Copy + Default> From<Vec<T>> for IndexList<T> {
+    fn from(v: Vec<T>) -> Self {
+        IndexList::from_slice(&v)
+    }
+}
+
+impl<T: Copy + Default> FromIterator<T> for IndexList<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut items = [T::default(); 2];
+        let mut it = iter.into_iter();
+        let mut len = 0usize;
+        for slot in items.iter_mut() {
+            match it.next() {
+                Some(x) => {
+                    *slot = x;
+                    len += 1;
+                }
+                None => {
+                    return IndexList(IndexListRepr::Inline {
+                        len: len as u8,
+                        items,
+                    })
+                }
+            }
+        }
+        match it.next() {
+            None => IndexList(IndexListRepr::Inline {
+                len: len as u8,
+                items,
+            }),
+            Some(third) => {
+                let mut v: Vec<T> = items.to_vec();
+                v.push(third);
+                v.extend(it);
+                IndexList(IndexListRepr::Spilled(v.into()))
+            }
+        }
+    }
+}
+
+impl<'a, T: Copy + Default> IntoIterator for &'a IndexList<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+// Equality and hashing see only the logical elements, never the
+// representation, so an inline and a spilled list with the same contents
+// are indistinguishable.
+impl<T: Copy + Default + PartialEq> PartialEq for IndexList<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + Eq> Eq for IndexList<T> {}
+
+impl<T: Copy + Default + std::hash::Hash> std::hash::Hash for IndexList<T> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl<T: Copy + Default + fmt::Debug> fmt::Debug for IndexList<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,8 +1,8 @@
 //! The three-address CFG IR.
 
-use std::collections::HashMap;
+use std::cell::RefCell;
 
-use crate::entity::Arena;
+use crate::entity::{Arena, IndexList};
 use crate::entity_id;
 
 entity_id!(
@@ -49,6 +49,13 @@ impl From<Var> for Operand {
 impl From<i64> for Operand {
     fn from(c: i64) -> Operand {
         Operand::Const(c)
+    }
+}
+
+impl Default for Operand {
+    /// The zero constant — used as inline-storage padding, never read.
+    fn default() -> Operand {
+        Operand::Const(0)
     }
 }
 
@@ -181,15 +188,15 @@ pub enum Inst {
         dst: Var,
         /// Array being read.
         array: Array,
-        /// One operand per dimension.
-        index: Vec<Operand>,
+        /// One operand per dimension, stored inline up to two dimensions.
+        index: IndexList<Operand>,
     },
     /// `array[index…] = value` (the paper's indexed `ST`).
     Store {
         /// Array being written.
         array: Array,
-        /// One operand per dimension.
-        index: Vec<Operand>,
+        /// One operand per dimension, stored inline up to two dimensions.
+        index: IndexList<Operand>,
         /// Value stored.
         value: Operand,
     },
@@ -251,15 +258,78 @@ pub enum Terminator {
     Return,
 }
 
+/// The successor blocks of a terminator — at most two, stored inline so
+/// CFG walks never allocate.
+///
+/// Dereferences to `[Block]` and iterates by value, so existing
+/// `for succ in term.successors()` loops keep working unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Successors {
+    items: [Block; 2],
+    len: u8,
+}
+
+impl Successors {
+    fn none() -> Successors {
+        let filler = <Block as crate::EntityId>::from_index(0);
+        Successors {
+            items: [filler; 2],
+            len: 0,
+        }
+    }
+
+    fn one(b: Block) -> Successors {
+        Successors {
+            items: [b, b],
+            len: 1,
+        }
+    }
+
+    fn two(a: Block, b: Block) -> Successors {
+        Successors {
+            items: [a, b],
+            len: 2,
+        }
+    }
+
+    /// The successors as a slice, in terminator order.
+    pub fn as_slice(&self) -> &[Block] {
+        &self.items[..self.len as usize]
+    }
+}
+
+impl std::ops::Deref for Successors {
+    type Target = [Block];
+    fn deref(&self) -> &[Block] {
+        self.as_slice()
+    }
+}
+
+impl IntoIterator for Successors {
+    type Item = Block;
+    type IntoIter = std::iter::Take<std::array::IntoIter<Block, 2>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter().take(self.len as usize)
+    }
+}
+
+impl<'a> IntoIterator for &'a Successors {
+    type Item = &'a Block;
+    type IntoIter = std::slice::Iter<'a, Block>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 impl Terminator {
     /// The successor blocks, in order.
-    pub fn successors(&self) -> Vec<Block> {
+    pub fn successors(&self) -> Successors {
         match self {
-            Terminator::Jump(b) => vec![*b],
+            Terminator::Jump(b) => Successors::one(*b),
             Terminator::Branch {
                 then_bb, else_bb, ..
-            } => vec![*then_bb, *else_bb],
-            Terminator::Return => vec![],
+            } => Successors::two(*then_bb, *else_bb),
+            Terminator::Return => Successors::none(),
         }
     }
 
@@ -427,20 +497,9 @@ impl Function {
         self.blocks.push(data)
     }
 
-    /// The successor blocks of `block`.
-    pub fn successors(&self, block: Block) -> Vec<Block> {
+    /// The successor blocks of `block`, inline — no allocation.
+    pub fn successors(&self, block: Block) -> Successors {
         self.blocks[block].term.successors()
-    }
-
-    /// Computes the predecessor map for the whole CFG.
-    pub fn predecessors(&self) -> HashMap<Block, Vec<Block>> {
-        let mut preds: HashMap<Block, Vec<Block>> = HashMap::new();
-        for (b, data) in self.blocks.iter() {
-            for succ in data.term.successors() {
-                preds.entry(succ).or_default().push(b);
-            }
-        }
-        preds
     }
 
     /// Blocks in reverse postorder from the entry. Unreachable blocks are
@@ -451,27 +510,39 @@ impl Function {
         po
     }
 
-    /// Blocks in postorder from the entry (iterative DFS).
+    /// Blocks in postorder from the entry (iterative DFS). The visited
+    /// table and work stack live in thread-local scratch, so a
+    /// steady-state call allocates only the returned order.
     pub fn postorder(&self) -> Vec<Block> {
-        let mut visited = vec![false; self.blocks.len()];
-        let mut order = Vec::with_capacity(self.blocks.len());
-        // Stack entries: (block, next successor index to explore).
-        let mut stack: Vec<(Block, usize)> = vec![(self.entry, 0)];
-        visited[crate::EntityId::index(self.entry)] = true;
-        while let Some((block, succ_idx)) = stack.pop() {
-            let succs = self.successors(block);
-            if succ_idx < succs.len() {
-                stack.push((block, succ_idx + 1));
-                let next = succs[succ_idx];
-                let idx = crate::EntityId::index(next);
-                if !visited[idx] {
-                    visited[idx] = true;
-                    stack.push((next, 0));
-                }
-            } else {
-                order.push(block);
-            }
+        type PoScratch = (Vec<bool>, Vec<(Block, u8)>);
+        thread_local! {
+            static PO_SCRATCH: RefCell<PoScratch> =
+                const { RefCell::new((Vec::new(), Vec::new())) };
         }
+        let mut order = Vec::with_capacity(self.blocks.len());
+        PO_SCRATCH.with(|cell| {
+            let (visited, stack) = &mut *cell.borrow_mut();
+            visited.clear();
+            visited.resize(self.blocks.len(), false);
+            debug_assert!(stack.is_empty());
+            // Stack entries: (block, next successor index to explore).
+            stack.push((self.entry, 0));
+            visited[crate::EntityId::index(self.entry)] = true;
+            while let Some((block, succ_idx)) = stack.pop() {
+                let succs = self.successors(block);
+                if (succ_idx as usize) < succs.len() {
+                    stack.push((block, succ_idx + 1));
+                    let next = succs[succ_idx as usize];
+                    let idx = crate::EntityId::index(next);
+                    if !visited[idx] {
+                        visited[idx] = true;
+                        stack.push((next, 0));
+                    }
+                } else {
+                    order.push(block);
+                }
+            }
+        });
         order
     }
 
@@ -548,13 +619,13 @@ mod tests {
         let entry = f.entry();
         let succs = f.successors(entry);
         assert_eq!(succs.len(), 2);
-        let preds = f.predecessors();
+        let cfg = crate::cfg::Cfg::compute(&f);
         let join = f
             .blocks
             .ids()
             .find(|&b| f.successors(b).is_empty())
             .unwrap();
-        assert_eq!(preds[&join].len(), 2);
+        assert_eq!(cfg.preds(join).len(), 2);
     }
 
     #[test]
@@ -603,7 +674,7 @@ mod tests {
         let mut term = f.blocks[entry].term.clone();
         let succs = term.successors();
         term.replace_successor(succs[0], succs[1]);
-        assert_eq!(term.successors(), vec![succs[1], succs[1]]);
+        assert_eq!(term.successors().as_slice(), &[succs[1], succs[1]]);
     }
 
     #[test]

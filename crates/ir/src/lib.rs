@@ -10,6 +10,8 @@
 //! - a **mini loop language** front end (lexer, parser, AST, lowering) so
 //!   every example loop in the paper can be written as source text
 //!   ([`parser::parse_program`]);
+//! - dense **CSR adjacency** over the CFG — flat predecessor/successor
+//!   pools indexed by block, built once per analysis ([`cfg::Cfg`]);
 //! - **dominator** / postdominator trees and dominance frontiers
 //!   (Cooper–Harvey–Kennedy) — the inputs to SSA construction
 //!   ([`dom::DomTree`]);
@@ -50,6 +52,7 @@ mod entity;
 mod function;
 
 pub mod builder;
+pub mod cfg;
 pub mod dataflow;
 pub mod dom;
 pub mod dot;
@@ -59,10 +62,11 @@ pub mod parser;
 pub mod print;
 pub mod verify;
 
-pub use entity::{Arena, EntityId, EntityMap, EntitySet, SecondaryMap, VecMap};
+pub use cfg::Cfg;
+pub use entity::{Arena, EntityId, EntityMap, EntitySet, IndexList, SecondaryMap, VecMap};
 pub use function::{
-    Array, ArrayData, BinOp, Block, BlockData, CmpOp, Function, Inst, Operand, Program, Terminator,
-    Var, VarData,
+    Array, ArrayData, BinOp, Block, BlockData, CmpOp, Function, Inst, Operand, Program, Successors,
+    Terminator, Var, VarData,
 };
 
 // Functions (and whole programs) cross thread boundaries in the parallel

@@ -6,8 +6,7 @@
 //! header) and a **unique latch** (single back edge), which the SSA
 //! loop-header φ shape relies on.
 
-use std::collections::{HashMap, HashSet};
-
+use crate::cfg::Cfg;
 use crate::dom::DomTree;
 use crate::entity::{Arena, EntityId};
 use crate::entity_id;
@@ -59,10 +58,12 @@ pub struct LoopData {
 #[derive(Debug, Clone)]
 pub struct LoopForest {
     loops: Arena<Loop, LoopData>,
-    /// Innermost loop containing each block.
-    block_loop: HashMap<Block, Loop>,
-    /// Per-loop membership sets for O(1) containment tests.
-    block_sets: Vec<HashSet<Block>>,
+    /// Innermost loop containing each block, indexed by block.
+    block_loop: Vec<Option<Loop>>,
+    /// Flat per-loop membership bitset (`words_per_loop` words per
+    /// loop) for O(1) containment tests.
+    membership: Vec<u64>,
+    words_per_loop: usize,
     /// Precomputed preheaders (unique outside predecessor whose only
     /// successor is the header).
     preheaders: Vec<Option<Block>>,
@@ -75,15 +76,23 @@ impl LoopForest {
     /// loops; loops sharing a header are merged (as in the classical
     /// construction).
     pub fn compute(func: &Function, dom: &DomTree) -> LoopForest {
-        let preds = func.predecessors();
+        let cfg = Cfg::compute(func);
+        LoopForest::compute_with(func, dom, &cfg)
+    }
+
+    /// [`LoopForest::compute`] with a caller-provided CFG, so callers
+    /// that already built one (typically for the dominator tree) avoid
+    /// rebuilding the predecessor lists.
+    pub fn compute_with(func: &Function, dom: &DomTree, cfg: &Cfg) -> LoopForest {
+        let nblocks = func.blocks.len();
         // Find back edges grouped by header, in RPO so outer headers come
         // first.
         let mut headers: Vec<Block> = Vec::new();
-        let mut latches_by_header: HashMap<Block, Vec<Block>> = HashMap::new();
+        let mut latch_lists: Vec<Vec<Block>> = vec![Vec::new(); nblocks];
         for &b in dom.reverse_postorder() {
             for succ in func.successors(b) {
                 if dom.dominates(succ, b) {
-                    let entry = latches_by_header.entry(succ).or_default();
+                    let entry = &mut latch_lists[succ.index()];
                     if entry.is_empty() {
                         headers.push(succ);
                     }
@@ -92,38 +101,40 @@ impl LoopForest {
             }
         }
         // Compute the body of each loop: backwards reachability from the
-        // latches without passing through the header.
+        // latches without passing through the header. Membership is
+        // tracked with an epoch stamp per block (one epoch per loop)
+        // instead of a hash set.
         let mut loops: Arena<Loop, LoopData> = Arena::new();
-        let mut loop_of_header: HashMap<Block, Loop> = HashMap::new();
-        for &header in &headers {
-            let latches = latches_by_header[&header].clone();
-            let mut body: HashSet<Block> = HashSet::new();
-            body.insert(header);
-            let mut stack: Vec<Block> = latches
-                .iter()
-                .copied()
-                .filter(|l| dom.is_reachable(*l))
-                .collect();
+        let mut in_body = vec![0u32; nblocks];
+        let mut stack: Vec<Block> = Vec::new();
+        for (epoch, &header) in headers.iter().enumerate() {
+            let epoch = epoch as u32 + 1;
+            let latches = std::mem::take(&mut latch_lists[header.index()]);
+            let mut blocks: Vec<Block> = vec![header];
+            in_body[header.index()] = epoch;
+            stack.clear();
+            for &l in &latches {
+                if dom.is_reachable(l) && in_body[l.index()] != epoch {
+                    in_body[l.index()] = epoch;
+                    blocks.push(l);
+                    stack.push(l);
+                }
+            }
             while let Some(b) = stack.pop() {
-                if body.insert(b) {
-                    // keep walking
-                }
-                if b == header {
-                    continue;
-                }
-                for &p in preds.get(&b).map(|v| v.as_slice()).unwrap_or(&[]) {
-                    if dom.is_reachable(p) && !body.contains(&p) {
+                for &p in cfg.preds(b) {
+                    if dom.is_reachable(p) && in_body[p.index()] != epoch {
+                        in_body[p.index()] = epoch;
+                        blocks.push(p);
                         stack.push(p);
                     }
                 }
             }
-            let mut blocks: Vec<Block> = body.into_iter().collect();
             blocks.sort_by_key(|b| b.index());
             // Put the header first for readability.
             if let Some(pos) = blocks.iter().position(|&b| b == header) {
                 blocks.swap(0, pos);
             }
-            let id = loops.push(LoopData {
+            loops.push(LoopData {
                 header,
                 blocks,
                 latches,
@@ -131,34 +142,40 @@ impl LoopForest {
                 children: Vec::new(),
                 depth: 0,
             });
-            loop_of_header.insert(header, id);
         }
-        // Establish nesting: the innermost loop containing each block is
-        // the one with the smallest body among those containing it.
+        // Establish nesting: parent of `a` = smallest loop strictly
+        // containing a's header other than `a` itself. Scanning each
+        // loop's membership once (checking which headers it covers) is
+        // linear in total membership, not quadratic in the loop count.
         let ids: Vec<Loop> = loops.ids().collect();
+        let mut header_of: Vec<Option<Loop>> = vec![None; nblocks];
         for &a in &ids {
-            // Parent of `a` = smallest loop strictly containing a's header
-            // other than `a` itself.
-            let header = loops[a].header;
-            let mut best: Option<Loop> = None;
-            for &b in &ids {
-                if b == a {
+            header_of[loops[a].header.index()] = Some(a);
+        }
+        let mut parents: Vec<Option<Loop>> = vec![None; loops.len()];
+        for &b in &ids {
+            for i in 0..loops[b].blocks.len() {
+                let blk = loops[b].blocks[i];
+                let Some(a) = header_of[blk.index()] else {
+                    continue;
+                };
+                if a == b {
                     continue;
                 }
-                if loops[b].blocks.contains(&header) {
-                    best = match best {
-                        None => Some(b),
-                        Some(cur) => {
-                            if loops[b].blocks.len() < loops[cur].blocks.len() {
-                                Some(b)
-                            } else {
-                                Some(cur)
-                            }
+                parents[a.index()] = match parents[a.index()] {
+                    None => Some(b),
+                    Some(cur) => {
+                        if loops[b].blocks.len() < loops[cur].blocks.len() {
+                            Some(b)
+                        } else {
+                            Some(cur)
                         }
-                    };
-                }
+                    }
+                };
             }
-            loops[a].parent = best;
+        }
+        for &a in &ids {
+            loops[a].parent = parents[a.index()];
         }
         for &a in &ids {
             if let Some(p) = loops[a].parent {
@@ -175,34 +192,43 @@ impl LoopForest {
             }
             loops[a].depth = d;
         }
-        // Innermost loop of each block.
-        let mut block_loop: HashMap<Block, Loop> = HashMap::new();
+        // Innermost loop of each block (smallest body wins; ties keep
+        // the earlier loop).
+        let mut block_loop: Vec<Option<Loop>> = vec![None; nblocks];
         for &a in &ids {
             for &b in &loops[a].blocks {
-                match block_loop.get(&b) {
-                    Some(&cur) if loops[cur].blocks.len() <= loops[a].blocks.len() => {}
-                    _ => {
-                        block_loop.insert(b, a);
-                    }
+                match block_loop[b.index()] {
+                    Some(cur) if loops[cur].blocks.len() <= loops[a].blocks.len() => {}
+                    _ => block_loop[b.index()] = Some(a),
                 }
             }
         }
-        let block_sets: Vec<HashSet<Block>> = loops
-            .iter()
-            .map(|(_, d)| d.blocks.iter().copied().collect())
-            .collect();
-        // Precompute preheaders with the predecessor map built once.
+        // Flat membership bitset: `words_per_loop` words per loop.
+        let words_per_loop = nblocks.div_ceil(64);
+        let mut membership = vec![0u64; loops.len() * words_per_loop];
+        for &a in &ids {
+            let base = a.index() * words_per_loop;
+            for &b in &loops[a].blocks {
+                let i = b.index();
+                membership[base + i / 64] |= 1 << (i % 64);
+            }
+        }
+        let loop_contains = |l: Loop, b: Block| {
+            let i = b.index();
+            membership[l.index() * words_per_loop + i / 64] >> (i % 64) & 1 != 0
+        };
+        // Precompute preheaders with the CSR adjacency built once.
         let preheaders = loops
             .iter()
             .map(|(l, d)| {
-                let outside: Vec<Block> = preds
-                    .get(&d.header)?
+                let outside: Vec<Block> = cfg
+                    .preds(d.header)
                     .iter()
                     .copied()
-                    .filter(|p| !block_sets[l.index()].contains(p))
+                    .filter(|&p| !loop_contains(l, p))
                     .collect();
                 match outside.as_slice() {
-                    [single] if func.successors(*single) == vec![d.header] => Some(*single),
+                    [single] if func.successors(*single).as_slice() == [d.header] => Some(*single),
                     _ => None,
                 }
             })
@@ -210,7 +236,8 @@ impl LoopForest {
         LoopForest {
             loops,
             block_loop,
-            block_sets,
+            membership,
+            words_per_loop,
             preheaders,
         }
     }
@@ -237,13 +264,14 @@ impl LoopForest {
 
     /// The innermost loop containing `block`, if any.
     pub fn innermost(&self, block: Block) -> Option<Loop> {
-        self.block_loop.get(&block).copied()
+        self.block_loop.get(block.index()).copied().flatten()
     }
 
     /// Whether `block` belongs to loop `l` (including nested loops).
     /// Constant time.
     pub fn contains(&self, l: Loop, block: Block) -> bool {
-        self.block_sets[l.index()].contains(&block)
+        let i = block.index();
+        self.membership[l.index() * self.words_per_loop + i / 64] >> (i % 64) & 1 != 0
     }
 
     /// Loops ordered inner-to-outer (children before parents), the order
@@ -285,7 +313,7 @@ impl LoopForest {
         let mut out = Vec::new();
         for &b in &data.blocks {
             for succ in func.successors(b) {
-                if !data.blocks.contains(&succ) {
+                if !self.contains(l, succ) {
                     out.push((b, succ));
                 }
             }
@@ -334,16 +362,13 @@ pub fn loop_simplify(func: &mut Function) -> bool {
             let header = data.header;
             // Insert a preheader when missing.
             if forest.preheader(func, l).is_none() {
-                let preds = func.predecessors();
-                let outside: Vec<Block> = preds
-                    .get(&header)
-                    .map(|v| {
-                        v.iter()
-                            .copied()
-                            .filter(|p| !data.blocks.contains(p))
-                            .collect()
-                    })
-                    .unwrap_or_default();
+                let cfg = Cfg::compute(func);
+                let outside: Vec<Block> = cfg
+                    .preds(header)
+                    .iter()
+                    .copied()
+                    .filter(|p| !data.blocks.contains(p))
+                    .collect();
                 if !outside.is_empty() {
                     let pre = func.new_block();
                     func.blocks[pre].term = Terminator::Jump(header);
@@ -378,8 +403,7 @@ pub fn loop_simplify(func: &mut Function) -> bool {
 /// empty pre-entry block when needed. (Lowered programs never need this,
 /// but builder-made CFGs might.)
 pub fn split_entry_if_header(func: &mut Function) -> bool {
-    let preds = func.predecessors();
-    if preds.get(&func.entry()).is_none_or(Vec::is_empty) {
+    if Cfg::compute(func).preds(func.entry()).is_empty() {
         return false;
     }
     // Move entry contents into a fresh block; keep `entry` empty jumping

@@ -143,7 +143,7 @@ impl Lowerer {
                 self.push(Inst::Load {
                     dst,
                     array: a,
-                    index: idx,
+                    index: idx.into(),
                 });
                 Ok(Operand::Var(dst))
             }
@@ -177,7 +177,7 @@ impl Lowerer {
                 self.push(Inst::Load {
                     dst,
                     array: a,
-                    index: idx,
+                    index: idx.into(),
                 });
             }
             simple => {
@@ -214,7 +214,7 @@ impl Lowerer {
                 let v = self.operand(value)?;
                 self.push(Inst::Store {
                     array: a,
-                    index: idx,
+                    index: idx.into(),
                     value: v,
                 });
                 Ok(())
@@ -434,8 +434,8 @@ mod tests {
         let f = &program.functions[0];
         let header = f.block_by_label("L7").expect("labeled header");
         // Header is the target of the entry and of the back edge.
-        let preds = f.predecessors();
-        assert_eq!(preds[&header].len(), 2);
+        let cfg = crate::cfg::Cfg::compute(f);
+        assert_eq!(cfg.preds(header).len(), 2);
         assert!(f.var_by_name("i").is_some());
         assert!(f.var_by_name("j").is_some());
         assert_eq!(f.params().len(), 3);
@@ -493,8 +493,8 @@ mod tests {
         let program = parse_program("func f(n) { W: while n > 0 { n = n - 1 } }").unwrap();
         let f = &program.functions[0];
         let header = f.block_by_label("W").unwrap();
-        let preds = f.predecessors();
-        assert_eq!(preds[&header].len(), 2, "entry edge + back edge");
+        let cfg = crate::cfg::Cfg::compute(f);
+        assert_eq!(cfg.preds(header).len(), 2, "entry edge + back edge");
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! SSA construction: φ placement on dominance frontiers and renaming.
 
+use biv_ir::cfg::Cfg;
 use biv_ir::dataflow::Liveness;
 use biv_ir::dom::DomTree;
 use biv_ir::loops::loop_simplify;
@@ -38,19 +39,23 @@ impl SsaFunction {
         SsaFunction::build_with(func, BuildConfig::default())
     }
 
-    /// Builds SSA form with explicit options.
+    /// Builds SSA form with explicit options. The input is cloned once
+    /// (the SSA function owns its simplified CFG); construction itself
+    /// borrows that clone.
     pub fn build_with(func: &Function, config: BuildConfig) -> SsaFunction {
-        let mut func = func.clone();
+        let mut owned = func.clone();
         if config.simplify_loops {
-            loop_simplify(&mut func);
+            loop_simplify(&mut owned);
         }
-        Builder::new(&func, config).run(func.clone())
+        let (values, blocks, live_ins) = Builder::new(&owned, config).run();
+        SsaFunction::from_parts(owned, values, blocks, live_ins)
     }
 }
 
 struct Builder<'f> {
     func: &'f Function,
     config: BuildConfig,
+    cfg: Cfg,
     dom: DomTree,
     values: Arena<Value, ValueData>,
     blocks: Vec<SsaBlock>,
@@ -68,11 +73,13 @@ struct Builder<'f> {
 
 impl<'f> Builder<'f> {
     fn new(func: &'f Function, config: BuildConfig) -> Builder<'f> {
-        let dom = DomTree::compute(func);
+        let cfg = Cfg::compute(func);
+        let dom = DomTree::compute_with(func, &cfg);
         let blocks = vec![SsaBlock::default(); func.blocks.len()];
         Builder {
             func,
             config,
+            cfg,
             dom,
             values: Arena::new(),
             blocks,
@@ -84,7 +91,13 @@ impl<'f> Builder<'f> {
         }
     }
 
-    fn run(mut self, owned_func: Function) -> SsaFunction {
+    fn run(
+        mut self,
+    ) -> (
+        Arena<Value, ValueData>,
+        Vec<SsaBlock>,
+        EntityMap<Var, Value>,
+    ) {
         self.place_phis();
         self.rename(self.func.entry());
         // Commit φ argument lists.
@@ -94,7 +107,7 @@ impl<'f> Builder<'f> {
                 *slot = std::mem::take(args);
             }
         }
-        SsaFunction::from_parts(owned_func, self.values, self.blocks, self.live_ins)
+        (self.values, self.blocks, self.live_ins)
     }
 
     fn next_version(&mut self, var: Var) -> u32 {
@@ -104,7 +117,7 @@ impl<'f> Builder<'f> {
     }
 
     fn place_phis(&mut self) {
-        let df = self.dom.dominance_frontiers(self.func);
+        let df = self.dom.dominance_frontiers_with(&self.cfg);
         let entry_live = Liveness::compute(self.func);
         let liveness = if self.config.pruned {
             Some(&entry_live)
@@ -143,7 +156,7 @@ impl<'f> Builder<'f> {
             let mut work: Vec<Block> = defs.clone();
             let mut in_work: EntitySet<Block> = work.iter().copied().collect();
             while let Some(x) = work.pop() {
-                for &y in df.get(&x).map(|v| v.as_slice()).unwrap_or(&[]) {
+                for &y in df.frontier(x) {
                     if has_phi.contains(y) {
                         continue;
                     }
@@ -202,10 +215,14 @@ impl<'f> Builder<'f> {
     }
 
     fn rename(&mut self, block: Block) {
+        // `func` outlives `self` borrows, so block bodies and φ lists are
+        // walked in place — no per-block cloning.
+        let func = self.func;
+        let block_idx = biv_ir::EntityId::index(block);
         let mut pushed: Vec<Var> = Vec::new();
         // φs define first.
-        let phis = self.blocks[biv_ir::EntityId::index(block)].phis.clone();
-        for phi in phis {
+        for i in 0..self.blocks[block_idx].phis.len() {
+            let phi = self.blocks[block_idx].phis[i];
             let var = self.phi_var[phi];
             let version = self.next_version(var);
             self.values[phi].version = version;
@@ -213,8 +230,7 @@ impl<'f> Builder<'f> {
             pushed.push(var);
         }
         // Body.
-        let insts = self.func.blocks[block].insts.clone();
-        for inst in &insts {
+        for inst in &func.blocks[block].insts {
             match inst {
                 Inst::Copy { dst, src } => {
                     let src = self.resolve(src);
@@ -264,7 +280,7 @@ impl<'f> Builder<'f> {
             }
         }
         // Terminator.
-        let term = match &self.func.blocks[block].term {
+        let term = match &func.blocks[block].term {
             Terminator::Jump(b) => SsaTerminator::Jump(*b),
             Terminator::Branch {
                 op,
@@ -285,11 +301,12 @@ impl<'f> Builder<'f> {
             }
             Terminator::Return => SsaTerminator::Return,
         };
-        self.blocks[biv_ir::EntityId::index(block)].term = Some(term);
+        self.blocks[block_idx].term = Some(term);
         // Fill φ arguments in successors.
-        for succ in self.func.successors(block) {
-            let phis = self.blocks[biv_ir::EntityId::index(succ)].phis.clone();
-            for phi in phis {
+        for succ in func.successors(block) {
+            let succ_idx = biv_ir::EntityId::index(succ);
+            for i in 0..self.blocks[succ_idx].phis.len() {
+                let phi = self.blocks[succ_idx].phis[i];
                 let var = self.phi_var[phi];
                 let arg = self.current_def(var);
                 self.phi_args
@@ -299,7 +316,8 @@ impl<'f> Builder<'f> {
             }
         }
         // Recurse into dominated blocks.
-        for child in self.dom.children(block) {
+        for i in 0..self.dom.children(block).len() {
+            let child = self.dom.children(block)[i];
             self.rename(child);
         }
         // Pop this block's definitions.

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use biv_ir::cfg::Cfg;
 use biv_ir::dom::DomTree;
 use biv_ir::{Block, EntityMap};
 
@@ -51,7 +52,7 @@ pub fn verify_ssa(ssa: &SsaFunction) -> Result<(), Vec<SsaVerifyError>> {
     }
     let func = ssa.func();
     let dom = DomTree::compute(func);
-    let preds = func.predecessors();
+    let cfg = Cfg::compute(func);
 
     // Index definition positions.
     let mut pos: EntityMap<Value, DefPos> = EntityMap::with_capacity(ssa.values.len());
@@ -142,7 +143,7 @@ pub fn verify_ssa(ssa: &SsaFunction) -> Result<(), Vec<SsaVerifyError>> {
             continue;
         };
         // φ argument checks.
-        let bpreds = preds.get(&block).cloned().unwrap_or_default();
+        let bpreds = cfg.preds(block);
         for &phi in &data.phis {
             let ValueDef::Phi { args } = ssa.def(phi) else {
                 continue;

@@ -1,0 +1,118 @@
+//! Property tests for incremental per-nest re-analysis.
+//!
+//! The contract under test: after any sequence of single-nest edits, a
+//! **warm** [`IncrementalState`] (carrying cached summaries from every
+//! earlier version of the function) renders byte-identically to a
+//! **cold** one analyzing the mutated function from scratch. Splicing a
+//! stale or mis-keyed summary would break the identity immediately, so
+//! this pins the region-hash granularity end to end.
+//!
+//! Mutations come from [`perturb_nest_constant`] driven by the in-tree
+//! [`SplitMix64`] generator — failures reproduce from the seed alone.
+
+use biv::core_analysis::{
+    analyze_incremental, perturb_nest_constant, AnalysisConfig, IncrementalState, RegionMap,
+};
+use biv::ir::Function;
+use biv::workload::rng::SplitMix64;
+use biv::workload::{generate, WorkloadSpec};
+
+/// Applies up to `edits` random single-nest constant edits to `func`,
+/// checking after each that the warm state renders byte-identically to
+/// a cold re-analysis. Returns how many edits actually applied.
+fn check_edit_sequence(func: &Function, edits: usize, rng: &mut SplitMix64, label: &str) -> usize {
+    let config = AnalysisConfig::default();
+    let mut warm = IncrementalState::new(config);
+    let initial = analyze_incremental(func, &mut warm);
+    // The very first run must also match a fresh state (trivially true,
+    // but it anchors the fallback path for non-sliceable functions too).
+    let mut cold0 = IncrementalState::new(config);
+    assert_eq!(
+        initial.render_nests(),
+        analyze_incremental(func, &mut cold0).render_nests(),
+        "{label}: initial run differs from fresh state"
+    );
+    if !initial.stats.sliceable {
+        return 0;
+    }
+    let mut current = func.clone();
+    let mut applied = 0;
+    for edit in 0..edits {
+        let regions = RegionMap::compute(&current);
+        if !regions.is_sliceable() {
+            break;
+        }
+        let k = rng.gen_range_usize(0..regions.nests.len());
+        let pick = rng.next_u64();
+        let Some(mutated) = perturb_nest_constant(&current, &regions, k, pick) else {
+            continue;
+        };
+        let warm_report = analyze_incremental(&mutated, &mut warm);
+        let mut cold = IncrementalState::new(config);
+        let cold_report = analyze_incremental(&mutated, &mut cold);
+        assert_eq!(
+            warm_report.render_nests(),
+            cold_report.render_nests(),
+            "{label}: edit {edit} (nest {k}): warm incremental diverged from cold"
+        );
+        // A single-nest edit must not re-analyze unrelated nests: at
+        // most the edited nest plus its dependents miss the cache.
+        assert!(
+            warm_report.stats.analyzed <= warm_report.stats.nests,
+            "{label}: edit {edit}: analyzed more regions than exist"
+        );
+        applied += 1;
+        current = mutated;
+    }
+    applied
+}
+
+#[test]
+fn warm_equals_cold_linear_workloads() {
+    for seed in 1..=3u64 {
+        let w = generate(&WorkloadSpec::sized_linear(600, seed));
+        let mut rng = SplitMix64::seed_from_u64(0xBEEF_0000 + seed);
+        let applied =
+            check_edit_sequence(&w.func, 4, &mut rng, &format!("sized_linear seed {seed}"));
+        assert!(applied > 0, "sized_linear seed {seed}: no edits applied");
+    }
+}
+
+#[test]
+fn warm_equals_cold_mixed_workloads() {
+    for seed in 1..=3u64 {
+        let w = generate(&WorkloadSpec::mixed(3, seed));
+        let mut rng = SplitMix64::seed_from_u64(0xCAFE_0000 + seed);
+        check_edit_sequence(&w.func, 4, &mut rng, &format!("mixed seed {seed}"));
+    }
+}
+
+#[test]
+fn warm_equals_cold_transform_workloads() {
+    for seed in 1..=3u64 {
+        let w = generate(&WorkloadSpec::transforms(2, seed));
+        let mut rng = SplitMix64::seed_from_u64(0xD00D_0000 + seed);
+        check_edit_sequence(&w.func, 4, &mut rng, &format!("transforms seed {seed}"));
+    }
+}
+
+#[test]
+fn single_edit_reuses_untouched_nests() {
+    // On a generated linear workload (independent nests by
+    // construction), one edit must reuse every other nest's summary.
+    let w = generate(&WorkloadSpec::sized_linear(600, 7));
+    let config = AnalysisConfig::default();
+    let mut state = IncrementalState::new(config);
+    let initial = analyze_incremental(&w.func, &mut state);
+    assert!(initial.stats.sliceable, "linear workload must be sliceable");
+    assert!(initial.stats.nests >= 2, "need several nests to test reuse");
+    let regions = RegionMap::compute(&w.func);
+    let mutated =
+        perturb_nest_constant(&w.func, &regions, 0, 42).expect("linear nests hold constants");
+    let report = analyze_incremental(&mutated, &mut state);
+    assert_eq!(
+        report.stats.analyzed, 1,
+        "exactly the edited nest re-analyzes"
+    );
+    assert_eq!(report.stats.reused, report.stats.nests - 1);
+}
