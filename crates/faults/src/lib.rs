@@ -30,6 +30,9 @@
 //! | `store.write.torn` | a store append writes only a prefix of the record and the store wedges — a simulated crash mid-commit |
 //! | `store.write.short` | a store append is split across two writes (exercises the write loop; no data loss) |
 //! | `store.record.corrupt` | one byte of a record is flipped after its checksum was computed — caught by CRC on reopen |
+//! | `fleet.shard.unreachable` | a router dial fails as if the shard were dead — exercises redirect-to-successor |
+//! | `epoll.wait.eintr` | the event loop's wait is interrupted early (spurious `EINTR`) |
+//! | `epoll.spurious.wake` | the event loop wakes with no completion pending — must be a no-op |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -59,6 +62,12 @@ pub enum Profile {
     /// on reopen. None of them changes a served response — persistence
     /// degrades, answers do not.
     Store,
+    /// Fleet routing faults only: a shard dial that fails as if the
+    /// shard were dead (`fleet.shard.unreachable`, exercising the
+    /// router's redirect path) and spurious event-loop wakeups
+    /// (`epoll.wait.eintr`, `epoll.spurious.wake` — both must be
+    /// invisible above the readiness layer).
+    Fleet,
     /// Everything *except* `analyze.panic`, at moderate rates. The
     /// excluded site changes rendered output (an error line replaces a
     /// function's summary), so the byte-identity chaos invariant holds
@@ -79,6 +88,7 @@ impl Profile {
             "cache" => Some(Profile::Cache),
             "analyze" => Some(Profile::Analyze),
             "store" => Some(Profile::Store),
+            "fleet" => Some(Profile::Fleet),
             "chaos" => Some(Profile::Chaos),
             _ => None,
         }
@@ -96,6 +106,8 @@ pub fn rate_per_1024(profile: Profile, site: &str) -> u32 {
     let torn = site == "store.write.torn";
     let short = site == "store.write.short";
     let corrupt = site == "store.record.corrupt";
+    let unreachable = site == "fleet.shard.unreachable";
+    let epoll = site.starts_with("epoll.");
     match profile {
         Profile::Io if net => 192,
         Profile::Worker if job_panic => 256,
@@ -106,7 +118,14 @@ pub fn rate_per_1024(profile: Profile, site: &str) -> u32 {
         Profile::Store if torn => 96,
         Profile::Store if short => 192,
         Profile::Store if corrupt => 96,
+        Profile::Fleet if unreachable => 96,
+        Profile::Fleet if epoll => 192,
         Profile::Chaos if net => 64,
+        // Spurious event-loop wakeups are byte-safe by construction, so
+        // chaos arms them too; `fleet.shard.unreachable` costs only a
+        // redirect and a re-dial, never bytes, so it rides along.
+        Profile::Chaos if epoll => 96,
+        Profile::Chaos if unreachable => 48,
         Profile::Chaos if job_panic => 128,
         Profile::Chaos if die => 48,
         Profile::Chaos if storm => 128,

@@ -1,0 +1,15 @@
+//! Compile-time shim over `biv-faults` so injection sites read the same
+//! with or without the `fault-injection` feature. Without it every hook
+//! is an inlined constant — the optimizer erases the site entirely, so
+//! release builds provably carry no injection behavior.
+
+#![allow(dead_code, missing_docs)]
+
+#[cfg(feature = "fault-injection")]
+pub(crate) use biv_faults::fire;
+
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub(crate) fn fire(_site: &str) -> bool {
+    false
+}

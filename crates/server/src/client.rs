@@ -14,21 +14,39 @@ use crate::proto::{AnalyzeFile, Request, Response};
 /// stretches individual sleeps but never adds attempts.
 const MAX_BUSY_RETRIES: u32 = 10;
 
-/// Sleep for a busy retry: the server's hint plus up to 50% random
-/// jitter, so a herd of clients rejected by the same queue-full burst
-/// doesn't re-arrive in lockstep and recreate the burst.
+/// How large the attempt-scaled backoff base may grow, so ten retries
+/// against a large hint never add up to minutes of sleeping.
+const MAX_BACKOFF_MS: u64 = 10_000;
+
+/// Sleep for a busy retry: the server's hint — floored at 1 ms and
+/// scaled by the attempt number — plus up to 50% random jitter, so a
+/// herd of clients rejected by the same queue-full burst doesn't
+/// re-arrive in lockstep and recreate the burst.
+///
+/// The floor matters: a server that has served nothing yet can hint
+/// `retry_after_ms: 0`, and without it every retry would sleep zero —
+/// MAX_BUSY_RETRIES spent hot-looping against a queue that needs time
+/// to drain. Growth with the attempt number makes persistent overload
+/// progressively cheaper for the server instead of a fixed-rate hammer.
 ///
 /// The jitter source is a tiny SplitMix64 step seeded from the process
 /// id and attempt number — decorrelated across clients, yet
 /// reproducible within one (no global RNG state, no new dependency).
-fn busy_backoff(hint_ms: u64, attempt: u32) -> Duration {
+///
+/// Public because the fleet router applies the same policy to its
+/// per-shard submissions.
+pub fn busy_backoff(hint_ms: u64, attempt: u32) -> Duration {
+    let base = hint_ms
+        .max(1)
+        .saturating_mul(u64::from(attempt.max(1)))
+        .min(MAX_BACKOFF_MS);
     let mut x = (u64::from(std::process::id()) << 32) ^ u64::from(attempt);
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     x ^= x >> 31;
-    let jitter = x % (hint_ms / 2 + 1);
-    Duration::from_millis(hint_ms + jitter)
+    let jitter = x % (base / 2 + 1);
+    Duration::from_millis(base + jitter)
 }
 
 /// A connected client.
@@ -86,13 +104,48 @@ mod tests {
     use super::*;
 
     #[test]
-    fn busy_backoff_stays_within_hint_plus_half() {
+    fn busy_backoff_stays_within_scaled_hint_plus_half() {
         for hint in [0u64, 1, 25, 1000] {
             for attempt in 1..=MAX_BUSY_RETRIES {
+                let base = hint
+                    .max(1)
+                    .saturating_mul(u64::from(attempt))
+                    .min(MAX_BACKOFF_MS);
                 let d = busy_backoff(hint, attempt);
-                assert!(d >= Duration::from_millis(hint));
-                assert!(d <= Duration::from_millis(hint + hint / 2));
+                assert!(
+                    d >= Duration::from_millis(base),
+                    "hint={hint} attempt={attempt}"
+                );
+                assert!(
+                    d <= Duration::from_millis(base + base / 2),
+                    "hint={hint} attempt={attempt} slept {d:?}"
+                );
             }
         }
+    }
+
+    #[test]
+    fn busy_backoff_hint_zero_never_hot_loops() {
+        // A zero hint used to yield `x % 1 == 0` jitter and a
+        // zero-length sleep — MAX_BUSY_RETRIES spent spinning. Pin the
+        // floor and the growth.
+        let mut prev = Duration::ZERO;
+        for attempt in 1..=MAX_BUSY_RETRIES {
+            let d = busy_backoff(0, attempt);
+            assert!(
+                d >= Duration::from_millis(1),
+                "attempt {attempt} slept {d:?}"
+            );
+            assert!(
+                d >= Duration::from_millis(u64::from(attempt)),
+                "base grows with the attempt number: attempt {attempt} slept {d:?}"
+            );
+            assert!(d >= prev.min(Duration::from_millis(u64::from(attempt))));
+            prev = d;
+        }
+        // The growth is capped: a huge hint late in the retry budget
+        // stays within MAX_BACKOFF_MS plus jitter.
+        let d = busy_backoff(5_000, MAX_BUSY_RETRIES);
+        assert!(d <= Duration::from_millis(MAX_BACKOFF_MS + MAX_BACKOFF_MS / 2));
     }
 }

@@ -18,8 +18,10 @@
 //!   backpressure signal;
 //! - [`metrics`] — lock-free counters plus per-phase latency windows;
 //! - [`signal`] — SIGINT/SIGTERM to a drain flag, no `libc` crate;
-//! - [`server`] — the accept loop, worker pool, timeouts, and graceful
-//!   drain;
+//! - [`server`] — job routing, the worker pool, timeouts, graceful
+//!   drain, and the threaded fallback front-end;
+//! - `event` (Linux) — the readiness-driven epoll front-end that owns
+//!   every connection's I/O on one thread;
 //! - [`client`] — the blocking client `bivc --remote` is built on.
 //!
 //! The contract that makes remote serving safe to adopt: an `analyze`
@@ -32,6 +34,8 @@
 #![warn(missing_docs)]
 
 pub mod client;
+#[cfg(target_os = "linux")]
+mod event;
 mod faults;
 pub mod frame;
 pub mod json;
@@ -45,5 +49,5 @@ pub mod signal;
 pub use client::Client;
 pub use json::Json;
 pub use net::{Conn, Endpoint, Listener};
-pub use proto::{AnalyzeFile, FileError, Request, Response};
-pub use server::{ServeSummary, Server, ServerConfig};
+pub use proto::{AnalyzeFile, FileError, FleetFile, Request, Response};
+pub use server::{NetMode, ServeSummary, Server, ServerConfig};

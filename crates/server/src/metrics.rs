@@ -139,6 +139,14 @@ impl Metrics {
     /// The `store` object appears only when the server fronts a durable
     /// store (`--cache-dir`); memory-only deployments omit the key
     /// entirely rather than reporting zeros that look like data.
+    ///
+    /// The shard fields are always present so fleet aggregation never
+    /// branches on their absence: a single-process deployment reports
+    /// `shard_id: 0, shard_count: 1`. `uptime_ms` is monotonic
+    /// (measured from an [`std::time::Instant`], not the wall clock),
+    /// so an aggregator polling the fleet can detect a restarted shard
+    /// as an uptime regression even when every counter happens to look
+    /// plausible.
     pub fn snapshot_json(
         &self,
         queue_depth: usize,
@@ -146,10 +154,17 @@ impl Metrics {
         cache: CacheGauges,
         store: Option<StoreGauges>,
         workers: usize,
+        shard: ShardInfo,
     ) -> Json {
         let phases = self.phases.lock().expect("metrics poisoned");
         let load = |c: &AtomicU64| Json::Int(c.load(Ordering::Relaxed) as i64);
         let mut fields = vec![
+            ("shard_id", Json::Int(i64::from(shard.shard_id))),
+            ("shard_count", Json::Int(i64::from(shard.shard_count))),
+            (
+                "uptime_ms",
+                Json::Int(shard.uptime.as_millis().min(i64::MAX as u128) as i64),
+            ),
             (
                 "requests",
                 Json::obj(vec![
@@ -196,9 +211,32 @@ impl Metrics {
             ),
         ];
         if let Some(s) = store {
-            fields.insert(3, ("store", store_json(&s)));
+            fields.insert(6, ("store", store_json(&s)));
         }
         Json::obj(fields)
+    }
+}
+
+/// A server's fleet identity and age, rendered into every stats
+/// snapshot. Single-process servers use [`ShardInfo::single`].
+#[derive(Debug, Clone, Copy)]
+pub struct ShardInfo {
+    /// This server's shard id, `0 ≤ shard_id < shard_count`.
+    pub shard_id: u32,
+    /// The fleet size this server was started for.
+    pub shard_count: u32,
+    /// Monotonic time since the server started serving.
+    pub uptime: Duration,
+}
+
+impl ShardInfo {
+    /// The identity of a server outside any fleet: shard 0 of 1.
+    pub fn single(uptime: Duration) -> ShardInfo {
+        ShardInfo {
+            shard_id: 0,
+            shard_count: 1,
+            uptime,
+        }
     }
 }
 
@@ -276,7 +314,13 @@ mod tests {
             },
             None,
             4,
+            ShardInfo::single(Duration::from_millis(1234)),
         );
+        // The fleet-identity fields are always present, defaulting to
+        // the single-process identity 0/1.
+        assert_eq!(json.get("shard_id").unwrap().as_i64(), Some(0));
+        assert_eq!(json.get("shard_count").unwrap().as_i64(), Some(1));
+        assert_eq!(json.get("uptime_ms").unwrap().as_i64(), Some(1234));
         let req = json.get("requests").unwrap();
         assert_eq!(req.get("total").unwrap().as_i64(), Some(3));
         assert_eq!(req.get("functions").unwrap().as_i64(), Some(12));
@@ -321,7 +365,15 @@ mod tests {
             },
             Some(gauges),
             2,
+            ShardInfo {
+                shard_id: 2,
+                shard_count: 3,
+                uptime: Duration::from_secs(7),
+            },
         );
+        assert_eq!(json.get("shard_id").unwrap().as_i64(), Some(2));
+        assert_eq!(json.get("shard_count").unwrap().as_i64(), Some(3));
+        assert_eq!(json.get("uptime_ms").unwrap().as_i64(), Some(7000));
         let store = json.get("store").expect("store object present");
         assert_eq!(store.get("disk_hits").unwrap().as_i64(), Some(11));
         assert_eq!(store.get("disk_misses").unwrap().as_i64(), Some(3));

@@ -7,6 +7,8 @@ use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 #[cfg(unix)]
+use std::os::fd::{AsRawFd, RawFd};
+#[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::time::Duration;
@@ -150,6 +152,26 @@ impl Listener {
     }
 }
 
+#[cfg(unix)]
+impl AsRawFd for Listener {
+    fn as_raw_fd(&self) -> RawFd {
+        match self {
+            Listener::Unix(l) => l.as_raw_fd(),
+            Listener::Tcp(l) => l.as_raw_fd(),
+        }
+    }
+}
+
+#[cfg(unix)]
+impl AsRawFd for Conn {
+    fn as_raw_fd(&self) -> RawFd {
+        match self {
+            Conn::Unix(s) => s.as_raw_fd(),
+            Conn::Tcp(s) => s.as_raw_fd(),
+        }
+    }
+}
+
 impl Conn {
     /// Dials the endpoint.
     pub fn connect(endpoint: &Endpoint) -> io::Result<Conn> {
@@ -171,6 +193,16 @@ impl Conn {
             #[cfg(unix)]
             Conn::Unix(s) => s.set_read_timeout(timeout),
             Conn::Tcp(s) => s.set_read_timeout(timeout),
+        }
+    }
+
+    /// Switches the stream between blocking and readiness-driven mode
+    /// (the event loop owns nonblocking connections).
+    pub fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Conn::Unix(s) => s.set_nonblocking(nonblocking),
+            Conn::Tcp(s) => s.set_nonblocking(nonblocking),
         }
     }
 }

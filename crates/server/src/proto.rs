@@ -10,12 +10,23 @@
 //! |---------|----------|
 //! | `{"op":"ping"}` | `{"ok":true,"op":"pong"}` |
 //! | `{"op":"analyze","files":[{"path","source"},…],"cache_cap"?}` | `{"ok":true,"op":"analyze","output",…,"errors":[…]}` |
+//! | `{"op":"analyze_fleet","files":[…],"shard_id","shard_count","cache_cap"?}` | `{"ok":true,"op":"analyze_fleet","files":[{"path","output","hashes",…}]}` |
+//! | `{"op":"preload","dir":PATH}` | `{"ok":true,"op":"preload","loaded":N}` |
 //! | `{"op":"stats"}` | `{"ok":true,"op":"stats","stats":{…}}` |
 //! | `{"op":"shutdown"}` | `{"ok":true,"op":"shutdown"}`, then drain |
 //!
 //! Failure responses are `{"ok":false,"error":KIND,…}`; the `busy`
 //! kind additionally carries `retry_after_ms` — the server's explicit
-//! backpressure signal.
+//! backpressure signal — and the `redirect` kind carries the answering
+//! shard's actual `shard_id`/`shard_count` so a fleet router can
+//! re-route a batch that reached the wrong shard.
+//!
+//! The fleet variant of analyze differs from the plain one in exactly
+//! one way: instead of a single rendered report ending in a stats line,
+//! it returns *per-file* blocks plus each file's structural hashes, so
+//! the router can reassemble responses from many shards in input order
+//! and replay the cold stats line over the whole batch itself —
+//! byte-identical to one local run, no matter how files were sharded.
 
 use crate::json::Json;
 
@@ -42,6 +53,27 @@ pub enum Request {
         /// cache is sized server-side). `None` means the default.
         cache_cap: Option<usize>,
     },
+    /// Analyze a batch on one fleet shard, returning per-file blocks
+    /// instead of a finished report (see the module docs).
+    AnalyzeFleet {
+        /// Files in output order.
+        files: Vec<AnalyzeFile>,
+        /// Cold-replay cache capacity, as for [`Request::Analyze`].
+        /// Carried so a shard answering a *whole* batch alone (fleet of
+        /// one) replays the same capacity the router would.
+        cache_cap: Option<usize>,
+        /// The shard identity the router believes it is addressing; a
+        /// mismatch answers [`Response::Redirect`] instead of serving.
+        shard_id: u32,
+        /// The fleet size the router routed against.
+        shard_count: u32,
+    },
+    /// Preload the server's cache from a drained shard's store
+    /// snapshot directory — the warm-handoff half of a fleet rebalance.
+    Preload {
+        /// Directory of the departing shard's flushed store.
+        dir: String,
+    },
     /// Fetch live server metrics.
     Stats,
     /// Begin graceful drain: finish accepted work, then exit.
@@ -55,6 +87,24 @@ pub struct FileError {
     pub path: String,
     /// What went wrong.
     pub message: String,
+}
+
+/// One file's result inside a fleet analyze response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetFile {
+    /// The file's display path, echoed back for reassembly sanity.
+    pub path: String,
+    /// The rendered per-file block: the `══ path ══` header plus this
+    /// file's function blocks, no stats line. Empty when `error` is
+    /// set.
+    pub output: String,
+    /// Structural hashes of the file's functions in render order
+    /// (hex-encoded on the wire — they do not fit a JSON `i64`). The
+    /// router concatenates these across shards in input order to replay
+    /// the whole batch's cold stats line.
+    pub hashes: Vec<u64>,
+    /// The parse failure, when the file contributed nothing.
+    pub error: Option<String>,
 }
 
 /// A response frame.
@@ -76,6 +126,23 @@ pub enum Response {
         /// Files that failed to parse; the rest were still analyzed.
         errors: Vec<FileError>,
     },
+    /// Reply to [`Request::AnalyzeFleet`]: per-file blocks in request
+    /// order.
+    AnalyzeFleet {
+        /// One entry per requested file, in request order.
+        files: Vec<FleetFile>,
+        /// Functions analyzed or served from cache in this batch.
+        functions: usize,
+        /// Distinct structures actually analyzed for this request.
+        analyzed: usize,
+        /// Functions served from the warm shared cache.
+        cached: usize,
+    },
+    /// Reply to [`Request::Preload`].
+    PreloadAck {
+        /// Summaries inserted into this server's cache tiers.
+        loaded: usize,
+    },
     /// Reply to [`Request::Stats`] — a self-describing metrics object.
     Stats(Json),
     /// Acknowledgement of [`Request::Shutdown`].
@@ -84,6 +151,16 @@ pub enum Response {
     Busy {
         /// Suggested client-side delay before retrying.
         retry_after_ms: u64,
+    },
+    /// A fleet request addressed the wrong shard: this server's actual
+    /// identity, so the router can repair its view and re-route.
+    Redirect {
+        /// The answering server's configured shard id.
+        shard_id: u32,
+        /// The answering server's configured fleet size.
+        shard_count: u32,
+        /// Human-readable detail.
+        message: String,
     },
     /// Any other failure.
     Error {
@@ -111,6 +188,60 @@ fn bad(message: impl Into<String>) -> ProtoError {
     ProtoError(message.into())
 }
 
+fn encode_files(files: &[AnalyzeFile]) -> Json {
+    Json::Arr(
+        files
+            .iter()
+            .map(|f| {
+                Json::obj(vec![
+                    ("path", Json::Str(f.path.clone())),
+                    ("source", Json::Str(f.source.clone())),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn decode_files(json: &Json, op: &str) -> Result<Vec<AnalyzeFile>, ProtoError> {
+    json.get("files")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad(format!("{op} needs a `files` array")))?
+        .iter()
+        .map(|f| {
+            let path = f
+                .get("path")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("file entry needs `path`"))?;
+            let source = f
+                .get("source")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad("file entry needs `source`"))?;
+            Ok(AnalyzeFile {
+                path: path.to_string(),
+                source: source.to_string(),
+            })
+        })
+        .collect()
+}
+
+fn decode_cache_cap(json: &Json) -> Result<Option<usize>, ProtoError> {
+    match json.get("cache_cap") {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => Ok(Some(
+            v.as_i64()
+                .and_then(|n| usize::try_from(n).ok())
+                .ok_or_else(|| bad("`cache_cap` must be a non-negative integer"))?,
+        )),
+    }
+}
+
+fn decode_u32(json: &Json, key: &str) -> Result<u32, ProtoError> {
+    json.get(key)
+        .and_then(Json::as_i64)
+        .and_then(|n| u32::try_from(n).ok())
+        .ok_or_else(|| bad(format!("`{key}` must be a u32")))
+}
+
 impl Request {
     /// Encodes to a JSON frame payload.
     pub fn encode(&self) -> Vec<u8> {
@@ -119,24 +250,36 @@ impl Request {
             Request::Stats => Json::obj(vec![("op", Json::Str("stats".into()))]),
             Request::Shutdown => Json::obj(vec![("op", Json::Str("shutdown".into()))]),
             Request::Analyze { files, cache_cap } => {
-                let files = files
-                    .iter()
-                    .map(|f| {
-                        Json::obj(vec![
-                            ("path", Json::Str(f.path.clone())),
-                            ("source", Json::Str(f.source.clone())),
-                        ])
-                    })
-                    .collect();
                 let mut pairs = vec![
                     ("op", Json::Str("analyze".into())),
-                    ("files", Json::Arr(files)),
+                    ("files", encode_files(files)),
                 ];
                 if let Some(cap) = cache_cap {
                     pairs.push(("cache_cap", Json::Int(*cap as i64)));
                 }
                 Json::obj(pairs)
             }
+            Request::AnalyzeFleet {
+                files,
+                cache_cap,
+                shard_id,
+                shard_count,
+            } => {
+                let mut pairs = vec![
+                    ("op", Json::Str("analyze_fleet".into())),
+                    ("files", encode_files(files)),
+                    ("shard_id", Json::Int(i64::from(*shard_id))),
+                    ("shard_count", Json::Int(i64::from(*shard_count))),
+                ];
+                if let Some(cap) = cache_cap {
+                    pairs.push(("cache_cap", Json::Int(*cap as i64)));
+                }
+                Json::obj(pairs)
+            }
+            Request::Preload { dir } => Json::obj(vec![
+                ("op", Json::Str("preload".into())),
+                ("dir", Json::Str(dir.clone())),
+            ]),
         };
         json.to_text().into_bytes()
     }
@@ -153,37 +296,23 @@ impl Request {
             "ping" => Ok(Request::Ping),
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
-            "analyze" => {
-                let files = json
-                    .get("files")
-                    .and_then(Json::as_arr)
-                    .ok_or_else(|| bad("analyze needs a `files` array"))?
-                    .iter()
-                    .map(|f| {
-                        let path = f
-                            .get("path")
-                            .and_then(Json::as_str)
-                            .ok_or_else(|| bad("file entry needs `path`"))?;
-                        let source = f
-                            .get("source")
-                            .and_then(Json::as_str)
-                            .ok_or_else(|| bad("file entry needs `source`"))?;
-                        Ok(AnalyzeFile {
-                            path: path.to_string(),
-                            source: source.to_string(),
-                        })
-                    })
-                    .collect::<Result<Vec<_>, ProtoError>>()?;
-                let cache_cap = match json.get("cache_cap") {
-                    None | Some(Json::Null) => None,
-                    Some(v) => Some(
-                        v.as_i64()
-                            .and_then(|n| usize::try_from(n).ok())
-                            .ok_or_else(|| bad("`cache_cap` must be a non-negative integer"))?,
-                    ),
-                };
-                Ok(Request::Analyze { files, cache_cap })
-            }
+            "analyze" => Ok(Request::Analyze {
+                files: decode_files(&json, "analyze")?,
+                cache_cap: decode_cache_cap(&json)?,
+            }),
+            "analyze_fleet" => Ok(Request::AnalyzeFleet {
+                files: decode_files(&json, "analyze_fleet")?,
+                cache_cap: decode_cache_cap(&json)?,
+                shard_id: decode_u32(&json, "shard_id")?,
+                shard_count: decode_u32(&json, "shard_count")?,
+            }),
+            "preload" => Ok(Request::Preload {
+                dir: json
+                    .get("dir")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| bad("preload needs `dir`"))?
+                    .to_string(),
+            }),
             other => Err(bad(format!("unknown op `{other}`"))),
         }
     }
@@ -234,10 +363,65 @@ impl Response {
                     ),
                 ),
             ]),
+            Response::AnalyzeFleet {
+                files,
+                functions,
+                analyzed,
+                cached,
+            } => Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("op", Json::Str("analyze_fleet".into())),
+                (
+                    "files",
+                    Json::Arr(
+                        files
+                            .iter()
+                            .map(|f| {
+                                let mut pairs = vec![
+                                    ("path", Json::Str(f.path.clone())),
+                                    ("output", Json::Str(f.output.clone())),
+                                    (
+                                        "hashes",
+                                        Json::Arr(
+                                            f.hashes
+                                                .iter()
+                                                .map(|h| Json::Str(format!("{h:016x}")))
+                                                .collect(),
+                                        ),
+                                    ),
+                                ];
+                                if let Some(e) = &f.error {
+                                    pairs.push(("error", Json::Str(e.clone())));
+                                }
+                                Json::obj(pairs)
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("functions", Json::Int(*functions as i64)),
+                ("analyzed", Json::Int(*analyzed as i64)),
+                ("cached", Json::Int(*cached as i64)),
+            ]),
+            Response::PreloadAck { loaded } => Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("op", Json::Str("preload".into())),
+                ("loaded", Json::Int(*loaded as i64)),
+            ]),
             Response::Busy { retry_after_ms } => Json::obj(vec![
                 ("ok", Json::Bool(false)),
                 ("error", Json::Str("busy".into())),
                 ("retry_after_ms", Json::Int(*retry_after_ms as i64)),
+            ]),
+            Response::Redirect {
+                shard_id,
+                shard_count,
+                message,
+            } => Json::obj(vec![
+                ("ok", Json::Bool(false)),
+                ("error", Json::Str("redirect".into())),
+                ("shard_id", Json::Int(i64::from(*shard_id))),
+                ("shard_count", Json::Int(i64::from(*shard_count))),
+                ("message", Json::Str(message.clone())),
             ]),
             Response::Error { kind, message } => Json::obj(vec![
                 ("ok", Json::Bool(false)),
@@ -268,6 +452,17 @@ impl Response {
                     .unwrap_or(50)
                     .max(0) as u64;
                 return Ok(Response::Busy { retry_after_ms });
+            }
+            if kind == "redirect" {
+                return Ok(Response::Redirect {
+                    shard_id: decode_u32(&json, "shard_id")?,
+                    shard_count: decode_u32(&json, "shard_count")?,
+                    message: json
+                        .get("message")
+                        .and_then(Json::as_str)
+                        .unwrap_or("")
+                        .to_string(),
+                });
             }
             let message = json
                 .get("message")
@@ -329,6 +524,70 @@ impl Response {
                     errors,
                 })
             }
+            "analyze_fleet" => {
+                let int = |key: &str| {
+                    json.get(key)
+                        .and_then(Json::as_i64)
+                        .and_then(|n| usize::try_from(n).ok())
+                        .ok_or_else(|| bad(format!("analyze_fleet response needs `{key}`")))
+                };
+                let files = json
+                    .get("files")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| bad("analyze_fleet response needs `files`"))?
+                    .iter()
+                    .map(|f| {
+                        let path = f
+                            .get("path")
+                            .and_then(Json::as_str)
+                            .ok_or_else(|| bad("fleet file entry needs `path`"))?
+                            .to_string();
+                        let output = f
+                            .get("output")
+                            .and_then(Json::as_str)
+                            .ok_or_else(|| bad("fleet file entry needs `output`"))?
+                            .to_string();
+                        let hashes = f
+                            .get("hashes")
+                            .and_then(Json::as_arr)
+                            .ok_or_else(|| bad("fleet file entry needs `hashes`"))?
+                            .iter()
+                            .map(|h| {
+                                h.as_str()
+                                    .and_then(|s| u64::from_str_radix(s, 16).ok())
+                                    .ok_or_else(|| bad("hash entries are 16-digit hex strings"))
+                            })
+                            .collect::<Result<Vec<u64>, ProtoError>>()?;
+                        let error = match f.get("error") {
+                            None | Some(Json::Null) => None,
+                            Some(v) => Some(
+                                v.as_str()
+                                    .ok_or_else(|| bad("fleet file `error` must be a string"))?
+                                    .to_string(),
+                            ),
+                        };
+                        Ok(FleetFile {
+                            path,
+                            output,
+                            hashes,
+                            error,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, ProtoError>>()?;
+                Ok(Response::AnalyzeFleet {
+                    files,
+                    functions: int("functions")?,
+                    analyzed: int("analyzed")?,
+                    cached: int("cached")?,
+                })
+            }
+            "preload" => Ok(Response::PreloadAck {
+                loaded: json
+                    .get("loaded")
+                    .and_then(Json::as_i64)
+                    .and_then(|n| usize::try_from(n).ok())
+                    .ok_or_else(|| bad("preload response needs `loaded`"))?,
+            }),
             other => Err(bad(format!("unknown response op `{other}`"))),
         }
     }
@@ -354,6 +613,18 @@ mod tests {
             Request::Analyze {
                 files: vec![],
                 cache_cap: None,
+            },
+            Request::AnalyzeFleet {
+                files: vec![AnalyzeFile {
+                    path: "dir/y.biv".into(),
+                    source: "func g(n) { L1: for i = 1 to n { A[i] = i } }\n".into(),
+                }],
+                cache_cap: None,
+                shard_id: 2,
+                shard_count: 3,
+            },
+            Request::Preload {
+                dir: "/var/lib/biv/shard-1".into(),
             },
         ];
         for r in reqs {
@@ -382,6 +653,31 @@ mod tests {
                     message: "bad.biv: parse error: …".into(),
                 }],
             },
+            Response::AnalyzeFleet {
+                files: vec![
+                    FleetFile {
+                        path: "x.biv".into(),
+                        output: "══ x.biv ══\nfunc f [00000000075bcd15]\n".into(),
+                        hashes: vec![123456789, u64::MAX],
+                        error: None,
+                    },
+                    FleetFile {
+                        path: "bad.biv".into(),
+                        output: String::new(),
+                        hashes: vec![],
+                        error: Some("bad.biv: parse error: …".into()),
+                    },
+                ],
+                functions: 2,
+                analyzed: 1,
+                cached: 1,
+            },
+            Response::PreloadAck { loaded: 42 },
+            Response::Redirect {
+                shard_id: 1,
+                shard_count: 3,
+                message: "this server is shard 1/3, not 0/3".into(),
+            },
         ];
         for r in resps {
             assert_eq!(Response::decode(&r.encode()).unwrap(), r);
@@ -396,5 +692,16 @@ mod tests {
         assert!(Request::decode(br#"{"op":"analyze"}"#).is_err());
         assert!(Response::decode(br#"{"op":"pong"}"#).is_err());
         assert!(Request::decode(&[0xff, 0xfe]).is_err());
+        // Fleet frames: missing identity, non-hex hashes, and a
+        // redirect without its shard fields all fail as protocol
+        // errors, never as panics or silent defaults.
+        assert!(Request::decode(br#"{"op":"analyze_fleet","files":[]}"#).is_err());
+        assert!(Request::decode(br#"{"op":"preload"}"#).is_err());
+        assert!(Response::decode(
+            br#"{"ok":true,"op":"analyze_fleet","files":[{"path":"x","output":"","hashes":["zz"]}],"functions":0,"analyzed":0,"cached":0}"#
+        )
+        .is_err());
+        assert!(Response::decode(br#"{"ok":false,"error":"redirect"}"#).is_err());
+        assert!(Response::decode(br#"{"ok":true,"op":"preload"}"#).is_err());
     }
 }

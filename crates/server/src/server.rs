@@ -1,12 +1,21 @@
 //! The resident analysis server.
 //!
+//! Two front-ends feed one worker pool:
+//!
 //! ```text
-//!  accept loop (polls, watches the drain flag)
-//!      └─ connection handler thread per client
-//!            ├─ ping / stats / shutdown: answered inline
-//!            └─ analyze: bounded queue ── worker pool ── shared
-//!               StructuralCache (warm across requests)
+//!  event loop (default on Linux: epoll owns every connection's I/O)
+//!      ├─ ping / stats / shutdown: answered inline from the loop
+//!      └─ analyze / preload: bounded queue ── worker pool ── shared
+//!         StructuralCache ── completion queue ── event loop writes
+//!
+//!  accept loop (--net-threaded, and non-Linux): thread per connection
+//!      ├─ ping / stats / shutdown: answered inline
+//!      └─ analyze: bounded queue ── worker pool ── mpsc reply
 //! ```
+//!
+//! The two modes answer byte-identical responses — the threaded mode
+//! exists for differential testing and as the portable fallback; see
+//! [`crate::event`] for the readiness-driven implementation.
 //!
 //! Design rules, in order:
 //!
@@ -27,9 +36,9 @@
 //!    arriving after drain began get an explicit `draining` error.
 
 use std::io::{self, Read};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use biv_core::{
@@ -38,13 +47,13 @@ use biv_core::{
 };
 use biv_ir::parser::parse_program;
 use biv_ir::Function;
-use biv_store::{StoreOptions, TieredCache};
+use biv_store::{Store, StoreOptions, TieredCache};
 
 use crate::frame::{write_frame, MAX_FRAME_BYTES};
-use crate::metrics::{CacheGauges, Metrics, PhaseSample};
+use crate::metrics::{CacheGauges, Metrics, PhaseSample, ShardInfo};
 use crate::net::{Conn, Endpoint, Listener};
 use crate::pool::{JobQueue, PushError};
-use crate::proto::{AnalyzeFile, FileError, Request, Response};
+use crate::proto::{AnalyzeFile, FileError, FleetFile, Request, Response};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -75,6 +84,35 @@ pub struct ServerConfig {
     /// (warm restart), writes summaries through to it, and flushes it —
     /// fsync plus atomic index snapshot — when the drain completes.
     pub cache_dir: Option<PathBuf>,
+    /// This server's shard id within a fleet (`--fleet shard=K/N`).
+    /// `0` with `shard_count == 1` is the single-process identity.
+    pub shard_id: u32,
+    /// The fleet size this server belongs to; `1` outside any fleet.
+    pub shard_count: u32,
+    /// Which network front-end owns connection I/O.
+    pub net_mode: NetMode,
+}
+
+/// The server's network front-end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetMode {
+    /// Readiness-driven epoll event loop (Linux). On other platforms
+    /// this silently falls back to [`NetMode::Threaded`].
+    Event,
+    /// Blocking accept loop with one handler thread per connection
+    /// (`--net-threaded`) — the portable fallback and the differential
+    /// baseline for the event loop.
+    Threaded,
+}
+
+impl Default for NetMode {
+    fn default() -> NetMode {
+        if cfg!(target_os = "linux") {
+            NetMode::Event
+        } else {
+            NetMode::Threaded
+        }
+    }
 }
 
 impl ServerConfig {
@@ -92,6 +130,9 @@ impl ServerConfig {
             drain_grace: Duration::from_secs(5),
             budget: Budget::UNLIMITED,
             cache_dir: None,
+            shard_id: 0,
+            shard_count: 1,
+            net_mode: NetMode::default(),
         }
     }
 }
@@ -121,22 +162,107 @@ impl std::fmt::Display for ServeSummary {
     }
 }
 
-/// One queued analyze request.
-struct Job {
-    files: Vec<AnalyzeFile>,
-    cache_cap: Option<usize>,
-    submitted: Instant,
-    reply: mpsc::Sender<Response>,
+/// Where a worker delivers a finished response. The threaded front-end
+/// blocks a handler thread on an mpsc receiver; the event loop hands
+/// workers a completion-queue sink instead (see [`crate::event`]).
+pub(crate) trait ReplySink: Send + Sync {
+    /// Delivers the response. `false` means the requester is already
+    /// gone (timed out, connection died) — the caller counts the result
+    /// as late.
+    fn send(&self, response: Response) -> bool;
 }
 
-/// State shared by the accept loop, handlers, and workers.
-struct Shared<'a> {
-    config: &'a ServerConfig,
-    workers: usize,
-    queue: JobQueue<Job>,
-    cache: Mutex<Box<dyn CacheBackend + Send>>,
-    metrics: Metrics,
-    shutdown: &'a AtomicBool,
+struct ChannelSink(mpsc::Sender<Response>);
+
+impl ReplySink for ChannelSink {
+    fn send(&self, response: Response) -> bool {
+        self.0.send(response).is_ok()
+    }
+}
+
+/// What a queued job does.
+pub(crate) enum JobKind {
+    /// A plain analyze: one rendered report ending in the stats line.
+    Analyze {
+        files: Vec<AnalyzeFile>,
+        cache_cap: Option<usize>,
+    },
+    /// A fleet analyze: per-file blocks plus hashes, no stats line.
+    AnalyzeFleet {
+        files: Vec<AnalyzeFile>,
+        cache_cap: Option<usize>,
+    },
+    /// Warm-handoff preload from a drained shard's store snapshot.
+    Preload { dir: String },
+}
+
+/// One queued request.
+pub(crate) struct Job {
+    pub(crate) kind: JobKind,
+    pub(crate) submitted: Instant,
+    pub(crate) reply: Arc<dyn ReplySink>,
+}
+
+/// State shared by the front-end (accept loop or event loop), handlers,
+/// and workers.
+pub(crate) struct Shared<'a> {
+    pub(crate) config: &'a ServerConfig,
+    pub(crate) workers: usize,
+    pub(crate) queue: JobQueue<Job>,
+    pub(crate) cache: Mutex<Box<dyn CacheBackend + Send>>,
+    pub(crate) metrics: Metrics,
+    pub(crate) started: Instant,
+    pub(crate) shutdown: &'a AtomicBool,
+}
+
+impl<'a> Shared<'a> {
+    /// Opens the cache backend and assembles the shared state both
+    /// front-ends serve from.
+    pub(crate) fn open(
+        config: &'a ServerConfig,
+        shutdown: &'a AtomicBool,
+    ) -> io::Result<Shared<'a>> {
+        // Opening the store *is* the preload: every surviving record is
+        // decoded into its index before the first request is accepted.
+        let backend: Box<dyn CacheBackend + Send> = match &config.cache_dir {
+            Some(dir) => Box::new(TieredCache::open(
+                dir,
+                config.cache_cap,
+                &StoreOptions::for_budget(&config.budget),
+            )?),
+            None => Box::new(StructuralCache::new(config.cache_cap)),
+        };
+        Ok(Shared {
+            config,
+            workers: resolve_jobs(config.workers),
+            queue: JobQueue::new(config.queue_cap),
+            cache: Mutex::new(backend),
+            metrics: Metrics::new(),
+            started: Instant::now(),
+            shutdown,
+        })
+    }
+
+    /// Flushes the durable tier at the end of drain. A flush failure
+    /// degrades persistence, not the drain.
+    pub(crate) fn flush_backend(&self) {
+        if let Ok(mut backend) = self.cache.lock() {
+            if let Err(e) = backend.flush() {
+                eprintln!("bivd: cache flush failed during drain: {e}");
+            }
+        }
+    }
+
+    /// The final counters [`Server::run`] reports after drain.
+    pub(crate) fn summary(&self) -> ServeSummary {
+        ServeSummary {
+            connections: self.metrics.connections.load(Ordering::Relaxed),
+            requests: self.metrics.requests.load(Ordering::Relaxed),
+            analyze_ok: self.metrics.analyze_ok.load(Ordering::Relaxed),
+            rejected_busy: self.metrics.rejected_busy.load(Ordering::Relaxed),
+            timeouts: self.metrics.timeouts.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// A bound, not-yet-serving server.
@@ -169,108 +295,94 @@ impl Server {
     /// answers it, and returns the final counters.
     pub fn run(self, shutdown: &AtomicBool) -> io::Result<ServeSummary> {
         let Server { listener, config } = self;
-        let workers = resolve_jobs(config.workers);
-        // Opening the store *is* the preload: every surviving record is
-        // decoded into its index before the first request is accepted.
-        let backend: Box<dyn CacheBackend + Send> = match &config.cache_dir {
-            Some(dir) => Box::new(TieredCache::open(
-                dir,
-                config.cache_cap,
-                &StoreOptions::for_budget(&config.budget),
-            )?),
-            None => Box::new(StructuralCache::new(config.cache_cap)),
-        };
-        let shared = Shared {
-            config: &config,
-            workers,
-            queue: JobQueue::new(config.queue_cap),
-            cache: Mutex::new(backend),
-            metrics: Metrics::new(),
-            shutdown,
-        };
-        listener.set_nonblocking(true)?;
-
-        std::thread::scope(|scope| {
-            let shared = &shared;
-            let mut worker_handles = Vec::with_capacity(workers);
-            for _ in 0..workers {
-                worker_handles.push(scope.spawn(move || worker_loop(shared)));
-            }
-
-            let mut handlers = Vec::new();
-            while !shutdown.load(Ordering::Relaxed) {
-                match listener.accept() {
-                    Ok(conn) => {
-                        shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
-                        handlers.push(scope.spawn(move || handle_conn(shared, conn)));
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(config.poll_interval);
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                    Err(e) => {
-                        // Transient accept failures (EMFILE under load)
-                        // must not kill the daemon; back off and retry.
-                        eprintln!("bivd: accept error: {e}");
-                        std::thread::sleep(config.poll_interval);
-                    }
-                }
-                // Finished handler threads are detached; the scope still
-                // guarantees they are joined before `run` returns.
-                if handlers.len() >= 64 {
-                    handlers.retain(|h| !h.is_finished());
-                }
-                // Replace any worker that died. While the server is
-                // accepting, the queue is open, so a finished worker
-                // thread can only mean a panic escaped the per-job
-                // catch (e.g. the injected `worker.die` fault). The
-                // stranded client was already answered by the worker's
-                // reply guard; here we restore pool capacity.
-                for slot in worker_handles.iter_mut() {
-                    if slot.is_finished() {
-                        let fresh = scope.spawn(move || worker_loop(shared));
-                        let dead = std::mem::replace(slot, fresh);
-                        let _ = dead.join(); // Err(payload) is expected here
-                        shared
-                            .metrics
-                            .workers_respawned
-                            .fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-            }
-
-            // Drain: stop accepting (close + unlink the endpoint so new
-            // connects fail fast), let every handler finish its in-flight
-            // request, then release the workers once the queue is empty.
-            drop(listener);
-            if let Endpoint::Unix(path) = &config.endpoint {
-                std::fs::remove_file(path).ok();
-            }
-            for handler in handlers {
-                let _ = handler.join();
-            }
-            shared.queue.close();
-            for worker in worker_handles {
-                let _ = worker.join();
-            }
-            // Every queued request is answered and the workers are
-            // gone: make the store durable before reporting the drain.
-            // A flush failure degrades persistence, not the drain.
-            if let Ok(mut backend) = shared.cache.lock() {
-                if let Err(e) = backend.flush() {
-                    eprintln!("bivd: cache flush failed during drain: {e}");
-                }
-            }
-
-            Ok(ServeSummary {
-                connections: shared.metrics.connections.load(Ordering::Relaxed),
-                requests: shared.metrics.requests.load(Ordering::Relaxed),
-                analyze_ok: shared.metrics.analyze_ok.load(Ordering::Relaxed),
-                rejected_busy: shared.metrics.rejected_busy.load(Ordering::Relaxed),
-                timeouts: shared.metrics.timeouts.load(Ordering::Relaxed),
-            })
-        })
+        #[cfg(target_os = "linux")]
+        if config.net_mode == NetMode::Event {
+            return crate::event::run_event(listener, config, shutdown);
+        }
+        run_threaded(listener, config, shutdown)
     }
+}
+
+/// The blocking front-end: a polling accept loop with one handler
+/// thread per connection.
+fn run_threaded(
+    listener: Listener,
+    config: ServerConfig,
+    shutdown: &AtomicBool,
+) -> io::Result<ServeSummary> {
+    let shared = Shared::open(&config, shutdown)?;
+    let workers = shared.workers;
+    listener.set_nonblocking(true)?;
+
+    std::thread::scope(|scope| {
+        let shared = &shared;
+        let mut worker_handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            worker_handles.push(scope.spawn(move || worker_loop(shared)));
+        }
+
+        let mut handlers = Vec::new();
+        while !shutdown.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok(conn) => {
+                    shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+                    handlers.push(scope.spawn(move || handle_conn(shared, conn)));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(config.poll_interval);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => {
+                    // Transient accept failures (EMFILE under load)
+                    // must not kill the daemon; back off and retry.
+                    eprintln!("bivd: accept error: {e}");
+                    std::thread::sleep(config.poll_interval);
+                }
+            }
+            // Finished handler threads are detached; the scope still
+            // guarantees they are joined before `run` returns.
+            if handlers.len() >= 64 {
+                handlers.retain(|h| !h.is_finished());
+            }
+            // Replace any worker that died. While the server is
+            // accepting, the queue is open, so a finished worker
+            // thread can only mean a panic escaped the per-job
+            // catch (e.g. the injected `worker.die` fault). The
+            // stranded client was already answered by the worker's
+            // reply guard; here we restore pool capacity.
+            for slot in worker_handles.iter_mut() {
+                if slot.is_finished() {
+                    let fresh = scope.spawn(move || worker_loop(shared));
+                    let dead = std::mem::replace(slot, fresh);
+                    let _ = dead.join(); // Err(payload) is expected here
+                    shared
+                        .metrics
+                        .workers_respawned
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+
+        // Drain: stop accepting (close + unlink the endpoint so new
+        // connects fail fast), let every handler finish its in-flight
+        // request, then release the workers once the queue is empty.
+        drop(listener);
+        if let Endpoint::Unix(path) = &config.endpoint {
+            std::fs::remove_file(path).ok();
+        }
+        for handler in handlers {
+            let _ = handler.join();
+        }
+        shared.queue.close();
+        for worker in worker_handles {
+            let _ = worker.join();
+        }
+        // Every queued request is answered and the workers are
+        // gone: make the store durable before reporting the drain.
+        shared.flush_backend();
+
+        Ok(shared.summary())
+    })
 }
 
 /// One worker: pop, parse, classify through the shared cache, render,
@@ -285,7 +397,7 @@ impl Server {
 /// site, or a bug in the dispatch code itself) kills the thread — the
 /// [`ReplyGuard`] still answers the client mid-unwind, and the accept
 /// loop respawns the worker.
-fn worker_loop(shared: &Shared<'_>) {
+pub(crate) fn worker_loop(shared: &Shared<'_>) {
     let opts = BatchOptions {
         jobs: 1, // request-level parallelism comes from the pool itself
         config: AnalysisConfig {
@@ -319,7 +431,7 @@ fn worker_loop(shared: &Shared<'_>) {
                 internal_error("analysis panicked while serving the request")
             }
         };
-        if job.reply.send(response).is_err() {
+        if !job.reply.send(response) {
             shared.metrics.late_results.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -330,7 +442,7 @@ fn worker_loop(shared: &Shared<'_>) {
 /// until its timeout. Dropped without a panic in flight, it does
 /// nothing.
 struct ReplyGuard<'m> {
-    reply: mpsc::Sender<Response>,
+    reply: Arc<dyn ReplySink>,
     metrics: &'m Metrics,
 }
 
@@ -352,25 +464,47 @@ fn internal_error(detail: &str) -> Response {
     }
 }
 
-/// The panic-isolated body of one analyze job: parse, classify through
-/// the shared cache, render, and record metrics.
+/// The panic-isolated body of one queued job.
 fn process_job(shared: &Shared<'_>, opts: &BatchOptions, job: &Job) -> Response {
-    let queue_wait = job.submitted.elapsed();
+    match &job.kind {
+        JobKind::Analyze { files, cache_cap } => {
+            process_analyze(shared, opts, job.submitted, files, *cache_cap, false)
+        }
+        JobKind::AnalyzeFleet { files, cache_cap } => {
+            process_analyze(shared, opts, job.submitted, files, *cache_cap, true)
+        }
+        JobKind::Preload { dir } => process_preload(shared, dir),
+    }
+}
+
+/// Parse, classify through the shared cache, render, record metrics.
+///
+/// In `fleet` shape the response carries one block per *file* (header +
+/// that file's function summaries) plus the file's structural hashes,
+/// and no stats line — the router owns the stats line, replayed cold
+/// over the whole batch after reassembly, which is what keeps a sharded
+/// run byte-identical to a local one.
+fn process_analyze(
+    shared: &Shared<'_>,
+    opts: &BatchOptions,
+    submitted: Instant,
+    files: &[AnalyzeFile],
+    cache_cap: Option<usize>,
+    fleet: bool,
+) -> Response {
+    let queue_wait = submitted.elapsed();
 
     let t = Instant::now();
     let mut funcs: Vec<Function> = Vec::new();
-    let mut ranges: Vec<(String, usize)> = Vec::new();
-    let mut errors: Vec<FileError> = Vec::new();
-    for file in &job.files {
+    // Per input file: its function count, or its parse error.
+    let mut parsed: Vec<Result<usize, String>> = Vec::with_capacity(files.len());
+    for file in files {
         match parse_program(&file.source) {
             Ok(program) => {
-                ranges.push((file.path.clone(), program.functions.len()));
+                parsed.push(Ok(program.functions.len()));
                 funcs.extend(program.functions);
             }
-            Err(e) => errors.push(FileError {
-                path: file.path.clone(),
-                message: format!("{}: parse error: {e}", file.path),
-            }),
+            Err(e) => parsed.push(Err(format!("{}: parse error: {e}", file.path))),
         }
     }
     let parse = t.elapsed();
@@ -380,16 +514,68 @@ fn process_job(shared: &Shared<'_>, opts: &BatchOptions, job: &Job) -> Response 
     let analyze = t.elapsed();
 
     let t = Instant::now();
-    // The rendered stats line replays a cold cache at the client's
-    // capacity, so the output never depends on what earlier requests
-    // warmed — see the module docs. Cumulative warm counters remain
-    // visible through `stats`.
-    let hashes: Vec<u64> = report.functions.iter().map(|f| f.hash).collect();
-    let replay_cap = job
-        .cache_cap
-        .unwrap_or_else(|| BatchOptions::default().cache_capacity);
-    let cold = cold_batch_stats(&hashes, replay_cap);
-    let output = render_grouped(&ranges, &report.functions, &cold);
+    let replay_cap = cache_cap.unwrap_or_else(|| BatchOptions::default().cache_capacity);
+    let response = if fleet {
+        let mut next = 0usize;
+        let mut out_files = Vec::with_capacity(files.len());
+        for (file, outcome) in files.iter().zip(&parsed) {
+            match outcome {
+                Ok(count) => {
+                    let mut output = format!("══ {} ══\n", file.path);
+                    let mut hashes = Vec::with_capacity(*count);
+                    for summary in &report.functions[next..next + count] {
+                        output.push_str(&summary.render());
+                        hashes.push(summary.hash);
+                    }
+                    next += count;
+                    out_files.push(FleetFile {
+                        path: file.path.clone(),
+                        output,
+                        hashes,
+                        error: None,
+                    });
+                }
+                Err(message) => out_files.push(FleetFile {
+                    path: file.path.clone(),
+                    output: String::new(),
+                    hashes: Vec::new(),
+                    error: Some(message.clone()),
+                }),
+            }
+        }
+        Response::AnalyzeFleet {
+            files: out_files,
+            functions: report.stats.functions,
+            analyzed: report.stats.misses,
+            cached: report.stats.hits,
+        }
+    } else {
+        // The rendered stats line replays a cold cache at the client's
+        // capacity, so the output never depends on what earlier
+        // requests warmed — see the module docs. Cumulative warm
+        // counters remain visible through `stats`.
+        let mut ranges: Vec<(String, usize)> = Vec::new();
+        let mut errors: Vec<FileError> = Vec::new();
+        for (file, outcome) in files.iter().zip(&parsed) {
+            match outcome {
+                Ok(count) => ranges.push((file.path.clone(), *count)),
+                Err(message) => errors.push(FileError {
+                    path: file.path.clone(),
+                    message: message.clone(),
+                }),
+            }
+        }
+        let hashes: Vec<u64> = report.functions.iter().map(|f| f.hash).collect();
+        let cold = cold_batch_stats(&hashes, replay_cap);
+        let output = render_grouped(&ranges, &report.functions, &cold);
+        Response::Analyze {
+            output,
+            functions: report.stats.functions,
+            analyzed: report.stats.misses,
+            cached: report.stats.hits,
+            errors,
+        }
+    };
     let render = t.elapsed();
 
     shared
@@ -402,15 +588,46 @@ fn process_job(shared: &Shared<'_>, opts: &BatchOptions, job: &Job) -> Response 
         parse,
         analyze,
         render,
-        total: job.submitted.elapsed(),
+        total: submitted.elapsed(),
     });
 
-    Response::Analyze {
-        output,
-        functions: report.stats.functions,
-        analyzed: report.stats.misses,
-        cached: report.stats.hits,
-        errors,
+    response
+}
+
+/// Warm handoff: open a drained shard's store snapshot and feed every
+/// surviving record into this server's cache tiers via `commit` — the
+/// same path analysis results take, so `cacheable()` filtering, memory
+/// bounds, and write-through to our own store all apply unchanged.
+///
+/// The snapshot is opened under *this* server's format/budget options:
+/// a snapshot written by an incompatible shard yields `loaded: 0`
+/// (wholesale invalidation on open) rather than summaries the successor
+/// could never have computed itself.
+fn process_preload(shared: &Shared<'_>, dir: &str) -> Response {
+    // `Store::open` creates missing directories (it serves fresh
+    // stores); a handoff source must already exist, or a typo'd path
+    // would silently ack an empty preload.
+    if !Path::new(dir).is_dir() {
+        return Response::Error {
+            kind: "preload".into(),
+            message: format!("preload from {dir} failed: no store directory there"),
+        };
+    }
+    let options = StoreOptions::for_budget(&shared.config.budget);
+    match Store::open(Path::new(dir), &options) {
+        Ok(store) => {
+            let mut backend = shared.cache.lock().expect("structural cache poisoned");
+            let mut loaded = 0usize;
+            for (hash, summary) in store.entries() {
+                backend.commit(hash, Arc::clone(summary));
+                loaded += 1;
+            }
+            Response::PreloadAck { loaded }
+        }
+        Err(e) => Response::Error {
+            kind: "preload".into(),
+            message: format!("preload from {dir} failed: {e}"),
+        },
     }
 }
 
@@ -433,13 +650,7 @@ fn handle_conn(shared: &Shared<'_>, mut conn: Conn) {
         // the client gets an explicit rejection instead of a hang or a
         // silent drop, and the connection closes.
         if draining {
-            let _ = respond(
-                &mut conn,
-                &Response::Error {
-                    kind: "draining".into(),
-                    message: "server is draining; retry against a fresh instance".into(),
-                },
-            );
+            let _ = respond(&mut conn, &draining_response());
             return;
         }
         let request = match Request::decode(&payload) {
@@ -462,18 +673,18 @@ fn handle_conn(shared: &Shared<'_>, mut conn: Conn) {
                 continue;
             }
         };
-        let sent = match request {
-            Request::Ping => respond(&mut conn, &Response::Pong),
-            Request::Stats => respond(&mut conn, &Response::Stats(stats_json(shared))),
-            Request::Shutdown => {
-                // Ack first so the requester sees the drain begin, then
-                // flip the flag the accept loop polls.
-                let sent = respond(&mut conn, &Response::ShutdownAck);
-                shared.shutdown.store(true, Ordering::Relaxed);
+        let sent = match route_request(shared, request) {
+            Routed::Inline { response, shutdown } => {
+                // For shutdown: ack first so the requester sees the
+                // drain begin, then flip the flag the front-end polls.
+                let sent = respond(&mut conn, &response);
+                if shutdown {
+                    shared.shutdown.store(true, Ordering::Relaxed);
+                }
                 sent
             }
-            Request::Analyze { files, cache_cap } => {
-                let response = serve_analyze(shared, files, cache_cap);
+            Routed::Queue(kind) => {
+                let response = serve_job(shared, kind);
                 respond(&mut conn, &response)
             }
         };
@@ -483,61 +694,139 @@ fn handle_conn(shared: &Shared<'_>, mut conn: Conn) {
     }
 }
 
-/// Submits an analyze request to the pool and waits, bounded by the
-/// request timeout.
-fn serve_analyze(
+/// How a decoded request is served.
+pub(crate) enum Routed {
+    /// Answered without touching the worker pool.
+    Inline {
+        /// What to send.
+        response: Response,
+        /// Flip the drain flag after sending (a `shutdown` request).
+        shutdown: bool,
+    },
+    /// Submitted to the bounded queue.
+    Queue(JobKind),
+}
+
+/// Classifies a request: inline (ping/stats/shutdown, and fleet
+/// requests that reached the wrong shard → redirect) or queued. Shared
+/// by both front-ends so they serve identical semantics.
+pub(crate) fn route_request(shared: &Shared<'_>, request: Request) -> Routed {
+    let inline = |response| Routed::Inline {
+        response,
+        shutdown: false,
+    };
+    match request {
+        Request::Ping => inline(Response::Pong),
+        Request::Stats => inline(Response::Stats(stats_json(shared))),
+        Request::Shutdown => Routed::Inline {
+            response: Response::ShutdownAck,
+            shutdown: true,
+        },
+        Request::Analyze { files, cache_cap } => {
+            Routed::Queue(JobKind::Analyze { files, cache_cap })
+        }
+        Request::AnalyzeFleet {
+            files,
+            cache_cap,
+            shard_id,
+            shard_count,
+        } => {
+            let config = shared.config;
+            if shard_id != config.shard_id || shard_count != config.shard_count {
+                // Don't serve a batch routed under the wrong fleet
+                // view: the router's cache locality (and its stats
+                // attribution) depend on its map being right. Answer
+                // with our real identity so it can repair and re-route.
+                inline(Response::Redirect {
+                    shard_id: config.shard_id,
+                    shard_count: config.shard_count,
+                    message: format!(
+                        "this server is shard {}/{}, not {shard_id}/{shard_count}",
+                        config.shard_id, config.shard_count
+                    ),
+                })
+            } else {
+                Routed::Queue(JobKind::AnalyzeFleet { files, cache_cap })
+            }
+        }
+        Request::Preload { dir } => Routed::Queue(JobKind::Preload { dir }),
+    }
+}
+
+/// Submits a job to the bounded queue without waiting for its result.
+/// `Err` carries the response to send instead (busy backpressure or the
+/// draining rejection).
+pub(crate) fn submit_job(
     shared: &Shared<'_>,
-    files: Vec<AnalyzeFile>,
-    cache_cap: Option<usize>,
-) -> Response {
+    kind: JobKind,
+    reply: Arc<dyn ReplySink>,
+) -> Result<(), Response> {
+    let analyze = !matches!(kind, JobKind::Preload { .. });
     // Injected queue-full storm: reject exactly as a real full queue
     // would, *before* the request counts as accepted, so the
     // no-dropped-accepted-work invariant is untouched.
     if crate::faults::fire("queue.storm") {
         shared.metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
-        return Response::Busy {
+        return Err(Response::Busy {
             retry_after_ms: retry_hint_ms(shared),
-        };
+        });
     }
-    let (reply, result) = mpsc::channel();
     let job = Job {
-        files,
-        cache_cap,
+        kind,
         submitted: Instant::now(),
         reply,
     };
     match shared.queue.try_push(job) {
         Ok(()) => {
-            shared
-                .metrics
-                .analyze_accepted
-                .fetch_add(1, Ordering::Relaxed);
+            if analyze {
+                shared
+                    .metrics
+                    .analyze_accepted
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(())
         }
         Err(PushError::Full(_)) => {
             shared.metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
-            return Response::Busy {
+            Err(Response::Busy {
                 retry_after_ms: retry_hint_ms(shared),
-            };
+            })
         }
-        Err(PushError::Closed(_)) => {
-            return Response::Error {
-                kind: "draining".into(),
-                message: "server is draining; retry against a fresh instance".into(),
-            };
-        }
+        Err(PushError::Closed(_)) => Err(draining_response()),
+    }
+}
+
+/// The rejection for a frame that arrived after drain began — identical
+/// from both front-ends.
+pub(crate) fn draining_response() -> Response {
+    Response::Error {
+        kind: "draining".into(),
+        message: "server is draining; retry against a fresh instance".into(),
+    }
+}
+
+/// The timeout response, shared by both front-ends so the bytes match.
+pub(crate) fn timeout_response(shared: &Shared<'_>) -> Response {
+    shared.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+    Response::Error {
+        kind: "timeout".into(),
+        message: format!(
+            "request exceeded {} ms (queue wait included); the result will be discarded",
+            shared.config.request_timeout.as_millis()
+        ),
+    }
+}
+
+/// Submits a job to the pool and waits, bounded by the request timeout
+/// (the threaded front-end's blocking path).
+fn serve_job(shared: &Shared<'_>, kind: JobKind) -> Response {
+    let (reply, result) = mpsc::channel();
+    if let Err(rejection) = submit_job(shared, kind, Arc::new(ChannelSink(reply))) {
+        return rejection;
     }
     match result.recv_timeout(shared.config.request_timeout) {
         Ok(response) => response,
-        Err(mpsc::RecvTimeoutError::Timeout) => {
-            shared.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
-            Response::Error {
-                kind: "timeout".into(),
-                message: format!(
-                    "request exceeded {} ms (queue wait included); the result will be discarded",
-                    shared.config.request_timeout.as_millis()
-                ),
-            }
-        }
+        Err(mpsc::RecvTimeoutError::Timeout) => timeout_response(shared),
         Err(mpsc::RecvTimeoutError::Disconnected) => Response::Error {
             kind: "internal".into(),
             message: "worker dropped the request".into(),
@@ -573,6 +862,11 @@ fn stats_json(shared: &Shared<'_>) -> crate::json::Json {
         gauges,
         store,
         shared.workers,
+        ShardInfo {
+            shard_id: shared.config.shard_id,
+            shard_count: shared.config.shard_count,
+            uptime: shared.started.elapsed(),
+        },
     )
 }
 
@@ -970,6 +1264,225 @@ mod tests {
         client.request(&Request::Shutdown).unwrap();
         handle.join().unwrap();
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fleet_analyze_returns_blocks_and_redirects_wrong_identity() {
+        let mut config = ServerConfig::new(Endpoint::Tcp(String::new()));
+        config.workers = 1;
+        config.shard_id = 1;
+        config.shard_count = 3;
+        let (endpoint, handle) = spawn_server(config);
+        let mut client = Client::connect(&Endpoint::parse(&endpoint)).unwrap();
+
+        // A batch routed under the wrong fleet view is redirected, not
+        // served.
+        let response = client
+            .request(&Request::AnalyzeFleet {
+                files: files(1),
+                cache_cap: None,
+                shard_id: 0,
+                shard_count: 3,
+            })
+            .unwrap();
+        let Response::Redirect {
+            shard_id,
+            shard_count,
+            ..
+        } = response
+        else {
+            panic!("expected redirect, got {response:?}");
+        };
+        assert_eq!((shard_id, shard_count), (1, 3));
+
+        // The right identity gets per-file blocks plus hashes and no
+        // stats line — the router renders that itself.
+        let response = client
+            .request(&Request::AnalyzeFleet {
+                files: files(2),
+                cache_cap: None,
+                shard_id: 1,
+                shard_count: 3,
+            })
+            .unwrap();
+        let Response::AnalyzeFleet {
+            files: blocks,
+            functions,
+            analyzed,
+            cached,
+        } = response
+        else {
+            panic!("expected fleet analyze, got {response:?}");
+        };
+        assert_eq!((functions, analyzed, cached), (2, 1, 1));
+        assert_eq!(blocks.len(), 2);
+        assert!(blocks[0].output.starts_with("══ mem/0.biv ══\n"));
+        assert!(blocks[1].output.starts_with("══ mem/1.biv ══\n"));
+        assert!(
+            !blocks[0].output.contains("batch:"),
+            "no stats line in shard output"
+        );
+        assert_eq!(blocks[0].hashes.len(), 1);
+        assert_eq!(blocks[0].hashes, blocks[1].hashes, "same structure");
+        assert!(blocks.iter().all(|b| b.error.is_none()));
+
+        // A fleet batch with a broken file fails that file, not the
+        // batch.
+        let response = client
+            .request(&Request::AnalyzeFleet {
+                files: vec![
+                    AnalyzeFile {
+                        path: "ok.biv".into(),
+                        source: SRC.into(),
+                    },
+                    AnalyzeFile {
+                        path: "bad.biv".into(),
+                        source: "func oops {".into(),
+                    },
+                ],
+                cache_cap: None,
+                shard_id: 1,
+                shard_count: 3,
+            })
+            .unwrap();
+        let Response::AnalyzeFleet { files: blocks, .. } = response else {
+            panic!("expected fleet analyze, got {response:?}");
+        };
+        assert_eq!(blocks.len(), 2);
+        assert!(blocks[0].error.is_none());
+        assert!(blocks[1].error.as_deref().unwrap().contains("parse error"));
+        assert!(blocks[1].output.is_empty());
+        assert!(blocks[1].hashes.is_empty());
+
+        client.request(&Request::Shutdown).unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn preload_warms_the_cache_from_a_store_snapshot() {
+        let base = std::env::temp_dir().join(format!("bivd-preload-{}", std::process::id()));
+        let donor_dir = base.join("donor");
+        let _ = std::fs::remove_dir_all(&base);
+
+        // Donor server: populate its store, drain (which flushes it).
+        let mut config = ServerConfig::new(Endpoint::Tcp(String::new()));
+        config.workers = 1;
+        config.cache_dir = Some(donor_dir.clone());
+        let (endpoint, handle) = spawn_server(config);
+        let mut client = Client::connect(&Endpoint::parse(&endpoint)).unwrap();
+        client
+            .request(&Request::Analyze {
+                files: files(2),
+                cache_cap: None,
+            })
+            .unwrap();
+        client.request(&Request::Shutdown).unwrap();
+        handle.join().unwrap();
+
+        // Successor server (memory-only): preload the donor's snapshot,
+        // then serve the same structure without re-analyzing.
+        let mut config = ServerConfig::new(Endpoint::Tcp(String::new()));
+        config.workers = 1;
+        let (endpoint, handle) = spawn_server(config);
+        let mut client = Client::connect(&Endpoint::parse(&endpoint)).unwrap();
+        let response = client
+            .request(&Request::Preload {
+                dir: donor_dir.display().to_string(),
+            })
+            .unwrap();
+        let Response::PreloadAck { loaded } = response else {
+            panic!("expected preload ack, got {response:?}");
+        };
+        assert_eq!(loaded, 1, "one distinct structure handed off");
+        let response = client
+            .request(&Request::Analyze {
+                files: files(2),
+                cache_cap: None,
+            })
+            .unwrap();
+        let Response::Analyze {
+            analyzed, cached, ..
+        } = response
+        else {
+            panic!("expected analyze response");
+        };
+        assert_eq!(analyzed, 0, "served entirely from the handoff");
+        assert_eq!(cached, 2);
+
+        // Preloading a directory that is not a store answers an error,
+        // not a crash.
+        let response = client
+            .request(&Request::Preload {
+                dir: base.join("missing").display().to_string(),
+            })
+            .unwrap();
+        let Response::Error { kind, .. } = response else {
+            panic!("expected preload error, got {response:?}");
+        };
+        assert_eq!(kind, "preload");
+
+        client.request(&Request::Shutdown).unwrap();
+        handle.join().unwrap();
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn threaded_and_event_front_ends_answer_identical_bytes() {
+        let run = |mode: NetMode| {
+            let mut config = ServerConfig::new(Endpoint::Tcp(String::new()));
+            config.workers = 2;
+            config.net_mode = mode;
+            let (endpoint, handle) = spawn_server(config);
+            let mut client = Client::connect(&Endpoint::parse(&endpoint)).unwrap();
+            let response = client
+                .request(&Request::Analyze {
+                    files: files(3),
+                    cache_cap: Some(2),
+                })
+                .unwrap();
+            client.request(&Request::Shutdown).unwrap();
+            handle.join().unwrap();
+            response
+        };
+        let threaded = run(NetMode::Threaded);
+        let event = run(NetMode::Event);
+        assert_eq!(threaded, event, "front-ends must answer the same bytes");
+    }
+
+    #[test]
+    fn pipelined_frames_are_answered_in_order() {
+        let mut config = ServerConfig::new(Endpoint::Tcp(String::new()));
+        config.workers = 1;
+        let (endpoint, handle) = spawn_server(config);
+        let endpoint = Endpoint::parse(&endpoint);
+        let mut conn = Conn::connect(&endpoint).unwrap();
+        // Write all three requests before reading anything: the event
+        // loop must defer decoding while a job is in flight and still
+        // answer strictly in request order.
+        write_frame(&mut conn, &Request::Ping.encode()).unwrap();
+        write_frame(
+            &mut conn,
+            &Request::Analyze {
+                files: files(1),
+                cache_cap: None,
+            }
+            .encode(),
+        )
+        .unwrap();
+        write_frame(&mut conn, &Request::Stats.encode()).unwrap();
+        let mut read = || {
+            let payload = crate::frame::read_frame(&mut conn, MAX_FRAME_BYTES)
+                .unwrap()
+                .unwrap();
+            Response::decode(&payload).unwrap()
+        };
+        assert_eq!(read(), Response::Pong);
+        assert!(matches!(read(), Response::Analyze { .. }));
+        assert!(matches!(read(), Response::Stats(_)));
+        drop(conn);
+        let mut client = Client::connect(&endpoint).unwrap();
+        client.request(&Request::Shutdown).unwrap();
+        handle.join().unwrap();
     }
 
     #[test]

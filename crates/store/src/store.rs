@@ -365,6 +365,17 @@ impl Store {
         Ok(())
     }
 
+    /// Iterates every live record as `(structural_hash, summary)`
+    /// pairs, in unspecified order, without touching the hit/miss
+    /// counters. This is the warm-handoff export: a fleet successor
+    /// opens a drained shard's snapshot and feeds these entries into
+    /// its own cache tiers. (Opening already applied the
+    /// version/fingerprint gate — a snapshot written under a different
+    /// analyzer or budget yields no entries rather than wrong ones.)
+    pub fn entries(&self) -> impl Iterator<Item = (u64, &Arc<StructuralSummary>)> {
+        self.index.iter().map(|(h, s)| (*h, s))
+    }
+
     /// Looks `hash` up, counting a disk hit or miss.
     pub fn get(&mut self, hash: u64) -> Option<Arc<StructuralSummary>> {
         let found = self.index.get(&hash).map(Arc::clone);

@@ -6,6 +6,7 @@
 //! bivc --cache-dir DIR FILE|DIR...        # batch with a durable analysis store
 //! bivc --stats-json PATH ...              # machine-readable batch/cache counters
 //! bivc --remote ENDPOINT FILE|DIR...      # submit the batch to a running bivd
+//! bivc --fleet EP1,EP2,... FILE|DIR...    # shard the batch across a bivd fleet
 //! bivc --optimize FILE|DIR...             # IV-driven transformations, validated
 //! bivc --watch-bench [--edits N] FILE...  # incremental re-analysis under edits
 //! bivc --demo                             # run the built-in Figure 1 demo
@@ -59,6 +60,13 @@
 //! the batch to a running `bivd` instead of analyzing in-process. The
 //! stdout bytes are identical to a local run over the same files — the
 //! daemon's warm cache changes latency, never output.
+//!
+//! `--fleet EP1,EP2,...` shards the batch across an N-shard `bivd`
+//! fleet (each started with `bivd --fleet shard=K/N`): files route by
+//! consistent hashing on content, shard failures re-route to ring
+//! successors, and the reassembled stdout is *still* byte-identical to
+//! a local run. A file no live shard can serve fails individually on
+//! stderr; the rest of the batch is unaffected.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -91,11 +99,12 @@ struct Options {
     cache_dir: Option<String>,
     stats_json: Option<String>,
     remote: Option<String>,
+    fleet: Option<String>,
     budget: Budget,
     paths: Vec<String>,
 }
 
-const USAGE: &str = "usage: bivc [--ssa] [--classes] [--deps] [--trip-counts] [--classic] [--dot] [--time] FILE\n       bivc [--jobs N] [--batch] [--cache-cap N] [--cache-dir DIR] [--stats-json PATH] [--time] FILE|DIR...\n       bivc --remote ENDPOINT [--cache-cap N] FILE|DIR...\n       bivc --optimize [--jobs N] [--stats-json PATH] FILE|DIR...\n       bivc --watch-bench [--edits N] FILE|DIR...\n       bivc --demo\n\nrobustness knobs (any mode):\n       --budget time=MS,nodes=N,scc=N,order=N   degrade to `unknown` past these caps\n       --faults seed=N,profile=NAME             deterministic fault injection\n                                                (needs a fault-injection build)";
+const USAGE: &str = "usage: bivc [--ssa] [--classes] [--deps] [--trip-counts] [--classic] [--dot] [--time] FILE\n       bivc [--jobs N] [--batch] [--cache-cap N] [--cache-dir DIR] [--stats-json PATH] [--time] FILE|DIR...\n       bivc --remote ENDPOINT [--cache-cap N] FILE|DIR...\n       bivc --fleet EP1,EP2,... [--cache-cap N] FILE|DIR...\n       bivc --optimize [--jobs N] [--stats-json PATH] FILE|DIR...\n       bivc --watch-bench [--edits N] FILE|DIR...\n       bivc --demo\n\nrobustness knobs (any mode):\n       --budget time=MS,nodes=N,scc=N,order=N   degrade to `unknown` past these caps\n       --faults seed=N,profile=NAME             deterministic fault injection\n                                                (needs a fault-injection build)";
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
@@ -115,6 +124,7 @@ fn parse_args() -> Result<Options, String> {
         cache_dir: None,
         stats_json: None,
         remote: None,
+        fleet: None,
         budget: Budget::UNLIMITED,
         paths: Vec::new(),
     };
@@ -195,6 +205,11 @@ fn parse_args() -> Result<Options, String> {
                 opts.remote = Some(value);
                 opts.batch = true;
             }
+            "--fleet" => {
+                let value = args.next().ok_or("--fleet needs a list of endpoints")?;
+                opts.fleet = Some(value);
+                opts.batch = true;
+            }
             "--budget" => {
                 let value = args.next().ok_or("--budget needs a value")?;
                 opts.budget = Budget::parse(&value)?;
@@ -228,6 +243,9 @@ fn parse_args() -> Result<Options, String> {
                 } else if let Some(value) = other.strip_prefix("--remote=") {
                     opts.remote = Some(value.to_string());
                     opts.batch = true;
+                } else if let Some(value) = other.strip_prefix("--fleet=") {
+                    opts.fleet = Some(value.to_string());
+                    opts.batch = true;
                 } else if let Some(value) = other.strip_prefix("--edits=") {
                     opts.edits = value
                         .parse()
@@ -251,7 +269,10 @@ fn parse_args() -> Result<Options, String> {
     if opts.paths.is_empty() && !demo {
         return Err("no input file (try --demo or --help)".into());
     }
-    if opts.remote.is_some() {
+    if opts.remote.is_some() && opts.fleet.is_some() {
+        return Err("--remote and --fleet are different submission modes; pick one".into());
+    }
+    if opts.remote.is_some() || opts.fleet.is_some() {
         if opts.cache_dir.is_some() {
             return Err(
                 "--cache-dir is local-only; the daemon owns its store (use `bivd --cache-dir`)"
@@ -366,9 +387,10 @@ fn run_batch(opts: &Options) -> Result<usize, String> {
     if files.is_empty() && errors.is_empty() {
         return Err("no input files found".into());
     }
-    let output = match &opts.remote {
-        Some(endpoint) => run_batch_remote(opts, endpoint, &files, &mut errors)?,
-        None => run_batch_local(opts, &files, &mut errors)?,
+    let output = match (&opts.remote, &opts.fleet) {
+        (Some(endpoint), _) => run_batch_remote(opts, endpoint, &files, &mut errors)?,
+        (None, Some(endpoints)) => run_batch_fleet(opts, endpoints, &files, &mut errors)?,
+        (None, None) => run_batch_local(opts, &files, &mut errors)?,
     };
     print!("{output}");
     for error in &errors {
@@ -792,6 +814,53 @@ fn run_batch_remote(
         }
         other => Err(format!("unexpected response from {endpoint}: {other:?}")),
     }
+}
+
+/// Shards the batch across a `bivd` fleet via the consistent-hash
+/// router. The stdout bytes match a local run exactly — files are
+/// reassembled in input order and the stats line is replayed cold over
+/// the whole batch — while shard deaths, redirects, and per-file
+/// failures surface on stderr.
+fn run_batch_fleet(
+    opts: &Options,
+    endpoints: &str,
+    files: &[String],
+    errors: &mut Vec<String>,
+) -> Result<String, String> {
+    use biv::fleet::{FleetConfig, Router};
+    let endpoints: Vec<String> = endpoints
+        .split(',')
+        .map(str::trim)
+        .filter(|e| !e.is_empty())
+        .map(str::to_string)
+        .collect();
+    if endpoints.is_empty() {
+        return Err("--fleet needs at least one endpoint".into());
+    }
+    let mut payload: Vec<AnalyzeFile> = Vec::new();
+    for path in files {
+        match std::fs::read_to_string(path) {
+            Ok(source) => payload.push(AnalyzeFile {
+                path: path.clone(),
+                source,
+            }),
+            Err(e) => errors.push(format!("cannot read `{path}`: {e}")),
+        }
+    }
+    let shard_count = endpoints.len();
+    let mut config = FleetConfig::new(endpoints);
+    config.cache_cap = opts.cache_cap;
+    let mut router = Router::new(config)?;
+    eprintln!(
+        "analyzing {} files across {shard_count} shards",
+        payload.len()
+    );
+    let report = router.analyze(payload)?;
+    for note in &report.notes {
+        eprintln!("bivc: fleet: {note}");
+    }
+    errors.extend(report.errors.into_iter().map(|e| e.message));
+    Ok(report.output)
 }
 
 fn main() -> ExitCode {

@@ -1,0 +1,112 @@
+//! `bivctl` — fleet control for `bivd` shards.
+//!
+//! ```text
+//! bivctl stats EP1,EP2,...                         # aggregated fleet stats (JSON)
+//! bivctl drain EP1,EP2,... --shard K --store DIR --successor J [--wait-ms N]
+//! ```
+//!
+//! `stats` polls every shard and prints one JSON object: summed counter
+//! sections, merged latency windows, and each shard's raw snapshot (see
+//! `biv::fleet::fleet_stats`). Unreachable shards are reported inside
+//! the object; only a fully unreachable fleet fails.
+//!
+//! `drain` retires one shard with a warm handoff: it sends the shard a
+//! graceful shutdown, waits for the endpoint to actually go away (which
+//! is when the departing daemon has flushed its store snapshot), then
+//! tells the successor to preload the snapshot directory — so every
+//! summary the departed shard had computed is served warm by its
+//! successor. The departing shard must have been running with
+//! `--cache-dir DIR`, and `DIR` must be readable by the successor.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use biv::fleet::{drain_shard, fleet_stats};
+
+const USAGE: &str = "usage: bivctl stats EP1,EP2,...\n       bivctl drain EP1,EP2,... --shard K --store DIR --successor J [--wait-ms N]";
+
+fn split_endpoints(spec: &str) -> Result<Vec<String>, String> {
+    let endpoints: Vec<String> = spec
+        .split(',')
+        .map(str::trim)
+        .filter(|e| !e.is_empty())
+        .map(str::to_string)
+        .collect();
+    if endpoints.is_empty() {
+        return Err("no endpoints given".into());
+    }
+    Ok(endpoints)
+}
+
+fn run_stats(args: &[String]) -> Result<(), String> {
+    let [spec] = args else {
+        return Err(USAGE.into());
+    };
+    let endpoints = split_endpoints(spec)?;
+    let stats = fleet_stats(&endpoints)?;
+    println!("{}", stats.to_text());
+    Ok(())
+}
+
+fn run_drain(args: &[String]) -> Result<(), String> {
+    let Some((spec, rest)) = args.split_first() else {
+        return Err(USAGE.into());
+    };
+    let endpoints = split_endpoints(spec)?;
+    let mut shard: Option<usize> = None;
+    let mut store: Option<String> = None;
+    let mut successor: Option<usize> = None;
+    let mut wait = Duration::from_secs(30);
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().cloned().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--shard" => {
+                shard = Some(parse_num(&value("--shard")?, "--shard")?);
+            }
+            "--store" => store = Some(value("--store")?),
+            "--successor" => {
+                successor = Some(parse_num(&value("--successor")?, "--successor")?);
+            }
+            "--wait-ms" => {
+                wait = Duration::from_millis(parse_num(&value("--wait-ms")?, "--wait-ms")?);
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    let shard = shard.ok_or("drain needs --shard K")?;
+    let store = store.ok_or("drain needs --store DIR (the departing shard's --cache-dir)")?;
+    let successor = successor.ok_or("drain needs --successor J")?;
+    let report = drain_shard(&endpoints, shard, &store, successor, wait)?;
+    eprintln!(
+        "bivctl: shard {shard} drained; successor {successor} preloaded {} summaries from {store}",
+        report.loaded
+    );
+    Ok(())
+}
+
+fn parse_num<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("invalid {flag} value `{value}`"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.split_first() {
+        Some((cmd, rest)) => match cmd.as_str() {
+            "stats" => run_stats(rest),
+            "drain" => run_drain(rest),
+            "--help" | "-h" => Err(USAGE.into()),
+            other => Err(format!("unknown command `{other}` (try --help)")),
+        },
+        None => Err(USAGE.into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -3,6 +3,7 @@
 //! ```text
 //! bivd [--socket PATH | --tcp ADDR] [--workers N] [--queue-cap N]
 //!      [--cache-cap N] [--cache-dir PATH] [--timeout-ms N]
+//!      [--fleet shard=K/N] [--net-threaded]
 //!      [--budget SPEC] [--faults SPEC]
 //! ```
 //!
@@ -23,13 +24,24 @@
 //! `shutdown` request: accepted work is finished and answered, new
 //! frames are refused with an explicit `draining` error, and the final
 //! counters are printed on exit.
+//!
+//! `--fleet shard=K/N` declares this daemon shard `K` of an `N`-shard
+//! fleet (see `biv-fleet`). The daemon itself behaves identically — one
+//! cache, one queue — but it answers `analyze_fleet` requests only when
+//! the router's believed identity matches, redirecting mismatches with
+//! its actual identity, and its `stats` response carries the shard
+//! coordinates so the fleet aggregator can label it.
+//!
+//! On Linux connection I/O runs on a readiness-driven epoll event loop;
+//! `--net-threaded` selects the portable thread-per-connection
+//! front-end instead. Both produce byte-identical responses.
 
 use std::process::ExitCode;
 
 use biv::server::signal;
-use biv::server::{Endpoint, Server, ServerConfig};
+use biv::server::{Endpoint, NetMode, Server, ServerConfig};
 
-const USAGE: &str = "usage: bivd [--socket PATH | --tcp ADDR] [--workers N] [--queue-cap N] [--cache-cap N] [--cache-dir PATH] [--timeout-ms N] [--budget time=MS,nodes=N,scc=N,order=N] [--faults seed=N,profile=NAME]";
+const USAGE: &str = "usage: bivd [--socket PATH | --tcp ADDR] [--workers N] [--queue-cap N] [--cache-cap N] [--cache-dir PATH] [--timeout-ms N] [--fleet shard=K/N] [--net-threaded] [--budget time=MS,nodes=N,scc=N,order=N] [--faults seed=N,profile=NAME]";
 
 fn default_socket() -> String {
     std::env::temp_dir()
@@ -68,6 +80,12 @@ fn parse_args() -> Result<ServerConfig, String> {
                 let ms: u64 = parse_num(&value("--timeout-ms")?, "--timeout-ms")?;
                 config.request_timeout = std::time::Duration::from_millis(ms);
             }
+            "--fleet" => {
+                let (shard_id, shard_count) = parse_fleet(&value("--fleet")?)?;
+                config.shard_id = shard_id;
+                config.shard_count = shard_count;
+            }
+            "--net-threaded" => config.net_mode = NetMode::Threaded,
             "--budget" => {
                 config.budget = biv::core_analysis::Budget::parse(&value("--budget")?)?;
             }
@@ -100,6 +118,19 @@ fn parse_num<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, String>
         .map_err(|_| format!("invalid {flag} value `{value}`"))
 }
 
+/// Parses `shard=K/N` into `(K, N)`, requiring `K < N` and `N > 0`.
+fn parse_fleet(spec: &str) -> Result<(u32, u32), String> {
+    let bad = || format!("invalid --fleet value `{spec}` (expected shard=K/N with K < N)");
+    let rest = spec.strip_prefix("shard=").ok_or_else(bad)?;
+    let (k, n) = rest.split_once('/').ok_or_else(bad)?;
+    let shard_id: u32 = k.parse().map_err(|_| bad())?;
+    let shard_count: u32 = n.parse().map_err(|_| bad())?;
+    if shard_count == 0 || shard_id >= shard_count {
+        return Err(bad());
+    }
+    Ok((shard_id, shard_count))
+}
+
 fn main() -> ExitCode {
     let config = match parse_args() {
         Ok(config) => config,
@@ -108,6 +139,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let (shard_id, shard_count) = (config.shard_id, config.shard_count);
     let server = match Server::bind(config) {
         Ok(server) => server,
         Err(e) => {
@@ -115,11 +147,19 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    eprintln!(
-        "bivd: listening on {} ({} workers)",
-        server.bound_endpoint(),
-        server.workers()
-    );
+    if shard_count > 1 {
+        eprintln!(
+            "bivd: listening on {} ({} workers, shard {shard_id}/{shard_count})",
+            server.bound_endpoint(),
+            server.workers()
+        );
+    } else {
+        eprintln!(
+            "bivd: listening on {} ({} workers)",
+            server.bound_endpoint(),
+            server.workers()
+        );
+    }
     let shutdown = signal::install();
     match server.run(shutdown) {
         Ok(summary) => {

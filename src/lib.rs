@@ -14,6 +14,7 @@
 //! | [`transform`] | `biv-transform` | strength reduction, loop peeling, canonical counters |
 //! | [`workload`] | `biv-workload` | synthetic program generation with ground truth |
 //! | [`server`] | `biv-server` | the `bivd` analysis daemon: framed JSON protocol, worker pool, shared warm cache |
+//! | [`fleet`] | `biv-fleet` | sharded `bivd` serving: consistent-hash routing, fan-out/reassembly, drain/rebalance |
 //! | [`store`] | `biv-store` | durable content-addressed analysis store: CRC-checked record log, atomic snapshots, warm restarts |
 //!
 //! # The 30-second tour
@@ -42,6 +43,7 @@ pub use biv_algebra as algebra;
 pub use biv_classic as classic;
 pub use biv_core as core_analysis;
 pub use biv_depend as depend;
+pub use biv_fleet as fleet;
 pub use biv_ir as ir;
 pub use biv_server as server;
 pub use biv_ssa as ssa;

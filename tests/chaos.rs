@@ -15,6 +15,7 @@
 
 #![cfg(feature = "fault-injection")]
 
+use std::io::BufRead;
 use std::sync::atomic::AtomicBool;
 use std::sync::Mutex;
 use std::time::Duration;
@@ -150,6 +151,148 @@ fn chaos_profile_upholds_the_serving_invariants() {
         Response::ShutdownAck
     );
     handle.join().expect("clean drain under chaos");
+}
+
+/// One real `bivd` process, a shard of a 3-shard fleet, armed with the
+/// `fleet` fault profile (epoll EINTR + spurious wakes on its event
+/// loop). Returns the child and its resolved endpoint.
+fn spawn_shard_process(shard: u32) -> (std::process::Child, String) {
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_bivd"))
+        .args([
+            "--tcp",
+            "127.0.0.1:0",
+            "--fleet",
+            &format!("shard={shard}/3"),
+            "--workers",
+            "1",
+            "--faults",
+            "seed=42,profile=fleet",
+        ])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn bivd");
+    let stderr = child.stderr.take().expect("piped stderr");
+    let mut lines = std::io::BufReader::new(stderr).lines();
+    let banner = lines
+        .next()
+        .expect("bivd prints a listening line")
+        .expect("readable stderr");
+    let endpoint = banner
+        .split("listening on ")
+        .nth(1)
+        .and_then(|rest| rest.split(' ').next())
+        .unwrap_or_else(|| panic!("unparsable bivd banner: {banner}"))
+        .to_string();
+    // Keep draining stderr so the child never blocks on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    (child, endpoint)
+}
+
+/// Distinct sources so the batch spreads across the whole ring.
+fn fleet_corpus(n: usize) -> Vec<biv::server::AnalyzeFile> {
+    (0..n)
+        .map(|i| biv::server::AnalyzeFile {
+            path: format!("mem/fleet{i}.biv"),
+            source: format!(
+                "func w{i}(n) {{ j = {i} L1: for i = 1 to n {{ j = j + i A[j] = i + {i} }} }}\n"
+            ),
+        })
+        .collect()
+}
+
+/// What a local `bivc` batch run prints for `files` — the bytes the
+/// fleet must reproduce regardless of faults and shard deaths.
+fn local_reference(files: &[biv::server::AnalyzeFile]) -> String {
+    use biv::core_analysis::{analyze_batch, cold_batch_stats, render_grouped, BatchOptions};
+    let mut funcs = Vec::new();
+    let mut ranges = Vec::new();
+    for f in files {
+        let program = biv::ir::parser::parse_program(&f.source).expect("corpus parses");
+        ranges.push((f.path.clone(), program.functions.len()));
+        funcs.extend(program.functions);
+    }
+    let opts = BatchOptions::default();
+    let report = analyze_batch(&funcs, &opts);
+    let hashes: Vec<u64> = report.functions.iter().map(|f| f.hash).collect();
+    let cold = cold_batch_stats(&hashes, opts.cache_capacity);
+    render_grouped(&ranges, &report.functions, &cold)
+}
+
+#[test]
+fn sigkilled_shard_mid_batch_reroutes_without_changing_bytes() {
+    let _gate = GATE.lock().unwrap();
+    biv_faults::uninstall();
+
+    let shards: Vec<(std::process::Child, String)> = (0..3).map(spawn_shard_process).collect();
+    let endpoints: Vec<String> = shards.iter().map(|(_, e)| e.clone()).collect();
+    let files = fleet_corpus(24);
+    let reference = local_reference(&files);
+
+    // The router side also runs under the fleet profile, so dials
+    // occasionally fail as if shards were dead — every such event must
+    // be absorbed by redirect-to-successor without touching the bytes.
+    biv_faults::install(42, biv_faults::Profile::Fleet);
+    let mut router =
+        biv::fleet::Router::new(biv::fleet::FleetConfig::new(endpoints.clone())).expect("router");
+
+    // Batch 1: whole fleet up (modulo injected dial failures).
+    let report = router.analyze(files.clone()).expect("fleet batch 1");
+    assert_eq!(report.output, reference, "fleet must match local bytes");
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+
+    // SIGKILL shard 1 while a larger batch is in flight: whichever
+    // round the death lands in, every file must still be answered —
+    // served by a successor after re-routing — and the reassembled
+    // bytes must not change.
+    let big = fleet_corpus(48);
+    let big_reference = local_reference(&big);
+    let victim = shards[1].0.id();
+    let killer = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(10));
+        // SAFETY-free process kill via the std API is unavailable for a
+        // pid we only have numerically on another thread, so shell out.
+        let _ = std::process::Command::new("kill")
+            .args(["-9", &victim.to_string()])
+            .status();
+    });
+    let report = router.analyze(big.clone()).expect("fleet batch 2");
+    killer.join().unwrap();
+    assert_eq!(
+        report.output, big_reference,
+        "mid-batch shard death must not change the reassembled bytes"
+    );
+    assert!(
+        report.errors.is_empty(),
+        "every file answered or re-routed, none failed: {:?}",
+        report.errors
+    );
+
+    // Batch 3: the kill has certainly landed by now; the router must
+    // observe the dead shard and still produce identical bytes.
+    let report = router.analyze(files.clone()).expect("fleet batch 3");
+    assert_eq!(report.output, reference);
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+    assert!(
+        report.dead_shards.contains(&1),
+        "the SIGKILLed shard must be observed dead, saw {:?}",
+        report.dead_shards
+    );
+    biv_faults::uninstall();
+
+    // Drain the survivors; reap the victim.
+    for (i, (mut child, endpoint)) in shards.into_iter().enumerate() {
+        if i == 1 {
+            let _ = child.wait();
+            continue;
+        }
+        let mut client = Client::connect(&Endpoint::parse(&endpoint)).expect("connect");
+        assert_eq!(
+            client.request(&Request::Shutdown).expect("shutdown"),
+            Response::ShutdownAck
+        );
+        let status = child.wait().expect("shard exits");
+        assert!(status.success(), "shard {i} drained cleanly");
+    }
 }
 
 #[test]

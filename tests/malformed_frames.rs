@@ -69,6 +69,256 @@ fn assert_alive(endpoint: &str) {
     );
 }
 
+/// A fake shard: accepts connections and answers every frame with
+/// `reply(frame_payload)` bytes written raw (so tests can send
+/// well-formed responses, wrong responses, or truncated garbage).
+/// Stops when the returned flag is set and the port is poked.
+fn spawn_fake_shard(
+    reply: fn(&[u8]) -> Vec<u8>,
+) -> (
+    String,
+    std::sync::Arc<AtomicBool>,
+    std::thread::JoinHandle<()>,
+) {
+    use std::sync::atomic::Ordering;
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind fake shard");
+    let endpoint = format!("tcp:{}", listener.local_addr().unwrap());
+    let stop = std::sync::Arc::new(AtomicBool::new(false));
+    let flag = stop.clone();
+    let handle = std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            if flag.load(Ordering::SeqCst) {
+                return;
+            }
+            let Ok(mut conn) = conn else { continue };
+            // One exchange per connection, then close: a truncated
+            // reply followed by a held-open socket would hang a client
+            // with no read timeout, and the router treats EOF as the
+            // shard's answer ending — which is exactly the failure
+            // these tests inject.
+            if let Ok(Some(payload)) = read_frame(&mut conn, MAX_FRAME_BYTES) {
+                let _ = conn.write_all(&reply(&payload));
+            }
+        }
+    });
+    (endpoint, stop, handle)
+}
+
+/// Frames `response` exactly as a well-behaved server would.
+fn framed(response: &Response) -> Vec<u8> {
+    let payload = response.encode();
+    let mut out = (payload.len() as u32).to_be_bytes().to_vec();
+    out.extend_from_slice(&payload);
+    out
+}
+
+fn stop_fake(endpoint: &str, stop: &AtomicBool, handle: std::thread::JoinHandle<()>) {
+    use std::sync::atomic::Ordering;
+    stop.store(true, Ordering::SeqCst);
+    // Poke the accept loop awake so it observes the flag.
+    let _ = TcpStream::connect(endpoint.strip_prefix("tcp:").unwrap());
+    handle.join().unwrap();
+}
+
+/// Fleet malformed frames, case 1 — truncated stats reply: the
+/// aggregator must mark that shard unreachable and still aggregate the
+/// healthy one, never hang or fail the whole poll.
+#[test]
+fn truncated_shard_stats_reply_fails_the_shard_not_the_aggregate() {
+    let (real_endpoint, real_handle) = spawn_server();
+    // Promise 64 payload bytes, deliver 5, close.
+    let (fake_endpoint, stop, fake_handle) = spawn_fake_shard(|_| {
+        let mut out = 64u32.to_be_bytes().to_vec();
+        out.extend_from_slice(b"trunc");
+        out
+    });
+
+    let stats = biv::fleet::fleet_stats(&[real_endpoint.clone(), fake_endpoint.clone()])
+        .expect("one healthy shard is enough to aggregate");
+    let fleet = stats.get("fleet").expect("fleet section");
+    assert_eq!(fleet.get("shards").unwrap().as_i64(), Some(2));
+    assert_eq!(fleet.get("reachable").unwrap().as_i64(), Some(1));
+    let unreachable = fleet.get("unreachable").unwrap();
+    assert_eq!(unreachable.as_arr().map(<[_]>::len), Some(1));
+
+    stop_fake(&fake_endpoint, &stop, fake_handle);
+    let mut client = Client::connect(&Endpoint::parse(&real_endpoint)).expect("connect");
+    client.request(&Request::Shutdown).expect("shutdown");
+    real_handle.join().expect("clean drain");
+}
+
+/// Fleet malformed frames, case 2 — a shard that answers every analyze
+/// with a redirect (so the router's identity repair never converges):
+/// files routed to it must fail individually with a give-up error while
+/// files on the healthy shard are served, and the batch as a whole
+/// completes.
+#[test]
+fn redirect_loop_fails_the_file_not_the_batch() {
+    let (real_endpoint, real_handle) = {
+        // A real shard 0 of a 2-shard fleet.
+        let mut config = ServerConfig::new(Endpoint::Tcp("127.0.0.1:0".into()));
+        config.workers = 1;
+        config.shard_count = 2;
+        let server = Server::bind(config).expect("bind");
+        let endpoint = server.bound_endpoint();
+        let flag: &'static AtomicBool = Box::leak(Box::new(AtomicBool::new(false)));
+        let handle = std::thread::spawn(move || {
+            server.run(flag).expect("server run");
+        });
+        (endpoint, handle)
+    };
+    // The fake claims to be shard 0 forever, whatever it is asked.
+    let (fake_endpoint, stop, fake_handle) = spawn_fake_shard(|_| {
+        framed(&Response::Redirect {
+            shard_id: 0,
+            shard_count: 2,
+            message: "I only ever claim to be shard 0".into(),
+        })
+    });
+
+    let files: Vec<biv::server::AnalyzeFile> = (0..12)
+        .map(|i| biv::server::AnalyzeFile {
+            path: format!("mem/{i}.biv"),
+            source: format!("func r{i}(n) {{ L1: for i = 1 to n {{ A[i] = {i} }} }}\n"),
+        })
+        .collect();
+    let mut router = biv::fleet::Router::new(biv::fleet::FleetConfig::new(vec![
+        real_endpoint.clone(),
+        fake_endpoint.clone(),
+    ]))
+    .expect("router");
+    let report = router.analyze(files.clone()).expect("batch completes");
+
+    assert!(
+        !report.errors.is_empty(),
+        "some files must have routed into the redirect loop"
+    );
+    assert!(
+        report.errors.len() < files.len(),
+        "the healthy shard must have served the rest"
+    );
+    for e in &report.errors {
+        assert!(
+            e.message.contains("gave up after"),
+            "expected a give-up error, got: {}",
+            e.message
+        );
+    }
+    assert!(report.redirects > 0);
+    // Served files render normally; the output ends with a stats line.
+    assert!(report.output.ends_with("evictions\n"));
+
+    stop_fake(&fake_endpoint, &stop, fake_handle);
+    let mut client = Client::connect(&Endpoint::parse(&real_endpoint)).expect("connect");
+    client.request(&Request::Shutdown).expect("shutdown");
+    real_handle.join().expect("clean drain");
+}
+
+/// Fleet malformed frames, case 3 — a redirect naming a shard id that
+/// does not exist in the fleet: a protocol error for the affected
+/// files, not a panic and not a batch failure.
+#[test]
+fn out_of_range_redirect_shard_id_fails_the_file_cleanly() {
+    let (real_endpoint, real_handle) = {
+        let mut config = ServerConfig::new(Endpoint::Tcp("127.0.0.1:0".into()));
+        config.workers = 1;
+        config.shard_count = 2;
+        let server = Server::bind(config).expect("bind");
+        let endpoint = server.bound_endpoint();
+        let flag: &'static AtomicBool = Box::leak(Box::new(AtomicBool::new(false)));
+        let handle = std::thread::spawn(move || {
+            server.run(flag).expect("server run");
+        });
+        (endpoint, handle)
+    };
+    let (fake_endpoint, stop, fake_handle) = spawn_fake_shard(|_| {
+        framed(&Response::Redirect {
+            shard_id: 9,
+            shard_count: 2,
+            message: "routing table from another universe".into(),
+        })
+    });
+
+    let files: Vec<biv::server::AnalyzeFile> = (0..12)
+        .map(|i| biv::server::AnalyzeFile {
+            path: format!("mem/{i}.biv"),
+            source: format!("func o{i}(n) {{ L1: for i = 1 to n {{ A[i] = {i} }} }}\n"),
+        })
+        .collect();
+    let mut router = biv::fleet::Router::new(biv::fleet::FleetConfig::new(vec![
+        real_endpoint.clone(),
+        fake_endpoint.clone(),
+    ]))
+    .expect("router");
+    let report = router.analyze(files.clone()).expect("batch completes");
+
+    assert!(!report.errors.is_empty(), "some files hit the bad shard");
+    assert!(report.errors.len() < files.len(), "the rest were served");
+    for e in &report.errors {
+        assert!(
+            e.message.contains("redirect to shard 9 of 2"),
+            "expected an out-of-range protocol error, got: {}",
+            e.message
+        );
+    }
+
+    stop_fake(&fake_endpoint, &stop, fake_handle);
+    let mut client = Client::connect(&Endpoint::parse(&real_endpoint)).expect("connect");
+    client.request(&Request::Shutdown).expect("shutdown");
+    real_handle.join().expect("clean drain");
+}
+
+/// Fleet malformed frames, case 4 — a shard whose analyze reply is a
+/// truncated frame: the router treats the broken exchange as a shard
+/// death and re-routes to the healthy shard, so every file is still
+/// served and the bytes stay correct.
+#[test]
+fn truncated_analyze_reply_reroutes_to_the_healthy_shard() {
+    let (real_endpoint, real_handle) = {
+        let mut config = ServerConfig::new(Endpoint::Tcp("127.0.0.1:0".into()));
+        config.workers = 1;
+        config.shard_count = 2;
+        let server = Server::bind(config).expect("bind");
+        let endpoint = server.bound_endpoint();
+        let flag: &'static AtomicBool = Box::leak(Box::new(AtomicBool::new(false)));
+        let handle = std::thread::spawn(move || {
+            server.run(flag).expect("server run");
+        });
+        (endpoint, handle)
+    };
+    let (fake_endpoint, stop, fake_handle) = spawn_fake_shard(|_| {
+        let mut out = 1000u32.to_be_bytes().to_vec();
+        out.extend_from_slice(b"{\"ok\":true,\"op\":\"analyze_fl");
+        out
+    });
+
+    let files: Vec<biv::server::AnalyzeFile> = (0..12)
+        .map(|i| biv::server::AnalyzeFile {
+            path: format!("mem/{i}.biv"),
+            source: format!("func t{i}(n) {{ L1: for i = 1 to n {{ A[i] = {i} }} }}\n"),
+        })
+        .collect();
+    let mut router = biv::fleet::Router::new(biv::fleet::FleetConfig::new(vec![
+        real_endpoint.clone(),
+        fake_endpoint.clone(),
+    ]))
+    .expect("router");
+    let report = router.analyze(files.clone()).expect("batch completes");
+
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+    assert_eq!(report.functions, files.len(), "every file served");
+    assert!(
+        report.dead_shards.contains(&1),
+        "the truncating shard must be marked dead, saw {:?}",
+        report.dead_shards
+    );
+
+    stop_fake(&fake_endpoint, &stop, fake_handle);
+    let mut client = Client::connect(&Endpoint::parse(&real_endpoint)).expect("connect");
+    client.request(&Request::Shutdown).expect("shutdown");
+    real_handle.join().expect("clean drain");
+}
+
 #[test]
 fn malformed_frame_corpus_never_kills_the_server() {
     let (endpoint, handle) = spawn_server();
