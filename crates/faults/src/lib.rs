@@ -31,6 +31,9 @@
 //! | `store.write.short` | a store append is split across two writes (exercises the write loop; no data loss) |
 //! | `store.record.corrupt` | one byte of a record is flipped after its checksum was computed — caught by CRC on reopen |
 //! | `fleet.shard.unreachable` | a router dial fails as if the shard were dead — exercises redirect-to-successor |
+//! | `fleet.heartbeat.lost` | one gossip send is skipped — exercises the suspect/refute ladder |
+//! | `fleet.partition` | one gossip send is dropped as if the pair were partitioned (same effect as a lost heartbeat, drawn independently so both can stack) |
+//! | `fleet.replica.lag` | a replication batch is delayed before sending — exercises the `replication_lag` gauge and warm-failover under lag |
 //! | `epoll.wait.eintr` | the event loop's wait is interrupted early (spurious `EINTR`) |
 //! | `epoll.spurious.wake` | the event loop wakes with no completion pending — must be a no-op |
 
@@ -62,9 +65,12 @@ pub enum Profile {
     /// on reopen. None of them changes a served response — persistence
     /// degrades, answers do not.
     Store,
-    /// Fleet routing faults only: a shard dial that fails as if the
-    /// shard were dead (`fleet.shard.unreachable`, exercising the
-    /// router's redirect path) and spurious event-loop wakeups
+    /// Fleet faults only: a shard dial that fails as if the shard were
+    /// dead (`fleet.shard.unreachable`, exercising the router's
+    /// redirect path), lost heartbeats and partitioned gossip pairs
+    /// (`fleet.heartbeat.lost`, `fleet.partition` — exercising the
+    /// suspect/refute ladder), lagging replication pushes
+    /// (`fleet.replica.lag`), and spurious event-loop wakeups
     /// (`epoll.wait.eintr`, `epoll.spurious.wake` — both must be
     /// invisible above the readiness layer).
     Fleet,
@@ -107,6 +113,9 @@ pub fn rate_per_1024(profile: Profile, site: &str) -> u32 {
     let short = site == "store.write.short";
     let corrupt = site == "store.record.corrupt";
     let unreachable = site == "fleet.shard.unreachable";
+    let heartbeat = site == "fleet.heartbeat.lost";
+    let partition = site == "fleet.partition";
+    let lag = site == "fleet.replica.lag";
     let epoll = site.starts_with("epoll.");
     match profile {
         Profile::Io if net => 192,
@@ -119,6 +128,12 @@ pub fn rate_per_1024(profile: Profile, site: &str) -> u32 {
         Profile::Store if short => 192,
         Profile::Store if corrupt => 96,
         Profile::Fleet if unreachable => 96,
+        // Membership must converge despite losses: rates are set so a
+        // suspect verdict needs several *consecutive* losses in both
+        // directions, which a heartbeat ladder of 4 beats absorbs.
+        Profile::Fleet if heartbeat => 96,
+        Profile::Fleet if partition => 64,
+        Profile::Fleet if lag => 128,
         Profile::Fleet if epoll => 192,
         Profile::Chaos if net => 64,
         // Spurious event-loop wakeups are byte-safe by construction, so
@@ -126,6 +141,9 @@ pub fn rate_per_1024(profile: Profile, site: &str) -> u32 {
         // redirect and a re-dial, never bytes, so it rides along.
         Profile::Chaos if epoll => 96,
         Profile::Chaos if unreachable => 48,
+        Profile::Chaos if heartbeat => 48,
+        Profile::Chaos if partition => 32,
+        Profile::Chaos if lag => 64,
         Profile::Chaos if job_panic => 128,
         Profile::Chaos if die => 48,
         Profile::Chaos if storm => 128,
@@ -356,6 +374,26 @@ mod tests {
             assert!(!fire("analyze.panic"), "chaos excludes analyze.panic");
             assert!(!fire("store.write.torn"), "chaos excludes torn appends");
         }
+        uninstall();
+    }
+
+    #[test]
+    fn fleet_profile_arms_membership_and_replication_sites() {
+        let _gate = exclusive();
+        install(17, Profile::Fleet);
+        for _ in 0..512 {
+            assert!(!fire("net.read.short"));
+            assert!(!fire("cache.commit"));
+        }
+        assert!((0..512).any(|_| fire("fleet.shard.unreachable")));
+        assert!((0..512).any(|_| fire("fleet.heartbeat.lost")));
+        assert!((0..512).any(|_| fire("fleet.partition")));
+        assert!((0..512).any(|_| fire("fleet.replica.lag")));
+        // The loss rates leave the timeout ladder standing: across any
+        // window of 4 consecutive draws, both loss sites firing every
+        // time is rare enough that convergence tests stay deterministic
+        // in practice (the chaos suite asserts invariants, not
+        // schedules).
         uninstall();
     }
 

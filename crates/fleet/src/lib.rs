@@ -12,9 +12,16 @@
 //! - [`ring`] — the consistent-hash ring that maps a file's content key
 //!   to its shard, with virtual nodes for balance and successor routing
 //!   for failover;
+//! - [`membership`] — gossip-maintained versioned views of the fleet
+//!   (who is alive, where, at which incarnation), with SWIM-style
+//!   refutation and timeout-driven failure detection; routers bootstrap
+//!   the ring from any one live seed endpoint;
+//! - [`replicate`] — asynchronous R-way write-through of committed
+//!   summaries to each key's ring successors, so a killed primary's
+//!   keys are served warm from a replica;
 //! - [`router`] — batch fan-out, per-shard busy/redirect/death
-//!   handling, and input-order reassembly (the byte-identity lives
-//!   here);
+//!   handling, replica failover, and input-order reassembly (the
+//!   byte-identity lives here);
 //! - [`stats`] — fleet-wide stats aggregation and the drain/rebalance
 //!   coordinator (a departing shard's store snapshot warm-starts its
 //!   successor).
@@ -35,10 +42,14 @@
 #![warn(missing_docs)]
 
 mod faults;
+pub mod membership;
+pub mod replicate;
 pub mod ring;
 pub mod router;
 pub mod stats;
 
+pub use membership::{AgentConfig, ClusterAgent, Member, MemberState, Membership, View};
+pub use replicate::Replicator;
 pub use ring::Ring;
 pub use router::{FleetConfig, FleetReport, Router};
-pub use stats::{drain_shard, fleet_stats, DrainReport};
+pub use stats::{drain_shard, fleet_stats, fleet_stats_with_timeout, DrainReport};

@@ -96,6 +96,60 @@ impl Ring {
         }
         None
     }
+
+    /// The key's replica set: the first `r` *distinct* shards clockwise
+    /// from `key`. The first element is always [`shard_of`](Ring::shard_of)
+    /// (the primary); the rest are the replicas that receive the
+    /// primary's write-through. `r` is clamped to the fleet size.
+    pub fn successors(&self, key: u64, r: u32) -> Vec<u32> {
+        let want = r.clamp(1, self.shard_count) as usize;
+        let start = self.points.partition_point(|&(point, _)| point < key);
+        let mut out: Vec<u32> = Vec::with_capacity(want);
+        for i in 0..self.points.len() {
+            let (_, shard) = self.points[(start + i) % self.points.len()];
+            if !out.contains(&shard) {
+                out.push(shard);
+                if out.len() == want {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// The first live member of `key`'s `r`-replica set, in ring order.
+    /// Unlike [`route`](Ring::route), failover is *scoped*: when every
+    /// replica of a key is dead the key is unroutable (`None`) even if
+    /// other shards are alive — those shards never saw its writes.
+    pub fn route_replica(&self, key: u64, alive: &[bool], r: u32) -> Option<u32> {
+        self.successors(key, r)
+            .into_iter()
+            .find(|&s| alive.get(s as usize).copied().unwrap_or(false))
+    }
+
+    /// The distinct shards that absorb `shard`'s keyspace when it
+    /// leaves: for each of its vnode arcs, the next distinct shard
+    /// clockwise. These are exactly the donors/recipients of a scoped
+    /// snapshot handoff when `shard` departs or (re)joins.
+    pub fn arc_successors(&self, shard: u32) -> Vec<u32> {
+        let mut out: Vec<u32> = Vec::new();
+        for (i, &(_, s)) in self.points.iter().enumerate() {
+            if s != shard {
+                continue;
+            }
+            for j in 1..self.points.len() {
+                let (_, next) = self.points[(i + j) % self.points.len()];
+                if next != shard {
+                    if !out.contains(&next) {
+                        out.push(next);
+                    }
+                    break;
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
 }
 
 #[cfg(test)]
@@ -154,6 +208,72 @@ mod tests {
     fn no_live_shard_routes_nothing() {
         let ring = Ring::new(2);
         assert_eq!(ring.route(42, &[false, false]), None);
+    }
+
+    #[test]
+    fn successors_are_distinct_and_primary_first() {
+        let ring = Ring::new(5);
+        for key in (0..2_000u64).map(mix) {
+            let reps = ring.successors(key, 3);
+            assert_eq!(reps.len(), 3);
+            assert_eq!(reps[0], ring.shard_of(key), "primary leads the set");
+            let mut uniq = reps.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            assert_eq!(uniq.len(), 3, "replicas are distinct: {reps:?}");
+        }
+    }
+
+    #[test]
+    fn successors_clamp_to_fleet_size() {
+        let ring = Ring::new(3);
+        let all = ring.successors(42, 99);
+        assert_eq!(all.len(), 3, "r clamps to shard_count");
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2], "covers every shard");
+        assert_eq!(
+            ring.successors(42, 0).len(),
+            1,
+            "r=0 still yields the primary"
+        );
+    }
+
+    #[test]
+    fn route_replica_scopes_failover_to_the_replica_set() {
+        let ring = Ring::new(4);
+        for key in (0..2_000u64).map(mix) {
+            let reps = ring.successors(key, 2);
+            // Primary alive: routes to primary.
+            let alive = vec![true; 4];
+            assert_eq!(ring.route_replica(key, &alive, 2), Some(reps[0]));
+            // Primary dead: routes to the replica.
+            let mut alive = vec![true; 4];
+            alive[reps[0] as usize] = false;
+            assert_eq!(ring.route_replica(key, &alive, 2), Some(reps[1]));
+            // Both replicas dead: unroutable even though others live.
+            let mut alive = vec![true; 4];
+            alive[reps[0] as usize] = false;
+            alive[reps[1] as usize] = false;
+            assert_eq!(ring.route_replica(key, &alive, 2), None);
+        }
+    }
+
+    #[test]
+    fn arc_successors_name_the_absorbing_shards() {
+        let ring = Ring::new(3);
+        let succ = ring.arc_successors(1);
+        assert!(!succ.contains(&1), "a shard never absorbs itself");
+        assert!(!succ.is_empty());
+        // Every key owned by shard 1 must fail over to one of its arc
+        // successors when it alone is dead.
+        let alive = [true, false, true];
+        for key in (0..5_000u64).map(mix) {
+            if ring.shard_of(key) == 1 {
+                let fallback = ring.route(key, &alive).unwrap();
+                assert!(succ.contains(&fallback), "{fallback} not in {succ:?}");
+            }
+        }
     }
 
     #[test]

@@ -19,34 +19,64 @@
 //! the next round:
 //!
 //! - an unreachable or mid-batch-killed shard is marked dead and its
-//!   group re-routes to each file's ring successor;
+//!   group re-routes;
 //! - a [`Response::Redirect`] teaches the router the endpoint's actual
 //!   shard identity (endpoints listed in the wrong order converge in
 //!   one extra round per misplaced pair) and the group re-sends;
 //! - a draining shard is treated as departing: dead, re-route.
 //!
+//! **Bootstrap.** [`Router::new`] first treats the configured endpoints
+//! as *seeds*: it asks each in turn for the fleet's membership view
+//! (`members` frame). The first view answer puts the router in
+//! *membership mode* — ring size, per-shard endpoints, initial
+//! liveness, and the replication factor R all come from the view, so
+//! one live seed suffices to discover the whole ring. A seed that
+//! answers `no-cluster` (a fleet run without membership agents) drops
+//! the router into the legacy *static mode*, where the endpoint list
+//! itself is the ring.
+//!
+//! **Failover scope.** Static mode re-routes a dead shard's files to
+//! any live ring successor — correct, but only warm by accident. In
+//! membership mode re-routing is scoped to each key's *replica set*
+//! (the R successors that replication actually writes to, see
+//! [`crate::replicate`]): a SIGKILLed primary's files are served warm
+//! by a replica, and a file whose **entire** replica set is dead fails
+//! as a file (`no live replica`) while the rest of the batch completes
+//! byte-identically.
+//!
 //! Every file carries an attempt budget (`shard_count` +
 //! [`FleetConfig::max_redirects`]); a file that exhausts it fails *as a
 //! file* — the batch always completes with every other file's bytes
 //! intact. Per-shard busy rejections are absorbed with the exact client
-//! backoff policy ([`biv_server::client::busy_backoff`]).
+//! backoff policy ([`biv_server::client::busy_backoff`]); a group that
+//! exhausts its backoff budget is counted in
+//! [`FleetReport::backoff_exhausted`] (and the process-wide ledger,
+//! [`biv_server::client::backoff_exhausted`]).
 
 use std::collections::BTreeMap;
+use std::time::Duration;
 
 use biv_core::cold_batch_stats;
-use biv_server::client::busy_backoff;
+use biv_server::client::{busy_backoff, note_backoff_exhausted};
 use biv_server::net::Endpoint;
 use biv_server::{AnalyzeFile, Client, FileError, FleetFile, Request, Response};
 
 use crate::faults;
+use crate::membership::{MemberState, View};
 use crate::ring::{content_key, Ring};
+
+/// How long one membership probe (connect + `members` exchange) may
+/// take before the router tries the next seed.
+const PROBE_TIMEOUT: Duration = Duration::from_secs(2);
 
 /// How the router talks to its fleet.
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
-    /// One endpoint per shard, `endpoints[k]` believed to be shard `k`
-    /// (`tcp:HOST:PORT` or a Unix socket path). A misordered list is
-    /// repaired at runtime from redirect responses.
+    /// Seed endpoints (`tcp:HOST:PORT` or a Unix socket path). With a
+    /// membership-running fleet, any one live entry bootstraps the full
+    /// ring; against an agent-less fleet this is the static shard list,
+    /// `endpoints[k]` believed to be shard `k` (a misordered list is
+    /// repaired at runtime from redirect responses).
     pub endpoints: Vec<String>,
     /// Cold-replay cache capacity for the stats line, exactly as
     /// `bivc --cache-cap` passes it. `None` means the default.
@@ -92,6 +122,8 @@ pub struct FleetReport {
     pub redirects: u64,
     /// Busy rejections absorbed by backoff across all shards.
     pub busy_retries: u64,
+    /// Group submissions that ran out of busy-backoff budget.
+    pub backoff_exhausted: u64,
     /// Shards found dead (unreachable or draining) during the batch.
     pub dead_shards: Vec<u32>,
     /// Human-readable routing events (shard deaths and why) for the
@@ -111,7 +143,7 @@ enum GroupOutcome {
     /// The endpoint answered with its actual identity; re-route.
     Redirected { shard_id: u32, shard_count: u32 },
     /// The endpoint is unreachable or died mid-exchange; its files
-    /// re-route to their ring successors.
+    /// re-route.
     Dead(String),
     /// The shard is draining; treated as departing (dead, re-route).
     Draining(String),
@@ -132,34 +164,102 @@ struct Pending {
     attempts: u32,
 }
 
+/// Where the router learned the ring, and how far failover may roam.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RouteScope {
+    /// Legacy static endpoint list: failover walks the whole ring.
+    Static,
+    /// Membership bootstrap: failover is scoped to each key's R-replica
+    /// set — only those shards received the key's summaries.
+    Replicas(u32),
+}
+
 /// A connected fleet router.
 #[derive(Debug)]
 pub struct Router {
     config: FleetConfig,
     ring: Ring,
-    /// `endpoint_of[k]` = index into `config.endpoints` currently
-    /// believed to host shard `k`. Starts as the identity permutation;
-    /// redirects repair it.
-    endpoint_of: Vec<usize>,
+    /// `endpoints_by_shard[k]` = the endpoint currently believed to
+    /// host shard `k` (`None` for a member the view has no endpoint
+    /// for). Redirect responses repair misassignments by swapping.
+    endpoints_by_shard: Vec<Option<String>>,
+    /// Liveness at bootstrap time; each batch starts from this and
+    /// marks further deaths as it finds them.
+    initial_alive: Vec<bool>,
+    scope: RouteScope,
 }
 
 impl Router {
-    /// Builds a router over `config.endpoints` (one per shard).
+    /// Builds a router over `config.endpoints`: membership mode if any
+    /// seed answers a `members` probe with a view, static mode
+    /// otherwise (see the module docs).
     ///
     /// # Errors
     /// With an empty endpoint list.
     pub fn new(config: FleetConfig) -> Result<Router, String> {
+        if config.endpoints.is_empty() {
+            return Err("a fleet needs at least one endpoint".into());
+        }
+        match probe_members(&config.endpoints) {
+            Some(view) => Router::from_members(config, &view),
+            None => Router::from_static(config),
+        }
+    }
+
+    /// Builds a static-mode router: the endpoint list is the ring.
+    ///
+    /// # Errors
+    /// With an empty endpoint list.
+    pub fn from_static(config: FleetConfig) -> Result<Router, String> {
         let n =
             u32::try_from(config.endpoints.len()).map_err(|_| "too many endpoints".to_string())?;
         if n == 0 {
             return Err("a fleet needs at least one endpoint".into());
         }
-        let ring = Ring::new(n);
-        let endpoint_of = (0..config.endpoints.len()).collect();
+        let endpoints_by_shard = config.endpoints.iter().cloned().map(Some).collect();
         Ok(Router {
             config,
-            ring,
-            endpoint_of,
+            ring: Ring::new(n),
+            endpoints_by_shard,
+            initial_alive: vec![true; n as usize],
+            scope: RouteScope::Static,
+        })
+    }
+
+    /// Builds a membership-mode router from a bootstrap view: ring
+    /// size, endpoints, liveness, and the replica scope all come from
+    /// the view. `config.endpoints` is kept only as the seed list.
+    ///
+    /// # Errors
+    /// When the view describes an empty or oversized ring.
+    pub fn from_members(config: FleetConfig, view: &View) -> Result<Router, String> {
+        let n = view.shard_count;
+        if n == 0 {
+            return Err("membership view describes an empty ring".into());
+        }
+        if n > 65_536 {
+            return Err(format!("membership view describes {n} shards; refusing"));
+        }
+        let mut endpoints_by_shard: Vec<Option<String>> = vec![None; n as usize];
+        let mut initial_alive = vec![false; n as usize];
+        for m in &view.members {
+            if m.shard_id >= n {
+                continue;
+            }
+            endpoints_by_shard[m.shard_id as usize] = Some(m.endpoint.clone());
+            // Anything short of Dead is still worth one dial: a
+            // Suspect may well be alive, and a Draining record can be
+            // a stale rumor about a shard that has already restarted.
+            // If the dial fails the first group finds out and
+            // re-routes; only a settled Dead verdict skips upfront.
+            initial_alive[m.shard_id as usize] = m.state != MemberState::Dead;
+        }
+        Ok(Router {
+            config,
+            ring: Ring::new(n),
+            endpoints_by_shard,
+            initial_alive,
+            scope: RouteScope::Replicas(view.replication.max(1)),
         })
     }
 
@@ -168,11 +268,20 @@ impl Router {
         self.ring.shard_count()
     }
 
+    /// The replica scope when bootstrapped from a membership view
+    /// (`None` in static mode).
+    pub fn replica_scope(&self) -> Option<u32> {
+        match self.scope {
+            RouteScope::Static => None,
+            RouteScope::Replicas(r) => Some(r),
+        }
+    }
+
     /// Analyzes `files` across the fleet. The returned
     /// [`FleetReport::output`] is byte-identical to a local `bivc`
     /// batch run over the same files; per-file failures (parse errors,
-    /// files no live shard could take) are reported in
-    /// [`FleetReport::errors`] without disturbing the rest.
+    /// files no live shard — or no live replica — could take) are
+    /// reported in [`FleetReport::errors`] without disturbing the rest.
     ///
     /// # Errors
     /// Only when *nothing* can be served because every shard is dead.
@@ -183,11 +292,11 @@ impl Router {
         // Input-order result slots: a served per-file result, or a
         // routing-level error message.
         let mut slots: Vec<Option<Result<FleetFile, String>>> = vec![None; files.len()];
-        let mut alive = vec![true; n as usize];
+        let mut alive = self.initial_alive.clone();
         let mut dead_shards: Vec<u32> = Vec::new();
         let mut notes: Vec<String> = Vec::new();
         let (mut functions, mut analyzed, mut cached) = (0usize, 0usize, 0usize);
-        let (mut redirects, mut busy_retries) = (0u64, 0u64);
+        let (mut redirects, mut busy_retries, mut backoff_exhausted) = (0u64, 0u64, 0u64);
 
         let mut pending: Vec<Pending> = files
             .iter()
@@ -213,7 +322,7 @@ impl Router {
             // keeps the fan-out order deterministic.
             let mut routed: Vec<Pending> = Vec::with_capacity(pending.len());
             let mut groups: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
-            for p in pending.drain(..) {
+            for p in std::mem::take(&mut pending) {
                 if p.attempts >= max_attempts {
                     slots[p.index] = Some(Err(format!(
                         "gave up after {} attempts (redirect loop or unstable fleet)",
@@ -221,44 +330,80 @@ impl Router {
                     )));
                     continue;
                 }
-                // A live shard exists (checked above), so route() hits.
-                let shard = self.ring.route(p.key, &alive).expect("a shard is alive");
+                let shard = match self.scope {
+                    // A live shard exists (checked above), so static
+                    // routing always hits.
+                    RouteScope::Static => self.ring.route(p.key, &alive),
+                    // Replica-scoped: only the R shards that hold this
+                    // key's summaries are candidates.
+                    RouteScope::Replicas(r) => self.ring.route_replica(p.key, &alive, r),
+                };
+                let Some(shard) = shard else {
+                    slots[p.index] = Some(Err(
+                        "no live replica: this file's primary and every replica are dead".into(),
+                    ));
+                    continue;
+                };
+                if self.endpoints_by_shard[shard as usize].is_none() {
+                    // Membership never met this shard; treat as dead and
+                    // retry the file against the rest of its set.
+                    if alive[shard as usize] {
+                        alive[shard as usize] = false;
+                        dead_shards.push(shard);
+                        notes.push(format!("shard {shard} has no known endpoint, skipping"));
+                    }
+                    pending.push(Pending {
+                        attempts: p.attempts + 1,
+                        ..p
+                    });
+                    continue;
+                }
                 groups.entry(shard).or_default().push(routed.len());
                 routed.push(p);
             }
+            if routed.is_empty() {
+                continue;
+            }
 
             // Fan the groups out, one connection per shard group.
-            let round: Vec<(u32, Vec<usize>, GroupOutcome, u64)> = std::thread::scope(|scope| {
-                let handles: Vec<_> = groups
-                    .into_iter()
-                    .map(|(shard, members)| {
-                        let endpoint =
-                            self.config.endpoints[self.endpoint_of[shard as usize]].clone();
-                        let payload: Vec<AnalyzeFile> = members
-                            .iter()
-                            .map(|&m| files[routed[m].index].clone())
-                            .collect();
-                        let cache_cap = self.config.cache_cap;
-                        let max_busy = self.config.max_busy_retries;
-                        let handle = scope.spawn(move || {
-                            submit_group(&endpoint, shard, n, payload, cache_cap, max_busy)
-                        });
-                        (shard, members, handle)
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|(shard, members, handle)| {
-                        let (outcome, busy) = handle.join().unwrap_or_else(|_| {
-                            (GroupOutcome::Refused("router worker panicked".into()), 0)
-                        });
-                        (shard, members, outcome, busy)
-                    })
-                    .collect()
-            });
+            let round: Vec<(u32, Vec<usize>, GroupOutcome, u64, bool)> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = groups
+                        .into_iter()
+                        .map(|(shard, members)| {
+                            let endpoint = self.endpoints_by_shard[shard as usize]
+                                .clone()
+                                .expect("groups only form over known endpoints");
+                            let payload: Vec<AnalyzeFile> = members
+                                .iter()
+                                .map(|&m| files[routed[m].index].clone())
+                                .collect();
+                            let cache_cap = self.config.cache_cap;
+                            let max_busy = self.config.max_busy_retries;
+                            let handle = scope.spawn(move || {
+                                submit_group(&endpoint, shard, n, payload, cache_cap, max_busy)
+                            });
+                            (shard, members, handle)
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|(shard, members, handle)| {
+                            let (outcome, busy, exhausted) = handle.join().unwrap_or_else(|_| {
+                                (
+                                    GroupOutcome::Refused("router worker panicked".into()),
+                                    0,
+                                    false,
+                                )
+                            });
+                            (shard, members, outcome, busy, exhausted)
+                        })
+                        .collect()
+                });
 
-            for (shard, members, outcome, busy) in round {
+            for (shard, members, outcome, busy, exhausted) in round {
                 busy_retries += busy;
+                backoff_exhausted += u64::from(exhausted);
                 match outcome {
                     GroupOutcome::Served {
                         files: results,
@@ -310,7 +455,8 @@ impl Router {
                         // `shard_id`. Swap the two beliefs: a merely
                         // permuted list fixes at least one pair per
                         // round and converges.
-                        self.endpoint_of.swap(shard as usize, shard_id as usize);
+                        self.endpoints_by_shard
+                            .swap(shard as usize, shard_id as usize);
                         for &m in &members {
                             pending.push(Pending {
                                 attempts: routed[m].attempts + 1,
@@ -398,16 +544,40 @@ impl Router {
             errors,
             redirects,
             busy_retries,
+            backoff_exhausted,
             dead_shards,
             notes,
         })
     }
 }
 
+/// Probes the seed endpoints in order for a membership view. The first
+/// view answer wins; a `no-cluster` answer proves this fleet runs no
+/// agents, so probing stops and static mode takes over immediately.
+fn probe_members(seeds: &[String]) -> Option<View> {
+    for seed in seeds {
+        let Ok(mut client) = Client::connect_timeout(&Endpoint::parse(seed), PROBE_TIMEOUT) else {
+            continue;
+        };
+        match client.request(&Request::Members) {
+            Ok(Response::Members { view } | Response::Gossip { view }) => {
+                if let Ok(view) = View::from_json(&view) {
+                    if view.shard_count > 0 {
+                        return Some(view);
+                    }
+                }
+            }
+            Ok(Response::Error { kind, .. }) if kind == "no-cluster" => return None,
+            _ => continue,
+        }
+    }
+    None
+}
+
 /// Sends one shard group and classifies the exchange, returning the
-/// outcome plus how many busy rejections backoff absorbed. Everything
-/// except busy handling maps onto a [`GroupOutcome`] for the round loop
-/// to act on.
+/// outcome, how many busy rejections backoff absorbed, and whether the
+/// backoff budget ran out. Everything except busy handling maps onto a
+/// [`GroupOutcome`] for the round loop to act on.
 fn submit_group(
     endpoint: &str,
     shard: u32,
@@ -415,11 +585,12 @@ fn submit_group(
     payload: Vec<AnalyzeFile>,
     cache_cap: Option<usize>,
     max_busy_retries: u32,
-) -> (GroupOutcome, u64) {
+) -> (GroupOutcome, u64, bool) {
     if faults::fire("fleet.shard.unreachable") {
         return (
             GroupOutcome::Dead("fault injected: shard unreachable".into()),
             0,
+            false,
         );
     }
     let endpoint = Endpoint::parse(endpoint);
@@ -429,6 +600,7 @@ fn submit_group(
             return (
                 GroupOutcome::Dead(format!("cannot connect to {endpoint}: {e}")),
                 0,
+                false,
             )
         }
     };
@@ -440,6 +612,7 @@ fn submit_group(
     };
     let mut attempt = 0u32;
     loop {
+        let mut exhausted = false;
         let outcome = match client.request(&request) {
             Ok(Response::AnalyzeFleet {
                 files,
@@ -463,6 +636,8 @@ fn submit_group(
             Ok(Response::Busy { retry_after_ms }) => {
                 attempt += 1;
                 if attempt > max_busy_retries {
+                    note_backoff_exhausted();
+                    exhausted = true;
                     GroupOutcome::Refused(format!(
                         "shard {shard} saturated (busy after {max_busy_retries} retries; \
                          last hint {retry_after_ms} ms)"
@@ -483,15 +658,17 @@ fn submit_group(
             }
             Err(e) => GroupOutcome::Dead(format!("shard {shard} at {endpoint}: {e}")),
         };
-        return (outcome, u64::from(attempt));
+        return (outcome, u64::from(attempt), exhausted);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::membership::{AgentConfig, ClusterAgent, Member};
     use biv_server::server::{Server, ServerConfig};
     use std::sync::atomic::{AtomicBool, Ordering};
+    use std::time::Instant;
 
     const SRC_A: &str = "func f(n) { j = 1 L1: for i = 1 to n { j = j + i A[j] = i } }\n";
     const SRC_B: &str = "func g(n) { L1: for i = 1 to n { B[i] = 2 * i } }\n";
@@ -507,6 +684,31 @@ mod tests {
         let server = Server::bind(config).expect("bind 127.0.0.1:0");
         let endpoint = server.bound_endpoint();
         let flag: &'static AtomicBool = Box::leak(Box::new(AtomicBool::new(false)));
+        let handle = std::thread::spawn(move || {
+            server.run(flag).expect("shard run");
+        });
+        (endpoint, handle, flag)
+    }
+
+    /// A shard with a membership agent attached: gossips to `seeds`,
+    /// answers `members`, replicates with R=2.
+    fn spawn_member_shard(
+        shard_id: u32,
+        shard_count: u32,
+        seeds: Vec<String>,
+    ) -> (String, std::thread::JoinHandle<()>, &'static AtomicBool) {
+        let mut config = ServerConfig::new(Endpoint::Tcp("127.0.0.1:0".into()));
+        config.workers = 1;
+        config.shard_id = shard_id;
+        config.shard_count = shard_count;
+        let mut server = Server::bind(config).expect("bind 127.0.0.1:0");
+        let endpoint = server.bound_endpoint();
+        let flag: &'static AtomicBool = Box::leak(Box::new(AtomicBool::new(false)));
+        let mut agent = AgentConfig::new(shard_id, shard_count, endpoint.clone())
+            .with_heartbeat(std::time::Duration::from_millis(50));
+        agent.seeds = seeds;
+        let (hook, _threads) = ClusterAgent::spawn(agent, flag);
+        server.install_cluster(hook);
         let handle = std::thread::spawn(move || {
             server.run(flag).expect("shard run");
         });
@@ -564,6 +766,7 @@ mod tests {
         let mut config = FleetConfig::new(endpoints);
         config.cache_cap = Some(4);
         let mut router = Router::new(config).unwrap();
+        assert_eq!(router.replica_scope(), None, "agent-less fleet is static");
         let report = router.analyze(files.clone()).unwrap();
 
         assert_eq!(report.output, local_output(&files, 4));
@@ -666,5 +869,134 @@ mod tests {
             "batch: 0 functions, 0 analyzed, 0 cache hits, 0 evictions\n"
         );
         stop(vec![shard]);
+    }
+
+    #[test]
+    fn one_seed_bootstraps_the_whole_ring() {
+        // Three membership shards; the router is told about only the
+        // first. It must learn the other two endpoints from the view
+        // and produce byte-identical output.
+        let s0 = spawn_member_shard(0, 3, Vec::new());
+        let s1 = spawn_member_shard(1, 3, vec![s0.0.clone()]);
+        let s2 = spawn_member_shard(2, 3, vec![s0.0.clone()]);
+
+        // Wait for the seed's view to converge on all three members.
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            let view = probe_members(std::slice::from_ref(&s0.0));
+            let alive = view
+                .as_ref()
+                .map(|v| {
+                    v.members
+                        .iter()
+                        .filter(|m| m.state == MemberState::Alive)
+                        .count()
+                })
+                .unwrap_or(0);
+            if alive == 3 {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "membership never converged: {view:?}"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        }
+
+        let files: Vec<AnalyzeFile> = (0..6)
+            .map(|i| AnalyzeFile {
+                path: format!("mem/{i}.biv"),
+                source: format!("func s{i}(n) {{ L1: for i = 1 to n {{ A[i] = i + {i} }} }}\n"),
+            })
+            .collect();
+        let mut router = Router::new(FleetConfig::new(vec![s0.0.clone()])).unwrap();
+        assert_eq!(router.shard_count(), 3, "ring learned from the view");
+        assert_eq!(router.replica_scope(), Some(2), "R rides in the view");
+        let report = router.analyze(files.clone()).unwrap();
+        assert!(report.errors.is_empty(), "{:?}", report.errors);
+        assert_eq!(report.output, local_output(&files, 4096));
+        stop(vec![s0, s1, s2]);
+    }
+
+    #[test]
+    fn double_failure_with_r2_fails_those_files_and_serves_the_rest() {
+        // Five shards, R=2. One file's entire replica set (primary +
+        // replica) is dead: that file must fail with a per-file error
+        // while every other file is served byte-identically — replica
+        // scoping must NOT walk past the replica set to a shard that
+        // never received the key's summaries.
+        let n = 5u32;
+        let ring = Ring::new(n);
+        let doomed = AnalyzeFile {
+            path: "doomed.biv".into(),
+            source: SRC_A.to_string(),
+        };
+        let dead = ring.successors(content_key(&doomed.source), 2);
+        assert_eq!(dead.len(), 2);
+
+        // Find a companion source whose replica set avoids both dead
+        // shards — it must survive the double failure untouched.
+        let mut survivor = None;
+        for i in 0.. {
+            let candidate = AnalyzeFile {
+                path: "ok.biv".into(),
+                source: format!("func ok{i}(n) {{ L1: for i = 1 to n {{ B[i] = {i} }} }}\n"),
+            };
+            let set = ring.successors(content_key(&candidate.source), 2);
+            if !set.iter().any(|s| dead.contains(s)) {
+                survivor = Some(candidate);
+                break;
+            }
+        }
+        let survivor = survivor.unwrap();
+
+        // Live shards get real servers; the dead pair gets refusing
+        // endpoints marked dead in the view.
+        let mut shards = Vec::new();
+        let mut members = Vec::new();
+        for id in 0..n {
+            if dead.contains(&id) {
+                members.push(Member {
+                    shard_id: id,
+                    endpoint: refused_endpoint(),
+                    incarnation: 1,
+                    state: MemberState::Dead,
+                });
+            } else {
+                let s = spawn_shard(id, n);
+                members.push(Member {
+                    shard_id: id,
+                    endpoint: s.0.clone(),
+                    incarnation: 1,
+                    state: MemberState::Alive,
+                });
+                shards.push(s);
+            }
+        }
+        let view = View {
+            version: 1,
+            shard_count: n,
+            replication: 2,
+            members,
+        };
+        let seeds: Vec<String> = shards.iter().map(|(e, _, _)| e.clone()).collect();
+        let mut router = Router::from_members(FleetConfig::new(seeds), &view).unwrap();
+
+        let files = vec![doomed.clone(), survivor.clone()];
+        let report = router.analyze(files).unwrap();
+
+        assert_eq!(report.errors.len(), 1, "{:?}", report.errors);
+        assert!(
+            report.errors[0].message.contains("no live replica"),
+            "{:?}",
+            report.errors
+        );
+        assert_eq!(report.errors[0].path, "doomed.biv");
+        // The survivor's bytes are exactly a local run over it alone.
+        assert_eq!(
+            report.output,
+            local_output(std::slice::from_ref(&survivor), 4096)
+        );
+        stop(shards);
     }
 }

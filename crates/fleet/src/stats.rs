@@ -137,11 +137,26 @@ fn merge_latency(snapshots: &[Json]) -> Json {
 /// # Errors
 /// Only when *no* shard answers.
 pub fn fleet_stats(endpoints: &[String]) -> Result<Json, String> {
+    fleet_stats_with_timeout(endpoints, DEFAULT_STATS_TIMEOUT)
+}
+
+/// How long one shard may take to connect *and* to answer before its
+/// stats entry degrades to `unreachable`.
+pub const DEFAULT_STATS_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// [`fleet_stats`] with an explicit per-endpoint deadline: each shard
+/// gets `timeout` to connect and `timeout` to answer, so one
+/// partitioned or wedged shard costs bounded time and degrades to an
+/// `unreachable` entry instead of hanging the whole poll.
+///
+/// # Errors
+/// Only when *no* shard answers.
+pub fn fleet_stats_with_timeout(endpoints: &[String], timeout: Duration) -> Result<Json, String> {
     let mut snapshots: Vec<Json> = Vec::new();
     let mut per_shard: Vec<Json> = Vec::new();
     let mut unreachable: Vec<Json> = Vec::new();
     for endpoint in endpoints {
-        match shard_stats(endpoint) {
+        match shard_stats(endpoint, timeout) {
             Ok(stats) => {
                 per_shard.push(Json::obj(vec![
                     ("endpoint", Json::Str(endpoint.clone())),
@@ -196,10 +211,12 @@ pub fn fleet_stats(endpoints: &[String]) -> Result<Json, String> {
     ]))
 }
 
-/// One shard's raw stats snapshot.
-fn shard_stats(endpoint: &str) -> Result<Json, String> {
+/// One shard's raw stats snapshot, bounded by `timeout` on both the
+/// connect and the read.
+fn shard_stats(endpoint: &str, timeout: Duration) -> Result<Json, String> {
     let endpoint = Endpoint::parse(endpoint);
-    let mut client = Client::connect(&endpoint).map_err(|e| format!("cannot connect: {e}"))?;
+    let mut client =
+        Client::connect_timeout(&endpoint, timeout).map_err(|e| format!("cannot connect: {e}"))?;
     match client.request(&Request::Stats) {
         Ok(Response::Stats(stats)) => Ok(stats),
         Ok(other) => Err(format!("unexpected stats response: {other:?}")),
@@ -358,6 +375,28 @@ mod tests {
         assert_eq!(sum.get("total").unwrap().as_i64(), Some(12));
         assert_eq!(sum.get("timeouts").unwrap().as_i64(), Some(1));
         assert!(sum_section(&[], "requests").is_none());
+    }
+
+    #[test]
+    fn wedged_shard_degrades_within_the_timeout() {
+        // An endpoint that accepts but never answers: the stats poll
+        // must report it unreachable in bounded time, not hang.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let endpoint = format!("tcp:{}", listener.local_addr().unwrap());
+        let hold = std::thread::spawn(move || {
+            let conn = listener.accept().ok();
+            std::thread::sleep(Duration::from_secs(2));
+            drop(conn);
+        });
+        let started = Instant::now();
+        let err = fleet_stats_with_timeout(&[endpoint], Duration::from_millis(200)).unwrap_err();
+        assert!(err.contains("no shard answered"), "{err}");
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "poll hung past the deadline: {:?}",
+            started.elapsed()
+        );
+        hold.join().unwrap();
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! pairs, and a bounded busy-retry loop for analyze submissions.
 
 use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use crate::frame::{read_frame, write_frame, MAX_FRAME_BYTES};
@@ -13,6 +14,29 @@ use crate::proto::{AnalyzeFile, Request, Response};
 /// multiple seconds of sustained overload. This is a hard cap: jitter
 /// stretches individual sleeps but never adds attempts.
 const MAX_BUSY_RETRIES: u32 = 10;
+
+/// Cap on the *cumulative* time one request may spend asleep between
+/// busy retries. The per-attempt cap bounds each sleep, but a server
+/// hinting large `retry_after_ms` values could still stretch ten
+/// retries toward two minutes; past this budget the request gives up
+/// and surfaces the final `busy` to the caller instead.
+const MAX_BUSY_WAIT: Duration = Duration::from_secs(30);
+
+/// Process-wide count of requests that gave up on busy backoff — either
+/// the retry count or the cumulative sleep budget ran out.
+static BACKOFF_EXHAUSTED: AtomicU64 = AtomicU64::new(0);
+
+/// How many requests (in this process) exhausted their busy backoff
+/// budget. The fleet router surfaces the delta per batch.
+pub fn backoff_exhausted() -> u64 {
+    BACKOFF_EXHAUSTED.load(Ordering::Relaxed)
+}
+
+/// Records one request giving up on busy backoff. Public so the fleet
+/// router's own retry loop counts against the same ledger.
+pub fn note_backoff_exhausted() {
+    BACKOFF_EXHAUSTED.fetch_add(1, Ordering::Relaxed);
+}
 
 /// How large the attempt-scaled backoff base may grow, so ten retries
 /// against a large hint never add up to minutes of sleeping.
@@ -64,6 +88,19 @@ impl Client {
         })
     }
 
+    /// Dials the endpoint with a deadline on both the connect and every
+    /// subsequent read, so one unreachable or wedged server degrades
+    /// that call instead of hanging the caller. This is what `bivctl
+    /// stats` and the gossip loop use.
+    pub fn connect_timeout(endpoint: &Endpoint, timeout: Duration) -> io::Result<Client> {
+        let conn = Conn::connect_timeout(endpoint, timeout)?;
+        conn.set_read_timeout(Some(timeout))?;
+        Ok(Client {
+            conn,
+            max_frame_bytes: MAX_FRAME_BYTES,
+        })
+    }
+
     /// Sends one request and reads its response.
     pub fn request(&mut self, request: &Request) -> io::Result<Response> {
         write_frame(&mut self.conn, &request.encode())?;
@@ -87,11 +124,18 @@ impl Client {
     ) -> io::Result<Response> {
         let request = Request::Analyze { files, cache_cap };
         let mut retries = 0;
+        let mut slept = Duration::ZERO;
         loop {
             match self.request(&request)? {
-                Response::Busy { retry_after_ms } if retries < MAX_BUSY_RETRIES => {
+                Response::Busy { retry_after_ms } => {
+                    let pause = busy_backoff(retry_after_ms, retries + 1);
+                    if retries >= MAX_BUSY_RETRIES || slept + pause > MAX_BUSY_WAIT {
+                        note_backoff_exhausted();
+                        return Ok(Response::Busy { retry_after_ms });
+                    }
                     retries += 1;
-                    std::thread::sleep(busy_backoff(retry_after_ms, retries));
+                    slept += pause;
+                    std::thread::sleep(pause);
                 }
                 response => return Ok(response),
             }
@@ -147,5 +191,34 @@ mod tests {
         // stays within MAX_BACKOFF_MS plus jitter.
         let d = busy_backoff(5_000, MAX_BUSY_RETRIES);
         assert!(d <= Duration::from_millis(MAX_BACKOFF_MS + MAX_BACKOFF_MS / 2));
+    }
+
+    #[test]
+    fn cumulative_budget_binds_before_the_retry_count_on_large_hints() {
+        // With a server hinting the per-attempt maximum every time, the
+        // cumulative sleep budget must cut the loop off before all ten
+        // retries run — otherwise one request could sleep for minutes.
+        let mut slept = Duration::ZERO;
+        let mut attempts = 0;
+        for attempt in 1..=MAX_BUSY_RETRIES {
+            let pause = busy_backoff(MAX_BACKOFF_MS, attempt);
+            if slept + pause > MAX_BUSY_WAIT {
+                break;
+            }
+            slept += pause;
+            attempts = attempt;
+        }
+        assert!(
+            attempts < MAX_BUSY_RETRIES,
+            "budget never bound: slept {slept:?} over {attempts} attempts"
+        );
+        assert!(slept <= MAX_BUSY_WAIT);
+    }
+
+    #[test]
+    fn backoff_exhausted_counter_is_monotonic() {
+        let before = backoff_exhausted();
+        note_backoff_exhausted();
+        assert!(backoff_exhausted() > before);
     }
 }

@@ -677,11 +677,12 @@ pub(crate) fn run_event(
         }
 
         // Every connection is answered and closed; the workers exit
-        // once the closed queue runs dry. Then make the store durable.
+        // once the closed queue runs dry. Then make the store durable
+        // and run the fleet departure handoff, if any.
         for worker in worker_handles {
             let _ = worker.join();
         }
-        shared.flush_backend();
+        shared.finish_drain();
 
         Ok(shared.summary())
     })

@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod cluster;
 #[cfg(target_os = "linux")]
 mod event;
 mod faults;
@@ -47,7 +48,8 @@ pub mod server;
 pub mod signal;
 
 pub use client::Client;
+pub use cluster::{ClusterHandle, ClusterHook};
 pub use json::Json;
 pub use net::{Conn, Endpoint, Listener};
-pub use proto::{AnalyzeFile, FileError, FleetFile, Request, Response};
+pub use proto::{AnalyzeFile, FileError, FleetFile, ReplicaEntry, Request, Response};
 pub use server::{NetMode, ServeSummary, Server, ServerConfig};

@@ -79,6 +79,9 @@ pub struct Metrics {
     pub worker_panics: AtomicU64,
     /// Worker threads that died and were replaced by the accept loop.
     pub workers_respawned: AtomicU64,
+    /// Summaries committed from replica write-through pushes (the
+    /// receiving side of R-way replication).
+    pub replica_received: AtomicU64,
     phases: Mutex<Phases>,
 }
 
@@ -103,6 +106,7 @@ impl Metrics {
             connections: AtomicU64::new(0),
             worker_panics: AtomicU64::new(0),
             workers_respawned: AtomicU64::new(0),
+            replica_received: AtomicU64::new(0),
             phases: Mutex::new(Phases {
                 queue_wait: LatencyWindow::new(WINDOW),
                 parse: LatencyWindow::new(WINDOW),
@@ -179,6 +183,7 @@ impl Metrics {
                     ("connections", load(&self.connections)),
                     ("worker_panics", load(&self.worker_panics)),
                     ("workers_respawned", load(&self.workers_respawned)),
+                    ("replica_received", load(&self.replica_received)),
                 ]),
             ),
             (

@@ -23,13 +23,16 @@ pub enum Endpoint {
 }
 
 impl Endpoint {
-    /// Parses a CLI endpoint string: `tcp:ADDR` is TCP, anything else
-    /// is a Unix socket path.
+    /// Parses an endpoint string: `tcp:ADDR` is TCP, `unix:PATH` or a
+    /// bare path is a Unix socket. Accepting the `unix:` prefix keeps
+    /// [`Listener::bound_endpoint`] strings round-trippable, so an
+    /// advertised endpoint can be dialed verbatim.
     pub fn parse(text: &str) -> Endpoint {
-        match text.strip_prefix("tcp:") {
-            Some(addr) => Endpoint::Tcp(addr.to_string()),
-            None => Endpoint::Unix(PathBuf::from(text)),
+        if let Some(addr) = text.strip_prefix("tcp:") {
+            return Endpoint::Tcp(addr.to_string());
         }
+        let path = text.strip_prefix("unix:").unwrap_or(text);
+        Endpoint::Unix(PathBuf::from(path))
     }
 }
 
@@ -187,6 +190,27 @@ impl Conn {
         }
     }
 
+    /// Dials the endpoint with a bound on how long the connect may
+    /// take. TCP gets a true `connect_timeout` (a SYN into a partitioned
+    /// host otherwise blocks for the kernel's minutes-long default);
+    /// Unix sockets connect or refuse immediately on the local
+    /// filesystem, so they use the plain path.
+    pub fn connect_timeout(endpoint: &Endpoint, timeout: Duration) -> io::Result<Conn> {
+        match endpoint {
+            Endpoint::Tcp(addr) => {
+                use std::net::ToSocketAddrs;
+                let resolved = addr.to_socket_addrs()?.next().ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        format!("endpoint resolves to no address: {addr}"),
+                    )
+                })?;
+                TcpStream::connect_timeout(&resolved, timeout).map(Conn::Tcp)
+            }
+            other => Conn::connect(other),
+        }
+    }
+
     /// Sets the read timeout (`None` blocks forever).
     pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
         match self {
@@ -264,6 +288,12 @@ mod tests {
         );
         assert_eq!(Endpoint::parse("tcp:x").to_string(), "tcp:x");
         assert_eq!(Endpoint::parse("/a/b").to_string(), "unix:/a/b");
+        // Display output round-trips, so a shard can advertise its
+        // bound endpoint verbatim.
+        assert_eq!(
+            Endpoint::parse("unix:/a/b"),
+            Endpoint::Unix(PathBuf::from("/a/b"))
+        );
     }
 
     #[cfg(unix)]

@@ -13,6 +13,9 @@
 //! | `{"op":"analyze_fleet","files":[…],"shard_id","shard_count","cache_cap"?}` | `{"ok":true,"op":"analyze_fleet","files":[{"path","output","hashes",…}]}` |
 //! | `{"op":"preload","dir":PATH}` | `{"ok":true,"op":"preload","loaded":N}` |
 //! | `{"op":"stats"}` | `{"ok":true,"op":"stats","stats":{…}}` |
+//! | `{"op":"gossip","from"?,"view":{…}}` | `{"ok":true,"op":"gossip","view":{…}}` |
+//! | `{"op":"members"}` | `{"ok":true,"op":"members","view":{…}}` |
+//! | `{"op":"replicate","entries":[{"hash","summary"},…]}` | `{"ok":true,"op":"replicate","stored":N}` |
 //! | `{"op":"shutdown"}` | `{"ok":true,"op":"shutdown"}`, then drain |
 //!
 //! Failure responses are `{"ok":false,"error":KIND,…}`; the `busy`
@@ -39,8 +42,20 @@ pub struct AnalyzeFile {
     pub source: String,
 }
 
-/// A request frame.
+/// One replicated summary inside a [`Request::Replicate`] frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaEntry {
+    /// The structural hash the summary is stored under.
+    pub hash: u64,
+    /// The `biv-store` codec encoding of the summary (hex on the wire).
+    pub bytes: Vec<u8>,
+}
+
+/// A request frame.
+///
+/// (`PartialEq` only: gossip frames carry a [`Json`] view, and JSON
+/// floats have no total equality.)
+#[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Liveness probe.
     Ping,
@@ -76,6 +91,26 @@ pub enum Request {
     },
     /// Fetch live server metrics.
     Stats,
+    /// A membership heartbeat: the sender's view of the fleet. The
+    /// receiver merges it and answers its own (merged) view, so every
+    /// exchange converges both sides.
+    Gossip {
+        /// The sending shard's id, when the sender is a fleet member
+        /// (refreshes its liveness directly). Tools bridging views —
+        /// `bivctl join` — omit it.
+        from: Option<u32>,
+        /// The sender's membership view (see `biv_fleet::membership`).
+        view: Json,
+    },
+    /// Fetch the server's membership view without offering one — how a
+    /// router bootstraps the ring from a single seed endpoint.
+    Members,
+    /// Replica write-through: committed summaries pushed from a key's
+    /// primary so a failover read is warm instead of recomputed.
+    Replicate {
+        /// The summaries to commit, codec-encoded.
+        entries: Vec<ReplicaEntry>,
+    },
     /// Begin graceful drain: finish accepted work, then exit.
     Shutdown,
 }
@@ -145,6 +180,22 @@ pub enum Response {
     },
     /// Reply to [`Request::Stats`] — a self-describing metrics object.
     Stats(Json),
+    /// Reply to [`Request::Gossip`]: the receiver's view after merging
+    /// the sender's.
+    Gossip {
+        /// The merged membership view.
+        view: Json,
+    },
+    /// Reply to [`Request::Members`].
+    Members {
+        /// The server's current membership view.
+        view: Json,
+    },
+    /// Reply to [`Request::Replicate`].
+    ReplicateAck {
+        /// Summaries committed into this server's cache tiers.
+        stored: usize,
+    },
     /// Acknowledgement of [`Request::Shutdown`].
     ShutdownAck,
     /// Backpressure: the bounded queue is full; retry after the hint.
@@ -242,6 +293,27 @@ fn decode_u32(json: &Json, key: &str) -> Result<u32, ProtoError> {
         .ok_or_else(|| bad(format!("`{key}` must be a u32")))
 }
 
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+fn hex_decode(text: &str) -> Result<Vec<u8>, ProtoError> {
+    if !text.len().is_multiple_of(2) {
+        return Err(bad("hex payload has odd length"));
+    }
+    text.as_bytes()
+        .chunks(2)
+        .map(|pair| {
+            let s = std::str::from_utf8(pair).map_err(|_| bad("hex payload is not ASCII"))?;
+            u8::from_str_radix(s, 16).map_err(|_| bad("bad hex digit in payload"))
+        })
+        .collect()
+}
+
 impl Request {
     /// Encodes to a JSON frame payload.
     pub fn encode(&self) -> Vec<u8> {
@@ -280,6 +352,32 @@ impl Request {
                 ("op", Json::Str("preload".into())),
                 ("dir", Json::Str(dir.clone())),
             ]),
+            Request::Gossip { from, view } => {
+                let mut pairs = vec![("op", Json::Str("gossip".into()))];
+                if let Some(id) = from {
+                    pairs.push(("from", Json::Int(i64::from(*id))));
+                }
+                pairs.push(("view", view.clone()));
+                Json::obj(pairs)
+            }
+            Request::Members => Json::obj(vec![("op", Json::Str("members".into()))]),
+            Request::Replicate { entries } => Json::obj(vec![
+                ("op", Json::Str("replicate".into())),
+                (
+                    "entries",
+                    Json::Arr(
+                        entries
+                            .iter()
+                            .map(|e| {
+                                Json::obj(vec![
+                                    ("hash", Json::Str(format!("{:016x}", e.hash))),
+                                    ("summary", Json::Str(hex_encode(&e.bytes))),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
         };
         json.to_text().into_bytes()
     }
@@ -313,6 +411,43 @@ impl Request {
                     .ok_or_else(|| bad("preload needs `dir`"))?
                     .to_string(),
             }),
+            "gossip" => {
+                let from = match json.get("from") {
+                    None | Some(Json::Null) => None,
+                    Some(_) => Some(decode_u32(&json, "from")?),
+                };
+                let view = json
+                    .get("view")
+                    .cloned()
+                    .ok_or_else(|| bad("gossip needs a `view` object"))?;
+                if view.get("members").and_then(Json::as_arr).is_none() {
+                    return Err(bad("gossip `view` needs a `members` array"));
+                }
+                Ok(Request::Gossip { from, view })
+            }
+            "members" => Ok(Request::Members),
+            "replicate" => {
+                let entries = json
+                    .get("entries")
+                    .and_then(Json::as_arr)
+                    .ok_or_else(|| bad("replicate needs an `entries` array"))?
+                    .iter()
+                    .map(|e| {
+                        let hash = e
+                            .get("hash")
+                            .and_then(Json::as_str)
+                            .and_then(|s| u64::from_str_radix(s, 16).ok())
+                            .ok_or_else(|| bad("replica entries carry a 16-digit hex `hash`"))?;
+                        let bytes = hex_decode(
+                            e.get("summary")
+                                .and_then(Json::as_str)
+                                .ok_or_else(|| bad("replica entries carry a hex `summary`"))?,
+                        )?;
+                        Ok(ReplicaEntry { hash, bytes })
+                    })
+                    .collect::<Result<Vec<_>, ProtoError>>()?;
+                Ok(Request::Replicate { entries })
+            }
             other => Err(bad(format!("unknown op `{other}`"))),
         }
     }
@@ -406,6 +541,21 @@ impl Response {
                 ("ok", Json::Bool(true)),
                 ("op", Json::Str("preload".into())),
                 ("loaded", Json::Int(*loaded as i64)),
+            ]),
+            Response::Gossip { view } => Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("op", Json::Str("gossip".into())),
+                ("view", view.clone()),
+            ]),
+            Response::Members { view } => Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("op", Json::Str("members".into())),
+                ("view", view.clone()),
+            ]),
+            Response::ReplicateAck { stored } => Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("op", Json::Str("replicate".into())),
+                ("stored", Json::Int(*stored as i64)),
             ]),
             Response::Busy { retry_after_ms } => Json::obj(vec![
                 ("ok", Json::Bool(false)),
@@ -588,6 +738,25 @@ impl Response {
                     .and_then(|n| usize::try_from(n).ok())
                     .ok_or_else(|| bad("preload response needs `loaded`"))?,
             }),
+            "gossip" => Ok(Response::Gossip {
+                view: json
+                    .get("view")
+                    .cloned()
+                    .ok_or_else(|| bad("gossip response needs `view`"))?,
+            }),
+            "members" => Ok(Response::Members {
+                view: json
+                    .get("view")
+                    .cloned()
+                    .ok_or_else(|| bad("members response needs `view`"))?,
+            }),
+            "replicate" => Ok(Response::ReplicateAck {
+                stored: json
+                    .get("stored")
+                    .and_then(Json::as_i64)
+                    .and_then(|n| usize::try_from(n).ok())
+                    .ok_or_else(|| bad("replicate response needs `stored`"))?,
+            }),
             other => Err(bad(format!("unknown response op `{other}`"))),
         }
     }
@@ -625,6 +794,30 @@ mod tests {
             },
             Request::Preload {
                 dir: "/var/lib/biv/shard-1".into(),
+            },
+            Request::Members,
+            Request::Gossip {
+                from: Some(2),
+                view: Json::obj(vec![
+                    ("version", Json::Int(7)),
+                    ("members", Json::Arr(vec![])),
+                ]),
+            },
+            Request::Gossip {
+                from: None,
+                view: Json::obj(vec![("members", Json::Arr(vec![]))]),
+            },
+            Request::Replicate {
+                entries: vec![
+                    ReplicaEntry {
+                        hash: 0xdead_beef_0102_0304,
+                        bytes: vec![0x00, 0x01, 0xfe, 0xff],
+                    },
+                    ReplicaEntry {
+                        hash: u64::MAX,
+                        bytes: vec![],
+                    },
+                ],
             },
         ];
         for r in reqs {
@@ -673,6 +866,16 @@ mod tests {
                 cached: 1,
             },
             Response::PreloadAck { loaded: 42 },
+            Response::Gossip {
+                view: Json::obj(vec![
+                    ("version", Json::Int(3)),
+                    ("members", Json::Arr(vec![])),
+                ]),
+            },
+            Response::Members {
+                view: Json::obj(vec![("members", Json::Arr(vec![]))]),
+            },
+            Response::ReplicateAck { stored: 9 },
             Response::Redirect {
                 shard_id: 1,
                 shard_count: 3,
@@ -703,5 +906,26 @@ mod tests {
         .is_err());
         assert!(Response::decode(br#"{"ok":false,"error":"redirect"}"#).is_err());
         assert!(Response::decode(br#"{"ok":true,"op":"preload"}"#).is_err());
+        // Membership and replication frames: a gossip without a view
+        // (or with a view that has no member list), replica entries
+        // with bad hex, and truncated responses all fail as protocol
+        // errors.
+        assert!(Request::decode(br#"{"op":"gossip"}"#).is_err());
+        assert!(Request::decode(br#"{"op":"gossip","view":{"version":1}}"#).is_err());
+        assert!(Request::decode(br#"{"op":"replicate"}"#).is_err());
+        assert!(
+            Request::decode(br#"{"op":"replicate","entries":[{"hash":"zz","summary":""}]}"#)
+                .is_err()
+        );
+        assert!(Request::decode(
+            br#"{"op":"replicate","entries":[{"hash":"0000000000000001","summary":"abc"}]}"#
+        )
+        .is_err());
+        assert!(Request::decode(
+            br#"{"op":"replicate","entries":[{"hash":"0000000000000001","summary":"zz"}]}"#
+        )
+        .is_err());
+        assert!(Response::decode(br#"{"ok":true,"op":"members"}"#).is_err());
+        assert!(Response::decode(br#"{"ok":true,"op":"replicate"}"#).is_err());
     }
 }

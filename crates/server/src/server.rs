@@ -49,11 +49,12 @@ use biv_ir::parser::parse_program;
 use biv_ir::Function;
 use biv_store::{Store, StoreOptions, TieredCache};
 
+use crate::cluster::ClusterHandle;
 use crate::frame::{write_frame, MAX_FRAME_BYTES};
 use crate::metrics::{CacheGauges, Metrics, PhaseSample, ShardInfo};
 use crate::net::{Conn, Endpoint, Listener};
 use crate::pool::{JobQueue, PushError};
-use crate::proto::{AnalyzeFile, FileError, FleetFile, Request, Response};
+use crate::proto::{AnalyzeFile, FileError, FleetFile, ReplicaEntry, Request, Response};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -91,6 +92,10 @@ pub struct ServerConfig {
     pub shard_count: u32,
     /// Which network front-end owns connection I/O.
     pub net_mode: NetMode,
+    /// The membership/replication agent, when this server is a fleet
+    /// member started with peers. `None` serves `gossip`/`members`
+    /// with a `no-cluster` error and replicates nothing.
+    pub cluster: Option<ClusterHandle>,
 }
 
 /// The server's network front-end.
@@ -133,6 +138,7 @@ impl ServerConfig {
             shard_id: 0,
             shard_count: 1,
             net_mode: NetMode::default(),
+            cluster: None,
         }
     }
 }
@@ -194,6 +200,8 @@ pub(crate) enum JobKind {
     },
     /// Warm-handoff preload from a drained shard's store snapshot.
     Preload { dir: String },
+    /// Replica write-through pushed by a key's primary.
+    Replicate { entries: Vec<ReplicaEntry> },
 }
 
 /// One queued request.
@@ -253,6 +261,16 @@ impl<'a> Shared<'a> {
         }
     }
 
+    /// The end-of-drain sequence shared by both front-ends: make the
+    /// store durable, then let the cluster agent announce departure and
+    /// hand the snapshot to the shards absorbing our key ranges.
+    pub(crate) fn finish_drain(&self) {
+        self.flush_backend();
+        if let Some(cluster) = &self.config.cluster {
+            cluster.0.on_drained();
+        }
+    }
+
     /// The final counters [`Server::run`] reports after drain.
     pub(crate) fn summary(&self) -> ServeSummary {
         ServeSummary {
@@ -287,6 +305,13 @@ impl Server {
     /// The resolved worker count.
     pub fn workers(&self) -> usize {
         resolve_jobs(self.config.workers)
+    }
+
+    /// Installs the membership/replication agent after binding — the
+    /// agent needs the *bound* endpoint (TCP port 0 resolved) to
+    /// advertise, so it cannot exist before `bind`.
+    pub fn install_cluster(&mut self, cluster: ClusterHandle) {
+        self.config.cluster = Some(cluster);
     }
 
     /// Serves until `shutdown` becomes true (SIGINT/SIGTERM via
@@ -378,8 +403,10 @@ fn run_threaded(
             let _ = worker.join();
         }
         // Every queued request is answered and the workers are
-        // gone: make the store durable before reporting the drain.
-        shared.flush_backend();
+        // gone: make the store durable (and run the departure
+        // handoff, if this server is a fleet member) before
+        // reporting the drain.
+        shared.finish_drain();
 
         Ok(shared.summary())
     })
@@ -474,6 +501,7 @@ fn process_job(shared: &Shared<'_>, opts: &BatchOptions, job: &Job) -> Response 
             process_analyze(shared, opts, job.submitted, files, *cache_cap, true)
         }
         JobKind::Preload { dir } => process_preload(shared, dir),
+        JobKind::Replicate { entries } => process_replicate(shared, entries),
     }
 }
 
@@ -512,6 +540,29 @@ fn process_analyze(
     let t = Instant::now();
     let report = analyze_batch_shared_backend(&funcs, opts, &shared.cache);
     let analyze = t.elapsed();
+
+    // Replica write-through: hand each file's committed summaries to
+    // the cluster agent, keyed by the file's source (the agent derives
+    // the content key and pushes to the key's ring successors
+    // asynchronously). Summaries are pure functions of the structural
+    // hash, so replicating the whole file — hits included — is
+    // idempotent and can never diverge a replica.
+    if let Some(cluster) = &shared.config.cluster {
+        let mut next = 0usize;
+        for (file, outcome) in files.iter().zip(&parsed) {
+            if let Ok(count) = outcome {
+                let entries: Vec<_> = report.functions[next..next + count]
+                    .iter()
+                    .filter(|f| f.summary.cacheable())
+                    .map(|f| (f.hash, Arc::clone(&f.summary)))
+                    .collect();
+                next += count;
+                if !entries.is_empty() {
+                    cluster.0.on_commit(&file.source, &entries);
+                }
+            }
+        }
+    }
 
     let t = Instant::now();
     let replay_cap = cache_cap.unwrap_or_else(|| BatchOptions::default().cache_capacity);
@@ -629,6 +680,40 @@ fn process_preload(shared: &Shared<'_>, dir: &str) -> Response {
             message: format!("preload from {dir} failed: {e}"),
         },
     }
+}
+
+/// Replica write-through from a key's primary: decode each pushed
+/// summary and commit it through the normal cache path (memory bounds,
+/// `cacheable()` filtering, and write-through to our own store all
+/// apply). Commits are idempotent — a summary is a pure function of its
+/// hash — so re-delivery after a retry is harmless. An undecodable
+/// entry fails the *request* (the primary will retry or drop it), never
+/// the server.
+fn process_replicate(shared: &Shared<'_>, entries: &[ReplicaEntry]) -> Response {
+    let mut decoded = Vec::with_capacity(entries.len());
+    for entry in entries {
+        match biv_store::codec::decode_summary(&entry.bytes) {
+            Ok(summary) => decoded.push((entry.hash, summary)),
+            Err(e) => {
+                return Response::Error {
+                    kind: "replicate".into(),
+                    message: format!("undecodable replica summary for {:016x}: {e:?}", entry.hash),
+                }
+            }
+        }
+    }
+    let mut backend = shared.cache.lock().expect("structural cache poisoned");
+    let mut stored = 0usize;
+    for (hash, summary) in decoded {
+        backend.commit(hash, summary);
+        stored += 1;
+    }
+    drop(backend);
+    shared
+        .metrics
+        .replica_received
+        .fetch_add(stored as u64, Ordering::Relaxed);
+    Response::ReplicateAck { stored }
 }
 
 /// Serves one connection until the peer closes, an error occurs, or
@@ -750,6 +835,37 @@ pub(crate) fn route_request(shared: &Shared<'_>, request: Request) -> Routed {
             }
         }
         Request::Preload { dir } => Routed::Queue(JobKind::Preload { dir }),
+        // Membership ops are answered inline from the event/accept
+        // loop: a gossip merge is a small in-memory operation and must
+        // stay responsive even when the worker pool is saturated —
+        // heartbeats delayed behind analyze jobs would look like
+        // failures.
+        Request::Gossip { from, view } => inline(match &shared.config.cluster {
+            Some(cluster) => Response::Gossip {
+                view: cluster.0.on_gossip(from, &view),
+            },
+            None => no_cluster_response(),
+        }),
+        Request::Members => inline(match &shared.config.cluster {
+            Some(cluster) => Response::Members {
+                view: cluster.0.view(),
+            },
+            None => no_cluster_response(),
+        }),
+        // Replica pushes take the cache lock and may hit the store, so
+        // they queue like preloads; a full queue answers busy and the
+        // pushing primary retries with backoff.
+        Request::Replicate { entries } => Routed::Queue(JobKind::Replicate { entries }),
+    }
+}
+
+/// The rejection for membership ops on a server with no cluster agent.
+/// Routers probe with `members` to decide between seed-bootstrap and
+/// static-list modes, so the kind is load-bearing.
+fn no_cluster_response() -> Response {
+    Response::Error {
+        kind: "no-cluster".into(),
+        message: "this server has no membership agent (start bivd with --peers)".into(),
     }
 }
 
@@ -856,7 +972,7 @@ fn stats_json(shared: &Shared<'_>) -> crate::json::Json {
     };
     let store = backend.store_gauges();
     drop(backend);
-    shared.metrics.snapshot_json(
+    let mut stats = shared.metrics.snapshot_json(
         shared.queue.depth(),
         shared.queue.capacity(),
         gauges,
@@ -867,7 +983,14 @@ fn stats_json(shared: &Shared<'_>) -> crate::json::Json {
             shard_count: shared.config.shard_count,
             uptime: shared.started.elapsed(),
         },
-    )
+    );
+    // A fleet member appends its membership and replication sections.
+    if let Some(cluster) = &shared.config.cluster {
+        if let crate::json::Json::Obj(pairs) = &mut stats {
+            pairs.extend(cluster.0.stats_sections());
+        }
+    }
+    stats
 }
 
 fn respond(conn: &mut Conn, response: &Response) -> io::Result<()> {

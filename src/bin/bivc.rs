@@ -859,6 +859,19 @@ fn run_batch_fleet(
     for note in &report.notes {
         eprintln!("bivc: fleet: {note}");
     }
+    // The one-line batch summary (greppable by smoke tests): a warm
+    // failover shows up here as `0 analyzed` with everything cached.
+    let mut summary = format!(
+        "bivc: fleet: {} functions, {} analyzed, {} cached",
+        report.functions, report.analyzed, report.cached
+    );
+    if report.backoff_exhausted > 0 {
+        summary.push_str(&format!(", {} backoff-exhausted", report.backoff_exhausted));
+    }
+    if !report.dead_shards.is_empty() {
+        summary.push_str(&format!(", {} dead shard(s)", report.dead_shards.len()));
+    }
+    eprintln!("{summary}");
     errors.extend(report.errors.into_iter().map(|e| e.message));
     Ok(report.output)
 }

@@ -3,7 +3,8 @@
 //! ```text
 //! bivd [--socket PATH | --tcp ADDR] [--workers N] [--queue-cap N]
 //!      [--cache-cap N] [--cache-dir PATH] [--timeout-ms N]
-//!      [--fleet shard=K/N] [--net-threaded]
+//!      [--fleet shard=K/N] [--peers EP1,EP2,...] [--replicas R]
+//!      [--heartbeat-ms N] [--no-auto-rebalance] [--net-threaded]
 //!      [--budget SPEC] [--faults SPEC]
 //! ```
 //!
@@ -32,16 +33,26 @@
 //! its actual identity, and its `stats` response carries the shard
 //! coordinates so the fleet aggregator can label it.
 //!
+//! `--peers` additionally starts the cluster agent: the shard gossips a
+//! versioned membership view with its peers (routers then bootstrap the
+//! whole ring from any one live seed), replicates committed summaries
+//! to its `--replicas R` ring successors so a killed primary's keys are
+//! served warm, and — with `--cache-dir` — hands snapshot copies to the
+//! affected shards when membership changes (join/leave rebalance). The
+//! first shard of a fleet has no one to dial yet: pass `--peers none`.
+//!
 //! On Linux connection I/O runs on a readiness-driven epoll event loop;
 //! `--net-threaded` selects the portable thread-per-connection
 //! front-end instead. Both produce byte-identical responses.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
+use biv::fleet::{AgentConfig, ClusterAgent};
 use biv::server::signal;
 use biv::server::{Endpoint, NetMode, Server, ServerConfig};
 
-const USAGE: &str = "usage: bivd [--socket PATH | --tcp ADDR] [--workers N] [--queue-cap N] [--cache-cap N] [--cache-dir PATH] [--timeout-ms N] [--fleet shard=K/N] [--net-threaded] [--budget time=MS,nodes=N,scc=N,order=N] [--faults seed=N,profile=NAME]";
+const USAGE: &str = "usage: bivd [--socket PATH | --tcp ADDR] [--workers N] [--queue-cap N] [--cache-cap N] [--cache-dir PATH] [--timeout-ms N] [--fleet shard=K/N] [--peers EP1,EP2,... | --peers none] [--replicas R] [--heartbeat-ms N] [--no-auto-rebalance] [--net-threaded] [--budget time=MS,nodes=N,scc=N,order=N] [--faults seed=N,profile=NAME]";
 
 fn default_socket() -> String {
     std::env::temp_dir()
@@ -50,9 +61,26 @@ fn default_socket() -> String {
         .into_owned()
 }
 
-fn parse_args() -> Result<ServerConfig, String> {
+/// Cluster-agent settings — bivd-side only, not part of [`ServerConfig`]
+/// because the agent is built *after* bind (its advertised endpoint is
+/// the bound one).
+struct ClusterOpts {
+    /// `Some` once `--peers` was given; the agent runs iff this is set.
+    seeds: Option<Vec<String>>,
+    replicas: Option<u32>,
+    heartbeat_ms: Option<u64>,
+    auto_rebalance: bool,
+}
+
+fn parse_args() -> Result<(ServerConfig, ClusterOpts), String> {
     let mut endpoint: Option<Endpoint> = None;
     let mut config = ServerConfig::new(Endpoint::Unix(default_socket().into()));
+    let mut cluster = ClusterOpts {
+        seeds: None,
+        replicas: None,
+        heartbeat_ms: None,
+        auto_rebalance: true,
+    };
     let mut args = std::env::args().skip(1);
     fn set_endpoint(e: Endpoint, endpoint: &mut Option<Endpoint>) -> Result<(), String> {
         if endpoint.is_some() {
@@ -85,6 +113,32 @@ fn parse_args() -> Result<ServerConfig, String> {
                 config.shard_id = shard_id;
                 config.shard_count = shard_count;
             }
+            "--peers" => {
+                let list = value("--peers")?;
+                cluster.seeds = Some(if list.is_empty() || list == "none" {
+                    Vec::new()
+                } else {
+                    list.split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect()
+                });
+            }
+            "--replicas" => {
+                let r: u32 = parse_num(&value("--replicas")?, "--replicas")?;
+                if r == 0 {
+                    return Err("--replicas must be at least 1".into());
+                }
+                cluster.replicas = Some(r);
+            }
+            "--heartbeat-ms" => {
+                let ms: u64 = parse_num(&value("--heartbeat-ms")?, "--heartbeat-ms")?;
+                if ms == 0 {
+                    return Err("--heartbeat-ms must be at least 1".into());
+                }
+                cluster.heartbeat_ms = Some(ms);
+            }
+            "--no-auto-rebalance" => cluster.auto_rebalance = false,
             "--net-threaded" => config.net_mode = NetMode::Threaded,
             "--budget" => {
                 config.budget = biv::core_analysis::Budget::parse(&value("--budget")?)?;
@@ -95,7 +149,15 @@ fn parse_args() -> Result<ServerConfig, String> {
         }
     }
     config.endpoint = endpoint.unwrap_or(Endpoint::Unix(default_socket().into()));
-    Ok(config)
+    if cluster.seeds.is_none()
+        && (cluster.replicas.is_some() || cluster.heartbeat_ms.is_some() || !cluster.auto_rebalance)
+    {
+        return Err(
+            "--replicas / --heartbeat-ms / --no-auto-rebalance need --peers (use `--peers none` for the first shard)"
+                .into(),
+        );
+    }
+    Ok((config, cluster))
 }
 
 /// Arms deterministic fault injection for this daemon. Only meaningful
@@ -132,15 +194,20 @@ fn parse_fleet(spec: &str) -> Result<(u32, u32), String> {
 }
 
 fn main() -> ExitCode {
-    let config = match parse_args() {
-        Ok(config) => config,
+    let (config, cluster) = match parse_args() {
+        Ok(parsed) => parsed,
         Err(msg) => {
             eprintln!("{msg}");
             return ExitCode::FAILURE;
         }
     };
     let (shard_id, shard_count) = (config.shard_id, config.shard_count);
-    let server = match Server::bind(config) {
+    let cache_dir = config.cache_dir.clone();
+    // Install the handler before bind: once the socket exists a
+    // supervisor may SIGTERM at any moment, and the default action
+    // would skip the drain.
+    let shutdown = signal::install();
+    let mut server = match Server::bind(config) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("bivd: cannot bind: {e}");
@@ -160,8 +227,33 @@ fn main() -> ExitCode {
             server.workers()
         );
     }
-    let shutdown = signal::install();
-    match server.run(shutdown) {
+    let mut agent_threads = Vec::new();
+    if let Some(seeds) = cluster.seeds {
+        let mut agent = AgentConfig::new(shard_id, shard_count, server.bound_endpoint());
+        agent.seeds = seeds;
+        agent.cache_dir = cache_dir;
+        agent.auto_rebalance = cluster.auto_rebalance;
+        if let Some(r) = cluster.replicas {
+            agent.replication = r;
+        }
+        if let Some(ms) = cluster.heartbeat_ms {
+            agent = agent.with_heartbeat(Duration::from_millis(ms));
+        }
+        eprintln!(
+            "bivd: cluster agent up (R={}, heartbeat {}ms, {} seed(s))",
+            agent.replication,
+            agent.heartbeat.as_millis(),
+            agent.seeds.len()
+        );
+        let (hook, threads) = ClusterAgent::spawn(agent, shutdown);
+        server.install_cluster(hook);
+        agent_threads = threads;
+    }
+    let outcome = server.run(shutdown);
+    for thread in agent_threads {
+        let _ = thread.join();
+    }
+    match outcome {
         Ok(summary) => {
             eprintln!("bivd: drained: {summary}");
             ExitCode::SUCCESS

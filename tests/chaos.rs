@@ -295,6 +295,292 @@ fn sigkilled_shard_mid_batch_reroutes_without_changing_bytes() {
     }
 }
 
+/// One real `bivd` process running the full cluster agent: shard K of
+/// `count`, R-way replication, fast heartbeats, a persistent store, and
+/// the `fleet` fault profile (lost heartbeats, partitions, replica
+/// lag). Returns the child and its resolved endpoint.
+fn spawn_member_shard_process(
+    shard: u32,
+    count: u32,
+    peers: &str,
+    cache_dir: &std::path::Path,
+) -> (std::process::Child, String) {
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_bivd"))
+        .args([
+            "--tcp",
+            "127.0.0.1:0",
+            "--fleet",
+            &format!("shard={shard}/{count}"),
+            "--workers",
+            "1",
+            "--peers",
+            peers,
+            "--replicas",
+            "2",
+            "--heartbeat-ms",
+            "50",
+            "--cache-dir",
+            &cache_dir.to_string_lossy(),
+            "--faults",
+            "seed=42,profile=fleet",
+        ])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn member bivd");
+    let stderr = child.stderr.take().expect("piped stderr");
+    let mut lines = std::io::BufRead::lines(std::io::BufReader::new(stderr));
+    let banner = lines
+        .next()
+        .expect("bivd prints a listening line")
+        .expect("readable stderr");
+    let endpoint = banner
+        .split("listening on ")
+        .nth(1)
+        .and_then(|rest| rest.split(' ').next())
+        .unwrap_or_else(|| panic!("unparsable bivd banner: {banner}"))
+        .to_string();
+    std::thread::spawn(move || for _ in lines {});
+    (child, endpoint)
+}
+
+/// One shard's membership view, if it answers within half a second.
+fn fetch_view(endpoint: &str) -> Option<biv::fleet::View> {
+    let mut client =
+        Client::connect_timeout(&Endpoint::parse(endpoint), Duration::from_millis(500)).ok()?;
+    match client.request(&Request::Members).ok()? {
+        Response::Members { view } | Response::Gossip { view } => {
+            biv::fleet::View::from_json(&view).ok()
+        }
+        _ => None,
+    }
+}
+
+/// Polls one seed until its view shows `want` alive members (gossip
+/// convergence after joins/rejoins), panicking past the deadline.
+fn await_alive(seed: &str, want: usize, deadline: Duration) -> biv::fleet::View {
+    let until = std::time::Instant::now() + deadline;
+    loop {
+        if let Some(view) = fetch_view(seed) {
+            let alive = view
+                .members
+                .iter()
+                .filter(|m| m.state.as_str() == "alive")
+                .count();
+            if alive == want {
+                return view;
+            }
+        }
+        assert!(
+            std::time::Instant::now() < until,
+            "membership did not converge to {want} alive member(s) via {seed} within {deadline:?}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Polls until the R-way write-through of the last batch has fully
+/// landed: every shard's queue is empty **and** at least
+/// `expect_entries` summaries were actually received by replicas
+/// fleet-wide. (`replication_lag == 0` alone is not enough — a batch
+/// popped from the queue can still be in flight on the sender thread.)
+fn await_replication_settled(endpoints: &[String], expect_entries: i64, deadline: Duration) {
+    let until = std::time::Instant::now() + deadline;
+    loop {
+        let mut lag = 0i64;
+        let mut received = 0i64;
+        let mut dropped = 0i64;
+        let mut all_answered = true;
+        for endpoint in endpoints {
+            let Some(stats) =
+                Client::connect_timeout(&Endpoint::parse(endpoint), Duration::from_millis(500))
+                    .ok()
+                    .and_then(|mut c| c.request(&Request::Stats).ok())
+                    .and_then(|r| match r {
+                        Response::Stats(stats) => Some(stats),
+                        _ => None,
+                    })
+            else {
+                all_answered = false;
+                break;
+            };
+            lag += stat(&stats, &["replication", "replication_lag"]);
+            received += stat(&stats, &["requests", "replica_received"]);
+            dropped += stat(&stats, &["replication", "dropped"]);
+        }
+        if all_answered && lag == 0 && received >= expect_entries {
+            assert_eq!(
+                dropped, 0,
+                "no replication batch may be dropped in this test"
+            );
+            return;
+        }
+        assert!(
+            std::time::Instant::now() < until,
+            "replication did not settle within {deadline:?} (lag {lag}, received {received} of {expect_entries})"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// R=2 warm failover: three member shards gossip into one ring, a batch
+/// replicates every committed summary to its ring successor, the
+/// primary of part of the keyspace is SIGKILLed — and the re-run batch
+/// is served **entirely warm** (zero recomputes) from the replicas,
+/// byte-identical, with zero per-file errors.
+#[test]
+fn sigkilled_primary_is_served_warm_from_its_replica() {
+    let _gate = GATE.lock().unwrap();
+    biv_faults::uninstall();
+
+    let tmp = std::env::temp_dir().join(format!("biv_warm_failover_{}", std::process::id()));
+    let dirs: Vec<std::path::PathBuf> = (0..3).map(|i| tmp.join(format!("shard{i}"))).collect();
+    for dir in &dirs {
+        std::fs::create_dir_all(dir).expect("mk cache dir");
+    }
+
+    // Shard 0 boots seedless; 1 and 2 bootstrap from it.
+    let (child0, ep0) = spawn_member_shard_process(0, 3, "none", &dirs[0]);
+    let (child1, ep1) = spawn_member_shard_process(1, 3, &ep0, &dirs[1]);
+    let (child2, ep2) = spawn_member_shard_process(2, 3, &ep0, &dirs[2]);
+    let mut shards = vec![(child0, ep0.clone()), (child1, ep1), (child2, ep2)];
+    await_alive(&ep0, 3, Duration::from_secs(10));
+
+    // The router bootstraps the whole ring from the one seed.
+    let files = fleet_corpus(24);
+    let reference = local_reference(&files);
+    let mut router =
+        biv::fleet::Router::new(biv::fleet::FleetConfig::new(vec![ep0.clone()])).expect("router");
+    let report = router.analyze(files.clone()).expect("fleet batch 1");
+    assert_eq!(report.output, reference, "fleet must match local bytes");
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+
+    // Every committed summary must land on its replica before the kill
+    // — 24 single-function files, R=2, so exactly one replica copy each.
+    let endpoints: Vec<String> = shards.iter().map(|(_, e)| e.clone()).collect();
+    await_replication_settled(&endpoints, files.len() as i64, Duration::from_secs(10));
+
+    // SIGKILL shard 1 — no drain, no snapshot flush, no goodbye.
+    let victim = shards[1].0.id();
+    let _ = std::process::Command::new("kill")
+        .args(["-9", &victim.to_string()])
+        .status();
+    let _ = shards[1].0.wait();
+
+    // Re-run the same batch through a fresh router (bootstrapped from
+    // the surviving seed): shard 1's keys fail over to their replicas,
+    // which already hold the summaries — nothing is recomputed.
+    let mut router =
+        biv::fleet::Router::new(biv::fleet::FleetConfig::new(vec![ep0.clone()])).expect("router");
+    let report = router.analyze(files.clone()).expect("fleet batch 2");
+    assert_eq!(
+        report.output, reference,
+        "failover to replicas must not change the bytes"
+    );
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+    assert_eq!(
+        report.analyzed, 0,
+        "the replicas must serve the dead primary's keys warm (saw {} recomputes)",
+        report.analyzed
+    );
+
+    for (i, (mut child, endpoint)) in shards.into_iter().enumerate() {
+        if i == 1 {
+            continue; // already reaped
+        }
+        let mut client = Client::connect(&Endpoint::parse(&endpoint)).expect("connect");
+        assert_eq!(
+            client.request(&Request::Shutdown).expect("shutdown"),
+            Response::ShutdownAck
+        );
+        let status = child.wait().expect("shard exits");
+        assert!(status.success(), "shard {i} drained cleanly");
+    }
+    let _ = std::fs::remove_dir_all(&tmp);
+}
+
+/// Rolling restart: each member shard in turn is SIGTERMed and
+/// relaunched at a **new port** with the same identity; incarnation
+/// bumping reclaims its ring slot, gossip teaches the survivors the new
+/// endpoint, and every batch in between is byte-identical with zero
+/// per-file errors — no operator action, no router reconfiguration
+/// beyond re-probing one live seed.
+#[test]
+fn rolling_restart_of_every_shard_keeps_the_bytes_identical() {
+    let _gate = GATE.lock().unwrap();
+    biv_faults::uninstall();
+
+    let tmp = std::env::temp_dir().join(format!("biv_rolling_restart_{}", std::process::id()));
+    let dirs: Vec<std::path::PathBuf> = (0..3).map(|i| tmp.join(format!("shard{i}"))).collect();
+    for dir in &dirs {
+        std::fs::create_dir_all(dir).expect("mk cache dir");
+    }
+
+    let (child0, ep0) = spawn_member_shard_process(0, 3, "none", &dirs[0]);
+    let (child1, ep1) = spawn_member_shard_process(1, 3, &ep0, &dirs[1]);
+    let (child2, ep2) = spawn_member_shard_process(2, 3, &ep0, &dirs[2]);
+    let mut shards = vec![(child0, ep0), (child1, ep1), (child2, ep2)];
+    await_alive(&shards[0].1, 3, Duration::from_secs(10));
+
+    let files = fleet_corpus(24);
+    let reference = local_reference(&files);
+    let batch = |seed: &str| -> biv::fleet::FleetReport {
+        let mut router =
+            biv::fleet::Router::new(biv::fleet::FleetConfig::new(vec![seed.to_string()]))
+                .expect("router");
+        router.analyze(files.clone()).expect("fleet batch")
+    };
+
+    let report = batch(&shards[0].1);
+    assert_eq!(report.output, reference);
+    assert!(report.errors.is_empty(), "{:?}", report.errors);
+
+    for k in 0..3usize {
+        // SIGTERM shard k: it drains, flushes its store, and announces
+        // its departure.
+        let pid = shards[k].0.id();
+        let _ = std::process::Command::new("kill")
+            .args(["-15", &pid.to_string()])
+            .status();
+        let status = shards[k].0.wait().expect("shard exits");
+        assert!(status.success(), "shard {k} drained cleanly on SIGTERM");
+
+        // Relaunch it with the same identity and store but a fresh
+        // port, seeded from a surviving peer.
+        let seed = shards[(k + 1) % 3].1.clone();
+        let (child, endpoint) = spawn_member_shard_process(k as u32, 3, &seed, &dirs[k]);
+        shards[k] = (child, endpoint);
+
+        // The ring heals: all three alive again, the rejoined shard at
+        // its new endpoint.
+        let view = await_alive(&seed, 3, Duration::from_secs(10));
+        let member = view.member(k as u32).expect("rejoined shard in view");
+        assert_eq!(
+            member.endpoint, shards[k].1,
+            "gossip must carry the restarted shard's new endpoint"
+        );
+
+        // A batch right after each restart: identical bytes, no errors,
+        // routed off one live seed with no operator involvement.
+        let report = batch(&seed);
+        assert_eq!(
+            report.output, reference,
+            "restart of shard {k} must not change the bytes"
+        );
+        assert!(report.errors.is_empty(), "{:?}", report.errors);
+    }
+
+    for (i, (mut child, endpoint)) in shards.into_iter().enumerate() {
+        let mut client = Client::connect(&Endpoint::parse(&endpoint)).expect("connect");
+        assert_eq!(
+            client.request(&Request::Shutdown).expect("shutdown"),
+            Response::ShutdownAck
+        );
+        let status = child.wait().expect("shard exits");
+        assert!(status.success(), "shard {i} drained cleanly");
+    }
+    let _ = std::fs::remove_dir_all(&tmp);
+}
+
 #[test]
 fn killed_workers_are_respawned_and_their_requests_answered() {
     let _gate = GATE.lock().unwrap();

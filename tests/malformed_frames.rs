@@ -319,6 +319,135 @@ fn truncated_analyze_reply_reroutes_to_the_healthy_shard() {
     real_handle.join().expect("clean drain");
 }
 
+/// Fleet malformed frames, case 5 — truncated and oversized `preload`
+/// and `gossip` frames against a live server: each must end in a
+/// protocol error or a clean close, and the daemon must keep serving.
+#[test]
+fn malformed_preload_and_gossip_frames_never_kill_the_server() {
+    let (endpoint, handle) = spawn_server();
+
+    // 1. Truncated preload: the prefix promises the whole request, the
+    //    sender FINs halfway through the payload.
+    {
+        let mut conn = dial(&endpoint);
+        let payload = Request::Preload {
+            dir: "/nonexistent/snapshot".into(),
+        }
+        .encode();
+        conn.write_all(&(payload.len() as u32).to_be_bytes())
+            .unwrap();
+        conn.write_all(&payload[..payload.len() / 2]).unwrap();
+        drop(conn);
+    }
+    assert_alive(&endpoint);
+
+    // 2. Oversized preload: a length prefix beyond the server's frame
+    //    cap (1 MiB here) must close the connection before allocation.
+    {
+        let mut conn = dial(&endpoint);
+        conn.write_all(&(8u32 << 20).to_be_bytes()).unwrap();
+        conn.write_all(br#"{"op":"preload","dir":"/x"}"#).unwrap();
+        let mut buf = [0u8; 16];
+        let n = conn.read(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "oversize preload should close the connection");
+    }
+    assert_alive(&endpoint);
+
+    // 3. Truncated gossip: FIN mid-heartbeat.
+    {
+        let mut conn = dial(&endpoint);
+        let heartbeat = br#"{"op":"gossip","from":0,"view":{"version":1,"members":[]}}"#;
+        conn.write_all(&(heartbeat.len() as u32).to_be_bytes())
+            .unwrap();
+        conn.write_all(&heartbeat[..heartbeat.len() / 2]).unwrap();
+        drop(conn);
+    }
+    assert_alive(&endpoint);
+
+    // 4. Gossip whose view is not an object at all.
+    {
+        let mut conn = dial(&endpoint);
+        write_frame(&mut conn, br#"{"op":"gossip","view":42}"#).unwrap();
+        error_or_close(&mut conn, "gossip with a non-object view");
+    }
+    assert_alive(&endpoint);
+
+    // 5. Gossip without a members array inside the view.
+    {
+        let mut conn = dial(&endpoint);
+        write_frame(&mut conn, br#"{"op":"gossip","view":{"version":9}}"#).unwrap();
+        error_or_close(&mut conn, "gossip without members");
+    }
+    assert_alive(&endpoint);
+
+    let mut client = Client::connect(&Endpoint::parse(&endpoint)).expect("connect");
+    client.request(&Request::Shutdown).expect("shutdown");
+    handle.join().expect("clean drain");
+}
+
+/// Fleet malformed frames, case 6 — well-formed gossip frames carrying
+/// garbage member records against a server *with* a membership agent:
+/// the agent must ignore what it cannot parse (including shard ids
+/// outside the ring), answer its own well-formed view, and keep its
+/// membership intact.
+#[test]
+fn garbage_gossip_members_cannot_poison_a_live_agent() {
+    use biv::fleet::{AgentConfig, ClusterAgent, View};
+
+    let mut config = ServerConfig::new(Endpoint::Tcp("127.0.0.1:0".into()));
+    config.workers = 1;
+    let mut server = Server::bind(config).expect("bind 127.0.0.1:0");
+    let endpoint = server.bound_endpoint();
+    let flag: &'static AtomicBool = Box::leak(Box::new(AtomicBool::new(false)));
+    let agent = AgentConfig::new(0, 1, endpoint.clone());
+    let (hook, _threads) = ClusterAgent::spawn(agent, flag);
+    server.install_cluster(hook);
+    let handle = std::thread::spawn(move || {
+        server.run(flag).expect("server run");
+    });
+
+    let corpus: &[&[u8]] = &[
+        // Member records of the wrong JSON type.
+        br#"{"op":"gossip","view":{"version":3,"shard_count":1,"members":[1,2,3]}}"#,
+        // A member record missing every required field.
+        br#"{"op":"gossip","view":{"version":3,"shard_count":1,"members":[{}]}}"#,
+        // A shard id far outside the ring must not grow the view.
+        br#"{"op":"gossip","view":{"version":3,"shard_count":1,"members":[{"shard_id":4000000,"endpoint":"tcp:1.2.3.4:1","incarnation":9,"state":"alive"}]}}"#,
+        // A claim that shard 0 (the server itself) is dead: refuted.
+        br#"{"op":"gossip","view":{"version":3,"shard_count":1,"members":[{"shard_id":0,"endpoint":"tcp:1.2.3.4:1","incarnation":0,"state":"dead"}]}}"#,
+    ];
+    for payload in corpus {
+        let mut conn = dial(&endpoint);
+        write_frame(&mut conn, payload).unwrap();
+        match read_frame(&mut conn, MAX_FRAME_BYTES) {
+            Ok(Some(reply)) => {
+                let response = Response::decode(&reply).expect("decodable reply");
+                match response {
+                    Response::Gossip { view } | Response::Members { view } => {
+                        let view = View::from_json(&view).expect("agent answers a parsable view");
+                        assert_eq!(view.members.len(), 1, "ring must not grow");
+                        assert_eq!(view.members[0].shard_id, 0);
+                        assert_eq!(
+                            view.members[0].state.as_str(),
+                            "alive",
+                            "the agent must refute reports of its own death"
+                        );
+                    }
+                    Response::Error { kind, .. } => assert_eq!(kind, "bad-request"),
+                    other => panic!("unexpected reply to garbage gossip: {other:?}"),
+                }
+            }
+            Ok(None) => {}
+            Err(e) => panic!("agent hung or died on garbage gossip: {e}"),
+        }
+    }
+    assert_alive(&endpoint);
+
+    let mut client = Client::connect(&Endpoint::parse(&endpoint)).expect("connect");
+    client.request(&Request::Shutdown).expect("shutdown");
+    handle.join().expect("clean drain");
+}
+
 #[test]
 fn malformed_frame_corpus_never_kills_the_server() {
     let (endpoint, handle) = spawn_server();
