@@ -124,6 +124,73 @@ impl Matrix {
         Ok(Some(inv))
     }
 
+    /// Exact null-space basis via reduced row echelon form.
+    ///
+    /// Returns one basis vector (length `cols`) per free column of the
+    /// RREF, in ascending free-column order — a deterministic spanning set
+    /// for `{ x : A·x = 0 }`. An empty result means the kernel is trivial.
+    /// Each basis vector has the free variable set to 1 and pivot
+    /// variables solved exactly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RationalError::Overflow`] from intermediate arithmetic.
+    pub fn null_space(&self) -> Result<Vec<Vec<Rational>>, RationalError> {
+        let mut a = self.clone();
+        // `pivot_col[r]` is the pivot column of row `r` in the RREF.
+        let mut pivot_cols: Vec<usize> = Vec::new();
+        let mut row = 0usize;
+        for col in 0..a.cols {
+            if row == a.rows {
+                break;
+            }
+            let pivot = (row..a.rows).find(|&r| !a.get(r, col).is_zero());
+            let pivot = match pivot {
+                Some(p) => p,
+                None => continue, // free column
+            };
+            if pivot != row {
+                a.swap_rows(pivot, row);
+            }
+            let pivot_val = a.get(row, col);
+            let pivot_inv = Rational::ONE.checked_div(&pivot_val)?;
+            a.scale_row(row, &pivot_inv)?;
+            for r in 0..a.rows {
+                if r == row {
+                    continue;
+                }
+                let factor = a.get(r, col);
+                if factor.is_zero() {
+                    continue;
+                }
+                a.sub_scaled_row(r, row, &factor)?;
+            }
+            pivot_cols.push(col);
+            row += 1;
+        }
+        let is_pivot = {
+            let mut flags = vec![false; a.cols];
+            for &c in &pivot_cols {
+                flags[c] = true;
+            }
+            flags
+        };
+        let mut basis = Vec::new();
+        for free in 0..a.cols {
+            if is_pivot[free] {
+                continue;
+            }
+            let mut v = vec![Rational::ZERO; a.cols];
+            v[free] = Rational::ONE;
+            for (r, &pc) in pivot_cols.iter().enumerate() {
+                // Row r reads: x[pc] + Σ a[r][free]·x[free] = 0.
+                v[pc] = a.get(r, free).checked_neg()?;
+            }
+            basis.push(v);
+        }
+        Ok(basis)
+    }
+
     /// Multiplies this matrix by a vector of rationals.
     ///
     /// # Errors
@@ -303,6 +370,60 @@ mod tests {
         let m = Matrix::from_rows(2, 2, vec![int(0), int(1), int(1), int(0)]);
         let inv = m.inverse().unwrap().unwrap();
         assert_eq!(inv, m); // the swap matrix is its own inverse
+    }
+
+    #[test]
+    fn null_space_of_invertible_is_trivial() {
+        let m = Matrix::from_rows(2, 2, vec![int(1), int(2), int(3), int(4)]);
+        assert!(m.null_space().unwrap().is_empty());
+    }
+
+    #[test]
+    fn null_space_rank_one() {
+        // x + 2y = 0 → kernel spanned by (-2, 1).
+        let m = Matrix::from_rows(1, 2, vec![int(1), int(2)]);
+        let ns = m.null_space().unwrap();
+        assert_eq!(ns, vec![vec![int(-2), int(1)]]);
+    }
+
+    #[test]
+    fn null_space_vectors_annihilate() {
+        // Rank-2 3x4 system; kernel has dimension 2.
+        let m = Matrix::from_rows(
+            3,
+            4,
+            vec![
+                int(1),
+                int(2),
+                int(0),
+                int(1),
+                int(0),
+                int(0),
+                int(1),
+                int(3),
+                int(1),
+                int(2),
+                int(1),
+                int(4),
+            ],
+        );
+        let ns = m.null_space().unwrap();
+        assert_eq!(ns.len(), 2);
+        for v in &ns {
+            for r in m.mul_vec(v).unwrap() {
+                assert!(r.is_zero());
+            }
+        }
+    }
+
+    #[test]
+    fn null_space_zero_matrix_is_full() {
+        let m = Matrix::zero(2, 3);
+        let ns = m.null_space().unwrap();
+        assert_eq!(ns.len(), 3);
+        for (i, v) in ns.iter().enumerate() {
+            assert_eq!(v[i], Rational::ONE);
+        }
     }
 
     #[test]

@@ -128,6 +128,13 @@ pub struct LoopSummary {
     /// `(canonical value name, class description)` per classified value,
     /// in value-numbering order.
     pub classes: Vec<(String, String)>,
+    /// Verified polynomial relations between this loop's induction
+    /// variables (`2*%3 - %2^2 + %2 = 0` style), in derivation order.
+    /// Every entry passed the interpreter check; empty when no relation
+    /// was derived or none survived checking. Always computed, so cached
+    /// and stored summaries serve invariants warm; rendering is gated by
+    /// the `--invariants` flag instead.
+    pub invariants: Vec<String>,
 }
 
 /// The cache-shareable portion of a function's analysis: everything
@@ -185,9 +192,18 @@ impl FunctionSummary {
     /// Renders the per-function report block. Deterministic: identical
     /// for every job count and for cached vs freshly analyzed results.
     pub fn render(&self) -> String {
+        self.render_with(false)
+    }
+
+    /// [`FunctionSummary::render`] with verified invariant lines included
+    /// when `show_invariants` is set. The invariants always live in the
+    /// summary (cached and stored either way); the flag only gates
+    /// printing, so warm and cold output stay byte-identical for either
+    /// flag state.
+    pub fn render_with(&self, show_invariants: bool) -> String {
         let mut out = String::new();
         out.push_str(&format!("func {} [{:016x}]\n", self.name, self.hash));
-        render_summary_body(&mut out, &self.summary);
+        render_summary_body_with(&mut out, &self.summary, show_invariants);
         out
     }
 }
@@ -196,6 +212,16 @@ impl FunctionSummary {
 /// part shared between the batch report and the incremental per-nest
 /// report, so both print classifications in the same shape.
 pub(crate) fn render_summary_body(out: &mut String, summary: &StructuralSummary) {
+    render_summary_body_with(out, summary, false);
+}
+
+/// [`render_summary_body`], optionally printing each loop's verified
+/// invariant relations after its class lines.
+pub(crate) fn render_summary_body_with(
+    out: &mut String,
+    summary: &StructuralSummary,
+    show_invariants: bool,
+) {
     use std::fmt::Write as _;
     if let Some(error) = &summary.error {
         let _ = writeln!(out, "  error: internal: {error}");
@@ -207,6 +233,11 @@ pub(crate) fn render_summary_body(out: &mut String, summary: &StructuralSummary)
         }
         for (value, class) in &l.classes {
             let _ = writeln!(out, "    {value:<8} => {class}");
+        }
+        if show_invariants {
+            for relation in &l.invariants {
+                let _ = writeln!(out, "    invariant: {relation}");
+            }
         }
     }
     for breach in &summary.breaches {
@@ -500,12 +531,24 @@ pub fn render_grouped(
     functions: &[FunctionSummary],
     stats: &BatchStats,
 ) -> String {
+    render_grouped_with(ranges, functions, stats, false)
+}
+
+/// [`render_grouped`] with per-loop invariant lines when
+/// `show_invariants` is set — the format behind `bivc --invariants`,
+/// local and remote alike.
+pub fn render_grouped_with(
+    ranges: &[(String, usize)],
+    functions: &[FunctionSummary],
+    stats: &BatchStats,
+    show_invariants: bool,
+) -> String {
     let mut out = String::new();
     let mut next = 0usize;
     for (path, count) in ranges {
         out.push_str(&format!("══ {path} ══\n"));
         for summary in &functions[next..next + count] {
-            out.push_str(&summary.render());
+            out.push_str(&summary.render_with(show_invariants));
         }
         next += count;
     }
@@ -688,6 +731,7 @@ pub(crate) fn summarize_filtered(
         }
     };
     let namer = canonical_value_name;
+    let mut invariants = crate::invariants::function_invariants(func, config, &analysis);
     let mut loops = Vec::new();
     for (l, info) in analysis.loops() {
         if let Some(keep) = keep {
@@ -711,6 +755,7 @@ pub(crate) fn summarize_filtered(
             trip_count: info.trip_count.to_string(),
             max_trip_count: info.max_trip_count.as_ref().map(|p| p.to_string()),
             classes,
+            invariants: invariants.remove(&l).unwrap_or_default(),
         });
     }
     StructuralSummary {

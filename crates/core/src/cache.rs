@@ -40,7 +40,10 @@ use crate::budget::Budget;
 /// Bump this whenever the analyzer's observable output for any input
 /// can change; stale stores are then invalidated wholesale on open
 /// (every record becomes garbage and is compacted away).
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// History: 1 — original summary format; 2 — mixed-geometric
+/// classification plus per-loop verified invariants in every summary.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// The configuration fingerprint a persistent store is keyed on,
 /// alongside [`FORMAT_VERSION`].

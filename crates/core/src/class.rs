@@ -646,6 +646,57 @@ impl Periodic {
     }
 }
 
+/// A mixed geometric-linear classification: the general affine recurrence
+/// `v ← ratio·v + step` with `ratio ∉ {0, 1}`, whose closed form is
+///
+/// ```text
+/// v(h) = base·ratio^h + offset      where offset = step/(1 − ratio)
+/// ```
+///
+/// `offset` is the recurrence's fixed point and `base = v(0) − offset` the
+/// initial displacement from it. The class degenerates cleanly at the
+/// boundaries: `ratio == 1` is linear, `step == 0` is pure geometric, and
+/// `ratio == −1` alternates (kept as a plain [`ClosedForm`] so the
+/// periodic machinery stays authoritative for sign flips) — promotion in
+/// [`Class::normalized`] refuses all three, so no mixed form leaks into
+/// the existing classes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MixedGeometric {
+    /// The loop whose counter `h` this form is over.
+    pub loop_id: Loop,
+    /// Initial displacement from the fixed point (nonzero).
+    pub base: SymPoly,
+    /// The multiplicative ratio (∉ {−1, 0, 1}).
+    pub ratio: Rational,
+    /// The fixed point `step/(1 − ratio)` (nonzero).
+    pub offset: SymPoly,
+}
+
+impl MixedGeometric {
+    /// Reconstructs the equivalent closed form `offset + base·ratio^h`.
+    pub fn to_closed_form(&self) -> ClosedForm {
+        ClosedForm {
+            loop_id: self.loop_id,
+            coeffs: Coeffs::one(self.offset.clone()),
+            geo: vec![(self.ratio, self.base.clone())],
+        }
+    }
+
+    /// The additive step of the underlying recurrence `v ← ratio·v + step`,
+    /// recovered from the fixed point: `step = offset·(1 − ratio)`.
+    pub fn step(&self) -> Option<SymPoly> {
+        let one_minus_r = Rational::ONE.checked_sub(&self.ratio).ok()?;
+        self.offset.checked_scale(&one_minus_r).ok()
+    }
+
+    /// The initial value `v(0) = base + offset`.
+    pub fn initial_value(&self) -> SymPoly {
+        self.base
+            .checked_add(&self.offset)
+            .unwrap_or_else(|_| SymPoly::zero())
+    }
+}
+
 /// The classification of one SSA value with respect to one loop.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Class {
@@ -653,6 +704,9 @@ pub enum Class {
     Invariant(SymPoly),
     /// A (linear, polynomial, or geometric) induction variable.
     Induction(ClosedForm),
+    /// The general affine recurrence `v ← ratio·v + step` with a genuine
+    /// mix of geometric and constant parts (ROADMAP item 2).
+    MixedGeometric(MixedGeometric),
     /// A wrap-around variable (§4.1): for the first `order` iterations the
     /// value is off-sequence; afterwards it behaves as `steady`, delayed
     /// by `order` iterations.
@@ -679,7 +733,10 @@ impl Class {
     /// Whether this is any induction expression (invariant counts as the
     /// degenerate case).
     pub fn is_induction(&self) -> bool {
-        matches!(self, Class::Induction(_) | Class::Invariant(_))
+        matches!(
+            self,
+            Class::Induction(_) | Class::Invariant(_) | Class::MixedGeometric(_)
+        )
     }
 
     /// The closed form, promoting invariants to degree-0 forms.
@@ -687,14 +744,35 @@ impl Class {
         match self {
             Class::Induction(cf) => Some(cf.clone()),
             Class::Invariant(p) => Some(ClosedForm::constant(loop_id, p.clone())),
+            Class::MixedGeometric(mg) => Some(mg.to_closed_form()),
             _ => None,
         }
     }
 
-    /// Normalizes `Induction` forms that are actually invariant.
+    /// Normalizes `Induction` forms that are actually invariant, and
+    /// promotes genuinely mixed geometric-linear forms to
+    /// [`Class::MixedGeometric`].
     pub fn normalized(self) -> Class {
         match self {
             Class::Induction(cf) if cf.is_invariant() => Class::Invariant(cf.coeffs[0].clone()),
+            Class::Induction(cf)
+                if cf.degree() == 0
+                    && cf.geo.len() == 1
+                    && !cf.coeffs[0].is_zero()
+                    && cf.geo[0].0 != Rational::from_integer(-1) =>
+            {
+                // ClosedForm normalization already guarantees the base is
+                // ∉ {0, 1} and the geometric coefficient nonzero; the
+                // guard above adds a nonzero fixed point (otherwise pure
+                // geometric) and excludes the alternating ratio −1.
+                let (ratio, base) = cf.geo[0].clone();
+                Class::MixedGeometric(MixedGeometric {
+                    loop_id: cf.loop_id,
+                    base,
+                    ratio,
+                    offset: cf.coeffs[0].clone(),
+                })
+            }
             other => other,
         }
     }
@@ -836,6 +914,53 @@ mod tests {
     fn class_normalization() {
         let cls = Class::Induction(ClosedForm::constant(lp(), c(5))).normalized();
         assert_eq!(cls, Class::Invariant(c(5)));
+    }
+
+    #[test]
+    fn mixed_geometric_promotion() {
+        // 3 + 2·2^h — the recurrence v ← 2v − 3 from v(0) = 5.
+        let cf = ClosedForm::from_parts(lp(), vec![c(3)], vec![(Rational::from_integer(2), c(2))]);
+        let cls = Class::Induction(cf.clone()).normalized();
+        let Class::MixedGeometric(mg) = &cls else {
+            panic!("expected MixedGeometric, got {cls:?}");
+        };
+        assert_eq!(mg.base, c(2));
+        assert_eq!(mg.ratio, Rational::from_integer(2));
+        assert_eq!(mg.offset, c(3));
+        assert_eq!(mg.initial_value(), c(5));
+        // step = offset·(1 − ratio) = 3·(1−2) = −3.
+        assert_eq!(mg.step().unwrap(), c(-3));
+        assert_eq!(mg.to_closed_form(), cf);
+        assert_eq!(cls.closed_form(lp()).unwrap(), cf);
+        assert!(cls.is_induction());
+    }
+
+    #[test]
+    fn pure_geometric_not_promoted() {
+        // 2^h with zero fixed point stays a plain Induction form.
+        let cf = ClosedForm::from_parts(lp(), vec![c(0)], vec![(Rational::from_integer(2), c(1))]);
+        let cls = Class::Induction(cf.clone()).normalized();
+        assert_eq!(cls, Class::Induction(cf));
+    }
+
+    #[test]
+    fn alternating_ratio_not_promoted() {
+        // 1 + (−1)^h alternates; promotion refuses ratio −1.
+        let cf = ClosedForm::from_parts(lp(), vec![c(1)], vec![(Rational::from_integer(-1), c(1))]);
+        let cls = Class::Induction(cf.clone()).normalized();
+        assert_eq!(cls, Class::Induction(cf));
+    }
+
+    #[test]
+    fn nonconstant_poly_part_not_promoted() {
+        // h + 2^h has a degree-1 polynomial part: not the mixed shape.
+        let cf = ClosedForm::from_parts(
+            lp(),
+            vec![c(0), c(1)],
+            vec![(Rational::from_integer(2), c(1))],
+        );
+        let cls = Class::Induction(cf.clone()).normalized();
+        assert_eq!(cls, Class::Induction(cf));
     }
 
     #[test]

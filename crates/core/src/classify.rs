@@ -239,6 +239,14 @@ pub fn combine_classes(loop_id: Loop, op: BinOp, lhs: &Class, rhs: &Class) -> Cl
 
 fn add_classes(loop_id: Loop, lhs: &Class, rhs: &Class) -> Class {
     use Class::*;
+    // Mixed geometric forms participate in the algebra through their
+    // closed form; re-normalization re-promotes results that stay mixed.
+    if let MixedGeometric(mg) = lhs {
+        return add_classes(loop_id, &Induction(mg.to_closed_form()), rhs);
+    }
+    if let MixedGeometric(mg) = rhs {
+        return add_classes(loop_id, lhs, &Induction(mg.to_closed_form()));
+    }
     match (lhs, rhs) {
         (Invariant(a), Invariant(b)) => match a.checked_add(b) {
             Ok(s) => Invariant(s),
@@ -332,6 +340,14 @@ fn add_classes(loop_id: Loop, lhs: &Class, rhs: &Class) -> Class {
 
 fn mul_classes(_loop_id: Loop, lhs: &Class, rhs: &Class) -> Class {
     use Class::*;
+    // Mixed geometric forms participate through their closed form, as in
+    // `add_classes`.
+    if let MixedGeometric(mg) = lhs {
+        return mul_classes(_loop_id, &Induction(mg.to_closed_form()), rhs);
+    }
+    if let MixedGeometric(mg) = rhs {
+        return mul_classes(_loop_id, lhs, &Induction(mg.to_closed_form()));
+    }
     match (lhs, rhs) {
         (Invariant(a), Invariant(b)) => match a.checked_mul(b) {
             Ok(p) => Invariant(p),
@@ -390,6 +406,10 @@ pub fn negate_class(loop_id: Loop, cls: &Class) -> Class {
             Err(_) => Unknown,
         },
         Induction(cf) => match cf.neg() {
+            Some(n) => Induction(n).normalized(),
+            None => Unknown,
+        },
+        MixedGeometric(mg) => match mg.to_closed_form().neg() {
             Some(n) => Induction(n).normalized(),
             None => Unknown,
         },
@@ -821,6 +841,21 @@ impl<'a> Cx<'a> {
                 Class::WrapAround {
                     order: 1,
                     steady: Box::new(Class::Induction(cf)),
+                    initials: vec![init],
+                }
+            }
+            Class::MixedGeometric(mg) => {
+                // Same refinement as Induction, through the closed form;
+                // re-normalization re-promotes a refined mixed form.
+                let cf = mg.to_closed_form();
+                if let Some(shifted) = cf.shift_back() {
+                    if shifted.eval_at(0).as_ref() == Some(&init) {
+                        return Class::Induction(shifted).normalized();
+                    }
+                }
+                Class::WrapAround {
+                    order: 1,
+                    steady: Box::new(Class::MixedGeometric(mg)),
                     initials: vec![init],
                 }
             }
@@ -1273,6 +1308,10 @@ impl<'a> Cx<'a> {
                         a: Rational::ZERO,
                         b: cf,
                     }),
+                    Class::MixedGeometric(mg) => Ok(Transform {
+                        a: Rational::ZERO,
+                        b: mg.to_closed_form(),
+                    }),
                     _ => Err(NonAffine),
                 }
             }
@@ -1440,6 +1479,7 @@ impl<'a> Cx<'a> {
         match self.class_of_operand(op) {
             Class::Invariant(p) => p.constant_value().map(Sign::of_rational),
             Class::Induction(cf) => cf_value_sign(&cf),
+            Class::MixedGeometric(mg) => cf_value_sign(&mg.to_closed_form()),
             _ => None,
         }
     }

@@ -35,10 +35,14 @@ fn render_sympoly(analysis: &Analysis, poly: &SymPoly, namer: ValueNamer<'_>) ->
             let (sym, pow) = monomial.factors()[0];
             if pow == 1 {
                 let value = value_of_sym(sym);
-                if let Some((_, Class::Induction(cf))) = analysis.class_of(value) {
-                    if !cf.is_invariant() {
+                match analysis.class_of(value) {
+                    Some((_, Class::Induction(cf))) if !cf.is_invariant() => {
                         return describe_closed_form_with(analysis, cf, namer);
                     }
+                    Some((_, Class::MixedGeometric(mg))) => {
+                        return describe_closed_form_with(analysis, &mg.to_closed_form(), namer);
+                    }
+                    _ => {}
                 }
             }
         }
@@ -105,6 +109,19 @@ pub fn describe_class_with(analysis: &Analysis, class: &Class, namer: ValueNamer
             format!("invariant {}", render_sympoly(analysis, p, namer))
         }
         Class::Induction(cf) => describe_closed_form_with(analysis, cf, namer),
+        Class::MixedGeometric(mg) => {
+            let loop_name = analysis
+                .loops()
+                .find(|(l, _)| *l == mg.loop_id)
+                .map(|(_, info)| info.name.clone())
+                .unwrap_or_else(|| format!("{}", mg.loop_id));
+            format!(
+                "mixed-geometric({loop_name}, {}*{}^h + {})",
+                render_sympoly(analysis, &mg.base, namer),
+                mg.ratio,
+                render_sympoly(analysis, &mg.offset, namer)
+            )
+        }
         Class::WrapAround {
             order,
             steady,

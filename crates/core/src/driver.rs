@@ -417,7 +417,8 @@ fn materialize_exit_values(
         };
         let expr = match class {
             Class::Invariant(p) => Some(p.clone()),
-            Class::Induction(cf) => {
+            Class::Induction(_) | Class::MixedGeometric(_) => {
+                let cf = class.closed_form(l).expect("induction has a closed form");
                 // Does v still execute on the final (partial) iteration?
                 let runs_final = dom.dominates(ssa.def_block(v), exit_from);
                 let at = if runs_final {

@@ -1,0 +1,121 @@
+//! Boundary pinning for the `MixedGeometric` class: the promotion
+//! `v ← r·v + c  ⇒  base·r^h + offset` must fire exactly when
+//! `r ∉ {−1, 0, 1}` and `c ≠ 0`, and *never* leak into the degenerate
+//! boundaries — `r == 1` is linear, `c == 0` is pure geometric, and
+//! `r == −1` alternates (plain closed form; flip-flop pairs stay
+//! `Periodic`). Each case pins the full class, not just "not mixed".
+
+use biv_algebra::Rational;
+use biv_core::{analyze_source, Class};
+
+/// The class of the loop-header φ for the variable updated in `L1`.
+fn header_phi_class(src: &str) -> Class {
+    let analysis = analyze_source(src).unwrap();
+    let l = analysis.loop_by_label("L1").unwrap();
+    let header = analysis.forest().data(l).header;
+    let info = analysis.info(l);
+    let phis = &analysis.ssa().block(header).phis;
+    // The probe sources name the planted variable `v`; its φ is the one
+    // whose name starts with `v`.
+    let phi = *phis
+        .iter()
+        .find(|&&p| analysis.ssa().value_name(p).starts_with('v'))
+        .expect("v's header φ");
+    info.classes.get(phi).expect("classified").clone()
+}
+
+#[test]
+fn ratio_one_is_linear_not_mixed() {
+    let class =
+        header_phi_class("func f() { v = 4 L1: for i = 1 to 10 { v = v * 1 + 3 ARR[v] = i } }");
+    let Class::Induction(cf) = class else {
+        panic!("r == 1 must stay a polynomial induction, got {class:?}");
+    };
+    assert!(cf.geo.is_empty(), "no geometric term at r == 1");
+    assert_eq!(cf.degree(), 1, "4 + 3h is linear");
+    assert_eq!(
+        cf.coeffs[1].constant_value().unwrap(),
+        Rational::from_integer(3)
+    );
+}
+
+#[test]
+fn zero_step_stays_pure_geometric() {
+    let class = header_phi_class("func f() { v = 4 L1: for i = 1 to 10 { v = v * 2 ARR[v] = i } }");
+    let Class::Induction(cf) = class else {
+        panic!("c == 0 must stay a plain geometric closed form, got {class:?}");
+    };
+    assert_eq!(cf.geo.len(), 1, "one geometric term");
+    assert_eq!(cf.geo[0].0, Rational::from_integer(2));
+    assert!(
+        cf.coeffs.iter().all(|c| c.is_zero()),
+        "no additive part: 4·2^h exactly"
+    );
+}
+
+#[test]
+fn ratio_minus_one_alternates_without_promotion() {
+    // v ← −v + 5 oscillates between 4 and 1: base·(−1)^h + 5/2 is a
+    // valid closed form, but promoting it would put an alternating
+    // recurrence in a class whose offset reads as a fixed point the
+    // values never approach. It stays a plain closed form.
+    for src in [
+        "func f() { v = 4 L1: for i = 1 to 10 { v = 5 - v ARR[v] = i } }",
+        "func f() { v = 4 L1: for i = 1 to 10 { v = v * -1 + 5 ARR[v] = i } }",
+    ] {
+        let class = header_phi_class(src);
+        let Class::Induction(cf) = class else {
+            panic!("r == −1 must stay a plain closed form, got {class:?}");
+        };
+        assert_eq!(cf.geo.len(), 1);
+        assert_eq!(cf.geo[0].0, Rational::from_integer(-1), "alternating base");
+        assert_eq!(
+            cf.coeffs[0].constant_value().unwrap(),
+            Rational::new(5, 2).unwrap(),
+            "midpoint 5/2, not a mixed-geometric offset"
+        );
+    }
+}
+
+#[test]
+fn flip_flop_pair_stays_periodic() {
+    // The classic two-variable swap is period-2 `Periodic`, and the
+    // mixed-geometric promotion must not disturb it.
+    let analysis = analyze_source(
+        "func f() { a = 7 b = 9 L1: for i = 1 to 10 { ARR[a] = i t = a a = b b = t } }",
+    )
+    .unwrap();
+    let l = analysis.loop_by_label("L1").unwrap();
+    let info = analysis.info(l);
+    let periodic = info
+        .classes
+        .values()
+        .filter(|c| matches!(c, Class::Periodic(_)))
+        .count();
+    assert!(periodic >= 2, "both swapped φs stay periodic");
+    assert!(
+        !info
+            .classes
+            .values()
+            .any(|c| matches!(c, Class::MixedGeometric(_))),
+        "no mixed-geometric leakage into the swap"
+    );
+}
+
+#[test]
+fn true_mixed_recurrence_is_promoted_with_exact_parameters() {
+    // The positive case alongside the boundaries: v ← 2v + 1 from 4 is
+    // 5·2^h − 1 (offset = 1/(1−2) = −1, base = 4 − (−1) = 5).
+    let class =
+        header_phi_class("func f() { v = 4 L1: for i = 1 to 10 { v = v * 2 + 1 ARR[v] = i } }");
+    let Class::MixedGeometric(mg) = class else {
+        panic!("v ← 2v + 1 must promote, got {class:?}");
+    };
+    assert_eq!(mg.ratio, Rational::from_integer(2));
+    assert_eq!(mg.base.constant_value().unwrap(), Rational::from_integer(5));
+    assert_eq!(
+        mg.offset.constant_value().unwrap(),
+        Rational::from_integer(-1)
+    );
+    assert_eq!(mg.step().unwrap().constant_value().unwrap(), Rational::ONE);
+}

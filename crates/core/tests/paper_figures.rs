@@ -294,11 +294,14 @@ fn l14_polynomial_and_geometric_closed_forms() {
         }
         other => panic!("k3 should be cubic, got {other:?}"),
     }
-    // l3 follows 2^(h+2) - 1: 3, 7, 15, 31, …
+    // l3 follows 2^(h+2) - 1 = 4·2^h − 1: 3, 7, 15, 31, … — a geometric
+    // with a constant offset, which classifies as mixed-geometric.
     match class_by_name(&analysis, "l3") {
-        Class::Induction(cf) => {
-            assert_eq!(cf.geo.len(), 1);
-            assert_eq!(cf.geo[0].0, rat(2));
+        Class::MixedGeometric(mg) => {
+            assert_eq!(mg.ratio, rat(2));
+            assert_eq!(mg.base.constant_value().unwrap(), rat(4));
+            assert_eq!(mg.offset.constant_value().unwrap(), rat(-1));
+            let cf = mg.to_closed_form();
             for (h, expected) in [(0, 3), (1, 7), (2, 15), (3, 31)] {
                 assert_eq!(
                     cf.eval_at(h).unwrap().constant_value().unwrap(),
@@ -307,7 +310,7 @@ fn l14_polynomial_and_geometric_closed_forms() {
                 );
             }
         }
-        other => panic!("l3 should be geometric, got {other:?}"),
+        other => panic!("l3 should be mixed-geometric, got {other:?}"),
     }
 }
 

@@ -87,6 +87,12 @@ pub struct FleetConfig {
     /// Busy rejections tolerated per group submission before the shard
     /// is declared saturated for those files.
     pub max_busy_retries: u32,
+    /// Render verified per-loop invariants in each shard's per-file
+    /// blocks, exactly as `bivc --invariants` does locally. Shards
+    /// always *compute* invariants (they live in the cached summaries);
+    /// this flag only selects the rendering, so warm and cold fleet
+    /// runs stay byte-identical for either setting.
+    pub invariants: bool,
 }
 
 impl FleetConfig {
@@ -97,6 +103,7 @@ impl FleetConfig {
             cache_cap: None,
             max_redirects: 4,
             max_busy_retries: 10,
+            invariants: false,
         }
     }
 }
@@ -380,8 +387,11 @@ impl Router {
                                 .collect();
                             let cache_cap = self.config.cache_cap;
                             let max_busy = self.config.max_busy_retries;
+                            let invariants = self.config.invariants;
                             let handle = scope.spawn(move || {
-                                submit_group(&endpoint, shard, n, payload, cache_cap, max_busy)
+                                submit_group(
+                                    &endpoint, shard, n, payload, cache_cap, max_busy, invariants,
+                                )
                             });
                             (shard, members, handle)
                         })
@@ -585,6 +595,7 @@ fn submit_group(
     payload: Vec<AnalyzeFile>,
     cache_cap: Option<usize>,
     max_busy_retries: u32,
+    invariants: bool,
 ) -> (GroupOutcome, u64, bool) {
     if faults::fire("fleet.shard.unreachable") {
         return (
@@ -609,6 +620,7 @@ fn submit_group(
         cache_cap,
         shard_id: shard,
         shard_count,
+        invariants,
     };
     let mut attempt = 0u32;
     loop {
@@ -718,7 +730,11 @@ mod tests {
     /// What a local `bivc` batch run prints for `files` — the bytes the
     /// router must reproduce.
     fn local_output(files: &[AnalyzeFile], cap: usize) -> String {
-        use biv_core::{analyze_batch, render_grouped, BatchOptions};
+        local_output_with(files, cap, false)
+    }
+
+    fn local_output_with(files: &[AnalyzeFile], cap: usize, invariants: bool) -> String {
+        use biv_core::{analyze_batch, render_grouped_with, BatchOptions};
         let mut funcs = Vec::new();
         let mut ranges = Vec::new();
         for f in files {
@@ -733,7 +749,7 @@ mod tests {
         let report = analyze_batch(&funcs, &opts);
         let hashes: Vec<u64> = report.functions.iter().map(|f| f.hash).collect();
         let cold = cold_batch_stats(&hashes, cap);
-        render_grouped(&ranges, &report.functions, &cold)
+        render_grouped_with(&ranges, &report.functions, &cold, invariants)
     }
 
     /// A TCP endpoint that refuses connections: bind, read the port,
@@ -773,6 +789,45 @@ mod tests {
         assert_eq!(report.functions, 6);
         assert!(report.errors.is_empty(), "{:?}", report.errors);
         assert!(report.dead_shards.is_empty());
+        stop(shards);
+    }
+
+    #[test]
+    fn three_shard_fleet_invariants_match_local_bytes_warm_and_cold() {
+        // Invariant-bearing running-sum loops, spread over 3 shards,
+        // rendered with the invariants flag: the reassembled bytes must
+        // match a local `--invariants` run on the cold pass AND on a
+        // warm repeat (shards serve the second pass from their caches,
+        // so the invariant lines must round-trip through the summary).
+        let shards: Vec<_> = (0..3).map(|k| spawn_shard(k, 3)).collect();
+        let endpoints: Vec<String> = shards.iter().map(|(e, _, _)| e.clone()).collect();
+        let files: Vec<AnalyzeFile> = (0..6)
+            .map(|i| AnalyzeFile {
+                path: format!("mem/{i}.biv"),
+                source: format!(
+                    "func sums{i}(n) {{ i = 1 s = 0 loop {{ s = s + i i = i + 1 \
+                     if i > n {{ break }} }} }}\n"
+                ),
+            })
+            .collect();
+
+        let mut config = FleetConfig::new(endpoints);
+        config.invariants = true;
+        let mut router = Router::new(config).unwrap();
+        let want = local_output_with(&files, 4096, true);
+        assert!(
+            want.contains("invariant: "),
+            "the planted loops must actually carry invariants:\n{want}"
+        );
+
+        let cold = router.analyze(files.clone()).unwrap();
+        assert!(cold.errors.is_empty(), "{:?}", cold.errors);
+        assert_eq!(cold.output, want, "cold fleet bytes");
+
+        let warm = router.analyze(files.clone()).unwrap();
+        assert!(warm.errors.is_empty(), "{:?}", warm.errors);
+        assert_eq!(warm.output, want, "warm fleet bytes");
+        assert!(warm.cached > 0, "second pass must hit shard caches");
         stop(shards);
     }
 

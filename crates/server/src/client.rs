@@ -122,7 +122,22 @@ impl Client {
         files: Vec<AnalyzeFile>,
         cache_cap: Option<usize>,
     ) -> io::Result<Response> {
-        let request = Request::Analyze { files, cache_cap };
+        self.analyze_with(files, cache_cap, false)
+    }
+
+    /// [`Client::analyze`] with invariant rendering requested (the
+    /// `invariants` wire op).
+    pub fn analyze_with(
+        &mut self,
+        files: Vec<AnalyzeFile>,
+        cache_cap: Option<usize>,
+        invariants: bool,
+    ) -> io::Result<Response> {
+        let request = Request::Analyze {
+            files,
+            cache_cap,
+            invariants,
+        };
         let mut retries = 0;
         let mut slept = Duration::ZERO;
         loop {

@@ -10,7 +10,8 @@
 //! |---------|----------|
 //! | `{"op":"ping"}` | `{"ok":true,"op":"pong"}` |
 //! | `{"op":"analyze","files":[{"path","source"},…],"cache_cap"?}` | `{"ok":true,"op":"analyze","output",…,"errors":[…]}` |
-//! | `{"op":"analyze_fleet","files":[…],"shard_id","shard_count","cache_cap"?}` | `{"ok":true,"op":"analyze_fleet","files":[{"path","output","hashes",…}]}` |
+//! | `{"op":"invariants","files":[…],"cache_cap"?}` | `{"ok":true,"op":"analyze","output",…}` with invariant lines |
+//! | `{"op":"analyze_fleet","files":[…],"shard_id","shard_count","cache_cap"?,"invariants"?}` | `{"ok":true,"op":"analyze_fleet","files":[{"path","output","hashes",…}]}` |
 //! | `{"op":"preload","dir":PATH}` | `{"ok":true,"op":"preload","loaded":N}` |
 //! | `{"op":"stats"}` | `{"ok":true,"op":"stats","stats":{…}}` |
 //! | `{"op":"gossip","from"?,"view":{…}}` | `{"ok":true,"op":"gossip","view":{…}}` |
@@ -67,6 +68,12 @@ pub enum Request {
         /// the deterministic cold-run stats line (the server's actual
         /// cache is sized server-side). `None` means the default.
         cache_cap: Option<usize>,
+        /// Render each loop's verified polynomial invariants. On the
+        /// wire this is the `invariants` op — same payload shape as
+        /// `analyze`, invariant lines included in the output. Summaries
+        /// always carry their invariants either way, so flag state never
+        /// affects what gets cached or stored.
+        invariants: bool,
     },
     /// Analyze a batch on one fleet shard, returning per-file blocks
     /// instead of a finished report (see the module docs).
@@ -82,6 +89,9 @@ pub enum Request {
         shard_id: u32,
         /// The fleet size the router routed against.
         shard_count: u32,
+        /// Render invariant lines in the per-file blocks, as for
+        /// [`Request::Analyze`]; optional on the wire, default off.
+        invariants: bool,
     },
     /// Preload the server's cache from a drained shard's store
     /// snapshot directory — the warm-handoff half of a fleet rebalance.
@@ -321,11 +331,13 @@ impl Request {
             Request::Ping => Json::obj(vec![("op", Json::Str("ping".into()))]),
             Request::Stats => Json::obj(vec![("op", Json::Str("stats".into()))]),
             Request::Shutdown => Json::obj(vec![("op", Json::Str("shutdown".into()))]),
-            Request::Analyze { files, cache_cap } => {
-                let mut pairs = vec![
-                    ("op", Json::Str("analyze".into())),
-                    ("files", encode_files(files)),
-                ];
+            Request::Analyze {
+                files,
+                cache_cap,
+                invariants,
+            } => {
+                let op = if *invariants { "invariants" } else { "analyze" };
+                let mut pairs = vec![("op", Json::Str(op.into())), ("files", encode_files(files))];
                 if let Some(cap) = cache_cap {
                     pairs.push(("cache_cap", Json::Int(*cap as i64)));
                 }
@@ -336,6 +348,7 @@ impl Request {
                 cache_cap,
                 shard_id,
                 shard_count,
+                invariants,
             } => {
                 let mut pairs = vec![
                     ("op", Json::Str("analyze_fleet".into())),
@@ -345,6 +358,9 @@ impl Request {
                 ];
                 if let Some(cap) = cache_cap {
                     pairs.push(("cache_cap", Json::Int(*cap as i64)));
+                }
+                if *invariants {
+                    pairs.push(("invariants", Json::Bool(true)));
                 }
                 Json::obj(pairs)
             }
@@ -394,15 +410,22 @@ impl Request {
             "ping" => Ok(Request::Ping),
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
-            "analyze" => Ok(Request::Analyze {
-                files: decode_files(&json, "analyze")?,
+            "analyze" | "invariants" => Ok(Request::Analyze {
+                files: decode_files(&json, op)?,
                 cache_cap: decode_cache_cap(&json)?,
+                invariants: op == "invariants",
             }),
             "analyze_fleet" => Ok(Request::AnalyzeFleet {
                 files: decode_files(&json, "analyze_fleet")?,
                 cache_cap: decode_cache_cap(&json)?,
                 shard_id: decode_u32(&json, "shard_id")?,
                 shard_count: decode_u32(&json, "shard_count")?,
+                invariants: match json.get("invariants") {
+                    None | Some(Json::Null) => false,
+                    Some(v) => v
+                        .as_bool()
+                        .ok_or_else(|| bad("`invariants` must be a boolean"))?,
+                },
             }),
             "preload" => Ok(Request::Preload {
                 dir: json
@@ -778,10 +801,20 @@ mod tests {
                     source: "func f(n) { L1: for i = 1 to n { A[i] = i } }\n".into(),
                 }],
                 cache_cap: Some(16),
+                invariants: false,
             },
             Request::Analyze {
                 files: vec![],
                 cache_cap: None,
+                invariants: false,
+            },
+            Request::Analyze {
+                files: vec![AnalyzeFile {
+                    path: "sums.biv".into(),
+                    source: "func f(n) { i = 1 s = 0 loop { s = s + i i = i + 1 if i > n { break } } }\n".into(),
+                }],
+                cache_cap: Some(8),
+                invariants: true,
             },
             Request::AnalyzeFleet {
                 files: vec![AnalyzeFile {
@@ -791,6 +824,14 @@ mod tests {
                 cache_cap: None,
                 shard_id: 2,
                 shard_count: 3,
+                invariants: false,
+            },
+            Request::AnalyzeFleet {
+                files: vec![],
+                cache_cap: Some(4),
+                shard_id: 0,
+                shard_count: 3,
+                invariants: true,
             },
             Request::Preload {
                 dir: "/var/lib/biv/shard-1".into(),
@@ -823,6 +864,24 @@ mod tests {
         for r in reqs {
             assert_eq!(Request::decode(&r.encode()).unwrap(), r);
         }
+    }
+
+    #[test]
+    fn invariants_flag_selects_the_invariants_op() {
+        let req = Request::Analyze {
+            files: vec![],
+            cache_cap: None,
+            invariants: true,
+        };
+        let text = String::from_utf8(req.encode()).unwrap();
+        assert!(text.contains(r#""op":"invariants""#), "{text}");
+        let plain = Request::Analyze {
+            files: vec![],
+            cache_cap: None,
+            invariants: false,
+        };
+        let text = String::from_utf8(plain.encode()).unwrap();
+        assert!(text.contains(r#""op":"analyze""#), "{text}");
     }
 
     #[test]
@@ -900,6 +959,13 @@ mod tests {
         // errors, never as panics or silent defaults.
         assert!(Request::decode(br#"{"op":"analyze_fleet","files":[]}"#).is_err());
         assert!(Request::decode(br#"{"op":"preload"}"#).is_err());
+        // The invariants op shares analyze's shape and its failure
+        // modes; a non-boolean fleet `invariants` field is rejected.
+        assert!(Request::decode(br#"{"op":"invariants"}"#).is_err());
+        assert!(Request::decode(
+            br#"{"op":"analyze_fleet","files":[],"shard_id":0,"shard_count":1,"invariants":"yes"}"#
+        )
+        .is_err());
         assert!(Response::decode(
             br#"{"ok":true,"op":"analyze_fleet","files":[{"path":"x","output":"","hashes":["zz"]}],"functions":0,"analyzed":0,"cached":0}"#
         )

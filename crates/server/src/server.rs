@@ -42,8 +42,8 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use biv_core::{
-    analyze_batch_shared_backend, cold_batch_stats, render_grouped, resolve_jobs, AnalysisConfig,
-    BatchOptions, Budget, CacheBackend, StructuralCache,
+    analyze_batch_shared_backend, cold_batch_stats, render_grouped_with, resolve_jobs,
+    AnalysisConfig, BatchOptions, Budget, CacheBackend, StructuralCache,
 };
 use biv_ir::parser::parse_program;
 use biv_ir::Function;
@@ -192,11 +192,13 @@ pub(crate) enum JobKind {
     Analyze {
         files: Vec<AnalyzeFile>,
         cache_cap: Option<usize>,
+        invariants: bool,
     },
     /// A fleet analyze: per-file blocks plus hashes, no stats line.
     AnalyzeFleet {
         files: Vec<AnalyzeFile>,
         cache_cap: Option<usize>,
+        invariants: bool,
     },
     /// Warm-handoff preload from a drained shard's store snapshot.
     Preload { dir: String },
@@ -494,12 +496,32 @@ fn internal_error(detail: &str) -> Response {
 /// The panic-isolated body of one queued job.
 fn process_job(shared: &Shared<'_>, opts: &BatchOptions, job: &Job) -> Response {
     match &job.kind {
-        JobKind::Analyze { files, cache_cap } => {
-            process_analyze(shared, opts, job.submitted, files, *cache_cap, false)
-        }
-        JobKind::AnalyzeFleet { files, cache_cap } => {
-            process_analyze(shared, opts, job.submitted, files, *cache_cap, true)
-        }
+        JobKind::Analyze {
+            files,
+            cache_cap,
+            invariants,
+        } => process_analyze(
+            shared,
+            opts,
+            job.submitted,
+            files,
+            *cache_cap,
+            false,
+            *invariants,
+        ),
+        JobKind::AnalyzeFleet {
+            files,
+            cache_cap,
+            invariants,
+        } => process_analyze(
+            shared,
+            opts,
+            job.submitted,
+            files,
+            *cache_cap,
+            true,
+            *invariants,
+        ),
         JobKind::Preload { dir } => process_preload(shared, dir),
         JobKind::Replicate { entries } => process_replicate(shared, entries),
     }
@@ -519,6 +541,7 @@ fn process_analyze(
     files: &[AnalyzeFile],
     cache_cap: Option<usize>,
     fleet: bool,
+    invariants: bool,
 ) -> Response {
     let queue_wait = submitted.elapsed();
 
@@ -575,7 +598,7 @@ fn process_analyze(
                     let mut output = format!("══ {} ══\n", file.path);
                     let mut hashes = Vec::with_capacity(*count);
                     for summary in &report.functions[next..next + count] {
-                        output.push_str(&summary.render());
+                        output.push_str(&summary.render_with(invariants));
                         hashes.push(summary.hash);
                     }
                     next += count;
@@ -618,7 +641,7 @@ fn process_analyze(
         }
         let hashes: Vec<u64> = report.functions.iter().map(|f| f.hash).collect();
         let cold = cold_batch_stats(&hashes, replay_cap);
-        let output = render_grouped(&ranges, &report.functions, &cold);
+        let output = render_grouped_with(&ranges, &report.functions, &cold, invariants);
         Response::Analyze {
             output,
             functions: report.stats.functions,
@@ -807,14 +830,21 @@ pub(crate) fn route_request(shared: &Shared<'_>, request: Request) -> Routed {
             response: Response::ShutdownAck,
             shutdown: true,
         },
-        Request::Analyze { files, cache_cap } => {
-            Routed::Queue(JobKind::Analyze { files, cache_cap })
-        }
+        Request::Analyze {
+            files,
+            cache_cap,
+            invariants,
+        } => Routed::Queue(JobKind::Analyze {
+            files,
+            cache_cap,
+            invariants,
+        }),
         Request::AnalyzeFleet {
             files,
             cache_cap,
             shard_id,
             shard_count,
+            invariants,
         } => {
             let config = shared.config;
             if shard_id != config.shard_id || shard_count != config.shard_count {
@@ -831,7 +861,11 @@ pub(crate) fn route_request(shared: &Shared<'_>, request: Request) -> Routed {
                     ),
                 })
             } else {
-                Routed::Queue(JobKind::AnalyzeFleet { files, cache_cap })
+                Routed::Queue(JobKind::AnalyzeFleet {
+                    files,
+                    cache_cap,
+                    invariants,
+                })
             }
         }
         Request::Preload { dir } => Routed::Queue(JobKind::Preload { dir }),
@@ -1114,6 +1148,7 @@ mod tests {
             .request(&Request::Analyze {
                 files: files(2),
                 cache_cap: None,
+                invariants: false,
             })
             .unwrap();
         let Response::Analyze {
@@ -1141,6 +1176,7 @@ mod tests {
             .request(&Request::Analyze {
                 files: files(2),
                 cache_cap: None,
+                invariants: false,
             })
             .unwrap();
         let Response::Analyze {
@@ -1182,6 +1218,48 @@ mod tests {
     }
 
     #[test]
+    fn invariants_op_gates_rendering_without_changing_the_rest() {
+        // A literal-init running sum: i = 1, 2, …; s its prefix sum.
+        let src = "func sums(n) { i = 1 s = 0 loop { s = s + i i = i + 1 if i > n { break } } }\n";
+        let mut config = ServerConfig::new(Endpoint::Tcp(String::new()));
+        config.workers = 1;
+        let (endpoint, handle) = spawn_server(config);
+        let mut client = Client::connect(&Endpoint::parse(&endpoint)).unwrap();
+        let file = || {
+            vec![AnalyzeFile {
+                path: "sums.biv".into(),
+                source: src.into(),
+            }]
+        };
+        let Response::Analyze { output: with, .. } =
+            client.analyze_with(file(), None, true).unwrap()
+        else {
+            panic!("expected analyze response");
+        };
+        assert!(
+            with.contains("invariant: "),
+            "invariants op renders invariant lines:\n{with}"
+        );
+        let Response::Analyze {
+            output: without, ..
+        } = client.analyze(file(), None).unwrap()
+        else {
+            panic!("expected analyze response");
+        };
+        assert!(!without.contains("invariant: "), "{without}");
+        // The flag only adds lines; filtering them out recovers the
+        // plain report exactly, warm cache and all.
+        let stripped: String = with
+            .lines()
+            .filter(|l| !l.trim_start().starts_with("invariant: "))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert_eq!(stripped, without);
+        client.request(&Request::Shutdown).unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
     fn parse_errors_are_reported_per_file() {
         let mut config = ServerConfig::new(Endpoint::Tcp(String::new()));
         config.workers = 1;
@@ -1200,6 +1278,7 @@ mod tests {
                     },
                 ],
                 cache_cap: None,
+                invariants: false,
             })
             .unwrap();
         let Response::Analyze {
@@ -1232,6 +1311,7 @@ mod tests {
             .request(&Request::Analyze {
                 files: files(1),
                 cache_cap: None,
+                invariants: false,
             })
             .unwrap();
         let Response::Busy { retry_after_ms } = response else {
@@ -1265,6 +1345,7 @@ mod tests {
             .request(&Request::Analyze {
                 files: files(4),
                 cache_cap: None,
+                invariants: false,
             })
             .unwrap();
         let Response::Error { kind, .. } = response else {
@@ -1337,6 +1418,7 @@ mod tests {
             .request(&Request::Analyze {
                 files: files(3),
                 cache_cap: None,
+                invariants: false,
             })
             .unwrap();
         let Response::Analyze {
@@ -1359,6 +1441,7 @@ mod tests {
             .request(&Request::Analyze {
                 files: files(3),
                 cache_cap: None,
+                invariants: false,
             })
             .unwrap();
         let Response::Analyze {
@@ -1406,6 +1489,7 @@ mod tests {
                 cache_cap: None,
                 shard_id: 0,
                 shard_count: 3,
+                invariants: false,
             })
             .unwrap();
         let Response::Redirect {
@@ -1426,6 +1510,7 @@ mod tests {
                 cache_cap: None,
                 shard_id: 1,
                 shard_count: 3,
+                invariants: false,
             })
             .unwrap();
         let Response::AnalyzeFleet {
@@ -1466,6 +1551,7 @@ mod tests {
                 cache_cap: None,
                 shard_id: 1,
                 shard_count: 3,
+                invariants: false,
             })
             .unwrap();
         let Response::AnalyzeFleet { files: blocks, .. } = response else {
@@ -1497,6 +1583,7 @@ mod tests {
             .request(&Request::Analyze {
                 files: files(2),
                 cache_cap: None,
+                invariants: false,
             })
             .unwrap();
         client.request(&Request::Shutdown).unwrap();
@@ -1521,6 +1608,7 @@ mod tests {
             .request(&Request::Analyze {
                 files: files(2),
                 cache_cap: None,
+                invariants: false,
             })
             .unwrap();
         let Response::Analyze {
@@ -1561,6 +1649,7 @@ mod tests {
                 .request(&Request::Analyze {
                     files: files(3),
                     cache_cap: Some(2),
+                    invariants: false,
                 })
                 .unwrap();
             client.request(&Request::Shutdown).unwrap();
@@ -1588,6 +1677,7 @@ mod tests {
             &Request::Analyze {
                 files: files(1),
                 cache_cap: None,
+                invariants: false,
             }
             .encode(),
         )

@@ -111,6 +111,23 @@ impl SsaInterpreter {
     /// Returns an [`SsaInterpError`] on arithmetic faults, malformed SSA,
     /// or step-limit exhaustion.
     pub fn run(&self, ssa: &SsaFunction, args: &[i64]) -> Result<SsaTrace, SsaInterpError> {
+        let (trace, fault) = self.run_partial(ssa, args);
+        match fault {
+            None => Ok(trace),
+            Some(err) => Err(err),
+        }
+    }
+
+    /// Like [`SsaInterpreter::run`], but a fault keeps everything executed
+    /// so far: the trace covers the prefix up to (excluding) the faulting
+    /// step, with the error alongside. A `None` fault means the function
+    /// ran to completion. Invariant checking uses this so a step-limited
+    /// or overflowing run still contributes its observed iterations.
+    pub fn run_partial(
+        &self,
+        ssa: &SsaFunction,
+        args: &[i64],
+    ) -> (SsaTrace, Option<SsaInterpError>) {
         let func = ssa.func();
         // Presence matters: an absent value means a φ argument was read
         // before its edge executed, which `eval` reports as MissingPhiArg.
@@ -131,101 +148,106 @@ impl SsaInterpreter {
                 assignments.push((v, val));
             }
         }
-        let mut block = func.entry();
-        let mut prev: Option<Block> = None;
-        let mut steps = 0usize;
-        loop {
-            steps += 1;
-            if steps > self.step_limit {
-                return Err(SsaInterpError::StepLimitExceeded);
-            }
-            let data = ssa.block(block);
-            // φs evaluate in parallel from the incoming edge.
-            let mut phi_updates: Vec<(Value, i64)> = Vec::new();
-            for &phi in &data.phis {
-                let ValueDef::Phi { args } = ssa.def(phi) else {
-                    continue;
-                };
-                let Some(from) = prev else {
-                    return Err(SsaInterpError::MissingPhiArg);
-                };
-                let arg = args
-                    .iter()
-                    .find(|(b, _)| *b == from)
-                    .ok_or(SsaInterpError::MissingPhiArg)?;
-                let val = self.eval(&arg.1, &env)?;
-                phi_updates.push((phi, val));
-            }
-            for (phi, val) in phi_updates {
-                env.insert(phi, val);
-                assignments.push((phi, val));
-            }
-            // Body.
-            for inst in &data.body {
-                match inst {
-                    SsaInst::Def(v) => {
-                        let val = match ssa.def(*v) {
-                            ValueDef::Phi { .. } => continue, // not in bodies
-                            ValueDef::Copy { src } => self.eval(src, &env)?,
-                            ValueDef::Neg { src } => self
-                                .eval(src, &env)?
-                                .checked_neg()
-                                .ok_or(SsaInterpError::Overflow)?,
-                            ValueDef::Binary { op, lhs, rhs } => {
-                                let l = self.eval(lhs, &env)?;
-                                let r = self.eval(rhs, &env)?;
-                                eval_binop(*op, l, r)?
-                            }
-                            ValueDef::Load { array, index } => {
-                                let idx: Result<Vec<i64>, _> =
-                                    index.iter().map(|o| self.eval(o, &env)).collect();
-                                arrays.get(&(*array, idx?)).copied().unwrap_or(0)
-                            }
-                            ValueDef::LiveIn { .. } => continue, // pre-bound
-                            ValueDef::ExitValue { .. } => {
-                                return Err(SsaInterpError::SyntheticValue)
-                            }
-                        };
-                        env.insert(*v, val);
-                        assignments.push((*v, val));
+        let fault = (|| -> Result<(), SsaInterpError> {
+            let mut block = func.entry();
+            let mut prev: Option<Block> = None;
+            let mut steps = 0usize;
+            loop {
+                steps += 1;
+                if steps > self.step_limit {
+                    return Err(SsaInterpError::StepLimitExceeded);
+                }
+                let data = ssa.block(block);
+                // φs evaluate in parallel from the incoming edge.
+                let mut phi_updates: Vec<(Value, i64)> = Vec::new();
+                for &phi in &data.phis {
+                    let ValueDef::Phi { args } = ssa.def(phi) else {
+                        continue;
+                    };
+                    let Some(from) = prev else {
+                        return Err(SsaInterpError::MissingPhiArg);
+                    };
+                    let arg = args
+                        .iter()
+                        .find(|(b, _)| *b == from)
+                        .ok_or(SsaInterpError::MissingPhiArg)?;
+                    let val = self.eval(&arg.1, &env)?;
+                    phi_updates.push((phi, val));
+                }
+                for (phi, val) in phi_updates {
+                    env.insert(phi, val);
+                    assignments.push((phi, val));
+                }
+                // Body.
+                for inst in &data.body {
+                    match inst {
+                        SsaInst::Def(v) => {
+                            let val = match ssa.def(*v) {
+                                ValueDef::Phi { .. } => continue, // not in bodies
+                                ValueDef::Copy { src } => self.eval(src, &env)?,
+                                ValueDef::Neg { src } => self
+                                    .eval(src, &env)?
+                                    .checked_neg()
+                                    .ok_or(SsaInterpError::Overflow)?,
+                                ValueDef::Binary { op, lhs, rhs } => {
+                                    let l = self.eval(lhs, &env)?;
+                                    let r = self.eval(rhs, &env)?;
+                                    eval_binop(*op, l, r)?
+                                }
+                                ValueDef::Load { array, index } => {
+                                    let idx: Result<Vec<i64>, _> =
+                                        index.iter().map(|o| self.eval(o, &env)).collect();
+                                    arrays.get(&(*array, idx?)).copied().unwrap_or(0)
+                                }
+                                ValueDef::LiveIn { .. } => continue, // pre-bound
+                                ValueDef::ExitValue { .. } => {
+                                    return Err(SsaInterpError::SyntheticValue)
+                                }
+                            };
+                            env.insert(*v, val);
+                            assignments.push((*v, val));
+                        }
+                        SsaInst::Store {
+                            array,
+                            index,
+                            value,
+                        } => {
+                            let idx: Result<Vec<i64>, _> =
+                                index.iter().map(|o| self.eval(o, &env)).collect();
+                            let val = self.eval(value, &env)?;
+                            arrays.insert((*array, idx?), val);
+                        }
                     }
-                    SsaInst::Store {
-                        array,
-                        index,
-                        value,
+                }
+                match data.term.as_ref().expect("reachable block has terminator") {
+                    SsaTerminator::Jump(b) => {
+                        prev = Some(block);
+                        block = *b;
+                    }
+                    SsaTerminator::Branch {
+                        op,
+                        lhs,
+                        rhs,
+                        then_bb,
+                        else_bb,
                     } => {
-                        let idx: Result<Vec<i64>, _> =
-                            index.iter().map(|o| self.eval(o, &env)).collect();
-                        let val = self.eval(value, &env)?;
-                        arrays.insert((*array, idx?), val);
+                        let l = self.eval(lhs, &env)?;
+                        let r = self.eval(rhs, &env)?;
+                        prev = Some(block);
+                        block = if op.eval(l, r) { *then_bb } else { *else_bb };
                     }
+                    SsaTerminator::Return => return Ok(()),
                 }
             }
-            match data.term.as_ref().expect("reachable block has terminator") {
-                SsaTerminator::Jump(b) => {
-                    prev = Some(block);
-                    block = *b;
-                }
-                SsaTerminator::Branch {
-                    op,
-                    lhs,
-                    rhs,
-                    then_bb,
-                    else_bb,
-                } => {
-                    let l = self.eval(lhs, &env)?;
-                    let r = self.eval(rhs, &env)?;
-                    prev = Some(block);
-                    block = if op.eval(l, r) { *then_bb } else { *else_bb };
-                }
-                SsaTerminator::Return => {
-                    return Ok(SsaTrace {
-                        assignments,
-                        arrays,
-                    })
-                }
-            }
-        }
+        })()
+        .err();
+        (
+            SsaTrace {
+                assignments,
+                arrays,
+            },
+            fault,
+        )
     }
 
     fn eval(&self, op: &Operand, env: &EntityMap<Value, i64>) -> Result<i64, SsaInterpError> {
@@ -327,6 +349,26 @@ mod tests {
         let j = f.var_by_name("j").unwrap();
         let phi = ssa.block(ssa_header).phis[0];
         assert_eq!(cfg_trace.values_at(header, j), ssa_trace.history(phi),);
+    }
+
+    #[test]
+    fn run_partial_keeps_prefix_on_fault() {
+        // The loop never exits, so run() errors; run_partial keeps the φ
+        // history observed before the step limit hit.
+        let program = parse_program("func f() { i = 0 loop { i = i + 1 } }").unwrap();
+        let ssa = SsaFunction::build(&program.functions[0]);
+        let interp = SsaInterpreter { step_limit: 10 };
+        let (trace, fault) = interp.run_partial(&ssa, &[]);
+        assert_eq!(fault, Some(SsaInterpError::StepLimitExceeded));
+        let phi = ssa
+            .values
+            .iter()
+            .find(|(_, d)| matches!(d.def, ValueDef::Phi { .. }))
+            .map(|(v, _)| v)
+            .expect("loop has a phi");
+        let hist = trace.history(phi);
+        assert!(!hist.is_empty(), "partial trace keeps observed iterations");
+        assert_eq!(hist[0], 0);
     }
 
     #[test]

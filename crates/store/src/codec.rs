@@ -191,6 +191,13 @@ pub fn encode_summary(summary: &StructuralSummary) -> Vec<u8> {
             put_str(&mut out, value);
             put_str(&mut out, class);
         }
+        put_u32(
+            &mut out,
+            u32::try_from(lp.invariants.len()).expect("invariant count"),
+        );
+        for relation in &lp.invariants {
+            put_str(&mut out, relation);
+        }
     }
     put_u32(
         &mut out,
@@ -223,11 +230,17 @@ pub fn decode_summary(payload: &[u8]) -> Result<Arc<StructuralSummary>, DecodeEr
             let class = r.string()?;
             classes.push((value, class));
         }
+        let invariant_count = r.len()?;
+        let mut invariants = Vec::with_capacity(invariant_count.min(1024));
+        for _ in 0..invariant_count {
+            invariants.push(r.string()?);
+        }
         loops.push(LoopSummary {
             name,
             trip_count,
             max_trip_count,
             classes,
+            invariants,
         });
     }
     let breach_count = r.len()?;
@@ -261,12 +274,14 @@ mod tests {
                         ("j2".to_string(), "(L7, n1, c1 + k1)".to_string()),
                         ("i1".to_string(), "(L7, n1 + c1, c1 + k1)".to_string()),
                     ],
+                    invariants: vec!["2*%3 - %2^2 + %2 = 0".to_string()],
                 },
                 LoopSummary {
                     name: "L9".to_string(),
                     trip_count: "unknown".to_string(),
                     max_trip_count: None,
                     classes: Vec::new(),
+                    invariants: Vec::new(),
                 },
             ],
             breaches: vec![

@@ -541,6 +541,7 @@ mod tests {
             trip_count: "10".to_string(),
             max_trip_count: None,
             classes: vec![(format!("v_{tag}"), "invariant".to_string())],
+            invariants: Vec::new(),
         }]))
     }
 

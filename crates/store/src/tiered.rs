@@ -124,6 +124,7 @@ mod tests {
             trip_count: "8".to_string(),
             max_trip_count: None,
             classes: Vec::new(),
+            invariants: Vec::new(),
         }]))
     }
 
@@ -152,6 +153,38 @@ mod tests {
         assert_eq!(mem.hits() + mem.misses(), 3, "one count per lookup");
         assert_eq!(mem.hits(), 2);
         assert_eq!(tiered.store_gauges().expect("gauges").disk_misses, 1);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pre_invariant_store_invalidates_wholesale_on_reopen() {
+        // A store written by the previous analyzer release (format 1,
+        // before mixed-geometric classes and invariant lines existed)
+        // must not serve a single record to the current release: its
+        // summaries would be missing the invariants field entirely.
+        let dir = tmp_dir("pre-invariant");
+        let old_opts = StoreOptions {
+            format_version: biv_core::FORMAT_VERSION - 1,
+            ..StoreOptions::default()
+        };
+        {
+            let mut old = TieredCache::open(&dir, 16, &old_opts).expect("open old");
+            old.commit(1, summary("a"));
+            old.commit(2, summary("b"));
+            old.flush().expect("flush");
+        }
+        let mut fresh = TieredCache::open(&dir, 16, &StoreOptions::default()).expect("reopen");
+        assert!(fresh.lookup(1).is_none(), "stale record must not serve");
+        assert!(fresh.lookup(2).is_none(), "stale record must not serve");
+        let gauges = fresh.store_gauges().expect("gauges");
+        assert_eq!(gauges.disk_hits, 0, "zero disk hits from a stale store");
+        assert_eq!(gauges.disk_misses, 2);
+        assert_eq!(gauges.records_live, 0, "wholesale invalidation");
+        // The store is usable going forward under the current version.
+        fresh.commit(1, summary("a"));
+        fresh.flush().expect("flush");
+        let mut again = TieredCache::open(&dir, 16, &StoreOptions::default()).expect("re-reopen");
+        assert!(again.lookup(1).is_some());
         fs::remove_dir_all(&dir).ok();
     }
 

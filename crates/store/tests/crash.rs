@@ -29,6 +29,7 @@ fn summary(tag: &str) -> Arc<StructuralSummary> {
         trip_count: format!("trip_{tag}"),
         max_trip_count: Some("64".to_string()),
         classes: vec![(format!("v_{tag}"), format!("(L, {tag}, 1)"))],
+        invariants: vec![format!("2*s_{tag} - i^2 + i = 0")],
     }]))
 }
 

@@ -31,6 +31,15 @@ pub struct WorkloadSpec {
     pub polynomial: usize,
     /// Geometric induction variables per loop.
     pub geometric: usize,
+    /// Mixed geometric-linear recurrences per loop (`v ← r·v + c` with
+    /// a guaranteed-nonzero additive step, so every plant classifies
+    /// `MixedGeometric`, never pure geometric).
+    pub mixed_geometric: usize,
+    /// Running-sum / index pairs per loop, each in its own mini-loop
+    /// with literal initial values — every pair carries exactly one
+    /// machine-checkable polynomial invariant
+    /// ([`running_sum_relation`]).
+    pub running_sums: usize,
     /// Wrap-around variables per loop.
     pub wraparound: usize,
     /// Periodic families (period 3) per loop.
@@ -65,6 +74,8 @@ impl Default for WorkloadSpec {
             linear: 4,
             polynomial: 1,
             geometric: 1,
+            mixed_geometric: 0,
+            running_sums: 0,
             wraparound: 1,
             periodic: 1,
             monotonic: 1,
@@ -93,6 +104,8 @@ impl WorkloadSpec {
             linear: per_loop,
             polynomial: 0,
             geometric: 0,
+            mixed_geometric: 0,
+            running_sums: 0,
             wraparound: 0,
             periodic: 0,
             monotonic: 0,
@@ -126,6 +139,8 @@ impl WorkloadSpec {
             linear: 2,
             polynomial: 1,
             geometric: 1,
+            mixed_geometric: 0,
+            running_sums: 0,
             wraparound: 1,
             periodic: 1,
             monotonic: 1,
@@ -139,6 +154,43 @@ impl WorkloadSpec {
             seed,
         }
     }
+
+    /// The invariant-serving mix: `MixedGeometric` plants plus
+    /// running-sum / index pairs with exact ground-truth labels. The
+    /// short trip count keeps the mixed-geometric values inside `i64`
+    /// while the checker interprets the whole function — an overflow in
+    /// one loop truncates every later loop's observed iterations, which
+    /// would (correctly, but unhelpfully) reject the planted
+    /// invariants.
+    pub fn invariants(scale: usize, seed: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            loops: scale.max(1),
+            linear: 1,
+            polynomial: 0,
+            geometric: 0,
+            mixed_geometric: 2,
+            running_sums: 2,
+            wraparound: 0,
+            periodic: 0,
+            monotonic: 0,
+            diamonds: 0,
+            invariants: 0,
+            derived: 0,
+            flipflop: 0,
+            deadiv: 0,
+            nests: 0,
+            trip: 12,
+            seed,
+        }
+    }
+}
+
+/// The exact relation every planted running-sum pair must verify, in
+/// the engine's canonical rendering: with the sum starting at 0 and the
+/// index at 1, `2s = i² − i` normalizes to `2s + i − i² = 0`. `sum` and
+/// `index` are the canonical SSA names of the two loop-header φs.
+pub fn running_sum_relation(sum: &str, index: &str) -> String {
+    format!("2*{sum} + {index} - {index}^2 = 0")
 }
 
 /// Ground truth planted by the generator.
@@ -150,6 +202,12 @@ pub struct ExpectedCounts {
     pub polynomial: usize,
     /// Geometric IVs planted.
     pub geometric: usize,
+    /// Mixed geometric-linear IVs planted (guaranteed-nonzero step, so
+    /// each must classify `MixedGeometric` exactly, never pure
+    /// geometric).
+    pub mixed_geometric: usize,
+    /// Running-sum / index pairs planted, one verified invariant each.
+    pub running_sums: usize,
     /// Wrap-around variables planted.
     pub wraparound: usize,
     /// Periodic variables planted (3 per family).
@@ -186,6 +244,16 @@ impl TransformLabels {
     }
 }
 
+/// One planted running-sum pair: the mini-loop's label plus the pair's
+/// exact invariant, fixed by construction (sum starts at 0, index at
+/// 1). Tests resolve the φ names from the analysis and compare the
+/// emitted relation to [`running_sum_relation`] verbatim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantPlant {
+    /// The mini-loop's source label (and therefore its loop name).
+    pub label: String,
+}
+
 /// A generated workload.
 #[derive(Debug)]
 pub struct Workload {
@@ -197,6 +265,8 @@ pub struct Workload {
     pub expected: ExpectedCounts,
     /// Ground-truth transform applications.
     pub labels: TransformLabels,
+    /// Ground-truth invariant plants, one per running-sum pair.
+    pub invariant_plants: Vec<InvariantPlant>,
 }
 
 /// Generates a workload from a spec.
@@ -208,7 +278,15 @@ pub fn generate(spec: &WorkloadSpec) -> Workload {
     let mut src = String::new();
     let mut expected = ExpectedCounts::default();
     let mut labels = TransformLabels::default();
-    emit_function(&mut src, "generated", spec, &mut expected, &mut labels);
+    let mut plants = Vec::new();
+    emit_function(
+        &mut src,
+        "generated",
+        spec,
+        &mut expected,
+        &mut labels,
+        &mut plants,
+    );
     let program = parse_program(&src)
         .unwrap_or_else(|e| panic!("generator produced invalid source: {e}\n{src}"));
     Workload {
@@ -216,6 +294,7 @@ pub fn generate(spec: &WorkloadSpec) -> Workload {
         func: program.functions.into_iter().next().expect("one function"),
         expected,
         labels,
+        invariant_plants: plants,
     }
 }
 
@@ -226,11 +305,12 @@ fn emit_function(
     spec: &WorkloadSpec,
     expected: &mut ExpectedCounts,
     labels: &mut TransformLabels,
+    plants: &mut Vec<InvariantPlant>,
 ) {
     let mut rng = SplitMix64::seed_from_u64(spec.seed);
     let _ = writeln!(src, "func {name}(n) {{");
     for l in 0..spec.loops {
-        emit_loop(src, spec, l, &mut rng, expected, labels);
+        emit_loop(src, spec, l, &mut rng, expected, labels, plants);
     }
     let _ = writeln!(src, "}}");
 }
@@ -279,6 +359,8 @@ pub struct Corpus {
     pub expected: ExpectedCounts,
     /// Ground-truth transform applications summed over all functions.
     pub labels: TransformLabels,
+    /// Ground-truth invariant plants across all functions.
+    pub invariant_plants: Vec<InvariantPlant>,
 }
 
 /// Generates a multi-function corpus from a spec.
@@ -290,6 +372,7 @@ pub fn generate_corpus(spec: &CorpusSpec) -> Corpus {
     let mut src = String::new();
     let mut expected = ExpectedCounts::default();
     let mut labels = TransformLabels::default();
+    let mut plants = Vec::new();
     let mut duplicates = 0;
     let mut last_fresh_seed = spec.seed;
     for i in 0..spec.functions {
@@ -315,6 +398,7 @@ pub fn generate_corpus(spec: &CorpusSpec) -> Corpus {
             &fspec,
             &mut expected,
             &mut labels,
+            &mut plants,
         );
     }
     let program = parse_program(&src)
@@ -330,6 +414,7 @@ pub fn generate_corpus(spec: &CorpusSpec) -> Corpus {
         duplicates,
         expected,
         labels,
+        invariant_plants: plants,
     }
 }
 
@@ -340,6 +425,7 @@ fn emit_loop(
     rng: &mut SplitMix64,
     expected: &mut ExpectedCounts,
     labels: &mut TransformLabels,
+    plants: &mut Vec<InvariantPlant>,
 ) {
     let trip = spec.trip;
     // Pre-loop initializations.
@@ -353,6 +439,9 @@ fn emit_loop(
         // A positive initial value keeps the exponential coefficient
         // nonzero, so the plant really is geometric.
         let _ = writeln!(src, "    geo_{l}_{v} = {}", rng.gen_range(1..5));
+    }
+    for v in 0..spec.mixed_geometric {
+        let _ = writeln!(src, "    mg_{l}_{v} = {}", rng.gen_range(1..5));
     }
     for v in 0..spec.wraparound {
         let _ = writeln!(src, "    wrap_{l}_{v} = {}", rng.gen_range(100..200));
@@ -386,6 +475,17 @@ fn emit_loop(
         let _ = writeln!(src, "        geo_{l}_{v} = geo_{l}_{v} * {g} + {c}");
         let _ = writeln!(src, "        ARR[geo_{l}_{v}] = i{l}");
         expected.geometric += 1;
+    }
+    for v in 0..spec.mixed_geometric {
+        // The additive step is never zero, so this is a fixed-point
+        // recurrence `v ← r·v + c` with offset c/(1−r) — exactly the
+        // MixedGeometric class, never pure geometric.
+        let r = rng.gen_range(2..4);
+        let c = rng.gen_range(1..5);
+        let _ = writeln!(src, "        mg_{l}_{v} = mg_{l}_{v} * {r} + {c}");
+        let _ = writeln!(src, "        ARR[mg_{l}_{v}] = i{l}");
+        expected.geometric += 1;
+        expected.mixed_geometric += 1;
     }
     for v in 0..spec.wraparound {
         let _ = writeln!(src, "        ARR[wrap_{l}_{v}] = i{l}");
@@ -467,6 +567,23 @@ fn emit_loop(
         labels.strength_reduce += 1;
         labels.dead_iv += 1;
     }
+    for v in 0..spec.running_sums {
+        // A running-sum / index pair with literal initial values: the
+        // engine must derive — and the checker must confirm —
+        // `2s = i² − i` exactly ([`running_sum_relation`]). The store
+        // keeps the sum φ live through pruned SSA.
+        let _ = writeln!(src, "    rsum_{l}_{v} = 0");
+        let _ = writeln!(src, "    RS{l}x{v}: for ri{l}_{v} = 1 to {trip} {{");
+        let _ = writeln!(src, "        rsum_{l}_{v} = rsum_{l}_{v} + ri{l}_{v}");
+        let _ = writeln!(src, "        ARR[rsum_{l}_{v}] = ri{l}_{v}");
+        let _ = writeln!(src, "    }}");
+        expected.linear += 1; // the mini-loop index
+        expected.polynomial += 1; // the running sum (degree 2)
+        expected.running_sums += 1;
+        plants.push(InvariantPlant {
+            label: format!("RS{l}x{v}"),
+        });
+    }
     for v in 0..spec.nests {
         // Column-major access: the store's first (slowest) subscript is
         // the inner index, so interchange is profitable; distinct
@@ -489,8 +606,12 @@ pub struct ClassCounts {
     pub linear: usize,
     /// Higher-order polynomial induction variables.
     pub polynomial: usize,
-    /// Geometric induction variables.
+    /// Geometric induction variables (includes mixed geometric-linear
+    /// forms, which are geometric with a nonzero fixed point).
     pub geometric: usize,
+    /// Mixed geometric-linear recurrences (`v ← r·v + step`), also
+    /// included in `geometric`.
+    pub mixed_geometric: usize,
     /// Wrap-around variables.
     pub wraparound: usize,
     /// Periodic variables.
@@ -518,6 +639,10 @@ pub fn count_classes(analysis: &Analysis) -> ClassCounts {
                     } else {
                         counts.linear += 1;
                     }
+                }
+                Class::MixedGeometric(_) => {
+                    counts.geometric += 1;
+                    counts.mixed_geometric += 1;
                 }
                 Class::WrapAround { .. } => counts.wraparound += 1,
                 Class::Periodic(_) => counts.periodic += 1,
@@ -563,6 +688,96 @@ mod tests {
         assert!(counts.wraparound >= w.expected.wraparound, "{counts:?}");
         assert!(counts.periodic >= w.expected.periodic, "{counts:?}");
         assert!(counts.monotonic >= w.expected.monotonic, "{counts:?}");
+    }
+
+    #[test]
+    fn invariants_preset_plants_are_exactly_recovered() {
+        let w = generate(&WorkloadSpec::invariants(2, 11));
+        assert_eq!(w.expected.mixed_geometric, 4, "2 loops × 2 plants");
+        assert_eq!(w.expected.running_sums, 4);
+        assert_eq!(w.invariant_plants.len(), 4);
+
+        let analysis = analyze(&w.func);
+        let counts = count_classes(&analysis);
+        assert!(
+            counts.mixed_geometric >= w.expected.mixed_geometric,
+            "{counts:?}"
+        );
+
+        // Every planted pair's summary must carry *exactly* the planted
+        // relation, rendered over the pair's canonical φ names.
+        let report = biv_core::analyze_batch(
+            std::slice::from_ref(&w.func),
+            &biv_core::BatchOptions::default(),
+        );
+        let summary = &report.functions[0].summary;
+        for plant in &w.invariant_plants {
+            let ls = summary
+                .loops
+                .iter()
+                .find(|l| l.name == plant.label)
+                .unwrap_or_else(|| panic!("loop {} missing from summary", plant.label));
+            let (l, _) = analysis
+                .loops()
+                .find(|(_, info)| info.name == plant.label)
+                .expect("planted loop analyzed");
+            let header = analysis.forest().data(l).header;
+            let phis = &analysis.ssa().block(header).phis;
+            assert_eq!(phis.len(), 2, "index and sum φs in {}", plant.label);
+            let info = analysis.info(l);
+            let degree = |v| match info.classes.get(v) {
+                Some(Class::Induction(cf)) => cf.degree(),
+                other => panic!("φ in {} classified {other:?}", plant.label),
+            };
+            let (sum, index) = if degree(phis[0]) == 2 {
+                (phis[0], phis[1])
+            } else {
+                (phis[1], phis[0])
+            };
+            assert_eq!(degree(sum), 2);
+            assert_eq!(degree(index), 1);
+            let want = running_sum_relation(
+                &biv_core::canonical_value_name(sum),
+                &biv_core::canonical_value_name(index),
+            );
+            assert_eq!(
+                ls.invariants,
+                vec![want],
+                "loop {} must verify exactly the planted relation",
+                plant.label
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_geometric_plants_never_degrade_to_pure_geometric() {
+        // Every mg plant has a nonzero additive step, so the exact
+        // count — not just a lower bound — of MixedGeometric header φs
+        // must match: one φ plus one body def per plant.
+        let w = generate(&WorkloadSpec {
+            loops: 3,
+            linear: 0,
+            polynomial: 0,
+            geometric: 0,
+            mixed_geometric: 2,
+            wraparound: 0,
+            periodic: 0,
+            monotonic: 0,
+            diamonds: 0,
+            invariants: 0,
+            trip: 12,
+            ..WorkloadSpec::default()
+        });
+        let analysis = analyze(&w.func);
+        let counts = count_classes(&analysis);
+        // φ, body def, and exit value all classify MixedGeometric;
+        // nothing else in the loop is geometric at all, so every
+        // geometric classification is a mixed one.
+        assert!(
+            counts.mixed_geometric >= 2 * w.expected.mixed_geometric,
+            "{counts:?}"
+        );
+        assert_eq!(counts.geometric, counts.mixed_geometric, "{counts:?}");
     }
 
     #[test]

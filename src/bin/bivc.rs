@@ -3,6 +3,7 @@
 //! ```text
 //! bivc [--ssa] [--classes] [--deps] [--trip-counts] [--classic] [--dot] FILE
 //! bivc [--jobs N] [--batch] [--cache-cap N] FILE|DIR...   # parallel batch analysis
+//! bivc --invariants FILE|DIR...           # verified per-loop invariants in the report
 //! bivc --cache-dir DIR FILE|DIR...        # batch with a durable analysis store
 //! bivc --stats-json PATH ...              # machine-readable batch/cache counters
 //! bivc --remote ENDPOINT FILE|DIR...      # submit the batch to a running bivd
@@ -67,6 +68,15 @@
 //! successors, and the reassembled stdout is *still* byte-identical to
 //! a local run. A file no live shard can serve fails individually on
 //! stderr; the rest of the batch is unaffected.
+//!
+//! `--invariants` adds machine-checked per-loop polynomial invariants
+//! (e.g. `2*s - i^2 + i = 0`) to the grouped batch report. Invariants
+//! are always *computed* — they live in the cached summaries and ride
+//! the store, the daemon, and the fleet — so the flag only selects
+//! rendering: local, `--remote`, and `--fleet` runs print identical
+//! bytes for either setting, warm or cold. With `--stats-json` the
+//! object gains an `invariants` block (loops carrying at least one
+//! relation, total relations).
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -74,8 +84,8 @@ use std::time::Instant;
 
 use biv::core_analysis::{
     analyze_batch_with_backend, analyze_with, analyze_with_times, cold_batch_stats, describe_class,
-    render_grouped, resolve_jobs, AnalysisConfig, BatchOptions, BatchStats, Budget, CacheBackend,
-    PhaseTimes, StructuralCache,
+    render_grouped_with, resolve_jobs, AnalysisConfig, BatchOptions, BatchStats, Budget,
+    CacheBackend, PhaseTimes, StructuralCache,
 };
 use biv::ir::parser::parse_program;
 use biv::ir::Function;
@@ -100,11 +110,12 @@ struct Options {
     stats_json: Option<String>,
     remote: Option<String>,
     fleet: Option<String>,
+    invariants: bool,
     budget: Budget,
     paths: Vec<String>,
 }
 
-const USAGE: &str = "usage: bivc [--ssa] [--classes] [--deps] [--trip-counts] [--classic] [--dot] [--time] FILE\n       bivc [--jobs N] [--batch] [--cache-cap N] [--cache-dir DIR] [--stats-json PATH] [--time] FILE|DIR...\n       bivc --remote ENDPOINT [--cache-cap N] FILE|DIR...\n       bivc --fleet EP1,EP2,... [--cache-cap N] FILE|DIR...\n       bivc --optimize [--jobs N] [--stats-json PATH] FILE|DIR...\n       bivc --watch-bench [--edits N] FILE|DIR...\n       bivc --demo\n\nrobustness knobs (any mode):\n       --budget time=MS,nodes=N,scc=N,order=N   degrade to `unknown` past these caps\n       --faults seed=N,profile=NAME             deterministic fault injection\n                                                (needs a fault-injection build)";
+const USAGE: &str = "usage: bivc [--ssa] [--classes] [--deps] [--trip-counts] [--classic] [--dot] [--time] FILE\n       bivc [--jobs N] [--batch] [--invariants] [--cache-cap N] [--cache-dir DIR] [--stats-json PATH] [--time] FILE|DIR...\n       bivc --remote ENDPOINT [--invariants] [--cache-cap N] FILE|DIR...\n       bivc --fleet EP1,EP2,... [--invariants] [--cache-cap N] FILE|DIR...\n       bivc --optimize [--jobs N] [--stats-json PATH] FILE|DIR...\n       bivc --watch-bench [--edits N] FILE|DIR...\n       bivc --demo\n\nrobustness knobs (any mode):\n       --budget time=MS,nodes=N,scc=N,order=N   degrade to `unknown` past these caps\n       --faults seed=N,profile=NAME             deterministic fault injection\n                                                (needs a fault-injection build)";
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
@@ -125,6 +136,7 @@ fn parse_args() -> Result<Options, String> {
         stats_json: None,
         remote: None,
         fleet: None,
+        invariants: false,
         budget: Budget::UNLIMITED,
         paths: Vec::new(),
     };
@@ -158,6 +170,7 @@ fn parse_args() -> Result<Options, String> {
                 any_flag = true;
             }
             "--batch" => opts.batch = true,
+            "--invariants" => opts.invariants = true,
             "--optimize" => {
                 opts.optimize = true;
                 any_flag = true; // suppress the default analysis dump
@@ -302,6 +315,9 @@ fn parse_args() -> Result<Options, String> {
             "--optimize does not use the analysis store; drop --cache-dir (the pipeline re-analyzes between transforms)"
                 .into(),
         );
+    }
+    if opts.invariants && (opts.optimize || opts.watch_bench) {
+        return Err("--invariants is a batch-report flag; it does not combine with --optimize or --watch-bench".into());
     }
     Ok(opts)
 }
@@ -471,7 +487,7 @@ fn run_batch_local(
         );
     }
     if let Some(path) = &opts.stats_json {
-        if let Err(e) = write_stats_json(path, &report.stats, &*backend) {
+        if let Err(e) = write_stats_json(path, &report.stats, &report.functions, &*backend) {
             errors.push(e);
         }
     }
@@ -485,7 +501,12 @@ fn run_batch_local(
     } else {
         report.stats
     };
-    Ok(render_grouped(&ranges, &report.functions, &stats))
+    Ok(render_grouped_with(
+        &ranges,
+        &report.functions,
+        &stats,
+        opts.invariants,
+    ))
 }
 
 /// Writes the batch's machine-readable counters to `path` as one JSON
@@ -495,9 +516,22 @@ fn run_batch_local(
 fn write_stats_json<B: CacheBackend + ?Sized>(
     path: &str,
     stats: &BatchStats,
+    functions: &[biv::core_analysis::FunctionSummary],
     backend: &B,
 ) -> Result<(), String> {
     let mem = backend.memory();
+    // Invariant counters over per-function attachments: a summary
+    // shared by N structurally identical functions counts N times,
+    // matching what the grouped report prints.
+    let (mut inv_loops, mut inv_relations) = (0i64, 0i64);
+    for f in functions {
+        for l in &f.summary.loops {
+            if !l.invariants.is_empty() {
+                inv_loops += 1;
+                inv_relations += l.invariants.len() as i64;
+            }
+        }
+    }
     let mut fields = vec![
         (
             "batch",
@@ -517,6 +551,13 @@ fn write_stats_json<B: CacheBackend + ?Sized>(
                 ("evictions", Json::Int(mem.evictions() as i64)),
                 ("entries", Json::Int(mem.len() as i64)),
                 ("capacity", Json::Int(mem.capacity() as i64)),
+            ]),
+        ),
+        (
+            "invariants",
+            Json::obj(vec![
+                ("loops", Json::Int(inv_loops)),
+                ("relations", Json::Int(inv_relations)),
             ]),
         ),
     ];
@@ -795,7 +836,7 @@ fn run_batch_remote(
         Client::connect(&endpoint).map_err(|e| format!("cannot connect to {endpoint}: {e}"))?;
     eprintln!("analyzing {} files via {endpoint}", payload.len());
     let response = client
-        .analyze(payload, opts.cache_cap)
+        .analyze_with(payload, opts.cache_cap, opts.invariants)
         .map_err(|e| format!("remote analysis via {endpoint} failed: {e}"))?;
     match response {
         Response::Analyze {
@@ -850,6 +891,7 @@ fn run_batch_fleet(
     let shard_count = endpoints.len();
     let mut config = FleetConfig::new(endpoints);
     config.cache_cap = opts.cache_cap;
+    config.invariants = opts.invariants;
     let mut router = Router::new(config)?;
     eprintln!(
         "analyzing {} files across {shard_count} shards",
@@ -910,7 +952,7 @@ fn main() -> ExitCode {
             .first()
             .and_then(|p| std::fs::metadata(p).ok())
             .is_some_and(|m| m.is_dir());
-    if opts.batch || multiple_inputs {
+    if opts.batch || opts.invariants || multiple_inputs {
         return match run_batch(&opts) {
             Ok(0) => ExitCode::SUCCESS,
             Ok(_) => ExitCode::FAILURE, // per-file errors already on stderr

@@ -9,6 +9,7 @@
 //! | [`ir`] | `biv-ir` | CFG, mini-language front end, dominators, loops, dataflow, interpreter |
 //! | [`ssa`] | `biv-ssa` | SSA construction, verifier, SSA interpreter |
 //! | [`core_analysis`] | `biv-core` | **the paper's classifier**: Tarjan over the SSA graph, closed forms, trip counts, nested loops |
+//! | [`invariant`] | `biv-invariant` | polynomial loop invariants: monomial basis over IV closed forms, exact null-space solve, interpreter-checked candidates |
 //! | [`classic`] | `biv-classic` | the classical baseline detector with ad-hoc matchers |
 //! | [`depend`] | `biv-depend` | dependence testing: SIV/GCD/Banerjee + periodic/monotonic/wrap-around rules |
 //! | [`transform`] | `biv-transform` | strength reduction, loop peeling, canonical counters |
@@ -44,6 +45,7 @@ pub use biv_classic as classic;
 pub use biv_core as core_analysis;
 pub use biv_depend as depend;
 pub use biv_fleet as fleet;
+pub use biv_invariant as invariant;
 pub use biv_ir as ir;
 pub use biv_server as server;
 pub use biv_ssa as ssa;

@@ -28,6 +28,8 @@ fn class_specs(seed: u64) -> Vec<(&'static str, WorkloadSpec)> {
         linear: 1,
         polynomial: 0,
         geometric: 0,
+        mixed_geometric: 0,
+        running_sums: 0,
         wraparound: 0,
         periodic: 0,
         monotonic: 0,
